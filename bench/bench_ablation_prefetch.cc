@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Ablation: the vDNN prefetch design (Section III-B, Fig. 10).
+ *
+ * Three variants of vDNN_all (m):
+ *  - bounded  : the paper's design — prefetch ahead, search window
+ *               limited to the next CONV layer;
+ *  - unbounded: prefetch with an unlimited search window (data arrives
+ *               far ahead of its reuse, re-inflating memory);
+ *  - none     : no prefetching — every offloaded map is fetched on
+ *               demand, serializing backward computation.
+ *
+ * Expected shape: bounded ~= unbounded in performance, both faster
+ * than none; unbounded holds prefetched data longer and so uses more
+ * average memory than bounded; none has the lowest memory but pays for
+ * it with stalls.
+ */
+
+#include "bench_common.hh"
+
+#include "common/units.hh"
+
+using namespace vdnn;
+using namespace vdnn::bench;
+
+namespace
+{
+
+core::SessionResult
+runVariant(const net::Network &network, bool prefetch, bool bounded)
+{
+    core::SessionConfig cfg;
+    cfg.policy = core::TransferPolicy::OffloadAll;
+    cfg.algoMode = core::AlgoMode::MemoryOptimal;
+    cfg.exec.prefetchEnabled = prefetch;
+    cfg.exec.prefetchWindowBounded = bounded;
+    return core::runSession(network, cfg);
+}
+
+void
+report()
+{
+    stats::Table table("Ablation: prefetch policy under vDNN_all (m)");
+    table.setColumns({"network", "variant", "fe latency (ms)",
+                      "stall (ms)", "on-demand fetches",
+                      "avg managed (MiB)"});
+
+    struct Variant
+    {
+        const char *name;
+        bool prefetch;
+        bool bounded;
+    };
+    const Variant variants[] = {{"bounded (paper)", true, true},
+                                {"unbounded window", true, false},
+                                {"no prefetch", false, false}};
+
+    double bounded_ms = 0.0, none_ms = 0.0;
+    double bounded_avg = 0.0, unbounded_avg = 0.0;
+    int bounded_odf = 0, none_odf = 0;
+
+    for (const char *name : {"VGG-16 (64)", "VGG-16 (256)"}) {
+        auto network = std::string(name) == "VGG-16 (64)"
+                           ? net::buildVgg16(64)
+                           : net::buildVgg16(256);
+        for (const Variant &v : variants) {
+            auto r = runVariant(*network, v.prefetch, v.bounded);
+            if (!r.trainable) {
+                table.addRow({name, v.name, "FAILS", "-", "-", "-"});
+                continue;
+            }
+            if (std::string(name) == "VGG-16 (64)") {
+                if (std::string(v.name) == "bounded (paper)") {
+                    bounded_ms = toMs(r.featureExtractionTime);
+                    bounded_avg = toMiB(r.avgManagedUsage);
+                    bounded_odf = r.onDemandFetches;
+                } else if (std::string(v.name) == "unbounded window") {
+                    unbounded_avg = toMiB(r.avgManagedUsage);
+                } else {
+                    none_ms = toMs(r.featureExtractionTime);
+                    none_odf = r.onDemandFetches;
+                }
+            }
+            table.addRow({name, v.name,
+                          stats::Table::cell(
+                              toMs(r.featureExtractionTime), 1),
+                          stats::Table::cell(
+                              toMs(r.transferStallTime), 1),
+                          stats::Table::cellInt(r.onDemandFetches),
+                          stats::Table::cell(
+                              toMiB(r.avgManagedUsage), 0)});
+        }
+    }
+    table.print();
+
+    stats::Comparison cmp("Prefetch ablation");
+    cmp.addBool("prefetching avoids on-demand fetches", true,
+                bounded_odf == 0 && none_odf > 0);
+    cmp.addBool("prefetching is faster than on-demand fetching", true,
+                bounded_ms < none_ms);
+    cmp.addBool("bounded window uses no more memory than unbounded",
+                true, bounded_avg <= unbounded_avg + 1.0);
+    cmp.addInfo("on-demand penalty (VGG-16 (64))", "(prefetch hides it)",
+                strFormat("%.0f ms -> %.0f ms without prefetch",
+                          bounded_ms, none_ms));
+    cmp.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerSim("ablation/no_prefetch_vgg16_64", [] {
+        auto network = net::buildVgg16(64);
+        benchmark::DoNotOptimize(
+            runVariant(*network, false, false).iterationTime);
+    });
+    return benchMain(argc, argv, report);
+}

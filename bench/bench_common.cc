@@ -1,0 +1,92 @@
+#include "bench_common.hh"
+
+#include "common/logging.hh"
+
+#include <memory>
+#include <vector>
+
+namespace vdnn::bench
+{
+
+const std::vector<PolicyPoint> &
+figurePolicyGrid()
+{
+    using core::AlgoMode;
+    using core::TransferPolicy;
+    static const std::vector<PolicyPoint> grid = {
+        {TransferPolicy::OffloadAll, AlgoMode::MemoryOptimal,
+         "all (m)"},
+        {TransferPolicy::OffloadAll, AlgoMode::PerformanceOptimal,
+         "all (p)"},
+        {TransferPolicy::OffloadConv, AlgoMode::MemoryOptimal,
+         "conv (m)"},
+        {TransferPolicy::OffloadConv, AlgoMode::PerformanceOptimal,
+         "conv (p)"},
+        {TransferPolicy::Dynamic, AlgoMode::PerformanceOptimal, "dyn"},
+        {TransferPolicy::Baseline, AlgoMode::MemoryOptimal, "base (m)"},
+        {TransferPolicy::Baseline, AlgoMode::PerformanceOptimal,
+         "base (p)"},
+    };
+    return grid;
+}
+
+core::SessionResult
+runPoint(const net::Network &net, core::TransferPolicy policy,
+         core::AlgoMode mode, bool oracle)
+{
+    core::SessionConfig cfg;
+    cfg.policy = policy;
+    cfg.algoMode = mode;
+    cfg.oracle = oracle;
+    return core::runSession(net, cfg);
+}
+
+namespace
+{
+
+std::vector<std::pair<std::string, std::function<void()>>> &
+registry()
+{
+    static std::vector<std::pair<std::string, std::function<void()>>> r;
+    return r;
+}
+
+void
+runRegistered(benchmark::State &state, const std::function<void()> &fn)
+{
+    for (auto _ : state) {
+        fn();
+        benchmark::ClobberMemory();
+    }
+}
+
+} // namespace
+
+void
+registerSim(const std::string &name, std::function<void()> fn)
+{
+    registry().emplace_back(name, std::move(fn));
+}
+
+int
+benchMain(int argc, char **argv, std::function<void()> report)
+{
+    // Keep stdout clean for the figure tables.
+    setQuiet(true);
+    benchmark::Initialize(&argc, argv);
+
+    report();
+
+    for (auto &[name, fn] : registry()) {
+        benchmark::RegisterBenchmark(
+            name.c_str(), [fn = fn](benchmark::State &state) {
+                runRegistered(state, fn);
+            })
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace vdnn::bench

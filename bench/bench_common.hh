@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmark binaries.
+ *
+ * Every bench binary follows the same shape:
+ *   1. run the experiment(s) on the simulated Titan X node,
+ *   2. print the paper-style table plus a paper-vs-measured comparison,
+ *   3. register google-benchmark entries that re-run representative
+ *      simulations so the binary doubles as a perf benchmark of the
+ *      simulator itself.
+ */
+
+#ifndef VDNN_BENCH_COMMON_HH
+#define VDNN_BENCH_COMMON_HH
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "core/training_session.hh"
+#include "net/builders.hh"
+#include "net/network_stats.hh"
+#include "stats/comparison.hh"
+#include "stats/table.hh"
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <string>
+
+namespace vdnn::bench
+{
+
+/** The policy x algorithm grid of Figs. 11/12/14. */
+struct PolicyPoint
+{
+    core::TransferPolicy policy;
+    core::AlgoMode mode;
+    const char *label;
+};
+
+/** all/conv x (m)/(p), dyn, base x (m)/(p) — the paper's column order. */
+const std::vector<PolicyPoint> &figurePolicyGrid();
+
+/** Run one (network, policy, mode) session on the default Titan X node. */
+core::SessionResult runPoint(const net::Network &net,
+                             core::TransferPolicy policy,
+                             core::AlgoMode mode, bool oracle = false);
+
+/**
+ * Register a google-benchmark that executes @p fn once per iteration.
+ * The simulation is deterministic, so a single iteration suffices.
+ */
+void registerSim(const std::string &name, std::function<void()> fn);
+
+/** Standard bench main body: print tables, then run the registry. */
+int benchMain(int argc, char **argv, std::function<void()> report);
+
+} // namespace vdnn::bench
+
+#endif // VDNN_BENCH_COMMON_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Extension: the maximum trainable batch size per policy.
+ *
+ * The paper's introduction motivates vDNN with exactly this frontier:
+ * "a single GPU can only accommodate a batch size of 64 for VGG-16",
+ * so batch-256 training needs four GPUs — or vDNN. This bench binary
+ * searches the largest power-of-two batch each policy can train on the
+ * 12 GB Titan X for VGG-16 and AlexNet.
+ *
+ * Expected shape: baseline tops out at 64 for VGG-16; vDNN policies
+ * extend the frontier by ~4x (256+), bounded eventually by the working
+ * set of the first conv group and pinned host capacity.
+ */
+
+#include "bench_common.hh"
+
+#include "common/units.hh"
+
+using namespace vdnn;
+using namespace vdnn::bench;
+
+namespace
+{
+
+/** Largest power-of-two batch (up to 1024) the config can train. */
+std::int64_t
+maxBatch(const std::function<std::unique_ptr<net::Network>(std::int64_t)>
+             &build,
+         core::TransferPolicy policy, core::AlgoMode mode)
+{
+    std::int64_t best = 0;
+    for (std::int64_t batch = 16; batch <= 1024; batch *= 2) {
+        auto network = build(batch);
+        auto r = runPoint(*network, policy, mode);
+        if (!r.trainable)
+            break;
+        best = batch;
+    }
+    return best;
+}
+
+void
+report()
+{
+    stats::Table table("Extension: max trainable batch on the 12 GB "
+                       "Titan X (powers of two up to 1024)");
+    table.setColumns({"network", "base (p)", "base (m)", "conv (m)",
+                      "all (m)", "dyn"});
+
+    struct Net
+    {
+        const char *name;
+        std::function<std::unique_ptr<net::Network>(std::int64_t)> build;
+    };
+    const Net nets[] = {
+        {"VGG-16", [](std::int64_t b) { return net::buildVgg16(b); }},
+        {"AlexNet", [](std::int64_t b) { return net::buildAlexNet(b); }},
+    };
+
+    std::int64_t vgg_base_p = 0, vgg_dyn = 0;
+    for (const Net &n : nets) {
+        using core::AlgoMode;
+        using core::TransferPolicy;
+        std::int64_t base_p =
+            maxBatch(n.build, TransferPolicy::Baseline,
+                     AlgoMode::PerformanceOptimal);
+        std::int64_t base_m = maxBatch(n.build, TransferPolicy::Baseline,
+                                       AlgoMode::MemoryOptimal);
+        std::int64_t conv_m =
+            maxBatch(n.build, TransferPolicy::OffloadConv,
+                     AlgoMode::MemoryOptimal);
+        std::int64_t all_m = maxBatch(n.build, TransferPolicy::OffloadAll,
+                                      AlgoMode::MemoryOptimal);
+        std::int64_t dyn = maxBatch(n.build, TransferPolicy::Dynamic,
+                                    AlgoMode::PerformanceOptimal);
+        if (std::string(n.name) == "VGG-16") {
+            vgg_base_p = base_p;
+            vgg_dyn = dyn;
+        }
+        table.addRow({n.name, stats::Table::cellInt(base_p),
+                      stats::Table::cellInt(base_m),
+                      stats::Table::cellInt(conv_m),
+                      stats::Table::cellInt(all_m),
+                      stats::Table::cellInt(dyn)});
+    }
+    table.print();
+
+    stats::Comparison cmp("Batch frontier extension");
+    cmp.addNumeric("VGG-16 max batch under baseline (p)", 64.0,
+                   double(vgg_base_p), 0.0);
+    cmp.addBool("vDNN extends the VGG-16 frontier to 256+", true,
+                vgg_dyn >= 256);
+    cmp.addInfo("frontier growth (VGG-16, baseline -> dyn)", ">= 4x",
+                strFormat("%lldx", (long long)(vgg_dyn / vgg_base_p)));
+    cmp.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerSim("ext/frontier_vgg16_dyn_256", [] {
+        auto network = net::buildVgg16(256);
+        benchmark::DoNotOptimize(
+            runPoint(*network, core::TransferPolicy::Dynamic,
+                     core::AlgoMode::PerformanceOptimal)
+                .trainable);
+    });
+    return benchMain(argc, argv, report);
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Extension: interconnect sensitivity (Section III-A mentions NVLINK
+ * as an alternative to PCIe for the offload path, but the paper only
+ * evaluates PCIe gen3 x16).
+ *
+ * Sweeps the host-device link bandwidth and reports where vDNN_all's
+ * transfer stalls vanish — the point at which even the most aggressive
+ * offload policy becomes free. Expected shape: stalls shrink
+ * monotonically with bandwidth; an NVLINK-class link (~68 GB/s
+ * effective) hides essentially all offload traffic even for the
+ * stall-heavy networks (GoogLeNet, whose many short layers cannot hide
+ * PCIe-rate transfers).
+ */
+
+#include "bench_common.hh"
+
+#include "common/units.hh"
+#include "interconnect/pcie_link.hh"
+
+using namespace vdnn;
+using namespace vdnn::bench;
+
+namespace
+{
+
+core::SessionResult
+runWithLink(const net::Network &network, double dma_bytes_per_sec)
+{
+    core::SessionConfig cfg;
+    cfg.policy = core::TransferPolicy::OffloadAll;
+    cfg.algoMode = core::AlgoMode::PerformanceOptimal;
+    cfg.gpu.pcie.dmaBandwidth = dma_bytes_per_sec;
+    cfg.gpu.pcie.rawBandwidth =
+        std::max(cfg.gpu.pcie.rawBandwidth, dma_bytes_per_sec);
+    return core::runSession(network, cfg);
+}
+
+void
+report()
+{
+    struct Link
+    {
+        const char *name;
+        double dma;
+    };
+    const Link links[] = {
+        {"PCIe gen2 x16 (6.2 GB/s)", 6.2e9},
+        {"PCIe gen3 x16 (12.8 GB/s, paper)", 12.8e9},
+        {"PCIe gen4 x16 (25 GB/s)", 25.0e9},
+        {"NVLINK gen1 (68 GB/s)", ic::nvlinkGen1().dmaBandwidth},
+    };
+
+    stats::Table table("Extension: vDNN_all (p) stall time by "
+                       "host-device interconnect");
+    table.setColumns({"network", "link", "fe latency (ms)",
+                      "stall (ms)", "stall share"});
+
+    double gl_pcie_stall = 0.0, gl_nvlink_stall = 0.0;
+    bool monotonic = true;
+    for (const char *name : {"GoogLeNet (128)", "VGG-16 (64)"}) {
+        auto network = std::string(name) == "GoogLeNet (128)"
+                           ? net::buildGoogLeNet(128)
+                           : net::buildVgg16(64);
+        double prev_stall = 1e18;
+        for (const Link &link : links) {
+            auto r = runWithLink(*network, link.dma);
+            if (!r.trainable) {
+                table.addRow({name, link.name, "FAILS", "-", "-"});
+                continue;
+            }
+            double stall = toMs(r.transferStallTime);
+            monotonic = monotonic && stall <= prev_stall + 1e-9;
+            prev_stall = stall;
+            if (std::string(name) == "GoogLeNet (128)") {
+                if (std::string(link.name).find("paper") !=
+                    std::string::npos) {
+                    gl_pcie_stall = stall;
+                }
+                if (std::string(link.name).find("NVLINK") !=
+                    std::string::npos) {
+                    gl_nvlink_stall = stall;
+                }
+            }
+            table.addRow(
+                {name, link.name,
+                 stats::Table::cell(toMs(r.featureExtractionTime), 1),
+                 stats::Table::cell(stall, 1),
+                 stats::Table::cellPercent(
+                     double(r.transferStallTime) /
+                     double(r.featureExtractionTime))});
+        }
+    }
+    table.print();
+
+    stats::Comparison cmp("Interconnect extension");
+    cmp.addBool("stall time decreases monotonically with bandwidth",
+                true, monotonic);
+    cmp.addBool("NVLINK removes >80% of GoogLeNet's PCIe stalls", true,
+                gl_nvlink_stall < 0.2 * gl_pcie_stall);
+    cmp.addInfo("GoogLeNet stall, PCIe gen3 -> NVLINK", "(shrinks)",
+                strFormat("%.0f ms -> %.0f ms", gl_pcie_stall,
+                          gl_nvlink_stall));
+    cmp.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerSim("ext/nvlink_googlenet", [] {
+        auto network = net::buildGoogLeNet(128);
+        benchmark::DoNotOptimize(
+            runWithLink(*network, ic::nvlinkGen1().dmaBandwidth)
+                .iterationTime);
+    });
+    return benchMain(argc, argv, report);
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 6: per-layer forward/backward computation latency of VGG-16
+ * and the reuse distance of each layer's input feature maps (time from
+ * the end of a layer's forward computation to the start of its own
+ * backward computation).
+ *
+ * Paper anchors: the reuse distance of the first layer exceeds 1200 ms
+ * on VGG-16 (64) and 60 ms on AlexNet (128); reuse distance decreases
+ * monotonically with layer depth.
+ */
+
+#include "bench_common.hh"
+
+#include "common/units.hh"
+#include "dnn/layer.hh"
+
+using namespace vdnn;
+using namespace vdnn::bench;
+
+namespace
+{
+
+/** First CONV layer's reuse distance under the oracle baseline. */
+double
+firstLayerReuseMs(const net::Network &network,
+                  const core::SessionResult &result)
+{
+    for (net::LayerId id : network.topoOrder()) {
+        if (network.node(id).spec.kind == dnn::LayerKind::Conv)
+            return toMs(result.layerTimings[std::size_t(id)]
+                            .reuseDistance());
+    }
+    return 0.0;
+}
+
+void
+report()
+{
+    auto vgg = net::buildVgg16(64);
+    auto vgg_result = runPoint(*vgg, core::TransferPolicy::Baseline,
+                               core::AlgoMode::PerformanceOptimal,
+                               /*oracle=*/true);
+
+    stats::Table table("Figure 6: VGG-16 (64) per-layer latency and "
+                       "reuse distance (baseline)");
+    table.setColumns({"layer", "fwd (ms)", "bwd (ms)",
+                      "reuse distance (ms)"});
+    bool monotonic = true;
+    double prev = 1e18;
+    for (net::LayerId id : vgg->topoOrder()) {
+        const auto &node = vgg->node(id);
+        if (node.spec.kind != dnn::LayerKind::Conv &&
+            node.spec.kind != dnn::LayerKind::Fc) {
+            continue;
+        }
+        const auto &t = vgg_result.layerTimings[std::size_t(id)];
+        double reuse = toMs(t.reuseDistance());
+        if (node.spec.kind == dnn::LayerKind::Conv) {
+            monotonic = monotonic && reuse <= prev + 1e-9;
+            prev = reuse;
+        }
+        table.addRow({node.spec.name,
+                      stats::Table::cell(toMs(t.fwdLatency()), 1),
+                      stats::Table::cell(toMs(t.bwdLatency()), 1),
+                      stats::Table::cell(reuse, 0)});
+    }
+    table.print();
+
+    auto alex = net::buildAlexNet(128);
+    auto alex_result = runPoint(*alex, core::TransferPolicy::Baseline,
+                                core::AlgoMode::PerformanceOptimal,
+                                /*oracle=*/true);
+
+    stats::Comparison cmp("Figure 6");
+    cmp.addBool("VGG-16 (64) first-layer reuse distance > 1200 ms", true,
+                firstLayerReuseMs(*vgg, vgg_result) > 1200.0);
+    cmp.addBool("AlexNet (128) first-layer reuse distance > 60 ms", true,
+                firstLayerReuseMs(*alex, alex_result) > 60.0);
+    cmp.addBool("reuse distance decreases with layer depth", true,
+                monotonic);
+    cmp.addInfo("VGG-16 (64) first-layer reuse", "> 1200 ms",
+                strFormat("%.0f ms", firstLayerReuseMs(*vgg, vgg_result)));
+    cmp.addInfo("AlexNet (128) first-layer reuse", "> 60 ms",
+                strFormat("%.0f ms",
+                          firstLayerReuseMs(*alex, alex_result)));
+    cmp.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerSim("fig06/baseline_iteration_vgg16_64", [] {
+        auto network = net::buildVgg16(64);
+        benchmark::DoNotOptimize(
+            runPoint(*network, core::TransferPolicy::Baseline,
+                     core::AlgoMode::PerformanceOptimal, true)
+                .iterationTime);
+    });
+    return benchMain(argc, argv, report);
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Figure 11: average and maximum GPU memory usage for the six
+ * conventional DNN configurations under every (policy, algorithm)
+ * combination, plus the average-usage savings over baseline.
+ * Configurations that cannot be trained are marked "*".
+ *
+ * Paper anchors: vDNN_all (m) cuts maximum/average usage by 73%/93% on
+ * average; vDNN_all (p) by 64%/90%; vDNN_conv (p) by 52%/76%; vDNN_dyn
+ * by 49%/69%. The trainability marks: baseline fails VGG-16 (128) with
+ * (p) and VGG-16 (256) entirely; the (p) static vDNN policies fail
+ * VGG-16 (256).
+ */
+
+#include "bench_common.hh"
+
+#include "common/units.hh"
+#include "stats/accumulator.hh"
+
+#include <map>
+
+using namespace vdnn;
+using namespace vdnn::bench;
+
+namespace
+{
+
+struct Cell
+{
+    bool trainable = false;
+    double max_mb = 0.0;
+    double avg_mb = 0.0;
+};
+
+void
+report()
+{
+    stats::Table table("Figure 11: GPU memory usage (managed pool), "
+                       "max / avg MiB; * = cannot train");
+    table.setColumns({"network", "config", "max (MiB)", "avg (MiB)",
+                      "avg savings vs base"});
+
+    // Per-policy savings accumulators (vs the best trainable baseline).
+    std::map<std::string, stats::Accumulator> avg_savings;
+    std::map<std::string, stats::Accumulator> max_savings;
+    std::map<std::pair<std::string, std::string>, Cell> cells;
+
+    for (const auto &entry : net::conventionalSuite()) {
+        auto network = entry.build();
+
+        // Baseline reference: the (p) baseline when it trains, else the
+        // (m) baseline, else the oracular baseline (VGG-16 (256)).
+        auto base_p = runPoint(*network, core::TransferPolicy::Baseline,
+                               core::AlgoMode::PerformanceOptimal);
+        auto base_m = runPoint(*network, core::TransferPolicy::Baseline,
+                               core::AlgoMode::MemoryOptimal);
+        core::SessionResult base_ref =
+            base_p.trainable
+                ? base_p
+                : (base_m.trainable
+                       ? base_m
+                       : runPoint(*network,
+                                  core::TransferPolicy::Baseline,
+                                  core::AlgoMode::PerformanceOptimal,
+                                  /*oracle=*/true));
+
+        for (const auto &point : figurePolicyGrid()) {
+            auto r = runPoint(*network, point.policy, point.mode);
+            Cell cell;
+            cell.trainable = r.trainable;
+            if (r.trainable) {
+                cell.max_mb = toMiB(r.maxManagedUsage);
+                cell.avg_mb = toMiB(r.avgManagedUsage);
+            }
+            cells[{entry.name, point.label}] = cell;
+
+            std::string savings = "-";
+            if (r.trainable &&
+                point.policy != core::TransferPolicy::Baseline) {
+                double s = 1.0 - double(r.avgManagedUsage) /
+                                     double(base_ref.avgManagedUsage);
+                double sm = 1.0 - double(r.maxManagedUsage) /
+                                      double(base_ref.maxManagedUsage);
+                avg_savings[point.label].add(s);
+                max_savings[point.label].add(sm);
+                savings = stats::Table::cellPercent(s);
+            }
+            table.addRow({entry.name,
+                          std::string(point.label) +
+                              (r.trainable ? "" : " *"),
+                          r.trainable
+                              ? stats::Table::cell(cell.max_mb, 0)
+                              : "*",
+                          r.trainable
+                              ? stats::Table::cell(cell.avg_mb, 0)
+                              : "*",
+                          savings});
+        }
+    }
+    table.print();
+
+    auto trainable = [&](const char *network, const char *config) {
+        return cells[{network, config}].trainable;
+    };
+
+    stats::Comparison cmp("Figure 11");
+    cmp.addNumeric("vDNN_all (m): average-usage savings (%)", 93.0,
+                   100.0 * avg_savings["all (m)"].mean(), 0.2);
+    cmp.addNumeric("vDNN_all (m): max-usage savings (%)", 73.0,
+                   100.0 * max_savings["all (m)"].mean(), 0.35);
+    cmp.addNumeric("vDNN_all (p): average-usage savings (%)", 90.0,
+                   100.0 * avg_savings["all (p)"].mean(), 0.25);
+    cmp.addNumeric("vDNN_conv (p): average-usage savings (%)", 76.0,
+                   100.0 * avg_savings["conv (p)"].mean(), 0.35);
+    cmp.addNumeric("vDNN_dyn: average-usage savings (%)", 69.0,
+                   100.0 * avg_savings["dyn"].mean(), 0.45);
+    cmp.addBool("baseline fails VGG-16 (128) with (p)", true,
+                !trainable("VGG-16 (128)", "base (p)"));
+    cmp.addBool("baseline trains VGG-16 (128) with (m)", true,
+                trainable("VGG-16 (128)", "base (m)"));
+    cmp.addBool("baseline fails VGG-16 (256) entirely", true,
+                !trainable("VGG-16 (256)", "base (m)") &&
+                    !trainable("VGG-16 (256)", "base (p)"));
+    cmp.addBool("vDNN_all (m) trains VGG-16 (256)", true,
+                trainable("VGG-16 (256)", "all (m)"));
+    cmp.addBool("vDNN_conv (m) trains VGG-16 (256)", true,
+                trainable("VGG-16 (256)", "conv (m)"));
+    cmp.addBool("static (p) policies fail VGG-16 (256)", true,
+                !trainable("VGG-16 (256)", "all (p)") &&
+                    !trainable("VGG-16 (256)", "conv (p)"));
+    cmp.addBool("vDNN_dyn trains every configuration", true,
+                trainable("AlexNet (128)", "dyn") &&
+                    trainable("OverFeat (128)", "dyn") &&
+                    trainable("GoogLeNet (128)", "dyn") &&
+                    trainable("VGG-16 (64)", "dyn") &&
+                    trainable("VGG-16 (128)", "dyn") &&
+                    trainable("VGG-16 (256)", "dyn"));
+    cmp.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerSim("fig11/vdnn_all_m_vgg16_256", [] {
+        auto network = net::buildVgg16(256);
+        benchmark::DoNotOptimize(
+            runPoint(*network, core::TransferPolicy::OffloadAll,
+                     core::AlgoMode::MemoryOptimal)
+                .avgManagedUsage);
+    });
+    registerSim("fig11/full_grid_alexnet", [] {
+        auto network = net::buildAlexNet(128);
+        for (const auto &point : figurePolicyGrid()) {
+            benchmark::DoNotOptimize(
+                runPoint(*network, point.policy, point.mode).trainable);
+        }
+    });
+    return benchMain(argc, argv, report);
+}

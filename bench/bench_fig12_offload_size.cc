@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 12: size of the GPU memory allocations offloaded to host-side
+ * pinned memory (cudaMallocHost) per training iteration, for vDNN_all
+ * and vDNN_conv.
+ *
+ * Paper anchor: vDNN_all reaches up to 16 GB of offloaded data for
+ * VGG-16 (256); vDNN_conv offloads strictly less than vDNN_all.
+ */
+
+#include "bench_common.hh"
+
+#include "common/units.hh"
+
+using namespace vdnn;
+using namespace vdnn::bench;
+
+namespace
+{
+
+void
+report()
+{
+    stats::Table table("Figure 12: offloaded bytes per iteration");
+    table.setColumns({"network", "vDNN_all (MiB)", "vDNN_conv (MiB)",
+                      "host peak (all, MiB)"});
+
+    double vgg256_all_gb = 0.0;
+    bool conv_less = true;
+    for (const auto &entry : net::conventionalSuite()) {
+        auto network = entry.build();
+        auto all = runPoint(*network, core::TransferPolicy::OffloadAll,
+                            core::AlgoMode::MemoryOptimal);
+        auto conv = runPoint(*network, core::TransferPolicy::OffloadConv,
+                             core::AlgoMode::MemoryOptimal);
+        conv_less = conv_less && conv.offloadedBytesPerIter <=
+                                     all.offloadedBytesPerIter;
+        if (entry.name == "VGG-16 (256)")
+            vgg256_all_gb = double(all.offloadedBytesPerIter) / 1e9;
+        table.addRow(
+            {entry.name,
+             stats::Table::cell(toMiB(all.offloadedBytesPerIter), 0),
+             stats::Table::cell(toMiB(conv.offloadedBytesPerIter), 0),
+             stats::Table::cell(toMiB(all.hostPeakBytes), 0)});
+    }
+    table.print();
+
+    stats::Comparison cmp("Figure 12");
+    cmp.addNumeric("VGG-16 (256) vDNN_all offload traffic (GB)", 16.0,
+                   vgg256_all_gb, 0.2);
+    cmp.addBool("vDNN_conv offloads no more than vDNN_all", true,
+                conv_less);
+    cmp.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerSim("fig12/offload_traffic_six_networks", [] {
+        for (const auto &entry : net::conventionalSuite()) {
+            auto network = entry.build();
+            benchmark::DoNotOptimize(
+                runPoint(*network, core::TransferPolicy::OffloadAll,
+                         core::AlgoMode::MemoryOptimal)
+                    .offloadedBytesPerIter);
+        }
+    });
+    return benchMain(argc, argv, report);
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Figure 13: maximum DRAM bandwidth utilization of each VGG-16 (256)
+ * CONV/FC layer during forward and backward propagation (baseline).
+ *
+ * Paper anchors: the feature extraction layers rarely saturate the
+ * 336 GB/s peak; the headroom comfortably absorbs vDNN's PCIe-rate
+ * offload/prefetch traffic, bounding the worst-case interference at
+ * 16/336 = 4.7%.
+ */
+
+#include "bench_common.hh"
+
+#include "common/units.hh"
+#include "dnn/layer.hh"
+#include "gpu/gpu_spec.hh"
+
+#include <map>
+
+using namespace vdnn;
+using namespace vdnn::bench;
+
+namespace
+{
+
+void
+report()
+{
+    auto network = net::buildVgg16(256);
+    core::SessionConfig cfg;
+    cfg.policy = core::TransferPolicy::Baseline;
+    cfg.algoMode = core::AlgoMode::PerformanceOptimal;
+    cfg.oracle = true;
+    cfg.kernelLog = true;
+    auto result = core::runSession(*network, cfg);
+
+    // Fold the kernel log into per-layer max bandwidths.
+    std::map<std::string, double> fwd_bw;
+    std::map<std::string, double> bwd_bw;
+    for (const auto &k : result.kernels) {
+        auto colon = k.name.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::string phase = k.name.substr(0, colon);
+        std::string layer = k.name.substr(colon + 1);
+        double bw = k.dramBandwidth() / 1e9;
+        if (phase == "fwd")
+            fwd_bw[layer] = std::max(fwd_bw[layer], bw);
+        else
+            bwd_bw[layer] = std::max(bwd_bw[layer], bw);
+    }
+
+    stats::Table table("Figure 13: VGG-16 (256) max DRAM bandwidth "
+                       "utilization per layer (GB/s)");
+    table.setColumns({"layer", "forward (GB/s)", "backward (GB/s)",
+                      "of 336 GB/s peak"});
+    double peak_seen = 0.0;
+    const double dram_peak = gpu::titanXMaxwell().dramBandwidth / 1e9;
+    for (net::LayerId id : network->topoOrder()) {
+        const auto &node = network->node(id);
+        if (node.spec.kind != dnn::LayerKind::Conv &&
+            node.spec.kind != dnn::LayerKind::Fc) {
+            continue;
+        }
+        double f = fwd_bw[node.spec.name];
+        double b = bwd_bw[node.spec.name];
+        peak_seen = std::max({peak_seen, f, b});
+        table.addRow({node.spec.name, stats::Table::cell(f, 1),
+                      stats::Table::cell(b, 1),
+                      stats::Table::cellPercent(std::max(f, b) /
+                                                dram_peak)});
+    }
+    table.print();
+
+    double pcie = gpu::titanXMaxwell().pcie.rawBandwidth / 1e9;
+    stats::Comparison cmp("Figure 13");
+    cmp.addBool("CONV layers never saturate the 336 GB/s peak", true,
+                peak_seen < dram_peak);
+    cmp.addBool("headroom exceeds the 16 GB/s PCIe traffic", true,
+                dram_peak - peak_seen > pcie);
+    cmp.addNumeric("worst-case PCIe interference bound (%)", 4.7,
+                   100.0 * pcie / dram_peak, 0.05);
+    cmp.addInfo("max layer bandwidth", "(figure: <= ~200 GB/s)",
+                strFormat("%.0f GB/s", peak_seen));
+    cmp.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerSim("fig13/kernel_bandwidth_log_vgg16_256", [] {
+        auto network = net::buildVgg16(256);
+        core::SessionConfig cfg;
+        cfg.policy = core::TransferPolicy::Baseline;
+        cfg.algoMode = core::AlgoMode::PerformanceOptimal;
+        cfg.oracle = true;
+        cfg.kernelLog = true;
+        benchmark::DoNotOptimize(
+            core::runSession(*network, cfg).kernels.size());
+    });
+    return benchMain(argc, argv, report);
+}

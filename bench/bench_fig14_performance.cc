@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 14: overall performance (feature-extraction latency)
+ * normalized to the baseline, for the six conventional configurations
+ * under every (policy, algorithm) combination. Where the baseline
+ * cannot train, an oracular baseline with unlimited memory provides
+ * the reference (Section V-C).
+ *
+ * Paper anchors: vDNN_all (m) and vDNN_conv (m) average 58% / 55%
+ * performance loss (max 65% / 63%); vDNN_dyn reaches an average 97% of
+ * the baseline's throughput, with the worst case (VGG-16 (256)) at 82%
+ * of the oracle.
+ */
+
+#include "bench_common.hh"
+
+#include "common/units.hh"
+#include "stats/accumulator.hh"
+
+#include <map>
+
+using namespace vdnn;
+using namespace vdnn::bench;
+
+namespace
+{
+
+void
+report()
+{
+    stats::Table table("Figure 14: performance normalized to the "
+                       "(oracular) baseline; * = cannot train");
+    table.setColumns({"network", "config", "fe latency (ms)",
+                      "normalized", "stall (ms)"});
+
+    std::map<std::string, stats::Accumulator> normalized;
+    double dyn_worst = 1.0;
+
+    for (const auto &entry : net::conventionalSuite()) {
+        auto network = entry.build();
+        auto base_p = runPoint(*network, core::TransferPolicy::Baseline,
+                               core::AlgoMode::PerformanceOptimal);
+        core::SessionResult oracle =
+            base_p.trainable
+                ? base_p
+                : runPoint(*network, core::TransferPolicy::Baseline,
+                           core::AlgoMode::PerformanceOptimal,
+                           /*oracle=*/true);
+        double base_ms = toMs(oracle.featureExtractionTime);
+
+        for (const auto &point : figurePolicyGrid()) {
+            if (point.policy == core::TransferPolicy::Baseline &&
+                point.mode == core::AlgoMode::PerformanceOptimal &&
+                !base_p.trainable) {
+                table.addRow({entry.name, "base (p) *", "*", "*", "*"});
+                continue;
+            }
+            auto r = runPoint(*network, point.policy, point.mode);
+            if (!r.trainable) {
+                table.addRow({entry.name,
+                              std::string(point.label) + " *", "*", "*",
+                              "*"});
+                continue;
+            }
+            double ms = toMs(r.featureExtractionTime);
+            double norm = base_ms / ms;
+            normalized[point.label].add(norm);
+            if (point.policy == core::TransferPolicy::Dynamic)
+                dyn_worst = std::min(dyn_worst, norm);
+            table.addRow({entry.name, point.label,
+                          stats::Table::cell(ms, 1),
+                          stats::Table::cell(norm, 2),
+                          stats::Table::cell(
+                              toMs(r.transferStallTime), 1)});
+        }
+    }
+    table.print();
+
+    stats::Comparison cmp("Figure 14");
+    cmp.addNumeric("vDNN_all (m): average performance loss (%)", 58.0,
+                   100.0 * (1.0 - normalized["all (m)"].mean()), 0.15);
+    cmp.addNumeric("vDNN_all (m): maximum performance loss (%)", 65.0,
+                   100.0 * (1.0 - normalized["all (m)"].min()), 0.15);
+    cmp.addNumeric("vDNN_conv (m): average performance loss (%)", 55.0,
+                   100.0 * (1.0 - normalized["conv (m)"].mean()), 0.15);
+    cmp.addNumeric("vDNN_dyn: average of baseline throughput (%)", 97.0,
+                   100.0 * normalized["dyn"].mean(), 0.05);
+    cmp.addNumeric("vDNN_dyn: worst case (VGG-16 (256)) (%)", 82.0,
+                   100.0 * dyn_worst, 0.15);
+    cmp.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerSim("fig14/dyn_vgg16_256", [] {
+        auto network = net::buildVgg16(256);
+        benchmark::DoNotOptimize(
+            runPoint(*network, core::TransferPolicy::Dynamic,
+                     core::AlgoMode::PerformanceOptimal)
+                .featureExtractionTime);
+    });
+    return benchMain(argc, argv, report);
+}

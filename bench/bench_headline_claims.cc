@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Headline claims of the abstract and introduction, cross-checked
+ * end to end:
+ *
+ *  - vDNN reduces the average GPU memory usage of AlexNet by up to
+ *    89%, OverFeat by 91%, and GoogLeNet by 95%;
+ *  - VGG-16 (256), a 28 GB workload, trains on a single 12 GB card
+ *    with 18% performance loss versus an oracular GPU;
+ *  - the baseline fails 6 of the 10 studied DNNs (14-67 GB needed);
+ *  - vDNN cuts the average usage of those six memory-hungry networks
+ *    by 73%-98%.
+ */
+
+#include "bench_common.hh"
+
+#include "common/units.hh"
+#include "dnn/cudnn_sim.hh"
+#include "gpu/gpu_spec.hh"
+
+using namespace vdnn;
+using namespace vdnn::bench;
+
+namespace
+{
+
+/** Best average-usage savings of vDNN_all over the best baseline. */
+double
+bestAvgSavings(const net::Network &network)
+{
+    auto base_p = runPoint(network, core::TransferPolicy::Baseline,
+                           core::AlgoMode::PerformanceOptimal);
+    auto base = base_p.trainable
+                    ? base_p
+                    : runPoint(network, core::TransferPolicy::Baseline,
+                               core::AlgoMode::PerformanceOptimal,
+                               /*oracle=*/true);
+    auto all_m = runPoint(network, core::TransferPolicy::OffloadAll,
+                          core::AlgoMode::MemoryOptimal);
+    if (!all_m.trainable)
+        return 0.0;
+    return 1.0 - double(all_m.avgManagedUsage) /
+                     double(base.avgManagedUsage);
+}
+
+void
+report()
+{
+    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
+
+    // --- per-network savings -------------------------------------------------
+    auto alex = net::buildAlexNet(128);
+    auto over = net::buildOverFeat(128);
+    auto goog = net::buildGoogLeNet(128);
+    double alex_savings = bestAvgSavings(*alex);
+    double over_savings = bestAvgSavings(*over);
+    double goog_savings = bestAvgSavings(*goog);
+
+    // --- VGG-16 (256) trainability and performance ---------------------------
+    auto vgg256 = net::buildVgg16(256);
+    auto vgg_dyn = runPoint(*vgg256, core::TransferPolicy::Dynamic,
+                            core::AlgoMode::PerformanceOptimal);
+    auto vgg_oracle = runPoint(*vgg256, core::TransferPolicy::Baseline,
+                               core::AlgoMode::PerformanceOptimal,
+                               /*oracle=*/true);
+    double vgg_loss = 1.0 - double(vgg_oracle.featureExtractionTime) /
+                                double(vgg_dyn.featureExtractionTime);
+
+    // --- trainability across the ten networks ---------------------------------
+    int baseline_failures = 0;
+    int vdnn_failures = 0;
+    double worst_savings = 1.0;
+    double best_savings = 0.0;
+    stats::Table table("Headline: trainability of the ten studied DNNs");
+    table.setColumns({"network", "baseline", "vDNN_dyn",
+                      "vDNN_all (m) avg savings"});
+    for (const auto &entry : net::fullSuite()) {
+        auto network = entry.build();
+        // The paper's 6-of-10 count uses the configurations frameworks
+        // pick by default: performance-optimal algorithms (VGG-16
+        // (128) at 15 GB counts as a failure even though the (m)
+        // fallback squeaks in).
+        auto base_p = runPoint(*network, core::TransferPolicy::Baseline,
+                               core::AlgoMode::PerformanceOptimal);
+        bool base_ok = base_p.trainable;
+        auto dyn = runPoint(*network, core::TransferPolicy::Dynamic,
+                            core::AlgoMode::PerformanceOptimal);
+        double savings = bestAvgSavings(*network);
+        if (!base_ok) {
+            ++baseline_failures;
+            worst_savings = std::min(worst_savings, savings);
+            best_savings = std::max(best_savings, savings);
+        }
+        if (!dyn.trainable)
+            ++vdnn_failures;
+        table.addRow({entry.name, base_ok ? "trains" : "FAILS",
+                      dyn.trainable ? "trains" : "FAILS",
+                      stats::Table::cellPercent(savings)});
+    }
+    table.print();
+
+    stats::Comparison cmp("Headline claims");
+    cmp.addNumeric("AlexNet avg memory reduction (%)", 89.0,
+                   100.0 * alex_savings, 0.2);
+    cmp.addNumeric("OverFeat avg memory reduction (%)", 91.0,
+                   100.0 * over_savings, 0.25);
+    cmp.addNumeric("GoogLeNet avg memory reduction (%)", 95.0,
+                   100.0 * goog_savings, 0.15);
+    cmp.addBool("VGG-16 (256) trains on the 12 GB card with vDNN", true,
+                vgg_dyn.trainable);
+    cmp.addNumeric("VGG-16 (256) performance loss vs oracle (%)", 18.0,
+                   100.0 * vgg_loss, 0.8);
+    cmp.addNumeric("baseline failures among the ten DNNs", 6.0,
+                   double(baseline_failures), 0.0);
+    cmp.addNumeric("vDNN failures among the ten DNNs", 0.0,
+                   double(vdnn_failures), 0.0);
+    cmp.addBool("memory-hungry networks saved by 73-98% (>=70%)", true,
+                worst_savings >= 0.70 && best_savings <= 0.99);
+    cmp.addInfo("savings band over untrainable networks", "73% - 98%",
+                strFormat("%.0f%% - %.0f%%", 100.0 * worst_savings,
+                          100.0 * best_savings));
+    cmp.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerSim("headline/dyn_over_full_suite", [] {
+        for (const auto &entry : net::conventionalSuite()) {
+            auto network = entry.build();
+            benchmark::DoNotOptimize(
+                runPoint(*network, core::TransferPolicy::Dynamic,
+                         core::AlgoMode::PerformanceOptimal)
+                    .trainable);
+        }
+    });
+    return benchMain(argc, argv, report);
+}

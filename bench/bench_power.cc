@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Section V-D: GPU power consumption of vDNN_dyn versus baseline.
+ *
+ * Paper anchors: vDNN_dyn adds 1%-7% to the *maximum* instantaneous
+ * power (the offload/prefetch DMA traffic raises peaks), while the
+ * *average* power is essentially unchanged because vDNN_dyn adds no
+ * noticeable run time and the studied DNNs do not saturate DRAM
+ * bandwidth. VGG-16 (128) is compared with memory-optimal algorithms
+ * (the only baseline configuration that trains); VGG-16 (256) has no
+ * trainable baseline and is excluded, as in the paper.
+ */
+
+#include "bench_common.hh"
+
+#include "common/units.hh"
+
+using namespace vdnn;
+using namespace vdnn::bench;
+
+namespace
+{
+
+core::SessionResult
+runPowerPoint(const net::Network &network, core::TransferPolicy policy,
+              core::AlgoMode mode)
+{
+    core::SessionConfig cfg;
+    cfg.policy = policy;
+    cfg.algoMode = mode;
+    cfg.iterations = 4; // average over several steady-state iterations
+    return core::runSession(network, cfg);
+}
+
+void
+report()
+{
+    stats::Table table("Section V-D: GPU power, vDNN_dyn vs baseline");
+    table.setColumns({"network", "base avg (W)", "base max (W)",
+                      "dyn avg (W)", "dyn max (W)", "max overhead",
+                      "avg overhead"});
+
+    double worst_max_overhead = 0.0;
+    double worst_avg_overhead = 0.0;
+
+    for (const auto &entry : net::conventionalSuite()) {
+        if (entry.name == "VGG-16 (256)")
+            continue; // no trainable baseline to compare against
+        auto network = entry.build();
+        // VGG-16 (128) only trains under baseline with (m) (Fig. 11).
+        core::AlgoMode mode = entry.name == "VGG-16 (128)"
+                                  ? core::AlgoMode::MemoryOptimal
+                                  : core::AlgoMode::PerformanceOptimal;
+        auto base = runPowerPoint(*network,
+                                  core::TransferPolicy::Baseline, mode);
+        auto dyn = runPowerPoint(*network, core::TransferPolicy::Dynamic,
+                                 mode);
+        double max_ovh = dyn.maxPowerW / base.maxPowerW - 1.0;
+        double avg_ovh = dyn.avgPowerW / base.avgPowerW - 1.0;
+        worst_max_overhead = std::max(worst_max_overhead, max_ovh);
+        // The average-power claim compares like against like: for
+        // VGG-16 (128) the baseline is pinned to memory-optimal
+        // algorithms while vDNN_dyn picks faster ones, which raises
+        // average draw for algorithmic (not vDNN-traffic) reasons.
+        if (mode == core::AlgoMode::PerformanceOptimal) {
+            worst_avg_overhead =
+                std::max(worst_avg_overhead, std::abs(avg_ovh));
+        }
+        table.addRow({entry.name, stats::Table::cell(base.avgPowerW, 1),
+                      stats::Table::cell(base.maxPowerW, 1),
+                      stats::Table::cell(dyn.avgPowerW, 1),
+                      stats::Table::cell(dyn.maxPowerW, 1),
+                      stats::Table::cellPercent(max_ovh),
+                      stats::Table::cellPercent(avg_ovh)});
+    }
+    table.print();
+
+    stats::Comparison cmp("Section V-D (power)");
+    cmp.addBool("max-power overhead stays within ~1-7% band (<= 8%)",
+                true, worst_max_overhead <= 0.08);
+    cmp.addBool("average power essentially unchanged (<= 3%)", true,
+                worst_avg_overhead <= 0.03);
+    cmp.addInfo("worst max-power overhead", "1% - 7%",
+                strFormat("%.1f%%", 100.0 * worst_max_overhead));
+    cmp.addInfo("avg-power claim scope", "same-algorithm comparisons",
+                "VGG-16 (128) excluded: baseline forced to (m)");
+    cmp.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerSim("power/dyn_alexnet_128", [] {
+        auto network = net::buildAlexNet(128);
+        benchmark::DoNotOptimize(
+            runPowerPoint(*network, core::TransferPolicy::Dynamic,
+                          core::AlgoMode::PerformanceOptimal)
+                .maxPowerW);
+    });
+    return benchMain(argc, argv, report);
+}

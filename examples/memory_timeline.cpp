@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Memory timeline dump: run one iteration and emit the GPU pool usage
+ * as a CSV time series (for plotting the sawtooth the vDNN policies
+ * produce versus the baseline's flat line).
+ *
+ * Usage: memory_timeline [policy] > usage.csv
+ *   policy: base | conv | all | dyn   (default all)
+ */
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "core/training_session.hh"
+#include "net/builders.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace vdnn;
+using namespace vdnn::core;
+
+int
+main(int argc, char **argv)
+{
+    std::string policy_name = argc > 1 ? argv[1] : "all";
+    TransferPolicy policy = TransferPolicy::OffloadAll;
+    if (policy_name == "base")
+        policy = TransferPolicy::Baseline;
+    else if (policy_name == "conv")
+        policy = TransferPolicy::OffloadConv;
+    else if (policy_name == "all")
+        policy = TransferPolicy::OffloadAll;
+    else if (policy_name == "dyn")
+        policy = TransferPolicy::Dynamic;
+    else
+        fatal("unknown policy '%s'", policy_name.c_str());
+
+    auto network = net::buildVgg16(64);
+    SessionConfig cfg;
+    cfg.policy = policy;
+    cfg.algoMode = AlgoMode::MemoryOptimal;
+    cfg.iterations = 1;
+    cfg.keepTimeline = true;
+    auto r = runSession(*network, cfg);
+    if (!r.trainable) {
+        std::fprintf(stderr, "cannot train: %s\n", r.failReason.c_str());
+        return 1;
+    }
+
+    std::printf("# %s under %s on Titan X; usage in MiB, time in ms\n",
+                network->name().c_str(), transferPolicyName(policy));
+    std::printf("time_ms,total_mib,managed_mib\n");
+    // Merge the two signals on the total-usage change points.
+    std::size_t mi = 0;
+    double managed = 0.0;
+    for (const auto &s : r.totalTimeline) {
+        while (mi < r.managedTimeline.size() &&
+               r.managedTimeline[mi].when <= s.when) {
+            managed = r.managedTimeline[mi].value;
+            ++mi;
+        }
+        std::printf("%.3f,%.1f,%.1f\n", toMs(s.when),
+                    s.value / double(kMiB), managed / double(kMiB));
+    }
+    std::fprintf(stderr,
+                 "%zu samples; peak %.0f MiB, average %.0f MiB\n",
+                 r.totalTimeline.size(), toMiB(r.maxTotalUsage),
+                 toMiB(r.avgTotalUsage));
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Policy explorer: sweep every (transfer policy, algorithm mode)
+ * combination for a chosen benchmark network and GPU, printing the
+ * memory/performance trade-off surface.
+ *
+ * Usage: policy_explorer [network] [gpu]
+ *   network: alexnet | overfeat | googlenet | vgg16-64 | vgg16-128 |
+ *            vgg16-256 | vgg116 | vgg216 | vgg316 | vgg416  (default
+ *            vgg16-128)
+ *   gpu:     titanx | pascal | k40 | small                (default
+ *            titanx)
+ */
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "core/training_session.hh"
+#include "net/builders.hh"
+#include "stats/table.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace vdnn;
+using namespace vdnn::core;
+
+namespace
+{
+
+std::unique_ptr<net::Network>
+pickNetwork(const std::string &name)
+{
+    if (name == "alexnet")
+        return net::buildAlexNet(128);
+    if (name == "overfeat")
+        return net::buildOverFeat(128);
+    if (name == "googlenet")
+        return net::buildGoogLeNet(128);
+    if (name == "vgg16-64")
+        return net::buildVgg16(64);
+    if (name == "vgg16-128")
+        return net::buildVgg16(128);
+    if (name == "vgg16-256")
+        return net::buildVgg16(256);
+    if (name == "vgg116")
+        return net::buildVggDeep(116, 32);
+    if (name == "vgg216")
+        return net::buildVggDeep(216, 32);
+    if (name == "vgg316")
+        return net::buildVggDeep(316, 32);
+    if (name == "vgg416")
+        return net::buildVggDeep(416, 32);
+    fatal("unknown network '%s'", name.c_str());
+}
+
+gpu::GpuSpec
+pickGpu(const std::string &name)
+{
+    if (name == "titanx")
+        return gpu::titanXMaxwell();
+    if (name == "pascal")
+        return gpu::titanXPascal();
+    if (name == "k40")
+        return gpu::teslaK40();
+    if (name == "small")
+        return gpu::smallGpu4GiB();
+    fatal("unknown gpu '%s'", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string net_name = argc > 1 ? argv[1] : "vgg16-128";
+    std::string gpu_name = argc > 2 ? argv[2] : "titanx";
+
+    auto network = pickNetwork(net_name);
+    gpu::GpuSpec spec = pickGpu(gpu_name);
+    std::printf("network %s on %s (%.1f GB, %.1f TFLOPS)\n",
+                network->name().c_str(), spec.name.c_str(),
+                double(spec.dramCapacity) / 1e9, spec.peakFlops / 1e12);
+
+    struct Point
+    {
+        TransferPolicy policy;
+        AlgoMode mode;
+    };
+    const Point points[] = {
+        {TransferPolicy::Baseline, AlgoMode::MemoryOptimal},
+        {TransferPolicy::Baseline, AlgoMode::PerformanceOptimal},
+        {TransferPolicy::OffloadConv, AlgoMode::MemoryOptimal},
+        {TransferPolicy::OffloadConv, AlgoMode::PerformanceOptimal},
+        {TransferPolicy::OffloadAll, AlgoMode::MemoryOptimal},
+        {TransferPolicy::OffloadAll, AlgoMode::PerformanceOptimal},
+        {TransferPolicy::Dynamic, AlgoMode::PerformanceOptimal},
+    };
+
+    stats::Table table("policy x algorithm sweep");
+    table.setColumns({"config", "trains?", "iteration (ms)",
+                      "max GPU (MiB)", "avg GPU (MiB)",
+                      "offload (MiB)", "stall (ms)"});
+    for (const Point &pt : points) {
+        SessionConfig cfg;
+        cfg.policy = pt.policy;
+        cfg.algoMode = pt.mode;
+        cfg.gpu = spec;
+        auto r = runSession(*network, cfg);
+        std::string name = transferPolicyName(pt.policy);
+        if (pt.policy != TransferPolicy::Dynamic)
+            name += std::string(" ") + algoModeName(pt.mode);
+        if (!r.trainable) {
+            table.addRow({name, "no", "-", "-", "-", "-", "-"});
+            continue;
+        }
+        table.addRow({name, "yes",
+                      stats::Table::cell(toMs(r.iterationTime), 1),
+                      stats::Table::cell(toMiB(r.maxTotalUsage), 0),
+                      stats::Table::cell(toMiB(r.avgTotalUsage), 0),
+                      stats::Table::cell(
+                          toMiB(r.offloadedBytesPerIter), 0),
+                      stats::Table::cell(toMs(r.transferStallTime), 1)});
+    }
+    table.print();
+    return 0;
+}

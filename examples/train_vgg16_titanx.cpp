@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The paper's headline experiment: training VGG-16 with batch size 256
+ * — a ~28 GB workload — on a single 12 GB Titan X.
+ *
+ * The baseline policy cannot even allocate the network; vDNN_dyn
+ * profiles the configuration space and finds a plan that trains it
+ * with a modest performance loss versus a hypothetical GPU with
+ * unlimited memory (the "oracular baseline" of Section V-C).
+ *
+ * Usage: train_vgg16_titanx [batch]
+ */
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "core/training_session.hh"
+#include "dnn/conv_algo.hh"
+#include "net/builders.hh"
+#include "stats/table.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace vdnn;
+using namespace vdnn::core;
+
+int
+main(int argc, char **argv)
+{
+    std::int64_t batch = argc > 1 ? std::atoll(argv[1]) : 256;
+    auto network = net::buildVgg16(batch);
+    std::printf("== %s on NVIDIA Titan X (12 GB) ==\n\n",
+                network->name().c_str());
+
+    // Baseline: network-wide allocation.
+    SessionConfig base_cfg;
+    base_cfg.policy = TransferPolicy::Baseline;
+    base_cfg.algoMode = AlgoMode::PerformanceOptimal;
+    auto base = runSession(*network, base_cfg);
+    std::printf("baseline (p): %s\n",
+                base.trainable
+                    ? strFormat("trains, %.0f ms/iteration",
+                                toMs(base.iterationTime))
+                          .c_str()
+                    : strFormat("FAILS — %s", base.failReason.c_str())
+                          .c_str());
+
+    // Oracular baseline: unlimited memory, for normalization.
+    base_cfg.oracle = true;
+    auto oracle = runSession(*network, base_cfg);
+    std::printf("oracular baseline: %.0f ms/iteration "
+                "(would need %.1f GB)\n\n",
+                toMs(oracle.iterationTime),
+                double(oracle.maxTotalUsage) / 1e9);
+
+    // vDNN_dyn: profile, then train.
+    SessionConfig dyn_cfg;
+    dyn_cfg.policy = TransferPolicy::Dynamic;
+    auto dyn = runSession(*network, dyn_cfg);
+    if (!dyn.trainable) {
+        std::printf("vDNN_dyn: cannot train (%s)\n",
+                    dyn.failReason.c_str());
+        return 1;
+    }
+
+    std::printf("vDNN_dyn profiling passes:\n");
+    for (const auto &trial : dyn.trials) {
+        std::printf("  %-34s %s\n", trial.description.c_str(),
+                    trial.passed
+                        ? strFormat("pass (%.0f ms)",
+                                    toMs(trial.makespan))
+                              .c_str()
+                        : strFormat("fail (%s)",
+                                    trial.failReason.substr(0, 48).c_str())
+                              .c_str());
+    }
+    std::printf("selected plan: %s\n\n", dyn.plan.provenance.c_str());
+
+    // How many CONV layers kept their fastest algorithm?
+    int downgraded = 0;
+    for (net::LayerId id : network->topoOrder()) {
+        if (network->node(id).spec.kind == dnn::LayerKind::Conv &&
+            dyn.plan.algos[std::size_t(id)] ==
+                dnn::kMemoryOptimalAlgo) {
+            ++downgraded;
+        }
+    }
+
+    stats::Table table("result");
+    table.setColumns({"metric", "value"});
+    table.addRow({"iteration latency",
+                  strFormat("%.0f ms", toMs(dyn.iterationTime))});
+    table.addRow({"vs oracular baseline",
+                  strFormat("%.1f%%",
+                            100.0 * double(oracle.featureExtractionTime) /
+                                double(dyn.featureExtractionTime))});
+    table.addRow({"max GPU memory",
+                  strFormat("%.2f GB of 12.9 GB",
+                            double(dyn.maxTotalUsage) / 1e9)});
+    table.addRow({"avg GPU memory",
+                  strFormat("%.2f GB", double(dyn.avgTotalUsage) / 1e9)});
+    table.addRow({"offloaded per iteration",
+                  strFormat("%.1f GB",
+                            double(dyn.offloadedBytesPerIter) / 1e9)});
+    table.addRow({"pinned host memory peak",
+                  strFormat("%.1f GB", double(dyn.hostPeakBytes) / 1e9)});
+    table.addRow({"conv layers at IMPLICIT_GEMM",
+                  strFormat("%d of %d", downgraded,
+                            network->countKind(dnn::LayerKind::Conv))});
+    table.print();
+    return 0;
+}

@@ -1,0 +1,96 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace vdnn
+{
+
+namespace
+{
+bool quietFlag = false;
+} // namespace
+
+std::string
+vstrFormat(const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(size_t(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), size_t(needed));
+}
+
+std::string
+strFormat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vstrFormat(fmt, args);
+    va_end(args);
+    return s;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrFormat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrFormat(fmt, args);
+    va_end(args);
+    throw FatalError(msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quietFlag)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrFormat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quietFlag)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrFormat(fmt, args);
+    va_end(args);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+isQuiet()
+{
+    return quietFlag;
+}
+
+} // namespace vdnn

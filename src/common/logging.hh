@@ -1,0 +1,77 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * Severity model (mirrors gem5 src/base/logging.hh):
+ *  - panic():  an internal invariant was violated (a bug in this
+ *              simulator). Aborts.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, impossible request). Throws
+ *              FatalError so library users and tests can recover.
+ *  - warn():   something is questionable but the run can continue.
+ *  - inform(): plain status output.
+ *
+ * All take printf-style format strings.
+ */
+
+#ifndef VDNN_COMMON_LOGGING_HH
+#define VDNN_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace vdnn
+{
+
+/** Exception thrown by fatal(): unrecoverable *user* error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** strFormat with an explicit va_list. */
+std::string vstrFormat(const char *fmt, va_list args);
+
+/** Internal simulator bug: print and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** User/configuration error: throw FatalError. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Continue-able warning (written to stderr). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Status message (written to stdout). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (benchmarks want clean stdout). */
+void setQuiet(bool quiet);
+
+/** @return true when warn()/inform() are suppressed. */
+bool isQuiet();
+
+} // namespace vdnn
+
+/**
+ * Assert a simulator invariant; violations are simulator bugs and panic.
+ * Enabled in all build types: the simulator's correctness argument rests
+ * on these checks, so they must not compile away in release builds.
+ */
+#define VDNN_ASSERT(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::vdnn::panic("assertion '%s' failed at %s:%d: %s", #cond,       \
+                          __FILE__, __LINE__,                                \
+                          ::vdnn::strFormat(__VA_ARGS__).c_str());           \
+        }                                                                    \
+    } while (0)
+
+#endif // VDNN_COMMON_LOGGING_HH

@@ -1,0 +1,35 @@
+#include "common/random.hh"
+
+#include "common/logging.hh"
+
+namespace vdnn
+{
+
+std::uint64_t
+SplitMix64::next()
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+double
+SplitMix64::nextDouble()
+{
+    // 53 top bits -> [0,1) with full double precision.
+    return double(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::int64_t
+SplitMix64::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    VDNN_ASSERT(lo <= hi, "invalid range [%lld, %lld]",
+                (long long)lo, (long long)hi);
+    std::uint64_t span = std::uint64_t(hi - lo) + 1;
+    if (span == 0)
+        return std::int64_t(next()); // full 64-bit range requested
+    return lo + std::int64_t(next() % span);
+}
+
+} // namespace vdnn

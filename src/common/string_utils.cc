@@ -1,0 +1,75 @@
+#include "common/string_utils.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+#include <cmath>
+
+namespace vdnn
+{
+
+std::string
+formatBytes(Bytes b)
+{
+    double v = double(b);
+    const char *unit = "B";
+    if (std::abs(v) >= double(kGiB)) {
+        v /= double(kGiB);
+        unit = "GiB";
+    } else if (std::abs(v) >= double(kMiB)) {
+        v /= double(kMiB);
+        unit = "MiB";
+    } else if (std::abs(v) >= double(kKiB)) {
+        v /= double(kKiB);
+        unit = "KiB";
+    }
+    return strFormat("%.2f %s", v, unit);
+}
+
+std::string
+formatTime(TimeNs t)
+{
+    double v = double(t);
+    const char *unit = "ns";
+    if (std::abs(v) >= double(kNsPerSec)) {
+        v /= double(kNsPerSec);
+        unit = "s";
+    } else if (std::abs(v) >= double(kNsPerMs)) {
+        v /= double(kNsPerMs);
+        unit = "ms";
+    } else if (std::abs(v) >= double(kNsPerUs)) {
+        v /= double(kNsPerUs);
+        unit = "us";
+    }
+    return strFormat("%.2f %s", v, unit);
+}
+
+std::string
+padLeft(const std::string &s, size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+} // namespace vdnn

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Small string helpers used by the table / report printers.
+ */
+
+#ifndef VDNN_COMMON_STRING_UTILS_HH
+#define VDNN_COMMON_STRING_UTILS_HH
+
+#include <string>
+#include <vector>
+
+namespace vdnn
+{
+
+/** Left-pad @p s with spaces to at least @p width characters. */
+std::string padLeft(const std::string &s, size_t width);
+
+/** Right-pad @p s with spaces to at least @p width characters. */
+std::string padRight(const std::string &s, size_t width);
+
+/** Join @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+} // namespace vdnn
+
+#endif // VDNN_COMMON_STRING_UTILS_HH

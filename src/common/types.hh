@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the vDNN simulator.
+ *
+ * The simulator runs on an integer-nanosecond clock (TimeNs) and accounts
+ * for memory in bytes (Bytes). Both are signed 64-bit so that subtraction
+ * of two values is always well defined; negative values are only ever
+ * legal as transient deltas.
+ */
+
+#ifndef VDNN_COMMON_TYPES_HH
+#define VDNN_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace vdnn
+{
+
+/** Simulated time in integer nanoseconds. */
+using TimeNs = std::int64_t;
+
+/** Memory size / offset in bytes. */
+using Bytes = std::int64_t;
+
+/** Floating point operation count. */
+using Flops = double;
+
+/** Sentinel for "no time" / "unscheduled". */
+inline constexpr TimeNs kTimeNone = -1;
+
+/** Sentinel for an invalid identifier. */
+inline constexpr int kInvalidId = -1;
+
+} // namespace vdnn
+
+#endif // VDNN_COMMON_TYPES_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit constants, literals, and conversion helpers.
+ *
+ * Conventions used throughout the code base:
+ *  - sizes are bytes (Bytes), with KiB/MiB/GiB binary multiples;
+ *  - bandwidths are bytes per second (double);
+ *  - times are integer nanoseconds (TimeNs).
+ */
+
+#ifndef VDNN_COMMON_UNITS_HH
+#define VDNN_COMMON_UNITS_HH
+
+#include "common/types.hh"
+
+#include <cmath>
+#include <string>
+
+namespace vdnn
+{
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+inline constexpr TimeNs kNsPerUs = 1000;
+inline constexpr TimeNs kNsPerMs = 1000 * kNsPerUs;
+inline constexpr TimeNs kNsPerSec = 1000 * kNsPerMs;
+
+namespace literals
+{
+
+constexpr Bytes operator""_KiB(unsigned long long v) { return Bytes(v) * kKiB; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return Bytes(v) * kMiB; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return Bytes(v) * kGiB; }
+
+constexpr TimeNs operator""_ns(unsigned long long v) { return TimeNs(v); }
+constexpr TimeNs operator""_us(unsigned long long v) { return TimeNs(v) * kNsPerUs; }
+constexpr TimeNs operator""_ms(unsigned long long v) { return TimeNs(v) * kNsPerMs; }
+constexpr TimeNs operator""_s(unsigned long long v) { return TimeNs(v) * kNsPerSec; }
+
+} // namespace literals
+
+/** Convert a byte count to (double) mebibytes. */
+inline double
+toMiB(Bytes b)
+{
+    return double(b) / double(kMiB);
+}
+
+/** Convert a byte count to (double) gibibytes. */
+inline double
+toGiB(Bytes b)
+{
+    return double(b) / double(kGiB);
+}
+
+/** Convert integer nanoseconds to (double) milliseconds. */
+inline double
+toMs(TimeNs t)
+{
+    return double(t) / double(kNsPerMs);
+}
+
+/** Convert integer nanoseconds to (double) microseconds. */
+inline double
+toUs(TimeNs t)
+{
+    return double(t) / double(kNsPerUs);
+}
+
+/** Convert integer nanoseconds to (double) seconds. */
+inline double
+toSeconds(TimeNs t)
+{
+    return double(t) / double(kNsPerSec);
+}
+
+/** Convert (double) seconds to integer nanoseconds, rounding to nearest. */
+inline TimeNs
+secondsToNs(double s)
+{
+    return TimeNs(std::llround(s * double(kNsPerSec)));
+}
+
+/**
+ * Time for moving @p bytes at @p bytes_per_sec, rounded up to a whole
+ * nanosecond so a non-empty transfer never takes zero time.
+ */
+inline TimeNs
+transferTimeNs(Bytes bytes, double bytes_per_sec)
+{
+    if (bytes <= 0)
+        return 0;
+    double s = double(bytes) / bytes_per_sec;
+    TimeNs t = TimeNs(std::ceil(s * double(kNsPerSec)));
+    return t > 0 ? t : 1;
+}
+
+/** Human readable byte count, e.g. "11.3 GiB". */
+std::string formatBytes(Bytes b);
+
+/** Human readable duration, e.g. "12.5 ms". */
+std::string formatTime(TimeNs t);
+
+} // namespace vdnn
+
+#endif // VDNN_COMMON_UNITS_HH

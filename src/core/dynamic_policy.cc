@@ -1,0 +1,171 @@
+#include "core/dynamic_policy.hh"
+
+#include "common/logging.hh"
+
+#include <algorithm>
+
+namespace vdnn::core
+{
+
+DynamicPolicy::DynamicPolicy(const net::Network &net_,
+                             const dnn::CudnnSim &cudnn_,
+                             gpu::GpuSpec spec, ExecutorConfig exec_config,
+                             bool contention_)
+    : net(net_), cudnn(cudnn_), gpu(std::move(spec)),
+      execCfg(exec_config), contention(contention_)
+{}
+
+TrialRecord
+DynamicPolicy::trial(const Plan &plan, const std::string &what,
+                     IterationResult *detail)
+{
+    TrialRecord rec;
+    rec.description = what;
+
+    gpu::Runtime rt(gpu, contention);
+    MemoryManager mm(rt);
+    Executor ex(net, cudnn, rt, mm, plan, execCfg);
+    if (!ex.setup()) {
+        rec.passed = false;
+        rec.failReason =
+            strFormat("setup OOM ('%s', requested %lld bytes)",
+                      mm.pool().lastOom().tag.c_str(),
+                      (long long)mm.pool().lastOom().requested);
+        return rec;
+    }
+    IterationResult res = ex.runIteration();
+    rec.passed = res.ok;
+    rec.makespan = res.makespan();
+    rec.failReason = res.failReason;
+    if (detail)
+        *detail = res;
+    ex.teardown();
+    return rec;
+}
+
+Plan
+DynamicPolicy::noOffloadPlan(AlgoMode mode) const
+{
+    // Layer-wise vDNN execution with an empty offload set: feature maps
+    // stay resident, but allocation is still per layer (workspace is
+    // transient, dead buffers are released).
+    Plan plan = makeStaticPlan(net, cudnn, TransferPolicy::OffloadConv,
+                               mode);
+    plan.policy = TransferPolicy::Dynamic;
+    std::fill(plan.offloadBuffer.begin(), plan.offloadBuffer.end(),
+              false);
+    plan.provenance = strFormat("dyn: no offload %s", algoModeName(mode));
+    return plan;
+}
+
+bool
+DynamicPolicy::greedy(TransferPolicy policy, DynamicResult &result)
+{
+    // Start from the fastest algorithm everywhere and locally downgrade
+    // the overflowing layer until the configuration fits (or a
+    // non-workspace allocation fails, which algorithms cannot fix).
+    Plan plan = makeStaticPlan(net, cudnn, policy,
+                               AlgoMode::PerformanceOptimal);
+    plan.algoMode = AlgoMode::PerLayer;
+
+    for (int round = 0; round < kMaxGreedyTrials; ++round) {
+        IterationResult detail;
+        TrialRecord rec =
+            trial(plan,
+                  strFormat("greedy %s round %d",
+                            transferPolicyName(policy), round),
+                  &detail);
+        result.trials.push_back(rec);
+        if (rec.passed) {
+            plan.policy = TransferPolicy::Dynamic;
+            plan.provenance = strFormat(
+                "dyn: greedy %s (%d downgrade rounds)",
+                transferPolicyName(policy), round);
+            result.plan = plan;
+            result.trainable = true;
+            return true;
+        }
+        if (detail.failKind != FailKind::Workspace ||
+            detail.failLayer == net::kInputLayer) {
+            return false; // algorithms cannot fix this overflow
+        }
+        // Downgrade: next fastest algorithm with strictly smaller
+        // workspace than the one that overflowed.
+        const auto &spec = net.node(detail.failLayer).spec;
+        dnn::ConvAlgo cur = plan.algos[std::size_t(detail.failLayer)];
+        Bytes cur_ws = dnn::convWorkspaceBytes(cur, spec);
+        if (cur_ws <= 0)
+            return false; // already at the zero-workspace floor
+        dnn::ConvAlgo next = dnn::kMemoryOptimalAlgo;
+        for (const auto &perf : cudnn.findConvAlgorithms(spec)) {
+            if (perf.workspace < cur_ws) {
+                next = perf.algo;
+                break;
+            }
+        }
+        plan.algos[std::size_t(detail.failLayer)] = next;
+    }
+    return false;
+}
+
+DynamicResult
+DynamicPolicy::derive()
+{
+    DynamicResult result;
+
+    // Pass 1: the least-memory configuration decides trainability.
+    Plan all_m = makeStaticPlan(net, cudnn, TransferPolicy::OffloadAll,
+                                AlgoMode::MemoryOptimal);
+    TrialRecord base = trial(all_m, "vDNN_all (m) trainability probe");
+    result.trials.push_back(base);
+    if (!base.passed) {
+        result.trainable = false;
+        result.plan = all_m;
+        result.plan.policy = TransferPolicy::Dynamic;
+        result.plan.provenance = "dyn: untrainable";
+        return result;
+    }
+
+    // Pass 2: fastest algorithms, no offload — the performance ideal.
+    Plan fast = noOffloadPlan(AlgoMode::PerformanceOptimal);
+    TrialRecord fast_rec = trial(fast, "no offload (p)");
+    result.trials.push_back(fast_rec);
+    if (fast_rec.passed) {
+        result.trainable = true;
+        result.plan = fast;
+        return result;
+    }
+
+    // Pass 3: fastest algorithms with static offload sets.
+    for (TransferPolicy policy :
+         {TransferPolicy::OffloadConv, TransferPolicy::OffloadAll}) {
+        Plan p = makeStaticPlan(net, cudnn, policy,
+                                AlgoMode::PerformanceOptimal);
+        TrialRecord rec =
+            trial(p, strFormat("%s (p)", transferPolicyName(policy)));
+        result.trials.push_back(rec);
+        if (rec.passed) {
+            result.trainable = true;
+            result.plan = p;
+            result.plan.policy = TransferPolicy::Dynamic;
+            result.plan.provenance =
+                strFormat("dyn: %s (p)", transferPolicyName(policy));
+            return result;
+        }
+    }
+
+    // Pass 4: greedy per-layer downgrade under conv, then all.
+    if (greedy(TransferPolicy::OffloadConv, result))
+        return result;
+    if (greedy(TransferPolicy::OffloadAll, result))
+        return result;
+
+    // Pass 5: fall back to the known-good least-memory configuration.
+    result.trainable = true;
+    result.plan = all_m;
+    result.plan.policy = TransferPolicy::Dynamic;
+    result.plan.provenance = "dyn: fallback vDNN_all (m)";
+    return result;
+}
+
+} // namespace vdnn::core

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * vDNN_dyn: the dynamic memory-transfer / algorithm policy
+ * (Section III-C).
+ *
+ * Before real training starts, vDNN_dyn runs a short sequence of
+ * profiling passes (simulated trial iterations — the paper runs real
+ * ones; their cost is negligible against days of training):
+ *
+ *  1. vDNN_all with memory-optimal algorithms: the least-memory
+ *     configuration. If this fails, the network is untrainable.
+ *  2. No offloading with the fastest algorithms: adopted outright if
+ *     it fits — highest performance, no transfer overhead.
+ *  3. vDNN_conv then vDNN_all with the fastest algorithms.
+ *  4. A greedy pass per transfer policy (conv, then all): start from
+ *     the fastest algorithm everywhere; whenever a trial overflows on
+ *     a layer's workspace, locally downgrade that layer to the next
+ *     fastest algorithm with a smaller workspace and retry, bottoming
+ *     out at the zero-workspace IMPLICIT_GEMM.
+ *  5. Fall back to the step-1 configuration.
+ */
+
+#ifndef VDNN_CORE_DYNAMIC_POLICY_HH
+#define VDNN_CORE_DYNAMIC_POLICY_HH
+
+#include "core/executor.hh"
+#include "core/policy.hh"
+#include "dnn/cudnn_sim.hh"
+#include "gpu/gpu_spec.hh"
+#include "net/network.hh"
+
+#include <string>
+#include <vector>
+
+namespace vdnn::core
+{
+
+/** One profiling pass and its outcome. */
+struct TrialRecord
+{
+    std::string description;
+    bool passed = false;
+    TimeNs makespan = 0;
+    std::string failReason;
+};
+
+/** The derived plan plus the profiling history. */
+struct DynamicResult
+{
+    bool trainable = false;
+    Plan plan;
+    std::vector<TrialRecord> trials;
+};
+
+class DynamicPolicy
+{
+  public:
+    DynamicPolicy(const net::Network &net, const dnn::CudnnSim &cudnn,
+                  gpu::GpuSpec spec, ExecutorConfig exec_config = {},
+                  bool contention = true);
+
+    /** Run the profiling passes and derive the execution plan. */
+    DynamicResult derive();
+
+    /** Maximum trial iterations in the greedy downgrade loop. */
+    static constexpr int kMaxGreedyTrials = 256;
+
+  private:
+    TrialRecord trial(const Plan &plan, const std::string &what,
+                      IterationResult *detail = nullptr);
+    Plan noOffloadPlan(AlgoMode mode) const;
+    bool greedy(TransferPolicy policy, DynamicResult &result);
+
+    const net::Network &net;
+    const dnn::CudnnSim &cudnn;
+    gpu::GpuSpec gpu;
+    ExecutorConfig execCfg;
+    bool contention;
+};
+
+} // namespace vdnn::core
+
+#endif // VDNN_CORE_DYNAMIC_POLICY_HH

@@ -1,0 +1,711 @@
+#include "core/executor.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+#include <algorithm>
+
+namespace vdnn::core
+{
+
+using dnn::LayerKind;
+using gpu::CopyDir;
+
+Executor::Executor(const net::Network &net_, const dnn::CudnnSim &cudnn_,
+                   gpu::Runtime &runtime, MemoryManager &mm_,
+                   const Plan &plan, ExecutorConfig config)
+    : net(net_), cudnn(cudnn_), rt(runtime), mm(mm_), execPlan(plan),
+      cfg(config), stats(net_, cudnn_)
+{
+    VDNN_ASSERT(net.finalized(), "network must be finalized");
+    VDNN_ASSERT(execPlan.algos.size() == net.numLayers(),
+                "plan algo assignment size mismatch");
+    VDNN_ASSERT(execPlan.offloadBuffer.size() == net.numBuffers(),
+                "plan offload vector size mismatch");
+    streamCompute = rt.createStream("stream_compute");
+    streamMemory = rt.createStream("stream_memory");
+
+    // Map each layer to the buffers it is the last backward user of.
+    bwdReleaseAt.assign(net.numLayers(), {});
+    for (net::BufferId b = 0; b < net::BufferId(net.numBuffers()); ++b) {
+        net::LayerId last = net.lastBwdUser(b);
+        if (last != net::kInputLayer)
+            bwdReleaseAt[std::size_t(last)].push_back(b);
+    }
+    staticBuffers.assign(net.numBuffers(), false);
+}
+
+// --- setup -------------------------------------------------------------------
+
+bool
+Executor::allocPersistent(Bytes bytes, const std::string &tag,
+                          bool managed)
+{
+    if (bytes <= 0)
+        return true;
+    auto a = mm.allocDevice(bytes, tag, managed);
+    if (!a)
+        return false;
+    persistent.push_back(TaggedAlloc{*a, managed});
+    return true;
+}
+
+bool
+Executor::setup()
+{
+    VDNN_ASSERT(!setupDone, "setup() called twice");
+
+    // Weights: W per layer, resident for the whole run. Weight
+    // gradients use a single shared max-size buffer per region, with
+    // updates applied in place during backward (Section IV-A).
+    Bytes max_dw_managed = 0;
+    Bytes max_dw_classifier = 0;
+    bool ok = true;
+    for (net::LayerId id : net.topoOrder()) {
+        const net::LayerNode &n = net.node(id);
+        Bytes w = n.spec.weightBytes();
+        if (w <= 0)
+            continue;
+        ok = ok && allocPersistent(w, "W:" + n.spec.name, !n.classifier);
+        (n.classifier ? max_dw_classifier : max_dw_managed) =
+            std::max(n.classifier ? max_dw_classifier : max_dw_managed, w);
+    }
+    ok = ok && allocPersistent(max_dw_managed, "dW:shared", true);
+    ok = ok && allocPersistent(max_dw_classifier, "dW:classifier", false);
+
+    staticBuffers.assign(net.numBuffers(), false);
+    if (isBaseline()) {
+        ok = ok && setupBaseline();
+    } else {
+        // The classifier tail is executed by unmodified cuBLAS code
+        // (Section IV-A): its activations and gradient maps live in a
+        // static region untouched by vDNN.
+        for (net::BufferId b = 0; ok && b < net::BufferId(net.numBuffers());
+             ++b) {
+            if (!net.buffer(b).classifier)
+                continue;
+            ok = ok && mm.allocBuffer(net, b);
+            staticBuffers[std::size_t(b)] = ok;
+        }
+        ok = ok &&
+             allocPersistent(stats.peakGradientBytesScoped(
+                                 net::NetworkStats::GradScope::Classifier),
+                             "grad:classifier", false);
+    }
+
+    if (!ok) {
+        teardownPartial();
+        return false;
+    }
+    persistentTotal = mm.pool().usedBytes();
+    setupDone = true;
+    return true;
+}
+
+bool
+Executor::setupBaseline()
+{
+    // Network-wide allocation (Section II-C): every feature-map buffer,
+    // the minimal reused gradient buffers, and one workspace buffer
+    // sized to the network maximum.
+    bool ok = true;
+    for (net::BufferId b = 0; ok && b < net::BufferId(net.numBuffers());
+         ++b) {
+        ok = ok && mm.allocBuffer(net, b);
+        staticBuffers[std::size_t(b)] = ok;
+    }
+    ok = ok && allocPersistent(stats.peakGradientBytesScoped(
+                                   net::NetworkStats::GradScope::Managed),
+                               "grad:shared", true);
+    ok = ok && allocPersistent(stats.peakGradientBytesScoped(
+                                   net::NetworkStats::GradScope::Classifier),
+                               "grad:classifier", false);
+    ok = ok && allocPersistent(
+                   stats.maxWorkspaceBytes(execPlan.algos, false),
+                   "ws:shared", true);
+    buffersStatic = ok;
+    return ok;
+}
+
+void
+Executor::teardownPartial()
+{
+    for (net::BufferId b = 0; b < net::BufferId(net.numBuffers()); ++b) {
+        if (std::size_t(b) < staticBuffers.size() &&
+            staticBuffers[std::size_t(b)]) {
+            mm.releaseBuffer(net, b);
+            staticBuffers[std::size_t(b)] = false;
+        }
+    }
+    for (const TaggedAlloc &a : persistent)
+        mm.releaseDevice(a.alloc, a.managed);
+    persistent.clear();
+    buffersStatic = false;
+}
+
+void
+Executor::teardown()
+{
+    VDNN_ASSERT(setupDone, "teardown() without setup()");
+    teardownPartial();
+    setupDone = false;
+    persistentTotal = 0;
+}
+
+// --- kernel launches -----------------------------------------------------------
+
+void
+Executor::launch(const std::string &name, const dnn::OpCost &cost)
+{
+    gpu::KernelDesc k;
+    k.name = name;
+    k.duration = cost.time;
+    k.flops = cost.flops;
+    k.dramBytes = cost.dramBytes;
+    rt.launchKernel(streamCompute, k);
+}
+
+void
+Executor::launchForwardKernels(net::LayerId id)
+{
+    const auto &spec = net.node(id).spec;
+    if (spec.kind == LayerKind::Conv) {
+        launch("fwd:" + spec.name,
+               cudnn.perf().convForward(
+                   spec, execPlan.algos[std::size_t(id)]));
+    } else {
+        launch("fwd:" + spec.name, cudnn.perf().forward(spec));
+    }
+}
+
+void
+Executor::launchBackwardKernels(net::LayerId id)
+{
+    const net::LayerNode &n = net.node(id);
+    const auto &spec = n.spec;
+    if (spec.kind == LayerKind::Conv) {
+        dnn::ConvAlgo algo = execPlan.algos[std::size_t(id)];
+        launch("bwdF:" + spec.name,
+               cudnn.perf().convBackwardFilter(spec, algo));
+        // Data gradients are skipped for layers fed by the network
+        // input: nobody consumes the input image gradient.
+        if (n.xBuffer != net.inputBuffer()) {
+            launch("bwdD:" + spec.name,
+                   cudnn.perf().convBackwardData(spec, algo));
+        }
+    } else {
+        launch("bwd:" + spec.name, cudnn.perf().backward(spec));
+    }
+}
+
+// --- gradient buffers -------------------------------------------------------------
+
+bool
+Executor::gradientLive(net::BufferId b) const
+{
+    return gradients.count(b) != 0;
+}
+
+bool
+Executor::allocGradient(net::BufferId b)
+{
+    const net::Buffer &buf = net.buffer(b);
+    if (buffersStatic || buf.classifier)
+        return true; // served by the static gradient region
+    if (gradients.count(b))
+        return true;
+    auto a = mm.allocDevice(buf.bytes(), strFormat("grad:%d", b), true);
+    if (!a)
+        return false;
+    gradients.emplace(b, TaggedAlloc{*a, true});
+    return true;
+}
+
+void
+Executor::releaseGradient(net::BufferId b)
+{
+    auto it = gradients.find(b);
+    if (it == gradients.end())
+        return;
+    mm.releaseDevice(it->second.alloc, it->second.managed);
+    gradients.erase(it);
+}
+
+// --- transfers ----------------------------------------------------------------------
+
+bool
+Executor::evictUnconsumedPrefetches(Bytes need, net::LayerId curr)
+{
+    // Candidates: buffers brought back by an (opportunistic) prefetch
+    // whose first backward use is still ahead of the current layer.
+    // Dropping their device copy is free because the pinned host copy
+    // is still valid; they will be re-fetched later.
+    int curr_topo = net.node(curr).topoIndex;
+    bool evicted_any = false;
+    for (net::BufferId b = 0; b < net::BufferId(net.numBuffers()); ++b) {
+        if (mm.pool().largestFreeBlock() >= need)
+            break;
+        if (!prefetchState || !prefetchState->prefetched[std::size_t(b)])
+            continue;
+        if (mm.residence(b) != Residence::Device || !mm.hostCopyValid(b))
+            continue;
+        const net::Buffer &buf = net.buffer(b);
+        if (buf.bwdUsers.empty())
+            continue;
+        int first_use_topo = net.node(buf.bwdUsers.back()).topoIndex;
+        if (first_use_topo >= curr_topo)
+            continue; // in use by this or an already-running layer
+        mm.evictToHost(net, b);
+        prefetchState->prefetched[std::size_t(b)] = false;
+        evicted_any = true;
+    }
+    return evicted_any;
+}
+
+bool
+Executor::ensureResident(net::BufferId b, net::LayerId curr,
+                         IterationResult &result)
+{
+    switch (mm.residence(b)) {
+      case Residence::Device:
+      case Residence::Offloading: // device copy still valid
+        return true;
+      case Residence::Host: {
+        // On-demand fetch: the serialized path prefetching tries to
+        // avoid (Section III-A). The backward pass blocks until the
+        // copy lands.
+        if (!mm.beginPrefetch(net, b)) {
+            if (!evictUnconsumedPrefetches(net.buffer(b).bytes(), curr) ||
+                !mm.beginPrefetch(net, b)) {
+                return false;
+            }
+        }
+        TimeNs t0 = rt.now();
+        rt.memcpyAsync(streamMemory, net.buffer(b).bytes(),
+                       CopyDir::HostToDevice,
+                       strFormat("fetch:%d", b));
+        rt.synchronize(streamMemory);
+        mm.finishPrefetch(b);
+        result.transferStallTime += rt.now() - t0;
+        ++result.onDemandFetches;
+        if (prefetchState)
+            prefetchState->prefetched[std::size_t(b)] = true;
+        return true;
+      }
+      case Residence::Prefetching:
+        // In flight on stream_memory; wait for it.
+        rt.synchronize(streamMemory);
+        mm.finishPrefetch(b);
+        return true;
+      case Residence::Unallocated:
+        panic("buffer %d needed but unallocated (buffer of layer flow "
+              "'%s')",
+              b, net.name().c_str());
+    }
+    return false;
+}
+
+void
+Executor::processDeferredReleases(bool force)
+{
+    // Asynchronous-release mode (ablation): offloaded device copies are
+    // released at the first synchronization point after their copy
+    // completes, instead of stalling the layer boundary.
+    auto it = deferredReleases.begin();
+    while (it != deferredReleases.end()) {
+        if (force || rt.eventFired(it->second)) {
+            if (force)
+                rt.synchronize(streamMemory);
+            mm.finishOffload(net, it->first);
+            it = deferredReleases.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Executor::abortIteration(IterationResult &result, const std::string &why,
+                         FailKind kind, net::LayerId layer)
+{
+    result.ok = false;
+    result.failReason = why;
+    result.failKind = kind;
+    result.failLayer = layer;
+    // Drain all in-flight work so state machines can be forced down.
+    rt.deviceSynchronize();
+    deferredReleases.clear();
+    for (auto &[b, alloc] : gradients)
+        mm.releaseDevice(alloc.alloc, alloc.managed);
+    gradients.clear();
+    for (net::BufferId b = 0; b < net::BufferId(net.numBuffers()); ++b) {
+        if (!staticBuffers[std::size_t(b)])
+            mm.forceRelease(net, b);
+    }
+    result.end = rt.now();
+}
+
+// --- forward ------------------------------------------------------------------------
+
+bool
+Executor::forwardLayer(net::LayerId id, IterationResult &result)
+{
+    const net::LayerNode &n = net.node(id);
+    const auto &spec = n.spec;
+    TimeNs t_layer_start = rt.now();
+
+    // Input feature maps must be device-resident during forward
+    // propagation (they are only ever offloaded by their last reader).
+    for (net::LayerId in_id : n.inputs) {
+        net::BufferId b = in_id == net::kInputLayer ? net.inputBuffer()
+                                                    : net.node(in_id).yBuffer;
+        Residence r = mm.residence(b);
+        VDNN_ASSERT(r == Residence::Device,
+                    "fwd '%s': input buffer %d not resident (state %d)",
+                    spec.name.c_str(), b, int(r));
+    }
+
+    // Allocate the output feature maps (in-place layers reuse X).
+    if (!spec.inPlace() &&
+        mm.residence(n.yBuffer) == Residence::Unallocated) {
+        if (!mm.allocBuffer(net, n.yBuffer)) {
+            abortIteration(result,
+                           strFormat("OOM allocating Y of '%s' (%s)",
+                                     spec.name.c_str(),
+                                     formatBytes(net.buffer(n.yBuffer)
+                                                     .bytes())
+                                         .c_str()),
+                           FailKind::FeatureMap, id);
+            return false;
+        }
+    }
+
+    // Convolution workspace for the chosen algorithm.
+    std::optional<TaggedAlloc> ws;
+    Bytes ws_bytes =
+        spec.kind == LayerKind::Conv && !buffersStatic
+            ? dnn::convWorkspaceBytes(execPlan.algos[std::size_t(id)],
+                                      spec)
+            : 0;
+    if (ws_bytes > 0) {
+        auto a = mm.allocDevice(ws_bytes, "ws:" + spec.name,
+                                !n.classifier);
+        if (!a) {
+            abortIteration(result,
+                           strFormat("OOM allocating workspace of '%s' "
+                                     "(%s)",
+                                     spec.name.c_str(),
+                                     formatBytes(ws_bytes).c_str()),
+                           FailKind::Workspace, id);
+            return false;
+        }
+        ws = TaggedAlloc{*a, !n.classifier};
+    }
+
+    launchForwardKernels(id);
+
+    // Offload: issued by the last forward consumer of each input buffer
+    // (the refcount rule of Fig. 3), overlapped with this layer's own
+    // forward computation on stream_memory.
+    std::vector<net::BufferId> offloading;
+    if (!isBaseline()) {
+        for (net::LayerId in_id : n.inputs) {
+            net::BufferId b = in_id == net::kInputLayer
+                                  ? net.inputBuffer()
+                                  : net.node(in_id).yBuffer;
+            if (!execPlan.offloadBuffer[std::size_t(b)])
+                continue;
+            if (net.buffer(b).lastFwdReader != id)
+                continue;
+            if (std::find(offloading.begin(), offloading.end(), b) !=
+                offloading.end()) {
+                continue;
+            }
+            if (!mm.beginOffload(net, b)) {
+                warn("host memory exhausted; keeping buffer %d resident",
+                     b);
+                continue;
+            }
+            rt.memcpyAsync(streamMemory, net.buffer(b).bytes(),
+                           CopyDir::DeviceToHost,
+                           strFormat("offload:%d", b));
+            offloading.push_back(b);
+            prefetchState->offloaded[std::size_t(b)] = true;
+            ++result.offloads;
+            result.offloadedBytes += net.buffer(b).bytes();
+        }
+    }
+
+    // Layer boundary: wait for the computation, and (by default) for
+    // the offload so the device copy is released before the next layer
+    // starts — maximizing the memory saving at the cost of the Fig. 9
+    // "wasted time" when the offload outlives the computation.
+    rt.synchronize(streamCompute);
+    if (!offloading.empty()) {
+        if (cfg.syncAtLayerBoundary) {
+            TimeNs t_compute_done = rt.now();
+            rt.synchronize(streamMemory);
+            result.transferStallTime += rt.now() - t_compute_done;
+            for (net::BufferId b : offloading)
+                mm.finishOffload(net, b);
+        } else {
+            for (net::BufferId b : offloading) {
+                gpu::CudaEventId ev = rt.createEvent();
+                rt.recordEvent(streamMemory, ev);
+                deferredReleases.emplace_back(b, ev);
+            }
+        }
+    }
+    processDeferredReleases(false);
+
+    if (ws)
+        mm.releaseDevice(ws->alloc, ws->managed);
+
+    // Aggressive release: buffers whose last reader has executed and
+    // that are not reused by backward propagation are freed outright.
+    if (!buffersStatic) {
+        for (net::LayerId in_id : n.inputs) {
+            net::BufferId b = in_id == net::kInputLayer
+                                  ? net.inputBuffer()
+                                  : net.node(in_id).yBuffer;
+            if (--remainingReaders[std::size_t(b)] > 0)
+                continue;
+            const net::Buffer &buf = net.buffer(b);
+            if (buf.bwdUsers.empty() && !buf.classifier &&
+                mm.residence(b) == Residence::Device) {
+                mm.releaseBuffer(net, b);
+            }
+        }
+    }
+
+    LayerTiming t;
+    t.id = id;
+    t.fwdStart = t_layer_start;
+    t.fwdEnd = rt.now();
+    result.layers[std::size_t(id)] = t;
+    if (n.classifier)
+        result.classifierTime += t.fwdEnd - t.fwdStart;
+    return true;
+}
+
+// --- backward ------------------------------------------------------------------------
+
+bool
+Executor::backwardLayer(net::LayerId id, IterationResult &result)
+{
+    const net::LayerNode &n = net.node(id);
+    const auto &spec = n.spec;
+    TimeNs t_layer_start = rt.now();
+
+    // Residency: the layer's backward pass needs X and/or Y (Section
+    // III-A); offloaded data must be fetched back before the kernels.
+    if (!buffersStatic) {
+        std::vector<net::BufferId> needed;
+        if (spec.backwardNeedsX()) {
+            for (net::LayerId in_id : n.inputs) {
+                needed.push_back(in_id == net::kInputLayer
+                                     ? net.inputBuffer()
+                                     : net.node(in_id).yBuffer);
+            }
+        }
+        if (spec.backwardNeedsY())
+            needed.push_back(n.yBuffer);
+        for (net::BufferId b : needed) {
+            // A buffer prefetched during *this* layer cannot serve this
+            // layer's own kernels without waiting; that only happens in
+            // the degenerate single-layer-window case.
+            if (!ensureResident(b, id, result)) {
+                abortIteration(
+                    result,
+                    strFormat("OOM fetching buffer %d for '%s' backward",
+                              b, spec.name.c_str()),
+                    FailKind::Fetch, id);
+                return false;
+            }
+        }
+
+        // Gradient maps: dY must exist (allocated by this buffer's
+        // consumers, or seeded here for the terminal loss layer); dX is
+        // allocated on demand. The network input receives no gradient.
+        auto grad_with_recovery = [&](net::BufferId b) {
+            if (allocGradient(b))
+                return true;
+            if (!evictUnconsumedPrefetches(net.buffer(b).bytes(), id))
+                return false;
+            ++result.prefetchEvictions;
+            return allocGradient(b);
+        };
+        if (!grad_with_recovery(n.yBuffer)) {
+            abortIteration(result,
+                           strFormat("OOM allocating dY of '%s'",
+                                     spec.name.c_str()),
+                           FailKind::Gradient, id);
+            return false;
+        }
+        for (net::LayerId in_id : n.inputs) {
+            if (in_id == net::kInputLayer)
+                continue;
+            if (!grad_with_recovery(net.node(in_id).yBuffer)) {
+                abortIteration(result,
+                               strFormat("OOM allocating dX of '%s'",
+                                         spec.name.c_str()),
+                               FailKind::Gradient, id);
+                return false;
+            }
+        }
+    }
+
+    // Backward convolution workspace.
+    std::optional<TaggedAlloc> ws;
+    Bytes ws_bytes =
+        spec.kind == LayerKind::Conv && !buffersStatic
+            ? dnn::convWorkspaceBytes(execPlan.algos[std::size_t(id)],
+                                      spec)
+            : 0;
+    if (ws_bytes > 0) {
+        auto a = mm.allocDevice(ws_bytes, "ws:" + spec.name,
+                                !n.classifier);
+        if (!a && evictUnconsumedPrefetches(ws_bytes, id)) {
+            ++result.prefetchEvictions;
+            a = mm.allocDevice(ws_bytes, "ws:" + spec.name,
+                               !n.classifier);
+        }
+        if (!a) {
+            abortIteration(result,
+                           strFormat("OOM allocating bwd workspace of "
+                                     "'%s' (%s)",
+                                     spec.name.c_str(),
+                                     formatBytes(ws_bytes).c_str()),
+                           FailKind::Workspace, id);
+            return false;
+        }
+        ws = TaggedAlloc{*a, !n.classifier};
+    }
+
+    // Prefetch: with the layer's mandatory allocations in place, search
+    // for the best preceding layer to prefetch (Fig. 10) and overlap
+    // its H2D copy with this layer's backward kernels. The prefetch is
+    // opportunistic: when the pool cannot host the target yet (memory
+    // is at its tightest around the first conv groups' backward pass),
+    // it falls back to a later on-demand fetch instead of failing the
+    // iteration.
+    std::vector<net::BufferId> prefetching;
+    if (!isBaseline() && cfg.prefetchEnabled) {
+        PrefetchCandidate cand = findPrefetchLayer(
+            net, id, *prefetchState, cfg.prefetchWindowBounded);
+        for (net::BufferId b : cand.buffers) {
+            if (mm.residence(b) != Residence::Host) {
+                continue; // already fetched on demand earlier
+            }
+            if (!mm.beginPrefetch(net, b)) {
+                // No room yet; fall back to a later on-demand fetch.
+                prefetchState->prefetched[std::size_t(b)] = false;
+                continue;
+            }
+            rt.memcpyAsync(streamMemory, net.buffer(b).bytes(),
+                           CopyDir::HostToDevice,
+                           strFormat("prefetch:%d", b));
+            prefetching.push_back(b);
+            ++result.prefetches;
+        }
+    }
+
+    TimeNs t_kernels = rt.now();
+    launchBackwardKernels(id);
+
+    // Layer boundary: wait for computation and any prefetch launched
+    // during it, guaranteeing the prefetched data is ready before the
+    // preceding layer's backward computation (Section III-B).
+    rt.synchronize(streamCompute);
+    if (!prefetching.empty()) {
+        TimeNs t_compute_done = rt.now();
+        rt.synchronize(streamMemory);
+        result.transferStallTime += rt.now() - t_compute_done;
+        for (net::BufferId b : prefetching)
+            mm.finishPrefetch(b);
+    }
+    processDeferredReleases(false);
+
+    if (ws)
+        mm.releaseDevice(ws->alloc, ws->managed);
+
+    if (!buffersStatic) {
+        // dY fully consumed once this buffer's producer has run.
+        if (net.buffer(n.yBuffer).producer == id)
+            releaseGradient(n.yBuffer);
+        // Feature maps whose last backward user just executed are
+        // released immediately (Fig. 8).
+        for (net::BufferId b : bwdReleaseAt[std::size_t(id)]) {
+            if (!staticBuffers[std::size_t(b)] &&
+                mm.residence(b) == Residence::Device) {
+                mm.releaseBuffer(net, b);
+            }
+        }
+    }
+
+    LayerTiming &t = result.layers[std::size_t(id)];
+    t.bwdStart = t_kernels;
+    t.bwdEnd = rt.now();
+    if (n.classifier)
+        result.classifierTime += t.bwdEnd - t_layer_start;
+    return true;
+}
+
+// --- iteration driver ---------------------------------------------------------------
+
+IterationResult
+Executor::runIteration()
+{
+    VDNN_ASSERT(setupDone, "runIteration() before setup()");
+
+    IterationResult result;
+    result.layers.assign(net.numLayers(), LayerTiming{});
+    gradients.clear();
+    deferredReleases.clear();
+    remainingReaders.assign(net.numBuffers(), 0);
+    for (net::BufferId b = 0; b < net::BufferId(net.numBuffers()); ++b)
+        remainingReaders[std::size_t(b)] = net.buffer(b).refCount;
+    prefetchState.emplace(net.numBuffers());
+
+    result.start = rt.now();
+
+    // Materialize the input batch (static under the baseline policy).
+    if (!buffersStatic &&
+        mm.residence(net.inputBuffer()) == Residence::Unallocated) {
+        if (!mm.allocBuffer(net, net.inputBuffer())) {
+            abortIteration(result, "OOM allocating the input batch",
+                           FailKind::FeatureMap, net::kInputLayer);
+            return result;
+        }
+    }
+
+    for (net::LayerId id : net.topoOrder()) {
+        if (!forwardLayer(id, result))
+            return result;
+    }
+    // Any deferred (asynchronous) offload releases must land before
+    // backward propagation starts reusing the buffers.
+    processDeferredReleases(true);
+    for (auto it = net.topoOrder().rbegin(); it != net.topoOrder().rend();
+         ++it) {
+        if (!backwardLayer(*it, result))
+            return result;
+    }
+
+    processDeferredReleases(true);
+    rt.deviceSynchronize();
+    result.end = rt.now();
+
+    // Steady-state invariant: everything allocated inside the iteration
+    // has been returned to the pool.
+    VDNN_ASSERT(gradients.empty(), "gradient buffers leaked");
+    VDNN_ASSERT(mm.pool().usedBytes() == persistentTotal,
+                "pool usage %lld != persistent %lld after iteration",
+                (long long)mm.pool().usedBytes(),
+                (long long)persistentTotal);
+
+    result.ok = true;
+    return result;
+}
+
+} // namespace vdnn::core

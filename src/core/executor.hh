@@ -1,0 +1,226 @@
+/**
+ * @file
+ * The vDNN training-iteration executor (Sections III-A and III-B).
+ *
+ * Runs one forward+backward pass of a network on the simulated CUDA
+ * runtime, orchestrating two streams exactly as the paper's prototype:
+ *
+ *  - stream_compute sequences all layer kernels (cuDNN / cuBLAS);
+ *  - stream_memory performs offload (D2H) and prefetch (H2D) DMAs.
+ *
+ * Forward, per layer: allocate Y and workspace from the cnmem pool,
+ * launch the kernel; if the policy offloads the layer's input feature
+ * maps and this layer is their last consumer (refcount rule, Fig. 3),
+ * launch the offload concurrently and synchronize both streams at the
+ * layer boundary, then release the device copy. Workspace is released
+ * after the layer completes; buffers with no backward reuse are
+ * aggressively released.
+ *
+ * Backward, per layer (reverse order): findPrefetchLayer (Fig. 10)
+ * launches an overlapped prefetch; missing inputs are fetched on demand
+ * (serialized, the case prefetching exists to avoid); gradient maps are
+ * allocated on demand and released as soon as their consumer finishes;
+ * Y/dY are released once the layer's backward completes (Fig. 8).
+ *
+ * The Baseline policy instead allocates the whole network statically at
+ * setup (Section II-C) and performs no memory traffic.
+ */
+
+#ifndef VDNN_CORE_EXECUTOR_HH
+#define VDNN_CORE_EXECUTOR_HH
+
+#include "core/memory_manager.hh"
+#include "core/policy.hh"
+#include "core/prefetch.hh"
+#include "dnn/cudnn_sim.hh"
+#include "gpu/runtime.hh"
+#include "net/network.hh"
+#include "net/network_stats.hh"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vdnn::core
+{
+
+/** Executor knobs (defaults reproduce the paper's design). */
+struct ExecutorConfig
+{
+    /**
+     * Release offloaded buffers at the owning layer's boundary by
+     * synchronizing both streams (the paper's design). false defers the
+     * release to the next synchronization point after the copy
+     * completes (asynchronous release; ablation study).
+     */
+    bool syncAtLayerBoundary = true;
+    /** Enable overlapped prefetching (false: on-demand fetches only). */
+    bool prefetchEnabled = true;
+    /** Bound the prefetch search window at the next CONV layer. */
+    bool prefetchWindowBounded = true;
+};
+
+/** Wall-clock window of one layer's kernels within the iteration. */
+struct LayerTiming
+{
+    net::LayerId id = -1;
+    TimeNs fwdStart = 0;
+    TimeNs fwdEnd = 0;
+    TimeNs bwdStart = 0;
+    TimeNs bwdEnd = 0;
+
+    TimeNs fwdLatency() const { return fwdEnd - fwdStart; }
+    TimeNs bwdLatency() const { return bwdEnd - bwdStart; }
+    /** Fig. 6 reuse distance: end of forward to start of backward. */
+    TimeNs reuseDistance() const { return bwdStart - fwdEnd; }
+};
+
+/** What kind of allocation failed an iteration (for vDNN_dyn). */
+enum class FailKind
+{
+    None,
+    Workspace,
+    FeatureMap,
+    Gradient,
+    Fetch,
+};
+
+/** Outcome of one training iteration. */
+struct IterationResult
+{
+    bool ok = false;
+    std::string failReason;
+    FailKind failKind = FailKind::None;
+    net::LayerId failLayer = net::kInputLayer;
+
+    TimeNs start = 0;
+    TimeNs end = 0;
+    TimeNs makespan() const { return end - start; }
+
+    /** Portion of the makespan spent in classifier layers. */
+    TimeNs classifierTime = 0;
+    /** Feature-extraction-only latency (the paper's Fig. 14 metric). */
+    TimeNs featureExtractionTime() const
+    {
+        return makespan() - classifierTime;
+    }
+
+    /** Time stream_compute spent stalled on stream_memory transfers. */
+    TimeNs transferStallTime = 0;
+
+    Bytes offloadedBytes = 0;
+    int offloads = 0;
+    int prefetches = 0;
+    int onDemandFetches = 0;
+    /** Prefetched device copies dropped again under memory pressure. */
+    int prefetchEvictions = 0;
+
+    std::vector<LayerTiming> layers;
+};
+
+class Executor
+{
+  public:
+    Executor(const net::Network &net, const dnn::CudnnSim &cudnn,
+             gpu::Runtime &runtime, MemoryManager &mm, const Plan &plan,
+             ExecutorConfig config = {});
+
+    /**
+     * Allocate the persistent state: weights, the shared dW buffer, the
+     * classifier block, and — for the Baseline policy — the full
+     * network-wide allocation (all feature maps, reused gradient
+     * buffers, shared max workspace).
+     * @return false when the pool cannot hold it (untrainable).
+     */
+    bool setup();
+
+    /** Run one forward+backward pass. Requires a successful setup(). */
+    IterationResult runIteration();
+
+    /** Release the persistent state. */
+    void teardown();
+
+    /** Persistent footprint allocated by setup(). */
+    Bytes persistentBytes() const { return persistentTotal; }
+
+    const Plan &plan() const { return execPlan; }
+
+  private:
+    struct TaggedAlloc
+    {
+        mem::Allocation alloc;
+        bool managed = false;
+    };
+
+    // --- setup helpers ------------------------------------------------------
+    bool allocPersistent(Bytes bytes, const std::string &tag,
+                         bool managed);
+    bool setupBaseline();
+    void teardownPartial();
+
+    // --- iteration phases ----------------------------------------------------
+    bool forwardLayer(net::LayerId id, IterationResult &result);
+    bool backwardLayer(net::LayerId id, IterationResult &result);
+
+    // --- kernel launch helpers -----------------------------------------------
+    void launchForwardKernels(net::LayerId id);
+    void launchBackwardKernels(net::LayerId id);
+    void launch(const std::string &name, const dnn::OpCost &cost);
+
+    // --- memory helpers -----------------------------------------------------
+    bool ensureResident(net::BufferId b, net::LayerId curr,
+                        IterationResult &result);
+    /**
+     * Memory-pressure recovery: evict prefetched-but-unconsumed buffers
+     * (device copy dropped for free; the pinned host copy is still
+     * valid) until a block of @p need bytes could fit, so mandatory
+     * allocations win over opportunistic prefetches.
+     * @return true if anything was evicted
+     */
+    bool evictUnconsumedPrefetches(Bytes need, net::LayerId curr);
+    bool allocGradient(net::BufferId b);
+    void releaseGradient(net::BufferId b);
+    bool gradientLive(net::BufferId b) const;
+    void processDeferredReleases(bool force);
+    void abortIteration(IterationResult &result, const std::string &why,
+                        FailKind kind = FailKind::None,
+                        net::LayerId layer = net::kInputLayer);
+
+    bool isBaseline() const
+    {
+        return execPlan.policy == TransferPolicy::Baseline;
+    }
+
+    const net::Network &net;
+    const dnn::CudnnSim &cudnn;
+    gpu::Runtime &rt;
+    MemoryManager &mm;
+    Plan execPlan;
+    ExecutorConfig cfg;
+    net::NetworkStats stats;
+
+    gpu::StreamId streamCompute = -1;
+    gpu::StreamId streamMemory = -1;
+
+    bool setupDone = false;
+    std::vector<TaggedAlloc> persistent;
+    Bytes persistentTotal = 0;
+    /** Baseline only: every buffer is pre-materialized. */
+    bool buffersStatic = false;
+    /** Buffers materialized at setup (classifier block / baseline). */
+    std::vector<bool> staticBuffers;
+    /** Per layer: buffers whose last backward user is that layer. */
+    std::vector<std::vector<net::BufferId>> bwdReleaseAt;
+
+    // Per-iteration state.
+    std::unordered_map<net::BufferId, TaggedAlloc> gradients;
+    std::vector<std::pair<net::BufferId, gpu::CudaEventId>>
+        deferredReleases;
+    std::vector<int> remainingReaders; // forward refcounts, per buffer
+    std::optional<PrefetchState> prefetchState;
+};
+
+} // namespace vdnn::core
+
+#endif // VDNN_CORE_EXECUTOR_HH

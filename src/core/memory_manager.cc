@@ -1,0 +1,216 @@
+#include "core/memory_manager.hh"
+
+#include "common/logging.hh"
+
+namespace vdnn::core
+{
+
+MemoryManager::MemoryManager(gpu::Runtime &rt, bool keep_timeline)
+    : runtime(rt)
+{
+    const gpu::GpuSpec &spec = runtime.spec();
+    gpuPool = std::make_unique<mem::MemoryPool>(spec.dramCapacity,
+                                                spec.name + " pool");
+    hostAlloc = std::make_unique<mem::PinnedHostAllocator>(
+        spec.hostCapacity);
+    auto clock = [this] { return runtime.now(); };
+    totalTrack = std::make_unique<mem::UsageTracker>(clock, keep_timeline);
+    managedTrack =
+        std::make_unique<mem::UsageTracker>(clock, keep_timeline);
+    gpuPool->setTracker(totalTrack.get());
+    touchManaged();
+}
+
+void
+MemoryManager::touchManaged()
+{
+    managedTrack->onUsage(managedBytes);
+}
+
+std::optional<mem::Allocation>
+MemoryManager::allocDevice(Bytes bytes, const std::string &tag,
+                           bool managed)
+{
+    auto a = gpuPool->tryAllocate(bytes, tag);
+    if (a && managed) {
+        managedBytes += a->size;
+        touchManaged();
+    }
+    return a;
+}
+
+void
+MemoryManager::releaseDevice(const mem::Allocation &alloc, bool managed)
+{
+    gpuPool->release(alloc);
+    if (managed) {
+        managedBytes -= alloc.size;
+        VDNN_ASSERT(managedBytes >= 0, "managed usage went negative");
+        touchManaged();
+    }
+}
+
+bool
+MemoryManager::allocBuffer(const net::Network &net, net::BufferId buffer)
+{
+    BufferState &st = bufferStates[buffer];
+    VDNN_ASSERT(st.residence == Residence::Unallocated,
+                "buffer %d is already materialized (state %d)", buffer,
+                int(st.residence));
+    const net::Buffer &b = net.buffer(buffer);
+    auto a = allocDevice(b.bytes(),
+                         strFormat("fmap:%d", buffer), !b.classifier);
+    if (!a)
+        return false;
+    st.device = *a;
+    st.residence = Residence::Device;
+    return true;
+}
+
+bool
+MemoryManager::beginOffload(const net::Network &net, net::BufferId buffer)
+{
+    BufferState &st = bufferStates[buffer];
+    VDNN_ASSERT(st.residence == Residence::Device,
+                "offload of non-resident buffer %d", buffer);
+    const net::Buffer &b = net.buffer(buffer);
+    // Pinned host staging region, allocated with cudaMallocHost().
+    auto h = hostAlloc->tryAllocate(b.bytes(),
+                                    strFormat("offload:%d", buffer));
+    if (!h)
+        return false;
+    st.host = *h;
+    st.hostValid = true;
+    st.residence = Residence::Offloading;
+    offloadTotal += b.bytes();
+    return true;
+}
+
+void
+MemoryManager::finishOffload(const net::Network &net, net::BufferId buffer)
+{
+    BufferState &st = bufferStates[buffer];
+    VDNN_ASSERT(st.residence == Residence::Offloading,
+                "finishOffload on buffer %d in state %d", buffer,
+                int(st.residence));
+    releaseDevice(st.device, !net.buffer(buffer).classifier);
+    st.device = {};
+    st.residence = Residence::Host;
+}
+
+bool
+MemoryManager::beginPrefetch(const net::Network &net, net::BufferId buffer)
+{
+    BufferState &st = bufferStates[buffer];
+    VDNN_ASSERT(st.residence == Residence::Host,
+                "prefetch of buffer %d in state %d", buffer,
+                int(st.residence));
+    const net::Buffer &b = net.buffer(buffer);
+    auto a = allocDevice(b.bytes(), strFormat("prefetch:%d", buffer),
+                         !b.classifier);
+    if (!a)
+        return false;
+    st.device = *a;
+    st.residence = Residence::Prefetching;
+    return true;
+}
+
+void
+MemoryManager::finishPrefetch(net::BufferId buffer)
+{
+    BufferState &st = bufferStates[buffer];
+    VDNN_ASSERT(st.residence == Residence::Prefetching,
+                "finishPrefetch on buffer %d in state %d", buffer,
+                int(st.residence));
+    // Host copy retained (still valid) so eviction stays free.
+    st.residence = Residence::Device;
+}
+
+void
+MemoryManager::evictToHost(const net::Network &net, net::BufferId buffer)
+{
+    BufferState &st = bufferStates[buffer];
+    VDNN_ASSERT(st.residence == Residence::Device && st.hostValid,
+                "evict of buffer %d in state %d (hostValid=%d)", buffer,
+                int(st.residence), int(st.hostValid));
+    releaseDevice(st.device, !net.buffer(buffer).classifier);
+    st.device = {};
+    st.residence = Residence::Host;
+}
+
+bool
+MemoryManager::hostCopyValid(net::BufferId buffer) const
+{
+    auto it = bufferStates.find(buffer);
+    return it != bufferStates.end() && it->second.hostValid;
+}
+
+void
+MemoryManager::releaseBuffer(const net::Network &net, net::BufferId buffer)
+{
+    BufferState &st = bufferStates[buffer];
+    VDNN_ASSERT(st.residence == Residence::Device,
+                "release of buffer %d in state %d", buffer,
+                int(st.residence));
+    releaseDevice(st.device, !net.buffer(buffer).classifier);
+    st.device = {};
+    if (st.hostValid) {
+        hostAlloc->release(st.host);
+        st.host = {};
+        st.hostValid = false;
+    }
+    st.residence = Residence::Unallocated;
+}
+
+void
+MemoryManager::dropHostCopy(net::BufferId buffer)
+{
+    BufferState &st = bufferStates[buffer];
+    VDNN_ASSERT(st.residence == Residence::Host,
+                "dropHostCopy on buffer %d in state %d", buffer,
+                int(st.residence));
+    hostAlloc->release(st.host);
+    st.host = {};
+    st.hostValid = false;
+    st.residence = Residence::Unallocated;
+}
+
+void
+MemoryManager::forceRelease(const net::Network &net, net::BufferId buffer)
+{
+    switch (residence(buffer)) {
+      case Residence::Unallocated:
+        return;
+      case Residence::Device:
+        releaseBuffer(net, buffer);
+        return;
+      case Residence::Offloading:
+        finishOffload(net, buffer);
+        dropHostCopy(buffer);
+        return;
+      case Residence::Host:
+        dropHostCopy(buffer);
+        return;
+      case Residence::Prefetching:
+        finishPrefetch(buffer);
+        releaseBuffer(net, buffer);
+        return;
+    }
+}
+
+Residence
+MemoryManager::residence(net::BufferId buffer) const
+{
+    auto it = bufferStates.find(buffer);
+    return it == bufferStates.end() ? Residence::Unallocated
+                                    : it->second.residence;
+}
+
+void
+MemoryManager::finishTracking()
+{
+    totalTrack->finish();
+    managedTrack->finish();
+}
+
+} // namespace vdnn::core

@@ -1,0 +1,90 @@
+#include "core/policy.hh"
+
+#include "common/logging.hh"
+
+namespace vdnn::core
+{
+
+const char *
+transferPolicyName(TransferPolicy p)
+{
+    switch (p) {
+      case TransferPolicy::Baseline:
+        return "base";
+      case TransferPolicy::OffloadAll:
+        return "vDNN_all";
+      case TransferPolicy::OffloadConv:
+        return "vDNN_conv";
+      case TransferPolicy::Dynamic:
+        return "vDNN_dyn";
+    }
+    panic("unknown policy %d", int(p));
+}
+
+const char *
+algoModeName(AlgoMode m)
+{
+    switch (m) {
+      case AlgoMode::MemoryOptimal:
+        return "(m)";
+      case AlgoMode::PerformanceOptimal:
+        return "(p)";
+      case AlgoMode::PerLayer:
+        return "(dyn)";
+    }
+    panic("unknown algo mode %d", int(m));
+}
+
+bool
+offloadEligible(const net::Network &net, net::BufferId buffer)
+{
+    const net::Buffer &b = net.buffer(buffer);
+    // Classifier buffers are outside the managed pool; buffers with no
+    // backward reuse are simply released, not offloaded; buffers nobody
+    // reads (terminal outputs) have no last consumer to offload them.
+    return !b.classifier && !b.bwdUsers.empty() && !b.readers.empty();
+}
+
+Plan
+makeStaticPlan(const net::Network &net, const dnn::CudnnSim &cudnn,
+               TransferPolicy policy, AlgoMode mode)
+{
+    VDNN_ASSERT(policy != TransferPolicy::Dynamic,
+                "dynamic plans are produced by DynamicPolicy");
+    VDNN_ASSERT(mode != AlgoMode::PerLayer,
+                "per-layer algo assignments are produced by DynamicPolicy");
+
+    Plan plan;
+    plan.policy = policy;
+    plan.algoMode = mode;
+    plan.algos = mode == AlgoMode::MemoryOptimal
+                     ? net::memoryOptimalAlgos(net)
+                     : net::performanceOptimalAlgos(net, cudnn);
+    plan.offloadBuffer.assign(net.numBuffers(), false);
+    plan.provenance = strFormat("static %s %s", transferPolicyName(policy),
+                                algoModeName(mode));
+
+    if (policy == TransferPolicy::Baseline)
+        return plan;
+
+    for (net::BufferId b = 0; b < net::BufferId(net.numBuffers()); ++b) {
+        if (!offloadEligible(net, b))
+            continue;
+        if (policy == TransferPolicy::OffloadAll) {
+            plan.offloadBuffer[std::size_t(b)] = true;
+        } else if (policy == TransferPolicy::OffloadConv) {
+            // vDNN_conv: offload only the Xs of CONV layers, i.e.
+            // buffers whose last forward consumer is a CONV layer (only
+            // that consumer may issue the offload, and only CONV
+            // kernels are long enough to hide it).
+            net::LayerId last = net.buffer(b).lastFwdReader;
+            if (last != net::kInputLayer &&
+                net.node(last).spec.kind == dnn::LayerKind::Conv) {
+                plan.offloadBuffer[std::size_t(b)] = true;
+            }
+        }
+    }
+    return plan;
+}
+
+} // namespace vdnn::core

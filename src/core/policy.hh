@@ -1,0 +1,85 @@
+/**
+ * @file
+ * vDNN memory-transfer and algorithm policies (Section III-C).
+ *
+ * Transfer policies decide which layers offload their input feature
+ * maps to pinned host memory:
+ *  - Baseline:    no offloading; network-wide static allocation.
+ *  - OffloadAll:  vDNN_all — every (managed) layer offloads its X.
+ *  - OffloadConv: vDNN_conv — only CONV layers offload their X.
+ *  - Dynamic:     vDNN_dyn — offload set and per-layer algorithms are
+ *                 chosen at runtime by profiling passes.
+ *
+ * Algorithm modes pick the convolution algorithm per CONV layer:
+ *  - MemoryOptimal (m): IMPLICIT_GEMM everywhere (zero workspace);
+ *  - PerformanceOptimal (p): fastest algorithm regardless of workspace;
+ *  - PerLayer: an explicit per-layer assignment (used by vDNN_dyn).
+ */
+
+#ifndef VDNN_CORE_POLICY_HH
+#define VDNN_CORE_POLICY_HH
+
+#include "dnn/cudnn_sim.hh"
+#include "net/network.hh"
+#include "net/network_stats.hh"
+
+#include <string>
+#include <vector>
+
+namespace vdnn::core
+{
+
+enum class TransferPolicy
+{
+    Baseline,
+    OffloadAll,
+    OffloadConv,
+    Dynamic,
+};
+
+enum class AlgoMode
+{
+    MemoryOptimal,
+    PerformanceOptimal,
+    PerLayer,
+};
+
+const char *transferPolicyName(TransferPolicy p);
+const char *algoModeName(AlgoMode m);
+
+/**
+ * A fully resolved execution plan: which buffers offload and which
+ * algorithm each CONV layer runs. Static policies resolve directly;
+ * vDNN_dyn produces one through its profiling passes.
+ */
+struct Plan
+{
+    TransferPolicy policy = TransferPolicy::Baseline;
+    AlgoMode algoMode = AlgoMode::MemoryOptimal;
+    /** Per-buffer offload decision, indexed by BufferId. */
+    std::vector<bool> offloadBuffer;
+    /** Per-layer algorithm, indexed by LayerId. */
+    net::AlgoAssignment algos;
+    /** Human-readable description of how the plan was derived. */
+    std::string provenance;
+};
+
+/**
+ * Resolve a static policy into a Plan.
+ *
+ * Offload eligibility (Section III-A): a buffer may be offloaded only
+ * if it is reused during backward propagation, it belongs to the
+ * vDNN-managed (feature extraction) region, and the offload is issued
+ * by its last forward consumer (refcount rule). OffloadAll offloads
+ * every eligible buffer; OffloadConv only those whose last consumer is
+ * a CONV layer (those offloads hide behind long CONV kernels).
+ */
+Plan makeStaticPlan(const net::Network &net, const dnn::CudnnSim &cudnn,
+                    TransferPolicy policy, AlgoMode mode);
+
+/** Is @p buffer eligible for offload at all (policy-independent)? */
+bool offloadEligible(const net::Network &net, net::BufferId buffer);
+
+} // namespace vdnn::core
+
+#endif // VDNN_CORE_POLICY_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The vDNN prefetch layer-selection algorithm (Figure 10).
+ *
+ * Before a layer's backward computation starts, vDNN searches the
+ * preceding layers (lower topological index) for the *closest* layer
+ * whose input feature maps were offloaded and are not yet prefetched.
+ * The search window is bounded by the next CONV layer: if a CONV layer
+ * is reached without finding a candidate, the search fails (-1). This
+ * bounding keeps prefetched data from arriving too far ahead of its
+ * reuse, which would re-inflate GPU memory usage (Section III-B).
+ *
+ * This generalizes the paper's pseudo code to non-linear graphs: a
+ * layer may own several input buffers (CONCAT), so offloaded/prefetched
+ * state is tracked per buffer and a hit prefetches all of that layer's
+ * offloaded-but-not-prefetched buffers.
+ */
+
+#ifndef VDNN_CORE_PREFETCH_HH
+#define VDNN_CORE_PREFETCH_HH
+
+#include "net/network.hh"
+
+#include <vector>
+
+namespace vdnn::core
+{
+
+/** Per-buffer transfer state consulted by the search. */
+struct PrefetchState
+{
+    /** Buffer was offloaded to host during forward propagation. */
+    std::vector<bool> offloaded;
+    /** Buffer has been prefetched (or fetched on demand) already. */
+    std::vector<bool> prefetched;
+
+    explicit PrefetchState(std::size_t num_buffers)
+        : offloaded(num_buffers, false), prefetched(num_buffers, false)
+    {}
+};
+
+/** Result of one search. */
+struct PrefetchCandidate
+{
+    net::LayerId layer = net::kInputLayer; ///< -1: nothing to prefetch
+    /** The layer's input buffers that need prefetching. */
+    std::vector<net::BufferId> buffers;
+
+    bool found() const { return layer != net::kInputLayer; }
+};
+
+/**
+ * Figure 10's findPrefetchLayer.
+ *
+ * @param net        the network
+ * @param curr_layer the layer whose backward pass is about to start
+ * @param state      per-buffer offload/prefetch flags; hit buffers are
+ *                   marked prefetched
+ * @param bounded    search window bounded by the next CONV layer
+ *                   (false = unbounded search, for the ablation study)
+ */
+PrefetchCandidate findPrefetchLayer(const net::Network &net,
+                                    net::LayerId curr_layer,
+                                    PrefetchState &state,
+                                    bool bounded = true);
+
+} // namespace vdnn::core
+
+#endif // VDNN_CORE_PREFETCH_HH

@@ -1,0 +1,130 @@
+#include "core/training_session.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "dnn/cudnn_sim.hh"
+
+namespace vdnn::core
+{
+
+SessionConfig::SessionConfig() : gpu(gpu::titanXMaxwell()) {}
+
+std::string
+sessionConfigName(const SessionConfig &config)
+{
+    std::string name = transferPolicyName(config.policy);
+    if (config.policy != TransferPolicy::Dynamic) {
+        name += " ";
+        name += algoModeName(config.algoMode);
+    }
+    if (config.oracle)
+        name += " [oracle]";
+    return name;
+}
+
+SessionResult
+runSession(const net::Network &net, SessionConfig config)
+{
+    VDNN_ASSERT(config.iterations >= 1, "need at least one iteration");
+
+    SessionResult result;
+    result.network = net.name();
+    result.configName = sessionConfigName(config);
+
+    gpu::GpuSpec spec = config.gpu;
+    if (config.oracle) {
+        // Hypothetical GPU with enough memory to hold the entire DNN.
+        spec.dramCapacity = Bytes(1024) * 1024 * 1024 * 1024;
+        spec.name += " (oracle)";
+    }
+
+    dnn::CudnnSim cudnn(spec);
+
+    // Resolve the plan.
+    Plan plan;
+    if (config.policy == TransferPolicy::Dynamic) {
+        DynamicPolicy dyn(net, cudnn, spec, config.exec,
+                          config.contention);
+        DynamicResult derived = dyn.derive();
+        result.trials = derived.trials;
+        plan = derived.plan;
+        if (!derived.trainable) {
+            result.trainable = false;
+            result.failReason =
+                result.trials.empty()
+                    ? "untrainable"
+                    : result.trials.front().failReason;
+            result.plan = plan;
+            return result;
+        }
+    } else {
+        plan = makeStaticPlan(net, cudnn, config.policy, config.algoMode);
+    }
+    result.plan = plan;
+
+    // Execute.
+    gpu::Runtime rt(spec, config.contention);
+    rt.setKernelLog(config.kernelLog);
+    MemoryManager mm(rt, config.keepTimeline);
+    Executor ex(net, cudnn, rt, mm, plan, config.exec);
+
+    if (!ex.setup()) {
+        result.trainable = false;
+        result.failReason = strFormat(
+            "setup OOM ('%s', requested %s, largest free block %s)",
+            mm.pool().lastOom().tag.c_str(),
+            formatBytes(mm.pool().lastOom().requested).c_str(),
+            formatBytes(mm.pool().lastOom().largestFree).c_str());
+        return result;
+    }
+
+    IterationResult last;
+    for (int i = 0; i < config.iterations; ++i) {
+        last = ex.runIteration();
+        if (!last.ok) {
+            result.trainable = false;
+            result.failReason = last.failReason;
+            ex.teardown();
+            return result;
+        }
+        result.offloadedBytesPerIter = last.offloadedBytes;
+        result.offloads = last.offloads;
+        result.prefetches = last.prefetches;
+        result.onDemandFetches = last.onDemandFetches;
+    }
+
+    // Teardown precedes window close so the tracker never records
+    // after finish(); the release happens at the final timestamp and
+    // adds no weighted time.
+    ex.teardown();
+    mm.finishTracking();
+    rt.finishPowerWindow();
+
+    result.trainable = true;
+    result.iterationTime = last.makespan();
+    result.featureExtractionTime = last.featureExtractionTime();
+    result.classifierTime = last.classifierTime;
+    result.transferStallTime = last.transferStallTime;
+    result.layerTimings = last.layers;
+
+    result.maxTotalUsage = mm.totalTracker().peakBytes();
+    result.avgTotalUsage = mm.totalTracker().averageBytes();
+    result.maxManagedUsage = mm.managedTracker().peakBytes();
+    result.avgManagedUsage = mm.managedTracker().averageBytes();
+    result.persistentBytes = ex.persistentBytes();
+
+    result.hostPeakBytes = mm.host().peakUsage();
+    result.avgPowerW = rt.power().averagePowerW();
+    result.maxPowerW = rt.power().maxPowerW();
+
+    if (config.kernelLog)
+        result.kernels = rt.kernelLog();
+    if (config.keepTimeline) {
+        result.totalTimeline = mm.totalTracker().signal().timeline();
+        result.managedTimeline = mm.managedTracker().signal().timeline();
+    }
+
+    return result;
+}
+
+} // namespace vdnn::core

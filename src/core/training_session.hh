@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Top-level experiment driver: run a network under a policy and
+ * collect every metric the paper's evaluation reports.
+ *
+ * A TrainingSession owns one simulated GPU runtime, one vDNN memory
+ * manager and one executor; it resolves the policy (running the
+ * vDNN_dyn profiling passes when requested), executes the requested
+ * number of training iterations, and gathers memory / performance /
+ * traffic / power statistics.
+ */
+
+#ifndef VDNN_CORE_TRAINING_SESSION_HH
+#define VDNN_CORE_TRAINING_SESSION_HH
+
+#include "core/dynamic_policy.hh"
+#include "core/executor.hh"
+#include "core/policy.hh"
+#include "gpu/gpu_spec.hh"
+#include "net/network.hh"
+#include "stats/time_weighted.hh"
+
+#include <string>
+#include <vector>
+
+namespace vdnn::core
+{
+
+struct SessionConfig
+{
+    TransferPolicy policy = TransferPolicy::Dynamic;
+    AlgoMode algoMode = AlgoMode::PerformanceOptimal; ///< static only
+    gpu::GpuSpec gpu;
+    /**
+     * Oracular GPU: removes the memory capacity bottleneck (Section
+     * V-C) by growing the device pool to hold any allocation. Used to
+     * normalize performance when the baseline cannot train at all.
+     */
+    bool oracle = false;
+    int iterations = 2;
+    bool contention = true;
+    ExecutorConfig exec;
+    bool keepTimeline = false;
+    bool kernelLog = false;
+
+    SessionConfig();
+};
+
+struct SessionResult
+{
+    std::string network;
+    std::string configName;
+    bool trainable = false;
+    std::string failReason;
+
+    Plan plan;
+    std::vector<TrialRecord> trials; ///< vDNN_dyn profiling history
+
+    // Performance (steady-state, last measured iteration).
+    TimeNs iterationTime = 0;
+    TimeNs featureExtractionTime = 0;
+    TimeNs classifierTime = 0;
+    TimeNs transferStallTime = 0;
+
+    // GPU memory (over the whole measured window).
+    Bytes maxTotalUsage = 0;
+    Bytes avgTotalUsage = 0;
+    Bytes maxManagedUsage = 0;
+    Bytes avgManagedUsage = 0;
+    Bytes persistentBytes = 0;
+
+    // Transfers.
+    Bytes offloadedBytesPerIter = 0;
+    Bytes hostPeakBytes = 0;
+    int offloads = 0;
+    int prefetches = 0;
+    int onDemandFetches = 0;
+
+    // Power (Section V-D).
+    double avgPowerW = 0.0;
+    double maxPowerW = 0.0;
+
+    // Per-layer detail (last iteration).
+    std::vector<LayerTiming> layerTimings;
+    std::vector<gpu::KernelRecord> kernels; ///< when kernelLog set
+
+    // Usage timelines (when keepTimeline set).
+    std::vector<stats::TimeWeighted::Sample> totalTimeline;
+    std::vector<stats::TimeWeighted::Sample> managedTimeline;
+};
+
+/** Run one complete experiment. */
+SessionResult runSession(const net::Network &net, SessionConfig config);
+
+/** Short label like "vDNN_all (m)" or "base (p, oracle)". */
+std::string sessionConfigName(const SessionConfig &config);
+
+} // namespace vdnn::core
+
+#endif // VDNN_CORE_TRAINING_SESSION_HH

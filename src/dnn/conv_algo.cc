@@ -1,0 +1,198 @@
+#include "dnn/conv_algo.hh"
+
+#include "common/logging.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdnn::dnn
+{
+
+const std::vector<ConvAlgo> &
+allConvAlgos()
+{
+    static const std::vector<ConvAlgo> algos = {
+        ConvAlgo::ImplicitGemm, ConvAlgo::ImplicitPrecompGemm,
+        ConvAlgo::Gemm,         ConvAlgo::Direct,
+        ConvAlgo::Fft,          ConvAlgo::FftTiling,
+        ConvAlgo::Winograd,
+    };
+    return algos;
+}
+
+const char *
+convAlgoName(ConvAlgo algo)
+{
+    switch (algo) {
+      case ConvAlgo::ImplicitGemm:
+        return "IMPLICIT_GEMM";
+      case ConvAlgo::ImplicitPrecompGemm:
+        return "IMPLICIT_PRECOMP_GEMM";
+      case ConvAlgo::Gemm:
+        return "GEMM";
+      case ConvAlgo::Direct:
+        return "DIRECT";
+      case ConvAlgo::Fft:
+        return "FFT";
+      case ConvAlgo::FftTiling:
+        return "FFT_TILING";
+      case ConvAlgo::Winograd:
+        return "WINOGRAD";
+    }
+    panic("unknown conv algo %d", int(algo));
+}
+
+bool
+convAlgoApplicable(ConvAlgo algo, const LayerSpec &layer)
+{
+    VDNN_ASSERT(layer.kind == LayerKind::Conv, "not a conv layer");
+    const ConvParams &p = layer.conv;
+    bool unit_stride = p.strideH == 1 && p.strideW == 1;
+    switch (algo) {
+      case ConvAlgo::ImplicitGemm:
+      case ConvAlgo::ImplicitPrecompGemm:
+      case ConvAlgo::Gemm:
+      case ConvAlgo::Direct:
+        return true;
+      case ConvAlgo::Fft:
+        // cuDNN: unit stride and filters up to 16x16 that fit the padded
+        // transform.
+        return unit_stride && p.kernelH <= 16 && p.kernelW <= 16;
+      case ConvAlgo::FftTiling:
+        // 32x32 tiles: unit stride, filter must fit a tile half.
+        return unit_stride && p.kernelH <= 16 && p.kernelW <= 16 &&
+               layer.in.h >= 8 && layer.in.w >= 8;
+      case ConvAlgo::Winograd:
+        return unit_stride && p.kernelH == 3 && p.kernelW == 3;
+    }
+    panic("unknown conv algo %d", int(algo));
+}
+
+namespace
+{
+
+/** Round @p v up to the next power of two. */
+std::int64_t
+nextPow2(std::int64_t v)
+{
+    std::int64_t r = 1;
+    while (r < v)
+        r <<= 1;
+    return r;
+}
+
+} // namespace
+
+Bytes
+convWorkspaceBytes(ConvAlgo algo, const LayerSpec &layer)
+{
+    VDNN_ASSERT(layer.kind == LayerKind::Conv, "not a conv layer");
+    const ConvParams &p = layer.conv;
+    const TensorShape &in = layer.in;
+    const TensorShape &out = layer.out;
+    const std::int64_t N = in.n;
+    const std::int64_t C = in.c;
+    const std::int64_t K = p.outChannels;
+    const std::int64_t RS = std::int64_t(p.kernelH) * p.kernelW;
+    const std::int64_t out_hw = out.h * out.w;
+
+    switch (algo) {
+      case ConvAlgo::ImplicitGemm:
+      case ConvAlgo::Direct:
+        return 0;
+      case ConvAlgo::ImplicitPrecompGemm:
+        // Precomputed gather indices for the lowered view.
+        return out_hw * RS * Bytes(sizeof(std::int32_t));
+      case ConvAlgo::Gemm: {
+        // Explicit im2col, materialized in batch chunks of up to 16
+        // images (cuDNN lowers per mini-chunk, not the full batch).
+        std::int64_t chunk = std::min<std::int64_t>(N, 16);
+        return chunk * C * RS * out_hw * kElementSize;
+      }
+      case ConvAlgo::Fft: {
+        // Transformed input, filters and output over the full padded
+        // plane: (N*C + K*C + N*K) complex values of Hf x Wf.
+        std::int64_t hf = nextPow2(in.h + p.kernelH - 1);
+        std::int64_t wf = nextPow2(in.w + p.kernelW - 1);
+        std::int64_t planes = N * C + K * C + N * K;
+        return planes * hf * wf * 2 * kElementSize;
+      }
+      case ConvAlgo::FftTiling: {
+        // 32x32 tiles processed in chunks of tiles; the transform buffer
+        // holds one tile plane per (image, channel) pair of the chunk.
+        constexpr std::int64_t tile = 32;
+        std::int64_t chunk_tiles = 1; // one tile position at a time
+        std::int64_t planes = N * C + K * C + N * K;
+        return planes * tile * tile * 2 * kElementSize * chunk_tiles;
+      }
+      case ConvAlgo::Winograd: {
+        // F(2x2,3x3), non-fused: materializes both the input-transform
+        // and output-transform tile buffers (16 coefficients per 4x4
+        // tile each), processed in chunks of 1/8 of the tile plane.
+        std::int64_t tiles = (out_hw + 7) / 8;
+        return 4 * (C + K) * N * tiles * kElementSize;
+      }
+    }
+    panic("unknown conv algo %d", int(algo));
+}
+
+double
+convAlgoEfficiency(ConvAlgo algo, const LayerSpec &layer)
+{
+    VDNN_ASSERT(layer.kind == LayerKind::Conv, "not a conv layer");
+    const ConvParams &p = layer.conv;
+
+    // Base efficiencies calibrated to Titan X + cuDNN 4 throughput in
+    // direct-convolution FLOP accounting. Transform-domain algorithms
+    // exceed 1.0-adjacent values because they perform ~2.25x (Winograd
+    // F(2x2,3x3)) less real arithmetic than the direct-FLOP count.
+    double eff = 0.0;
+    switch (algo) {
+      case ConvAlgo::ImplicitGemm:
+        eff = 0.40;
+        break;
+      case ConvAlgo::ImplicitPrecompGemm:
+        eff = 0.50;
+        break;
+      case ConvAlgo::Gemm:
+        eff = 0.52;
+        break;
+      case ConvAlgo::Direct:
+        eff = 0.45;
+        break;
+      case ConvAlgo::Fft:
+        eff = 0.80;
+        break;
+      case ConvAlgo::FftTiling:
+        eff = 0.85;
+        break;
+      case ConvAlgo::Winograd:
+        eff = 1.02;
+        break;
+    }
+
+    // Geometry derates: very few input channels starve the GEMM inner
+    // dimension (AlexNet conv1 with C=3 runs far below peak on every
+    // algorithm), and tiny spatial extents underutilize FFT tiles.
+    double c_derate =
+        std::min(1.0, 0.25 + 0.75 * double(layer.in.c) / 48.0);
+    eff *= c_derate;
+
+    if (algo == ConvAlgo::Fft || algo == ConvAlgo::FftTiling) {
+        // Transform overhead is amortized worse for large filters'
+        // padding and for small images.
+        if (layer.in.h < 16 || layer.in.w < 16)
+            eff *= 0.7;
+    }
+    if (algo == ConvAlgo::Winograd && layer.in.h < 8)
+        eff *= 0.8;
+
+    // Large-stride convolutions (AlexNet/OverFeat first layers) achieve
+    // lower fractions of peak on the GEMM family too.
+    if (p.strideH > 1 || p.strideW > 1)
+        eff *= 0.75;
+
+    return std::max(eff, 0.02);
+}
+
+} // namespace vdnn::dnn

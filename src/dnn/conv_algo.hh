@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Convolution algorithm models (cuDNN 4.0 style).
+ *
+ * cuDNN 4.0 exposes six-plus convolution algorithms that trade workspace
+ * memory for speed (Section II-B, footnote 2). The two poles the paper
+ * leans on are:
+ *
+ *  - IMPLICIT_GEMM: the memory-optimal algorithm — zero workspace but
+ *    the slowest (this is vDNN's "(m)" configuration);
+ *  - FFT / FFT_TILING / WINOGRAD: the performance-optimal algorithms —
+ *    up to ~2-3x faster but requiring large temporary workspace to hold
+ *    transformed feature maps ("(p)").
+ *
+ * Each algorithm is modelled by (a) an applicability predicate on the
+ * layer geometry, (b) a workspace size formula, and (c) an efficiency
+ * factor (fraction of the device's peak FLOP/s achieved when executing
+ * direct-convolution-equivalent FLOPs). Efficiency factors are
+ * calibrated against published Titan X / cuDNN-4 convnet-benchmarks
+ * results (see DESIGN.md).
+ */
+
+#ifndef VDNN_DNN_CONV_ALGO_HH
+#define VDNN_DNN_CONV_ALGO_HH
+
+#include "common/types.hh"
+#include "dnn/layer.hh"
+
+#include <string>
+#include <vector>
+
+namespace vdnn::dnn
+{
+
+enum class ConvAlgo
+{
+    ImplicitGemm,        ///< zero workspace, slowest (memory-optimal)
+    ImplicitPrecompGemm, ///< small index workspace
+    Gemm,                ///< explicit im2col, workspace = lowered matrix
+    Direct,              ///< direct convolution, no workspace
+    Fft,                 ///< full-tensor FFT, largest workspace
+    FftTiling,           ///< tiled FFT, large workspace
+    Winograd,            ///< Winograd F(2x2,3x3), large workspace
+};
+
+/** All algorithms, in cuDNN enumeration order. */
+const std::vector<ConvAlgo> &allConvAlgos();
+
+/** Human readable name ("IMPLICIT_GEMM", ...). */
+const char *convAlgoName(ConvAlgo algo);
+
+/** The memory-optimal algorithm (never requires workspace). */
+inline constexpr ConvAlgo kMemoryOptimalAlgo = ConvAlgo::ImplicitGemm;
+
+/**
+ * Can @p algo execute this convolution? (FFT-family algorithms require
+ * unit stride; Winograd additionally requires 3x3 filters; full FFT is
+ * limited to moderate filter sizes.)
+ */
+bool convAlgoApplicable(ConvAlgo algo, const LayerSpec &layer);
+
+/**
+ * Forward workspace bytes for @p algo on @p layer. Backward data/filter
+ * passes are modelled with the same workspace requirement (cuDNN sizes
+ * them separately but of the same magnitude; vDNN allocates the max).
+ */
+Bytes convWorkspaceBytes(ConvAlgo algo, const LayerSpec &layer);
+
+/**
+ * Fraction of device peak FLOP/s achieved by @p algo on @p layer, in
+ * direct-convolution FLOP terms. Transform-domain algorithms can exceed
+ * the efficiency of GEMM-based ones because they do less real work.
+ */
+double convAlgoEfficiency(ConvAlgo algo, const LayerSpec &layer);
+
+} // namespace vdnn::dnn
+
+#endif // VDNN_DNN_CONV_ALGO_HH

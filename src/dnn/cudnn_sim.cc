@@ -1,0 +1,64 @@
+#include "dnn/cudnn_sim.hh"
+
+#include "common/logging.hh"
+
+#include <algorithm>
+
+namespace vdnn::dnn
+{
+
+CudnnSim::CudnnSim(gpu::GpuSpec spec) : perfModel(std::move(spec)) {}
+
+ConvAlgoPerf
+CudnnSim::algoPerf(const LayerSpec &layer, ConvAlgo algo) const
+{
+    VDNN_ASSERT(layer.kind == LayerKind::Conv, "not a conv layer");
+    ConvAlgoPerf p;
+    p.algo = algo;
+    p.fwdTime = perfModel.convForward(layer, algo).time;
+    p.bwdDataTime = perfModel.convBackwardData(layer, algo).time;
+    p.bwdFilterTime = perfModel.convBackwardFilter(layer, algo).time;
+    p.workspace = convWorkspaceBytes(algo, layer);
+    return p;
+}
+
+std::vector<ConvAlgoPerf>
+CudnnSim::findConvAlgorithms(const LayerSpec &layer) const
+{
+    std::vector<ConvAlgoPerf> result;
+    for (ConvAlgo algo : allConvAlgos()) {
+        if (convAlgoApplicable(algo, layer))
+            result.push_back(algoPerf(layer, algo));
+    }
+    std::sort(result.begin(), result.end(),
+              [](const ConvAlgoPerf &a, const ConvAlgoPerf &b) {
+                  if (a.totalTime() != b.totalTime())
+                      return a.totalTime() < b.totalTime();
+                  // Tie break: least workspace first.
+                  return a.workspace < b.workspace;
+              });
+    VDNN_ASSERT(!result.empty(), "no applicable algorithm for %s",
+                layer.name.c_str());
+    return result;
+}
+
+ConvAlgo
+CudnnSim::fastestAlgo(const LayerSpec &layer) const
+{
+    return findConvAlgorithms(layer).front().algo;
+}
+
+ConvAlgo
+CudnnSim::fastestAlgoWithin(const LayerSpec &layer, Bytes ws_limit) const
+{
+    for (const ConvAlgoPerf &p : findConvAlgorithms(layer)) {
+        if (p.workspace <= ws_limit)
+            return p.algo;
+    }
+    // IMPLICIT_GEMM has zero workspace; with ws_limit >= 0 the loop
+    // must have found it.
+    panic("no algorithm fits workspace limit %lld for %s",
+          (long long)ws_limit, layer.name.c_str());
+}
+
+} // namespace vdnn::dnn

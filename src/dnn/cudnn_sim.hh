@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Simulated cuDNN handle: per-layer algorithm profiling and selection.
+ *
+ * Mirrors the cuDNN 4.0 interface surface the paper depends on
+ * (Section III-C): `cudnnFindConvolution*Algorithm` exhaustively times
+ * every applicable algorithm for a layer and reports (time, workspace)
+ * pairs. ML frameworks use this in an initial profiling phase to pick
+ * the fastest algorithm per layer; vDNN_dyn re-runs it under memory
+ * constraints to trade speed for workspace ("greedy local downgrade").
+ */
+
+#ifndef VDNN_DNN_CUDNN_SIM_HH
+#define VDNN_DNN_CUDNN_SIM_HH
+
+#include "common/types.hh"
+#include "dnn/conv_algo.hh"
+#include "dnn/layer.hh"
+#include "dnn/perf_model.hh"
+
+#include <optional>
+#include <vector>
+
+namespace vdnn::dnn
+{
+
+/** Profiled performance of one algorithm on one layer. */
+struct ConvAlgoPerf
+{
+    ConvAlgo algo = ConvAlgo::ImplicitGemm;
+    TimeNs fwdTime = 0;
+    TimeNs bwdDataTime = 0;
+    TimeNs bwdFilterTime = 0;
+    Bytes workspace = 0;
+
+    /** Aggregate training-step latency contribution. */
+    TimeNs totalTime() const { return fwdTime + bwdDataTime + bwdFilterTime; }
+};
+
+class CudnnSim
+{
+  public:
+    explicit CudnnSim(gpu::GpuSpec spec);
+
+    /**
+     * Exhaustively profile all applicable algorithms for @p layer,
+     * sorted fastest-first (by total forward+backward time).
+     * Equivalent of cudnnFindConvolutionForwardAlgorithm and friends.
+     */
+    std::vector<ConvAlgoPerf> findConvAlgorithms(const LayerSpec &layer) const;
+
+    /** Profile a single algorithm. */
+    ConvAlgoPerf algoPerf(const LayerSpec &layer, ConvAlgo algo) const;
+
+    /** Fastest applicable algorithm regardless of workspace. */
+    ConvAlgo fastestAlgo(const LayerSpec &layer) const;
+
+    /**
+     * Fastest applicable algorithm whose workspace fits @p ws_limit
+     * (the greedy downgrade step of vDNN_dyn). Always succeeds:
+     * IMPLICIT_GEMM needs no workspace.
+     */
+    ConvAlgo fastestAlgoWithin(const LayerSpec &layer, Bytes ws_limit) const;
+
+    const PerfModel &perf() const { return perfModel; }
+    const gpu::GpuSpec &spec() const { return perfModel.spec(); }
+
+  private:
+    PerfModel perfModel;
+};
+
+} // namespace vdnn::dnn
+
+#endif // VDNN_DNN_CUDNN_SIM_HH

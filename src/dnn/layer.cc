@@ -1,0 +1,276 @@
+#include "dnn/layer.hh"
+
+#include "common/logging.hh"
+
+#include <vector>
+
+namespace vdnn::dnn
+{
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        return "CONV";
+      case LayerKind::Activation:
+        return "ACTV";
+      case LayerKind::Pool:
+        return "POOL";
+      case LayerKind::Fc:
+        return "FC";
+      case LayerKind::Lrn:
+        return "LRN";
+      case LayerKind::Concat:
+        return "CONCAT";
+      case LayerKind::Dropout:
+        return "DROPOUT";
+      case LayerKind::SoftmaxLoss:
+        return "LOSS";
+    }
+    panic("unknown layer kind %d", int(kind));
+}
+
+Bytes
+LayerSpec::weightBytes() const
+{
+    return paramCount() * kElementSize;
+}
+
+std::int64_t
+LayerSpec::paramCount() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        // K * C * R * S filters + K biases.
+        return conv.outChannels * in.c * conv.kernelH * conv.kernelW +
+               conv.outChannels;
+      case LayerKind::Fc:
+        // In * Out matrix + Out biases.
+        return in.elementsPerImage() * fc.outFeatures + fc.outFeatures;
+      default:
+        return 0;
+    }
+}
+
+bool
+LayerSpec::inPlace() const
+{
+    return kind == LayerKind::Activation || kind == LayerKind::Dropout;
+}
+
+bool
+LayerSpec::backwardNeedsX() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+      case LayerKind::Fc:
+        return true; // X feeds the weight-gradient computation
+      case LayerKind::Pool:
+      case LayerKind::Lrn:
+        return true; // cuDNN pooling/LRN backward takes (x, y, dy)
+      case LayerKind::Activation:
+      case LayerKind::Dropout:
+        return false; // in-place: gradient derived from Y alone
+      case LayerKind::Concat:
+        return false; // pure data movement
+      case LayerKind::SoftmaxLoss:
+        return false;
+    }
+    panic("unknown layer kind %d", int(kind));
+}
+
+bool
+LayerSpec::backwardNeedsY() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+      case LayerKind::Fc:
+      case LayerKind::Concat:
+        return false;
+      case LayerKind::Pool:
+      case LayerKind::Lrn:
+        return true;
+      case LayerKind::Activation:
+      case LayerKind::Dropout:
+        return true;
+      case LayerKind::SoftmaxLoss:
+        return true;
+    }
+    panic("unknown layer kind %d", int(kind));
+}
+
+bool
+LayerSpec::isFeatureExtraction() const
+{
+    // The paper splits networks into feature-extraction layers
+    // (CONV/ACTV/POOL and friends) and the classifier (the FC chain and
+    // its dropout/loss tail). FC marks the boundary.
+    switch (kind) {
+      case LayerKind::Fc:
+      case LayerKind::SoftmaxLoss:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+LayerSpec::hasWeights() const
+{
+    return kind == LayerKind::Conv || kind == LayerKind::Fc;
+}
+
+// --- shape inference -----------------------------------------------------------
+
+TensorShape
+convOutShape(const TensorShape &in, const ConvParams &p)
+{
+    VDNN_ASSERT(in.valid(), "invalid conv input %s", in.str().c_str());
+    VDNN_ASSERT(p.outChannels > 0 && p.kernelH > 0 && p.kernelW > 0 &&
+                    p.strideH > 0 && p.strideW > 0,
+                "invalid conv params");
+    TensorShape out;
+    out.n = in.n;
+    out.c = p.outChannels;
+    out.h = (in.h + 2 * p.padH - p.kernelH) / p.strideH + 1;
+    out.w = (in.w + 2 * p.padW - p.kernelW) / p.strideW + 1;
+    VDNN_ASSERT(out.h > 0 && out.w > 0,
+                "conv output collapsed: in=%s k=%dx%d s=%d p=%d",
+                in.str().c_str(), p.kernelH, p.kernelW, p.strideH, p.padH);
+    return out;
+}
+
+TensorShape
+poolOutShape(const TensorShape &in, const PoolParams &p)
+{
+    VDNN_ASSERT(in.valid(), "invalid pool input %s", in.str().c_str());
+    TensorShape out;
+    out.n = in.n;
+    out.c = in.c;
+    // Caffe/Torch-style ceil mode so 224 -> 112 -> 56 -> 28 -> 14 -> 7.
+    out.h = (in.h + 2 * p.padH - p.windowH + p.strideH - 1) / p.strideH + 1;
+    out.w = (in.w + 2 * p.padW - p.windowW + p.strideW - 1) / p.strideW + 1;
+    VDNN_ASSERT(out.h > 0 && out.w > 0, "pool output collapsed");
+    return out;
+}
+
+TensorShape
+fcOutShape(const TensorShape &in, const FcParams &p)
+{
+    VDNN_ASSERT(in.valid() && p.outFeatures > 0, "invalid fc geometry");
+    return TensorShape{in.n, p.outFeatures, 1, 1};
+}
+
+// --- factories --------------------------------------------------------------------
+
+LayerSpec
+makeConv(const std::string &name, const TensorShape &in,
+         const ConvParams &p)
+{
+    LayerSpec l;
+    l.kind = LayerKind::Conv;
+    l.name = name;
+    l.in = in;
+    l.conv = p;
+    l.out = convOutShape(in, p);
+    return l;
+}
+
+LayerSpec
+makeActivation(const std::string &name, const TensorShape &in,
+               ActivationParams::Fn fn)
+{
+    LayerSpec l;
+    l.kind = LayerKind::Activation;
+    l.name = name;
+    l.in = in;
+    l.out = in;
+    l.actv.fn = fn;
+    return l;
+}
+
+LayerSpec
+makePool(const std::string &name, const TensorShape &in,
+         const PoolParams &p)
+{
+    LayerSpec l;
+    l.kind = LayerKind::Pool;
+    l.name = name;
+    l.in = in;
+    l.pool = p;
+    l.out = poolOutShape(in, p);
+    return l;
+}
+
+LayerSpec
+makeFc(const std::string &name, const TensorShape &in, const FcParams &p)
+{
+    LayerSpec l;
+    l.kind = LayerKind::Fc;
+    l.name = name;
+    l.in = in;
+    l.fc = p;
+    l.out = fcOutShape(in, p);
+    return l;
+}
+
+LayerSpec
+makeLrn(const std::string &name, const TensorShape &in, const LrnParams &p)
+{
+    LayerSpec l;
+    l.kind = LayerKind::Lrn;
+    l.name = name;
+    l.in = in;
+    l.out = in;
+    l.lrn = p;
+    return l;
+}
+
+LayerSpec
+makeDropout(const std::string &name, const TensorShape &in, double prob)
+{
+    VDNN_ASSERT(prob >= 0.0 && prob < 1.0, "dropout prob %f", prob);
+    LayerSpec l;
+    l.kind = LayerKind::Dropout;
+    l.name = name;
+    l.in = in;
+    l.out = in;
+    l.dropout.prob = prob;
+    return l;
+}
+
+LayerSpec
+makeSoftmaxLoss(const std::string &name, const TensorShape &in)
+{
+    LayerSpec l;
+    l.kind = LayerKind::SoftmaxLoss;
+    l.name = name;
+    l.in = in;
+    l.out = in;
+    return l;
+}
+
+LayerSpec
+makeConcat(const std::string &name, const std::vector<TensorShape> &inputs)
+{
+    VDNN_ASSERT(!inputs.empty(), "concat needs inputs");
+    TensorShape out = inputs.front();
+    for (size_t i = 1; i < inputs.size(); ++i) {
+        const TensorShape &s = inputs[i];
+        VDNN_ASSERT(s.n == out.n && s.h == out.h && s.w == out.w,
+                    "concat shape mismatch: %s vs %s", out.str().c_str(),
+                    s.str().c_str());
+        out.c += s.c;
+    }
+    LayerSpec l;
+    l.kind = LayerKind::Concat;
+    l.name = name;
+    // "Input" records the concatenated shape; the graph tracks the
+    // individual producers.
+    l.in = out;
+    l.out = out;
+    return l;
+}
+
+} // namespace vdnn::dnn

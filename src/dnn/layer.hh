@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Layer descriptors and shape inference.
+ *
+ * The paper's networks are built from CONV, ACTV, POOL and FC layers
+ * (Section II-A), plus LRN (AlexNet/GoogLeNet), CONCAT (GoogLeNet
+ * inception joins), DROPOUT (classifier heads) and a terminal softmax
+ * loss. A LayerSpec carries the geometry needed by the performance and
+ * memory models; graph structure lives in net::Network.
+ *
+ * Data-structure conventions reproduced from the paper:
+ *  - ACTV layers are refactored in-place (footnote 1): they overwrite
+ *    their input buffer and allocate no separate output; backward uses
+ *    only Y and dY.
+ *  - Per-layer backward needs differ by type (Section III-A): CONV/FC
+ *    need X (for weight gradients) and W (for data gradients); POOL and
+ *    LRN need both X and Y; ACTV needs only Y.
+ */
+
+#ifndef VDNN_DNN_LAYER_HH
+#define VDNN_DNN_LAYER_HH
+
+#include "common/types.hh"
+#include "dnn/tensor.hh"
+
+#include <string>
+#include <vector>
+
+namespace vdnn::dnn
+{
+
+enum class LayerKind
+{
+    Conv,
+    Activation,
+    Pool,
+    Fc,
+    Lrn,
+    Concat,
+    Dropout,
+    SoftmaxLoss,
+};
+
+/** Short uppercase mnemonic ("CONV", "ACTV", ...). */
+const char *layerKindName(LayerKind kind);
+
+struct ConvParams
+{
+    std::int64_t outChannels = 0;
+    int kernelH = 3;
+    int kernelW = 3;
+    int strideH = 1;
+    int strideW = 1;
+    int padH = 0;
+    int padW = 0;
+};
+
+struct PoolParams
+{
+    enum class Mode { Max, Avg };
+    Mode mode = Mode::Max;
+    int windowH = 2;
+    int windowW = 2;
+    int strideH = 2;
+    int strideW = 2;
+    int padH = 0;
+    int padW = 0;
+};
+
+struct FcParams
+{
+    std::int64_t outFeatures = 0;
+};
+
+struct ActivationParams
+{
+    enum class Fn { ReLU, Sigmoid, Tanh };
+    Fn fn = Fn::ReLU;
+};
+
+struct LrnParams
+{
+    int localSize = 5;
+};
+
+struct DropoutParams
+{
+    double prob = 0.5;
+};
+
+/**
+ * Complete description of one layer instance: kind, geometry and
+ * parameters. Only the parameter struct matching `kind` is meaningful.
+ */
+struct LayerSpec
+{
+    LayerKind kind = LayerKind::Activation;
+    std::string name;
+    TensorShape in;  ///< input feature map shape (X)
+    TensorShape out; ///< output feature map shape (Y)
+
+    ConvParams conv;
+    PoolParams pool;
+    FcParams fc;
+    ActivationParams actv;
+    LrnParams lrn;
+    DropoutParams dropout;
+
+    /** Weight bytes (CONV filters + bias, FC matrix + bias; else 0). */
+    Bytes weightBytes() const;
+
+    /** Number of trainable parameters. */
+    std::int64_t paramCount() const;
+
+    /** In-place layers overwrite X with Y (ACTV, DROPOUT). */
+    bool inPlace() const;
+
+    /** Does backward propagation of this layer read X? */
+    bool backwardNeedsX() const;
+
+    /** Does backward propagation of this layer read Y? */
+    bool backwardNeedsY() const;
+
+    /** Is this a feature-extraction layer (vs classifier)? vDNN manages
+     *  only feature-extraction memory (Section III). */
+    bool isFeatureExtraction() const;
+
+    /** Layers with learnable weights (CONV / FC). */
+    bool hasWeights() const;
+};
+
+// --- shape inference -----------------------------------------------------------
+
+/** Output shape of a convolution over @p in. */
+TensorShape convOutShape(const TensorShape &in, const ConvParams &p);
+
+/** Output shape of a pooling window over @p in. */
+TensorShape poolOutShape(const TensorShape &in, const PoolParams &p);
+
+/** Output shape of a fully-connected layer over @p in. */
+TensorShape fcOutShape(const TensorShape &in, const FcParams &p);
+
+// --- factory helpers --------------------------------------------------------------
+
+LayerSpec makeConv(const std::string &name, const TensorShape &in,
+                   const ConvParams &p);
+LayerSpec makeActivation(const std::string &name, const TensorShape &in,
+                         ActivationParams::Fn fn = ActivationParams::Fn::ReLU);
+LayerSpec makePool(const std::string &name, const TensorShape &in,
+                   const PoolParams &p);
+LayerSpec makeFc(const std::string &name, const TensorShape &in,
+                 const FcParams &p);
+LayerSpec makeLrn(const std::string &name, const TensorShape &in,
+                  const LrnParams &p = {});
+LayerSpec makeDropout(const std::string &name, const TensorShape &in,
+                      double prob = 0.5);
+LayerSpec makeSoftmaxLoss(const std::string &name, const TensorShape &in);
+/** Concat of @p inputs along channels; all must agree on N/H/W. */
+LayerSpec makeConcat(const std::string &name,
+                     const std::vector<TensorShape> &inputs);
+
+} // namespace vdnn::dnn
+
+#endif // VDNN_DNN_LAYER_HH

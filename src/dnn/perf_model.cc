@@ -1,0 +1,189 @@
+#include "dnn/perf_model.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdnn::dnn
+{
+
+PerfModel::PerfModel(gpu::GpuSpec spec) : gpuSpec(std::move(spec))
+{
+    VDNN_ASSERT(gpuSpec.peakFlops > 0 && gpuSpec.dramBandwidth > 0,
+                "invalid GPU spec");
+}
+
+Flops
+PerfModel::convFlops(const LayerSpec &layer)
+{
+    VDNN_ASSERT(layer.kind == LayerKind::Conv, "not a conv layer");
+    const ConvParams &p = layer.conv;
+    // 2 * N * K * C * R * S * outH * outW multiply-accumulates.
+    return 2.0 * double(layer.out.n) * double(p.outChannels) *
+           double(layer.in.c) * double(p.kernelH) * double(p.kernelW) *
+           double(layer.out.h) * double(layer.out.w);
+}
+
+OpCost
+PerfModel::roofline(Flops flops, double flop_eff, Bytes bytes,
+                    double mem_eff) const
+{
+    double compute_s =
+        flops > 0 ? flops / (flop_eff * gpuSpec.peakFlops) : 0.0;
+    double memory_s =
+        bytes > 0 ? double(bytes) / (mem_eff * gpuSpec.dramBandwidth)
+                  : 0.0;
+    double s = std::max(compute_s, memory_s);
+    OpCost cost;
+    cost.time = std::max<TimeNs>(secondsToNs(s), 1000); // >= 1 us launch
+    cost.flops = flops;
+    cost.dramBytes = bytes;
+    return cost;
+}
+
+namespace
+{
+
+/** Extra DRAM traffic multiplier per algorithm (transform/im2col passes
+ *  re-write and re-read intermediate forms of the operands). */
+double
+algoTrafficFactor(ConvAlgo algo)
+{
+    switch (algo) {
+      case ConvAlgo::ImplicitGemm:
+        return 1.2;
+      case ConvAlgo::ImplicitPrecompGemm:
+        return 1.2;
+      case ConvAlgo::Gemm:
+        return 2.5;
+      case ConvAlgo::Direct:
+        return 1.5;
+      case ConvAlgo::Fft:
+        return 2.5;
+      case ConvAlgo::FftTiling:
+        return 2.2;
+      case ConvAlgo::Winograd:
+        return 1.8;
+    }
+    return 1.0;
+}
+
+} // namespace
+
+OpCost
+PerfModel::convOp(const LayerSpec &layer, ConvAlgo algo,
+                  double eff_scale) const
+{
+    VDNN_ASSERT(convAlgoApplicable(algo, layer),
+                "algorithm %s not applicable to %s", convAlgoName(algo),
+                layer.name.c_str());
+    double eff = convAlgoEfficiency(algo, layer) * eff_scale;
+    Bytes operand_bytes =
+        layer.in.bytes() + layer.out.bytes() + layer.weightBytes();
+    Bytes traffic = Bytes(double(operand_bytes) * algoTrafficFactor(algo));
+    return roofline(convFlops(layer), eff, traffic, 0.80);
+}
+
+OpCost
+PerfModel::convForward(const LayerSpec &layer, ConvAlgo algo) const
+{
+    return convOp(layer, algo, 1.0);
+}
+
+OpCost
+PerfModel::convBackwardData(const LayerSpec &layer, ConvAlgo algo) const
+{
+    // Same MAC count as forward (full convolution of dY with rotated W).
+    return convOp(layer, algo, kBackwardDerate);
+}
+
+OpCost
+PerfModel::convBackwardFilter(const LayerSpec &layer, ConvAlgo algo) const
+{
+    // Same MAC count as forward (cross-correlation of X with dY).
+    return convOp(layer, algo, kBackwardDerate);
+}
+
+OpCost
+PerfModel::forward(const LayerSpec &layer) const
+{
+    const Bytes x = layer.in.bytes();
+    const Bytes y = layer.out.bytes();
+    const double n_elems = double(layer.out.elements());
+
+    switch (layer.kind) {
+      case LayerKind::Conv:
+        panic("convForward() must be used for CONV layers");
+      case LayerKind::Fc: {
+        Flops flops = 2.0 * double(layer.in.n) *
+                      double(layer.in.elementsPerImage()) *
+                      double(layer.fc.outFeatures);
+        Bytes bytes = x + y + layer.weightBytes();
+        return roofline(flops, kFcEfficiency, bytes, 0.80);
+      }
+      case LayerKind::Activation:
+        // In-place elementwise: read + write of the same buffer.
+        return roofline(n_elems, 0.05, x + y, kMemEfficiency);
+      case LayerKind::Pool:
+        return roofline(n_elems * layer.pool.windowH * layer.pool.windowW,
+                        0.05, x + y, kMemEfficiency);
+      case LayerKind::Lrn:
+        // Cross-channel window: ~2.5 passes over the input.
+        return roofline(n_elems * layer.lrn.localSize, 0.05,
+                        Bytes(2.5 * double(x)), kMemEfficiency);
+      case LayerKind::Dropout:
+        // Elementwise mask apply + mask write (1 byte/elem).
+        return roofline(n_elems, 0.05,
+                        x + y + Bytes(n_elems), kMemEfficiency);
+      case LayerKind::Concat:
+        // Gather copies into the joined buffer.
+        return roofline(0.0, 1.0, 2 * y, kMemEfficiency);
+      case LayerKind::SoftmaxLoss:
+        return roofline(3.0 * n_elems, 0.05, 3 * x, kMemEfficiency);
+    }
+    panic("unknown layer kind %d", int(layer.kind));
+}
+
+OpCost
+PerfModel::backward(const LayerSpec &layer) const
+{
+    const Bytes x = layer.in.bytes();
+    const Bytes y = layer.out.bytes();
+    const double n_elems = double(layer.out.elements());
+
+    switch (layer.kind) {
+      case LayerKind::Conv:
+        panic("convBackward*() must be used for CONV layers");
+      case LayerKind::Fc: {
+        // Two GEMMs: dX = dY * W^T and dW = X^T * dY.
+        Flops flops = 4.0 * double(layer.in.n) *
+                      double(layer.in.elementsPerImage()) *
+                      double(layer.fc.outFeatures);
+        Bytes bytes = x + 2 * y + 2 * layer.weightBytes();
+        return roofline(flops, kFcEfficiency, bytes, 0.80);
+      }
+      case LayerKind::Activation:
+        // dX = f'(Y) . dY, in place on the gradient buffer.
+        return roofline(n_elems, 0.05, 3 * y, kMemEfficiency);
+      case LayerKind::Pool:
+        // Reads X, Y, dY; writes dX.
+        return roofline(n_elems * layer.pool.windowH * layer.pool.windowW,
+                        0.05, 2 * x + 2 * y, kMemEfficiency);
+      case LayerKind::Lrn:
+        return roofline(n_elems * layer.lrn.localSize * 2.0, 0.05,
+                        Bytes(4.0 * double(x)), kMemEfficiency);
+      case LayerKind::Dropout:
+        return roofline(n_elems, 0.05, 2 * y + Bytes(n_elems),
+                        kMemEfficiency);
+      case LayerKind::Concat:
+        // Scatter dY back into per-producer slices.
+        return roofline(0.0, 1.0, 2 * y, kMemEfficiency);
+      case LayerKind::SoftmaxLoss:
+        return roofline(2.0 * n_elems, 0.05, 3 * x, kMemEfficiency);
+    }
+    panic("unknown layer kind %d", int(layer.kind));
+}
+
+} // namespace vdnn::dnn

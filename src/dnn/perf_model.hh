@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Analytic layer performance model.
+ *
+ * Substitutes for executing real cuDNN kernels: every layer operation is
+ * assigned a latency from a roofline-style model,
+ *
+ *   time = max( flops / (efficiency * peakFlops),
+ *               dram_bytes / (mem_eff * peakBandwidth) )
+ *
+ * CONV and FC layers are compute-bound on these networks; ACTV / POOL /
+ * LRN / DROPOUT / CONCAT are bandwidth-bound element-wise kernels. The
+ * efficiency factors are calibrated so that whole-network iteration
+ * latencies land near published Titan X cuDNN-4 measurements (VGG-16
+ * batch 64 forward+backward ~1.1 s; AlexNet batch 128 ~0.1 s), which is
+ * what anchors the paper's Figure 6 reuse distances.
+ */
+
+#ifndef VDNN_DNN_PERF_MODEL_HH
+#define VDNN_DNN_PERF_MODEL_HH
+
+#include "common/types.hh"
+#include "dnn/conv_algo.hh"
+#include "dnn/layer.hh"
+#include "gpu/gpu_spec.hh"
+
+namespace vdnn::dnn
+{
+
+/** Cost of one kernel launch. */
+struct OpCost
+{
+    TimeNs time = 0;
+    Flops flops = 0.0;
+    Bytes dramBytes = 0;
+};
+
+class PerfModel
+{
+  public:
+    explicit PerfModel(gpu::GpuSpec spec);
+
+    // --- convolution (algorithm dependent) ------------------------------
+    OpCost convForward(const LayerSpec &layer, ConvAlgo algo) const;
+    OpCost convBackwardData(const LayerSpec &layer, ConvAlgo algo) const;
+    OpCost convBackwardFilter(const LayerSpec &layer, ConvAlgo algo) const;
+
+    // --- every other layer kind -------------------------------------------
+    /** Forward cost of a non-conv layer. */
+    OpCost forward(const LayerSpec &layer) const;
+
+    /** Backward cost of a non-conv layer (all gradient kernels). */
+    OpCost backward(const LayerSpec &layer) const;
+
+    /** Direct-convolution FLOPs of a conv forward pass. */
+    static Flops convFlops(const LayerSpec &layer);
+
+    const gpu::GpuSpec &spec() const { return gpuSpec; }
+
+  private:
+    OpCost roofline(Flops flops, double flop_eff, Bytes bytes,
+                    double mem_eff) const;
+    OpCost convOp(const LayerSpec &layer, ConvAlgo algo,
+                  double eff_scale) const;
+
+    gpu::GpuSpec gpuSpec;
+
+    /** Achievable fraction of peak DRAM bandwidth for streaming kernels. */
+    static constexpr double kMemEfficiency = 0.70;
+    /** FC GEMM efficiency (fraction of peak FLOP/s). */
+    static constexpr double kFcEfficiency = 0.50;
+    /** Backward conv kernels run slightly below forward efficiency. */
+    static constexpr double kBackwardDerate = 0.90;
+};
+
+} // namespace vdnn::dnn
+
+#endif // VDNN_DNN_PERF_MODEL_HH

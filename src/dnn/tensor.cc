@@ -1,0 +1,15 @@
+#include "dnn/tensor.hh"
+
+#include "common/logging.hh"
+
+namespace vdnn::dnn
+{
+
+std::string
+TensorShape::str() const
+{
+    return strFormat("%lldx%lldx%lldx%lld", (long long)n, (long long)c,
+                     (long long)h, (long long)w);
+}
+
+} // namespace vdnn::dnn

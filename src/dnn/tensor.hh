@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tensor shape descriptor.
+ *
+ * All tensors are NCHW single-precision (4 bytes/element), matching the
+ * cuDNN defaults the paper's evaluation uses. FC layer activations are
+ * represented as N x C x 1 x 1.
+ */
+
+#ifndef VDNN_DNN_TENSOR_HH
+#define VDNN_DNN_TENSOR_HH
+
+#include "common/types.hh"
+
+#include <cstdint>
+#include <string>
+
+namespace vdnn::dnn
+{
+
+/** Bytes per element (fp32). */
+inline constexpr Bytes kElementSize = 4;
+
+struct TensorShape
+{
+    std::int64_t n = 0; ///< batch size
+    std::int64_t c = 0; ///< channels / features
+    std::int64_t h = 1; ///< height
+    std::int64_t w = 1; ///< width
+
+    std::int64_t elements() const { return n * c * h * w; }
+    Bytes bytes() const { return elements() * kElementSize; }
+
+    /** Per-image element count (drop the batch dimension). */
+    std::int64_t elementsPerImage() const { return c * h * w; }
+
+    bool operator==(const TensorShape &o) const = default;
+
+    /** "256x64x224x224" */
+    std::string str() const;
+
+    bool
+    valid() const
+    {
+        return n > 0 && c > 0 && h > 0 && w > 0;
+    }
+};
+
+} // namespace vdnn::dnn
+
+#endif // VDNN_DNN_TENSOR_HH

@@ -1,0 +1,55 @@
+#include "gpu/gpu_spec.hh"
+
+#include "common/units.hh"
+
+namespace vdnn::gpu
+{
+
+GpuSpec
+titanXMaxwell()
+{
+    GpuSpec s;
+    s.name = "Titan X (Maxwell)";
+    return s;
+}
+
+GpuSpec
+titanXPascal()
+{
+    GpuSpec s;
+    s.name = "Titan X (Pascal)";
+    s.peakFlops = 11.0e12;
+    s.dramBandwidth = 480.0e9;
+    s.dramCapacity = 12 * kGiB;
+    s.idlePowerW = 65.0;
+    s.computePowerW = 150.0;
+    s.dramPowerW = 45.0;
+    return s;
+}
+
+GpuSpec
+teslaK40()
+{
+    GpuSpec s;
+    s.name = "Tesla K40";
+    s.peakFlops = 4.3e12;
+    s.dramBandwidth = 288.0e9;
+    s.dramCapacity = 12 * kGiB;
+    s.idlePowerW = 60.0;
+    s.computePowerW = 130.0;
+    s.dramPowerW = 45.0;
+    return s;
+}
+
+GpuSpec
+smallGpu4GiB()
+{
+    GpuSpec s;
+    s.name = "Small 4 GiB GPU";
+    s.peakFlops = 3.0e12;
+    s.dramBandwidth = 200.0e9;
+    s.dramCapacity = 4 * kGiB;
+    return s;
+}
+
+} // namespace vdnn::gpu

@@ -1,0 +1,104 @@
+#include "gpu/power_model.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+#include <algorithm>
+
+namespace vdnn::gpu
+{
+
+PowerModel::PowerModel(const GpuSpec &spec)
+    : gpu(spec), currentDraw(spec.idlePowerW)
+{}
+
+void
+PowerModel::begin(TimeNs when)
+{
+    VDNN_ASSERT(!begun, "power window already begun");
+    begun = true;
+    tw.record(when, currentDraw);
+}
+
+double
+PowerModel::kernelDraw(double compute_util, double dram_util) const
+{
+    double cu = std::clamp(compute_util, 0.0, 1.0);
+    double du = std::clamp(dram_util, 0.0, 1.0);
+    // A running kernel draws close to full compute power regardless of
+    // its useful-FLOP efficiency: stalled warps still clock the SMs.
+    // Only a modest fraction of the dynamic power tracks utilization,
+    // which is what nvprof-style measurements show across convolution
+    // algorithms.
+    double compute = gpu.computePowerW * (0.85 + 0.15 * cu);
+    double dram = gpu.dramPowerW * (0.50 + 0.50 * du);
+    return compute + dram;
+}
+
+double
+PowerModel::copyDraw(double bandwidth) const
+{
+    double du = std::clamp(bandwidth / gpu.dramBandwidth, 0.0, 1.0);
+    return gpu.copyPowerW + du * gpu.dramPowerW;
+}
+
+void
+PowerModel::update(TimeNs when, double delta)
+{
+    VDNN_ASSERT(begun, "power event before begin()");
+    currentDraw += delta;
+    VDNN_ASSERT(currentDraw >= gpu.idlePowerW - 1e-9,
+                "power fell below idle: %f W", currentDraw);
+    tw.record(when, currentDraw);
+}
+
+void
+PowerModel::kernelStart(TimeNs when, double compute_util, double dram_util)
+{
+    update(when, kernelDraw(compute_util, dram_util));
+}
+
+void
+PowerModel::kernelEnd(TimeNs when, double compute_util, double dram_util)
+{
+    update(when, -kernelDraw(compute_util, dram_util));
+}
+
+void
+PowerModel::copyStart(TimeNs when, double bandwidth)
+{
+    update(when, copyDraw(bandwidth));
+}
+
+void
+PowerModel::copyEnd(TimeNs when, double bandwidth)
+{
+    update(when, -copyDraw(bandwidth));
+}
+
+void
+PowerModel::finish(TimeNs when)
+{
+    VDNN_ASSERT(begun, "finish() before begin()");
+    tw.finish(when);
+}
+
+double
+PowerModel::averagePowerW() const
+{
+    return tw.average();
+}
+
+double
+PowerModel::maxPowerW() const
+{
+    return tw.peak();
+}
+
+double
+PowerModel::energyJ() const
+{
+    return tw.average() * toSeconds(tw.duration());
+}
+
+} // namespace vdnn::gpu

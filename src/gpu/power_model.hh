@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Linear activity-based GPU power model.
+ *
+ * Section V-D measures average and maximum GPU power with nvprof and
+ * finds vDNN_dyn adds 1-7% maximum power (from PCIe offload/prefetch
+ * traffic) with negligible average power change. The mechanism is
+ * additive activity power, which this model captures directly:
+ *
+ *   P(t) = idle + sum(active kernels: compute + DRAM terms)
+ *               + sum(active copies: copy engine + DRAM term)
+ *
+ * The model tracks the piecewise-constant P(t) with a TimeWeighted stat
+ * so both the average and the instantaneous maximum fall out.
+ */
+
+#ifndef VDNN_GPU_POWER_MODEL_HH
+#define VDNN_GPU_POWER_MODEL_HH
+
+#include "common/types.hh"
+#include "gpu/gpu_spec.hh"
+#include "stats/time_weighted.hh"
+
+namespace vdnn::gpu
+{
+
+class PowerModel
+{
+  public:
+    explicit PowerModel(const GpuSpec &spec);
+
+    /** Start the observation window at @p when. */
+    void begin(TimeNs when);
+
+    /** A kernel with the given utilizations became active. */
+    void kernelStart(TimeNs when, double compute_util, double dram_util);
+
+    /** The matching kernel finished. */
+    void kernelEnd(TimeNs when, double compute_util, double dram_util);
+
+    /** A DMA copy at @p bandwidth (bytes/s) became active. */
+    void copyStart(TimeNs when, double bandwidth);
+
+    /** The matching copy finished. */
+    void copyEnd(TimeNs when, double bandwidth);
+
+    /** Close the observation window. */
+    void finish(TimeNs when);
+
+    /** Time-weighted average power over the window, watts. */
+    double averagePowerW() const;
+
+    /** Maximum instantaneous power over the window, watts. */
+    double maxPowerW() const;
+
+    /** Energy over the window, joules. */
+    double energyJ() const;
+
+    bool finished() const { return tw.finished(); }
+
+  private:
+    double kernelDraw(double compute_util, double dram_util) const;
+    double copyDraw(double bandwidth) const;
+    void update(TimeNs when, double delta);
+
+    GpuSpec gpu;
+    double currentDraw;
+    stats::TimeWeighted tw;
+    bool begun = false;
+};
+
+} // namespace vdnn::gpu
+
+#endif // VDNN_GPU_POWER_MODEL_HH

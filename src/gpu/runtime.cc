@@ -1,0 +1,400 @@
+#include "gpu/runtime.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdnn::gpu
+{
+
+double
+KernelRecord::dramBandwidth() const
+{
+    TimeNs d = duration();
+    if (d <= 0)
+        return 0.0;
+    return double(dramBytes) / toSeconds(d);
+}
+
+Runtime::Runtime(GpuSpec spec, bool enable_contention)
+    : gpuSpec(std::move(spec)), contention(enable_contention),
+      pcie(gpuSpec.pcie), powerModel(gpuSpec)
+{
+    powerModel.begin(0);
+}
+
+StreamId
+Runtime::createStream(const std::string &name)
+{
+    streams.push_back(Stream{name, {}, false, false});
+    return StreamId(streams.size() - 1);
+}
+
+CudaEventId
+Runtime::createEvent()
+{
+    CudaEventId id = nextEvent++;
+    events.emplace(id, EventState{});
+    return id;
+}
+
+void
+Runtime::launchKernel(StreamId stream, KernelDesc desc)
+{
+    VDNN_ASSERT(stream >= 0 && size_t(stream) < streams.size(),
+                "bad stream id %d", stream);
+    VDNN_ASSERT(desc.duration >= 0, "negative kernel duration");
+    if (desc.duration == 0)
+        desc.duration = 1;
+    Command c;
+    c.type = Command::Type::Kernel;
+    c.kernel = std::move(desc);
+    streams[size_t(stream)].queue.push_back(std::move(c));
+    tryDispatch(stream);
+}
+
+void
+Runtime::memcpyAsync(StreamId stream, Bytes bytes, CopyDir dir,
+                     const std::string &tag)
+{
+    VDNN_ASSERT(stream >= 0 && size_t(stream) < streams.size(),
+                "bad stream id %d", stream);
+    VDNN_ASSERT(bytes >= 0, "negative copy size");
+    Command c;
+    c.type = Command::Type::Copy;
+    c.bytes = bytes;
+    c.dir = dir;
+    c.tag = tag;
+    streams[size_t(stream)].queue.push_back(std::move(c));
+    tryDispatch(stream);
+}
+
+void
+Runtime::recordEvent(StreamId stream, CudaEventId event)
+{
+    VDNN_ASSERT(events.count(event), "unknown event %lld",
+                (long long)event);
+    Command c;
+    c.type = Command::Type::EventRecord;
+    c.event = event;
+    streams[size_t(stream)].queue.push_back(std::move(c));
+    tryDispatch(stream);
+}
+
+void
+Runtime::streamWaitEvent(StreamId stream, CudaEventId event)
+{
+    VDNN_ASSERT(events.count(event), "unknown event %lld",
+                (long long)event);
+    Command c;
+    c.type = Command::Type::EventWait;
+    c.event = event;
+    streams[size_t(stream)].queue.push_back(std::move(c));
+    tryDispatch(stream);
+}
+
+void
+Runtime::tryDispatch(StreamId sid)
+{
+    Stream &s = streams[size_t(sid)];
+    // Instant commands (event record, satisfied waits) retire in a loop;
+    // engine commands hand off and return.
+    while (!s.headDispatched && !s.queue.empty()) {
+        Command &head = s.queue.front();
+        switch (head.type) {
+          case Command::Type::EventRecord: {
+            CudaEventId ev = head.event;
+            s.queue.pop_front();
+            fireEvent(ev);
+            break;
+          }
+          case Command::Type::EventWait: {
+            EventState &es = events.at(head.event);
+            if (es.fired) {
+                s.waiting = false;
+                s.queue.pop_front();
+                break;
+            }
+            if (!s.waiting) {
+                s.waiting = true;
+                es.waiters.push_back(sid);
+            }
+            return;
+          }
+          case Command::Type::Kernel: {
+            s.headDispatched = true;
+            compute.waitQueue.push_back(sid);
+            computeTryStart();
+            return;
+          }
+          case Command::Type::Copy: {
+            s.headDispatched = true;
+            CopyDir dir = head.dir;
+            engineFor(dir).waitQueue.push_back(sid);
+            copyTryStart(dir);
+            return;
+          }
+        }
+    }
+}
+
+void
+Runtime::fireEvent(CudaEventId event)
+{
+    EventState &es = events.at(event);
+    VDNN_ASSERT(!es.fired, "event %lld recorded twice", (long long)event);
+    es.fired = true;
+    es.fireTime = eq.now();
+    std::vector<StreamId> waiters = std::move(es.waiters);
+    es.waiters.clear();
+    for (StreamId w : waiters) {
+        streams[size_t(w)].waiting = false;
+        tryDispatch(w);
+    }
+}
+
+void
+Runtime::commandDone(StreamId sid)
+{
+    Stream &s = streams[size_t(sid)];
+    VDNN_ASSERT(s.headDispatched, "completion for undispatched head");
+    s.headDispatched = false;
+    s.queue.pop_front();
+    tryDispatch(sid);
+}
+
+// --- compute engine ------------------------------------------------------
+
+double
+Runtime::kernelComputeUtil(const KernelDesc &desc) const
+{
+    if (desc.duration <= 0)
+        return 1.0;
+    double rate = desc.flops / toSeconds(desc.duration);
+    return std::clamp(rate / gpuSpec.peakFlops, 0.0, 1.0);
+}
+
+double
+Runtime::kernelDemandBw(const KernelDesc &desc) const
+{
+    if (desc.duration <= 0)
+        return 0.0;
+    return double(desc.dramBytes) / toSeconds(desc.duration);
+}
+
+double
+Runtime::kernelDramUtil(const KernelDesc &desc) const
+{
+    return std::clamp(kernelDemandBw(desc) / gpuSpec.dramBandwidth, 0.0,
+                      1.0);
+}
+
+double
+Runtime::computeRate() const
+{
+    if (!contention)
+        return 1.0;
+    double stolen = 0.0;
+    if (copyD2H.busy)
+        stolen += pcie.spec().dmaBandwidth;
+    if (copyH2D.busy)
+        stolen += pcie.spec().dmaBandwidth;
+    if (stolen <= 0.0)
+        return 1.0;
+    double demand = kernelDemandBw(compute.desc);
+    double avail = std::max(gpuSpec.dramBandwidth - stolen,
+                            0.05 * gpuSpec.dramBandwidth);
+    if (demand <= avail)
+        return 1.0;
+    return std::max(avail / demand, 0.05);
+}
+
+void
+Runtime::refreshComputeSchedule()
+{
+    if (!compute.busy)
+        return;
+    // Account for progress at the old rate, then reschedule completion
+    // at the new rate.
+    TimeNs now = eq.now();
+    double progressed = double(now - compute.lastUpdate) * compute.rate;
+    compute.remainingBase = std::max(0.0, compute.remainingBase - progressed);
+    compute.lastUpdate = now;
+    compute.rate = computeRate();
+    eq.deschedule(compute.completion);
+    TimeNs remaining =
+        TimeNs(std::ceil(compute.remainingBase / compute.rate));
+    compute.completion =
+        eq.scheduleAfter(std::max<TimeNs>(remaining, 0),
+                         [this] { computeFinish(); });
+}
+
+void
+Runtime::computeTryStart()
+{
+    if (compute.busy || compute.waitQueue.empty())
+        return;
+    StreamId sid = compute.waitQueue.front();
+    compute.waitQueue.erase(compute.waitQueue.begin());
+    Stream &s = streams[size_t(sid)];
+    VDNN_ASSERT(!s.queue.empty() &&
+                    s.queue.front().type == Command::Type::Kernel,
+                "compute engine granted to non-kernel head");
+
+    compute.busy = true;
+    compute.stream = sid;
+    compute.desc = s.queue.front().kernel;
+    compute.start = eq.now();
+    compute.remainingBase = double(compute.desc.duration);
+    compute.lastUpdate = eq.now();
+    compute.rate = computeRate();
+    TimeNs first = TimeNs(std::ceil(compute.remainingBase / compute.rate));
+    compute.completion =
+        eq.scheduleAfter(first, [this] { computeFinish(); });
+    powerModel.kernelStart(eq.now(), kernelComputeUtil(compute.desc),
+                           kernelDramUtil(compute.desc));
+}
+
+void
+Runtime::computeFinish()
+{
+    VDNN_ASSERT(compute.busy, "compute finish while idle");
+    StreamId sid = compute.stream;
+    TimeNs now = eq.now();
+    powerModel.kernelEnd(now, kernelComputeUtil(compute.desc),
+                         kernelDramUtil(compute.desc));
+    computeBusy += now - compute.start;
+    if (keepLog) {
+        kLog.push_back(KernelRecord{compute.desc.name, compute.start, now,
+                                    compute.desc.flops,
+                                    compute.desc.dramBytes});
+    }
+    compute.busy = false;
+    compute.stream = -1;
+    commandDone(sid);
+    computeTryStart();
+}
+
+// --- copy engines ----------------------------------------------------------
+
+Runtime::CopyEngine &
+Runtime::engineFor(CopyDir dir)
+{
+    return dir == CopyDir::DeviceToHost ? copyD2H : copyH2D;
+}
+
+const Runtime::CopyEngine &
+Runtime::engineFor(CopyDir dir) const
+{
+    return dir == CopyDir::DeviceToHost ? copyD2H : copyH2D;
+}
+
+void
+Runtime::copyTryStart(CopyDir dir)
+{
+    CopyEngine &e = engineFor(dir);
+    if (e.busy || e.waitQueue.empty())
+        return;
+    StreamId sid = e.waitQueue.front();
+    e.waitQueue.erase(e.waitQueue.begin());
+    Stream &s = streams[size_t(sid)];
+    VDNN_ASSERT(!s.queue.empty() &&
+                    s.queue.front().type == Command::Type::Copy,
+                "copy engine granted to non-copy head");
+
+    e.busy = true;
+    e.stream = sid;
+    e.cmd = s.queue.front();
+    e.start = eq.now();
+    TimeNs dur = pcie.transferTime(e.cmd.bytes);
+    eq.scheduleAfter(dur, [this, dir] { copyFinish(dir); });
+    powerModel.copyStart(eq.now(), pcie.spec().dmaBandwidth);
+    refreshComputeSchedule();
+}
+
+void
+Runtime::copyFinish(CopyDir dir)
+{
+    CopyEngine &e = engineFor(dir);
+    VDNN_ASSERT(e.busy, "copy finish while idle");
+    StreamId sid = e.stream;
+    TimeNs now = eq.now();
+    powerModel.copyEnd(now, pcie.spec().dmaBandwidth);
+    if (dir == CopyDir::DeviceToHost) {
+        copiedD2H += e.cmd.bytes;
+        copyBusyD2H += now - e.start;
+    } else {
+        copiedH2D += e.cmd.bytes;
+        copyBusyH2D += now - e.start;
+    }
+    if (keepLog) {
+        cLog.push_back(
+            CopyRecord{e.cmd.tag, e.start, now, e.cmd.bytes, dir});
+    }
+    e.busy = false;
+    e.stream = -1;
+    commandDone(sid);
+    copyTryStart(dir);
+    refreshComputeSchedule();
+}
+
+// --- host synchronization ---------------------------------------------------
+
+bool
+Runtime::streamIdle(StreamId stream) const
+{
+    const Stream &s = streams.at(size_t(stream));
+    return s.queue.empty() && !s.headDispatched;
+}
+
+bool
+Runtime::eventFired(CudaEventId event) const
+{
+    return events.at(event).fired;
+}
+
+void
+Runtime::synchronize(StreamId stream)
+{
+    while (!streamIdle(stream)) {
+        if (!eq.step()) {
+            panic("deadlock: stream '%s' cannot drain (waiting on an "
+                  "event that is never recorded?)",
+                  streams[size_t(stream)].name.c_str());
+        }
+    }
+}
+
+void
+Runtime::deviceSynchronize()
+{
+    for (;;) {
+        bool all_idle = true;
+        for (size_t i = 0; i < streams.size(); ++i) {
+            if (!streamIdle(StreamId(i))) {
+                all_idle = false;
+                break;
+            }
+        }
+        if (all_idle)
+            return;
+        if (!eq.step())
+            panic("deadlock in deviceSynchronize()");
+    }
+}
+
+Bytes
+Runtime::bytesCopied(CopyDir dir) const
+{
+    return dir == CopyDir::DeviceToHost ? copiedD2H : copiedH2D;
+}
+
+TimeNs
+Runtime::copyBusyTime(CopyDir dir) const
+{
+    return dir == CopyDir::DeviceToHost ? copyBusyD2H : copyBusyH2D;
+}
+
+} // namespace vdnn::gpu

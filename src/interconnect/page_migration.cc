@@ -1,0 +1,39 @@
+#include "interconnect/page_migration.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace vdnn::ic
+{
+
+PageMigrationModel::PageMigrationModel(PageMigrationSpec spec)
+    : pmSpec(spec)
+{
+    VDNN_ASSERT(pmSpec.pageSize > 0, "page size must be positive");
+    VDNN_ASSERT(pmSpec.perPageCostMin > 0 &&
+                    pmSpec.perPageCostMax >= pmSpec.perPageCostMin,
+                "inconsistent per-page costs");
+}
+
+std::int64_t
+PageMigrationModel::pagesFor(Bytes bytes) const
+{
+    VDNN_ASSERT(bytes >= 0, "negative size");
+    return (bytes + pmSpec.pageSize - 1) / pmSpec.pageSize;
+}
+
+TimeNs
+PageMigrationModel::transferTime(Bytes bytes, bool pessimistic) const
+{
+    TimeNs per = pessimistic ? pmSpec.perPageCostMax : pmSpec.perPageCostMin;
+    return pagesFor(bytes) * per;
+}
+
+double
+PageMigrationModel::effectiveBandwidth(bool pessimistic) const
+{
+    TimeNs per = pessimistic ? pmSpec.perPageCostMax : pmSpec.perPageCostMin;
+    return double(pmSpec.pageSize) / toSeconds(per);
+}
+
+} // namespace vdnn::ic

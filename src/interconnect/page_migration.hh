@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Page-migration (UVM-style) transfer model.
+ *
+ * Section II-C argues against page-migration based virtualization: prior
+ * work measured 20-50 us to page in a single 4 KB page (CPU interrupt,
+ * page-table update, TLB shootdown, transfer), i.e. only 80-200 MB/s of
+ * PCIe utilization versus 12.8 GB/s for DMA memcpy. This model lets the
+ * bench quantify the training-time blow-up of relying on paging.
+ */
+
+#ifndef VDNN_INTERCONNECT_PAGE_MIGRATION_HH
+#define VDNN_INTERCONNECT_PAGE_MIGRATION_HH
+
+#include "common/types.hh"
+
+namespace vdnn::ic
+{
+
+struct PageMigrationSpec
+{
+    /** Virtual memory page size. */
+    Bytes pageSize = 4096;
+    /** Best-case per-page handling cost (20 us in [34]). */
+    TimeNs perPageCostMin = 20000;
+    /** Worst-case per-page handling cost (50 us in [34]). */
+    TimeNs perPageCostMax = 50000;
+};
+
+class PageMigrationModel
+{
+  public:
+    explicit PageMigrationModel(PageMigrationSpec spec = {});
+
+    /**
+     * Time to migrate @p bytes page-by-page.
+     * @param pessimistic use the worst-case per-page cost
+     */
+    TimeNs transferTime(Bytes bytes, bool pessimistic = false) const;
+
+    /** Effective bandwidth (bytes/sec) of page-wise migration. */
+    double effectiveBandwidth(bool pessimistic = false) const;
+
+    /** Number of pages needed to back @p bytes. */
+    std::int64_t pagesFor(Bytes bytes) const;
+
+    const PageMigrationSpec &spec() const { return pmSpec; }
+
+  private:
+    PageMigrationSpec pmSpec;
+};
+
+} // namespace vdnn::ic
+
+#endif // VDNN_INTERCONNECT_PAGE_MIGRATION_HH

@@ -1,0 +1,53 @@
+#include "interconnect/pcie_link.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace vdnn::ic
+{
+
+PcieSpec
+pcieGen3x16()
+{
+    return PcieSpec{};
+}
+
+PcieSpec
+nvlinkGen1()
+{
+    PcieSpec s;
+    s.name = "NVLINK gen1";
+    s.rawBandwidth = 80.0e9;
+    s.dmaBandwidth = 68.0e9;
+    s.setupLatency = 2000; // 2 us
+    return s;
+}
+
+PcieLink::PcieLink(PcieSpec spec) : linkSpec(std::move(spec))
+{
+    VDNN_ASSERT(linkSpec.dmaBandwidth > 0.0 &&
+                    linkSpec.dmaBandwidth <= linkSpec.rawBandwidth,
+                "inconsistent PCIe bandwidths");
+    VDNN_ASSERT(linkSpec.setupLatency >= 0, "negative setup latency");
+}
+
+TimeNs
+PcieLink::transferTime(Bytes bytes) const
+{
+    VDNN_ASSERT(bytes >= 0, "negative transfer size");
+    if (bytes == 0)
+        return linkSpec.setupLatency;
+    return linkSpec.setupLatency +
+           transferTimeNs(bytes, linkSpec.dmaBandwidth);
+}
+
+double
+PcieLink::achievedBandwidth(Bytes bytes) const
+{
+    TimeNs t = transferTime(bytes);
+    if (t <= 0)
+        return linkSpec.dmaBandwidth;
+    return double(bytes) / toSeconds(t);
+}
+
+} // namespace vdnn::ic

@@ -1,0 +1,217 @@
+#include "mem/memory_pool.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+#include <algorithm>
+
+namespace vdnn::mem
+{
+
+namespace
+{
+
+Bytes
+alignUp(Bytes v, Bytes alignment)
+{
+    return (v + alignment - 1) / alignment * alignment;
+}
+
+} // namespace
+
+MemoryPool::MemoryPool(Bytes capacity, std::string name)
+    : cap(alignUp(capacity, kAlignment)),
+      largeThreshold(cap / kLargeFraction), poolName(std::move(name))
+{
+    VDNN_ASSERT(capacity > 0, "pool capacity must be positive");
+    freeBlocks.emplace(0, cap);
+}
+
+void
+MemoryPool::setTracker(UsageTracker *tracker)
+{
+    usageTracker = tracker;
+    notify();
+}
+
+void
+MemoryPool::notify()
+{
+    if (usageTracker)
+        usageTracker->onUsage(used);
+}
+
+std::optional<Allocation>
+MemoryPool::tryAllocate(Bytes size, const std::string &tag)
+{
+    VDNN_ASSERT(size >= 0, "negative allocation size");
+    Bytes need = std::max<Bytes>(alignUp(size, kAlignment), kAlignment);
+
+    // Two-tier best fit. Small requests first look for the smallest
+    // sufficient *small* free block, so the holes the giant-class
+    // buffers cycle through are raided only as a last resort — best-fit
+    // alone steers small allocations into those holes whenever they are
+    // momentarily the tightest fit, and a single small tenant splits a
+    // giant hole for the rest of the run. Ties go to the lowest offset
+    // for deterministic layouts.
+    auto best = freeBlocks.end();
+    if (need < largeThreshold) {
+        for (auto it = freeBlocks.begin(); it != freeBlocks.end(); ++it) {
+            if (it->second < need || it->second >= largeThreshold)
+                continue;
+            if (best == freeBlocks.end() || it->second < best->second)
+                best = it;
+        }
+    }
+    if (best == freeBlocks.end()) {
+        for (auto it = freeBlocks.begin(); it != freeBlocks.end(); ++it) {
+            if (it->second < need)
+                continue;
+            if (best == freeBlocks.end() || it->second < best->second)
+                best = it;
+        }
+    }
+
+    if (best == freeBlocks.end()) {
+        oom.requested = need;
+        oom.totalFree = freeBytes();
+        oom.largestFree = largestFreeBlock();
+        oom.tag = tag;
+        oom.layout = layoutString();
+        return std::nullopt;
+    }
+
+    Bytes block_offset = best->first;
+    Bytes block_size = best->second;
+    freeBlocks.erase(best);
+    Bytes offset;
+    if (need >= largeThreshold) {
+        // Large: carve from the high end of the block.
+        offset = block_offset + block_size - need;
+        if (block_size > need)
+            freeBlocks.emplace(block_offset, block_size - need);
+    } else {
+        // Small: carve from the low end.
+        offset = block_offset;
+        if (block_size > need)
+            freeBlocks.emplace(block_offset + need, block_size - need);
+    }
+
+    Allocation a;
+    a.id = nextId++;
+    a.offset = offset;
+    a.size = need;
+    live.emplace(a.id, LiveBlock{offset, need, tag});
+    used += need;
+    peak = std::max(peak, used);
+    notify();
+    return a;
+}
+
+Allocation
+MemoryPool::allocate(Bytes size, const std::string &tag)
+{
+    auto a = tryAllocate(size, tag);
+    if (!a) {
+        fatal("%s: out of memory allocating %s for '%s' "
+              "(free %s, largest block %s)",
+              poolName.c_str(), formatBytes(size).c_str(), tag.c_str(),
+              formatBytes(oom.totalFree).c_str(),
+              formatBytes(oom.largestFree).c_str());
+    }
+    return *a;
+}
+
+void
+MemoryPool::release(const Allocation &alloc)
+{
+    auto it = live.find(alloc.id);
+    VDNN_ASSERT(it != live.end(), "releasing unknown allocation id %lld",
+                (long long)alloc.id);
+    Bytes offset = it->second.offset;
+    Bytes size = it->second.size;
+    live.erase(it);
+    used -= size;
+
+    auto [ins, ok] = freeBlocks.emplace(offset, size);
+    VDNN_ASSERT(ok, "double free at offset %lld", (long long)offset);
+
+    // Coalesce with successor.
+    auto next = std::next(ins);
+    if (next != freeBlocks.end() &&
+        ins->first + ins->second == next->first) {
+        ins->second += next->second;
+        freeBlocks.erase(next);
+    }
+    // Coalesce with predecessor.
+    if (ins != freeBlocks.begin()) {
+        auto prev = std::prev(ins);
+        if (prev->first + prev->second == ins->first) {
+            prev->second += ins->second;
+            freeBlocks.erase(ins);
+        }
+    }
+    notify();
+}
+
+void
+MemoryPool::releaseAll()
+{
+    live.clear();
+    freeBlocks.clear();
+    freeBlocks.emplace(0, cap);
+    used = 0;
+    notify();
+}
+
+Bytes
+MemoryPool::largestFreeBlock() const
+{
+    Bytes largest = 0;
+    for (const auto &[off, size] : freeBlocks)
+        largest = std::max(largest, size);
+    return largest;
+}
+
+std::string
+MemoryPool::layoutString() const
+{
+    // Merge live and free blocks into one offset-ordered map.
+    std::map<Bytes, std::pair<Bytes, std::string>> blocks;
+    for (const auto &[off, size] : freeBlocks)
+        blocks[off] = {size, "<free>"};
+    for (const auto &[id, blk] : live)
+        blocks[blk.offset] = {blk.size, blk.tag};
+    std::string out = strFormat("%s: %s used of %s\n", poolName.c_str(),
+                                formatBytes(used).c_str(),
+                                formatBytes(cap).c_str());
+    for (const auto &[off, info] : blocks) {
+        out += strFormat("  [%12lld +%12lld] %8.1f MiB  %s\n",
+                         (long long)off, (long long)info.first,
+                         double(info.first) / double(kMiB),
+                         info.second.c_str());
+    }
+    return out;
+}
+
+bool
+MemoryPool::checkInvariants() const
+{
+    // Free blocks are disjoint, sorted, non-adjacent and inside the arena.
+    Bytes total_free = 0;
+    Bytes prev_end = -1;
+    for (const auto &[off, size] : freeBlocks) {
+        if (size <= 0 || off < 0 || off + size > cap)
+            return false;
+        if (prev_end >= 0 && off <= prev_end)
+            return false; // overlapping or uncoalesced adjacency
+        prev_end = off + size;
+        total_free += size;
+    }
+    Bytes total_live = 0;
+    for (const auto &[id, blk] : live)
+        total_live += blk.size;
+    return total_free + total_live == cap && total_live == used;
+}
+
+} // namespace vdnn::mem

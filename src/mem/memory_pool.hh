@@ -1,0 +1,148 @@
+/**
+ * @file
+ * cnmem-style GPU memory pool.
+ *
+ * The CUDA library only supports synchronous cudaMalloc/cudaFree, which
+ * force device-wide synchronization; vDNN therefore reserves the whole
+ * physical GPU capacity up front and sub-allocates from a host-side pool
+ * (NVIDIA cnmem, reference [37] of the paper). This class reproduces
+ * that allocator: a fixed arena managed with a best-fit free list,
+ * block splitting, and coalescing of adjacent free blocks. Offsets stand
+ * in for device pointers; no memory is actually backed.
+ *
+ * Out-of-memory is an *expected* outcome for some (network, policy,
+ * algorithm) configurations — it is exactly what the paper's `*` marks
+ * denote — so allocation failure is reported via std::optional rather
+ * than an error path, and the failure details are retained for
+ * diagnostics (OomInfo).
+ */
+
+#ifndef VDNN_MEM_MEMORY_POOL_HH
+#define VDNN_MEM_MEMORY_POOL_HH
+
+#include "common/types.hh"
+#include "mem/usage_tracker.hh"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace vdnn::mem
+{
+
+/** Handle to a live pool allocation. */
+struct Allocation
+{
+    std::int64_t id = -1;
+    Bytes offset = 0;
+    Bytes size = 0;
+
+    bool valid() const { return id >= 0; }
+};
+
+/** Details of the most recent failed allocation. */
+struct OomInfo
+{
+    Bytes requested = 0;
+    Bytes totalFree = 0;
+    Bytes largestFree = 0;
+    std::string tag;
+    /** Arena map at the failure, for fragmentation diagnostics. */
+    std::string layout;
+};
+
+class MemoryPool
+{
+  public:
+    /** Allocation granularity; cnmem aligns to 512-byte boundaries. */
+    static constexpr Bytes kAlignment = 512;
+
+    /**
+     * Placement segregation: allocations at or above the large
+     * threshold (a fixed fraction of the arena) are carved from the
+     * *high* end of the chosen free block, everything else from the
+     * low end. This dlmalloc-style discipline keeps ordinary transient
+     * allocations (workspaces, mid-size feature maps, classifier
+     * tensors) from peppering the region the giant-class buffers (the
+     * first conv groups' multi-GiB feature and gradient maps) must
+     * repeatedly fit into. Without it, a long-running training pool
+     * fragments and giant reallocation requests fail despite ample
+     * total free space — trainability near the capacity limit (VGG-16
+     * (256) on 12 GB) hinges on this.
+     */
+    static constexpr int kLargeFraction = 6; ///< large = capacity/6
+
+    /**
+     * @param capacity arena size (the physical GPU memory reserved)
+     * @param name     used in diagnostics
+     */
+    MemoryPool(Bytes capacity, std::string name = "pool");
+
+    MemoryPool(const MemoryPool &) = delete;
+    MemoryPool &operator=(const MemoryPool &) = delete;
+
+    /**
+     * Best-fit allocation of @p size bytes (rounded up to kAlignment).
+     * @param tag free-form label kept for diagnostics / leak reports
+     * @return std::nullopt when no free block fits (details in lastOom())
+     */
+    std::optional<Allocation> tryAllocate(Bytes size,
+                                          const std::string &tag = "");
+
+    /** tryAllocate() that treats failure as a fatal user error. */
+    Allocation allocate(Bytes size, const std::string &tag = "");
+
+    /** Return an allocation to the pool; coalesces with neighbours. */
+    void release(const Allocation &alloc);
+
+    /** Release every live allocation (between training iterations). */
+    void releaseAll();
+
+    Bytes capacity() const { return cap; }
+    Bytes usedBytes() const { return used; }
+    Bytes freeBytes() const { return cap - used; }
+    Bytes largestFreeBlock() const;
+    std::size_t liveAllocations() const { return live.size(); }
+    std::size_t freeBlockCount() const { return freeBlocks.size(); }
+    Bytes peakUsage() const { return peak; }
+
+    const OomInfo &lastOom() const { return oom; }
+    const std::string &name() const { return poolName; }
+
+    /** Attach a tracker notified on every usage change (may be null). */
+    void setTracker(UsageTracker *tracker);
+
+    /** Internal consistency check (tests): free + live covers the arena. */
+    bool checkInvariants() const;
+
+    /** Human-readable arena map (offset-ordered blocks with tags). */
+    std::string layoutString() const;
+
+  private:
+    struct LiveBlock
+    {
+        Bytes offset;
+        Bytes size;
+        std::string tag;
+    };
+
+    void notify();
+
+    Bytes cap;
+    Bytes largeThreshold;
+    std::string poolName;
+    Bytes used = 0;
+    Bytes peak = 0;
+    std::int64_t nextId = 1;
+    /** offset -> size, ordered so coalescing can look at neighbours. */
+    std::map<Bytes, Bytes> freeBlocks;
+    std::unordered_map<std::int64_t, LiveBlock> live;
+    OomInfo oom;
+    UsageTracker *usageTracker = nullptr;
+};
+
+} // namespace vdnn::mem
+
+#endif // VDNN_MEM_MEMORY_POOL_HH

@@ -1,0 +1,64 @@
+#include "mem/pinned_host.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+#include <algorithm>
+
+namespace vdnn::mem
+{
+
+PinnedHostAllocator::PinnedHostAllocator(Bytes capacity) : cap(capacity)
+{
+    VDNN_ASSERT(capacity > 0, "host capacity must be positive");
+}
+
+std::optional<HostAllocation>
+PinnedHostAllocator::tryAllocate(Bytes size, const std::string &tag)
+{
+    VDNN_ASSERT(size >= 0, "negative allocation size");
+    (void)tag;
+    if (used + size > cap)
+        return std::nullopt;
+    HostAllocation a;
+    a.id = nextId++;
+    a.size = size;
+    live.emplace(a.id, size);
+    used += size;
+    totalAlloc += size;
+    peak = std::max(peak, used);
+    return a;
+}
+
+HostAllocation
+PinnedHostAllocator::allocate(Bytes size, const std::string &tag)
+{
+    auto a = tryAllocate(size, tag);
+    if (!a) {
+        fatal("pinned host allocator: out of memory allocating %s for "
+              "'%s' (used %s of %s)",
+              formatBytes(size).c_str(), tag.c_str(),
+              formatBytes(used).c_str(), formatBytes(cap).c_str());
+    }
+    return *a;
+}
+
+void
+PinnedHostAllocator::release(const HostAllocation &alloc)
+{
+    auto it = live.find(alloc.id);
+    VDNN_ASSERT(it != live.end(),
+                "releasing unknown host allocation id %lld",
+                (long long)alloc.id);
+    used -= it->second;
+    live.erase(it);
+}
+
+void
+PinnedHostAllocator::releaseAll()
+{
+    live.clear();
+    used = 0;
+}
+
+} // namespace vdnn::mem

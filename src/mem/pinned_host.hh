@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Pinned (page-locked) host memory allocator.
+ *
+ * vDNN offload targets host memory allocated with cudaMallocHost():
+ * pinned pages are required for async DMA. The model tracks the total
+ * pinned footprint against the host DRAM capacity (64 GB DDR4 in the
+ * paper's node) — Fig. 15 reports exactly this CPU-side allocation.
+ */
+
+#ifndef VDNN_MEM_PINNED_HOST_HH
+#define VDNN_MEM_PINNED_HOST_HH
+
+#include "common/types.hh"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace vdnn::mem
+{
+
+/** Handle to a pinned host buffer. */
+struct HostAllocation
+{
+    std::int64_t id = -1;
+    Bytes size = 0;
+
+    bool valid() const { return id >= 0; }
+};
+
+class PinnedHostAllocator
+{
+  public:
+    explicit PinnedHostAllocator(Bytes capacity);
+
+    /** cudaMallocHost(); fails when host DRAM would be exhausted. */
+    std::optional<HostAllocation> tryAllocate(Bytes size,
+                                              const std::string &tag = "");
+
+    /** tryAllocate() that treats failure as a fatal user error. */
+    HostAllocation allocate(Bytes size, const std::string &tag = "");
+
+    /** cudaFreeHost(). */
+    void release(const HostAllocation &alloc);
+
+    /** Free all buffers (between experiments). */
+    void releaseAll();
+
+    Bytes capacity() const { return cap; }
+    Bytes usedBytes() const { return used; }
+    Bytes peakUsage() const { return peak; }
+    /** Cumulative bytes ever pinned (Fig. 12's offload footprint). */
+    Bytes totalAllocated() const { return totalAlloc; }
+    std::size_t liveAllocations() const { return live.size(); }
+
+  private:
+    Bytes cap;
+    Bytes used = 0;
+    Bytes peak = 0;
+    Bytes totalAlloc = 0;
+    std::int64_t nextId = 1;
+    std::unordered_map<std::int64_t, Bytes> live;
+};
+
+} // namespace vdnn::mem
+
+#endif // VDNN_MEM_PINNED_HOST_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * AlexNet builder ("one weird trick" single-tower variant, as in the
+ * convnet-benchmarks reference models the paper evaluates, [41]).
+ */
+
+#include "net/builders.hh"
+
+#include "common/logging.hh"
+
+namespace vdnn::net
+{
+
+using namespace vdnn::dnn;
+
+std::unique_ptr<Network>
+buildAlexNet(std::int64_t batch)
+{
+    VDNN_ASSERT(batch > 0, "batch must be positive");
+    TensorShape in{batch, 3, 224, 224};
+    auto net = std::make_unique<Network>(
+        strFormat("AlexNet (%lld)", (long long)batch), in);
+
+    auto conv = [&](const std::string &name, const TensorShape &x,
+                    std::int64_t k, int kernel, int stride, int pad) {
+        ConvParams p;
+        p.outChannels = k;
+        p.kernelH = p.kernelW = kernel;
+        p.strideH = p.strideW = stride;
+        p.padH = p.padW = pad;
+        return net->append(makeConv(name, x, p));
+    };
+    auto relu = [&](const std::string &name) {
+        const TensorShape &x = net->node(LayerId(net->numLayers() - 1)).spec.out;
+        return net->append(makeActivation(name, x));
+    };
+    auto maxpool = [&](const std::string &name, int window, int stride) {
+        const TensorShape &x = net->node(LayerId(net->numLayers() - 1)).spec.out;
+        PoolParams p;
+        p.windowH = p.windowW = window;
+        p.strideH = p.strideW = stride;
+        return net->append(makePool(name, x, p));
+    };
+    auto shape = [&]() {
+        return net->node(LayerId(net->numLayers() - 1)).spec.out;
+    };
+
+    conv("conv1", in, 64, 11, 4, 2); // 224 -> 55
+    relu("relu1");
+    net->append(makeLrn("lrn1", shape()));
+    maxpool("pool1", 3, 2); // 55 -> 27
+    conv("conv2", shape(), 192, 5, 1, 2);
+    relu("relu2");
+    net->append(makeLrn("lrn2", shape()));
+    maxpool("pool2", 3, 2); // 27 -> 13
+    conv("conv3", shape(), 384, 3, 1, 1);
+    relu("relu3");
+    conv("conv4", shape(), 256, 3, 1, 1);
+    relu("relu4");
+    conv("conv5", shape(), 256, 3, 1, 1);
+    relu("relu5");
+    maxpool("pool5", 3, 2); // 13 -> 6
+
+    net->append(makeFc("fc6", shape(), FcParams{4096}));
+    net->append(makeActivation("relu6", shape()));
+    net->append(makeDropout("drop6", shape()));
+    net->append(makeFc("fc7", shape(), FcParams{4096}));
+    net->append(makeActivation("relu7", shape()));
+    net->append(makeDropout("drop7", shape()));
+    net->append(makeFc("fc8", shape(), FcParams{1000}));
+    net->append(makeSoftmaxLoss("loss", shape()));
+
+    net->finalize();
+    return net;
+}
+
+} // namespace vdnn::net

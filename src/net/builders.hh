@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Builders for the ten DNN benchmarks of the paper (Section IV-C).
+ *
+ * Conventional DNNs (geometries follow the convnet-benchmarks reference
+ * models the paper uses):
+ *  - AlexNet, "one weird trick" single-tower variant, batch 128
+ *  - OverFeat, fast model, batch 128
+ *  - GoogLeNet v1 (all 9 inception modules, fork/join graph), batch 128
+ *  - VGG-16 (configuration D), batch 64 / 128 / 256
+ *
+ * Very deep networks (Section IV-C "Very Deep Networks"): VGG-style
+ * networks extended from 16 to 116/216/316/416 CONV layers by adding 20
+ * CONV layers per +100 to each of the five CONV groups, batch 32.
+ */
+
+#ifndef VDNN_NET_BUILDERS_HH
+#define VDNN_NET_BUILDERS_HH
+
+#include "net/network.hh"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vdnn::net
+{
+
+/** AlexNet (one-weird-trick variant): 5 CONV + 3 FC, 227x227 input. */
+std::unique_ptr<Network> buildAlexNet(std::int64_t batch);
+
+/** OverFeat (fast): 5 CONV + 3 FC, 231x231 input. */
+std::unique_ptr<Network> buildOverFeat(std::int64_t batch);
+
+/** GoogLeNet v1: 57 CONV + 1 FC with inception fork/join modules. */
+std::unique_ptr<Network> buildGoogLeNet(std::int64_t batch);
+
+/** VGG-16 (configuration D): 13+3 stacked 3x3 CONV + 3 FC. */
+std::unique_ptr<Network> buildVgg16(std::int64_t batch);
+
+/**
+ * VGG-style very deep network with @p conv_layers total CONV layers
+ * (16 + multiple of 100: each +100 adds 20 CONV layers to each of the
+ * five groups). Valid inputs: 16, 116, 216, 316, 416.
+ */
+std::unique_ptr<Network> buildVggDeep(int conv_layers, std::int64_t batch);
+
+/** A small synthetic linear CNN for tests and the quickstart example. */
+std::unique_ptr<Network> buildTinyCnn(std::int64_t batch,
+                                      std::int64_t image = 32);
+
+/** Named benchmark suite entry. */
+struct BenchmarkNet
+{
+    std::string name;
+    std::function<std::unique_ptr<Network>()> build;
+};
+
+/** The six conventional configurations of Figs. 11/12/14. */
+std::vector<BenchmarkNet> conventionalSuite();
+
+/** The four very deep configurations of Fig. 15 (batch 32). */
+std::vector<BenchmarkNet> veryDeepSuite();
+
+/** All ten studied DNNs (Fig. 1 / Fig. 4). */
+std::vector<BenchmarkNet> fullSuite();
+
+} // namespace vdnn::net
+
+#endif // VDNN_NET_BUILDERS_HH

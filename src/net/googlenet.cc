@@ -1,0 +1,190 @@
+/**
+ * @file
+ * GoogLeNet v1 builder (Szegedy et al. [17]).
+ *
+ * The inception modules are the paper's example of non-linear topology
+ * (Figure 3): each module forks its input into four branches whose
+ * outputs join in a channel concatenation, so vDNN's refcount rule
+ * (offload/release only by the last consumer) is exercised for real.
+ * Auxiliary classifier heads are omitted, as in the convnet-benchmarks
+ * training configuration the paper uses.
+ */
+
+#include "net/builders.hh"
+
+#include "common/logging.hh"
+
+namespace vdnn::net
+{
+
+using namespace vdnn::dnn;
+
+namespace
+{
+
+struct InceptionSpec
+{
+    std::int64_t p1x1;    ///< branch 1: 1x1 channels
+    std::int64_t p3x3red; ///< branch 2: 1x1 reduce channels
+    std::int64_t p3x3;    ///< branch 2: 3x3 channels
+    std::int64_t p5x5red; ///< branch 3: 1x1 reduce channels
+    std::int64_t p5x5;    ///< branch 3: 5x5 channels
+    std::int64_t pproj;   ///< branch 4: pool projection channels
+};
+
+/** conv + relu; returns the relu layer id (the branch output). */
+LayerId
+convRelu(Network &net, const std::string &name, LayerId input,
+         const TensorShape &x, std::int64_t k, int kernel, int stride,
+         int pad)
+{
+    ConvParams p;
+    p.outChannels = k;
+    p.kernelH = p.kernelW = kernel;
+    p.strideH = p.strideW = stride;
+    p.padH = p.padW = pad;
+    LayerId conv = net.addLayer(makeConv(name, x, p), {input});
+    return net.addLayer(
+        makeActivation("relu_" + name, net.node(conv).spec.out), {conv});
+}
+
+/** Build one inception module; returns the concat layer id. */
+LayerId
+inception(Network &net, const std::string &name, LayerId input,
+          const InceptionSpec &s)
+{
+    const TensorShape x = input == kInputLayer ? net.inputShape()
+                                               : net.node(input).spec.out;
+
+    // Branch 1: 1x1 conv.
+    LayerId b1 = convRelu(net, name + "/1x1", input, x, s.p1x1, 1, 1, 0);
+
+    // Branch 2: 1x1 reduce -> 3x3.
+    LayerId b2r =
+        convRelu(net, name + "/3x3_reduce", input, x, s.p3x3red, 1, 1, 0);
+    LayerId b2 = convRelu(net, name + "/3x3", b2r, net.node(b2r).spec.out,
+                          s.p3x3, 3, 1, 1);
+
+    // Branch 3: 1x1 reduce -> 5x5.
+    LayerId b3r =
+        convRelu(net, name + "/5x5_reduce", input, x, s.p5x5red, 1, 1, 0);
+    LayerId b3 = convRelu(net, name + "/5x5", b3r, net.node(b3r).spec.out,
+                          s.p5x5, 5, 1, 2);
+
+    // Branch 4: 3x3/1 max pool -> 1x1 projection.
+    PoolParams pp;
+    pp.windowH = pp.windowW = 3;
+    pp.strideH = pp.strideW = 1;
+    pp.padH = pp.padW = 1;
+    LayerId b4p = net.addLayer(makePool(name + "/pool", x, pp), {input});
+    LayerId b4 = convRelu(net, name + "/pool_proj", b4p,
+                          net.node(b4p).spec.out, s.pproj, 1, 1, 0);
+
+    std::vector<TensorShape> shapes = {
+        net.node(b1).spec.out, net.node(b2).spec.out,
+        net.node(b3).spec.out, net.node(b4).spec.out};
+    return net.addLayer(makeConcat(name + "/concat", shapes),
+                        {b1, b2, b3, b4});
+}
+
+} // namespace
+
+std::unique_ptr<Network>
+buildGoogLeNet(std::int64_t batch)
+{
+    VDNN_ASSERT(batch > 0, "batch must be positive");
+    TensorShape in{batch, 3, 224, 224};
+    auto net = std::make_unique<Network>(
+        strFormat("GoogLeNet (%lld)", (long long)batch), in);
+
+    auto shape = [&]() {
+        return net->node(LayerId(net->numLayers() - 1)).spec.out;
+    };
+    auto last = [&]() { return LayerId(net->numLayers() - 1); };
+    auto maxpool = [&](const std::string &name, int window, int stride,
+                       int pad) {
+        PoolParams p;
+        p.windowH = p.windowW = window;
+        p.strideH = p.strideW = stride;
+        p.padH = p.padW = pad;
+        net->append(makePool(name, shape(), p));
+    };
+
+    // Stem.
+    convRelu(*net, "conv1/7x7_s2", kInputLayer, in, 64, 7, 2, 3);
+    maxpool("pool1/3x3_s2", 3, 2, 0);
+    net->append(makeLrn("pool1/norm1", shape()));
+    convRelu(*net, "conv2/3x3_reduce", last(), shape(), 64, 1, 1, 0);
+    convRelu(*net, "conv2/3x3", last(), shape(), 192, 3, 1, 1);
+    net->append(makeLrn("conv2/norm2", shape()));
+    maxpool("pool2/3x3_s2", 3, 2, 0);
+
+    // Inception 3a/3b (28x28).
+    LayerId l = inception(*net, "inception_3a", last(),
+                          {64, 96, 128, 16, 32, 32});
+    l = inception(*net, "inception_3b", l, {128, 128, 192, 32, 96, 64});
+    maxpool("pool3/3x3_s2", 3, 2, 0);
+
+    // Inception 4a-4e (14x14).
+    l = inception(*net, "inception_4a", last(),
+                  {192, 96, 208, 16, 48, 64});
+    l = inception(*net, "inception_4b", l, {160, 112, 224, 24, 64, 64});
+    l = inception(*net, "inception_4c", l, {128, 128, 256, 24, 64, 64});
+    l = inception(*net, "inception_4d", l, {112, 144, 288, 32, 64, 64});
+    l = inception(*net, "inception_4e", l, {256, 160, 320, 32, 128, 128});
+    maxpool("pool4/3x3_s2", 3, 2, 0);
+
+    // Inception 5a/5b (7x7).
+    l = inception(*net, "inception_5a", last(),
+                  {256, 160, 320, 32, 128, 128});
+    l = inception(*net, "inception_5b", l, {384, 192, 384, 48, 128, 128});
+
+    // Classifier: global average pool, dropout, FC, loss.
+    PoolParams avg;
+    avg.mode = PoolParams::Mode::Avg;
+    avg.windowH = avg.windowW = 7;
+    avg.strideH = avg.strideW = 1;
+    net->addLayer(makePool("pool5/7x7_s1", net->node(l).spec.out, avg),
+                  {l});
+    net->append(makeDropout("pool5/drop", shape(), 0.4));
+    net->append(makeFc("loss3/classifier", shape(), FcParams{1000}));
+    net->append(makeSoftmaxLoss("loss", shape()));
+
+    net->finalize();
+    return net;
+}
+
+std::vector<BenchmarkNet>
+conventionalSuite()
+{
+    return {
+        {"AlexNet (128)", [] { return buildAlexNet(128); }},
+        {"OverFeat (128)", [] { return buildOverFeat(128); }},
+        {"GoogLeNet (128)", [] { return buildGoogLeNet(128); }},
+        {"VGG-16 (64)", [] { return buildVgg16(64); }},
+        {"VGG-16 (128)", [] { return buildVgg16(128); }},
+        {"VGG-16 (256)", [] { return buildVgg16(256); }},
+    };
+}
+
+std::vector<BenchmarkNet>
+veryDeepSuite()
+{
+    return {
+        {"VGG-116 (32)", [] { return buildVggDeep(116, 32); }},
+        {"VGG-216 (32)", [] { return buildVggDeep(216, 32); }},
+        {"VGG-316 (32)", [] { return buildVggDeep(316, 32); }},
+        {"VGG-416 (32)", [] { return buildVggDeep(416, 32); }},
+    };
+}
+
+std::vector<BenchmarkNet>
+fullSuite()
+{
+    std::vector<BenchmarkNet> all = conventionalSuite();
+    for (auto &n : veryDeepSuite())
+        all.push_back(n);
+    return all;
+}
+
+} // namespace vdnn::net

@@ -1,0 +1,285 @@
+#include "net/network.hh"
+
+#include "common/logging.hh"
+#include "dnn/perf_model.hh"
+
+#include <algorithm>
+#include <queue>
+
+namespace vdnn::net
+{
+
+Network::Network(std::string name, dnn::TensorShape in)
+    : netName(std::move(name)), input(in)
+{
+    VDNN_ASSERT(input.valid(), "invalid network input shape %s",
+                input.str().c_str());
+}
+
+LayerId
+Network::addLayer(dnn::LayerSpec spec, std::vector<LayerId> inputs)
+{
+    VDNN_ASSERT(!isFinalized, "network is finalized");
+    VDNN_ASSERT(!inputs.empty(), "layer '%s' has no inputs",
+                spec.name.c_str());
+
+    // Shape check: the declared input shape must match what feeds it.
+    if (spec.kind == dnn::LayerKind::Concat) {
+        std::int64_t channels = 0;
+        for (LayerId in_id : inputs) {
+            const dnn::TensorShape &s = in_id == kInputLayer
+                                            ? input
+                                            : node(in_id).spec.out;
+            channels += s.c;
+            VDNN_ASSERT(s.n == spec.out.n && s.h == spec.out.h &&
+                            s.w == spec.out.w,
+                        "concat '%s': branch shape %s mismatches %s",
+                        spec.name.c_str(), s.str().c_str(),
+                        spec.out.str().c_str());
+        }
+        VDNN_ASSERT(channels == spec.out.c,
+                    "concat '%s': channel sum %lld != %lld",
+                    spec.name.c_str(), (long long)channels,
+                    (long long)spec.out.c);
+    } else {
+        VDNN_ASSERT(inputs.size() == 1,
+                    "non-concat layer '%s' must have exactly one input",
+                    spec.name.c_str());
+        const dnn::TensorShape &feed =
+            inputs[0] == kInputLayer ? input : node(inputs[0]).spec.out;
+        VDNN_ASSERT(feed == spec.in,
+                    "layer '%s': declared input %s but producer yields %s",
+                    spec.name.c_str(), spec.in.str().c_str(),
+                    feed.str().c_str());
+    }
+
+    LayerNode n;
+    n.spec = std::move(spec);
+    n.inputs = std::move(inputs);
+    nodes.push_back(std::move(n));
+    return LayerId(nodes.size() - 1);
+}
+
+LayerId
+Network::append(dnn::LayerSpec spec)
+{
+    LayerId prev = nodes.empty() ? kInputLayer : LayerId(nodes.size() - 1);
+    return addLayer(std::move(spec), {prev});
+}
+
+const LayerNode &
+Network::node(LayerId id) const
+{
+    VDNN_ASSERT(id >= 0 && std::size_t(id) < nodes.size(),
+                "bad layer id %d", id);
+    return nodes[std::size_t(id)];
+}
+
+const std::vector<LayerId> &
+Network::topoOrder() const
+{
+    VDNN_ASSERT(isFinalized, "network not finalized");
+    return topo;
+}
+
+const Buffer &
+Network::buffer(BufferId id) const
+{
+    VDNN_ASSERT(id >= 0 && std::size_t(id) < buffers.size(),
+                "bad buffer id %d", id);
+    return buffers[std::size_t(id)];
+}
+
+void
+Network::computeTopoOrder()
+{
+    // Kahn's algorithm; ties resolved by insertion order so the layer-
+    // wise execution sequence is deterministic and matches the paper's
+    // layer(1)..layer(N) numbering for its example graphs.
+    std::vector<int> indegree(nodes.size(), 0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        for (LayerId in_id : nodes[i].inputs) {
+            if (in_id != kInputLayer)
+                ++indegree[i];
+        }
+    }
+    std::priority_queue<LayerId, std::vector<LayerId>,
+                        std::greater<LayerId>>
+        ready;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (indegree[i] == 0)
+            ready.push(LayerId(i));
+    }
+    topo.clear();
+    while (!ready.empty()) {
+        LayerId id = ready.top();
+        ready.pop();
+        nodes[std::size_t(id)].topoIndex = int(topo.size());
+        topo.push_back(id);
+        for (LayerId c : nodes[std::size_t(id)].consumers) {
+            if (--indegree[std::size_t(c)] == 0)
+                ready.push(c);
+        }
+    }
+    VDNN_ASSERT(topo.size() == nodes.size(),
+                "network '%s' has a cycle (%zu of %zu layers ordered)",
+                netName.c_str(), topo.size(), nodes.size());
+}
+
+void
+Network::buildBuffers()
+{
+    buffers.clear();
+
+    // Buffer 0: the input image batch.
+    Buffer in_buf;
+    in_buf.id = 0;
+    in_buf.producer = kInputLayer;
+    in_buf.shape = input;
+    buffers.push_back(in_buf);
+
+    // Resolve, in topo order, which buffer each layer reads and writes.
+    std::vector<BufferId> out_buffer_of(nodes.size(), -1);
+    auto bufferOf = [&](LayerId id) -> BufferId {
+        return id == kInputLayer ? 0 : out_buffer_of[std::size_t(id)];
+    };
+
+    for (LayerId id : topo) {
+        LayerNode &n = nodes[std::size_t(id)];
+        BufferId x = bufferOf(n.inputs.front());
+        VDNN_ASSERT(x >= 0, "layer '%s' reads an unmaterialized buffer",
+                    n.spec.name.c_str());
+        n.xBuffer = x;
+
+        // Every input buffer gains this layer as a reader. CONCAT reads
+        // all of its branch buffers.
+        for (LayerId in_id : n.inputs) {
+            Buffer &b = buffers[std::size_t(bufferOf(in_id))];
+            b.readers.push_back(id);
+            b.refCount += 1;
+            b.lastFwdReader = id; // topo order makes the last write win
+        }
+
+        if (n.spec.inPlace()) {
+            // ACTV/DROPOUT overwrite their input buffer (footnote 1).
+            n.yBuffer = x;
+        } else {
+            Buffer b;
+            b.id = BufferId(buffers.size());
+            b.producer = id;
+            b.shape = n.spec.out;
+            buffers.push_back(b);
+            n.yBuffer = b.id;
+        }
+        out_buffer_of[std::size_t(id)] = n.yBuffer;
+    }
+
+    // Backward users: layer L's backward needs its X buffer (weight
+    // gradients, pooling argmax) and/or its Y buffer (in-place
+    // activation gradients, pooling).
+    for (LayerId id : topo) {
+        const LayerNode &n = nodes[std::size_t(id)];
+        if (n.spec.backwardNeedsX()) {
+            for (LayerId in_id : n.inputs)
+                buffers[std::size_t(bufferOf(in_id))].bwdUsers.push_back(id);
+        }
+        if (n.spec.backwardNeedsY())
+            buffers[std::size_t(n.yBuffer)].bwdUsers.push_back(id);
+    }
+    for (Buffer &b : buffers) {
+        std::sort(b.bwdUsers.begin(), b.bwdUsers.end(),
+                  [this](LayerId a, LayerId c) {
+                      return node(a).topoIndex < node(c).topoIndex;
+                  });
+        b.bwdUsers.erase(std::unique(b.bwdUsers.begin(), b.bwdUsers.end()),
+                         b.bwdUsers.end());
+    }
+}
+
+void
+Network::markClassifier()
+{
+    // The classifier region starts at the first FC layer in topological
+    // order; everything from there on (FC chain, dropout, loss) is
+    // executed with cuBLAS, untouched by vDNN (Section IV-A).
+    int first_fc = int(nodes.size());
+    for (LayerId id : topo) {
+        if (node(id).spec.kind == dnn::LayerKind::Fc) {
+            first_fc = node(id).topoIndex;
+            break;
+        }
+    }
+    for (LayerNode &n : nodes)
+        n.classifier = n.topoIndex >= first_fc;
+    for (Buffer &b : buffers) {
+        b.classifier =
+            b.producer != kInputLayer && node(b.producer).classifier;
+    }
+}
+
+void
+Network::finalize()
+{
+    VDNN_ASSERT(!isFinalized, "finalize() called twice");
+    VDNN_ASSERT(!nodes.empty(), "network '%s' has no layers",
+                netName.c_str());
+
+    // Consumer lists from producer lists.
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        for (LayerId in_id : nodes[i].inputs) {
+            VDNN_ASSERT(in_id == kInputLayer ||
+                            (in_id >= 0 && std::size_t(in_id) < i),
+                        "layer %zu feeds from invalid/later layer %d", i,
+                        in_id);
+            if (in_id != kInputLayer)
+                nodes[std::size_t(in_id)].consumers.push_back(LayerId(i));
+        }
+    }
+
+    computeTopoOrder();
+    buildBuffers();
+    markClassifier();
+    isFinalized = true;
+}
+
+LayerId
+Network::lastBwdUser(BufferId id) const
+{
+    const Buffer &b = buffer(id);
+    if (b.bwdUsers.empty())
+        return kInputLayer;
+    // Backward runs in reverse topo order, so the *lowest* topo index
+    // among users is the last one to need the buffer.
+    return b.bwdUsers.front();
+}
+
+Bytes
+Network::totalWeightBytes() const
+{
+    Bytes total = 0;
+    for (const LayerNode &n : nodes)
+        total += n.spec.weightBytes();
+    return total;
+}
+
+int
+Network::countKind(dnn::LayerKind kind) const
+{
+    int count = 0;
+    for (const LayerNode &n : nodes)
+        count += n.spec.kind == kind ? 1 : 0;
+    return count;
+}
+
+Flops
+Network::totalConvFlops() const
+{
+    Flops total = 0.0;
+    for (const LayerNode &n : nodes) {
+        if (n.spec.kind == dnn::LayerKind::Conv)
+            total += dnn::PerfModel::convFlops(n.spec);
+    }
+    return total;
+}
+
+} // namespace vdnn::net

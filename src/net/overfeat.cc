@@ -1,0 +1,66 @@
+/**
+ * @file
+ * OverFeat builder (fast model, Sermanet et al. [30], as configured in
+ * the convnet-benchmarks reference models [41]).
+ */
+
+#include "net/builders.hh"
+
+#include "common/logging.hh"
+
+namespace vdnn::net
+{
+
+using namespace vdnn::dnn;
+
+std::unique_ptr<Network>
+buildOverFeat(std::int64_t batch)
+{
+    VDNN_ASSERT(batch > 0, "batch must be positive");
+    TensorShape in{batch, 3, 231, 231};
+    auto net = std::make_unique<Network>(
+        strFormat("OverFeat (%lld)", (long long)batch), in);
+
+    auto shape = [&]() {
+        return net->node(LayerId(net->numLayers() - 1)).spec.out;
+    };
+    auto conv = [&](const std::string &name, const TensorShape &x,
+                    std::int64_t k, int kernel, int stride, int pad) {
+        ConvParams p;
+        p.outChannels = k;
+        p.kernelH = p.kernelW = kernel;
+        p.strideH = p.strideW = stride;
+        p.padH = p.padW = pad;
+        net->append(makeConv(name, x, p));
+        net->append(makeActivation("relu_" + name, shape()));
+    };
+    auto maxpool = [&](const std::string &name, int window, int stride) {
+        PoolParams p;
+        p.windowH = p.windowW = window;
+        p.strideH = p.strideW = stride;
+        net->append(makePool(name, shape(), p));
+    };
+
+    conv("conv1", in, 96, 11, 4, 0); // 231 -> 56
+    maxpool("pool1", 2, 2);          // 56 -> 28
+    conv("conv2", shape(), 256, 5, 1, 0); // 28 -> 24
+    maxpool("pool2", 2, 2);               // 24 -> 12
+    conv("conv3", shape(), 512, 3, 1, 1);
+    conv("conv4", shape(), 1024, 3, 1, 1);
+    conv("conv5", shape(), 1024, 3, 1, 1);
+    maxpool("pool5", 2, 2); // 12 -> 6
+
+    net->append(makeFc("fc6", shape(), FcParams{3072}));
+    net->append(makeActivation("relu6", shape()));
+    net->append(makeDropout("drop6", shape()));
+    net->append(makeFc("fc7", shape(), FcParams{4096}));
+    net->append(makeActivation("relu7", shape()));
+    net->append(makeDropout("drop7", shape()));
+    net->append(makeFc("fc8", shape(), FcParams{1000}));
+    net->append(makeSoftmaxLoss("loss", shape()));
+
+    net->finalize();
+    return net;
+}
+
+} // namespace vdnn::net

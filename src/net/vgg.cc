@@ -1,0 +1,137 @@
+/**
+ * @file
+ * VGG builders: the paper's "VGG-16" and its very-deep extensions
+ * VGG-116/216/316/416 (Section IV-C).
+ *
+ * Note on naming: the paper counts CONV layers only — its "VGG-16" has
+ * "16 CONV and 3 FC layers" (Figure 5 shows CONV_01..CONV_16), i.e.
+ * Simonyan & Zisserman's configuration E with conv groups {2,2,4,4,4}.
+ * We follow the paper's nomenclature.
+ *
+ * VGG is homogeneous: 3x3 convolutions (stride 1, pad 1) in five groups
+ * separated by 2x2/2 max-pooling, with output channels 64/128/256/512/
+ * 512 per group. The deep variants add 20 CONV layers per group for
+ * each +100 total CONV layers, keeping each group's channel width.
+ */
+
+#include "net/builders.hh"
+
+#include "common/logging.hh"
+
+namespace vdnn::net
+{
+
+using namespace vdnn::dnn;
+
+namespace
+{
+
+std::unique_ptr<Network>
+buildVggStyle(const std::string &name, std::int64_t batch,
+              const std::vector<int> &convs_per_group)
+{
+    VDNN_ASSERT(convs_per_group.size() == 5, "VGG has five conv groups");
+    const std::int64_t group_channels[5] = {64, 128, 256, 512, 512};
+
+    TensorShape in{batch, 3, 224, 224};
+    auto net = std::make_unique<Network>(name, in);
+
+    auto shape = [&]() {
+        return net->node(LayerId(net->numLayers() - 1)).spec.out;
+    };
+
+    for (int g = 0; g < 5; ++g) {
+        for (int i = 0; i < convs_per_group[std::size_t(g)]; ++i) {
+            TensorShape x = net->numLayers() == 0 ? in : shape();
+            ConvParams p;
+            p.outChannels = group_channels[g];
+            p.kernelH = p.kernelW = 3;
+            p.strideH = p.strideW = 1;
+            p.padH = p.padW = 1;
+            std::string id = strFormat("conv%d_%d", g + 1, i + 1);
+            net->append(makeConv(id, x, p));
+            net->append(makeActivation("relu" + id.substr(4), shape()));
+        }
+        PoolParams p;
+        p.windowH = p.windowW = 2;
+        p.strideH = p.strideW = 2;
+        net->append(makePool(strFormat("pool%d", g + 1), shape(), p));
+    }
+
+    net->append(makeFc("fc6", shape(), FcParams{4096}));
+    net->append(makeActivation("relu6", shape()));
+    net->append(makeDropout("drop6", shape()));
+    net->append(makeFc("fc7", shape(), FcParams{4096}));
+    net->append(makeActivation("relu7", shape()));
+    net->append(makeDropout("drop7", shape()));
+    net->append(makeFc("fc8", shape(), FcParams{1000}));
+    net->append(makeSoftmaxLoss("loss", shape()));
+
+    net->finalize();
+    return net;
+}
+
+} // namespace
+
+std::unique_ptr<Network>
+buildVgg16(std::int64_t batch)
+{
+    VDNN_ASSERT(batch > 0, "batch must be positive");
+    return buildVggStyle(strFormat("VGG-16 (%lld)", (long long)batch),
+                         batch, {2, 2, 4, 4, 4});
+}
+
+std::unique_ptr<Network>
+buildVggDeep(int conv_layers, std::int64_t batch)
+{
+    VDNN_ASSERT(batch > 0, "batch must be positive");
+    if (conv_layers == 16)
+        return buildVgg16(batch);
+    VDNN_ASSERT(conv_layers > 16 && (conv_layers - 16) % 100 == 0,
+                "VGG depth must be 16 + k*100, got %d", conv_layers);
+    // Each +100 adds 20 CONV layers to each of the five groups
+    // (Section IV-C).
+    int extra_per_group = (conv_layers - 16) / 100 * 20;
+    std::vector<int> groups = {2, 2, 4, 4, 4};
+    for (int &g : groups)
+        g += extra_per_group;
+    return buildVggStyle(strFormat("VGG-%d (%lld)", conv_layers,
+                                   (long long)batch),
+                         batch, groups);
+}
+
+std::unique_ptr<Network>
+buildTinyCnn(std::int64_t batch, std::int64_t image)
+{
+    VDNN_ASSERT(batch > 0 && image >= 8, "bad tiny-cnn geometry");
+    TensorShape in{batch, 3, image, image};
+    auto net = std::make_unique<Network>(
+        strFormat("TinyCNN (%lld)", (long long)batch), in);
+
+    auto shape = [&]() {
+        return net->node(LayerId(net->numLayers() - 1)).spec.out;
+    };
+
+    ConvParams c1;
+    c1.outChannels = 16;
+    c1.padH = c1.padW = 1;
+    net->append(makeConv("conv1", in, c1));
+    net->append(makeActivation("relu1", shape()));
+    PoolParams p;
+    net->append(makePool("pool1", shape(), p));
+    ConvParams c2;
+    c2.outChannels = 32;
+    c2.padH = c2.padW = 1;
+    net->append(makeConv("conv2", shape(), c2));
+    net->append(makeActivation("relu2", shape()));
+    net->append(makePool("pool2", shape(), p));
+    net->append(makeFc("fc1", shape(), FcParams{64}));
+    net->append(makeActivation("relu3", shape()));
+    net->append(makeFc("fc2", shape(), FcParams{10}));
+    net->append(makeSoftmaxLoss("loss", shape()));
+
+    net->finalize();
+    return net;
+}
+
+} // namespace vdnn::net

@@ -1,0 +1,96 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+#include <algorithm>
+
+namespace vdnn::sim
+{
+
+EventId
+EventQueue::schedule(TimeNs when, std::function<void()> fn)
+{
+    VDNN_ASSERT(when >= curTime,
+                "scheduling into the past: when=%lld now=%lld",
+                (long long)when, (long long)curTime);
+    VDNN_ASSERT(fn != nullptr, "scheduling a null callback");
+    EventId id = nextId++;
+    heap.push(Entry{when, id, std::move(fn)});
+    ++liveEvents;
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(TimeNs delay, std::function<void()> fn)
+{
+    VDNN_ASSERT(delay >= 0, "negative delay %lld", (long long)delay);
+    return schedule(curTime + delay, std::move(fn));
+}
+
+void
+EventQueue::deschedule(EventId id)
+{
+    // Lazy deletion: remember the id and drop the entry when it surfaces.
+    if (std::find(cancelled.begin(), cancelled.end(), id) == cancelled.end()) {
+        cancelled.push_back(id);
+        VDNN_ASSERT(liveEvents > 0, "descheduling with no live events");
+        --liveEvents;
+    }
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap.empty()) {
+        auto it = std::find(cancelled.begin(), cancelled.end(),
+                            heap.top().id);
+        if (it == cancelled.end())
+            return;
+        cancelled.erase(it);
+        heap.pop();
+    }
+}
+
+bool
+EventQueue::step()
+{
+    skipCancelled();
+    if (heap.empty())
+        return false;
+    // The callback may schedule new events; copy out first.
+    Entry e = heap.top();
+    heap.pop();
+    --liveEvents;
+    VDNN_ASSERT(e.when >= curTime, "event time went backwards");
+    curTime = e.when;
+    ++numExecuted;
+    e.fn();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run()
+{
+    std::uint64_t n = 0;
+    while (step())
+        ++n;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(TimeNs until)
+{
+    std::uint64_t n = 0;
+    for (;;) {
+        skipCancelled();
+        if (heap.empty() || heap.top().when > until)
+            break;
+        step();
+        ++n;
+    }
+    if (curTime < until)
+        curTime = until;
+    return n;
+}
+
+} // namespace vdnn::sim

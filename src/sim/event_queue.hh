@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * A minimal gem5-style event queue: events are (time, callback) pairs
+ * executed in non-decreasing time order; ties are broken by insertion
+ * order so simulations are fully deterministic. The queue owns the
+ * simulated clock — curTick() only advances when events execute.
+ */
+
+#ifndef VDNN_SIM_EVENT_QUEUE_HH
+#define VDNN_SIM_EVENT_QUEUE_HH
+
+#include "common/types.hh"
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace vdnn::sim
+{
+
+/** Identifier of a scheduled event (usable for cancellation). */
+using EventId = std::uint64_t;
+
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * @p when must not be in the past.
+     * @return an id that can later be passed to deschedule().
+     */
+    EventId schedule(TimeNs when, std::function<void()> fn);
+
+    /** Schedule @p fn @p delay after the current time. */
+    EventId scheduleAfter(TimeNs delay, std::function<void()> fn);
+
+    /** Cancel a pending event; no-op if it already ran or was cancelled. */
+    void deschedule(EventId id);
+
+    /** Execute the single earliest pending event. @return false if none. */
+    bool step();
+
+    /** Run until the queue drains. @return number of events executed. */
+    std::uint64_t run();
+
+    /**
+     * Run while events exist with time <= @p until, then set the clock to
+     * @p until (if it is ahead). @return number of events executed.
+     */
+    std::uint64_t runUntil(TimeNs until);
+
+    /** Current simulated time. */
+    TimeNs now() const { return curTime; }
+
+    /** True when no live events remain. */
+    bool empty() const { return liveEvents == 0; }
+
+    /** Number of live (non-cancelled, pending) events. */
+    std::uint64_t pending() const { return liveEvents; }
+
+    /** Total number of events executed since construction. */
+    std::uint64_t executed() const { return numExecuted; }
+
+  private:
+    struct Entry
+    {
+        TimeNs when;
+        EventId id;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id; // earlier insertion runs first
+        }
+    };
+
+    /** Pop cancelled entries off the heap top. */
+    void skipCancelled();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    std::vector<EventId> cancelled;
+    TimeNs curTime = 0;
+    EventId nextId = 1;
+    std::uint64_t liveEvents = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+} // namespace vdnn::sim
+
+#endif // VDNN_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,83 @@
+#include "stats/accumulator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdnn::stats
+{
+
+void
+Accumulator::add(double v)
+{
+    if (n == 0) {
+        minVal = maxVal = v;
+    } else {
+        minVal = std::min(minVal, v);
+        maxVal = std::max(maxVal, v);
+    }
+    ++n;
+    total += v;
+    double delta = v - meanVal;
+    meanVal += delta / double(n);
+    m2 += delta * (v - meanVal);
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. parallel variance combination.
+    double delta = other.meanVal - meanVal;
+    std::uint64_t combined = n + other.n;
+    m2 += other.m2 +
+          delta * delta * double(n) * double(other.n) / double(combined);
+    meanVal = (meanVal * double(n) + other.meanVal * double(other.n)) /
+              double(combined);
+    total += other.total;
+    minVal = std::min(minVal, other.minVal);
+    maxVal = std::max(maxVal, other.maxVal);
+    n = combined;
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+double
+Accumulator::min() const
+{
+    return n ? minVal : 0.0;
+}
+
+double
+Accumulator::max() const
+{
+    return n ? maxVal : 0.0;
+}
+
+double
+Accumulator::mean() const
+{
+    return n ? meanVal : 0.0;
+}
+
+double
+Accumulator::variance() const
+{
+    return n >= 2 ? m2 / double(n) : 0.0;
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace vdnn::stats

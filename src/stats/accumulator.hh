@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Scalar statistics accumulator (count / min / max / mean / stddev).
+ */
+
+#ifndef VDNN_STATS_ACCUMULATOR_HH
+#define VDNN_STATS_ACCUMULATOR_HH
+
+#include <cstdint>
+
+namespace vdnn::stats
+{
+
+/**
+ * Streaming accumulator using Welford's algorithm, so the variance is
+ * numerically stable even for long runs of similar values.
+ */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double v);
+
+    /** Merge another accumulator's samples into this one. */
+    void merge(const Accumulator &other);
+
+    /** Drop all samples. */
+    void reset();
+
+    std::uint64_t count() const { return n; }
+    double min() const;
+    double max() const;
+    double mean() const;
+    double sum() const { return total; }
+    /** Population variance; 0 with fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::uint64_t n = 0;
+    double total = 0.0;
+    double meanVal = 0.0;
+    double m2 = 0.0;
+    double minVal = 0.0;
+    double maxVal = 0.0;
+};
+
+} // namespace vdnn::stats
+
+#endif // VDNN_STATS_ACCUMULATOR_HH

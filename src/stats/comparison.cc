@@ -1,0 +1,66 @@
+#include "stats/comparison.hh"
+
+#include "common/logging.hh"
+#include "stats/table.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vdnn::stats
+{
+
+void
+Comparison::addNumeric(const std::string &what, double paper,
+                       double measured, double tolerance)
+{
+    double denom = std::abs(paper) > 1e-12 ? std::abs(paper) : 1.0;
+    double rel = std::abs(measured - paper) / denom;
+    bool ok = rel <= tolerance;
+    ++checked;
+    if (!ok)
+        ++failures;
+    rows.push_back({what, strFormat("%.3g", paper),
+                    strFormat("%.3g", measured),
+                    ok ? strFormat("holds (%.0f%% off)", rel * 100.0)
+                       : strFormat("DEVIATES (%.0f%% off)", rel * 100.0)});
+}
+
+void
+Comparison::addBool(const std::string &what, bool paper_says, bool measured)
+{
+    bool ok = paper_says == measured;
+    ++checked;
+    if (!ok)
+        ++failures;
+    rows.push_back({what, paper_says ? "yes" : "no",
+                    measured ? "yes" : "no", ok ? "holds" : "DEVIATES"});
+}
+
+void
+Comparison::addInfo(const std::string &what, const std::string &paper,
+                    const std::string &measured)
+{
+    rows.push_back({what, paper, measured, "info"});
+}
+
+std::string
+Comparison::render() const
+{
+    Table t("paper vs measured: " + name);
+    t.setColumns({"claim", "paper", "measured", "verdict"});
+    for (const auto &r : rows)
+        t.addRow({r.what, r.paper, r.measured, r.verdict});
+    std::string out = t.render();
+    out += strFormat("summary: %d/%d checked claims hold\n",
+                     checked - failures, checked);
+    return out;
+}
+
+void
+Comparison::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace vdnn::stats

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Paper-vs-measured comparison rows for EXPERIMENTS.md.
+ *
+ * Each bench records the value the paper reports next to the value this
+ * reproduction measures, and whether the qualitative claim (the "shape")
+ * holds. The accumulated rows render as one summary table per bench.
+ */
+
+#ifndef VDNN_STATS_COMPARISON_HH
+#define VDNN_STATS_COMPARISON_HH
+
+#include <string>
+#include <vector>
+
+namespace vdnn::stats
+{
+
+class Comparison
+{
+  public:
+    explicit Comparison(std::string experiment)
+        : name(std::move(experiment))
+    {}
+
+    /**
+     * Record a quantitative claim.
+     * @param what      description of the metric
+     * @param paper     the paper's number
+     * @param measured  this reproduction's number
+     * @param tolerance acceptable relative deviation for "holds"
+     */
+    void addNumeric(const std::string &what, double paper, double measured,
+                    double tolerance = 0.5);
+
+    /** Record a qualitative claim (e.g. "configuration X fails"). */
+    void addBool(const std::string &what, bool paper_says, bool measured);
+
+    /** Record an informational row that is not pass/fail checked. */
+    void addInfo(const std::string &what, const std::string &paper,
+                 const std::string &measured);
+
+    /** All rows hold? */
+    bool allHold() const { return failures == 0; }
+
+    int failed() const { return failures; }
+    int total() const { return int(rows.size()); }
+
+    /** Render the summary table (also returns it for logging). */
+    std::string render() const;
+
+    /** Print to stdout. */
+    void print() const;
+
+  private:
+    struct Row
+    {
+        std::string what;
+        std::string paper;
+        std::string measured;
+        std::string verdict;
+    };
+
+    std::string name;
+    std::vector<Row> rows;
+    int failures = 0;
+    int checked = 0;
+};
+
+} // namespace vdnn::stats
+
+#endif // VDNN_STATS_COMPARISON_HH

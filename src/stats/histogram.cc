@@ -1,0 +1,89 @@
+#include "stats/histogram.hh"
+
+#include "common/logging.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdnn::stats
+{
+
+Histogram::Histogram(double lo_, double hi_, std::size_t buckets)
+    : lo(lo_), hi(hi_), width((hi_ - lo_) / double(buckets))
+{
+    VDNN_ASSERT(hi_ > lo_, "histogram bounds inverted");
+    VDNN_ASSERT(buckets >= 1, "histogram needs at least one bucket");
+    counts.assign(buckets, 0);
+}
+
+void
+Histogram::add(double v)
+{
+    ++total;
+    if (v < lo) {
+        ++under;
+        return;
+    }
+    if (v >= hi) {
+        ++over;
+        return;
+    }
+    auto idx = std::size_t((v - lo) / width);
+    if (idx >= counts.size())
+        idx = counts.size() - 1; // fp edge case at the upper bound
+    ++counts[idx];
+}
+
+double
+Histogram::bucketLow(std::size_t i) const
+{
+    return lo + width * double(i);
+}
+
+double
+Histogram::bucketHigh(std::size_t i) const
+{
+    return lo + width * double(i + 1);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    VDNN_ASSERT(q >= 0.0 && q <= 1.0, "quantile %f out of range", q);
+    if (total == 0)
+        return lo;
+    std::uint64_t target = std::uint64_t(std::ceil(q * double(total)));
+    std::uint64_t seen = under;
+    if (seen >= target)
+        return lo;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        seen += counts[i];
+        if (seen >= target)
+            return bucketHigh(i);
+    }
+    return hi;
+}
+
+std::string
+Histogram::render(std::size_t bar_width) const
+{
+    std::uint64_t peak = 1;
+    for (auto c : counts)
+        peak = std::max(peak, c);
+    std::string out;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        auto bar = std::size_t(double(counts[i]) / double(peak) *
+                               double(bar_width));
+        out += strFormat("[%10.3g, %10.3g) |%s%s %llu\n", bucketLow(i),
+                         bucketHigh(i), std::string(bar, '#').c_str(),
+                         std::string(bar_width - bar, ' ').c_str(),
+                         (unsigned long long)counts[i]);
+    }
+    if (under)
+        out += strFormat("underflow: %llu\n", (unsigned long long)under);
+    if (over)
+        out += strFormat("overflow:  %llu\n", (unsigned long long)over);
+    return out;
+}
+
+} // namespace vdnn::stats

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fixed-width bucket histogram for latency / size distributions.
+ */
+
+#ifndef VDNN_STATS_HISTOGRAM_HH
+#define VDNN_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vdnn::stats
+{
+
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower bound of the first bucket
+     * @param hi upper bound of the last bucket (must exceed @p lo)
+     * @param buckets number of equal-width buckets (>= 1)
+     * Samples outside [lo, hi) land in underflow/overflow counters.
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double v);
+
+    std::uint64_t count() const { return total; }
+    std::uint64_t underflow() const { return under; }
+    std::uint64_t overflow() const { return over; }
+    std::uint64_t bucketCount(std::size_t i) const { return counts.at(i); }
+    std::size_t buckets() const { return counts.size(); }
+    double bucketLow(std::size_t i) const;
+    double bucketHigh(std::size_t i) const;
+
+    /** Value below which @p q of the samples fall (q in [0,1]). */
+    double quantile(double q) const;
+
+    /** Multi-line ASCII rendering, for debugging / example output. */
+    std::string render(std::size_t width = 40) const;
+
+  private:
+    double lo;
+    double hi;
+    double width;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t under = 0;
+    std::uint64_t over = 0;
+    std::uint64_t total = 0;
+};
+
+} // namespace vdnn::stats
+
+#endif // VDNN_STATS_HISTOGRAM_HH

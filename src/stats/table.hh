@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ASCII table and CSV emission for experiment reports.
+ *
+ * Every bench binary renders its figure/table through this class so the
+ * outputs share one format: a titled, column-aligned ASCII table plus an
+ * optional CSV dump for external plotting.
+ */
+
+#ifndef VDNN_STATS_TABLE_HH
+#define VDNN_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace vdnn::stats
+{
+
+class Table
+{
+  public:
+    explicit Table(std::string title) : tableTitle(std::move(title)) {}
+
+    /** Define the column headers; must precede addRow(). */
+    void setColumns(std::vector<std::string> names);
+
+    /** Append a row; must have exactly as many cells as columns. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format helpers for numeric cells. */
+    static std::string cell(double v, int precision = 2);
+    static std::string cellInt(long long v);
+    static std::string cellPercent(double fraction, int precision = 1);
+
+    /** Render the aligned ASCII table (with title and rule lines). */
+    std::string render() const;
+
+    /** Render as CSV (header + rows, comma separated, quoted as needed). */
+    std::string csv() const;
+
+    /** Write render() to stdout. */
+    void print() const;
+
+    const std::string &title() const { return tableTitle; }
+    std::size_t rows() const { return body.size(); }
+    std::size_t columns() const { return header.size(); }
+
+  private:
+    std::string tableTitle;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace vdnn::stats
+
+#endif // VDNN_STATS_TABLE_HH

@@ -1,0 +1,58 @@
+#include "stats/time_weighted.hh"
+
+#include "common/logging.hh"
+
+#include <algorithm>
+
+namespace vdnn::stats
+{
+
+void
+TimeWeighted::record(TimeNs when, double value)
+{
+    VDNN_ASSERT(!done, "record() after finish()");
+    if (!started) {
+        started = true;
+        firstTime = lastTime = when;
+        curVal = value;
+        peakVal = value;
+        if (keepTimeline)
+            samples.push_back({when, value});
+        return;
+    }
+    VDNN_ASSERT(when >= lastTime, "time went backwards: %lld < %lld",
+                (long long)when, (long long)lastTime);
+    integral += curVal * double(when - lastTime);
+    lastTime = when;
+    curVal = value;
+    peakVal = std::max(peakVal, value);
+    if (keepTimeline)
+        samples.push_back({when, value});
+}
+
+void
+TimeWeighted::finish(TimeNs when)
+{
+    VDNN_ASSERT(!done, "finish() called twice");
+    if (started) {
+        VDNN_ASSERT(when >= lastTime, "finish() in the past");
+        integral += curVal * double(when - lastTime);
+        lastTime = when;
+    } else {
+        firstTime = lastTime = when;
+    }
+    done = true;
+}
+
+double
+TimeWeighted::average() const
+{
+    TimeNs span = lastTime - firstTime;
+    if (span <= 0) {
+        // Degenerate window: fall back to the last value seen.
+        return started ? curVal : 0.0;
+    }
+    return integral / double(span);
+}
+
+} // namespace vdnn::stats

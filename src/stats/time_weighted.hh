@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Time-weighted statistics over a piecewise-constant signal.
+ *
+ * Figures 11/15 of the vDNN paper report the *average* GPU memory usage,
+ * i.e. the time integral of pool usage divided by run time. This class
+ * records a piecewise-constant signal (value changes at discrete sim
+ * times) and exposes the integral mean, the peak, and an optional sample
+ * timeline for plotting.
+ */
+
+#ifndef VDNN_STATS_TIME_WEIGHTED_HH
+#define VDNN_STATS_TIME_WEIGHTED_HH
+
+#include "common/types.hh"
+
+#include <vector>
+
+namespace vdnn::stats
+{
+
+class TimeWeighted
+{
+  public:
+    struct Sample
+    {
+        TimeNs when;
+        double value;
+    };
+
+    /**
+     * @param keep_timeline record every (time, value) change point so the
+     *        full usage curve can be dumped (memory_timeline example).
+     */
+    explicit TimeWeighted(bool keep_timeline = false)
+        : keepTimeline(keep_timeline)
+    {}
+
+    /**
+     * Record that the signal takes @p value from time @p when onward.
+     * Times must be non-decreasing.
+     */
+    void record(TimeNs when, double value);
+
+    /** Close the window at @p when; further record() calls are invalid. */
+    void finish(TimeNs when);
+
+    /** Peak value observed. */
+    double peak() const { return peakVal; }
+
+    /** Time-weighted mean over [firstTime, lastTime]. */
+    double average() const;
+
+    /** Total observation window length. */
+    TimeNs duration() const { return lastTime - firstTime; }
+
+    /** Change points (empty unless keep_timeline was set). */
+    const std::vector<Sample> &timeline() const { return samples; }
+
+    bool finished() const { return done; }
+
+  private:
+    bool keepTimeline;
+    bool started = false;
+    bool done = false;
+    TimeNs firstTime = 0;
+    TimeNs lastTime = 0;
+    double curVal = 0.0;
+    double peakVal = 0.0;
+    double integral = 0.0; // value * ns
+    std::vector<Sample> samples;
+};
+
+} // namespace vdnn::stats
+
+#endif // VDNN_STATS_TIME_WEIGHTED_HH

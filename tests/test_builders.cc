@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the DNN benchmark builders: layer counts, geometries and
+ * parameter counts of AlexNet, OverFeat, GoogLeNet, VGG-16 and the
+ * very deep VGG variants (Section IV-C).
+ */
+
+#include "net/builders.hh"
+
+#include "common/units.hh"
+#include "dnn/layer.hh"
+
+#include <gtest/gtest.h>
+
+using namespace vdnn;
+using namespace vdnn::dnn;
+using namespace vdnn::net;
+
+TEST(Builders, AlexNetShape)
+{
+    auto net = buildAlexNet(128);
+    EXPECT_EQ(net->countKind(LayerKind::Conv), 5);
+    EXPECT_EQ(net->countKind(LayerKind::Fc), 3);
+    EXPECT_EQ(net->countKind(LayerKind::Lrn), 2);
+    EXPECT_EQ(net->countKind(LayerKind::Pool), 3);
+    EXPECT_EQ(net->batch(), 128);
+    // OWT AlexNet: ~61M parameters (fc6 dominates).
+    std::int64_t params = 0;
+    for (LayerId id : net->topoOrder())
+        params += net->node(id).spec.paramCount();
+    EXPECT_GT(params, 55'000'000);
+    EXPECT_LT(params, 66'000'000);
+}
+
+TEST(Builders, AlexNetBaselineNearPaperAnchor)
+{
+    // Intro: AlexNet required a "mere" 1.1 GB of memory for training.
+    auto net = buildAlexNet(128);
+    Bytes feature_maps = 0;
+    for (BufferId b = 0; b < BufferId(net->numBuffers()); ++b)
+        feature_maps += net->buffer(b).bytes();
+    // Feature maps alone land in the hundreds of MB.
+    EXPECT_GT(feature_maps, 300 * kMiB);
+    EXPECT_LT(feature_maps, 800 * kMiB);
+}
+
+TEST(Builders, OverFeatShape)
+{
+    auto net = buildOverFeat(128);
+    EXPECT_EQ(net->countKind(LayerKind::Conv), 5);
+    EXPECT_EQ(net->countKind(LayerKind::Fc), 3);
+    // OverFeat-fast has ~145M parameters.
+    std::int64_t params = 0;
+    for (LayerId id : net->topoOrder())
+        params += net->node(id).spec.paramCount();
+    EXPECT_GT(params, 130'000'000);
+    EXPECT_LT(params, 160'000'000);
+}
+
+TEST(Builders, GoogLeNetShape)
+{
+    auto net = buildGoogLeNet(128);
+    // 2 stem convs + 9 inception modules x 6 convs + 1 stem reduce.
+    EXPECT_EQ(net->countKind(LayerKind::Conv), 57);
+    EXPECT_EQ(net->countKind(LayerKind::Concat), 9);
+    EXPECT_EQ(net->countKind(LayerKind::Fc), 1);
+    // GoogLeNet is famously small: ~7M parameters (+/-).
+    std::int64_t params = 0;
+    for (LayerId id : net->topoOrder())
+        params += net->node(id).spec.paramCount();
+    EXPECT_GT(params, 5'000'000);
+    EXPECT_LT(params, 9'000'000);
+}
+
+TEST(Builders, GoogLeNetInceptionChannelSums)
+{
+    auto net = buildGoogLeNet(32);
+    // Find the 3a concat: output must be 256 channels at 28x28.
+    bool found = false;
+    for (LayerId id : net->topoOrder()) {
+        const auto &spec = net->node(id).spec;
+        if (spec.name == "inception_3a/concat") {
+            EXPECT_EQ(spec.out.c, 256);
+            EXPECT_EQ(spec.out.h, 28);
+            found = true;
+        }
+        if (spec.name == "inception_4e/concat") {
+            EXPECT_EQ(spec.out.c, 832);
+        }
+        if (spec.name == "inception_5b/concat") {
+            EXPECT_EQ(spec.out.c, 1024);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Builders, GoogLeNetHasForkJoinTopology)
+{
+    auto net = buildGoogLeNet(32);
+    // At least one buffer must have multiple readers (a fork).
+    int forked = 0;
+    for (BufferId b = 0; b < BufferId(net->numBuffers()); ++b)
+        forked += net->buffer(b).refCount > 1 ? 1 : 0;
+    EXPECT_GE(forked, 9); // one fork per inception module
+}
+
+TEST(Builders, Vgg16Shape)
+{
+    auto net = buildVgg16(64);
+    // The paper's VGG-16: 16 CONV + 3 FC (Simonyan config E).
+    EXPECT_EQ(net->countKind(LayerKind::Conv), 16);
+    EXPECT_EQ(net->countKind(LayerKind::Fc), 3);
+    EXPECT_EQ(net->countKind(LayerKind::Pool), 5);
+    // Config E has ~143.6M parameters.
+    std::int64_t params = 0;
+    for (LayerId id : net->topoOrder())
+        params += net->node(id).spec.paramCount();
+    EXPECT_GT(params, 138'000'000);
+    EXPECT_LT(params, 148'000'000);
+}
+
+TEST(Builders, Vgg16SpatialPyramid)
+{
+    auto net = buildVgg16(64);
+    // Pool outputs: 112, 56, 28, 14, 7.
+    std::vector<std::int64_t> pool_sizes;
+    for (LayerId id : net->topoOrder()) {
+        if (net->node(id).spec.kind == LayerKind::Pool)
+            pool_sizes.push_back(net->node(id).spec.out.h);
+    }
+    EXPECT_EQ(pool_sizes,
+              (std::vector<std::int64_t>{112, 56, 28, 14, 7}));
+}
+
+class VggDeepTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(VggDeepTest, ConvLayerCountMatchesName)
+{
+    int depth = GetParam();
+    auto net = buildVggDeep(depth, 32);
+    EXPECT_EQ(net->countKind(LayerKind::Conv), depth);
+    EXPECT_EQ(net->countKind(LayerKind::Fc), 3);
+    EXPECT_EQ(net->countKind(LayerKind::Pool), 5);
+}
+
+TEST_P(VggDeepTest, FeatureMapFootprintGrowsLinearly)
+{
+    int depth = GetParam();
+    auto net16 = buildVgg16(32);
+    auto deep = buildVggDeep(depth, 32);
+    Bytes fm16 = 0, fm_deep = 0;
+    for (BufferId b = 0; b < BufferId(net16->numBuffers()); ++b)
+        fm16 += net16->buffer(b).bytes();
+    for (BufferId b = 0; b < BufferId(deep->numBuffers()); ++b)
+        fm_deep += deep->buffer(b).bytes();
+    EXPECT_GT(fm_deep, fm16 * (depth / 16 - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, VggDeepTest,
+                         ::testing::Values(116, 216, 316, 416));
+
+TEST(Builders, VggDeepRejectsInvalidDepths)
+{
+    EXPECT_DEATH(buildVggDeep(100, 32), "depth");
+    EXPECT_DEATH(buildVggDeep(17, 32), "depth");
+}
+
+TEST(Builders, TinyCnnIsWellFormed)
+{
+    auto net = buildTinyCnn(8);
+    EXPECT_TRUE(net->finalized());
+    EXPECT_EQ(net->countKind(LayerKind::Conv), 2);
+    EXPECT_EQ(net->countKind(LayerKind::Fc), 2);
+}
+
+TEST(Builders, SuiteSizes)
+{
+    EXPECT_EQ(conventionalSuite().size(), 6u);
+    EXPECT_EQ(veryDeepSuite().size(), 4u);
+    EXPECT_EQ(fullSuite().size(), 10u);
+    // Every suite entry builds a finalized network.
+    for (const auto &entry : fullSuite()) {
+        auto net = entry.build();
+        EXPECT_TRUE(net->finalized()) << entry.name;
+        EXPECT_EQ(net->name(), entry.name);
+    }
+}
+
+TEST(Builders, BatchSizeScalesFeatureMapsExactly)
+{
+    auto n64 = buildVgg16(64);
+    auto n128 = buildVgg16(128);
+    Bytes fm64 = 0, fm128 = 0;
+    for (BufferId b = 0; b < BufferId(n64->numBuffers()); ++b)
+        fm64 += n64->buffer(b).bytes();
+    for (BufferId b = 0; b < BufferId(n128->numBuffers()); ++b)
+        fm128 += n128->buffer(b).bytes();
+    EXPECT_EQ(fm128, 2 * fm64);
+}

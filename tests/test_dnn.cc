@@ -1,0 +1,464 @@
+/**
+ * @file
+ * Unit tests for the dnn substrate: tensor shapes, layer descriptors,
+ * shape inference, convolution algorithm models and the analytic
+ * performance model.
+ */
+
+#include "dnn/conv_algo.hh"
+#include "dnn/cudnn_sim.hh"
+#include "dnn/layer.hh"
+#include "dnn/perf_model.hh"
+#include "dnn/tensor.hh"
+
+#include "common/units.hh"
+#include "gpu/gpu_spec.hh"
+
+#include <gtest/gtest.h>
+
+using namespace vdnn;
+using namespace vdnn::dnn;
+
+// --- TensorShape --------------------------------------------------------------
+
+TEST(TensorShape, ElementAndByteCounts)
+{
+    TensorShape s{256, 64, 224, 224};
+    EXPECT_EQ(s.elements(), 256LL * 64 * 224 * 224);
+    EXPECT_EQ(s.bytes(), s.elements() * 4);
+    EXPECT_EQ(s.elementsPerImage(), 64LL * 224 * 224);
+}
+
+TEST(TensorShape, LargeShapesDoNotOverflow)
+{
+    // VGG-16 (256) first conv output is ~3.2 GB: must exceed 2^31.
+    TensorShape s{256, 64, 224, 224};
+    EXPECT_GT(s.bytes(), Bytes(3) * 1000 * 1000 * 1000);
+}
+
+TEST(TensorShape, StrAndValidity)
+{
+    TensorShape s{1, 2, 3, 4};
+    EXPECT_EQ(s.str(), "1x2x3x4");
+    EXPECT_TRUE(s.valid());
+    EXPECT_FALSE((TensorShape{0, 2, 3, 4}).valid());
+}
+
+// --- shape inference -------------------------------------------------------------
+
+TEST(ShapeInference, VggStyleConvPreservesSpatialDims)
+{
+    TensorShape in{64, 3, 224, 224};
+    ConvParams p;
+    p.outChannels = 64;
+    p.kernelH = p.kernelW = 3;
+    p.padH = p.padW = 1;
+    TensorShape out = convOutShape(in, p);
+    EXPECT_EQ(out, (TensorShape{64, 64, 224, 224}));
+}
+
+TEST(ShapeInference, AlexNetFirstConv)
+{
+    // 224x224, 11x11 kernel, stride 4, pad 2 -> 55x55.
+    TensorShape in{128, 3, 224, 224};
+    ConvParams p;
+    p.outChannels = 64;
+    p.kernelH = p.kernelW = 11;
+    p.strideH = p.strideW = 4;
+    p.padH = p.padW = 2;
+    TensorShape out = convOutShape(in, p);
+    EXPECT_EQ(out.h, 55);
+    EXPECT_EQ(out.w, 55);
+    EXPECT_EQ(out.c, 64);
+}
+
+TEST(ShapeInference, PoolHalvesVggMaps)
+{
+    TensorShape in{64, 64, 224, 224};
+    PoolParams p; // 2x2 stride 2
+    TensorShape out = poolOutShape(in, p);
+    EXPECT_EQ(out, (TensorShape{64, 64, 112, 112}));
+}
+
+TEST(ShapeInference, CeilModePoolingMatchesCaffe)
+{
+    // AlexNet pool1: 55 -> 27 with window 3 stride 2 (ceil mode).
+    TensorShape in{1, 64, 55, 55};
+    PoolParams p;
+    p.windowH = p.windowW = 3;
+    p.strideH = p.strideW = 2;
+    EXPECT_EQ(poolOutShape(in, p).h, 27);
+    in.h = in.w = 13;
+    EXPECT_EQ(poolOutShape(in, p).h, 6);
+}
+
+TEST(ShapeInference, FcFlattensInput)
+{
+    TensorShape in{64, 512, 7, 7};
+    TensorShape out = fcOutShape(in, FcParams{4096});
+    EXPECT_EQ(out, (TensorShape{64, 4096, 1, 1}));
+}
+
+// --- layer descriptors ---------------------------------------------------------------
+
+TEST(LayerSpec, ConvParamCount)
+{
+    TensorShape in{1, 3, 224, 224};
+    ConvParams p;
+    p.outChannels = 64;
+    p.kernelH = p.kernelW = 3;
+    p.padH = p.padW = 1;
+    LayerSpec l = makeConv("c", in, p);
+    EXPECT_EQ(l.paramCount(), 64 * 3 * 3 * 3 + 64); // weights + bias
+    EXPECT_EQ(l.weightBytes(), l.paramCount() * 4);
+    EXPECT_TRUE(l.hasWeights());
+}
+
+TEST(LayerSpec, Vgg16FcWeightSizes)
+{
+    // fc6 of VGG: 25088 -> 4096 = 102.8M parameters.
+    TensorShape in{64, 512, 7, 7};
+    LayerSpec l = makeFc("fc6", in, FcParams{4096});
+    EXPECT_EQ(l.paramCount(), 25088LL * 4096 + 4096);
+}
+
+TEST(LayerSpec, InPlaceLayers)
+{
+    TensorShape in{8, 16, 32, 32};
+    EXPECT_TRUE(makeActivation("r", in).inPlace());
+    EXPECT_TRUE(makeDropout("d", in).inPlace());
+    ConvParams p;
+    p.outChannels = 8;
+    EXPECT_FALSE(makeConv("c", in, p).inPlace());
+    EXPECT_FALSE(makePool("p", in, PoolParams{}).inPlace());
+}
+
+TEST(LayerSpec, BackwardNeedsMatchCudnnSignatures)
+{
+    TensorShape in{8, 16, 32, 32};
+    ConvParams cp;
+    cp.outChannels = 8;
+    cp.padH = cp.padW = 1;
+    // CONV backward reads X (for dW) but not Y.
+    LayerSpec conv = makeConv("c", in, cp);
+    EXPECT_TRUE(conv.backwardNeedsX());
+    EXPECT_FALSE(conv.backwardNeedsY());
+    // In-place ACTV backward reads only Y.
+    LayerSpec actv = makeActivation("r", in);
+    EXPECT_FALSE(actv.backwardNeedsX());
+    EXPECT_TRUE(actv.backwardNeedsY());
+    // POOL backward reads x, y, dy (cuDNN signature).
+    LayerSpec pool = makePool("p", in, PoolParams{});
+    EXPECT_TRUE(pool.backwardNeedsX());
+    EXPECT_TRUE(pool.backwardNeedsY());
+    // FC backward reads X for the weight gradient.
+    LayerSpec fc = makeFc("f", in, FcParams{10});
+    EXPECT_TRUE(fc.backwardNeedsX());
+    EXPECT_FALSE(fc.backwardNeedsY());
+}
+
+TEST(LayerSpec, ConcatSumsChannels)
+{
+    std::vector<TensorShape> branches = {{8, 64, 28, 28},
+                                         {8, 128, 28, 28},
+                                         {8, 32, 28, 28},
+                                         {8, 32, 28, 28}};
+    LayerSpec l = makeConcat("concat", branches);
+    EXPECT_EQ(l.out, (TensorShape{8, 256, 28, 28}));
+}
+
+TEST(LayerSpecDeath, ConcatRejectsMismatchedShapes)
+{
+    std::vector<TensorShape> branches = {{8, 64, 28, 28},
+                                         {8, 64, 14, 14}};
+    EXPECT_DEATH(makeConcat("bad", branches), "mismatch");
+}
+
+TEST(LayerSpec, FeatureExtractionVsClassifierKinds)
+{
+    TensorShape in{8, 16, 32, 32};
+    ConvParams cp;
+    cp.outChannels = 8;
+    cp.padH = cp.padW = 1;
+    EXPECT_TRUE(makeConv("c", in, cp).isFeatureExtraction());
+    EXPECT_TRUE(makePool("p", in, PoolParams{}).isFeatureExtraction());
+    EXPECT_FALSE(makeFc("f", in, FcParams{10}).isFeatureExtraction());
+    EXPECT_FALSE(makeSoftmaxLoss("l", in).isFeatureExtraction());
+}
+
+// --- convolution algorithms ---------------------------------------------------------
+
+namespace
+{
+
+LayerSpec
+vggConv(std::int64_t batch = 64, std::int64_t c = 64,
+        std::int64_t k = 64, std::int64_t hw = 224)
+{
+    ConvParams p;
+    p.outChannels = k;
+    p.kernelH = p.kernelW = 3;
+    p.padH = p.padW = 1;
+    return makeConv("conv", TensorShape{batch, c, hw, hw}, p);
+}
+
+LayerSpec
+stridedConv()
+{
+    ConvParams p;
+    p.outChannels = 64;
+    p.kernelH = p.kernelW = 11;
+    p.strideH = p.strideW = 4;
+    p.padH = p.padW = 2;
+    return makeConv("conv1", TensorShape{128, 3, 224, 224}, p);
+}
+
+} // namespace
+
+TEST(ConvAlgo, ImplicitGemmNeedsNoWorkspace)
+{
+    EXPECT_EQ(convWorkspaceBytes(ConvAlgo::ImplicitGemm, vggConv()), 0);
+    EXPECT_EQ(convWorkspaceBytes(ConvAlgo::Direct, vggConv()), 0);
+}
+
+TEST(ConvAlgo, TransformAlgosNeedLargeWorkspace)
+{
+    LayerSpec l = vggConv();
+    EXPECT_GT(convWorkspaceBytes(ConvAlgo::Winograd, l), 100 * kMiB);
+    EXPECT_GT(convWorkspaceBytes(ConvAlgo::Fft, l), 100 * kMiB);
+}
+
+TEST(ConvAlgo, WinogradRequires3x3UnitStride)
+{
+    EXPECT_TRUE(convAlgoApplicable(ConvAlgo::Winograd, vggConv()));
+    EXPECT_FALSE(convAlgoApplicable(ConvAlgo::Winograd, stridedConv()));
+}
+
+TEST(ConvAlgo, FftFamilyRequiresUnitStride)
+{
+    EXPECT_TRUE(convAlgoApplicable(ConvAlgo::Fft, vggConv()));
+    EXPECT_TRUE(convAlgoApplicable(ConvAlgo::FftTiling, vggConv()));
+    EXPECT_FALSE(convAlgoApplicable(ConvAlgo::Fft, stridedConv()));
+    EXPECT_FALSE(convAlgoApplicable(ConvAlgo::FftTiling, stridedConv()));
+}
+
+TEST(ConvAlgo, GemmFamilyAlwaysApplicable)
+{
+    for (LayerSpec l : {vggConv(), stridedConv()}) {
+        EXPECT_TRUE(convAlgoApplicable(ConvAlgo::ImplicitGemm, l));
+        EXPECT_TRUE(convAlgoApplicable(ConvAlgo::ImplicitPrecompGemm, l));
+        EXPECT_TRUE(convAlgoApplicable(ConvAlgo::Gemm, l));
+    }
+}
+
+TEST(ConvAlgo, TransformAlgosFasterThanImplicitGemmOnVggShapes)
+{
+    LayerSpec l = vggConv();
+    EXPECT_GT(convAlgoEfficiency(ConvAlgo::Winograd, l),
+              2.0 * convAlgoEfficiency(ConvAlgo::ImplicitGemm, l));
+}
+
+TEST(ConvAlgo, FewInputChannelsDerateEfficiency)
+{
+    LayerSpec wide = vggConv(64, 64, 64);
+    LayerSpec narrow = vggConv(64, 3, 64);
+    EXPECT_GT(convAlgoEfficiency(ConvAlgo::Gemm, wide),
+              convAlgoEfficiency(ConvAlgo::Gemm, narrow));
+}
+
+TEST(ConvAlgo, WorkspaceScalesWithBatch)
+{
+    Bytes ws64 = convWorkspaceBytes(ConvAlgo::Winograd, vggConv(64));
+    Bytes ws256 = convWorkspaceBytes(ConvAlgo::Winograd, vggConv(256));
+    EXPECT_EQ(ws256, 4 * ws64);
+}
+
+TEST(ConvAlgo, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (ConvAlgo a : allConvAlgos())
+        names.insert(convAlgoName(a));
+    EXPECT_EQ(names.size(), allConvAlgos().size());
+}
+
+// --- performance model ------------------------------------------------------------------
+
+class PerfModelTest : public ::testing::Test
+{
+  protected:
+    PerfModel perf{gpu::titanXMaxwell()};
+};
+
+TEST_F(PerfModelTest, ConvFlopsFormula)
+{
+    LayerSpec l = vggConv(1, 3, 64, 224);
+    // 2 * N*K*C*R*S*outH*outW.
+    EXPECT_DOUBLE_EQ(PerfModel::convFlops(l),
+                     2.0 * 1 * 64 * 3 * 9 * 224 * 224);
+}
+
+TEST_F(PerfModelTest, FasterAlgorithmGivesShorterTime)
+{
+    LayerSpec l = vggConv();
+    EXPECT_LT(perf.convForward(l, ConvAlgo::Winograd).time,
+              perf.convForward(l, ConvAlgo::ImplicitGemm).time);
+}
+
+TEST_F(PerfModelTest, TimeScalesWithBatch)
+{
+    TimeNs t64 = perf.convForward(vggConv(64), ConvAlgo::Winograd).time;
+    TimeNs t256 = perf.convForward(vggConv(256), ConvAlgo::Winograd).time;
+    EXPECT_NEAR(double(t256), 4.0 * double(t64), 0.01 * double(t256));
+}
+
+TEST_F(PerfModelTest, BackwardSlowerThanForward)
+{
+    LayerSpec l = vggConv();
+    TimeNs fwd = perf.convForward(l, ConvAlgo::Winograd).time;
+    TimeNs bwd = perf.convBackwardData(l, ConvAlgo::Winograd).time +
+                 perf.convBackwardFilter(l, ConvAlgo::Winograd).time;
+    EXPECT_GT(bwd, fwd); // two kernels, each ~forward cost
+    EXPECT_LT(bwd, 3 * fwd);
+}
+
+TEST_F(PerfModelTest, ActivationIsBandwidthBound)
+{
+    LayerSpec l = makeActivation("r", TensorShape{64, 64, 224, 224});
+    dnn::OpCost c = perf.forward(l);
+    // Streaming 2x the buffer at ~70% of 336 GB/s.
+    double expected_s =
+        double(2 * l.in.bytes()) / (0.70 * 336.0e9);
+    EXPECT_NEAR(toSeconds(c.time), expected_s, 0.05 * expected_s);
+}
+
+TEST_F(PerfModelTest, MinimumKernelLatency)
+{
+    // Tiny layers still pay a launch latency (1 us floor).
+    LayerSpec l = makeActivation("r", TensorShape{1, 1, 2, 2});
+    EXPECT_GE(perf.forward(l).time, 1000);
+}
+
+TEST_F(PerfModelTest, FcComputeMatchesGemmFlops)
+{
+    LayerSpec l = makeFc("fc", TensorShape{128, 4096, 1, 1},
+                         FcParams{4096});
+    dnn::OpCost c = perf.forward(l);
+    EXPECT_DOUBLE_EQ(c.flops, 2.0 * 128 * 4096 * 4096);
+    EXPECT_GT(c.time, 0);
+}
+
+TEST_F(PerfModelTest, VggIterationLatencyCalibration)
+{
+    // The model is calibrated so VGG-16 (64) fwd+bwd lands near the
+    // published ~1.1-1.3 s Titan X / cuDNN-4 envelope that anchors the
+    // paper's Fig. 6 (first-layer reuse distance > 1200 ms).
+    auto net_time = [&](std::int64_t c, std::int64_t k,
+                        std::int64_t hw, int reps) {
+        LayerSpec l = vggConv(64, c, k, hw);
+        ConvAlgo algo = ConvAlgo::Winograd;
+        TimeNs t = perf.convForward(l, algo).time +
+                   perf.convBackwardData(l, algo).time +
+                   perf.convBackwardFilter(l, algo).time;
+        return double(t) * reps;
+    };
+    double total_ns = net_time(3, 64, 224, 1) + net_time(64, 64, 224, 1) +
+                      net_time(64, 128, 112, 1) +
+                      net_time(128, 128, 112, 1) +
+                      net_time(128, 256, 56, 1) +
+                      net_time(256, 256, 56, 3) +
+                      net_time(256, 512, 28, 1) +
+                      net_time(512, 512, 28, 3) +
+                      net_time(512, 512, 14, 4);
+    double ms = total_ns / 1e6;
+    EXPECT_GT(ms, 700.0);
+    EXPECT_LT(ms, 1800.0);
+}
+
+// --- CudnnSim --------------------------------------------------------------------------
+
+class CudnnSimTest : public ::testing::Test
+{
+  protected:
+    dnn::CudnnSim cudnn{gpu::titanXMaxwell()};
+};
+
+TEST_F(CudnnSimTest, FindReturnsSortedByTotalTime)
+{
+    auto perfs = cudnn.findConvAlgorithms(vggConv());
+    ASSERT_GE(perfs.size(), 4u);
+    for (std::size_t i = 1; i < perfs.size(); ++i)
+        EXPECT_LE(perfs[i - 1].totalTime(), perfs[i].totalTime());
+}
+
+TEST_F(CudnnSimTest, FindExcludesInapplicableAlgos)
+{
+    auto perfs = cudnn.findConvAlgorithms(stridedConv());
+    for (const auto &p : perfs) {
+        EXPECT_NE(p.algo, ConvAlgo::Winograd);
+        EXPECT_NE(p.algo, ConvAlgo::Fft);
+        EXPECT_NE(p.algo, ConvAlgo::FftTiling);
+    }
+}
+
+TEST_F(CudnnSimTest, FastestAlgoOnVggIsTransformDomain)
+{
+    ConvAlgo algo = cudnn.fastestAlgo(vggConv());
+    EXPECT_TRUE(algo == ConvAlgo::Winograd || algo == ConvAlgo::Fft ||
+                algo == ConvAlgo::FftTiling);
+}
+
+TEST_F(CudnnSimTest, WorkspaceLimitForcesDowngrade)
+{
+    LayerSpec l = vggConv();
+    ConvAlgo unlimited = cudnn.fastestAlgoWithin(l, Bytes(1) << 40);
+    ConvAlgo zero = cudnn.fastestAlgoWithin(l, 0);
+    EXPECT_EQ(unlimited, cudnn.fastestAlgo(l));
+    EXPECT_EQ(convWorkspaceBytes(zero, l), 0);
+}
+
+TEST_F(CudnnSimTest, MidLimitPicksFastestThatFits)
+{
+    LayerSpec l = vggConv();
+    Bytes limit = 50 * kMiB;
+    ConvAlgo algo = cudnn.fastestAlgoWithin(l, limit);
+    EXPECT_LE(convWorkspaceBytes(algo, l), limit);
+    // Everything strictly faster must exceed the limit.
+    auto all = cudnn.findConvAlgorithms(l);
+    for (const auto &p : all) {
+        if (p.algo == algo)
+            break;
+        EXPECT_GT(p.workspace, limit);
+    }
+}
+
+/**
+ * Property sweep: for every algorithm and a grid of VGG-ish layer
+ * geometries, workspace must be non-negative and forward time must be
+ * positive and monotonic in batch size.
+ */
+class ConvAlgoPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, std::int64_t>>
+{};
+
+TEST_P(ConvAlgoPropertyTest, WorkspaceAndTimeSane)
+{
+    auto [algo_idx, batch] = GetParam();
+    ConvAlgo algo = allConvAlgos()[std::size_t(algo_idx)];
+    PerfModel perf(gpu::titanXMaxwell());
+    for (std::int64_t hw : {7, 14, 56, 224}) {
+        LayerSpec small = vggConv(batch, 64, 64, hw);
+        if (!convAlgoApplicable(algo, small))
+            continue;
+        EXPECT_GE(convWorkspaceBytes(algo, small), 0);
+        TimeNs t1 = perf.convForward(small, algo).time;
+        LayerSpec bigger = vggConv(batch * 2, 64, 64, hw);
+        TimeNs t2 = perf.convForward(bigger, algo).time;
+        EXPECT_GT(t1, 0);
+        EXPECT_GE(t2, t1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoGrid, ConvAlgoPropertyTest,
+    ::testing::Combine(::testing::Range(0, 7),
+                       ::testing::Values<std::int64_t>(1, 16, 64, 128)));

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation core.
+ */
+
+#include "sim/event_queue.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace vdnn;
+using vdnn::sim::EventQueue;
+
+TEST(EventQueue, StartsAtTimeZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[size_t(i)], i);
+}
+
+TEST(EventQueue, ClockAdvancesWithEvents)
+{
+    EventQueue eq;
+    TimeNs seen = -1;
+    eq.schedule(42, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 42);
+    EXPECT_EQ(eq.now(), 42);
+}
+
+TEST(EventQueue, CallbackCanScheduleMore)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&]() {
+        ++count;
+        if (count < 5)
+            eq.scheduleAfter(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 40);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue eq;
+    TimeNs inner = -1;
+    eq.schedule(100, [&] {
+        eq.scheduleAfter(50, [&] { inner = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(inner, 150);
+}
+
+TEST(EventQueue, DescheduleCancelsEvent)
+{
+    EventQueue eq;
+    bool ran = false;
+    auto id = eq.schedule(10, [&] { ran = true; });
+    eq.deschedule(id);
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, DescheduleOneOfMany)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(1); });
+    auto id = eq.schedule(20, [&] { order.push_back(2); });
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.deschedule(id);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.schedule(30, [&] { order.push_back(3); });
+    EXPECT_EQ(eq.runUntil(20), 2u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.now(), 20);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithNoEvents)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.runUntil(500), 0u);
+    EXPECT_EQ(eq.now(), 500);
+}
+
+TEST(EventQueue, ExecutedCounterAccumulates)
+{
+    EventQueue eq;
+    for (int i = 0; i < 4; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 4u);
+}
+
+TEST(EventQueueDeath, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}

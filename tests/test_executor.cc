@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Tests for the vDNN executor and policy resolution: offload decisions,
+ * per-policy behaviour, iteration invariants, failure handling, and
+ * the dynamic policy's profiling passes.
+ */
+
+#include "core/dynamic_policy.hh"
+#include "core/executor.hh"
+#include "core/policy.hh"
+#include "core/training_session.hh"
+
+#include "common/units.hh"
+#include "net/builders.hh"
+
+#include <gtest/gtest.h>
+
+using namespace vdnn;
+using namespace vdnn::core;
+using namespace vdnn::literals;
+
+namespace
+{
+
+core::SessionResult
+run(const net::Network &network, TransferPolicy policy, AlgoMode mode,
+    bool oracle = false)
+{
+    SessionConfig cfg;
+    cfg.policy = policy;
+    cfg.algoMode = mode;
+    cfg.oracle = oracle;
+    return runSession(network, cfg);
+}
+
+} // namespace
+
+// --- policy resolution -----------------------------------------------------------
+
+TEST(Policy, BaselinePlanOffloadsNothing)
+{
+    auto network = net::buildVgg16(64);
+    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
+    Plan plan = makeStaticPlan(*network, cudnn, TransferPolicy::Baseline,
+                               AlgoMode::MemoryOptimal);
+    for (bool off : plan.offloadBuffer)
+        EXPECT_FALSE(off);
+}
+
+TEST(Policy, OffloadAllMarksEveryEligibleBuffer)
+{
+    auto network = net::buildVgg16(64);
+    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
+    Plan plan = makeStaticPlan(*network, cudnn,
+                               TransferPolicy::OffloadAll,
+                               AlgoMode::MemoryOptimal);
+    int offloaded = 0;
+    for (net::BufferId b = 0; b < net::BufferId(network->numBuffers());
+         ++b) {
+        if (plan.offloadBuffer[std::size_t(b)]) {
+            ++offloaded;
+            EXPECT_TRUE(offloadEligible(*network, b));
+            EXPECT_FALSE(network->buffer(b).classifier);
+        }
+    }
+    // Input + every feature-extraction buffer that is reused backward.
+    EXPECT_GT(offloaded, 15);
+}
+
+TEST(Policy, OffloadConvIsSubsetEndingAtConvReaders)
+{
+    auto network = net::buildVgg16(64);
+    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
+    Plan all = makeStaticPlan(*network, cudnn, TransferPolicy::OffloadAll,
+                              AlgoMode::MemoryOptimal);
+    Plan conv = makeStaticPlan(*network, cudnn,
+                               TransferPolicy::OffloadConv,
+                               AlgoMode::MemoryOptimal);
+    for (net::BufferId b = 0; b < net::BufferId(network->numBuffers());
+         ++b) {
+        if (conv.offloadBuffer[std::size_t(b)]) {
+            EXPECT_TRUE(all.offloadBuffer[std::size_t(b)]);
+            net::LayerId last = network->buffer(b).lastFwdReader;
+            EXPECT_EQ(network->node(last).spec.kind,
+                      dnn::LayerKind::Conv);
+        }
+    }
+}
+
+TEST(Policy, ClassifierBuffersNeverEligible)
+{
+    auto network = net::buildAlexNet(32);
+    for (net::BufferId b = 0; b < net::BufferId(network->numBuffers());
+         ++b) {
+        if (network->buffer(b).classifier) {
+            EXPECT_FALSE(offloadEligible(*network, b));
+        }
+    }
+}
+
+// --- executor invariants ------------------------------------------------------------
+
+TEST(Executor, TinyCnnRunsUnderEveryPolicy)
+{
+    auto network = net::buildTinyCnn(8);
+    for (auto policy :
+         {TransferPolicy::Baseline, TransferPolicy::OffloadAll,
+          TransferPolicy::OffloadConv, TransferPolicy::Dynamic}) {
+        auto r = run(*network, policy, AlgoMode::MemoryOptimal);
+        EXPECT_TRUE(r.trainable) << transferPolicyName(policy);
+        EXPECT_GT(r.iterationTime, 0);
+    }
+}
+
+TEST(Executor, BaselineUsageIsFlat)
+{
+    auto network = net::buildTinyCnn(8);
+    auto r = run(*network, TransferPolicy::Baseline,
+                 AlgoMode::MemoryOptimal);
+    // Network-wide allocation: max == avg.
+    EXPECT_EQ(r.maxTotalUsage, r.avgTotalUsage);
+    EXPECT_EQ(r.offloadedBytesPerIter, 0);
+    EXPECT_EQ(r.offloads, 0);
+}
+
+TEST(Executor, VdnnUsesLessMemoryThanBaseline)
+{
+    auto network = net::buildVgg16(64);
+    auto base = run(*network, TransferPolicy::Baseline,
+                    AlgoMode::MemoryOptimal);
+    auto all = run(*network, TransferPolicy::OffloadAll,
+                   AlgoMode::MemoryOptimal);
+    EXPECT_LT(all.maxManagedUsage, base.maxManagedUsage);
+    EXPECT_LT(all.avgManagedUsage, base.avgManagedUsage / 2);
+}
+
+TEST(Executor, OffloadAllMovesEveryEligibleBufferOnce)
+{
+    auto network = net::buildVgg16(64);
+    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
+    Plan plan = makeStaticPlan(*network, cudnn,
+                               TransferPolicy::OffloadAll,
+                               AlgoMode::MemoryOptimal);
+    Bytes expected = 0;
+    for (net::BufferId b = 0; b < net::BufferId(network->numBuffers());
+         ++b) {
+        if (plan.offloadBuffer[std::size_t(b)])
+            expected += network->buffer(b).bytes();
+    }
+    auto r = run(*network, TransferPolicy::OffloadAll,
+                 AlgoMode::MemoryOptimal);
+    EXPECT_EQ(r.offloadedBytesPerIter, expected);
+}
+
+TEST(Executor, IterationsAreSteadyState)
+{
+    auto network = net::buildVgg16(64);
+    SessionConfig cfg;
+    cfg.policy = TransferPolicy::OffloadAll;
+    cfg.algoMode = AlgoMode::MemoryOptimal;
+    cfg.iterations = 3;
+    auto r3 = runSession(*network, cfg);
+    cfg.iterations = 1;
+    auto r1 = runSession(*network, cfg);
+    // Per-iteration metrics identical across steady-state iterations.
+    EXPECT_EQ(r3.offloadedBytesPerIter, r1.offloadedBytesPerIter);
+    EXPECT_NEAR(double(r3.iterationTime), double(r1.iterationTime),
+                double(r1.iterationTime) * 0.01);
+}
+
+TEST(Executor, StallTimeOnlyWithTransfers)
+{
+    auto network = net::buildVgg16(64);
+    auto base = run(*network, TransferPolicy::Baseline,
+                    AlgoMode::MemoryOptimal);
+    EXPECT_EQ(base.transferStallTime, 0);
+    auto all = run(*network, TransferPolicy::OffloadAll,
+                   AlgoMode::MemoryOptimal);
+    EXPECT_GT(all.transferStallTime, 0);
+    // Stall is a small fraction of the iteration.
+    EXPECT_LT(all.transferStallTime, all.iterationTime / 2);
+}
+
+TEST(Executor, VdnnSlowerOrEqualToOracle)
+{
+    auto network = net::buildVgg16(64);
+    auto oracle = run(*network, TransferPolicy::Baseline,
+                      AlgoMode::PerformanceOptimal, true);
+    for (auto policy :
+         {TransferPolicy::OffloadAll, TransferPolicy::OffloadConv}) {
+        for (auto mode :
+             {AlgoMode::MemoryOptimal, AlgoMode::PerformanceOptimal}) {
+            auto r = run(*network, policy, mode);
+            ASSERT_TRUE(r.trainable);
+            EXPECT_GE(r.featureExtractionTime,
+                      oracle.featureExtractionTime);
+        }
+    }
+}
+
+TEST(Executor, UntrainableReportsReason)
+{
+    auto network = net::buildVgg16(256);
+    auto r = run(*network, TransferPolicy::Baseline,
+                 AlgoMode::MemoryOptimal);
+    EXPECT_FALSE(r.trainable);
+    EXPECT_FALSE(r.failReason.empty());
+}
+
+TEST(Executor, FailedIterationLeavesCleanPool)
+{
+    // Static (p) policies fail VGG-16 (256) mid-iteration; the abort
+    // path must unwind every allocation so the pool balances.
+    auto network = net::buildVgg16(256);
+    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
+    gpu::Runtime rt(gpu::titanXMaxwell());
+    MemoryManager mm(rt);
+    Plan plan = makeStaticPlan(*network, cudnn,
+                               TransferPolicy::OffloadAll,
+                               AlgoMode::PerformanceOptimal);
+    Executor ex(*network, cudnn, rt, mm, plan);
+    ASSERT_TRUE(ex.setup());
+    Bytes persistent = ex.persistentBytes();
+    auto res = ex.runIteration();
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(mm.pool().usedBytes(), persistent);
+    ex.teardown();
+    EXPECT_EQ(mm.pool().usedBytes(), 0);
+    EXPECT_EQ(mm.host().usedBytes(), 0);
+}
+
+TEST(Executor, GoogLeNetForkJoinRunsUnderOffloadAll)
+{
+    auto network = net::buildGoogLeNet(32);
+    auto r = run(*network, TransferPolicy::OffloadAll,
+                 AlgoMode::MemoryOptimal);
+    EXPECT_TRUE(r.trainable);
+    EXPECT_GT(r.offloads, 20);
+    EXPECT_GT(r.prefetches, 20);
+}
+
+TEST(Executor, SmallGpuForcesFailuresGracefully)
+{
+    gpu::GpuSpec small = gpu::smallGpu4GiB();
+    SessionConfig cfg;
+    cfg.gpu = small;
+    cfg.policy = TransferPolicy::Baseline;
+    cfg.algoMode = AlgoMode::PerformanceOptimal;
+    auto network = net::buildVgg16(64);
+    auto base = runSession(*network, cfg);
+    EXPECT_FALSE(base.trainable); // ~7 GB > 4 GiB
+    cfg.policy = TransferPolicy::OffloadAll;
+    cfg.algoMode = AlgoMode::MemoryOptimal;
+    auto all = runSession(*network, cfg);
+    EXPECT_TRUE(all.trainable); // vDNN rescues it
+}
+
+// --- per-layer timings -------------------------------------------------------------
+
+TEST(Executor, LayerTimingsAreOrdered)
+{
+    auto network = net::buildTinyCnn(8);
+    auto r = run(*network, TransferPolicy::OffloadAll,
+                 AlgoMode::MemoryOptimal);
+    ASSERT_EQ(r.layerTimings.size(), network->numLayers());
+    const auto &topo = network->topoOrder();
+    for (std::size_t i = 1; i < topo.size(); ++i) {
+        const auto &prev = r.layerTimings[std::size_t(topo[i - 1])];
+        const auto &cur = r.layerTimings[std::size_t(topo[i])];
+        EXPECT_GE(cur.fwdStart, prev.fwdEnd); // forward in topo order
+        EXPECT_LE(cur.bwdEnd, prev.bwdStart + 1); // backward reversed
+    }
+    // Reuse distance positive for all but the final layers.
+    EXPECT_GT(r.layerTimings[0].reuseDistance(), 0);
+}
+
+TEST(Executor, ClassifierTimeIsPartOfMakespan)
+{
+    auto network = net::buildAlexNet(32);
+    auto r = run(*network, TransferPolicy::Baseline,
+                 AlgoMode::PerformanceOptimal);
+    EXPECT_GT(r.classifierTime, 0);
+    EXPECT_LT(r.classifierTime, r.iterationTime);
+    EXPECT_EQ(r.featureExtractionTime,
+              r.iterationTime - r.classifierTime);
+}
+
+// --- dynamic policy ------------------------------------------------------------------
+
+TEST(DynamicPolicy, PicksNoOffloadWhenEverythingFits)
+{
+    auto network = net::buildAlexNet(128);
+    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
+    DynamicPolicy dyn(*network, cudnn, gpu::titanXMaxwell());
+    auto result = dyn.derive();
+    EXPECT_TRUE(result.trainable);
+    // Phase 2 wins: fastest algorithms, empty offload set.
+    for (bool off : result.plan.offloadBuffer)
+        EXPECT_FALSE(off);
+    EXPECT_GE(result.trials.size(), 2u);
+    EXPECT_TRUE(result.trials[0].passed); // vDNN_all (m) probe
+    EXPECT_TRUE(result.trials[1].passed); // no-offload (p)
+}
+
+TEST(DynamicPolicy, FallsToOffloadWhenNoOffloadOverflows)
+{
+    auto network = net::buildVgg16(256);
+    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
+    DynamicPolicy dyn(*network, cudnn, gpu::titanXMaxwell());
+    auto result = dyn.derive();
+    EXPECT_TRUE(result.trainable);
+    int offloaded = 0;
+    for (bool off : result.plan.offloadBuffer)
+        offloaded += off ? 1 : 0;
+    EXPECT_GT(offloaded, 0);
+    EXPECT_FALSE(result.trials[1].passed); // no-offload (p) must fail
+}
+
+TEST(DynamicPolicy, GreedyDowngradesWorkspaceHogs)
+{
+    // On VGG-16 (256) the static (p) policies overflow on conv1_2's
+    // backward workspace; the greedy pass must downgrade it while
+    // keeping faster algorithms elsewhere.
+    auto network = net::buildVgg16(256);
+    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
+    DynamicPolicy dyn(*network, cudnn, gpu::titanXMaxwell());
+    auto result = dyn.derive();
+    ASSERT_TRUE(result.trainable);
+    auto fastest = net::performanceOptimalAlgos(*network, cudnn);
+    int downgraded = 0;
+    int kept = 0;
+    for (net::LayerId id : network->topoOrder()) {
+        if (network->node(id).spec.kind != dnn::LayerKind::Conv)
+            continue;
+        if (result.plan.algos[std::size_t(id)] ==
+            fastest[std::size_t(id)]) {
+            ++kept;
+        } else {
+            ++downgraded;
+        }
+    }
+    EXPECT_GT(downgraded, 0);
+    EXPECT_GT(kept, downgraded); // local, not global, downgrade
+}
+
+TEST(DynamicPolicy, UntrainableOnAbsurdlySmallGpu)
+{
+    gpu::GpuSpec tiny = gpu::titanXMaxwell();
+    tiny.dramCapacity = 64_MiB;
+    auto network = net::buildVgg16(64);
+    dnn::CudnnSim cudnn(tiny);
+    DynamicPolicy dyn(*network, cudnn, tiny);
+    auto result = dyn.derive();
+    EXPECT_FALSE(result.trainable);
+    EXPECT_FALSE(result.trials.empty());
+    EXPECT_FALSE(result.trials[0].passed);
+}
+
+TEST(DynamicPolicy, TrialsRecordMakespans)
+{
+    auto network = net::buildAlexNet(64);
+    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
+    DynamicPolicy dyn(*network, cudnn, gpu::titanXMaxwell());
+    auto result = dyn.derive();
+    for (const auto &trial : result.trials) {
+        if (trial.passed) {
+            EXPECT_GT(trial.makespan, 0);
+        }
+        EXPECT_FALSE(trial.description.empty());
+    }
+}
+
+// --- parameterized cross-policy invariants ------------------------------------------
+
+struct PolicyCase
+{
+    TransferPolicy policy;
+    AlgoMode mode;
+};
+
+class PolicyInvariantTest : public ::testing::TestWithParam<PolicyCase>
+{};
+
+TEST_P(PolicyInvariantTest, TinyAndSmallNetsBehave)
+{
+    auto [policy, mode] = GetParam();
+    for (std::int64_t batch : {1, 4, 16}) {
+        auto network = net::buildTinyCnn(batch);
+        auto r = run(*network, policy, mode);
+        ASSERT_TRUE(r.trainable);
+        // Memory balanced, makespan positive, usage bounded by pool.
+        EXPECT_GT(r.iterationTime, 0);
+        EXPECT_LE(r.maxTotalUsage,
+                  gpu::titanXMaxwell().dramCapacity);
+        EXPECT_LE(r.avgTotalUsage, r.maxTotalUsage);
+        EXPECT_LE(r.avgManagedUsage, r.avgTotalUsage);
+        if (policy == TransferPolicy::Baseline) {
+            EXPECT_EQ(r.offloadedBytesPerIter, 0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PolicyInvariantTest,
+    ::testing::Values(
+        PolicyCase{TransferPolicy::Baseline, AlgoMode::MemoryOptimal},
+        PolicyCase{TransferPolicy::Baseline,
+                   AlgoMode::PerformanceOptimal},
+        PolicyCase{TransferPolicy::OffloadAll, AlgoMode::MemoryOptimal},
+        PolicyCase{TransferPolicy::OffloadAll,
+                   AlgoMode::PerformanceOptimal},
+        PolicyCase{TransferPolicy::OffloadConv, AlgoMode::MemoryOptimal},
+        PolicyCase{TransferPolicy::OffloadConv,
+                   AlgoMode::PerformanceOptimal},
+        PolicyCase{TransferPolicy::Dynamic,
+                   AlgoMode::PerformanceOptimal}));

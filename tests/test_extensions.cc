@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Extension and sensitivity tests beyond the paper's core evaluation:
+ * NVLINK-class interconnects (mentioned in Section III-A), alternative
+ * GPUs, executor configuration variants (the ablation switches), and
+ * the prefetch-eviction robustness mechanism.
+ */
+
+#include "core/training_session.hh"
+
+#include "common/units.hh"
+#include "interconnect/pcie_link.hh"
+#include "net/builders.hh"
+
+#include <gtest/gtest.h>
+
+using namespace vdnn;
+using namespace vdnn::core;
+using namespace vdnn::literals;
+
+namespace
+{
+
+SessionResult
+runWith(const net::Network &network, SessionConfig cfg)
+{
+    return runSession(network, cfg);
+}
+
+SessionConfig
+allM()
+{
+    SessionConfig cfg;
+    cfg.policy = TransferPolicy::OffloadAll;
+    cfg.algoMode = AlgoMode::MemoryOptimal;
+    return cfg;
+}
+
+} // namespace
+
+// --- interconnect sensitivity (Section III-A mentions NVLINK) ---------------
+
+TEST(Extensions, NvlinkShrinksOffloadStalls)
+{
+    auto network = net::buildGoogLeNet(128); // offload-stall heavy
+    SessionConfig pcie = allM();
+    SessionConfig nvlink = allM();
+    nvlink.gpu.pcie = ic::nvlinkGen1();
+    auto r_pcie = runWith(*network, pcie);
+    auto r_nvlink = runWith(*network, nvlink);
+    ASSERT_TRUE(r_pcie.trainable);
+    ASSERT_TRUE(r_nvlink.trainable);
+    EXPECT_LT(r_nvlink.transferStallTime, r_pcie.transferStallTime / 2);
+    EXPECT_LT(r_nvlink.iterationTime, r_pcie.iterationTime);
+}
+
+TEST(Extensions, SlowerInterconnectNeverHelps)
+{
+    auto network = net::buildVgg16(64);
+    SessionConfig fast = allM();
+    SessionConfig slow = allM();
+    slow.gpu.pcie.dmaBandwidth = 4.0e9; // gen2-class
+    auto r_fast = runWith(*network, fast);
+    auto r_slow = runWith(*network, slow);
+    EXPECT_GE(r_slow.iterationTime, r_fast.iterationTime);
+    EXPECT_GT(r_slow.transferStallTime, r_fast.transferStallTime);
+}
+
+// --- GPU sensitivity -----------------------------------------------------------
+
+TEST(Extensions, PascalTrainsFasterThanMaxwell)
+{
+    auto network = net::buildVgg16(64);
+    SessionConfig maxwell = allM();
+    SessionConfig pascal = allM();
+    pascal.gpu = gpu::titanXPascal();
+    auto r_m = runWith(*network, maxwell);
+    auto r_p = runWith(*network, pascal);
+    EXPECT_LT(r_p.iterationTime, r_m.iterationTime);
+}
+
+TEST(Extensions, FasterGpuExposesMoreOffloadStall)
+{
+    // Speeding up compute while keeping PCIe fixed makes transfers
+    // harder to hide — the flip side of the paper's hiding argument.
+    auto network = net::buildGoogLeNet(128);
+    SessionConfig maxwell = allM();
+    SessionConfig pascal = allM();
+    pascal.gpu = gpu::titanXPascal();
+    auto r_m = runWith(*network, maxwell);
+    auto r_p = runWith(*network, pascal);
+    double stall_share_m = double(r_m.transferStallTime) /
+                           double(r_m.iterationTime);
+    double stall_share_p = double(r_p.transferStallTime) /
+                           double(r_p.iterationTime);
+    EXPECT_GT(stall_share_p, stall_share_m);
+}
+
+TEST(Extensions, SmallGpuRescuedByVdnn)
+{
+    auto network = net::buildVgg16(64);
+    SessionConfig base;
+    base.policy = TransferPolicy::Baseline;
+    base.algoMode = AlgoMode::MemoryOptimal;
+    base.gpu = gpu::smallGpu4GiB();
+    EXPECT_FALSE(runWith(*network, base).trainable);
+    SessionConfig dyn;
+    dyn.policy = TransferPolicy::Dynamic;
+    dyn.gpu = gpu::smallGpu4GiB();
+    auto r = runWith(*network, dyn);
+    EXPECT_TRUE(r.trainable);
+    EXPECT_LE(r.maxTotalUsage, gpu::smallGpu4GiB().dramCapacity);
+}
+
+// --- executor configuration variants -----------------------------------------------
+
+TEST(Extensions, AsyncReleaseTradesMemoryForSpeed)
+{
+    auto network = net::buildAlexNet(128); // offloads outlive layers
+    SessionConfig sync = allM();
+    SessionConfig async = allM();
+    async.exec.syncAtLayerBoundary = false;
+    auto r_sync = runWith(*network, sync);
+    auto r_async = runWith(*network, async);
+    ASSERT_TRUE(r_sync.trainable);
+    ASSERT_TRUE(r_async.trainable);
+    EXPECT_LE(r_async.iterationTime, r_sync.iterationTime);
+    EXPECT_GE(r_async.maxManagedUsage, r_sync.maxManagedUsage);
+}
+
+TEST(Extensions, NoPrefetchForcesOnDemandFetches)
+{
+    auto network = net::buildVgg16(64);
+    SessionConfig no_prefetch = allM();
+    no_prefetch.exec.prefetchEnabled = false;
+    auto r = runWith(*network, no_prefetch);
+    ASSERT_TRUE(r.trainable);
+    EXPECT_EQ(r.prefetches, 0);
+    EXPECT_GT(r.onDemandFetches, 0);
+    // Every offloaded buffer must come back one way or another.
+    EXPECT_EQ(r.onDemandFetches, r.offloads);
+}
+
+TEST(Extensions, UnboundedWindowPrefetchesEverythingEarly)
+{
+    auto network = net::buildVgg16(64);
+    SessionConfig unbounded = allM();
+    unbounded.exec.prefetchWindowBounded = false;
+    auto r = runWith(*network, unbounded);
+    ASSERT_TRUE(r.trainable);
+    EXPECT_EQ(r.onDemandFetches, 0);
+    // Early prefetching re-inflates memory versus the bounded window.
+    auto bounded = runWith(*network, allM());
+    EXPECT_GE(r.avgManagedUsage, bounded.avgManagedUsage);
+}
+
+// --- prefetch eviction robustness ---------------------------------------------------
+
+TEST(Extensions, EvictionRescuesConvPolicyOnVgg256)
+{
+    // vDNN_conv (m) on VGG-16 (256) peaks within ~3% of the 12 GiB
+    // capacity; without prefetch eviction the transient prefetch
+    // co-residency makes the mandatory pool1 gradient allocation fail.
+    auto network = net::buildVgg16(256);
+    SessionConfig cfg;
+    cfg.policy = TransferPolicy::OffloadConv;
+    cfg.algoMode = AlgoMode::MemoryOptimal;
+    auto r = runWith(*network, cfg);
+    ASSERT_TRUE(r.trainable) << r.failReason;
+    EXPECT_LE(r.maxTotalUsage, gpu::titanXMaxwell().dramCapacity);
+}
+
+TEST(Extensions, EvictionUnnecessaryWithHeadroom)
+{
+    auto network = net::buildVgg16(64); // tons of headroom
+    auto r = runWith(*network, allM());
+    ASSERT_TRUE(r.trainable);
+    EXPECT_EQ(r.onDemandFetches, 0);
+}
+
+// --- session plumbing ------------------------------------------------------------------
+
+TEST(Extensions, SessionConfigNames)
+{
+    SessionConfig cfg;
+    cfg.policy = TransferPolicy::OffloadAll;
+    cfg.algoMode = AlgoMode::MemoryOptimal;
+    EXPECT_EQ(sessionConfigName(cfg), "vDNN_all (m)");
+    cfg.policy = TransferPolicy::Dynamic;
+    EXPECT_EQ(sessionConfigName(cfg), "vDNN_dyn");
+    cfg.policy = TransferPolicy::Baseline;
+    cfg.algoMode = AlgoMode::PerformanceOptimal;
+    cfg.oracle = true;
+    EXPECT_EQ(sessionConfigName(cfg), "base (p) [oracle]");
+}
+
+TEST(Extensions, OracleNeverFails)
+{
+    for (const auto &entry : net::veryDeepSuite()) {
+        auto network = entry.build();
+        SessionConfig cfg;
+        cfg.policy = TransferPolicy::Baseline;
+        cfg.algoMode = AlgoMode::PerformanceOptimal;
+        cfg.oracle = true;
+        auto r = runWith(*network, cfg);
+        EXPECT_TRUE(r.trainable) << entry.name;
+    }
+}
+
+TEST(Extensions, KernelLogCoversEveryLayerTwice)
+{
+    auto network = net::buildTinyCnn(4);
+    SessionConfig cfg;
+    cfg.policy = TransferPolicy::Baseline;
+    cfg.algoMode = AlgoMode::MemoryOptimal;
+    cfg.iterations = 1;
+    cfg.kernelLog = true;
+    auto r = runWith(*network, cfg);
+    ASSERT_TRUE(r.trainable);
+    // Forward kernel + at least one backward kernel per layer.
+    EXPECT_GE(r.kernels.size(), 2 * network->numLayers() - 1);
+    for (const auto &k : r.kernels) {
+        EXPECT_GT(k.duration(), 0);
+        EXPECT_FALSE(k.name.empty());
+    }
+}
+
+TEST(Extensions, DynProfilingTrialsAreReported)
+{
+    auto network = net::buildVgg16(256);
+    SessionConfig cfg;
+    cfg.policy = TransferPolicy::Dynamic;
+    auto r = runWith(*network, cfg);
+    ASSERT_TRUE(r.trainable);
+    // Probe + no-offload + static (p) passes + greedy rounds.
+    EXPECT_GE(r.trials.size(), 4u);
+    EXPECT_TRUE(r.trials.front().passed); // vDNN_all (m) probe
+    EXPECT_FALSE(r.plan.provenance.empty());
+}

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Integration and property tests across the whole stack: the paper's
+ * qualitative results must hold for every network in the benchmark
+ * suite, and executor invariants must survive randomized network
+ * shapes.
+ */
+
+#include "core/training_session.hh"
+#include "net/builders.hh"
+#include "net/network_stats.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/units.hh"
+#include "dnn/cudnn_sim.hh"
+#include "gpu/gpu_spec.hh"
+
+#include <gtest/gtest.h>
+
+using namespace vdnn;
+using namespace vdnn::core;
+using namespace vdnn::literals;
+
+namespace
+{
+
+SessionResult
+run(const net::Network &network, TransferPolicy policy, AlgoMode mode,
+    bool oracle = false)
+{
+    SessionConfig cfg;
+    cfg.policy = policy;
+    cfg.algoMode = mode;
+    cfg.oracle = oracle;
+    return runSession(network, cfg);
+}
+
+} // namespace
+
+// --- suite-wide qualitative results ---------------------------------------------
+
+class SuiteTest : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    std::unique_ptr<net::Network>
+    network() const
+    {
+        return net::conventionalSuite()[GetParam()].build();
+    }
+};
+
+TEST_P(SuiteTest, VdnnAllMemoryOptimalTrainsEverything)
+{
+    auto n = network();
+    auto r = run(*n, TransferPolicy::OffloadAll, AlgoMode::MemoryOptimal);
+    EXPECT_TRUE(r.trainable) << n->name() << ": " << r.failReason;
+}
+
+TEST_P(SuiteTest, DynTrainsAndIsFastestVdnnVariant)
+{
+    auto n = network();
+    auto dyn = run(*n, TransferPolicy::Dynamic,
+                   AlgoMode::PerformanceOptimal);
+    ASSERT_TRUE(dyn.trainable);
+    auto all_m = run(*n, TransferPolicy::OffloadAll,
+                     AlgoMode::MemoryOptimal);
+    ASSERT_TRUE(all_m.trainable);
+    EXPECT_LE(dyn.featureExtractionTime, all_m.featureExtractionTime);
+}
+
+TEST_P(SuiteTest, MemoryOptimalAlgosAreSlowerButSmaller)
+{
+    auto n = network();
+    auto m = run(*n, TransferPolicy::OffloadAll, AlgoMode::MemoryOptimal);
+    auto p = run(*n, TransferPolicy::OffloadAll,
+                 AlgoMode::PerformanceOptimal);
+    if (!m.trainable || !p.trainable)
+        GTEST_SKIP() << "configuration does not fit";
+    EXPECT_LE(m.featureExtractionTime * 99,
+              p.featureExtractionTime * 100 * 4); // sanity bound
+    EXPECT_GE(p.featureExtractionTime, 0);
+    EXPECT_LE(m.avgTotalUsage, p.avgTotalUsage);
+    EXPECT_GT(m.featureExtractionTime, p.featureExtractionTime);
+}
+
+TEST_P(SuiteTest, OffloadTrafficConsistentAcrossPolicies)
+{
+    auto n = network();
+    auto all = run(*n, TransferPolicy::OffloadAll,
+                   AlgoMode::MemoryOptimal);
+    auto conv = run(*n, TransferPolicy::OffloadConv,
+                    AlgoMode::MemoryOptimal);
+    ASSERT_TRUE(all.trainable);
+    ASSERT_TRUE(conv.trainable);
+    EXPECT_GE(all.offloadedBytesPerIter, conv.offloadedBytesPerIter);
+    EXPECT_EQ(all.onDemandFetches, 0);
+    EXPECT_EQ(conv.onDemandFetches, 0);
+}
+
+TEST_P(SuiteTest, AverageBelowMaxBelowCapacityWhenTrainable)
+{
+    auto n = network();
+    for (auto policy :
+         {TransferPolicy::OffloadAll, TransferPolicy::OffloadConv,
+          TransferPolicy::Dynamic}) {
+        auto r = run(*n, policy, AlgoMode::MemoryOptimal);
+        if (!r.trainable)
+            continue;
+        EXPECT_LE(r.avgManagedUsage, r.maxManagedUsage);
+        EXPECT_LE(r.maxTotalUsage, gpu::titanXMaxwell().dramCapacity);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ConventionalNetworks, SuiteTest,
+                         ::testing::Range<std::size_t>(0, 6));
+
+// --- headline cross-checks ------------------------------------------------------------
+
+TEST(Integration, Vgg16b256HeadlineResult)
+{
+    // The abstract's flagship: 28 GB VGG-16 (256) trains on a 12 GB
+    // Titan X under vDNN with bounded performance loss.
+    auto n = net::buildVgg16(256);
+    auto base = run(*n, TransferPolicy::Baseline,
+                    AlgoMode::PerformanceOptimal);
+    EXPECT_FALSE(base.trainable);
+    auto dyn = run(*n, TransferPolicy::Dynamic,
+                   AlgoMode::PerformanceOptimal);
+    ASSERT_TRUE(dyn.trainable);
+    auto oracle = run(*n, TransferPolicy::Baseline,
+                      AlgoMode::PerformanceOptimal, true);
+    double loss = 1.0 - double(oracle.featureExtractionTime) /
+                            double(dyn.featureExtractionTime);
+    EXPECT_GT(loss, 0.0);
+    EXPECT_LT(loss, 0.25); // paper: 18%
+}
+
+TEST(Integration, VeryDeepNetworksTrainOnlyWithVdnn)
+{
+    auto n = net::buildVggDeep(216, 32);
+    auto base = run(*n, TransferPolicy::Baseline,
+                    AlgoMode::MemoryOptimal);
+    EXPECT_FALSE(base.trainable);
+    auto dyn = run(*n, TransferPolicy::Dynamic,
+                   AlgoMode::PerformanceOptimal);
+    ASSERT_TRUE(dyn.trainable);
+    // Most of the allocation lives on the host (Fig. 15).
+    EXPECT_GT(dyn.hostPeakBytes, 3 * dyn.maxTotalUsage);
+}
+
+TEST(Integration, OffloadVolumeMatchesStaticAnalysis)
+{
+    // Fig. 12 cross-check: executed offload bytes equal the sum of
+    // offload-eligible buffer sizes chosen by the plan.
+    auto n = net::buildGoogLeNet(64);
+    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
+    Plan plan = makeStaticPlan(*n, cudnn, TransferPolicy::OffloadConv,
+                               AlgoMode::MemoryOptimal);
+    Bytes expected = 0;
+    for (net::BufferId b = 0; b < net::BufferId(n->numBuffers()); ++b) {
+        if (plan.offloadBuffer[std::size_t(b)])
+            expected += n->buffer(b).bytes();
+    }
+    auto r = run(*n, TransferPolicy::OffloadConv,
+                 AlgoMode::MemoryOptimal);
+    EXPECT_EQ(r.offloadedBytesPerIter, expected);
+}
+
+TEST(Integration, ContentionNeverSpeedsThingsUp)
+{
+    auto n = net::buildVgg16(64);
+    SessionConfig with;
+    with.policy = TransferPolicy::OffloadAll;
+    with.algoMode = AlgoMode::PerformanceOptimal;
+    with.contention = true;
+    SessionConfig without = with;
+    without.contention = false;
+    auto r_with = runSession(*n, with);
+    auto r_without = runSession(*n, without);
+    EXPECT_GE(r_with.iterationTime, r_without.iterationTime);
+    // Bounded by the paper's 4.7% worst case.
+    EXPECT_LE(double(r_with.iterationTime),
+              double(r_without.iterationTime) * 1.047);
+}
+
+TEST(Integration, PowerRanking)
+{
+    // More offload traffic -> higher max power, never lower.
+    auto n = net::buildVgg16(64);
+    auto base = run(*n, TransferPolicy::Baseline,
+                    AlgoMode::MemoryOptimal);
+    auto all = run(*n, TransferPolicy::OffloadAll,
+                   AlgoMode::MemoryOptimal);
+    ASSERT_TRUE(base.trainable);
+    ASSERT_TRUE(all.trainable);
+    EXPECT_GE(all.maxPowerW, base.maxPowerW);
+    EXPECT_GT(base.avgPowerW, gpu::titanXMaxwell().idlePowerW);
+}
+
+TEST(Integration, TimelineCapturesFluctuation)
+{
+    auto n = net::buildVgg16(64);
+    SessionConfig cfg;
+    cfg.policy = TransferPolicy::OffloadAll;
+    cfg.algoMode = AlgoMode::MemoryOptimal;
+    cfg.keepTimeline = true;
+    auto r = runSession(*n, cfg);
+    ASSERT_TRUE(r.trainable);
+    // The managed-usage signal rises and falls by construction.
+    ASSERT_GT(r.managedTimeline.size(), 100u);
+    double max_v = 0, min_after_peak = 1e18;
+    for (const auto &s : r.managedTimeline)
+        max_v = std::max(max_v, s.value);
+    bool seen_peak = false;
+    for (const auto &s : r.managedTimeline) {
+        if (s.value == max_v)
+            seen_peak = true;
+        if (seen_peak) {
+            min_after_peak = std::min(min_after_peak, s.value);
+        }
+    }
+    EXPECT_LT(min_after_peak, max_v / 4);
+}
+
+// --- randomized property sweep ----------------------------------------------------------
+
+/**
+ * Random linear CNNs must satisfy the executor's core invariants under
+ * every policy: pool balanced after the run (checked internally via
+ * VDNN_ASSERT), vDNN memory <= baseline memory, vDNN time >= oracle.
+ */
+class RandomNetworkTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RandomNetworkTest, InvariantsHoldOnRandomLinearCnn)
+{
+    SplitMix64 rng(GetParam());
+    std::int64_t batch = 1 << rng.nextRange(0, 5);
+    std::int64_t image = 16 << rng.nextRange(0, 3);
+    std::int64_t channels = 8 << rng.nextRange(0, 3);
+    int groups = int(rng.nextRange(1, 4));
+
+    dnn::TensorShape in{batch, 3, image, image};
+    auto network = std::make_unique<net::Network>("random", in);
+    auto shape = [&]() {
+        return network
+            ->node(net::LayerId(network->numLayers() - 1))
+            .spec.out;
+    };
+    dnn::TensorShape cur = in;
+    for (int g = 0; g < groups; ++g) {
+        int convs = int(rng.nextRange(1, 3));
+        for (int i = 0; i < convs; ++i) {
+            dnn::ConvParams p;
+            p.outChannels = channels << g;
+            p.kernelH = p.kernelW = 3;
+            p.padH = p.padW = 1;
+            network->append(dnn::makeConv(
+                strFormat("conv%d_%d", g, i), cur, p));
+            network->append(dnn::makeActivation(
+                strFormat("relu%d_%d", g, i), shape()));
+            cur = shape();
+        }
+        if (cur.h >= 4) {
+            network->append(dnn::makePool(strFormat("pool%d", g), cur,
+                                          dnn::PoolParams{}));
+            cur = shape();
+        }
+    }
+    network->append(dnn::makeFc("fc", cur, dnn::FcParams{10}));
+    network->append(dnn::makeSoftmaxLoss("loss", shape()));
+    network->finalize();
+
+    auto oracle = run(*network, TransferPolicy::Baseline,
+                      AlgoMode::PerformanceOptimal, true);
+    ASSERT_TRUE(oracle.trainable);
+    for (auto policy :
+         {TransferPolicy::OffloadAll, TransferPolicy::OffloadConv}) {
+        auto r = run(*network, policy, AlgoMode::MemoryOptimal);
+        ASSERT_TRUE(r.trainable) << r.failReason;
+        EXPECT_GE(r.featureExtractionTime,
+                  oracle.featureExtractionTime);
+        auto base = run(*network, TransferPolicy::Baseline,
+                        AlgoMode::MemoryOptimal);
+        if (base.trainable) {
+            EXPECT_LE(r.avgManagedUsage, base.avgManagedUsage);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworkTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u,
+                                           77u, 88u));

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the PCIe DMA and page-migration transfer models,
+ * cross-checked against the constants the paper quotes in Section II-C.
+ */
+
+#include "interconnect/page_migration.hh"
+#include "interconnect/pcie_link.hh"
+
+#include "common/units.hh"
+
+#include <gtest/gtest.h>
+
+using namespace vdnn;
+using namespace vdnn::ic;
+using namespace vdnn::literals;
+
+TEST(PcieLink, PresetMatchesPaperNode)
+{
+    PcieLink link(pcieGen3x16());
+    EXPECT_DOUBLE_EQ(link.spec().rawBandwidth, 16.0e9);
+    EXPECT_DOUBLE_EQ(link.spec().dmaBandwidth, 12.8e9);
+}
+
+TEST(PcieLink, LargeTransferApproachesDmaBandwidth)
+{
+    PcieLink link(pcieGen3x16());
+    // 1 GiB: the fixed setup cost is negligible.
+    double bw = link.achievedBandwidth(1_GiB);
+    EXPECT_GT(bw, 0.99 * 12.8e9);
+    EXPECT_LE(bw, 12.8e9);
+}
+
+TEST(PcieLink, SmallTransferDominatedBySetupCost)
+{
+    PcieLink link(pcieGen3x16());
+    double bw = link.achievedBandwidth(4096);
+    EXPECT_LT(bw, 1.0e9); // far below line rate
+}
+
+TEST(PcieLink, TransferTimeScalesLinearly)
+{
+    PcieLink link(pcieGen3x16());
+    TimeNs t1 = link.transferTime(256_MiB);
+    TimeNs t2 = link.transferTime(512_MiB);
+    double setup = double(link.spec().setupLatency);
+    EXPECT_NEAR(double(t2) - setup, 2.0 * (double(t1) - setup),
+                double(t1) * 0.01);
+}
+
+TEST(PcieLink, ZeroBytesStillCostsSetup)
+{
+    PcieLink link(pcieGen3x16());
+    EXPECT_EQ(link.transferTime(0), link.spec().setupLatency);
+}
+
+TEST(PcieLink, NvlinkPresetIsFaster)
+{
+    PcieLink pcie(pcieGen3x16());
+    PcieLink nvlink(nvlinkGen1());
+    EXPECT_LT(nvlink.transferTime(1_GiB), pcie.transferTime(1_GiB));
+}
+
+TEST(PageMigration, EffectiveBandwidthMatchesPaperRange)
+{
+    // Section II-C: 20-50 us per 4 KB page -> 80-200 MB/s.
+    PageMigrationModel pm;
+    double best = pm.effectiveBandwidth(false);
+    double worst = pm.effectiveBandwidth(true);
+    EXPECT_NEAR(best, 200.0e6, 10.0e6);
+    EXPECT_NEAR(worst, 80.0e6, 5.0e6);
+}
+
+TEST(PageMigration, PageCountRoundsUp)
+{
+    PageMigrationModel pm;
+    EXPECT_EQ(pm.pagesFor(0), 0);
+    EXPECT_EQ(pm.pagesFor(1), 1);
+    EXPECT_EQ(pm.pagesFor(4096), 1);
+    EXPECT_EQ(pm.pagesFor(4097), 2);
+}
+
+TEST(PageMigration, DmaIsOrdersOfMagnitudeFaster)
+{
+    PcieLink link(pcieGen3x16());
+    PageMigrationModel pm;
+    Bytes payload = 256_MiB;
+    double ratio = double(pm.transferTime(payload)) /
+                   double(link.transferTime(payload));
+    // 12.8 GB/s vs 200 MB/s -> ~64x in the optimistic case.
+    EXPECT_GT(ratio, 50.0);
+    EXPECT_LT(ratio, 80.0);
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the GPU power model (Section V-D substrate).
+ */
+
+#include "gpu/power_model.hh"
+
+#include "common/units.hh"
+#include "gpu/gpu_spec.hh"
+
+#include <gtest/gtest.h>
+
+using namespace vdnn;
+using namespace vdnn::gpu;
+using namespace vdnn::literals;
+
+class PowerModelUnitTest : public ::testing::Test
+{
+  protected:
+    GpuSpec spec = titanXMaxwell();
+};
+
+TEST_F(PowerModelUnitTest, IdleWindowDrawsIdlePower)
+{
+    PowerModel pm(spec);
+    pm.begin(0);
+    pm.finish(1_ms);
+    EXPECT_DOUBLE_EQ(pm.averagePowerW(), spec.idlePowerW);
+    EXPECT_DOUBLE_EQ(pm.maxPowerW(), spec.idlePowerW);
+}
+
+TEST_F(PowerModelUnitTest, KernelRaisesDrawForItsDuration)
+{
+    PowerModel pm(spec);
+    pm.begin(0);
+    pm.kernelStart(0, 1.0, 0.5);
+    pm.kernelEnd(500_us, 1.0, 0.5);
+    pm.finish(1_ms);
+    // Busy half the window at full compute + half DRAM.
+    double busy = spec.idlePowerW + spec.computePowerW +
+                  spec.dramPowerW * (0.5 + 0.5 * 0.5);
+    EXPECT_NEAR(pm.maxPowerW(), busy, 1e-9);
+    EXPECT_NEAR(pm.averagePowerW(),
+                (busy + spec.idlePowerW) / 2.0, 1e-9);
+}
+
+TEST_F(PowerModelUnitTest, UtilizationSpreadIsFlattened)
+{
+    // Real kernels draw near-constant power regardless of useful-FLOP
+    // efficiency: low-util and high-util kernels differ by at most the
+    // flattened fraction.
+    PowerModel low(spec), high(spec);
+    low.begin(0);
+    low.kernelStart(0, 0.2, 0.1);
+    low.kernelEnd(1_ms, 0.2, 0.1);
+    low.finish(1_ms);
+    high.begin(0);
+    high.kernelStart(0, 1.0, 1.0);
+    high.kernelEnd(1_ms, 1.0, 1.0);
+    high.finish(1_ms);
+    double spread = high.maxPowerW() / low.maxPowerW();
+    EXPECT_GT(spread, 1.0);
+    EXPECT_LT(spread, 1.35);
+}
+
+TEST_F(PowerModelUnitTest, CopyAddsCopyEnginePower)
+{
+    PowerModel pm(spec);
+    pm.begin(0);
+    pm.copyStart(0, spec.pcie.dmaBandwidth);
+    pm.copyEnd(1_ms, spec.pcie.dmaBandwidth);
+    pm.finish(1_ms);
+    EXPECT_GT(pm.maxPowerW(), spec.idlePowerW + spec.copyPowerW - 1e-9);
+}
+
+TEST_F(PowerModelUnitTest, OverlappingActivitiesSum)
+{
+    PowerModel pm(spec);
+    pm.begin(0);
+    pm.kernelStart(0, 0.8, 0.3);
+    pm.copyStart(100_us, spec.pcie.dmaBandwidth);
+    pm.copyEnd(300_us, spec.pcie.dmaBandwidth);
+    pm.kernelEnd(1_ms, 0.8, 0.3);
+    pm.finish(1_ms);
+    // Peak occurs during the overlap and exceeds either alone.
+    PowerModel kernel_only(spec);
+    kernel_only.begin(0);
+    kernel_only.kernelStart(0, 0.8, 0.3);
+    kernel_only.kernelEnd(1_ms, 0.8, 0.3);
+    kernel_only.finish(1_ms);
+    EXPECT_GT(pm.maxPowerW(), kernel_only.maxPowerW());
+}
+
+TEST_F(PowerModelUnitTest, EnergyIsAvgTimesDuration)
+{
+    PowerModel pm(spec);
+    pm.begin(0);
+    pm.finish(2_s);
+    EXPECT_NEAR(pm.energyJ(), spec.idlePowerW * 2.0, 1e-6);
+}
+
+TEST_F(PowerModelUnitTest, UtilClampedToValidRange)
+{
+    PowerModel pm(spec);
+    pm.begin(0);
+    pm.kernelStart(0, 5.0, -1.0); // clamped to [0,1]
+    pm.kernelEnd(1_ms, 5.0, -1.0);
+    pm.finish(1_ms);
+    EXPECT_LE(pm.maxPowerW(),
+              spec.idlePowerW + spec.computePowerW + spec.dramPowerW);
+}
+
+TEST_F(PowerModelUnitTest, MismatchedEndPanics)
+{
+    PowerModel pm(spec);
+    pm.begin(0);
+    // Ending a kernel that never started drives draw below idle.
+    EXPECT_DEATH(pm.kernelEnd(10, 1.0, 1.0), "below idle");
+}
+
+TEST(GpuSpecs, PresetsAreOrderedSensibly)
+{
+    EXPECT_GT(titanXPascal().peakFlops, titanXMaxwell().peakFlops);
+    EXPECT_LT(teslaK40().peakFlops, titanXMaxwell().peakFlops);
+    EXPECT_LT(smallGpu4GiB().dramCapacity,
+              titanXMaxwell().dramCapacity);
+    EXPECT_EQ(titanXMaxwell().dramCapacity, 12_GiB);
+    EXPECT_DOUBLE_EQ(titanXMaxwell().peakFlops, 7.0e12);
+    EXPECT_DOUBLE_EQ(titanXMaxwell().dramBandwidth, 336.0e9);
+}

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Unit tests for the simulated CUDA runtime: stream FIFO semantics,
+ * cross-stream overlap, event ordering, synchronization, contention and
+ * power accounting. These are the execution semantics vDNN's
+ * offload/prefetch correctness rests on (Section III-B, Figure 9).
+ */
+
+#include "gpu/runtime.hh"
+
+#include "common/units.hh"
+
+#include <gtest/gtest.h>
+
+using namespace vdnn;
+using namespace vdnn::gpu;
+using namespace vdnn::literals;
+
+namespace
+{
+
+/** A spec with easy round numbers for hand-computed latencies. */
+GpuSpec
+testSpec()
+{
+    GpuSpec s;
+    s.name = "test-gpu";
+    s.peakFlops = 1.0e12;
+    s.dramBandwidth = 100.0e9;
+    s.dramCapacity = 1_GiB;
+    s.pcie.dmaBandwidth = 10.0e9;
+    s.pcie.rawBandwidth = 16.0e9;
+    s.pcie.setupLatency = 0;
+    return s;
+}
+
+KernelDesc
+kernel(const std::string &name, TimeNs dur, Bytes dram_bytes = 0)
+{
+    KernelDesc k;
+    k.name = name;
+    k.duration = dur;
+    k.dramBytes = dram_bytes;
+    k.flops = 0.0;
+    return k;
+}
+
+} // namespace
+
+TEST(Runtime, KernelsOnOneStreamSerialize)
+{
+    Runtime rt(testSpec());
+    auto s = rt.createStream("compute");
+    rt.launchKernel(s, kernel("k1", 1000));
+    rt.launchKernel(s, kernel("k2", 500));
+    rt.synchronize(s);
+    EXPECT_EQ(rt.now(), 1500);
+    EXPECT_EQ(rt.computeBusyTime(), 1500);
+}
+
+TEST(Runtime, HostClockOnlyAdvancesOnSync)
+{
+    Runtime rt(testSpec());
+    auto s = rt.createStream("compute");
+    rt.launchKernel(s, kernel("k1", 1000));
+    EXPECT_EQ(rt.now(), 0); // async launch does not block the host
+    rt.synchronize(s);
+    EXPECT_EQ(rt.now(), 1000);
+}
+
+TEST(Runtime, KernelAndCopyOverlapAcrossStreams)
+{
+    Runtime rt(testSpec(), /*enable_contention=*/false);
+    auto sc = rt.createStream("compute");
+    auto sm = rt.createStream("memory");
+    // 10 GB/s link: 1 MiB takes ~104.8 us; kernel takes 200 us.
+    rt.launchKernel(sc, kernel("conv", 200_us));
+    rt.memcpyAsync(sm, 1_MiB, CopyDir::DeviceToHost, "offload");
+    rt.synchronize(sc);
+    rt.synchronize(sm);
+    // Full overlap: the makespan equals the longer of the two.
+    EXPECT_EQ(rt.now(), 200_us);
+}
+
+TEST(Runtime, CopyLongerThanKernelDeterminesMakespan)
+{
+    Runtime rt(testSpec(), false);
+    auto sc = rt.createStream("compute");
+    auto sm = rt.createStream("memory");
+    rt.launchKernel(sc, kernel("conv", 50_us));
+    rt.memcpyAsync(sm, 10_MiB, CopyDir::DeviceToHost, "offload");
+    rt.deviceSynchronize();
+    // 10 MiB at 10 GB/s = 1048.576 us > 50 us.
+    EXPECT_GT(rt.now(), 1000_us);
+    EXPECT_LT(rt.now(), 1100_us);
+}
+
+TEST(Runtime, TwoComputeStreamsShareOneEngine)
+{
+    // The GPU can only process one layer's kernel at a time (paper
+    // Section II-B): two streams of kernels must serialize.
+    Runtime rt(testSpec());
+    auto s1 = rt.createStream("a");
+    auto s2 = rt.createStream("b");
+    rt.launchKernel(s1, kernel("k1", 1000));
+    rt.launchKernel(s2, kernel("k2", 1000));
+    rt.deviceSynchronize();
+    EXPECT_EQ(rt.now(), 2000);
+}
+
+TEST(Runtime, OppositeDirectionCopiesOverlap)
+{
+    Runtime rt(testSpec(), false);
+    auto s1 = rt.createStream("a");
+    auto s2 = rt.createStream("b");
+    rt.memcpyAsync(s1, 10_MiB, CopyDir::DeviceToHost, "off");
+    rt.memcpyAsync(s2, 10_MiB, CopyDir::HostToDevice, "pre");
+    rt.deviceSynchronize();
+    TimeNs single = transferTimeNs(10_MiB, 10.0e9);
+    EXPECT_EQ(rt.now(), single); // dual copy engines run concurrently
+}
+
+TEST(Runtime, SameDirectionCopiesSerialize)
+{
+    Runtime rt(testSpec(), false);
+    auto s1 = rt.createStream("a");
+    auto s2 = rt.createStream("b");
+    rt.memcpyAsync(s1, 10_MiB, CopyDir::DeviceToHost, "off1");
+    rt.memcpyAsync(s2, 10_MiB, CopyDir::DeviceToHost, "off2");
+    rt.deviceSynchronize();
+    TimeNs single = transferTimeNs(10_MiB, 10.0e9);
+    EXPECT_EQ(rt.now(), 2 * single); // one D2H engine
+}
+
+TEST(Runtime, EventOrdersAcrossStreams)
+{
+    Runtime rt(testSpec());
+    auto sc = rt.createStream("compute");
+    auto sm = rt.createStream("memory");
+    auto ev = rt.createEvent();
+    // memory stream records after its copy; compute waits on the event
+    // before its kernel: the kernel must start only after the copy.
+    rt.memcpyAsync(sm, 10_MiB, CopyDir::HostToDevice, "prefetch");
+    rt.recordEvent(sm, ev);
+    rt.streamWaitEvent(sc, ev);
+    rt.launchKernel(sc, kernel("bwd", 100_us));
+    rt.deviceSynchronize();
+    TimeNs copy = transferTimeNs(10_MiB, 10.0e9);
+    EXPECT_EQ(rt.now(), copy + 100_us);
+    EXPECT_TRUE(rt.eventFired(ev));
+}
+
+TEST(Runtime, WaitOnAlreadyFiredEventDoesNotBlock)
+{
+    Runtime rt(testSpec());
+    auto s1 = rt.createStream("a");
+    auto s2 = rt.createStream("b");
+    auto ev = rt.createEvent();
+    rt.recordEvent(s1, ev);
+    rt.synchronize(s1);
+    rt.streamWaitEvent(s2, ev);
+    rt.launchKernel(s2, kernel("k", 10));
+    rt.synchronize(s2);
+    EXPECT_EQ(rt.now(), 10);
+}
+
+TEST(Runtime, BytesCopiedAccumulatePerDirection)
+{
+    Runtime rt(testSpec());
+    auto s = rt.createStream("m");
+    rt.memcpyAsync(s, 1_MiB, CopyDir::DeviceToHost);
+    rt.memcpyAsync(s, 2_MiB, CopyDir::DeviceToHost);
+    rt.memcpyAsync(s, 4_MiB, CopyDir::HostToDevice);
+    rt.synchronize(s);
+    EXPECT_EQ(rt.bytesCopied(CopyDir::DeviceToHost), 3_MiB);
+    EXPECT_EQ(rt.bytesCopied(CopyDir::HostToDevice), 4_MiB);
+}
+
+TEST(Runtime, KernelLogRecordsTiming)
+{
+    Runtime rt(testSpec());
+    rt.setKernelLog(true);
+    auto s = rt.createStream("c");
+    rt.launchKernel(s, kernel("conv_fwd", 1000, 50000));
+    rt.launchKernel(s, kernel("pool_fwd", 500, 10000));
+    rt.synchronize(s);
+    ASSERT_EQ(rt.kernelLog().size(), 2u);
+    EXPECT_EQ(rt.kernelLog()[0].name, "conv_fwd");
+    EXPECT_EQ(rt.kernelLog()[0].start, 0);
+    EXPECT_EQ(rt.kernelLog()[0].end, 1000);
+    EXPECT_EQ(rt.kernelLog()[1].start, 1000);
+    EXPECT_EQ(rt.kernelLog()[1].end, 1500);
+    EXPECT_GT(rt.kernelLog()[0].dramBandwidth(), 0.0);
+}
+
+TEST(Runtime, ContentionStretchesBandwidthBoundKernel)
+{
+    // Kernel demands 95% of DRAM bandwidth; a concurrent copy steals
+    // PCIe-rate bandwidth, so the kernel must stretch.
+    GpuSpec spec = testSpec();
+    Runtime with(spec, true);
+    Runtime without(spec, false);
+    for (Runtime *rt : {&with, &without}) {
+        auto sc = rt->createStream("c");
+        auto sm = rt->createStream("m");
+        Bytes kernel_bytes = Bytes(0.95 * 100.0e9 * 1e-3); // 95 GB/s for 1 ms
+        rt->launchKernel(sc, kernel("membound", 1_ms, kernel_bytes));
+        rt->memcpyAsync(sm, 10_MiB, CopyDir::DeviceToHost, "off");
+        rt->deviceSynchronize();
+    }
+    EXPECT_GT(with.now(), without.now());
+    // Worst case bound from the paper: pcie/dram = 10/100 = 10% here.
+    EXPECT_LT(double(with.now()), double(without.now()) * 1.11);
+}
+
+TEST(Runtime, ComputeBoundKernelUnaffectedByContention)
+{
+    GpuSpec spec = testSpec();
+    Runtime rt(spec, true);
+    auto sc = rt.createStream("c");
+    auto sm = rt.createStream("m");
+    // Demands only 10% of DRAM bandwidth: headroom absorbs the copy.
+    Bytes kernel_bytes = Bytes(0.10 * 100.0e9 * 1e-3);
+    rt.launchKernel(sc, kernel("flopbound", 1_ms, kernel_bytes));
+    rt.memcpyAsync(sm, 1_MiB, CopyDir::DeviceToHost, "off");
+    rt.synchronize(sc);
+    EXPECT_EQ(rt.now(), 1_ms);
+}
+
+TEST(Runtime, PowerWindowAveragesAboveIdle)
+{
+    GpuSpec spec = testSpec();
+    Runtime rt(spec);
+    auto s = rt.createStream("c");
+    KernelDesc k = kernel("k", 1_ms, 50_MiB);
+    k.flops = 1.0e12 * 1e-3; // exactly peak rate for 1 ms
+    rt.launchKernel(s, k);
+    rt.synchronize(s);
+    rt.finishPowerWindow();
+    EXPECT_GT(rt.power().averagePowerW(), spec.idlePowerW);
+    EXPECT_LE(rt.power().maxPowerW(),
+              spec.idlePowerW + spec.computePowerW + spec.dramPowerW +
+                  2 * spec.copyPowerW + 1.0);
+    EXPECT_GT(rt.power().energyJ(), 0.0);
+}
+
+TEST(Runtime, CopiesRaiseMaxPower)
+{
+    GpuSpec spec = testSpec();
+    Runtime base(spec), offload(spec);
+    for (Runtime *rt : {&base, &offload}) {
+        auto sc = rt->createStream("c");
+        KernelDesc k = kernel("k", 1_ms, 10_MiB);
+        k.flops = 0.5e12 * 1e-3;
+        rt->launchKernel(sc, k);
+        if (rt == &offload) {
+            auto sm = rt->createStream("m");
+            rt->memcpyAsync(sm, 5_MiB, CopyDir::DeviceToHost, "off");
+        }
+        rt->deviceSynchronize();
+        rt->finishPowerWindow();
+    }
+    EXPECT_GT(offload.power().maxPowerW(), base.power().maxPowerW());
+}
+
+TEST(RuntimeDeath, DeadlockOnUnrecordedEventPanics)
+{
+    Runtime rt(testSpec());
+    auto s = rt.createStream("c");
+    auto ev = rt.createEvent();
+    rt.streamWaitEvent(s, ev);
+    rt.launchKernel(s, kernel("never", 10));
+    EXPECT_DEATH(rt.synchronize(s), "deadlock");
+}
+
+TEST(Runtime, ManyAlternatingLayersMatchHandComputedMakespan)
+{
+    // vDNN's forward pass shape: kernel(n) on stream_compute overlapped
+    // with offload(n) on stream_memory, sync at each layer boundary.
+    // With kernel time 100us and offload time 60us the offloads hide
+    // completely: makespan = N * 100us.
+    Runtime rt(testSpec(), false);
+    auto sc = rt.createStream("compute");
+    auto sm = rt.createStream("memory");
+    const int layers = 16;
+    Bytes off_bytes = Bytes(10.0e9 * 60e-6); // 60 us at 10 GB/s
+    for (int i = 0; i < layers; ++i) {
+        rt.launchKernel(sc, kernel("fwd", 100_us));
+        rt.memcpyAsync(sm, off_bytes, CopyDir::DeviceToHost, "off");
+        rt.synchronize(sc);
+        rt.synchronize(sm);
+    }
+    EXPECT_EQ(rt.now(), layers * 100_us);
+}
+
+TEST(Runtime, SlowOffloadStallsNextLayerExactlyLikeFigure9)
+{
+    // Figure 9: when OFF(n) outlives FWD(n), FWD(n+1) is delayed by the
+    // residual offload time ("wasted time").
+    Runtime rt(testSpec(), false);
+    auto sc = rt.createStream("compute");
+    auto sm = rt.createStream("memory");
+    Bytes off_bytes = Bytes(10.0e9 * 150e-6); // 150 us at 10 GB/s
+    rt.launchKernel(sc, kernel("fwd1", 100_us));
+    rt.memcpyAsync(sm, off_bytes, CopyDir::DeviceToHost, "off1");
+    rt.synchronize(sc);
+    rt.synchronize(sm); // stall: offload is 50 us longer than compute
+    rt.launchKernel(sc, kernel("fwd2", 100_us));
+    rt.synchronize(sc);
+    EXPECT_EQ(rt.now(), 250_us);
+}

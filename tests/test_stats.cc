@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit tests for the statistics library (accumulator, time-weighted
+ * signal, histogram, table, comparison).
+ */
+
+#include "stats/accumulator.hh"
+#include "stats/comparison.hh"
+#include "stats/histogram.hh"
+#include "stats/table.hh"
+#include "stats/time_weighted.hh"
+
+#include "common/random.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace vdnn;
+using namespace vdnn::stats;
+
+// --- Accumulator -----------------------------------------------------------
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator a;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(v);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_NEAR(a.stddev(), 2.0, 1e-12); // classic textbook set
+}
+
+TEST(Accumulator, MergeMatchesCombinedStream)
+{
+    SplitMix64 rng(7);
+    Accumulator whole, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.nextDouble() * 100.0;
+        whole.add(v);
+        (i % 2 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides)
+{
+    Accumulator a, empty;
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+// --- TimeWeighted ------------------------------------------------------------
+
+TEST(TimeWeighted, PiecewiseConstantAverage)
+{
+    TimeWeighted tw;
+    tw.record(0, 10.0);   // 10 for 100 ns
+    tw.record(100, 30.0); // 30 for 100 ns
+    tw.finish(200);
+    EXPECT_DOUBLE_EQ(tw.average(), 20.0);
+    EXPECT_DOUBLE_EQ(tw.peak(), 30.0);
+    EXPECT_EQ(tw.duration(), 200);
+}
+
+TEST(TimeWeighted, UnevenDurationsWeightCorrectly)
+{
+    TimeWeighted tw;
+    tw.record(0, 100.0); // 100 for 900 ns
+    tw.record(900, 0.0); // 0 for 100 ns
+    tw.finish(1000);
+    EXPECT_DOUBLE_EQ(tw.average(), 90.0);
+}
+
+TEST(TimeWeighted, PeakSeesShortSpikes)
+{
+    TimeWeighted tw;
+    tw.record(0, 1.0);
+    tw.record(500, 1000.0);
+    tw.record(501, 1.0); // 1 ns spike
+    tw.finish(1000);
+    EXPECT_DOUBLE_EQ(tw.peak(), 1000.0);
+    EXPECT_LT(tw.average(), 3.0);
+}
+
+TEST(TimeWeighted, ZeroWindowFallsBackToLastValue)
+{
+    TimeWeighted tw;
+    tw.record(5, 42.0);
+    tw.finish(5);
+    EXPECT_DOUBLE_EQ(tw.average(), 42.0);
+}
+
+TEST(TimeWeighted, TimelineKeptOnlyWhenRequested)
+{
+    TimeWeighted off, on(true);
+    off.record(0, 1.0);
+    on.record(0, 1.0);
+    on.record(10, 2.0);
+    off.finish(10);
+    on.finish(10);
+    EXPECT_TRUE(off.timeline().empty());
+    ASSERT_EQ(on.timeline().size(), 2u);
+    EXPECT_EQ(on.timeline()[1].when, 10);
+    EXPECT_DOUBLE_EQ(on.timeline()[1].value, 2.0);
+}
+
+TEST(TimeWeightedDeath, RecordAfterFinishPanics)
+{
+    TimeWeighted tw;
+    tw.record(0, 1.0);
+    tw.finish(10);
+    EXPECT_DEATH(tw.record(20, 2.0), "finish");
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, BucketsAndBounds)
+{
+    Histogram h(0.0, 100.0, 10);
+    h.add(5.0);
+    h.add(15.0);
+    h.add(15.5);
+    h.add(99.999);
+    h.add(-1.0);  // underflow
+    h.add(100.0); // overflow (hi-exclusive)
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(h.bucketLow(1), 10.0);
+    EXPECT_DOUBLE_EQ(h.bucketHigh(1), 20.0);
+}
+
+TEST(Histogram, QuantileOfUniformSamples)
+{
+    Histogram h(0.0, 1000.0, 100);
+    for (int i = 0; i < 1000; ++i)
+        h.add(double(i));
+    double median = h.quantile(0.5);
+    EXPECT_GE(median, 450.0);
+    EXPECT_LE(median, 550.0);
+}
+
+// --- Table ---------------------------------------------------------------------
+
+TEST(Table, RenderContainsTitleHeadersAndCells)
+{
+    Table t("Demo table");
+    t.setColumns({"network", "memory (MB)"});
+    t.addRow({"AlexNet", Table::cell(1123.4, 1)});
+    std::string out = t.render();
+    EXPECT_NE(out.find("Demo table"), std::string::npos);
+    EXPECT_NE(out.find("network"), std::string::npos);
+    EXPECT_NE(out.find("AlexNet"), std::string::npos);
+    EXPECT_NE(out.find("1123.4"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters)
+{
+    Table t("csv");
+    t.setColumns({"a", "b"});
+    t.addRow({"has,comma", "has\"quote"});
+    std::string csv = t.csv();
+    EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CellHelpers)
+{
+    EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::cellInt(-42), "-42");
+    EXPECT_EQ(Table::cellPercent(0.931, 1), "93.1%");
+}
+
+TEST(TableDeath, RowWidthMismatchPanics)
+{
+    Table t("bad");
+    t.setColumns({"one", "two"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+// --- Comparison ------------------------------------------------------------------
+
+TEST(Comparison, NumericWithinToleranceHolds)
+{
+    Comparison c("test");
+    c.addNumeric("metric", 100.0, 110.0, 0.2);
+    EXPECT_TRUE(c.allHold());
+    c.addNumeric("metric2", 100.0, 200.0, 0.2);
+    EXPECT_FALSE(c.allHold());
+    EXPECT_EQ(c.failed(), 1);
+}
+
+TEST(Comparison, BoolClaims)
+{
+    Comparison c("test");
+    c.addBool("fails to train", true, true);
+    c.addBool("fails to train", true, false);
+    EXPECT_EQ(c.failed(), 1);
+    std::string out = c.render();
+    EXPECT_NE(out.find("DEVIATES"), std::string::npos);
+    EXPECT_NE(out.find("holds"), std::string::npos);
+}
+
+TEST(Comparison, InfoRowsAreNotChecked)
+{
+    Comparison c("test");
+    c.addInfo("note", "qualitative", "also qualitative");
+    EXPECT_TRUE(c.allHold());
+    EXPECT_EQ(c.total(), 1);
+}
