@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Multi-tenant serving demo: pack a queue of VGG-16 training jobs
+ * onto one simulated 12 GB Titan X and compare scheduling/memory
+ * policies.
+ *
+ * The status quo (FIFO-exclusive, baseline allocator) runs one job at
+ * a time with head-of-line blocking. vDNN's reduced residency lets
+ * the round-robin scheduler admit several tenants at once: queueing
+ * delay collapses and short jobs stop waiting behind long ones.
+ *
+ * Usage: serve_cluster [njobs] [batch]
+ */
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/units.hh"
+#include "net/builders.hh"
+#include "serve/arrival.hh"
+#include "serve/scheduler.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace vdnn;
+using namespace vdnn::serve;
+
+namespace
+{
+
+ServeReport
+runCluster(const std::shared_ptr<const net::Network> &network,
+           int njobs, SchedPolicy sched, core::TransferPolicy policy,
+           core::AlgoMode mode)
+{
+    SchedulerConfig cfg;
+    cfg.policy = sched;
+
+    Scheduler scheduler(cfg);
+
+    // The same deterministic workload for every configuration:
+    // Poisson arrivals (2 jobs/s) and budgets mixing short fine-tune
+    // jobs with longer training runs.
+    SplitMix64 rng(42);
+    std::vector<TimeNs> arrivals = poissonArrivals(njobs, 2.0, rng);
+    for (int i = 0; i < njobs; ++i) {
+        JobSpec spec;
+        spec.name = strFormat("vgg16-%d", i);
+        spec.network = network;
+        spec.policy = policy;
+        spec.algoMode = mode;
+        spec.arrival = arrivals[std::size_t(i)];
+        spec.iterations = int(1 + rng.nextRange(1, 7));
+        scheduler.submit(std::move(spec));
+    }
+    return scheduler.run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int njobs = argc > 1 ? std::atoi(argv[1]) : 8;
+    std::int64_t batch = argc > 2 ? std::atoll(argv[2]) : 64;
+
+    std::shared_ptr<const net::Network> network =
+        net::buildVgg16(batch);
+    std::printf("workload: %d x %s training jobs, Poisson arrivals, "
+                "mixed iteration budgets\n\n",
+                njobs, network->name().c_str());
+
+    struct Config
+    {
+        const char *label;
+        SchedPolicy sched;
+        core::TransferPolicy policy;
+    };
+    const Config configs[] = {
+        {"fifo-exclusive + baseline", SchedPolicy::FifoExclusive,
+         core::TransferPolicy::Baseline},
+        {"round-robin + baseline", SchedPolicy::RoundRobin,
+         core::TransferPolicy::Baseline},
+        {"fifo-exclusive + vDNN_all", SchedPolicy::FifoExclusive,
+         core::TransferPolicy::OffloadAll},
+        {"round-robin + vDNN_all", SchedPolicy::RoundRobin,
+         core::TransferPolicy::OffloadAll},
+        {"shortest-remaining + vDNN_all", SchedPolicy::ShortestRemaining,
+         core::TransferPolicy::OffloadAll},
+    };
+
+    for (const Config &c : configs) {
+        ServeReport rep =
+            runCluster(network, njobs, c.sched, c.policy,
+                       core::AlgoMode::MemoryOptimal);
+        std::printf("=== %s ===\n", c.label);
+        rep.summaryTable().print();
+        rep.jobTable().print();
+        std::printf("\n");
+    }
+
+    std::printf("vDNN virtualization turns freed memory into tenancy:\n"
+                "the round-robin + vDNN_all configuration packs several\n"
+                "jobs onto the device, eliminating queueing delay.\n");
+    return 0;
+}

@@ -97,7 +97,7 @@ Executor::setup()
         teardownPartial();
         return false;
     }
-    persistentTotal = mm.pool().usedBytes();
+    persistentTotal = mm.deviceUsage();
     setupDone = true;
     return true;
 }
@@ -699,9 +699,9 @@ Executor::runIteration()
     // Steady-state invariant: everything allocated inside the iteration
     // has been returned to the pool.
     VDNN_ASSERT(gradients.empty(), "gradient buffers leaked");
-    VDNN_ASSERT(mm.pool().usedBytes() == persistentTotal,
-                "pool usage %lld != persistent %lld after iteration",
-                (long long)mm.pool().usedBytes(),
+    VDNN_ASSERT(mm.deviceUsage() == persistentTotal,
+                "tenant usage %lld != persistent %lld after iteration",
+                (long long)mm.deviceUsage(),
                 (long long)persistentTotal);
 
     result.ok = true;

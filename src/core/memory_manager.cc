@@ -9,15 +9,33 @@ MemoryManager::MemoryManager(gpu::Runtime &rt, bool keep_timeline)
     : runtime(rt)
 {
     const gpu::GpuSpec &spec = runtime.spec();
-    gpuPool = std::make_unique<mem::MemoryPool>(spec.dramCapacity,
-                                                spec.name + " pool");
-    hostAlloc = std::make_unique<mem::PinnedHostAllocator>(
+    ownedPool = std::make_unique<mem::MemoryPool>(spec.dramCapacity,
+                                                  spec.name + " pool");
+    ownedHost = std::make_unique<mem::PinnedHostAllocator>(
         spec.hostCapacity);
+    gpuPool = ownedPool.get();
+    hostAlloc = ownedHost.get();
+    initTrackers(keep_timeline);
+}
+
+MemoryManager::MemoryManager(gpu::Runtime &rt,
+                             mem::MemoryPool &shared_pool,
+                             mem::PinnedHostAllocator &shared_host,
+                             int client_id, bool keep_timeline)
+    : runtime(rt), gpuPool(&shared_pool), hostAlloc(&shared_host),
+      client(client_id)
+{
+    initTrackers(keep_timeline);
+}
+
+void
+MemoryManager::initTrackers(bool keep_timeline)
+{
     auto clock = [this] { return runtime.now(); };
     totalTrack = std::make_unique<mem::UsageTracker>(clock, keep_timeline);
     managedTrack =
         std::make_unique<mem::UsageTracker>(clock, keep_timeline);
-    gpuPool->setTracker(totalTrack.get());
+    totalTrack->onUsage(deviceBytes);
     touchManaged();
 }
 
@@ -31,10 +49,14 @@ std::optional<mem::Allocation>
 MemoryManager::allocDevice(Bytes bytes, const std::string &tag,
                            bool managed)
 {
-    auto a = gpuPool->tryAllocate(bytes, tag);
-    if (a && managed) {
-        managedBytes += a->size;
-        touchManaged();
+    auto a = gpuPool->tryAllocate(bytes, tag, client);
+    if (a) {
+        deviceBytes += a->size;
+        totalTrack->onUsage(deviceBytes);
+        if (managed) {
+            managedBytes += a->size;
+            touchManaged();
+        }
     }
     return a;
 }
@@ -43,6 +65,9 @@ void
 MemoryManager::releaseDevice(const mem::Allocation &alloc, bool managed)
 {
     gpuPool->release(alloc);
+    deviceBytes -= alloc.size;
+    VDNN_ASSERT(deviceBytes >= 0, "device usage went negative");
+    totalTrack->onUsage(deviceBytes);
     if (managed) {
         managedBytes -= alloc.size;
         VDNN_ASSERT(managedBytes >= 0, "managed usage went negative");

@@ -45,10 +45,22 @@ class MemoryManager
 {
   public:
     /**
+     * Exclusive mode: reserve the whole device for this manager (the
+     * pool and pinned host allocator are created and owned here).
      * @param runtime     simulated CUDA runtime (provides the clock)
      * @param keep_timeline retain the full usage timeline for plotting
      */
     MemoryManager(gpu::Runtime &runtime, bool keep_timeline = false);
+
+    /**
+     * Multi-tenant mode: sub-allocate from a device pool and pinned
+     * host allocator shared with other tenants. Every allocation is
+     * charged to @p client in the pool's per-tenant accounting; the
+     * total-usage tracker then follows this tenant's usage only.
+     */
+    MemoryManager(gpu::Runtime &runtime, mem::MemoryPool &shared_pool,
+                  mem::PinnedHostAllocator &shared_host, int client,
+                  bool keep_timeline = false);
 
     // --- raw tagged allocations (weights, gradients, workspace) ----------
     /**
@@ -118,6 +130,13 @@ class MemoryManager
     mem::MemoryPool &pool() { return *gpuPool; }
     mem::PinnedHostAllocator &host() { return *hostAlloc; }
 
+    /** Tenant id this manager charges pool allocations to. */
+    int clientId() const { return client; }
+
+    /** Device bytes currently held by *this* manager (== pool usage in
+     *  exclusive mode; one tenant's share in multi-tenant mode). */
+    Bytes deviceUsage() const { return deviceBytes; }
+
     Bytes managedUsage() const { return managedBytes; }
     const mem::UsageTracker &totalTracker() const { return *totalTrack; }
     const mem::UsageTracker &managedTracker() const
@@ -141,14 +160,20 @@ class MemoryManager
         bool hostValid = false;
     };
 
+    void initTrackers(bool keep_timeline);
     void touchManaged();
 
     gpu::Runtime &runtime;
-    std::unique_ptr<mem::MemoryPool> gpuPool;
-    std::unique_ptr<mem::PinnedHostAllocator> hostAlloc;
+    /** Owned in exclusive mode; null when sharing another's pool. */
+    std::unique_ptr<mem::MemoryPool> ownedPool;
+    std::unique_ptr<mem::PinnedHostAllocator> ownedHost;
+    mem::MemoryPool *gpuPool = nullptr;
+    mem::PinnedHostAllocator *hostAlloc = nullptr;
     std::unique_ptr<mem::UsageTracker> totalTrack;
     std::unique_ptr<mem::UsageTracker> managedTrack;
     std::unordered_map<net::BufferId, BufferState> bufferStates;
+    int client = 0;
+    Bytes deviceBytes = 0;
     Bytes managedBytes = 0;
     Bytes offloadTotal = 0;
 };

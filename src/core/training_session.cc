@@ -22,109 +22,211 @@ sessionConfigName(const SessionConfig &config)
     return name;
 }
 
-SessionResult
-runSession(const net::Network &net, SessionConfig config)
+// --- Session -----------------------------------------------------------------
+
+Session::Session(const net::Network &net_, SessionConfig config_)
+    : net(net_), config(std::move(config_)), spec(config.gpu)
 {
-    VDNN_ASSERT(config.iterations >= 1, "need at least one iteration");
-
-    SessionResult result;
-    result.network = net.name();
-    result.configName = sessionConfigName(config);
-
-    gpu::GpuSpec spec = config.gpu;
     if (config.oracle) {
         // Hypothetical GPU with enough memory to hold the entire DNN.
         spec.dramCapacity = Bytes(1024) * 1024 * 1024 * 1024;
         spec.name += " (oracle)";
     }
+    cudnn = std::make_unique<dnn::CudnnSim>(spec);
+    ownedRt = std::make_unique<gpu::Runtime>(spec, config.contention);
+    rt = ownedRt.get();
+    rt->setKernelLog(config.kernelLog);
+    mm = std::make_unique<MemoryManager>(*rt, config.keepTimeline);
+}
 
-    dnn::CudnnSim cudnn(spec);
+Session::Session(const net::Network &net_, SessionConfig config_,
+                 SharedGpu shared)
+    : net(net_), config(std::move(config_)), sharedMode(true)
+{
+    VDNN_ASSERT(shared.runtime && shared.pool && shared.host,
+                "SharedGpu handles must all be set");
+    VDNN_ASSERT(!config.oracle,
+                "oracle mode is meaningless on a shared device");
+    rt = shared.runtime;
+    spec = rt->spec();
+    cudnn = std::make_unique<dnn::CudnnSim>(spec);
+    mm = std::make_unique<MemoryManager>(*rt, *shared.pool, *shared.host,
+                                         shared.clientId,
+                                         config.keepTimeline);
+}
 
-    // Resolve the plan.
-    Plan plan;
+Session::~Session()
+{
+    if (isActive)
+        teardown();
+}
+
+bool
+Session::resolvePlan()
+{
+    if (planResolved)
+        return true;
     if (config.policy == TransferPolicy::Dynamic) {
-        DynamicPolicy dyn(net, cudnn, spec, config.exec,
+        // vDNN_dyn profiles on a private simulated device: the paper
+        // runs its profiling passes before real training starts, and
+        // their cost is negligible against the training run.
+        DynamicPolicy dyn(net, *cudnn, spec, config.exec,
                           config.contention);
         DynamicResult derived = dyn.derive();
-        result.trials = derived.trials;
-        plan = derived.plan;
+        trials = derived.trials;
+        execPlan = derived.plan;
         if (!derived.trainable) {
-            result.trainable = false;
-            result.failReason =
-                result.trials.empty()
-                    ? "untrainable"
-                    : result.trials.front().failReason;
-            result.plan = plan;
-            return result;
+            failed = true;
+            failure = trials.empty() ? "untrainable"
+                                     : trials.front().failReason;
+            return false;
         }
     } else {
-        plan = makeStaticPlan(net, cudnn, config.policy, config.algoMode);
+        execPlan =
+            makeStaticPlan(net, *cudnn, config.policy, config.algoMode);
     }
-    result.plan = plan;
+    planResolved = true;
+    return true;
+}
 
-    // Execute.
-    gpu::Runtime rt(spec, config.contention);
-    rt.setKernelLog(config.kernelLog);
-    MemoryManager mm(rt, config.keepTimeline);
-    Executor ex(net, cudnn, rt, mm, plan, config.exec);
-
-    if (!ex.setup()) {
-        result.trainable = false;
-        result.failReason = strFormat(
+bool
+Session::setup()
+{
+    VDNN_ASSERT(!isActive, "setup() on an active session");
+    if (!resolvePlan())
+        return false;
+    ex = std::make_unique<Executor>(net, *cudnn, *rt, *mm, execPlan,
+                                    config.exec);
+    if (!ex->setup()) {
+        failed = true;
+        failure = strFormat(
             "setup OOM ('%s', requested %s, largest free block %s)",
-            mm.pool().lastOom().tag.c_str(),
-            formatBytes(mm.pool().lastOom().requested).c_str(),
-            formatBytes(mm.pool().lastOom().largestFree).c_str());
-        return result;
+            mm->pool().lastOom().tag.c_str(),
+            formatBytes(mm->pool().lastOom().requested).c_str(),
+            formatBytes(mm->pool().lastOom().largestFree).c_str());
+        ex.reset();
+        return false;
     }
+    failed = false;
+    failure.clear();
+    isActive = true;
+    return true;
+}
 
-    IterationResult last;
-    for (int i = 0; i < config.iterations; ++i) {
-        last = ex.runIteration();
-        if (!last.ok) {
-            result.trainable = false;
-            result.failReason = last.failReason;
-            ex.teardown();
-            return result;
-        }
-        result.offloadedBytesPerIter = last.offloadedBytes;
-        result.offloads = last.offloads;
-        result.prefetches = last.prefetches;
-        result.onDemandFetches = last.onDemandFetches;
+IterationResult
+Session::runIteration()
+{
+    VDNN_ASSERT(isActive, "runIteration() on an inactive session");
+    IterationResult r = ex->runIteration();
+    if (r.ok) {
+        ++itersDone;
+        lastIter = r;
+    } else {
+        failed = true;
+        failure = r.failReason;
     }
+    return r;
+}
 
+void
+Session::teardown()
+{
+    if (!isActive)
+        return;
     // Teardown precedes window close so the tracker never records
     // after finish(); the release happens at the final timestamp and
     // adds no weighted time.
-    ex.teardown();
-    mm.finishTracking();
-    rt.finishPowerWindow();
+    ex->teardown();
+    mm->finishTracking();
+    if (ownedRt)
+        ownedRt->finishPowerWindow();
+    isActive = false;
+}
 
-    result.trainable = true;
-    result.iterationTime = last.makespan();
-    result.featureExtractionTime = last.featureExtractionTime();
-    result.classifierTime = last.classifierTime;
-    result.transferStallTime = last.transferStallTime;
-    result.layerTimings = last.layers;
+Bytes
+Session::persistentBytes() const
+{
+    return ex ? ex->persistentBytes() : 0;
+}
 
-    result.maxTotalUsage = mm.totalTracker().peakBytes();
-    result.avgTotalUsage = mm.totalTracker().averageBytes();
-    result.maxManagedUsage = mm.managedTracker().peakBytes();
-    result.avgManagedUsage = mm.managedTracker().averageBytes();
-    result.persistentBytes = ex.persistentBytes();
+SessionResult
+Session::result() const
+{
+    SessionResult r;
+    r.network = net.name();
+    r.configName = sessionConfigName(config);
+    r.plan = execPlan;
+    r.trials = trials;
 
-    result.hostPeakBytes = mm.host().peakUsage();
-    result.avgPowerW = rt.power().averagePowerW();
-    result.maxPowerW = rt.power().maxPowerW();
-
-    if (config.kernelLog)
-        result.kernels = rt.kernelLog();
-    if (config.keepTimeline) {
-        result.totalTimeline = mm.totalTracker().signal().timeline();
-        result.managedTimeline = mm.managedTracker().signal().timeline();
+    if (failed || itersDone == 0) {
+        r.trainable = false;
+        r.failReason = failure.empty() ? "no iteration completed"
+                                       : failure;
+        return r;
     }
 
-    return result;
+    r.trainable = true;
+    r.iterationTime = lastIter.makespan();
+    r.featureExtractionTime = lastIter.featureExtractionTime();
+    r.classifierTime = lastIter.classifierTime;
+    r.transferStallTime = lastIter.transferStallTime;
+    r.layerTimings = lastIter.layers;
+
+    r.offloadedBytesPerIter = lastIter.offloadedBytes;
+    r.offloads = lastIter.offloads;
+    r.prefetches = lastIter.prefetches;
+    r.onDemandFetches = lastIter.onDemandFetches;
+
+    r.maxTotalUsage = mm->totalTracker().peakBytes();
+    r.avgTotalUsage = mm->totalTracker().averageBytes();
+    r.maxManagedUsage = mm->managedTracker().peakBytes();
+    r.avgManagedUsage = mm->managedTracker().averageBytes();
+    r.persistentBytes = ex ? ex->persistentBytes() : 0;
+
+    // Host allocator and power model are device-wide; on a shared
+    // device they mix in co-tenant activity, so they are reported
+    // only for exclusive sessions (the serve layer builds per-tenant
+    // metrics from the pool's client accounting instead).
+    if (!sharedMode) {
+        r.hostPeakBytes = mm->host().peakUsage();
+        r.avgPowerW = rt->power().averagePowerW();
+        r.maxPowerW = rt->power().maxPowerW();
+    }
+
+    if (config.kernelLog)
+        r.kernels = rt->kernelLog();
+    if (config.keepTimeline) {
+        r.totalTimeline = mm->totalTracker().signal().timeline();
+        r.managedTimeline = mm->managedTracker().signal().timeline();
+    }
+    return r;
+}
+
+// --- one-shot driver ---------------------------------------------------------
+
+SessionResult
+runSession(const net::Network &net, SessionConfig config)
+{
+    VDNN_ASSERT(config.iterations >= 1, "need at least one iteration");
+
+    int iterations = config.iterations;
+    Session session(net, std::move(config));
+    if (!session.setup())
+        return session.result();
+
+    for (int i = 0; i < iterations; ++i) {
+        IterationResult last = session.runIteration();
+        if (!last.ok) {
+            session.teardown();
+            SessionResult r = session.result();
+            r.trainable = false;
+            r.failReason = last.failReason;
+            return r;
+        }
+    }
+
+    session.teardown();
+    return session.result();
 }
 
 } // namespace vdnn::core

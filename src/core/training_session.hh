@@ -20,6 +20,7 @@
 #include "net/network.hh"
 #include "stats/time_weighted.hh"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,98 @@ struct SessionResult
     // Usage timelines (when keepTimeline set).
     std::vector<stats::TimeWeighted::Sample> totalTimeline;
     std::vector<stats::TimeWeighted::Sample> managedTimeline;
+};
+
+/**
+ * Handles to a device shared among tenants (multi-tenant serving).
+ * All pointers must outlive the Session; allocations are charged to
+ * @p clientId in the pool's per-tenant accounting.
+ */
+struct SharedGpu
+{
+    gpu::Runtime *runtime = nullptr;
+    mem::MemoryPool *pool = nullptr;
+    mem::PinnedHostAllocator *host = nullptr;
+    int clientId = 0;
+};
+
+/**
+ * An incrementally driven training session.
+ *
+ * runSession() runs the whole experiment in one call; Session exposes
+ * the same lifecycle as separate setup / runIteration / teardown steps
+ * so an external scheduler (src/serve/) can interleave iterations of
+ * many jobs on one shared device. Two construction modes:
+ *
+ *  - exclusive: the session owns a private runtime and device pool
+ *    sized by config.gpu (this is what runSession() uses);
+ *  - shared: the session is one tenant of a SharedGpu — its persistent
+ *    and transient allocations come from the communal pool and its
+ *    kernels/DMAs arbitrate the shared compute and copy engines.
+ */
+class Session
+{
+  public:
+    Session(const net::Network &net, SessionConfig config);
+    Session(const net::Network &net, SessionConfig config,
+            SharedGpu shared);
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /**
+     * Resolve the plan (running vDNN_dyn profiling passes when the
+     * policy is Dynamic) and allocate the persistent state.
+     * @return false when untrainable / the pool cannot hold it.
+     */
+    bool setup();
+
+    /** Run one training iteration. Requires a successful setup(). */
+    IterationResult runIteration();
+
+    /** Release all device state. Idempotent after setup(). */
+    void teardown();
+
+    /** setup() succeeded and teardown() has not run yet. */
+    bool active() const { return isActive; }
+
+    /** Number of completed (successful) iterations so far. */
+    int iterationsDone() const { return itersDone; }
+
+    Bytes persistentBytes() const;
+    const Plan &plan() const { return execPlan; }
+    const std::string &failReason() const { return failure; }
+
+    gpu::Runtime &runtime() { return *rt; }
+    MemoryManager &memory() { return *mm; }
+
+    /** Assemble the experiment report from the state gathered so far. */
+    SessionResult result() const;
+
+  private:
+    bool resolvePlan();
+
+    const net::Network &net;
+    SessionConfig config;
+    gpu::GpuSpec spec; ///< effective device spec (oracle applied)
+    std::unique_ptr<dnn::CudnnSim> cudnn;
+
+    std::unique_ptr<gpu::Runtime> ownedRt;
+    std::unique_ptr<MemoryManager> mm;
+    gpu::Runtime *rt = nullptr;
+    bool sharedMode = false;
+
+    Plan execPlan;
+    std::vector<TrialRecord> trials;
+    std::unique_ptr<Executor> ex;
+
+    bool planResolved = false;
+    bool isActive = false;
+    bool failed = false;
+    std::string failure;
+    int itersDone = 0;
+    IterationResult lastIter;
 };
 
 /** Run one complete experiment. */

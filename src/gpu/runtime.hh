@@ -132,6 +132,14 @@ class Runtime
     /** Current simulated time (the host clock). */
     TimeNs now() const { return eq.now(); }
 
+    /**
+     * Advance the host clock to absolute time @p t, executing any
+     * device work scheduled before it (no-op when already past @p t).
+     * Models a host thread sleeping until, e.g., the next job arrival
+     * in a serving scenario.
+     */
+    void advanceTo(TimeNs t) { eq.runUntil(t); }
+
     PowerModel &power() { return powerModel; }
     const PowerModel &power() const { return powerModel; }
 

@@ -42,7 +42,7 @@ MemoryPool::notify()
 }
 
 std::optional<Allocation>
-MemoryPool::tryAllocate(Bytes size, const std::string &tag)
+MemoryPool::tryAllocate(Bytes size, const std::string &tag, int client)
 {
     VDNN_ASSERT(size >= 0, "negative allocation size");
     Bytes need = std::max<Bytes>(alignUp(size, kAlignment), kAlignment);
@@ -101,17 +101,20 @@ MemoryPool::tryAllocate(Bytes size, const std::string &tag)
     a.id = nextId++;
     a.offset = offset;
     a.size = need;
-    live.emplace(a.id, LiveBlock{offset, need, tag});
+    live.emplace(a.id, LiveBlock{offset, need, tag, client});
     used += need;
     peak = std::max(peak, used);
+    ClientUsage &cu = clients[client];
+    cu.used += need;
+    cu.peak = std::max(cu.peak, cu.used);
     notify();
     return a;
 }
 
 Allocation
-MemoryPool::allocate(Bytes size, const std::string &tag)
+MemoryPool::allocate(Bytes size, const std::string &tag, int client)
 {
-    auto a = tryAllocate(size, tag);
+    auto a = tryAllocate(size, tag, client);
     if (!a) {
         fatal("%s: out of memory allocating %s for '%s' "
               "(free %s, largest block %s)",
@@ -130,8 +133,13 @@ MemoryPool::release(const Allocation &alloc)
                 (long long)alloc.id);
     Bytes offset = it->second.offset;
     Bytes size = it->second.size;
+    int client = it->second.client;
     live.erase(it);
     used -= size;
+    auto cit = clients.find(client);
+    VDNN_ASSERT(cit != clients.end() && cit->second.used >= size,
+                "client %d accounting underflow", client);
+    cit->second.used -= size;
 
     auto [ins, ok] = freeBlocks.emplace(offset, size);
     VDNN_ASSERT(ok, "double free at offset %lld", (long long)offset);
@@ -161,7 +169,32 @@ MemoryPool::releaseAll()
     freeBlocks.clear();
     freeBlocks.emplace(0, cap);
     used = 0;
+    for (auto &[client, cu] : clients)
+        cu.used = 0;
     notify();
+}
+
+Bytes
+MemoryPool::usedByClient(int client) const
+{
+    auto it = clients.find(client);
+    return it == clients.end() ? 0 : it->second.used;
+}
+
+Bytes
+MemoryPool::peakByClient(int client) const
+{
+    auto it = clients.find(client);
+    return it == clients.end() ? 0 : it->second.peak;
+}
+
+std::size_t
+MemoryPool::activeClients() const
+{
+    std::size_t n = 0;
+    for (const auto &[client, cu] : clients)
+        n += cu.used > 0 ? 1 : 0;
+    return n;
 }
 
 Bytes
@@ -211,7 +244,11 @@ MemoryPool::checkInvariants() const
     Bytes total_live = 0;
     for (const auto &[id, blk] : live)
         total_live += blk.size;
-    return total_free + total_live == cap && total_live == used;
+    Bytes total_client = 0;
+    for (const auto &[client, cu] : clients)
+        total_client += cu.used;
+    return total_free + total_live == cap && total_live == used &&
+           total_client == used;
 }
 
 } // namespace vdnn::mem

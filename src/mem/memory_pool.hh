@@ -86,13 +86,17 @@ class MemoryPool
     /**
      * Best-fit allocation of @p size bytes (rounded up to kAlignment).
      * @param tag free-form label kept for diagnostics / leak reports
+     * @param client tenant id charged for the block (multi-tenant
+     *        serving shares one pool among many jobs; 0 = sole tenant)
      * @return std::nullopt when no free block fits (details in lastOom())
      */
     std::optional<Allocation> tryAllocate(Bytes size,
-                                          const std::string &tag = "");
+                                          const std::string &tag = "",
+                                          int client = 0);
 
     /** tryAllocate() that treats failure as a fatal user error. */
-    Allocation allocate(Bytes size, const std::string &tag = "");
+    Allocation allocate(Bytes size, const std::string &tag = "",
+                        int client = 0);
 
     /** Return an allocation to the pool; coalesces with neighbours. */
     void release(const Allocation &alloc);
@@ -107,6 +111,14 @@ class MemoryPool
     std::size_t liveAllocations() const { return live.size(); }
     std::size_t freeBlockCount() const { return freeBlocks.size(); }
     Bytes peakUsage() const { return peak; }
+
+    // --- per-tenant accounting -------------------------------------------
+    /** Live bytes charged to @p client. */
+    Bytes usedByClient(int client) const;
+    /** Peak bytes ever charged to @p client. */
+    Bytes peakByClient(int client) const;
+    /** Number of clients with live allocations. */
+    std::size_t activeClients() const;
 
     const OomInfo &lastOom() const { return oom; }
     const std::string &name() const { return poolName; }
@@ -126,6 +138,13 @@ class MemoryPool
         Bytes offset;
         Bytes size;
         std::string tag;
+        int client = 0;
+    };
+
+    struct ClientUsage
+    {
+        Bytes used = 0;
+        Bytes peak = 0;
     };
 
     void notify();
@@ -139,6 +158,7 @@ class MemoryPool
     /** offset -> size, ordered so coalescing can look at neighbours. */
     std::map<Bytes, Bytes> freeBlocks;
     std::unordered_map<std::int64_t, LiveBlock> live;
+    std::unordered_map<int, ClientUsage> clients;
     OomInfo oom;
     UsageTracker *usageTracker = nullptr;
 };

@@ -1,0 +1,216 @@
+#include "serve/admission.hh"
+
+#include "common/logging.hh"
+#include "dnn/conv_algo.hh"
+#include "net/network_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdnn::serve
+{
+
+using core::AlgoMode;
+using core::TransferPolicy;
+
+namespace
+{
+
+/** Distinct buffers a layer touches as inputs (concat joins repeat). */
+std::vector<net::BufferId>
+inputBuffers(const net::Network &net, net::LayerId id)
+{
+    std::vector<net::BufferId> out;
+    for (net::LayerId in_id : net.node(id).inputs) {
+        net::BufferId b = in_id == net::kInputLayer
+                              ? net.inputBuffer()
+                              : net.node(in_id).yBuffer;
+        if (std::find(out.begin(), out.end(), b) == out.end())
+            out.push_back(b);
+    }
+    return out;
+}
+
+} // namespace
+
+FootprintEstimate
+estimateFootprint(const net::Network &net, const dnn::CudnnSim &cudnn,
+                  TransferPolicy policy, AlgoMode mode)
+{
+    VDNN_ASSERT(net.finalized(), "network must be finalized");
+
+    // Dynamic tenants are admitted at vDNN_dyn's guaranteed memory
+    // floor; the OOM-requeue path covers plans that grow beyond it.
+    if (policy == TransferPolicy::Dynamic) {
+        policy = TransferPolicy::OffloadAll;
+        mode = AlgoMode::MemoryOptimal;
+    }
+
+    net::NetworkStats stats(net, cudnn);
+    net::AlgoAssignment algos =
+        mode == AlgoMode::MemoryOptimal
+            ? net::memoryOptimalAlgos(net)
+            : net::performanceOptimalAlgos(net, cudnn);
+
+    FootprintEstimate est;
+
+    // Persistent state, mirroring Executor::setup(): all weights, one
+    // shared dW per region, the static classifier block.
+    Bytes max_dw_managed = 0;
+    Bytes max_dw_classifier = 0;
+    for (net::LayerId id : net.topoOrder()) {
+        const net::LayerNode &n = net.node(id);
+        Bytes w = n.spec.weightBytes();
+        est.persistent += w;
+        (n.classifier ? max_dw_classifier : max_dw_managed) = std::max(
+            n.classifier ? max_dw_classifier : max_dw_managed, w);
+    }
+    est.persistent += max_dw_managed + max_dw_classifier;
+    for (net::BufferId b = 0; b < net::BufferId(net.numBuffers()); ++b) {
+        if (net.buffer(b).classifier)
+            est.persistent += net.buffer(b).bytes();
+    }
+    est.persistent += stats.peakGradientBytesScoped(
+        net::NetworkStats::GradScope::Classifier);
+
+    if (policy == TransferPolicy::Baseline) {
+        // Network-wide static allocation: every feature map, the reused
+        // gradient peak and the shared max workspace are all persistent
+        // (Baseline holds them even between iterations).
+        for (net::BufferId b = 0; b < net::BufferId(net.numBuffers());
+             ++b) {
+            if (!net.buffer(b).classifier)
+                est.persistent += net.buffer(b).bytes();
+        }
+        est.persistent += stats.peakGradientBytesScoped(
+            net::NetworkStats::GradScope::Managed);
+        est.persistent += stats.maxWorkspaceBytes(algos, false);
+        return est;
+    }
+
+    core::Plan plan = makeStaticPlan(net, cudnn, policy, mode);
+
+    // Managed buffers the policy does *not* offload stay resident from
+    // their forward definition to their last backward use; they are
+    // part of every layer's instantaneous residency.
+    Bytes resident = 0;
+    for (net::BufferId b = 0; b < net::BufferId(net.numBuffers()); ++b) {
+        const net::Buffer &buf = net.buffer(b);
+        if (!buf.classifier && !plan.offloadBuffer[std::size_t(b)] &&
+            !buf.bwdUsers.empty()) {
+            resident += buf.bytes();
+        }
+    }
+
+    // Largest instantaneous working set over the managed layers. The
+    // forward set holds X, Y and workspace; the backward set holds the
+    // gradients dY/dX plus whichever of X/Y the layer's backward
+    // kernels read. Overlapped prefetches need no reservation: they
+    // are opportunistic (skipped or evicted whenever a mandatory
+    // allocation needs the space).
+    Bytes max_working = 0;
+    for (net::LayerId id : net.topoOrder()) {
+        const net::LayerNode &n = net.node(id);
+        if (n.classifier)
+            continue;
+        Bytes ws = n.spec.kind == dnn::LayerKind::Conv
+                       ? dnn::convWorkspaceBytes(
+                             plan.algos[std::size_t(id)], n.spec)
+                       : 0;
+        std::vector<net::BufferId> ins = inputBuffers(net, id);
+        Bytes x_bytes = 0;
+        for (net::BufferId b : ins)
+            x_bytes += net.buffer(b).bytes();
+        Bytes y_bytes =
+            n.spec.inPlace() ? 0 : net.buffer(n.yBuffer).bytes();
+
+        Bytes fwd = ws + x_bytes + y_bytes;
+
+        Bytes bwd = ws;
+        bwd += net.buffer(n.yBuffer).bytes(); // dY
+        for (net::BufferId b : ins) {
+            if (b != net.inputBuffer())
+                bwd += net.buffer(b).bytes(); // dX
+        }
+        if (n.spec.backwardNeedsX())
+            bwd += x_bytes;
+        if (n.spec.backwardNeedsY() && !n.spec.inPlace())
+            bwd += net.buffer(n.yBuffer).bytes();
+
+        max_working = std::max({max_working, fwd, bwd});
+    }
+
+    est.transient = resident + max_working;
+    return est;
+}
+
+AdmissionController::AdmissionController(Bytes capacity, double safety_)
+    : cap(capacity), safety(safety_)
+{
+    VDNN_ASSERT(capacity > 0, "admission capacity must be positive");
+    VDNN_ASSERT(safety_ >= 1.0, "safety factor must be >= 1");
+}
+
+Bytes
+AdmissionController::maxTransient() const
+{
+    Bytes t = 0;
+    for (const auto &[id, r] : reservations)
+        t = std::max(t, r.transient);
+    return t;
+}
+
+Bytes
+AdmissionController::reservationFor(const FootprintEstimate &est,
+                                    double scale) const
+{
+    return Bytes(std::ceil(double(est.total()) * safety * scale));
+}
+
+bool
+AdmissionController::canAdmit(const FootprintEstimate &est,
+                              double scale) const
+{
+    double s = safety * scale;
+    Bytes p = Bytes(std::ceil(double(est.persistent) * s));
+    Bytes t = Bytes(std::ceil(double(est.transient) * s));
+    return persistentSum + p + std::max(maxTransient(), t) <= cap;
+}
+
+bool
+AdmissionController::feasible(const FootprintEstimate &est,
+                              double scale) const
+{
+    return reservationFor(est, scale) <= cap;
+}
+
+void
+AdmissionController::admit(JobId id, const FootprintEstimate &est,
+                           double scale)
+{
+    double s = safety * scale;
+    Reservation r;
+    r.persistent = Bytes(std::ceil(double(est.persistent) * s));
+    r.transient = Bytes(std::ceil(double(est.transient) * s));
+    auto [it, inserted] = reservations.emplace(id, r);
+    VDNN_ASSERT(inserted, "job %d admitted twice", id);
+    persistentSum += r.persistent;
+}
+
+void
+AdmissionController::release(JobId id)
+{
+    auto it = reservations.find(id);
+    VDNN_ASSERT(it != reservations.end(),
+                "releasing unadmitted job %d", id);
+    persistentSum -= it->second.persistent;
+    reservations.erase(it);
+}
+
+Bytes
+AdmissionController::reservedBytes() const
+{
+    return persistentSum + maxTransient();
+}
+
+} // namespace vdnn::serve

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Admission control for the shared device pool.
+ *
+ * A job's footprint splits Salus-style into:
+ *
+ *  - persistent bytes, held for the job's whole lifetime (weights,
+ *    shared dW, the classifier block — and, for Baseline tenants, the
+ *    entire network-wide allocation);
+ *  - transient bytes, the per-iteration working set that is allocated
+ *    at iteration start and fully released by iteration end (the
+ *    executor's steady-state invariant guarantees this).
+ *
+ * Because the scheduler interleaves tenants at *iteration*
+ * granularity, at most one tenant's transient working set is live at
+ * any instant; tenants between iterations hold only their persistent
+ * bytes. Admission therefore requires
+ *
+ *     sum(persistent_i) + max(transient_i)  <=  pool capacity
+ *
+ * — one communal transient arena sized to the largest admitted
+ * tenant, not one per tenant. This is where vDNN pays off twice: its
+ * offloading shrinks the transient term (feature maps live in host
+ * memory between forward and backward), and its persistent term is
+ * tiny next to Baseline's network-wide allocation, so far more
+ * tenants pack onto the same 12 GB device.
+ *
+ * Reservations are bookkept against pool capacity rather than live
+ * usage so admission is stable while the active tenant's usage
+ * fluctuates within its reservation.
+ */
+
+#ifndef VDNN_SERVE_ADMISSION_HH
+#define VDNN_SERVE_ADMISSION_HH
+
+#include "core/policy.hh"
+#include "dnn/cudnn_sim.hh"
+#include "net/network.hh"
+#include "serve/job.hh"
+
+#include <unordered_map>
+
+namespace vdnn::serve
+{
+
+/** Estimated device-pool footprint of one job. */
+struct FootprintEstimate
+{
+    /** Resident for the whole job: weights, dW, classifier block. */
+    Bytes persistent = 0;
+    /** Peak per-iteration working set (released between iterations). */
+    Bytes transient = 0;
+
+    Bytes total() const { return persistent + transient; }
+};
+
+/**
+ * Analytically estimate the device footprint of training @p net under
+ * @p policy / @p mode. Dynamic jobs are estimated at their memory
+ * floor (vDNN_all with memory-optimal algorithms) — the configuration
+ * vDNN_dyn falls back to under pressure.
+ */
+FootprintEstimate estimateFootprint(const net::Network &net,
+                                    const dnn::CudnnSim &cudnn,
+                                    core::TransferPolicy policy,
+                                    core::AlgoMode mode);
+
+class AdmissionController
+{
+  public:
+    /**
+     * @param capacity shared device pool size
+     * @param safety   reservation inflation guarding estimate error
+     *                 and allocator fragmentation (e.g. 1.05 = +5%)
+     */
+    AdmissionController(Bytes capacity, double safety = 1.05);
+
+    /**
+     * Would @p est (scaled by @p scale) fit beside the admitted set,
+     * i.e. sum(persistent) + max(transient) stays within capacity?
+     */
+    bool canAdmit(const FootprintEstimate &est, double scale = 1.0) const;
+
+    /** Could it fit an *empty* device at all (else: reject outright)?
+     *  @p scale includes any OOM-backoff inflation the job accrued. */
+    bool feasible(const FootprintEstimate &est, double scale = 1.0) const;
+
+    /** Record an admitted job's reservation. */
+    void admit(JobId id, const FootprintEstimate &est, double scale = 1.0);
+
+    /** Drop a reservation (job finished / torn down). */
+    void release(JobId id);
+
+    /** Safety-scaled reservation of a single job standing alone. */
+    Bytes reservationFor(const FootprintEstimate &est,
+                         double scale = 1.0) const;
+
+    Bytes capacity() const { return cap; }
+    /** Committed bytes: sum of persistents + the transient arena. */
+    Bytes reservedBytes() const;
+    int admittedCount() const { return int(reservations.size()); }
+
+  private:
+    struct Reservation
+    {
+        Bytes persistent = 0;
+        Bytes transient = 0;
+    };
+
+    Bytes maxTransient() const;
+
+    Bytes cap;
+    double safety;
+    Bytes persistentSum = 0;
+    std::unordered_map<JobId, Reservation> reservations;
+};
+
+} // namespace vdnn::serve
+
+#endif // VDNN_SERVE_ADMISSION_HH

@@ -1,0 +1,57 @@
+#include "serve/arrival.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdnn::serve
+{
+
+std::vector<TimeNs>
+poissonArrivals(int count, double rate_per_sec, SplitMix64 &rng,
+                TimeNs start)
+{
+    VDNN_ASSERT(count >= 0, "negative arrival count");
+    VDNN_ASSERT(rate_per_sec > 0.0, "arrival rate must be positive");
+    std::vector<TimeNs> out;
+    out.reserve(std::size_t(count));
+    TimeNs t = start;
+    for (int i = 0; i < count; ++i) {
+        // Exponential inter-arrival gap via inverse transform; clamp
+        // the uniform away from 0 so log() stays finite.
+        double u = std::max(rng.nextDouble(), 1e-12);
+        double gap_s = -std::log(u) / rate_per_sec;
+        t += secondsToNs(gap_s);
+        out.push_back(t);
+    }
+    return out;
+}
+
+std::vector<TimeNs>
+uniformArrivals(int count, TimeNs gap, TimeNs start)
+{
+    VDNN_ASSERT(count >= 0, "negative arrival count");
+    VDNN_ASSERT(gap >= 0, "negative arrival gap");
+    std::vector<TimeNs> out;
+    out.reserve(std::size_t(count));
+    for (int i = 0; i < count; ++i)
+        out.push_back(start + TimeNs(i) * gap);
+    return out;
+}
+
+std::vector<TimeNs>
+traceArrivals(const std::vector<double> &seconds)
+{
+    std::vector<TimeNs> out;
+    out.reserve(seconds.size());
+    for (double s : seconds) {
+        VDNN_ASSERT(s >= 0.0, "trace timestamps must be non-negative");
+        out.push_back(secondsToNs(s));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace vdnn::serve

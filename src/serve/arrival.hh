@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Job arrival generators for the serving workload.
+ *
+ * Two shapes cover the evaluation needs: Poisson arrivals (the classic
+ * open-loop cluster model — exponential inter-arrival gaps at a given
+ * rate) and trace-driven arrivals (explicit timestamps, e.g. replayed
+ * from a cluster log). Both return absolute simulated times suitable
+ * for JobSpec::arrival.
+ */
+
+#ifndef VDNN_SERVE_ARRIVAL_HH
+#define VDNN_SERVE_ARRIVAL_HH
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+#include <vector>
+
+namespace vdnn::serve
+{
+
+/**
+ * @p count arrival times of a Poisson process with @p rate_per_sec
+ * expected arrivals per simulated second, starting at @p start.
+ * Deterministic for a given @p rng seed.
+ */
+std::vector<TimeNs> poissonArrivals(int count, double rate_per_sec,
+                                    SplitMix64 &rng, TimeNs start = 0);
+
+/** @p count arrivals spaced a fixed @p gap apart, starting at @p start. */
+std::vector<TimeNs> uniformArrivals(int count, TimeNs gap,
+                                    TimeNs start = 0);
+
+/** Convert trace timestamps in (double) seconds to arrival times. */
+std::vector<TimeNs> traceArrivals(const std::vector<double> &seconds);
+
+} // namespace vdnn::serve
+
+#endif // VDNN_SERVE_ARRIVAL_HH

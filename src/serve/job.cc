@@ -1,0 +1,37 @@
+#include "serve/job.hh"
+
+#include "common/logging.hh"
+
+namespace vdnn::serve
+{
+
+const char *
+jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::Pending:
+        return "pending";
+      case JobState::Queued:
+        return "queued";
+      case JobState::Running:
+        return "running";
+      case JobState::Finished:
+        return "finished";
+      case JobState::Failed:
+        return "failed";
+      case JobState::Rejected:
+        return "rejected";
+    }
+    return "?";
+}
+
+JobId
+JobQueue::take(std::size_t i)
+{
+    VDNN_ASSERT(i < ids.size(), "queue index %zu out of range", i);
+    JobId id = ids[i];
+    ids.erase(ids.begin() + std::ptrdiff_t(i));
+    return id;
+}
+
+} // namespace vdnn::serve

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Multi-tenant serving: jobs and the arrival queue.
+ *
+ * A Job is one tenant's training request against the shared GPU: a
+ * network, a vDNN policy, an arrival time and an iteration budget.
+ * The Scheduler drives each admitted job through the incremental
+ * core::Session lifecycle (setup / runIteration / teardown); JobRecord
+ * captures the timestamps the serving metrics (queueing delay, job
+ * completion time) are computed from.
+ */
+
+#ifndef VDNN_SERVE_JOB_HH
+#define VDNN_SERVE_JOB_HH
+
+#include "core/training_session.hh"
+#include "net/network.hh"
+
+#include <deque>
+#include <memory>
+#include <string>
+
+namespace vdnn::serve
+{
+
+using JobId = int;
+
+enum class JobState
+{
+    Pending,  ///< submitted, arrival time not reached yet
+    Queued,   ///< arrived, waiting for admission
+    Running,  ///< admitted; session active on the shared device
+    Finished, ///< iteration budget completed
+    Failed,   ///< gave up after repeated in-flight OOM aborts
+    Rejected  ///< can never fit the device, even alone
+};
+
+const char *jobStateName(JobState s);
+
+/** One tenant's training request. */
+struct JobSpec
+{
+    std::string name;
+    std::shared_ptr<const net::Network> network;
+    core::TransferPolicy policy = core::TransferPolicy::OffloadAll;
+    core::AlgoMode algoMode = core::AlgoMode::MemoryOptimal;
+    core::ExecutorConfig exec;
+    /** Simulated time the job enters the system. */
+    TimeNs arrival = 0;
+    /** Training iterations requested. */
+    int iterations = 1;
+};
+
+/** Scheduler-maintained lifecycle record of one job. */
+struct JobRecord
+{
+    JobState state = JobState::Pending;
+    TimeNs admitTime = kTimeNone;
+    TimeNs finishTime = kTimeNone;
+    int itersDone = 0;
+    /** Times the job was torn down and requeued after an OOM abort. */
+    int oomRequeues = 0;
+    std::string failReason;
+
+    Bytes persistentBytes = 0;
+    /** Peak bytes this tenant held in the shared pool. */
+    Bytes peakPoolBytes = 0;
+    Bytes offloadedBytes = 0;
+    /** Compute time the job's iterations occupied the device for. */
+    TimeNs serviceTime = 0;
+};
+
+/** A job owned by the scheduler. */
+struct Job
+{
+    JobId id = -1;
+    JobSpec spec;
+    JobRecord record;
+    /** Live while Running. */
+    std::unique_ptr<core::Session> session;
+    /** Multiplier applied to the admission reservation; grows after
+     *  each OOM requeue so readmission is more conservative. */
+    double reserveScale = 1.0;
+
+    TimeNs queueingDelay() const
+    {
+        return record.admitTime == kTimeNone
+                   ? 0
+                   : record.admitTime - spec.arrival;
+    }
+
+    /** Job completion time (arrival to finish). */
+    TimeNs completionTime() const
+    {
+        return record.finishTime == kTimeNone
+                   ? 0
+                   : record.finishTime - spec.arrival;
+    }
+
+    bool done() const
+    {
+        return record.state == JobState::Finished ||
+               record.state == JobState::Failed ||
+               record.state == JobState::Rejected;
+    }
+};
+
+/** FIFO admission queue of arrived jobs. */
+class JobQueue
+{
+  public:
+    void push(JobId id) { ids.push_back(id); }
+    void pushFront(JobId id) { ids.push_front(id); }
+    bool empty() const { return ids.empty(); }
+    std::size_t size() const { return ids.size(); }
+
+    /** Remove and return the i-th queued job (0 = head). */
+    JobId take(std::size_t i);
+
+    JobId at(std::size_t i) const { return ids.at(i); }
+
+  private:
+    std::deque<JobId> ids;
+};
+
+} // namespace vdnn::serve
+
+#endif // VDNN_SERVE_JOB_HH

@@ -1,0 +1,384 @@
+#include "serve/scheduler.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+#include <algorithm>
+
+namespace vdnn::serve
+{
+
+const char *
+schedPolicyName(SchedPolicy p)
+{
+    switch (p) {
+      case SchedPolicy::FifoExclusive:
+        return "fifo-exclusive";
+      case SchedPolicy::RoundRobin:
+        return "round-robin";
+      case SchedPolicy::ShortestRemaining:
+        return "shortest-remaining";
+    }
+    return "?";
+}
+
+SchedulerConfig::SchedulerConfig() : gpu(gpu::titanXMaxwell()) {}
+
+Scheduler::Scheduler(SchedulerConfig config)
+    : cfg(std::move(config)), rt(cfg.gpu, cfg.contention),
+      pool(cfg.gpu.dramCapacity, cfg.gpu.name + " shared pool"),
+      host(cfg.gpu.hostCapacity),
+      poolTrack([this] { return rt.now(); }, cfg.keepTimeline),
+      cudnn(cfg.gpu), admission(pool.capacity(), cfg.admissionSafety),
+      inflight(cfg.keepTimeline)
+{
+    VDNN_ASSERT(cfg.maxJobsInFlight >= 0,
+                "maxJobsInFlight must be >= 0");
+    pool.setTracker(&poolTrack);
+    inflight.record(rt.now(), 0.0);
+}
+
+JobId
+Scheduler::submit(JobSpec spec)
+{
+    VDNN_ASSERT(!ran, "submit() after run()");
+    VDNN_ASSERT(spec.network && spec.network->finalized(),
+                "job needs a finalized network");
+    VDNN_ASSERT(spec.iterations >= 1,
+                "job needs at least one iteration");
+    VDNN_ASSERT(spec.arrival >= 0, "negative arrival time");
+    auto job = std::make_unique<Job>();
+    job->id = JobId(jobs.size());
+    job->spec = std::move(spec);
+    if (job->spec.name.empty())
+        job->spec.name = strFormat("job%d", job->id);
+    jobs.push_back(std::move(job));
+    return jobs.back()->id;
+}
+
+void
+Scheduler::collectArrivals()
+{
+    std::vector<JobId> arrived;
+    for (const auto &job : jobs) {
+        if (job->record.state == JobState::Pending &&
+            job->spec.arrival <= rt.now()) {
+            arrived.push_back(job->id);
+        }
+    }
+    std::sort(arrived.begin(), arrived.end(),
+              [this](JobId a, JobId b) {
+                  const Job &ja = *jobs[std::size_t(a)];
+                  const Job &jb = *jobs[std::size_t(b)];
+                  if (ja.spec.arrival != jb.spec.arrival)
+                      return ja.spec.arrival < jb.spec.arrival;
+                  return a < b;
+              });
+    for (JobId id : arrived) {
+        jobs[std::size_t(id)]->record.state = JobState::Queued;
+        queue.push(id);
+    }
+}
+
+const FootprintEstimate &
+Scheduler::estimateFor(const Job &job)
+{
+    auto it = estimates.find(job.id);
+    if (it == estimates.end()) {
+        it = estimates
+                 .emplace(job.id,
+                          estimateFootprint(*job.spec.network, cudnn,
+                                            job.spec.policy,
+                                            job.spec.algoMode))
+                 .first;
+    }
+    return it->second;
+}
+
+bool
+Scheduler::tryAdmit(Job &job, const FootprintEstimate &est)
+{
+    core::SessionConfig scfg;
+    scfg.policy = job.spec.policy;
+    scfg.algoMode = job.spec.algoMode;
+    scfg.gpu = cfg.gpu;
+    scfg.contention = cfg.contention;
+    scfg.exec = job.spec.exec;
+    core::SharedGpu shared;
+    shared.runtime = &rt;
+    shared.pool = &pool;
+    shared.host = &host;
+    shared.clientId = job.id;
+    job.session = std::make_unique<core::Session>(*job.spec.network,
+                                                  scfg, shared);
+    if (!job.session->setup()) {
+        // The estimate said fit; the allocator disagreed
+        // (fragmentation or estimate error).
+        job.record.failReason = job.session->failReason();
+        job.session.reset();
+        return false;
+    }
+    admission.admit(job.id, est, job.reserveScale);
+    job.record.state = JobState::Running;
+    if (job.record.admitTime == kTimeNone)
+        job.record.admitTime = rt.now();
+    job.record.persistentBytes =
+        std::max(job.record.persistentBytes,
+                 job.session->persistentBytes());
+    running.push_back(job.id);
+    recordInflight();
+    return true;
+}
+
+void
+Scheduler::admitFromQueue()
+{
+    std::size_t i = 0;
+    while (i < queue.size()) {
+        Job &job = *jobs[std::size_t(queue.at(i))];
+        const FootprintEstimate &est = estimateFor(job);
+        // Feasibility includes any OOM-backoff inflation: a job whose
+        // grown reservation no longer fits even an empty device must
+        // go terminal here, or it would sit in the queue forever.
+        if (!admission.feasible(est, job.reserveScale)) {
+            queue.take(i);
+            job.record.state = JobState::Rejected;
+            job.record.finishTime = rt.now();
+            job.record.failReason = strFormat(
+                "reservation %s exceeds device capacity %s",
+                formatBytes(
+                    admission.reservationFor(est, job.reserveScale))
+                    .c_str(),
+                formatBytes(admission.capacity()).c_str());
+            continue;
+        }
+        if (cfg.maxJobsInFlight > 0 &&
+            int(running.size()) >= cfg.maxJobsInFlight) {
+            break;
+        }
+        if (cfg.policy == SchedPolicy::FifoExclusive &&
+            !running.empty()) {
+            break;
+        }
+        if (!admission.canAdmit(est, job.reserveScale)) {
+            if (cfg.policy != SchedPolicy::FifoExclusive) {
+                // Backfill: a smaller job further back may still fit.
+                ++i;
+                continue;
+            }
+            break; // strict arrival order for FIFO
+        }
+        if (tryAdmit(job, est)) {
+            queue.take(i);
+            continue;
+        }
+        // Setup OOM despite a fitting reservation: grow the
+        // reservation and retry later, give up after a few attempts.
+        ++job.record.oomRequeues;
+        job.reserveScale *= cfg.oomBackoffScale;
+        if (job.record.oomRequeues > cfg.maxOomRequeues) {
+            std::string why = job.record.failReason;
+            queue.take(i);
+            job.record.state = JobState::Failed;
+            job.record.finishTime = rt.now();
+            job.record.failReason =
+                "admission gave up after repeated setup OOM: " + why;
+            continue;
+        }
+        ++i;
+    }
+}
+
+void
+Scheduler::finishJob(Job &job, JobState final_state,
+                     const std::string &why)
+{
+    VDNN_ASSERT(job.record.state == JobState::Running,
+                "finishing job %d in state %s", job.id,
+                jobStateName(job.record.state));
+    job.record.peakPoolBytes = pool.peakByClient(job.id);
+    job.record.offloadedBytes = job.session->memory().offloadedBytes();
+    job.session->teardown();
+    job.session.reset();
+    admission.release(job.id);
+
+    auto it = std::find(running.begin(), running.end(), job.id);
+    VDNN_ASSERT(it != running.end(), "job %d not running", job.id);
+    std::size_t idx = std::size_t(it - running.begin());
+    running.erase(it);
+    if (idx < rrCursor)
+        --rrCursor;
+    recordInflight();
+
+    job.record.state = final_state;
+    job.record.finishTime = rt.now();
+    job.record.failReason = why;
+}
+
+void
+Scheduler::evictForRequeue(Job &job)
+{
+    ++job.record.oomRequeues;
+    job.reserveScale *= cfg.oomBackoffScale;
+    std::string why = job.session->failReason();
+    if (job.record.oomRequeues > cfg.maxOomRequeues) {
+        finishJob(job, JobState::Failed,
+                  "gave up after repeated iteration OOM: " + why);
+        return;
+    }
+    finishJob(job, JobState::Queued, why);
+    // Not terminal: the finish timestamp belongs to real completion.
+    job.record.finishTime = kTimeNone;
+    // Head of the queue: the job keeps its arrival-order priority.
+    queue.pushFront(job.id);
+}
+
+Job *
+Scheduler::pickNext()
+{
+    VDNN_ASSERT(!running.empty(), "pickNext() with nothing running");
+    if (cfg.policy == SchedPolicy::FifoExclusive)
+        return jobs[std::size_t(running.front())].get();
+    if (cfg.policy == SchedPolicy::ShortestRemaining) {
+        Job *best = nullptr;
+        for (JobId id : running) {
+            Job *j = jobs[std::size_t(id)].get();
+            int rem = j->spec.iterations - j->record.itersDone;
+            if (!best ||
+                rem < best->spec.iterations - best->record.itersDone) {
+                best = j;
+            }
+        }
+        return best;
+    }
+    if (rrCursor >= running.size())
+        rrCursor = 0;
+    return jobs[std::size_t(running[rrCursor++])].get();
+}
+
+void
+Scheduler::recordInflight()
+{
+    inflight.record(rt.now(), double(running.size()));
+    peakInflight = std::max(peakInflight, int(running.size()));
+}
+
+TimeNs
+Scheduler::nextArrivalAfter(TimeNs t) const
+{
+    TimeNs next = kTimeNone;
+    for (const auto &job : jobs) {
+        if (job->record.state != JobState::Pending)
+            continue;
+        if (job->spec.arrival > t &&
+            (next == kTimeNone || job->spec.arrival < next)) {
+            next = job->spec.arrival;
+        }
+    }
+    return next;
+}
+
+bool
+Scheduler::allDone() const
+{
+    for (const auto &job : jobs) {
+        if (!job->done())
+            return false;
+    }
+    return true;
+}
+
+ServeReport
+Scheduler::run()
+{
+    VDNN_ASSERT(!ran, "run() called twice");
+    ran = true;
+
+    while (!allDone()) {
+        collectArrivals();
+        admitFromQueue();
+
+        if (running.empty()) {
+            TimeNs next = nextArrivalAfter(rt.now());
+            if (next == kTimeNone) {
+                // Nothing running, nothing admissible, nothing still
+                // to arrive: every queued job was terminal-handled.
+                break;
+            }
+            rt.advanceTo(next);
+            continue;
+        }
+
+        Job &job = *pickNext();
+        core::IterationResult r = job.session->runIteration();
+        if (r.ok) {
+            ++job.record.itersDone;
+            job.record.serviceTime += r.makespan();
+            if (job.record.itersDone >= job.spec.iterations)
+                finishJob(job, JobState::Finished);
+        } else {
+            // In-flight OOM: overcommit or fragmentation beyond the
+            // reservation. Only this job's iteration aborts.
+            evictForRequeue(job);
+        }
+    }
+
+    // --- report --------------------------------------------------------
+    inflight.finish(rt.now());
+    poolTrack.finish();
+
+    ServeReport rep;
+    rep.schedulerName = schedPolicyName(cfg.policy);
+    rep.gpuName = cfg.gpu.name;
+    rep.poolCapacity = pool.capacity();
+    rep.peakJobsInFlight = peakInflight;
+    rep.avgJobsInFlight = inflight.average();
+    rep.poolPeakBytes = poolTrack.peakBytes();
+    rep.poolAvgBytes = poolTrack.averageBytes();
+    if (cfg.keepTimeline) {
+        rep.poolTimeline = poolTrack.signal().timeline();
+        rep.inflightTimeline = inflight.timeline();
+    }
+
+    TimeNs first_arrival = kTimeNone;
+    TimeNs last_finish = 0;
+    for (const auto &job : jobs) {
+        const JobRecord &rec = job->record;
+        JobOutcome out;
+        out.id = job->id;
+        out.name = job->spec.name;
+        out.configName = core::transferPolicyName(job->spec.policy);
+        if (job->spec.policy != core::TransferPolicy::Dynamic) {
+            out.configName += " ";
+            out.configName += core::algoModeName(job->spec.algoMode);
+        }
+        out.state = rec.state;
+        out.arrival = job->spec.arrival;
+        out.admitTime = rec.admitTime;
+        out.finishTime = rec.finishTime;
+        out.queueingDelay = job->queueingDelay();
+        out.completionTime = rec.state == JobState::Finished
+                                 ? job->completionTime()
+                                 : 0;
+        out.serviceTime = rec.serviceTime;
+        out.iterations = rec.itersDone;
+        out.oomRequeues = rec.oomRequeues;
+        out.persistentBytes = rec.persistentBytes;
+        out.peakPoolBytes = rec.peakPoolBytes;
+        out.offloadedBytes = rec.offloadedBytes;
+        out.failReason = rec.failReason;
+        rep.jobs.push_back(std::move(out));
+
+        if (first_arrival == kTimeNone ||
+            job->spec.arrival < first_arrival) {
+            first_arrival = job->spec.arrival;
+        }
+        if (rec.finishTime != kTimeNone)
+            last_finish = std::max(last_finish, rec.finishTime);
+    }
+    if (first_arrival != kTimeNone && last_finish > first_arrival)
+        rep.makespan = last_finish - first_arrival;
+    return rep;
+}
+
+} // namespace vdnn::serve

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Multi-tenant GPU-sharing scheduler.
+ *
+ * Multiplexes N training jobs over one simulated GPU: a single shared
+ * gpu::Runtime (one compute engine, one DMA engine per direction, one
+ * PCIe link) and a single shared cnmem pool. Jobs are admitted by the
+ * AdmissionController when their policy-dependent footprint fits; the
+ * freed residency of the vDNN policies is what lets many more tenants
+ * pack onto the same 12 GB device than the baseline allocator.
+ *
+ * Two scheduling policies:
+ *
+ *  - FifoExclusive: one job owns the device at a time, run to
+ *    completion in arrival order — the status quo this subsystem
+ *    exists to beat (head-of-line blocking, queueing delay).
+ *  - RoundRobin: iteration-granularity time sharing in the style of
+ *    the Salus execution engine — every admitted job keeps its
+ *    persistent state device-resident while iterations from all
+ *    tenants interleave on the shared compute engine, and the
+ *    admission queue is backfilled whenever capacity frees up.
+ *  - ShortestRemaining: same packing, but the next iteration goes to
+ *    the admitted job with the fewest remaining iterations (SRPT at
+ *    iteration granularity) — minimizes mean job completion time.
+ *
+ * In-flight OOM (overcommit or pool fragmentation despite the
+ * reservation) aborts only that iteration: the job is torn down,
+ * its reservation inflated, and it is requeued for readmission —
+ * after a bounded number of attempts it is marked Failed.
+ */
+
+#ifndef VDNN_SERVE_SCHEDULER_HH
+#define VDNN_SERVE_SCHEDULER_HH
+
+#include "dnn/cudnn_sim.hh"
+#include "gpu/gpu_spec.hh"
+#include "gpu/runtime.hh"
+#include "mem/memory_pool.hh"
+#include "mem/pinned_host.hh"
+#include "mem/usage_tracker.hh"
+#include "serve/admission.hh"
+#include "serve/job.hh"
+#include "serve/serve_stats.hh"
+#include "stats/time_weighted.hh"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vdnn::serve
+{
+
+enum class SchedPolicy
+{
+    FifoExclusive,     ///< one job at a time, arrival order
+    RoundRobin,        ///< iteration-granularity packing (Salus-style)
+    ShortestRemaining, ///< packed, fewest-remaining-iterations first
+};
+
+const char *schedPolicyName(SchedPolicy p);
+
+struct SchedulerConfig
+{
+    SchedPolicy policy = SchedPolicy::RoundRobin;
+    /** The device all tenants share. */
+    gpu::GpuSpec gpu;
+    bool contention = true;
+    /** Cap on concurrently admitted jobs (0 = unlimited). */
+    int maxJobsInFlight = 0;
+    /** Reservation inflation guarding estimate error/fragmentation. */
+    double admissionSafety = 1.05;
+    /** Reservation growth per OOM requeue of a job. */
+    double oomBackoffScale = 1.25;
+    /** OOM requeues before a job is marked Failed. */
+    int maxOomRequeues = 3;
+    /** Retain pool-usage and jobs-in-flight timelines in the report. */
+    bool keepTimeline = false;
+
+    SchedulerConfig();
+};
+
+class Scheduler
+{
+  public:
+    explicit Scheduler(SchedulerConfig config);
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Register a job; it becomes visible at spec.arrival. */
+    JobId submit(JobSpec spec);
+
+    /** Drive every submitted job to a terminal state. */
+    ServeReport run();
+
+    // --- introspection (tests) -------------------------------------------
+    gpu::Runtime &runtime() { return rt; }
+    mem::MemoryPool &devicePool() { return pool; }
+    const AdmissionController &admissionState() const { return admission; }
+    const Job &job(JobId id) const { return *jobs.at(std::size_t(id)); }
+    int jobsInFlight() const { return int(running.size()); }
+
+  private:
+    void collectArrivals();
+    void admitFromQueue();
+    const FootprintEstimate &estimateFor(const Job &job);
+    bool tryAdmit(Job &job, const FootprintEstimate &est);
+    void finishJob(Job &job, JobState final_state,
+                   const std::string &why = "");
+    void evictForRequeue(Job &job);
+    Job *pickNext();
+    void recordInflight();
+    TimeNs nextArrivalAfter(TimeNs t) const;
+    bool allDone() const;
+
+    SchedulerConfig cfg;
+    gpu::Runtime rt;
+    mem::MemoryPool pool;
+    mem::PinnedHostAllocator host;
+    mem::UsageTracker poolTrack;
+    dnn::CudnnSim cudnn;
+    AdmissionController admission;
+
+    std::vector<std::unique_ptr<Job>> jobs;
+    /** Footprint estimates are deterministic per spec; cache them. */
+    std::unordered_map<JobId, FootprintEstimate> estimates;
+    JobQueue queue;            ///< arrived, waiting for admission
+    std::vector<JobId> running; ///< admitted, in submission order
+    std::size_t rrCursor = 0;
+
+    stats::TimeWeighted inflight;
+    int peakInflight = 0;
+    bool ran = false;
+};
+
+} // namespace vdnn::serve
+
+#endif // VDNN_SERVE_SCHEDULER_HH

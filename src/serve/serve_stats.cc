@@ -1,0 +1,135 @@
+#include "serve/serve_stats.hh"
+
+#include "common/units.hh"
+
+#include <algorithm>
+
+namespace vdnn::serve
+{
+
+namespace
+{
+
+int
+countState(const std::vector<JobOutcome> &jobs, JobState s)
+{
+    int n = 0;
+    for (const JobOutcome &j : jobs)
+        n += j.state == s ? 1 : 0;
+    return n;
+}
+
+std::vector<TimeNs>
+finishedJcts(const std::vector<JobOutcome> &jobs)
+{
+    std::vector<TimeNs> jcts;
+    for (const JobOutcome &j : jobs) {
+        if (j.state == JobState::Finished)
+            jcts.push_back(j.completionTime);
+    }
+    std::sort(jcts.begin(), jcts.end());
+    return jcts;
+}
+
+} // namespace
+
+int
+ServeReport::finishedCount() const
+{
+    return countState(jobs, JobState::Finished);
+}
+
+int
+ServeReport::failedCount() const
+{
+    return countState(jobs, JobState::Failed);
+}
+
+int
+ServeReport::rejectedCount() const
+{
+    return countState(jobs, JobState::Rejected);
+}
+
+TimeNs
+ServeReport::meanJct() const
+{
+    std::vector<TimeNs> jcts = finishedJcts(jobs);
+    if (jcts.empty())
+        return 0;
+    double sum = 0.0;
+    for (TimeNs t : jcts)
+        sum += double(t);
+    return TimeNs(sum / double(jcts.size()));
+}
+
+TimeNs
+ServeReport::p99Jct() const
+{
+    std::vector<TimeNs> jcts = finishedJcts(jobs);
+    if (jcts.empty())
+        return 0;
+    // Nearest-rank percentile.
+    std::size_t rank = std::size_t(std::max<double>(
+        1.0, std::ceil(0.99 * double(jcts.size()))));
+    return jcts[rank - 1];
+}
+
+TimeNs
+ServeReport::meanQueueingDelay() const
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const JobOutcome &j : jobs) {
+        if (j.admitTime != kTimeNone) {
+            sum += double(j.queueingDelay);
+            ++n;
+        }
+    }
+    return n > 0 ? TimeNs(sum / double(n)) : 0;
+}
+
+stats::Table
+ServeReport::jobTable() const
+{
+    stats::Table t(schedulerName + " on " + gpuName + ": per-job report");
+    t.setColumns({"job", "config", "state", "arrive (ms)", "queue (ms)",
+                  "iters", "JCT (ms)", "persistent (MiB)",
+                  "peak pool (MiB)"});
+    for (const JobOutcome &j : jobs) {
+        t.addRow({j.name, j.configName, jobStateName(j.state),
+                  stats::Table::cell(toMs(j.arrival), 1),
+                  stats::Table::cell(toMs(j.queueingDelay), 1),
+                  stats::Table::cellInt(j.iterations),
+                  j.state == JobState::Finished
+                      ? stats::Table::cell(toMs(j.completionTime), 1)
+                      : std::string("-"),
+                  stats::Table::cell(toMiB(j.persistentBytes), 1),
+                  stats::Table::cell(toMiB(j.peakPoolBytes), 1)});
+    }
+    return t;
+}
+
+stats::Table
+ServeReport::summaryTable() const
+{
+    stats::Table t(schedulerName + " on " + gpuName + ": summary");
+    t.setColumns({"finished", "failed", "rejected", "makespan (ms)",
+                  "mean JCT (ms)", "p99 JCT (ms)", "mean queue (ms)",
+                  "peak jobs", "avg jobs", "peak pool (GiB)",
+                  "avg pool (GiB)"});
+    t.addRow({stats::Table::cellInt(finishedCount()),
+              stats::Table::cellInt(failedCount()),
+              stats::Table::cellInt(rejectedCount()),
+              stats::Table::cell(toMs(makespan), 1),
+              stats::Table::cell(toMs(meanJct()), 1),
+              stats::Table::cell(toMs(p99Jct()), 1),
+              stats::Table::cell(toMs(meanQueueingDelay()), 1),
+              stats::Table::cellInt(peakJobsInFlight),
+              stats::Table::cell(avgJobsInFlight, 2),
+              stats::Table::cell(toGiB(poolPeakBytes), 2),
+              stats::Table::cell(toGiB(poolAvgBytes), 2)});
+    return t;
+}
+
+} // namespace vdnn::serve

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Serving metrics: the report the multi-tenant scheduler produces.
+ *
+ * Per job: queueing delay (arrival to admission) and job completion
+ * time (arrival to finish). Aggregate: makespan, mean/p99 JCT, jobs
+ * admitted concurrently (peak and time-weighted average), and the
+ * shared pool occupancy (peak, time-weighted average, timeline).
+ */
+
+#ifndef VDNN_SERVE_SERVE_STATS_HH
+#define VDNN_SERVE_SERVE_STATS_HH
+
+#include "serve/job.hh"
+#include "stats/table.hh"
+#include "stats/time_weighted.hh"
+
+#include <string>
+#include <vector>
+
+namespace vdnn::serve
+{
+
+/** Final per-job line of the report. */
+struct JobOutcome
+{
+    JobId id = -1;
+    std::string name;
+    std::string configName;
+    JobState state = JobState::Pending;
+    TimeNs arrival = 0;
+    TimeNs admitTime = kTimeNone;
+    TimeNs finishTime = kTimeNone;
+    TimeNs queueingDelay = 0;
+    TimeNs completionTime = 0; ///< JCT; 0 unless Finished
+    TimeNs serviceTime = 0;
+    int iterations = 0;
+    int oomRequeues = 0;
+    Bytes persistentBytes = 0;
+    Bytes peakPoolBytes = 0;
+    Bytes offloadedBytes = 0;
+    std::string failReason;
+};
+
+struct ServeReport
+{
+    std::string schedulerName;
+    std::string gpuName;
+    std::vector<JobOutcome> jobs;
+
+    /** First arrival to last completion. */
+    TimeNs makespan = 0;
+    /** Most jobs admitted (device-resident) at once. */
+    int peakJobsInFlight = 0;
+    /** Time-weighted average of admitted jobs over the run. */
+    double avgJobsInFlight = 0.0;
+
+    Bytes poolCapacity = 0;
+    Bytes poolPeakBytes = 0;
+    Bytes poolAvgBytes = 0; ///< time-weighted
+
+    /** Shared-pool usage change points (when keepTimeline was set). */
+    std::vector<stats::TimeWeighted::Sample> poolTimeline;
+    /** Jobs-in-flight change points (when keepTimeline was set). */
+    std::vector<stats::TimeWeighted::Sample> inflightTimeline;
+
+    int finishedCount() const;
+    int failedCount() const;
+    int rejectedCount() const;
+
+    /** Mean job completion time over finished jobs. */
+    TimeNs meanJct() const;
+    /** p99 (nearest-rank) job completion time over finished jobs. */
+    TimeNs p99Jct() const;
+    TimeNs meanQueueingDelay() const;
+
+    /** Per-job ASCII table. */
+    stats::Table jobTable() const;
+    /** One-row aggregate summary. */
+    stats::Table summaryTable() const;
+};
+
+} // namespace vdnn::serve
+
+#endif // VDNN_SERVE_SERVE_STATS_HH

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Tests for the multi-tenant serving subsystem: admission accounting,
+ * arrival generation, scheduler fairness and the headline tenancy
+ * result (vDNN_all packs more VGG-16 jobs onto a 12 GB Titan X than
+ * the Baseline allocator).
+ */
+
+#include "serve/admission.hh"
+#include "serve/arrival.hh"
+#include "serve/job.hh"
+#include "serve/scheduler.hh"
+
+#include "common/random.hh"
+#include "common/units.hh"
+#include "mem/memory_pool.hh"
+#include "net/builders.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+using namespace vdnn;
+using namespace vdnn::serve;
+using namespace vdnn::literals;
+
+// --- per-tenant pool accounting ---------------------------------------------
+
+TEST(PoolClientAccounting, ChargesAndReleasesPerClient)
+{
+    mem::MemoryPool pool(1_MiB);
+    auto a = pool.allocate(100_KiB, "a", /*client=*/1);
+    auto b = pool.allocate(200_KiB, "b", /*client=*/2);
+    auto c = pool.allocate(50_KiB, "c", /*client=*/1);
+    EXPECT_EQ(pool.usedByClient(1), 150_KiB);
+    EXPECT_EQ(pool.usedByClient(2), 200_KiB);
+    EXPECT_EQ(pool.usedByClient(3), 0);
+    EXPECT_EQ(pool.activeClients(), 2u);
+    EXPECT_TRUE(pool.checkInvariants());
+
+    pool.release(a);
+    pool.release(c);
+    EXPECT_EQ(pool.usedByClient(1), 0);
+    EXPECT_EQ(pool.peakByClient(1), 150_KiB);
+    EXPECT_EQ(pool.activeClients(), 1u);
+    pool.release(b);
+    EXPECT_TRUE(pool.checkInvariants());
+}
+
+// --- arrival generators ------------------------------------------------------
+
+TEST(Arrivals, PoissonIsDeterministicAndMonotonic)
+{
+    SplitMix64 rng1(7), rng2(7);
+    auto a = poissonArrivals(32, 5.0, rng1);
+    auto b = poissonArrivals(32, 5.0, rng2);
+    EXPECT_EQ(a, b);
+    ASSERT_EQ(a.size(), 32u);
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+    EXPECT_GT(a.front(), 0);
+}
+
+TEST(Arrivals, PoissonRateRoughlyHolds)
+{
+    SplitMix64 rng(11);
+    const int n = 2000;
+    auto a = poissonArrivals(n, 10.0, rng);
+    double horizon_s = toSeconds(a.back());
+    double rate = double(n) / horizon_s;
+    EXPECT_NEAR(rate, 10.0, 1.0);
+}
+
+TEST(Arrivals, UniformAndTrace)
+{
+    auto u = uniformArrivals(4, 10_ms, 5_ms);
+    ASSERT_EQ(u.size(), 4u);
+    EXPECT_EQ(u[0], 5_ms);
+    EXPECT_EQ(u[3], 35_ms);
+
+    auto t = traceArrivals({2.0, 0.5, 1.0});
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(t.begin(), t.end()));
+    EXPECT_EQ(t[0], secondsToNs(0.5));
+}
+
+// --- job queue ---------------------------------------------------------------
+
+TEST(JobQueueTest, TakePreservesOrder)
+{
+    JobQueue q;
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.take(1), 2); // backfill from the middle
+    EXPECT_EQ(q.take(0), 1);
+    q.pushFront(9);
+    EXPECT_EQ(q.take(0), 9);
+    EXPECT_EQ(q.take(0), 3);
+    EXPECT_TRUE(q.empty());
+}
+
+// --- admission controller ----------------------------------------------------
+
+TEST(Admission, RejectWhenFullAdmitAfterRelease)
+{
+    AdmissionController ac(10_GiB, /*safety=*/1.0);
+
+    FootprintEstimate big;
+    big.persistent = 4_GiB;
+    big.transient = 2_GiB;
+
+    // persistent sum + shared transient arena: 4+4+2 = 10 GiB fits...
+    EXPECT_TRUE(ac.canAdmit(big));
+    ac.admit(0, big);
+    EXPECT_TRUE(ac.canAdmit(big));
+    ac.admit(1, big);
+    EXPECT_EQ(ac.admittedCount(), 2);
+    EXPECT_EQ(ac.reservedBytes(), 10_GiB);
+
+    // ...but a third tenant would need 4 more persistent GiB: full.
+    EXPECT_FALSE(ac.canAdmit(big));
+    EXPECT_TRUE(ac.feasible(big)); // would fit an empty device
+
+    // Teardown frees the reservation and admission resumes.
+    ac.release(0);
+    EXPECT_TRUE(ac.canAdmit(big));
+    ac.admit(2, big);
+    EXPECT_FALSE(ac.canAdmit(big));
+}
+
+TEST(Admission, TransientArenaIsSharedNotSummed)
+{
+    AdmissionController ac(10_GiB, /*safety=*/1.0);
+    FootprintEstimate est;
+    est.persistent = 1_GiB;
+    est.transient = 7_GiB;
+    // Summed reservations would cap at one tenant (8 GiB each);
+    // the shared arena admits three: 3x1 + 7 = 10 GiB.
+    ac.admit(0, est);
+    ac.admit(1, est);
+    EXPECT_TRUE(ac.canAdmit(est));
+    ac.admit(2, est);
+    EXPECT_FALSE(ac.canAdmit(est));
+    EXPECT_EQ(ac.reservedBytes(), 10_GiB);
+}
+
+TEST(Admission, InfeasibleJobDetected)
+{
+    AdmissionController ac(1_GiB);
+    FootprintEstimate est;
+    est.persistent = 2_GiB;
+    EXPECT_FALSE(ac.feasible(est));
+    EXPECT_FALSE(ac.canAdmit(est));
+}
+
+TEST(Admission, BackoffInflationCanMakeJobInfeasible)
+{
+    // After OOM requeues grow a job's reservation scale, feasibility
+    // must be judged at the grown scale or the job queues forever.
+    AdmissionController ac(10_GiB, /*safety=*/1.0);
+    FootprintEstimate est;
+    est.persistent = 5_GiB;
+    est.transient = 3_GiB;
+    EXPECT_TRUE(ac.feasible(est));
+    EXPECT_FALSE(ac.feasible(est, /*scale=*/1.5));
+}
+
+TEST(Admission, FootprintEstimateShape)
+{
+    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
+    auto vgg = net::buildVgg16(64);
+
+    FootprintEstimate base = estimateFootprint(
+        *vgg, cudnn, core::TransferPolicy::Baseline,
+        core::AlgoMode::MemoryOptimal);
+    FootprintEstimate all = estimateFootprint(
+        *vgg, cudnn, core::TransferPolicy::OffloadAll,
+        core::AlgoMode::MemoryOptimal);
+    FootprintEstimate conv = estimateFootprint(
+        *vgg, cudnn, core::TransferPolicy::OffloadConv,
+        core::AlgoMode::MemoryOptimal);
+
+    // Baseline holds everything persistently; vDNN virtualizes the
+    // feature maps away into a much smaller persistent footprint.
+    EXPECT_EQ(base.transient, 0);
+    EXPECT_GT(base.persistent, 4 * all.persistent);
+    EXPECT_GT(all.transient, 0);
+    EXPECT_LT(all.total(), base.total());
+    // vDNN_conv keeps the non-CONV-consumed buffers resident.
+    EXPECT_GE(conv.transient, all.transient);
+}
+
+// --- scheduler ---------------------------------------------------------------
+
+namespace
+{
+
+std::shared_ptr<const net::Network>
+tinyNet()
+{
+    return net::buildTinyCnn(16);
+}
+
+JobSpec
+makeJob(const std::shared_ptr<const net::Network> &network,
+        core::TransferPolicy policy, TimeNs arrival, int iterations)
+{
+    JobSpec spec;
+    spec.network = network;
+    spec.policy = policy;
+    spec.algoMode = core::AlgoMode::MemoryOptimal;
+    spec.arrival = arrival;
+    spec.iterations = iterations;
+    return spec;
+}
+
+} // namespace
+
+TEST(Scheduler, SingleJobRunsToCompletion)
+{
+    SchedulerConfig cfg;
+    Scheduler sched(cfg);
+    auto network = tinyNet();
+    sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
+                         10_ms, 3));
+    ServeReport rep = sched.run();
+    ASSERT_EQ(rep.jobs.size(), 1u);
+    EXPECT_EQ(rep.jobs[0].state, JobState::Finished);
+    EXPECT_EQ(rep.jobs[0].iterations, 3);
+    EXPECT_EQ(rep.jobs[0].queueingDelay, 0);
+    EXPECT_GT(rep.makespan, 0);
+    EXPECT_EQ(rep.finishedCount(), 1);
+    // The shared pool drains completely after teardown.
+    EXPECT_EQ(sched.devicePool().usedBytes(), 0);
+    EXPECT_EQ(sched.admissionState().admittedCount(), 0);
+}
+
+TEST(Scheduler, RoundRobinIsFairAcrossEqualJobs)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::RoundRobin;
+    Scheduler sched(cfg);
+    auto network = tinyNet();
+    const int kIters = 4;
+    for (int i = 0; i < 3; ++i) {
+        sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
+                             0, kIters));
+    }
+    ServeReport rep = sched.run();
+    ASSERT_EQ(rep.finishedCount(), 3);
+    EXPECT_EQ(rep.peakJobsInFlight, 3);
+
+    // Equal budgets served round-robin finish within one iteration of
+    // each other: nobody is starved.
+    TimeNs first = rep.jobs[0].finishTime;
+    TimeNs last = rep.jobs[2].finishTime;
+    TimeNs iter = rep.jobs[0].serviceTime / kIters;
+    for (const JobOutcome &j : rep.jobs) {
+        first = std::min(first, j.finishTime);
+        last = std::max(last, j.finishTime);
+        EXPECT_EQ(j.iterations, kIters);
+        EXPECT_LE(j.queueingDelay, iter);
+    }
+    EXPECT_LE(last - first, 2 * iter + 2 * kNsPerMs);
+}
+
+TEST(Scheduler, FifoExclusiveSerializesJobs)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::FifoExclusive;
+    Scheduler sched(cfg);
+    auto network = tinyNet();
+    sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
+                         0, 4));
+    sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
+                         0, 4));
+    ServeReport rep = sched.run();
+    EXPECT_EQ(rep.finishedCount(), 2);
+    EXPECT_EQ(rep.peakJobsInFlight, 1);
+    // The second job waits for the whole first job.
+    EXPECT_GE(rep.jobs[1].queueingDelay, rep.jobs[0].serviceTime);
+}
+
+TEST(Scheduler, InfeasibleJobIsRejected)
+{
+    SchedulerConfig cfg; // 12 GB Titan X
+    Scheduler sched(cfg);
+    // VGG-16 (256) under Baseline needs ~28 GB network-wide: can
+    // never fit, must be rejected, and must not wedge the queue.
+    std::shared_ptr<const net::Network> vgg256 = net::buildVgg16(256);
+    sched.submit(makeJob(vgg256, core::TransferPolicy::Baseline, 0, 2));
+    sched.submit(makeJob(tinyNet(), core::TransferPolicy::OffloadAll,
+                         0, 2));
+    ServeReport rep = sched.run();
+    EXPECT_EQ(rep.jobs[0].state, JobState::Rejected);
+    EXPECT_EQ(rep.jobs[1].state, JobState::Finished);
+    EXPECT_EQ(rep.rejectedCount(), 1);
+    EXPECT_EQ(rep.finishedCount(), 1);
+}
+
+TEST(Scheduler, BaselineAdmitsSecondTenantOnlyAfterTeardown)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::RoundRobin;
+    Scheduler sched(cfg);
+    // Two Baseline VGG-16 (64) jobs: each holds ~6.4 GiB persistently,
+    // so the 12 GiB device fits exactly one at a time.
+    std::shared_ptr<const net::Network> vgg = net::buildVgg16(64);
+    sched.submit(makeJob(vgg, core::TransferPolicy::Baseline, 0, 2));
+    sched.submit(makeJob(vgg, core::TransferPolicy::Baseline, 0, 2));
+    ServeReport rep = sched.run();
+    EXPECT_EQ(rep.finishedCount(), 2);
+    EXPECT_EQ(rep.peakJobsInFlight, 1);
+    EXPECT_GE(rep.jobs[1].admitTime, rep.jobs[0].finishTime);
+}
+
+TEST(Scheduler, VdnnAllPacksMoreVgg16TenantsThanBaseline)
+{
+    // The headline: on the paper's 12 GB Titan X, vDNN_all admits
+    // strictly more concurrent VGG-16 tenants than Baseline.
+    std::shared_ptr<const net::Network> vgg = net::buildVgg16(64);
+    auto peakTenants = [&](core::TransferPolicy policy) {
+        SchedulerConfig cfg;
+        cfg.policy = SchedPolicy::RoundRobin;
+        Scheduler sched(cfg);
+        for (int i = 0; i < 6; ++i)
+            sched.submit(makeJob(vgg, policy, 0, 2));
+        ServeReport rep = sched.run();
+        EXPECT_EQ(rep.finishedCount(), 6);
+        return rep.peakJobsInFlight;
+    };
+    int base_peak = peakTenants(core::TransferPolicy::Baseline);
+    int vdnn_peak = peakTenants(core::TransferPolicy::OffloadAll);
+    EXPECT_EQ(base_peak, 1);
+    EXPECT_GT(vdnn_peak, base_peak);
+    EXPECT_GE(vdnn_peak, 2 * base_peak);
+}
+
+TEST(Scheduler, MaxJobsInFlightCapsTenancy)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::RoundRobin;
+    cfg.maxJobsInFlight = 2;
+    Scheduler sched(cfg);
+    auto network = tinyNet();
+    for (int i = 0; i < 4; ++i) {
+        sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
+                             0, 2));
+    }
+    ServeReport rep = sched.run();
+    EXPECT_EQ(rep.finishedCount(), 4);
+    EXPECT_EQ(rep.peakJobsInFlight, 2);
+}
+
+TEST(Scheduler, ShortestRemainingFavorsShortJobs)
+{
+    auto meanJct = [](SchedPolicy policy) {
+        SchedulerConfig cfg;
+        cfg.policy = policy;
+        Scheduler sched(cfg);
+        auto network = tinyNet();
+        sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
+                             0, 16));
+        for (int i = 0; i < 3; ++i) {
+            sched.submit(makeJob(network,
+                                 core::TransferPolicy::OffloadAll, 0,
+                                 2));
+        }
+        ServeReport rep = sched.run();
+        EXPECT_EQ(rep.finishedCount(), 4);
+        return rep.meanJct();
+    };
+    // SRPT strictly beats plain round-robin on a short-vs-long mix.
+    EXPECT_LT(meanJct(SchedPolicy::ShortestRemaining),
+              meanJct(SchedPolicy::RoundRobin));
+}
