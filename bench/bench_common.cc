@@ -34,9 +34,16 @@ core::SessionResult
 runPoint(const net::Network &net, core::TransferPolicy policy,
          core::AlgoMode mode, bool oracle)
 {
+    return runPlanner(net, core::plannerForPolicy(policy, mode),
+                      oracle);
+}
+
+core::SessionResult
+runPlanner(const net::Network &net,
+           std::shared_ptr<core::Planner> planner, bool oracle)
+{
     core::SessionConfig cfg;
-    cfg.policy = policy;
-    cfg.algoMode = mode;
+    cfg.planner = std::move(planner);
     cfg.oracle = oracle;
     return core::runSession(net, cfg);
 }

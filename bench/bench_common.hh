@@ -15,6 +15,7 @@
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "core/planner.hh"
 #include "core/training_session.hh"
 #include "net/builders.hh"
 #include "net/network_stats.hh"
@@ -40,10 +41,19 @@ struct PolicyPoint
 /** all/conv x (m)/(p), dyn, base x (m)/(p) — the paper's column order. */
 const std::vector<PolicyPoint> &figurePolicyGrid();
 
-/** Run one (network, policy, mode) session on the default Titan X node. */
+/**
+ * Run one (network, policy, mode) session on the default Titan X node.
+ * Resolved through the Planner API (plannerForPolicy), so every figure
+ * bench exercises the same path new planners use.
+ */
 core::SessionResult runPoint(const net::Network &net,
                              core::TransferPolicy policy,
                              core::AlgoMode mode, bool oracle = false);
+
+/** Run one session under an explicit planner on the Titan X node. */
+core::SessionResult runPlanner(const net::Network &net,
+                               std::shared_ptr<core::Planner> planner,
+                               bool oracle = false);
 
 /**
  * Register a google-benchmark that executes @p fn once per iteration.

@@ -34,10 +34,22 @@ namespace
 
 constexpr int kJobs = 8;
 
+/** Baseline vs vDNN_all tenants, both memory-optimal. */
+std::shared_ptr<core::Planner>
+makePlanner(bool vdnn)
+{
+    if (vdnn) {
+        return std::make_shared<core::OffloadAllPlanner>(
+            core::AlgoPreference::MemoryOptimal);
+    }
+    return std::make_shared<core::BaselinePlanner>(
+        core::AlgoPreference::MemoryOptimal);
+}
+
 /** One long job arriving first, short jobs queued behind it. */
 std::vector<JobSpec>
 headOfLineWorkload(const std::shared_ptr<const net::Network> &network,
-                   core::TransferPolicy policy)
+                   bool vdnn)
 {
     std::vector<TimeNs> arrivals =
         uniformArrivals(kJobs, 500 * kNsPerMs, 100 * kNsPerMs);
@@ -46,8 +58,7 @@ headOfLineWorkload(const std::shared_ptr<const net::Network> &network,
         JobSpec spec;
         spec.name = strFormat(i == 0 ? "train-%d" : "probe-%d", i);
         spec.network = network;
-        spec.policy = policy;
-        spec.algoMode = core::AlgoMode::MemoryOptimal;
+        spec.planner = makePlanner(vdnn);
         spec.arrival = arrivals[std::size_t(i)];
         spec.iterations = i == 0 ? 20 : 2 + i % 3;
         specs.push_back(std::move(spec));
@@ -57,12 +68,12 @@ headOfLineWorkload(const std::shared_ptr<const net::Network> &network,
 
 ServeReport
 runCluster(const std::shared_ptr<const net::Network> &network,
-           SchedPolicy sched, core::TransferPolicy policy)
+           SchedPolicy sched, bool vdnn)
 {
     SchedulerConfig cfg;
     cfg.policy = sched;
     Scheduler scheduler(cfg);
-    for (JobSpec &spec : headOfLineWorkload(network, policy))
+    for (JobSpec &spec : headOfLineWorkload(network, vdnn))
         scheduler.submit(std::move(spec));
     return scheduler.run();
 }
@@ -77,21 +88,19 @@ report()
         const char *sched_label;
         SchedPolicy sched;
         const char *policy_label;
-        core::TransferPolicy policy;
+        bool vdnn;
     };
     const std::vector<Cell> grid = {
         {"fifo-exclusive", SchedPolicy::FifoExclusive, "base (m)",
-         core::TransferPolicy::Baseline},
+         false},
         {"fifo-exclusive", SchedPolicy::FifoExclusive, "vDNN_all (m)",
-         core::TransferPolicy::OffloadAll},
-        {"round-robin", SchedPolicy::RoundRobin, "base (m)",
-         core::TransferPolicy::Baseline},
-        {"round-robin", SchedPolicy::RoundRobin, "vDNN_all (m)",
-         core::TransferPolicy::OffloadAll},
+         true},
+        {"round-robin", SchedPolicy::RoundRobin, "base (m)", false},
+        {"round-robin", SchedPolicy::RoundRobin, "vDNN_all (m)", true},
         {"shortest-remaining", SchedPolicy::ShortestRemaining,
-         "base (m)", core::TransferPolicy::Baseline},
+         "base (m)", false},
         {"shortest-remaining", SchedPolicy::ShortestRemaining,
-         "vDNN_all (m)", core::TransferPolicy::OffloadAll},
+         "vDNN_all (m)", true},
     };
 
     stats::Table table(strFormat(
@@ -107,7 +116,7 @@ report()
     ServeReport vdnn_srpt;
     double best_base_mean_jct = 0.0;
     for (const Cell &cell : grid) {
-        ServeReport rep = runCluster(vgg16, cell.sched, cell.policy);
+        ServeReport rep = runCluster(vgg16, cell.sched, cell.vdnn);
         table.addRow(
             {cell.sched_label, cell.policy_label,
              stats::Table::cellInt(rep.finishedCount()),
@@ -118,7 +127,7 @@ report()
              stats::Table::cell(toSeconds(rep.p99Jct()), 2),
              stats::Table::cell(toSeconds(rep.makespan), 2),
              stats::Table::cell(toGiB(rep.poolPeakBytes), 2)});
-        if (cell.policy == core::TransferPolicy::Baseline) {
+        if (!cell.vdnn) {
             double jct = toSeconds(rep.meanJct());
             if (best_base_mean_jct == 0.0 || jct < best_base_mean_jct)
                 best_base_mean_jct = jct;
@@ -169,8 +178,7 @@ main(int argc, char **argv)
     registerSim("multitenant/vgg16_roundrobin_vdnn_all", [] {
         std::shared_ptr<const net::Network> vgg16 =
             net::buildVgg16(64);
-        runCluster(vgg16, SchedPolicy::RoundRobin,
-                   core::TransferPolicy::OffloadAll);
+        runCluster(vgg16, SchedPolicy::RoundRobin, /*vdnn=*/true);
     });
     return benchMain(argc, argv, report);
 }

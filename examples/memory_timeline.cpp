@@ -10,11 +10,14 @@
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "core/dynamic_policy.hh"
+#include "core/planner.hh"
 #include "core/training_session.hh"
 #include "net/builders.hh"
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 using namespace vdnn;
@@ -24,22 +27,23 @@ int
 main(int argc, char **argv)
 {
     std::string policy_name = argc > 1 ? argv[1] : "all";
-    TransferPolicy policy = TransferPolicy::OffloadAll;
-    if (policy_name == "base")
-        policy = TransferPolicy::Baseline;
-    else if (policy_name == "conv")
-        policy = TransferPolicy::OffloadConv;
-    else if (policy_name == "all")
-        policy = TransferPolicy::OffloadAll;
-    else if (policy_name == "dyn")
-        policy = TransferPolicy::Dynamic;
-    else
+    std::shared_ptr<Planner> planner;
+    if (policy_name == "base") {
+        planner = std::make_shared<BaselinePlanner>(
+            AlgoPreference::MemoryOptimal);
+    } else if (policy_name == "conv") {
+        planner = std::make_shared<OffloadConvPlanner>();
+    } else if (policy_name == "all") {
+        planner = std::make_shared<OffloadAllPlanner>();
+    } else if (policy_name == "dyn") {
+        planner = std::make_shared<DynamicPlanner>();
+    } else {
         fatal("unknown policy '%s'", policy_name.c_str());
+    }
 
     auto network = net::buildVgg16(64);
     SessionConfig cfg;
-    cfg.policy = policy;
-    cfg.algoMode = AlgoMode::MemoryOptimal;
+    cfg.planner = planner;
     cfg.iterations = 1;
     cfg.keepTimeline = true;
     auto r = runSession(*network, cfg);
@@ -49,7 +53,7 @@ main(int argc, char **argv)
     }
 
     std::printf("# %s under %s on Titan X; usage in MiB, time in ms\n",
-                network->name().c_str(), transferPolicyName(policy));
+                network->name().c_str(), planner->name().c_str());
     std::printf("time_ms,total_mib,managed_mib\n");
     // Merge the two signals on the total-usage change points.
     std::size_t mi = 0;

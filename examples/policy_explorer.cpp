@@ -1,8 +1,9 @@
 /**
  * @file
- * Policy explorer: sweep every (transfer policy, algorithm mode)
- * combination for a chosen benchmark network and GPU, printing the
- * memory/performance trade-off surface.
+ * Policy explorer: sweep the standard memory planners (plus the
+ * compressed-DMA variant) for a chosen benchmark network and GPU,
+ * printing the memory/performance trade-off surface and each plan's
+ * provenance.
  *
  * Usage: policy_explorer [network] [gpu]
  *   network: alexnet | overfeat | googlenet | vgg16-64 | vgg16-128 |
@@ -14,13 +15,17 @@
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "core/dynamic_policy.hh"
+#include "core/planner.hh"
 #include "core/training_session.hh"
 #include "net/builders.hh"
 #include "stats/table.hh"
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 using namespace vdnn;
 using namespace vdnn::core;
@@ -82,46 +87,56 @@ main(int argc, char **argv)
                 network->name().c_str(), spec.name.c_str(),
                 double(spec.dramCapacity) / 1e9, spec.peakFlops / 1e12);
 
-    struct Point
-    {
-        TransferPolicy policy;
-        AlgoMode mode;
-    };
-    const Point points[] = {
-        {TransferPolicy::Baseline, AlgoMode::MemoryOptimal},
-        {TransferPolicy::Baseline, AlgoMode::PerformanceOptimal},
-        {TransferPolicy::OffloadConv, AlgoMode::MemoryOptimal},
-        {TransferPolicy::OffloadConv, AlgoMode::PerformanceOptimal},
-        {TransferPolicy::OffloadAll, AlgoMode::MemoryOptimal},
-        {TransferPolicy::OffloadAll, AlgoMode::PerformanceOptimal},
-        {TransferPolicy::Dynamic, AlgoMode::PerformanceOptimal},
+    const std::vector<std::shared_ptr<Planner>> planners = {
+        std::make_shared<BaselinePlanner>(AlgoPreference::MemoryOptimal),
+        std::make_shared<BaselinePlanner>(
+            AlgoPreference::PerformanceOptimal),
+        std::make_shared<OffloadConvPlanner>(
+            AlgoPreference::MemoryOptimal),
+        std::make_shared<OffloadConvPlanner>(
+            AlgoPreference::PerformanceOptimal),
+        std::make_shared<OffloadAllPlanner>(AlgoPreference::MemoryOptimal),
+        std::make_shared<OffloadAllPlanner>(
+            AlgoPreference::PerformanceOptimal),
+        std::make_shared<CompressedOffloadPlanner>(
+            AlgoPreference::MemoryOptimal),
+        std::make_shared<DynamicPlanner>(),
     };
 
-    stats::Table table("policy x algorithm sweep");
-    table.setColumns({"config", "trains?", "iteration (ms)",
+    stats::Table table("memory-planner sweep");
+    table.setColumns({"planner", "trains?", "iteration (ms)",
                       "max GPU (MiB)", "avg GPU (MiB)",
-                      "offload (MiB)", "stall (ms)"});
-    for (const Point &pt : points) {
+                      "offload (MiB)", "PCIe (MiB)", "stall (ms)"});
+    std::vector<std::pair<std::string, std::string>> provenance;
+    for (const auto &planner : planners) {
         SessionConfig cfg;
-        cfg.policy = pt.policy;
-        cfg.algoMode = pt.mode;
+        cfg.planner = planner;
         cfg.gpu = spec;
         auto r = runSession(*network, cfg);
-        std::string name = transferPolicyName(pt.policy);
-        if (pt.policy != TransferPolicy::Dynamic)
-            name += std::string(" ") + algoModeName(pt.mode);
         if (!r.trainable) {
-            table.addRow({name, "no", "-", "-", "-", "-", "-"});
+            table.addRow(
+                {planner->name(), "no", "-", "-", "-", "-", "-", "-"});
+            provenance.emplace_back(planner->name(),
+                                    r.plan.provenance.empty()
+                                        ? "(no plan: " + r.failReason +
+                                              ")"
+                                        : r.plan.provenance);
             continue;
         }
-        table.addRow({name, "yes",
+        table.addRow({r.configName, "yes",
                       stats::Table::cell(toMs(r.iterationTime), 1),
                       stats::Table::cell(toMiB(r.maxTotalUsage), 0),
                       stats::Table::cell(toMiB(r.avgTotalUsage), 0),
                       stats::Table::cell(
                           toMiB(r.offloadedBytesPerIter), 0),
+                      stats::Table::cell(toMiB(r.pcieBytesPerIter), 0),
                       stats::Table::cell(toMs(r.transferStallTime), 1)});
+        provenance.emplace_back(r.configName, r.plan.provenance);
     }
     table.print();
+
+    std::printf("\nplan provenance:\n");
+    for (const auto &[name, how] : provenance)
+        std::printf("  %-18s %s\n", name.c_str(), how.c_str());
     return 0;
 }

@@ -8,12 +8,16 @@
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "core/dynamic_policy.hh"
+#include "core/planner.hh"
 #include "core/training_session.hh"
 #include "net/builders.hh"
 #include "stats/table.hh"
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <vector>
 
 using namespace vdnn;
 using namespace vdnn::core;
@@ -30,24 +34,32 @@ main(int argc, char **argv)
                 network->name().c_str(), network->numLayers(),
                 network->numBuffers());
 
-    // 2. Run one training session per policy on a simulated Titan X.
+    // 2. Pick memory planners. Each produces a MemoryPlan — one
+    //    directive per feature-map buffer plus per-layer algorithms —
+    //    that one training session executes.
+    std::vector<std::shared_ptr<Planner>> planners = {
+        std::make_shared<BaselinePlanner>(),
+        std::make_shared<OffloadConvPlanner>(
+            AlgoPreference::PerformanceOptimal),
+        std::make_shared<OffloadAllPlanner>(
+            AlgoPreference::PerformanceOptimal),
+        std::make_shared<DynamicPlanner>(),
+    };
+
+    // 3. Run one training session per planner on a simulated Titan X.
     stats::Table table("quickstart: baseline vs vDNN");
-    table.setColumns({"policy", "iteration (ms)", "max GPU (MiB)",
+    table.setColumns({"planner", "iteration (ms)", "max GPU (MiB)",
                       "avg GPU (MiB)", "offloaded (MiB)"});
-    for (TransferPolicy policy :
-         {TransferPolicy::Baseline, TransferPolicy::OffloadConv,
-          TransferPolicy::OffloadAll, TransferPolicy::Dynamic}) {
+    for (const auto &planner : planners) {
         SessionConfig cfg;
-        cfg.policy = policy;
-        cfg.algoMode = AlgoMode::PerformanceOptimal;
+        cfg.planner = planner;
         SessionResult r = runSession(*network, cfg);
         if (!r.trainable) {
             std::printf("%s: cannot train (%s)\n",
-                        transferPolicyName(policy),
-                        r.failReason.c_str());
+                        planner->name().c_str(), r.failReason.c_str());
             continue;
         }
-        table.addRow({transferPolicyName(policy),
+        table.addRow({r.configName,
                       stats::Table::cell(toMs(r.iterationTime), 2),
                       stats::Table::cell(toMiB(r.maxTotalUsage), 1),
                       stats::Table::cell(toMiB(r.avgTotalUsage), 1),

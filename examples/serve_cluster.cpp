@@ -15,12 +15,15 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/units.hh"
+#include "core/planner.hh"
 #include "net/builders.hh"
 #include "serve/arrival.hh"
 #include "serve/scheduler.hh"
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <memory>
 
 using namespace vdnn;
 using namespace vdnn::serve;
@@ -28,10 +31,29 @@ using namespace vdnn::serve;
 namespace
 {
 
+using PlannerFactory = std::function<std::shared_ptr<core::Planner>()>;
+
+PlannerFactory
+baselineM()
+{
+    return [] {
+        return std::make_shared<core::BaselinePlanner>(
+            core::AlgoPreference::MemoryOptimal);
+    };
+}
+
+PlannerFactory
+offloadAllM()
+{
+    return [] {
+        return std::make_shared<core::OffloadAllPlanner>(
+            core::AlgoPreference::MemoryOptimal);
+    };
+}
+
 ServeReport
 runCluster(const std::shared_ptr<const net::Network> &network,
-           int njobs, SchedPolicy sched, core::TransferPolicy policy,
-           core::AlgoMode mode)
+           int njobs, SchedPolicy sched, const PlannerFactory &planner)
 {
     SchedulerConfig cfg;
     cfg.policy = sched;
@@ -47,8 +69,7 @@ runCluster(const std::shared_ptr<const net::Network> &network,
         JobSpec spec;
         spec.name = strFormat("vgg16-%d", i);
         spec.network = network;
-        spec.policy = policy;
-        spec.algoMode = mode;
+        spec.planner = planner();
         spec.arrival = arrivals[std::size_t(i)];
         spec.iterations = int(1 + rng.nextRange(1, 7));
         scheduler.submit(std::move(spec));
@@ -74,25 +95,24 @@ main(int argc, char **argv)
     {
         const char *label;
         SchedPolicy sched;
-        core::TransferPolicy policy;
+        PlannerFactory planner;
     };
     const Config configs[] = {
         {"fifo-exclusive + baseline", SchedPolicy::FifoExclusive,
-         core::TransferPolicy::Baseline},
+         baselineM()},
         {"round-robin + baseline", SchedPolicy::RoundRobin,
-         core::TransferPolicy::Baseline},
+         baselineM()},
         {"fifo-exclusive + vDNN_all", SchedPolicy::FifoExclusive,
-         core::TransferPolicy::OffloadAll},
+         offloadAllM()},
         {"round-robin + vDNN_all", SchedPolicy::RoundRobin,
-         core::TransferPolicy::OffloadAll},
+         offloadAllM()},
         {"shortest-remaining + vDNN_all", SchedPolicy::ShortestRemaining,
-         core::TransferPolicy::OffloadAll},
+         offloadAllM()},
     };
 
     for (const Config &c : configs) {
         ServeReport rep =
-            runCluster(network, njobs, c.sched, c.policy,
-                       core::AlgoMode::MemoryOptimal);
+            runCluster(network, njobs, c.sched, c.planner);
         std::printf("=== %s ===\n", c.label);
         rep.summaryTable().print();
         rep.jobTable().print();

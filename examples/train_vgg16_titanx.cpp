@@ -13,6 +13,8 @@
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "core/dynamic_policy.hh"
+#include "core/planner.hh"
 #include "core/training_session.hh"
 #include "dnn/conv_algo.hh"
 #include "net/builders.hh"
@@ -20,6 +22,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 using namespace vdnn;
 using namespace vdnn::core;
@@ -34,8 +37,8 @@ main(int argc, char **argv)
 
     // Baseline: network-wide allocation.
     SessionConfig base_cfg;
-    base_cfg.policy = TransferPolicy::Baseline;
-    base_cfg.algoMode = AlgoMode::PerformanceOptimal;
+    base_cfg.planner = std::make_shared<BaselinePlanner>(
+        AlgoPreference::PerformanceOptimal);
     auto base = runSession(*network, base_cfg);
     std::printf("baseline (p): %s\n",
                 base.trainable
@@ -55,7 +58,7 @@ main(int argc, char **argv)
 
     // vDNN_dyn: profile, then train.
     SessionConfig dyn_cfg;
-    dyn_cfg.policy = TransferPolicy::Dynamic;
+    dyn_cfg.planner = std::make_shared<DynamicPlanner>();
     auto dyn = runSession(*network, dyn_cfg);
     if (!dyn.trainable) {
         std::printf("vDNN_dyn: cannot train (%s)\n",

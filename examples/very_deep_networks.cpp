@@ -8,12 +8,15 @@
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "core/dynamic_policy.hh"
+#include "core/planner.hh"
 #include "core/training_session.hh"
 #include "net/builders.hh"
 #include "stats/table.hh"
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 using namespace vdnn;
 using namespace vdnn::core;
@@ -34,13 +37,13 @@ main(int argc, char **argv)
         auto network = net::buildVggDeep(depth, batch);
 
         SessionConfig oracle_cfg;
-        oracle_cfg.policy = TransferPolicy::Baseline;
-        oracle_cfg.algoMode = AlgoMode::PerformanceOptimal;
+        oracle_cfg.planner = std::make_shared<BaselinePlanner>(
+            AlgoPreference::PerformanceOptimal);
         oracle_cfg.oracle = true;
         auto oracle = runSession(*network, oracle_cfg);
 
         SessionConfig dyn_cfg;
-        dyn_cfg.policy = TransferPolicy::Dynamic;
+        dyn_cfg.planner = std::make_shared<DynamicPlanner>();
         auto dyn = runSession(*network, dyn_cfg);
         if (!dyn.trainable) {
             std::printf("%s: vDNN cannot train (%s)\n",

@@ -1,30 +1,57 @@
 #include "core/dynamic_policy.hh"
 
 #include "common/logging.hh"
+#include "dnn/cudnn_sim.hh"
 
 #include <algorithm>
 
 namespace vdnn::core
 {
 
-DynamicPolicy::DynamicPolicy(const net::Network &net_,
-                             const dnn::CudnnSim &cudnn_,
-                             gpu::GpuSpec spec, ExecutorConfig exec_config,
-                             bool contention_)
-    : net(net_), cudnn(cudnn_), gpu(std::move(spec)),
-      execCfg(exec_config), contention(contention_)
-{}
+namespace
+{
+
+/**
+ * One derivation run: the profiling state shared by the passes. The
+ * trial device is a private simulated GPU whose capacity is the
+ * context's available share — profiling must not disturb (or assume
+ * more than) the real device.
+ */
+struct Derivation
+{
+    Derivation(const net::Network &net_, const PlannerContext &ctx,
+               ExecutorConfig exec)
+        : net(net_), gpu(ctx.gpu), execCfg(exec),
+          contention(ctx.contention)
+    {
+        gpu.dramCapacity = ctx.capacity();
+        cudnn = std::make_unique<dnn::CudnnSim>(gpu);
+    }
+
+    TrialRecord trial(const MemoryPlan &plan, const std::string &what,
+                      IterationResult *detail = nullptr);
+    MemoryPlan staticPlan(bool conv_only, AlgoPreference pref);
+    MemoryPlan noOffloadPlan(AlgoPreference pref);
+    bool greedy(bool conv_only, MemoryPlan &out);
+
+    const net::Network &net;
+    gpu::GpuSpec gpu;
+    std::unique_ptr<dnn::CudnnSim> cudnn;
+    ExecutorConfig execCfg;
+    bool contention;
+    std::vector<TrialRecord> trials;
+};
 
 TrialRecord
-DynamicPolicy::trial(const Plan &plan, const std::string &what,
-                     IterationResult *detail)
+Derivation::trial(const MemoryPlan &plan, const std::string &what,
+                  IterationResult *detail)
 {
     TrialRecord rec;
     rec.description = what;
 
     gpu::Runtime rt(gpu, contention);
     MemoryManager mm(rt);
-    Executor ex(net, cudnn, rt, mm, plan, execCfg);
+    Executor ex(net, *cudnn, rt, mm, plan, execCfg);
     if (!ex.setup()) {
         rec.passed = false;
         rec.failReason =
@@ -43,46 +70,49 @@ DynamicPolicy::trial(const Plan &plan, const std::string &what,
     return rec;
 }
 
-Plan
-DynamicPolicy::noOffloadPlan(AlgoMode mode) const
+MemoryPlan
+Derivation::staticPlan(bool conv_only, AlgoPreference pref)
+{
+    PlannerContext ctx = PlannerContext::exclusive(gpu, contention);
+    if (conv_only)
+        return OffloadConvPlanner(pref).plan(net, ctx);
+    return OffloadAllPlanner(pref).plan(net, ctx);
+}
+
+MemoryPlan
+Derivation::noOffloadPlan(AlgoPreference pref)
 {
     // Layer-wise vDNN execution with an empty offload set: feature maps
     // stay resident, but allocation is still per layer (workspace is
     // transient, dead buffers are released).
-    Plan plan = makeStaticPlan(net, cudnn, TransferPolicy::OffloadConv,
-                               mode);
-    plan.policy = TransferPolicy::Dynamic;
-    std::fill(plan.offloadBuffer.begin(), plan.offloadBuffer.end(),
-              false);
-    plan.provenance = strFormat("dyn: no offload %s", algoModeName(mode));
+    MemoryPlan plan = staticPlan(/*conv_only=*/true, pref);
+    plan.clearOffloads();
+    plan.provenance = strFormat("dyn: no offload %s",
+                                algoPreferenceName(pref));
     return plan;
 }
 
 bool
-DynamicPolicy::greedy(TransferPolicy policy, DynamicResult &result)
+Derivation::greedy(bool conv_only, MemoryPlan &out)
 {
     // Start from the fastest algorithm everywhere and locally downgrade
     // the overflowing layer until the configuration fits (or a
     // non-workspace allocation fails, which algorithms cannot fix).
-    Plan plan = makeStaticPlan(net, cudnn, policy,
-                               AlgoMode::PerformanceOptimal);
-    plan.algoMode = AlgoMode::PerLayer;
+    MemoryPlan plan =
+        staticPlan(conv_only, AlgoPreference::PerformanceOptimal);
+    const char *set_name = conv_only ? "vDNN_conv" : "vDNN_all";
 
-    for (int round = 0; round < kMaxGreedyTrials; ++round) {
+    for (int round = 0; round < DynamicPlanner::kMaxGreedyTrials;
+         ++round) {
         IterationResult detail;
         TrialRecord rec =
-            trial(plan,
-                  strFormat("greedy %s round %d",
-                            transferPolicyName(policy), round),
+            trial(plan, strFormat("greedy %s round %d", set_name, round),
                   &detail);
-        result.trials.push_back(rec);
+        trials.push_back(rec);
         if (rec.passed) {
-            plan.policy = TransferPolicy::Dynamic;
             plan.provenance = strFormat(
-                "dyn: greedy %s (%d downgrade rounds)",
-                transferPolicyName(policy), round);
-            result.plan = plan;
-            result.trainable = true;
+                "dyn: greedy %s (%d downgrade rounds)", set_name, round);
+            out = std::move(plan);
             return true;
         }
         if (detail.failKind != FailKind::Workspace ||
@@ -97,7 +127,7 @@ DynamicPolicy::greedy(TransferPolicy policy, DynamicResult &result)
         if (cur_ws <= 0)
             return false; // already at the zero-workspace floor
         dnn::ConvAlgo next = dnn::kMemoryOptimalAlgo;
-        for (const auto &perf : cudnn.findConvAlgorithms(spec)) {
+        for (const auto &perf : cudnn->findConvAlgorithms(spec)) {
             if (perf.workspace < cur_ws) {
                 next = perf.algo;
                 break;
@@ -108,64 +138,71 @@ DynamicPolicy::greedy(TransferPolicy policy, DynamicResult &result)
     return false;
 }
 
-DynamicResult
-DynamicPolicy::derive()
+} // namespace
+
+DynamicPlanner::DynamicPlanner(ExecutorConfig exec) : execCfg(exec) {}
+
+MemoryPlan
+DynamicPlanner::admissionPlan(const net::Network &net,
+                              const PlannerContext &ctx)
 {
-    DynamicResult result;
+    MemoryPlan floor =
+        OffloadAllPlanner(AlgoPreference::MemoryOptimal).plan(net, ctx);
+    floor.provenance = "dyn: admission floor (vDNN_all (m))";
+    return floor;
+}
+
+MemoryPlan
+DynamicPlanner::plan(const net::Network &net, const PlannerContext &ctx)
+{
+    Derivation d(net, ctx, execCfg);
+    auto finish = [&](MemoryPlan plan) {
+        plan.trials = std::move(d.trials);
+        return plan;
+    };
 
     // Pass 1: the least-memory configuration decides trainability.
-    Plan all_m = makeStaticPlan(net, cudnn, TransferPolicy::OffloadAll,
-                                AlgoMode::MemoryOptimal);
-    TrialRecord base = trial(all_m, "vDNN_all (m) trainability probe");
-    result.trials.push_back(base);
+    MemoryPlan all_m =
+        d.staticPlan(/*conv_only=*/false, AlgoPreference::MemoryOptimal);
+    TrialRecord base = d.trial(all_m, "vDNN_all (m) trainability probe");
+    d.trials.push_back(base);
     if (!base.passed) {
-        result.trainable = false;
-        result.plan = all_m;
-        result.plan.policy = TransferPolicy::Dynamic;
-        result.plan.provenance = "dyn: untrainable";
-        return result;
+        all_m.feasible = false;
+        all_m.failReason = base.failReason;
+        all_m.provenance = "dyn: untrainable";
+        return finish(std::move(all_m));
     }
 
     // Pass 2: fastest algorithms, no offload — the performance ideal.
-    Plan fast = noOffloadPlan(AlgoMode::PerformanceOptimal);
-    TrialRecord fast_rec = trial(fast, "no offload (p)");
-    result.trials.push_back(fast_rec);
-    if (fast_rec.passed) {
-        result.trainable = true;
-        result.plan = fast;
-        return result;
-    }
+    MemoryPlan fast = d.noOffloadPlan(AlgoPreference::PerformanceOptimal);
+    TrialRecord fast_rec = d.trial(fast, "no offload (p)");
+    d.trials.push_back(fast_rec);
+    if (fast_rec.passed)
+        return finish(std::move(fast));
 
     // Pass 3: fastest algorithms with static offload sets.
-    for (TransferPolicy policy :
-         {TransferPolicy::OffloadConv, TransferPolicy::OffloadAll}) {
-        Plan p = makeStaticPlan(net, cudnn, policy,
-                                AlgoMode::PerformanceOptimal);
-        TrialRecord rec =
-            trial(p, strFormat("%s (p)", transferPolicyName(policy)));
-        result.trials.push_back(rec);
+    for (bool conv_only : {true, false}) {
+        MemoryPlan p =
+            d.staticPlan(conv_only, AlgoPreference::PerformanceOptimal);
+        const char *set_name = conv_only ? "vDNN_conv" : "vDNN_all";
+        TrialRecord rec = d.trial(p, strFormat("%s (p)", set_name));
+        d.trials.push_back(rec);
         if (rec.passed) {
-            result.trainable = true;
-            result.plan = p;
-            result.plan.policy = TransferPolicy::Dynamic;
-            result.plan.provenance =
-                strFormat("dyn: %s (p)", transferPolicyName(policy));
-            return result;
+            p.provenance = strFormat("dyn: %s (p)", set_name);
+            return finish(std::move(p));
         }
     }
 
     // Pass 4: greedy per-layer downgrade under conv, then all.
-    if (greedy(TransferPolicy::OffloadConv, result))
-        return result;
-    if (greedy(TransferPolicy::OffloadAll, result))
-        return result;
+    MemoryPlan greedy_plan;
+    if (d.greedy(/*conv_only=*/true, greedy_plan))
+        return finish(std::move(greedy_plan));
+    if (d.greedy(/*conv_only=*/false, greedy_plan))
+        return finish(std::move(greedy_plan));
 
     // Pass 5: fall back to the known-good least-memory configuration.
-    result.trainable = true;
-    result.plan = all_m;
-    result.plan.policy = TransferPolicy::Dynamic;
-    result.plan.provenance = "dyn: fallback vDNN_all (m)";
-    return result;
+    all_m.provenance = "dyn: fallback vDNN_all (m)";
+    return finish(std::move(all_m));
 }
 
 } // namespace vdnn::core

@@ -1,6 +1,6 @@
 /**
  * @file
- * vDNN_dyn: the dynamic memory-transfer / algorithm policy
+ * DynamicPlanner — vDNN_dyn, the profiling memory planner
  * (Section III-C).
  *
  * Before real training starts, vDNN_dyn runs a short sequence of
@@ -12,22 +12,24 @@
  *  2. No offloading with the fastest algorithms: adopted outright if
  *     it fits — highest performance, no transfer overhead.
  *  3. vDNN_conv then vDNN_all with the fastest algorithms.
- *  4. A greedy pass per transfer policy (conv, then all): start from
- *     the fastest algorithm everywhere; whenever a trial overflows on
- *     a layer's workspace, locally downgrade that layer to the next
+ *  4. A greedy pass per offload set (conv, then all): start from the
+ *     fastest algorithm everywhere; whenever a trial overflows on a
+ *     layer's workspace, locally downgrade that layer to the next
  *     fastest algorithm with a smaller workspace and retry, bottoming
  *     out at the zero-workspace IMPLICIT_GEMM.
  *  5. Fall back to the step-1 configuration.
+ *
+ * All trial devices are sized to the PlannerContext's *available*
+ * capacity — the whole device in exclusive mode, the tenant's current
+ * free share of the communal pool in multi-tenant serving — so a
+ * shared-pool tenant derives a plan for what it can actually get.
  */
 
 #ifndef VDNN_CORE_DYNAMIC_POLICY_HH
 #define VDNN_CORE_DYNAMIC_POLICY_HH
 
 #include "core/executor.hh"
-#include "core/policy.hh"
-#include "dnn/cudnn_sim.hh"
-#include "gpu/gpu_spec.hh"
-#include "net/network.hh"
+#include "core/planner.hh"
 
 #include <string>
 #include <vector>
@@ -35,47 +37,35 @@
 namespace vdnn::core
 {
 
-/** One profiling pass and its outcome. */
-struct TrialRecord
-{
-    std::string description;
-    bool passed = false;
-    TimeNs makespan = 0;
-    std::string failReason;
-};
-
-/** The derived plan plus the profiling history. */
-struct DynamicResult
-{
-    bool trainable = false;
-    Plan plan;
-    std::vector<TrialRecord> trials;
-};
-
-class DynamicPolicy
+class DynamicPlanner : public Planner
 {
   public:
-    DynamicPolicy(const net::Network &net, const dnn::CudnnSim &cudnn,
-                  gpu::GpuSpec spec, ExecutorConfig exec_config = {},
-                  bool contention = true);
+    /** @param exec executor knobs used in the trial iterations */
+    explicit DynamicPlanner(ExecutorConfig exec = {});
 
-    /** Run the profiling passes and derive the execution plan. */
-    DynamicResult derive();
+    std::string name() const override { return "vDNN_dyn"; }
+
+    /**
+     * Run the profiling passes and derive the execution plan. The
+     * returned plan carries the full trial history; on an untrainable
+     * network feasible is false and failReason says why.
+     */
+    MemoryPlan plan(const net::Network &net,
+                    const PlannerContext &ctx) override;
+
+    /**
+     * Admission floor: the least-memory configuration vDNN_dyn falls
+     * back to under pressure (vDNN_all, memory-optimal algorithms),
+     * produced without running any trials.
+     */
+    MemoryPlan admissionPlan(const net::Network &net,
+                             const PlannerContext &ctx) override;
 
     /** Maximum trial iterations in the greedy downgrade loop. */
     static constexpr int kMaxGreedyTrials = 256;
 
   private:
-    TrialRecord trial(const Plan &plan, const std::string &what,
-                      IterationResult *detail = nullptr);
-    Plan noOffloadPlan(AlgoMode mode) const;
-    bool greedy(TransferPolicy policy, DynamicResult &result);
-
-    const net::Network &net;
-    const dnn::CudnnSim &cudnn;
-    gpu::GpuSpec gpu;
     ExecutorConfig execCfg;
-    bool contention;
 };
 
 } // namespace vdnn::core

@@ -13,15 +13,16 @@ using gpu::CopyDir;
 
 Executor::Executor(const net::Network &net_, const dnn::CudnnSim &cudnn_,
                    gpu::Runtime &runtime, MemoryManager &mm_,
-                   const Plan &plan, ExecutorConfig config)
+                   const MemoryPlan &plan, ExecutorConfig config)
     : net(net_), cudnn(cudnn_), rt(runtime), mm(mm_), execPlan(plan),
       cfg(config), stats(net_, cudnn_)
 {
     VDNN_ASSERT(net.finalized(), "network must be finalized");
+    VDNN_ASSERT(execPlan.feasible, "cannot execute an infeasible plan");
     VDNN_ASSERT(execPlan.algos.size() == net.numLayers(),
                 "plan algo assignment size mismatch");
-    VDNN_ASSERT(execPlan.offloadBuffer.size() == net.numBuffers(),
-                "plan offload vector size mismatch");
+    VDNN_ASSERT(execPlan.buffers.size() == net.numBuffers(),
+                "plan directive vector size mismatch");
     streamCompute = rt.createStream("stream_compute");
     streamMemory = rt.createStream("stream_memory");
 
@@ -74,7 +75,7 @@ Executor::setup()
     ok = ok && allocPersistent(max_dw_classifier, "dW:classifier", false);
 
     staticBuffers.assign(net.numBuffers(), false);
-    if (isBaseline()) {
+    if (staticAlloc()) {
         ok = ok && setupBaseline();
     } else {
         // The classifier tail is executed by unmodified cuBLAS code
@@ -281,12 +282,13 @@ Executor::ensureResident(net::BufferId b, net::LayerId curr,
             }
         }
         TimeNs t0 = rt.now();
-        rt.memcpyAsync(streamMemory, net.buffer(b).bytes(),
-                       CopyDir::HostToDevice,
+        Bytes dma = execPlan.dmaBytes(b, net.buffer(b).bytes());
+        rt.memcpyAsync(streamMemory, dma, CopyDir::HostToDevice,
                        strFormat("fetch:%d", b));
         rt.synchronize(streamMemory);
         mm.finishPrefetch(b);
         result.transferStallTime += rt.now() - t0;
+        result.pcieBytes += dma;
         ++result.onDemandFetches;
         if (prefetchState)
             prefetchState->prefetched[std::size_t(b)] = true;
@@ -408,12 +410,12 @@ Executor::forwardLayer(net::LayerId id, IterationResult &result)
     // (the refcount rule of Fig. 3), overlapped with this layer's own
     // forward computation on stream_memory.
     std::vector<net::BufferId> offloading;
-    if (!isBaseline()) {
+    if (!staticAlloc()) {
         for (net::LayerId in_id : n.inputs) {
             net::BufferId b = in_id == net::kInputLayer
                                   ? net.inputBuffer()
                                   : net.node(in_id).yBuffer;
-            if (!execPlan.offloadBuffer[std::size_t(b)])
+            if (!execPlan.offloads(b))
                 continue;
             if (net.buffer(b).lastFwdReader != id)
                 continue;
@@ -426,13 +428,14 @@ Executor::forwardLayer(net::LayerId id, IterationResult &result)
                      b);
                 continue;
             }
-            rt.memcpyAsync(streamMemory, net.buffer(b).bytes(),
-                           CopyDir::DeviceToHost,
+            Bytes dma = execPlan.dmaBytes(b, net.buffer(b).bytes());
+            rt.memcpyAsync(streamMemory, dma, CopyDir::DeviceToHost,
                            strFormat("offload:%d", b));
             offloading.push_back(b);
             prefetchState->offloaded[std::size_t(b)] = true;
             ++result.offloads;
             result.offloadedBytes += net.buffer(b).bytes();
+            result.pcieBytes += dma;
         }
     }
 
@@ -590,9 +593,10 @@ Executor::backwardLayer(net::LayerId id, IterationResult &result)
     // it falls back to a later on-demand fetch instead of failing the
     // iteration.
     std::vector<net::BufferId> prefetching;
-    if (!isBaseline() && cfg.prefetchEnabled) {
-        PrefetchCandidate cand = findPrefetchLayer(
-            net, id, *prefetchState, cfg.prefetchWindowBounded);
+    if (!staticAlloc() && cfg.prefetchEnabled) {
+        PrefetchCandidate cand =
+            findPrefetchLayer(net, id, *prefetchState,
+                              cfg.prefetchWindowBounded, &execPlan);
         for (net::BufferId b : cand.buffers) {
             if (mm.residence(b) != Residence::Host) {
                 continue; // already fetched on demand earlier
@@ -602,11 +606,12 @@ Executor::backwardLayer(net::LayerId id, IterationResult &result)
                 prefetchState->prefetched[std::size_t(b)] = false;
                 continue;
             }
-            rt.memcpyAsync(streamMemory, net.buffer(b).bytes(),
-                           CopyDir::HostToDevice,
+            Bytes dma = execPlan.dmaBytes(b, net.buffer(b).bytes());
+            rt.memcpyAsync(streamMemory, dma, CopyDir::HostToDevice,
                            strFormat("prefetch:%d", b));
             prefetching.push_back(b);
             ++result.prefetches;
+            result.pcieBytes += dma;
         }
     }
 

@@ -9,12 +9,13 @@
  *  - stream_memory performs offload (D2H) and prefetch (H2D) DMAs.
  *
  * Forward, per layer: allocate Y and workspace from the cnmem pool,
- * launch the kernel; if the policy offloads the layer's input feature
- * maps and this layer is their last consumer (refcount rule, Fig. 3),
- * launch the offload concurrently and synchronize both streams at the
- * layer boundary, then release the device copy. Workspace is released
- * after the layer completes; buffers with no backward reuse are
- * aggressively released.
+ * launch the kernel; if the plan's directive offloads the layer's
+ * input feature maps and this layer is their last consumer (refcount
+ * rule, Fig. 3), launch the offload concurrently and synchronize both
+ * streams at the layer boundary, then release the device copy.
+ * Compressed directives shrink the bytes the DMA moves. Workspace is
+ * released after the layer completes; buffers with no backward reuse
+ * are aggressively released.
  *
  * Backward, per layer (reverse order): findPrefetchLayer (Fig. 10)
  * launches an overlapped prefetch; missing inputs are fetched on demand
@@ -22,15 +23,17 @@
  * allocated on demand and released as soon as their consumer finishes;
  * Y/dY are released once the layer's backward completes (Fig. 8).
  *
- * The Baseline policy instead allocates the whole network statically at
- * setup (Section II-C) and performs no memory traffic.
+ * A static-allocation plan (BaselinePlanner) instead allocates the
+ * whole network at setup (Section II-C) and performs no memory
+ * traffic. The executor consumes only the MemoryPlan's per-buffer
+ * directives — it never consults a policy enum.
  */
 
 #ifndef VDNN_CORE_EXECUTOR_HH
 #define VDNN_CORE_EXECUTOR_HH
 
 #include "core/memory_manager.hh"
-#include "core/policy.hh"
+#include "core/planner.hh"
 #include "core/prefetch.hh"
 #include "dnn/cudnn_sim.hh"
 #include "gpu/runtime.hh"
@@ -110,6 +113,12 @@ struct IterationResult
     TimeNs transferStallTime = 0;
 
     Bytes offloadedBytes = 0;
+    /**
+     * Bytes that actually crossed PCIe (offloads + prefetches +
+     * on-demand fetches). Equals the raw traffic unless the plan
+     * routes buffers through the compressing DMA engine.
+     */
+    Bytes pcieBytes = 0;
     int offloads = 0;
     int prefetches = 0;
     int onDemandFetches = 0;
@@ -123,12 +132,12 @@ class Executor
 {
   public:
     Executor(const net::Network &net, const dnn::CudnnSim &cudnn,
-             gpu::Runtime &runtime, MemoryManager &mm, const Plan &plan,
-             ExecutorConfig config = {});
+             gpu::Runtime &runtime, MemoryManager &mm,
+             const MemoryPlan &plan, ExecutorConfig config = {});
 
     /**
      * Allocate the persistent state: weights, the shared dW buffer, the
-     * classifier block, and — for the Baseline policy — the full
+     * classifier block, and — for static-allocation plans — the full
      * network-wide allocation (all feature maps, reused gradient
      * buffers, shared max workspace).
      * @return false when the pool cannot hold it (untrainable).
@@ -144,7 +153,7 @@ class Executor
     /** Persistent footprint allocated by setup(). */
     Bytes persistentBytes() const { return persistentTotal; }
 
-    const Plan &plan() const { return execPlan; }
+    const MemoryPlan &plan() const { return execPlan; }
 
   private:
     struct TaggedAlloc
@@ -187,16 +196,14 @@ class Executor
                         FailKind kind = FailKind::None,
                         net::LayerId layer = net::kInputLayer);
 
-    bool isBaseline() const
-    {
-        return execPlan.policy == TransferPolicy::Baseline;
-    }
+    /** Network-wide static allocation: no directives are executed. */
+    bool staticAlloc() const { return execPlan.staticAllocation; }
 
     const net::Network &net;
     const dnn::CudnnSim &cudnn;
     gpu::Runtime &rt;
     MemoryManager &mm;
-    Plan execPlan;
+    MemoryPlan execPlan;
     ExecutorConfig cfg;
     net::NetworkStats stats;
 

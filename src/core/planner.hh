@@ -1,0 +1,348 @@
+/**
+ * @file
+ * The memory-planning API: a declarative per-buffer plan IR and the
+ * pluggable Planner interface that produces it.
+ *
+ * vDNN's core contribution (Section III-C) is a *per-buffer* placement
+ * decision; this header models it directly instead of through a closed
+ * policy enum:
+ *
+ *  - BufferDirective: what happens to one feature-map buffer between
+ *    its forward definition and backward reuse — keep it device
+ *    resident, or offload it to pinned host memory (optionally through
+ *    a compressing DMA engine that shrinks the PCIe traffic), plus a
+ *    prefetch-priority hint consulted by the Fig. 10 search.
+ *  - MemoryPlan: the fully resolved execution plan the Executor
+ *    consumes — one directive per buffer, one convolution algorithm
+ *    per layer, and the provenance of how the plan was derived.
+ *  - Planner: plan(network, context) -> MemoryPlan. PlannerContext
+ *    carries the capacity the plan may actually assume: the whole
+ *    device in exclusive mode, or the tenant's current free share of
+ *    the communal pool in multi-tenant serving (src/serve/).
+ *
+ * Concrete planners:
+ *  - BaselinePlanner:        network-wide static allocation, no
+ *                            offloading (Section II-C).
+ *  - OffloadAllPlanner:      vDNN_all — offload every eligible buffer.
+ *  - OffloadConvPlanner:     vDNN_conv — offload only the inputs of
+ *                            CONV layers.
+ *  - CompressedOffloadPlanner: vDNN_all through a Compressing DMA
+ *                            Engine (Rhu et al., 2017): ReLU activation
+ *                            sparsity shrinks offload/prefetch traffic.
+ *  - DynamicPlanner:         vDNN_dyn profiling passes (declared in
+ *                            core/dynamic_policy.hh; it needs the
+ *                            Executor to run trial iterations).
+ *
+ * The legacy TransferPolicy/AlgoMode enum surface lives on as a thin
+ * deprecated shim in core/policy.hh (makeStaticPlan, plannerForPolicy).
+ */
+
+#ifndef VDNN_CORE_PLANNER_HH
+#define VDNN_CORE_PLANNER_HH
+
+#include "common/types.hh"
+#include "gpu/gpu_spec.hh"
+#include "net/network.hh"
+#include "net/network_stats.hh"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vdnn::core
+{
+
+/**
+ * Per-CONV-layer algorithm preference of the static planners. The plan
+ * IR itself always carries an explicit per-layer assignment (what the
+ * old AlgoMode::PerLayer denoted); this knob only selects the starting
+ * point.
+ */
+enum class AlgoPreference
+{
+    MemoryOptimal,      ///< IMPLICIT_GEMM everywhere (zero workspace)
+    PerformanceOptimal, ///< fastest algorithm regardless of workspace
+};
+
+/** Paper-style suffix: "(m)" / "(p)". */
+const char *algoPreferenceName(AlgoPreference pref);
+
+/** What to do with one feature-map buffer (the plan IR leaf). */
+struct BufferDirective
+{
+    enum class Action
+    {
+        KeepResident, ///< stays on the device until its last backward use
+        Offload,      ///< D2H after last forward read, H2D before backward
+    };
+
+    Action action = Action::KeepResident;
+
+    /**
+     * Offload only: route the transfer through the compressing DMA
+     * engine. The device copy and the pinned host staging buffer stay
+     * worst-case sized (the achieved ratio is data dependent); only
+     * the bytes crossing PCIe shrink.
+     */
+    bool compressed = false;
+
+    /**
+     * Fraction of the raw buffer bytes that actually crosses PCIe on
+     * offload and prefetch (1.0 = uncompressed). Meaningful only with
+     * compressed = true.
+     */
+    double dmaScale = 1.0;
+
+    /**
+     * Prefetch hint for the Fig. 10 search: when one candidate layer
+     * owns several offloaded buffers, higher priority is issued first;
+     * a negative priority excludes the buffer from overlapped
+     * prefetching entirely (it is fetched on demand).
+     */
+    int prefetchPriority = 0;
+
+    bool offloaded() const { return action == Action::Offload; }
+};
+
+/** One profiling pass of a trial-running planner and its outcome. */
+struct TrialRecord
+{
+    std::string description;
+    bool passed = false;
+    TimeNs makespan = 0;
+    std::string failReason;
+};
+
+/**
+ * A fully resolved execution plan: one directive per buffer, one
+ * algorithm per CONV layer. This is what the Executor consumes — it
+ * never consults a policy enum.
+ */
+struct MemoryPlan
+{
+    /**
+     * Baseline-style network-wide allocation (Section II-C): every
+     * buffer is materialized at setup and no memory traffic happens.
+     * When false, allocation is layer-wise and the directives govern
+     * offload/prefetch.
+     */
+    bool staticAllocation = false;
+
+    /**
+     * The planner found no trainable configuration (e.g. vDNN_dyn's
+     * trainability probe failed). provenance/failReason say why.
+     */
+    bool feasible = true;
+    std::string failReason;
+
+    /** Per-buffer directives, indexed by BufferId. */
+    std::vector<BufferDirective> buffers;
+    /** Per-layer algorithm, indexed by LayerId. */
+    net::AlgoAssignment algos;
+    /** Human-readable description of how the plan was derived. */
+    std::string provenance;
+    /** Profiling history (planners that run trial iterations). */
+    std::vector<TrialRecord> trials;
+
+    const BufferDirective &directive(net::BufferId b) const
+    {
+        return buffers[std::size_t(b)];
+    }
+
+    BufferDirective &directive(net::BufferId b)
+    {
+        return buffers[std::size_t(b)];
+    }
+
+    /** Does this plan offload @p b? (Never under staticAllocation.) */
+    bool offloads(net::BufferId b) const
+    {
+        return !staticAllocation && directive(b).offloaded();
+    }
+
+    /** Bytes actually crossing PCIe when moving @p raw bytes of @p b. */
+    Bytes dmaBytes(net::BufferId b, Bytes raw) const
+    {
+        const BufferDirective &d = directive(b);
+        if (!d.compressed)
+            return raw;
+        return Bytes(std::llround(double(raw) * d.dmaScale));
+    }
+
+    int offloadCount() const;
+
+    /** Sum of raw bytes of all offloaded buffers. */
+    Bytes offloadedBytes(const net::Network &net) const;
+
+    /** Sum of PCIe bytes one offload sweep moves (compression applied). */
+    Bytes offloadedDmaBytes(const net::Network &net) const;
+
+    /** Drop every Offload directive back to KeepResident. */
+    void clearOffloads();
+};
+
+/**
+ * What a Planner may assume about the device it plans for. The key
+ * field is the *available* capacity: an exclusive session plans
+ * against the whole device, while a tenant of the shared serving pool
+ * plans against its current free share — so vDNN_dyn's trial passes
+ * probe what the tenant can actually get, not the nameplate capacity.
+ */
+struct PlannerContext
+{
+    /** Device the plan targets (perf model, interconnect, capacity). */
+    gpu::GpuSpec gpu;
+
+    /**
+     * Device-pool bytes this plan may claim. 0 means the whole device
+     * (gpu.dramCapacity).
+     */
+    Bytes availableBytes = 0;
+
+    /** Model compute/DMA contention in trial iterations. */
+    bool contention = true;
+
+    Bytes capacity() const
+    {
+        return availableBytes > 0 ? availableBytes : gpu.dramCapacity;
+    }
+
+    /** Exclusive mode: the whole device is available. */
+    static PlannerContext exclusive(gpu::GpuSpec spec,
+                                    bool contention = true);
+
+    /** Shared mode: plan against a tenant's current free share. */
+    static PlannerContext shared(gpu::GpuSpec spec, Bytes free_share,
+                                 bool contention = true);
+};
+
+/**
+ * The pluggable planning interface. Implementations are stateless
+ * between plan() calls; a Session (or the serve-layer scheduler) calls
+ * plan() once per setup with a fresh context.
+ */
+class Planner
+{
+  public:
+    virtual ~Planner() = default;
+
+    /** Short label, e.g. "vDNN_all (m)" (report column headers). */
+    virtual std::string name() const = 0;
+
+    virtual MemoryPlan plan(const net::Network &net,
+                            const PlannerContext &ctx) = 0;
+
+    /**
+     * The most memory-conservative plan this planner may settle on —
+     * what admission control must budget for. Static planners return
+     * plan() itself; DynamicPlanner returns its memory floor (vDNN_all
+     * with memory-optimal algorithms) without running trials.
+     */
+    virtual MemoryPlan admissionPlan(const net::Network &net,
+                                     const PlannerContext &ctx)
+    {
+        return plan(net, ctx);
+    }
+};
+
+/**
+ * Is @p buffer eligible for offload at all (planner-independent)?
+ * Offload eligibility (Section III-A): the buffer must be reused
+ * during backward propagation, belong to the vDNN-managed (feature
+ * extraction) region, and have a last forward consumer to issue the
+ * offload (refcount rule).
+ */
+bool offloadEligible(const net::Network &net, net::BufferId buffer);
+
+// --- concrete planners -------------------------------------------------------
+
+/** No offloading; network-wide static allocation (Section II-C). */
+class BaselinePlanner : public Planner
+{
+  public:
+    explicit BaselinePlanner(
+        AlgoPreference pref = AlgoPreference::PerformanceOptimal);
+    std::string name() const override;
+    MemoryPlan plan(const net::Network &net,
+                    const PlannerContext &ctx) override;
+
+  private:
+    AlgoPreference pref;
+};
+
+/** vDNN_all: offload every eligible buffer. */
+class OffloadAllPlanner : public Planner
+{
+  public:
+    explicit OffloadAllPlanner(
+        AlgoPreference pref = AlgoPreference::MemoryOptimal);
+    std::string name() const override;
+    MemoryPlan plan(const net::Network &net,
+                    const PlannerContext &ctx) override;
+
+  private:
+    AlgoPreference pref;
+};
+
+/**
+ * vDNN_conv: offload only buffers whose last forward consumer is a
+ * CONV layer (only those offloads hide behind long CONV kernels).
+ */
+class OffloadConvPlanner : public Planner
+{
+  public:
+    explicit OffloadConvPlanner(
+        AlgoPreference pref = AlgoPreference::MemoryOptimal);
+    std::string name() const override;
+    MemoryPlan plan(const net::Network &net,
+                    const PlannerContext &ctx) override;
+
+  private:
+    AlgoPreference pref;
+};
+
+/**
+ * vDNN_all with a Compressing DMA Engine (Rhu et al., 2017): post-ReLU
+ * feature maps are mostly zero, and the zero fraction grows with layer
+ * depth, so a zero-value compressor between the device and the PCIe
+ * PHY shrinks the offload/prefetch traffic that Sections V-B/V-C show
+ * to be the bottleneck. Buffers never touched by a ReLU bypass the
+ * engine (dense data does not compress under ZVC).
+ *
+ * A scenario the old TransferPolicy enum could not express: the same
+ * offload *set* as vDNN_all with per-buffer DMA scaling.
+ */
+class CompressedOffloadPlanner : public Planner
+{
+  public:
+    /** Linear-in-depth activation-sparsity model. */
+    struct SparsityModel
+    {
+        /** Zero fraction of post-ReLU maps at the first managed layer. */
+        double shallowSparsity = 0.45;
+        /** Zero fraction at the deepest managed layer. */
+        double deepSparsity = 0.85;
+        /** ZVC mask/metadata bytes as a fraction of the raw buffer. */
+        double metadataOverhead = 0.05;
+    };
+
+    explicit CompressedOffloadPlanner(
+        AlgoPreference pref = AlgoPreference::MemoryOptimal);
+    CompressedOffloadPlanner(AlgoPreference pref, SparsityModel model);
+    std::string name() const override;
+    MemoryPlan plan(const net::Network &net,
+                    const PlannerContext &ctx) override;
+
+    /** PCIe-byte fraction for a post-ReLU buffer produced at
+     *  @p depth_frac (0 = shallowest, 1 = deepest managed layer). */
+    double dmaScaleAtDepth(double depth_frac) const;
+
+  private:
+    AlgoPreference pref;
+    SparsityModel model;
+};
+
+} // namespace vdnn::core
+
+#endif // VDNN_CORE_PLANNER_HH

@@ -1,6 +1,7 @@
 #include "core/policy.hh"
 
 #include "common/logging.hh"
+#include "core/dynamic_policy.hh"
 
 namespace vdnn::core
 {
@@ -35,56 +36,56 @@ algoModeName(AlgoMode m)
     panic("unknown algo mode %d", int(m));
 }
 
-bool
-offloadEligible(const net::Network &net, net::BufferId buffer)
+namespace
 {
-    const net::Buffer &b = net.buffer(buffer);
-    // Classifier buffers are outside the managed pool; buffers with no
-    // backward reuse are simply released, not offloaded; buffers nobody
-    // reads (terminal outputs) have no last consumer to offload them.
-    return !b.classifier && !b.bwdUsers.empty() && !b.readers.empty();
+
+AlgoPreference
+preferenceFor(AlgoMode mode)
+{
+    VDNN_ASSERT(mode != AlgoMode::PerLayer,
+                "per-layer algo assignments are produced by "
+                "DynamicPlanner, not a static planner");
+    return mode == AlgoMode::MemoryOptimal
+               ? AlgoPreference::MemoryOptimal
+               : AlgoPreference::PerformanceOptimal;
 }
 
-Plan
+} // namespace
+
+std::unique_ptr<Planner>
+plannerForPolicy(TransferPolicy policy, AlgoMode mode,
+                 const ExecutorConfig &exec)
+{
+    if (policy == TransferPolicy::Dynamic)
+        return std::make_unique<DynamicPlanner>(exec);
+    AlgoPreference pref = preferenceFor(mode);
+    switch (policy) {
+      case TransferPolicy::Baseline:
+        return std::make_unique<BaselinePlanner>(pref);
+      case TransferPolicy::OffloadAll:
+        return std::make_unique<OffloadAllPlanner>(pref);
+      case TransferPolicy::OffloadConv:
+        return std::make_unique<OffloadConvPlanner>(pref);
+      case TransferPolicy::Dynamic:
+        break;
+    }
+    panic("unknown policy %d", int(policy));
+}
+
+std::unique_ptr<Planner>
+plannerForPolicy(TransferPolicy policy, AlgoMode mode)
+{
+    return plannerForPolicy(policy, mode, ExecutorConfig{});
+}
+
+MemoryPlan
 makeStaticPlan(const net::Network &net, const dnn::CudnnSim &cudnn,
                TransferPolicy policy, AlgoMode mode)
 {
     VDNN_ASSERT(policy != TransferPolicy::Dynamic,
-                "dynamic plans are produced by DynamicPolicy");
-    VDNN_ASSERT(mode != AlgoMode::PerLayer,
-                "per-layer algo assignments are produced by DynamicPolicy");
-
-    Plan plan;
-    plan.policy = policy;
-    plan.algoMode = mode;
-    plan.algos = mode == AlgoMode::MemoryOptimal
-                     ? net::memoryOptimalAlgos(net)
-                     : net::performanceOptimalAlgos(net, cudnn);
-    plan.offloadBuffer.assign(net.numBuffers(), false);
-    plan.provenance = strFormat("static %s %s", transferPolicyName(policy),
-                                algoModeName(mode));
-
-    if (policy == TransferPolicy::Baseline)
-        return plan;
-
-    for (net::BufferId b = 0; b < net::BufferId(net.numBuffers()); ++b) {
-        if (!offloadEligible(net, b))
-            continue;
-        if (policy == TransferPolicy::OffloadAll) {
-            plan.offloadBuffer[std::size_t(b)] = true;
-        } else if (policy == TransferPolicy::OffloadConv) {
-            // vDNN_conv: offload only the Xs of CONV layers, i.e.
-            // buffers whose last forward consumer is a CONV layer (only
-            // that consumer may issue the offload, and only CONV
-            // kernels are long enough to hide it).
-            net::LayerId last = net.buffer(b).lastFwdReader;
-            if (last != net::kInputLayer &&
-                net.node(last).spec.kind == dnn::LayerKind::Conv) {
-                plan.offloadBuffer[std::size_t(b)] = true;
-            }
-        }
-    }
-    return plan;
+                "dynamic plans are produced by DynamicPlanner");
+    PlannerContext ctx = PlannerContext::exclusive(cudnn.spec());
+    return plannerForPolicy(policy, mode)->plan(net, ctx);
 }
 
 } // namespace vdnn::core

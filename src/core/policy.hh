@@ -1,34 +1,32 @@
 /**
  * @file
- * vDNN memory-transfer and algorithm policies (Section III-C).
+ * DEPRECATED policy-enum shim over the Planner API (core/planner.hh).
  *
- * Transfer policies decide which layers offload their input feature
- * maps to pinned host memory:
- *  - Baseline:    no offloading; network-wide static allocation.
- *  - OffloadAll:  vDNN_all — every (managed) layer offloads its X.
- *  - OffloadConv: vDNN_conv — only CONV layers offload their X.
- *  - Dynamic:     vDNN_dyn — offload set and per-layer algorithms are
- *                 chosen at runtime by profiling passes.
- *
- * Algorithm modes pick the convolution algorithm per CONV layer:
- *  - MemoryOptimal (m): IMPLICIT_GEMM everywhere (zero workspace);
- *  - PerformanceOptimal (p): fastest algorithm regardless of workspace;
- *  - PerLayer: an explicit per-layer assignment (used by vDNN_dyn).
+ * The closed TransferPolicy/AlgoMode enums were the original way to
+ * pick a vDNN configuration (Section III-C). They survive only as a
+ * migration surface: `plannerForPolicy` maps an enum pair onto the
+ * equivalent Planner, and `makeStaticPlan` resolves a static policy
+ * directly into a MemoryPlan. New code should construct planners
+ * (BaselinePlanner, OffloadAllPlanner, OffloadConvPlanner,
+ * DynamicPlanner, CompressedOffloadPlanner, or your own) and hand them
+ * to SessionConfig::planner / JobSpec::planner.
  */
 
 #ifndef VDNN_CORE_POLICY_HH
 #define VDNN_CORE_POLICY_HH
 
+#include "core/planner.hh"
 #include "dnn/cudnn_sim.hh"
 #include "net/network.hh"
-#include "net/network_stats.hh"
 
-#include <string>
-#include <vector>
+#include <memory>
 
 namespace vdnn::core
 {
 
+struct ExecutorConfig;
+
+/** DEPRECATED: use a concrete Planner instead. */
 enum class TransferPolicy
 {
     Baseline,
@@ -37,6 +35,7 @@ enum class TransferPolicy
     Dynamic,
 };
 
+/** DEPRECATED: use AlgoPreference; the plan IR is always per layer. */
 enum class AlgoMode
 {
     MemoryOptimal,
@@ -47,38 +46,32 @@ enum class AlgoMode
 const char *transferPolicyName(TransferPolicy p);
 const char *algoModeName(AlgoMode m);
 
-/**
- * A fully resolved execution plan: which buffers offload and which
- * algorithm each CONV layer runs. Static policies resolve directly;
- * vDNN_dyn produces one through its profiling passes.
- */
-struct Plan
-{
-    TransferPolicy policy = TransferPolicy::Baseline;
-    AlgoMode algoMode = AlgoMode::MemoryOptimal;
-    /** Per-buffer offload decision, indexed by BufferId. */
-    std::vector<bool> offloadBuffer;
-    /** Per-layer algorithm, indexed by LayerId. */
-    net::AlgoAssignment algos;
-    /** Human-readable description of how the plan was derived. */
-    std::string provenance;
-};
+/** DEPRECATED alias: the boolean offload Plan became the MemoryPlan IR. */
+using Plan = MemoryPlan;
 
 /**
- * Resolve a static policy into a Plan.
- *
- * Offload eligibility (Section III-A): a buffer may be offloaded only
- * if it is reused during backward propagation, it belongs to the
- * vDNN-managed (feature extraction) region, and the offload is issued
- * by its last forward consumer (refcount rule). OffloadAll offloads
- * every eligible buffer; OffloadConv only those whose last consumer is
- * a CONV layer (those offloads hide behind long CONV kernels).
+ * DEPRECATED enum -> Planner factory. AlgoMode::PerLayer has no static
+ * planner (per-layer assignments are derived by DynamicPlanner) and
+ * is rejected; the mode is ignored for TransferPolicy::Dynamic, which
+ * always derives its own algorithms.
+ * @param exec executor knobs forwarded to DynamicPlanner's trial runs
  */
-Plan makeStaticPlan(const net::Network &net, const dnn::CudnnSim &cudnn,
-                    TransferPolicy policy, AlgoMode mode);
+std::unique_ptr<Planner> plannerForPolicy(TransferPolicy policy,
+                                          AlgoMode mode,
+                                          const ExecutorConfig &exec);
 
-/** Is @p buffer eligible for offload at all (policy-independent)? */
-bool offloadEligible(const net::Network &net, net::BufferId buffer);
+/** plannerForPolicy with default executor knobs. */
+std::unique_ptr<Planner> plannerForPolicy(TransferPolicy policy,
+                                          AlgoMode mode);
+
+/**
+ * DEPRECATED: resolve a static policy into a MemoryPlan by invoking
+ * the matching planner against the whole device @p cudnn models.
+ * Dynamic/PerLayer are rejected (DynamicPlanner derives those).
+ */
+MemoryPlan makeStaticPlan(const net::Network &net,
+                          const dnn::CudnnSim &cudnn,
+                          TransferPolicy policy, AlgoMode mode);
 
 } // namespace vdnn::core
 

@@ -9,7 +9,8 @@ namespace vdnn::core
 
 PrefetchCandidate
 findPrefetchLayer(const net::Network &net, net::LayerId curr_layer,
-                  PrefetchState &state, bool bounded)
+                  PrefetchState &state, bool bounded,
+                  const MemoryPlan *plan)
 {
     VDNN_ASSERT(state.offloaded.size() == net.numBuffers() &&
                     state.prefetched.size() == net.numBuffers(),
@@ -30,6 +31,8 @@ findPrefetchLayer(const net::Network &net, net::LayerId curr_layer,
             net::BufferId b = in_id == net::kInputLayer
                                   ? net.inputBuffer()
                                   : net.node(in_id).yBuffer;
+            if (plan && plan->directive(b).prefetchPriority < 0)
+                continue; // hinted out of overlapped prefetching
             if (state.offloaded[std::size_t(b)] &&
                 !state.prefetched[std::size_t(b)]) {
                 if (std::find(cand.buffers.begin(), cand.buffers.end(),
@@ -39,6 +42,16 @@ findPrefetchLayer(const net::Network &net, net::LayerId curr_layer,
             }
         }
         if (!cand.buffers.empty()) {
+            // Issue order within the hit layer: descending priority
+            // hint (stable, so equal priorities keep input order).
+            if (plan) {
+                std::stable_sort(
+                    cand.buffers.begin(), cand.buffers.end(),
+                    [&](net::BufferId a, net::BufferId b) {
+                        return plan->directive(a).prefetchPriority >
+                               plan->directive(b).prefetchPriority;
+                    });
+            }
             // Flag as being prefetched by the current layer (line 10).
             for (net::BufferId b : cand.buffers)
                 state.prefetched[std::size_t(b)] = true;

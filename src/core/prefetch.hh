@@ -19,6 +19,7 @@
 #ifndef VDNN_CORE_PREFETCH_HH
 #define VDNN_CORE_PREFETCH_HH
 
+#include "core/planner.hh"
 #include "net/network.hh"
 
 #include <vector>
@@ -58,11 +59,17 @@ struct PrefetchCandidate
  *                   marked prefetched
  * @param bounded    search window bounded by the next CONV layer
  *                   (false = unbounded search, for the ablation study)
+ * @param plan       optional plan whose per-buffer prefetch-priority
+ *                   hints are honoured: a hit layer's buffers are
+ *                   issued in descending priority, and buffers with a
+ *                   negative priority are never prefetched (they fall
+ *                   back to an on-demand fetch)
  */
 PrefetchCandidate findPrefetchLayer(const net::Network &net,
                                     net::LayerId curr_layer,
                                     PrefetchState &state,
-                                    bool bounded = true);
+                                    bool bounded = true,
+                                    const MemoryPlan *plan = nullptr);
 
 } // namespace vdnn::core
 

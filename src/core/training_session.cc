@@ -12,10 +12,17 @@ SessionConfig::SessionConfig() : gpu(gpu::titanXMaxwell()) {}
 std::string
 sessionConfigName(const SessionConfig &config)
 {
-    std::string name = transferPolicyName(config.policy);
-    if (config.policy != TransferPolicy::Dynamic) {
-        name += " ";
-        name += algoModeName(config.algoMode);
+    std::string name;
+    if (config.planner) {
+        name = config.planner->name();
+    } else {
+        name = transferPolicyName(config.policy);
+        // vDNN_dyn derives per-layer algorithms; algoMode is not part
+        // of its configuration and must not appear in the label.
+        if (config.policy != TransferPolicy::Dynamic) {
+            name += " ";
+            name += algoModeName(config.algoMode);
+        }
     }
     if (config.oracle)
         name += " [oracle]";
@@ -66,24 +73,42 @@ Session::resolvePlan()
 {
     if (planResolved)
         return true;
-    if (config.policy == TransferPolicy::Dynamic) {
-        // vDNN_dyn profiles on a private simulated device: the paper
-        // runs its profiling passes before real training starts, and
-        // their cost is negligible against the training run.
-        DynamicPolicy dyn(net, *cudnn, spec, config.exec,
-                          config.contention);
-        DynamicResult derived = dyn.derive();
-        trials = derived.trials;
-        execPlan = derived.plan;
-        if (!derived.trainable) {
-            failed = true;
-            failure = trials.empty() ? "untrainable"
-                                     : trials.front().failReason;
-            return false;
-        }
-    } else {
-        execPlan =
-            makeStaticPlan(net, *cudnn, config.policy, config.algoMode);
+
+    // The deprecated enum shim silently ignored algoMode for Dynamic
+    // sessions; reject the combination instead of surprising the user.
+    if (!config.planner && config.policy == TransferPolicy::Dynamic &&
+        config.algoMode != AlgoMode::PerformanceOptimal) {
+        failed = true;
+        failure =
+            "SessionConfig::algoMode is ignored by the Dynamic policy "
+            "(vDNN_dyn derives per-layer algorithms); leave it at the "
+            "default or construct a Planner explicitly";
+        return false;
+    }
+
+    std::shared_ptr<Planner> planner = config.planner;
+    if (!planner) {
+        planner = plannerForPolicy(config.policy, config.algoMode,
+                                   config.exec);
+    }
+    plannerLabel = planner->name();
+    if (config.oracle)
+        plannerLabel += " [oracle]";
+
+    // Exclusive sessions plan against the whole device; a tenant of a
+    // shared pool plans against its current free share, so trial-
+    // running planners (vDNN_dyn) probe what it can actually get.
+    PlannerContext ctx =
+        sharedMode ? PlannerContext::shared(spec, mm->pool().freeBytes(),
+                                            config.contention)
+                   : PlannerContext::exclusive(spec, config.contention);
+    execPlan = planner->plan(net, ctx);
+    trials = execPlan.trials;
+    if (!execPlan.feasible) {
+        failed = true;
+        failure = execPlan.failReason.empty() ? "untrainable"
+                                              : execPlan.failReason;
+        return false;
     }
     planResolved = true;
     return true;
@@ -154,7 +179,8 @@ Session::result() const
 {
     SessionResult r;
     r.network = net.name();
-    r.configName = sessionConfigName(config);
+    r.configName = plannerLabel.empty() ? sessionConfigName(config)
+                                        : plannerLabel;
     r.plan = execPlan;
     r.trials = trials;
 
@@ -173,6 +199,7 @@ Session::result() const
     r.layerTimings = lastIter.layers;
 
     r.offloadedBytesPerIter = lastIter.offloadedBytes;
+    r.pcieBytesPerIter = lastIter.pcieBytes;
     r.offloads = lastIter.offloads;
     r.prefetches = lastIter.prefetches;
     r.onDemandFetches = lastIter.onDemandFetches;

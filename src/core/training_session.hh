@@ -15,6 +15,7 @@
 
 #include "core/dynamic_policy.hh"
 #include "core/executor.hh"
+#include "core/planner.hh"
 #include "core/policy.hh"
 #include "gpu/gpu_spec.hh"
 #include "net/network.hh"
@@ -29,8 +30,22 @@ namespace vdnn::core
 
 struct SessionConfig
 {
+    /**
+     * The memory planner driving this session. When null, the
+     * deprecated policy/algoMode enum pair below is resolved through
+     * plannerForPolicy() instead.
+     */
+    std::shared_ptr<Planner> planner;
+
+    /** DEPRECATED: set `planner` instead. */
     TransferPolicy policy = TransferPolicy::Dynamic;
-    AlgoMode algoMode = AlgoMode::PerformanceOptimal; ///< static only
+    /**
+     * DEPRECATED: set `planner` instead. Static policies only —
+     * vDNN_dyn derives its own per-layer algorithms, so combining
+     * policy == Dynamic with a non-default algoMode is rejected by
+     * Session::setup().
+     */
+    AlgoMode algoMode = AlgoMode::PerformanceOptimal;
     gpu::GpuSpec gpu;
     /**
      * Oracular GPU: removes the memory capacity bottleneck (Section
@@ -54,7 +69,7 @@ struct SessionResult
     bool trainable = false;
     std::string failReason;
 
-    Plan plan;
+    MemoryPlan plan;
     std::vector<TrialRecord> trials; ///< vDNN_dyn profiling history
 
     // Performance (steady-state, last measured iteration).
@@ -72,6 +87,8 @@ struct SessionResult
 
     // Transfers.
     Bytes offloadedBytesPerIter = 0;
+    /** PCIe bytes actually moved (compression applied). */
+    Bytes pcieBytesPerIter = 0;
     Bytes hostPeakBytes = 0;
     int offloads = 0;
     int prefetches = 0;
@@ -148,7 +165,7 @@ class Session
     int iterationsDone() const { return itersDone; }
 
     Bytes persistentBytes() const;
-    const Plan &plan() const { return execPlan; }
+    const MemoryPlan &plan() const { return execPlan; }
     const std::string &failReason() const { return failure; }
 
     gpu::Runtime &runtime() { return *rt; }
@@ -170,8 +187,9 @@ class Session
     gpu::Runtime *rt = nullptr;
     bool sharedMode = false;
 
-    Plan execPlan;
+    MemoryPlan execPlan;
     std::vector<TrialRecord> trials;
+    std::string plannerLabel;
     std::unique_ptr<Executor> ex;
 
     bool planResolved = false;
@@ -185,7 +203,13 @@ class Session
 /** Run one complete experiment. */
 SessionResult runSession(const net::Network &net, SessionConfig config);
 
-/** Short label like "vDNN_all (m)" or "base (p, oracle)". */
+/**
+ * Short label like "vDNN_all (m)" or "base (p) [oracle]". Uses the
+ * planner's name when one is set; otherwise the deprecated enum pair.
+ * vDNN_dyn derives per-layer algorithms itself, so its label never
+ * carries an algoMode suffix (the field is ignored — and rejected by
+ * setup() when set to a non-default value).
+ */
 std::string sessionConfigName(const SessionConfig &config);
 
 } // namespace vdnn::core

@@ -35,22 +35,14 @@ inputBuffers(const net::Network &net, net::LayerId id)
 
 FootprintEstimate
 estimateFootprint(const net::Network &net, const dnn::CudnnSim &cudnn,
-                  TransferPolicy policy, AlgoMode mode)
+                  const core::MemoryPlan &plan)
 {
     VDNN_ASSERT(net.finalized(), "network must be finalized");
-
-    // Dynamic tenants are admitted at vDNN_dyn's guaranteed memory
-    // floor; the OOM-requeue path covers plans that grow beyond it.
-    if (policy == TransferPolicy::Dynamic) {
-        policy = TransferPolicy::OffloadAll;
-        mode = AlgoMode::MemoryOptimal;
-    }
+    VDNN_ASSERT(plan.buffers.size() == net.numBuffers() &&
+                    plan.algos.size() == net.numLayers(),
+                "plan does not match the network");
 
     net::NetworkStats stats(net, cudnn);
-    net::AlgoAssignment algos =
-        mode == AlgoMode::MemoryOptimal
-            ? net::memoryOptimalAlgos(net)
-            : net::performanceOptimalAlgos(net, cudnn);
 
     FootprintEstimate est;
 
@@ -73,7 +65,7 @@ estimateFootprint(const net::Network &net, const dnn::CudnnSim &cudnn,
     est.persistent += stats.peakGradientBytesScoped(
         net::NetworkStats::GradScope::Classifier);
 
-    if (policy == TransferPolicy::Baseline) {
+    if (plan.staticAllocation) {
         // Network-wide static allocation: every feature map, the reused
         // gradient peak and the shared max workspace are all persistent
         // (Baseline holds them even between iterations).
@@ -84,19 +76,17 @@ estimateFootprint(const net::Network &net, const dnn::CudnnSim &cudnn,
         }
         est.persistent += stats.peakGradientBytesScoped(
             net::NetworkStats::GradScope::Managed);
-        est.persistent += stats.maxWorkspaceBytes(algos, false);
+        est.persistent += stats.maxWorkspaceBytes(plan.algos, false);
         return est;
     }
 
-    core::Plan plan = makeStaticPlan(net, cudnn, policy, mode);
-
-    // Managed buffers the policy does *not* offload stay resident from
+    // Managed buffers the plan does *not* offload stay resident from
     // their forward definition to their last backward use; they are
     // part of every layer's instantaneous residency.
     Bytes resident = 0;
     for (net::BufferId b = 0; b < net::BufferId(net.numBuffers()); ++b) {
         const net::Buffer &buf = net.buffer(b);
-        if (!buf.classifier && !plan.offloadBuffer[std::size_t(b)] &&
+        if (!buf.classifier && !plan.offloads(b) &&
             !buf.bwdUsers.empty()) {
             resident += buf.bytes();
         }
@@ -142,6 +132,28 @@ estimateFootprint(const net::Network &net, const dnn::CudnnSim &cudnn,
 
     est.transient = resident + max_working;
     return est;
+}
+
+FootprintEstimate
+estimatePlannerFootprint(const net::Network &net,
+                         const dnn::CudnnSim &cudnn,
+                         core::Planner &planner,
+                         const core::PlannerContext &ctx)
+{
+    return estimateFootprint(net, cudnn,
+                             planner.admissionPlan(net, ctx));
+}
+
+FootprintEstimate
+estimateFootprint(const net::Network &net, const dnn::CudnnSim &cudnn,
+                  TransferPolicy policy, AlgoMode mode)
+{
+    // Dynamic maps to DynamicPlanner, whose admissionPlan() is the
+    // vDNN_dyn memory floor (vDNN_all with memory-optimal algorithms).
+    auto planner = core::plannerForPolicy(policy, mode);
+    return estimatePlannerFootprint(
+        net, cudnn, *planner,
+        core::PlannerContext::exclusive(cudnn.spec()));
 }
 
 AdmissionController::AdmissionController(Bytes capacity, double safety_)

@@ -33,6 +33,7 @@
 #ifndef VDNN_SERVE_ADMISSION_HH
 #define VDNN_SERVE_ADMISSION_HH
 
+#include "core/planner.hh"
 #include "core/policy.hh"
 #include "dnn/cudnn_sim.hh"
 #include "net/network.hh"
@@ -56,10 +57,25 @@ struct FootprintEstimate
 
 /**
  * Analytically estimate the device footprint of training @p net under
- * @p policy / @p mode. Dynamic jobs are estimated at their memory
- * floor (vDNN_all with memory-optimal algorithms) — the configuration
- * vDNN_dyn falls back to under pressure.
+ * a resolved MemoryPlan: static-allocation plans hold everything
+ * persistently; directive plans keep the non-offloaded reused buffers
+ * resident plus the largest per-layer working set.
  */
+FootprintEstimate estimateFootprint(const net::Network &net,
+                                    const dnn::CudnnSim &cudnn,
+                                    const core::MemoryPlan &plan);
+
+/**
+ * Estimate the footprint a planner must be budgeted for: its
+ * admissionPlan() (the most memory-conservative plan it may settle
+ * on — for DynamicPlanner the vDNN_all memory floor).
+ */
+FootprintEstimate estimatePlannerFootprint(const net::Network &net,
+                                           const dnn::CudnnSim &cudnn,
+                                           core::Planner &planner,
+                                           const core::PlannerContext &ctx);
+
+/** DEPRECATED enum shim over estimatePlannerFootprint. */
 FootprintEstimate estimateFootprint(const net::Network &net,
                                     const dnn::CudnnSim &cudnn,
                                     core::TransferPolicy policy,

@@ -42,7 +42,15 @@ struct JobSpec
 {
     std::string name;
     std::shared_ptr<const net::Network> network;
+    /**
+     * The memory planner this tenant trains under. When null, the
+     * deprecated policy/algoMode pair below is resolved through
+     * plannerForPolicy() at submission.
+     */
+    std::shared_ptr<core::Planner> planner;
+    /** DEPRECATED: set `planner` instead. */
     core::TransferPolicy policy = core::TransferPolicy::OffloadAll;
+    /** DEPRECATED: set `planner` instead. */
     core::AlgoMode algoMode = core::AlgoMode::MemoryOptimal;
     core::ExecutorConfig exec;
     /** Simulated time the job enters the system. */

@@ -52,6 +52,12 @@ Scheduler::submit(JobSpec spec)
     job->spec = std::move(spec);
     if (job->spec.name.empty())
         job->spec.name = strFormat("job%d", job->id);
+    // Resolve the deprecated enum pair into a planner once, here, so
+    // admission and session setup agree on the plan source.
+    if (!job->spec.planner) {
+        job->spec.planner = core::plannerForPolicy(
+            job->spec.policy, job->spec.algoMode, job->spec.exec);
+    }
     jobs.push_back(std::move(job));
     return jobs.back()->id;
 }
@@ -85,11 +91,16 @@ Scheduler::estimateFor(const Job &job)
 {
     auto it = estimates.find(job.id);
     if (it == estimates.end()) {
+        // Budget for the planner's most conservative plan, derived
+        // against the whole device (the reservation must hold however
+        // crowded the pool is when the job finally runs).
         it = estimates
                  .emplace(job.id,
-                          estimateFootprint(*job.spec.network, cudnn,
-                                            job.spec.policy,
-                                            job.spec.algoMode))
+                          estimatePlannerFootprint(
+                              *job.spec.network, cudnn,
+                              *job.spec.planner,
+                              core::PlannerContext::exclusive(
+                                  cfg.gpu, cfg.contention)))
                  .first;
     }
     return it->second;
@@ -99,8 +110,7 @@ bool
 Scheduler::tryAdmit(Job &job, const FootprintEstimate &est)
 {
     core::SessionConfig scfg;
-    scfg.policy = job.spec.policy;
-    scfg.algoMode = job.spec.algoMode;
+    scfg.planner = job.spec.planner;
     scfg.gpu = cfg.gpu;
     scfg.contention = cfg.contention;
     scfg.exec = job.spec.exec;
@@ -347,11 +357,7 @@ Scheduler::run()
         JobOutcome out;
         out.id = job->id;
         out.name = job->spec.name;
-        out.configName = core::transferPolicyName(job->spec.policy);
-        if (job->spec.policy != core::TransferPolicy::Dynamic) {
-            out.configName += " ";
-            out.configName += core::algoModeName(job->spec.algoMode);
-        }
+        out.configName = job->spec.planner->name();
         out.state = rec.state;
         out.arrival = job->spec.arrival;
         out.admitTime = rec.admitTime;

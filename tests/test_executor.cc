@@ -41,23 +41,24 @@ TEST(Policy, BaselinePlanOffloadsNothing)
 {
     auto network = net::buildVgg16(64);
     dnn::CudnnSim cudnn(gpu::titanXMaxwell());
-    Plan plan = makeStaticPlan(*network, cudnn, TransferPolicy::Baseline,
-                               AlgoMode::MemoryOptimal);
-    for (bool off : plan.offloadBuffer)
-        EXPECT_FALSE(off);
+    MemoryPlan plan = makeStaticPlan(*network, cudnn,
+                                     TransferPolicy::Baseline,
+                                     AlgoMode::MemoryOptimal);
+    EXPECT_TRUE(plan.staticAllocation);
+    EXPECT_EQ(plan.offloadCount(), 0);
 }
 
 TEST(Policy, OffloadAllMarksEveryEligibleBuffer)
 {
     auto network = net::buildVgg16(64);
     dnn::CudnnSim cudnn(gpu::titanXMaxwell());
-    Plan plan = makeStaticPlan(*network, cudnn,
-                               TransferPolicy::OffloadAll,
-                               AlgoMode::MemoryOptimal);
+    MemoryPlan plan = makeStaticPlan(*network, cudnn,
+                                     TransferPolicy::OffloadAll,
+                                     AlgoMode::MemoryOptimal);
     int offloaded = 0;
     for (net::BufferId b = 0; b < net::BufferId(network->numBuffers());
          ++b) {
-        if (plan.offloadBuffer[std::size_t(b)]) {
+        if (plan.offloads(b)) {
             ++offloaded;
             EXPECT_TRUE(offloadEligible(*network, b));
             EXPECT_FALSE(network->buffer(b).classifier);
@@ -71,15 +72,16 @@ TEST(Policy, OffloadConvIsSubsetEndingAtConvReaders)
 {
     auto network = net::buildVgg16(64);
     dnn::CudnnSim cudnn(gpu::titanXMaxwell());
-    Plan all = makeStaticPlan(*network, cudnn, TransferPolicy::OffloadAll,
-                              AlgoMode::MemoryOptimal);
-    Plan conv = makeStaticPlan(*network, cudnn,
-                               TransferPolicy::OffloadConv,
-                               AlgoMode::MemoryOptimal);
+    MemoryPlan all = makeStaticPlan(*network, cudnn,
+                                    TransferPolicy::OffloadAll,
+                                    AlgoMode::MemoryOptimal);
+    MemoryPlan conv = makeStaticPlan(*network, cudnn,
+                                     TransferPolicy::OffloadConv,
+                                     AlgoMode::MemoryOptimal);
     for (net::BufferId b = 0; b < net::BufferId(network->numBuffers());
          ++b) {
-        if (conv.offloadBuffer[std::size_t(b)]) {
-            EXPECT_TRUE(all.offloadBuffer[std::size_t(b)]);
+        if (conv.offloads(b)) {
+            EXPECT_TRUE(all.offloads(b));
             net::LayerId last = network->buffer(b).lastFwdReader;
             EXPECT_EQ(network->node(last).spec.kind,
                       dnn::LayerKind::Conv);
@@ -106,10 +108,26 @@ TEST(Executor, TinyCnnRunsUnderEveryPolicy)
     for (auto policy :
          {TransferPolicy::Baseline, TransferPolicy::OffloadAll,
           TransferPolicy::OffloadConv, TransferPolicy::Dynamic}) {
-        auto r = run(*network, policy, AlgoMode::MemoryOptimal);
+        // Dynamic derives per-layer algorithms; the mode knob only
+        // applies to static policies.
+        AlgoMode mode = policy == TransferPolicy::Dynamic
+                            ? AlgoMode::PerformanceOptimal
+                            : AlgoMode::MemoryOptimal;
+        auto r = run(*network, policy, mode);
         EXPECT_TRUE(r.trainable) << transferPolicyName(policy);
         EXPECT_GT(r.iterationTime, 0);
     }
+}
+
+TEST(Executor, DynamicRejectsConflictingAlgoMode)
+{
+    // algoMode used to be silently ignored for the Dynamic policy;
+    // the combination is now rejected at setup with a clear reason.
+    auto network = net::buildTinyCnn(8);
+    auto r = run(*network, TransferPolicy::Dynamic,
+                 AlgoMode::MemoryOptimal);
+    EXPECT_FALSE(r.trainable);
+    EXPECT_NE(r.failReason.find("algoMode"), std::string::npos);
 }
 
 TEST(Executor, BaselineUsageIsFlat)
@@ -138,18 +156,16 @@ TEST(Executor, OffloadAllMovesEveryEligibleBufferOnce)
 {
     auto network = net::buildVgg16(64);
     dnn::CudnnSim cudnn(gpu::titanXMaxwell());
-    Plan plan = makeStaticPlan(*network, cudnn,
-                               TransferPolicy::OffloadAll,
-                               AlgoMode::MemoryOptimal);
-    Bytes expected = 0;
-    for (net::BufferId b = 0; b < net::BufferId(network->numBuffers());
-         ++b) {
-        if (plan.offloadBuffer[std::size_t(b)])
-            expected += network->buffer(b).bytes();
-    }
+    MemoryPlan plan = makeStaticPlan(*network, cudnn,
+                                     TransferPolicy::OffloadAll,
+                                     AlgoMode::MemoryOptimal);
+    Bytes expected = plan.offloadedBytes(*network);
     auto r = run(*network, TransferPolicy::OffloadAll,
                  AlgoMode::MemoryOptimal);
     EXPECT_EQ(r.offloadedBytesPerIter, expected);
+    // No compression directives: PCIe traffic equals the raw bytes
+    // moved out and back (offloads + prefetches + fetches).
+    EXPECT_GE(r.pcieBytesPerIter, 2 * expected);
 }
 
 TEST(Executor, IterationsAreSteadyState)
@@ -285,55 +301,51 @@ TEST(Executor, ClassifierTimeIsPartOfMakespan)
               r.iterationTime - r.classifierTime);
 }
 
-// --- dynamic policy ------------------------------------------------------------------
+// --- dynamic planner -----------------------------------------------------------------
 
-TEST(DynamicPolicy, PicksNoOffloadWhenEverythingFits)
+TEST(DynamicPlannerTest, PicksNoOffloadWhenEverythingFits)
 {
     auto network = net::buildAlexNet(128);
-    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
-    DynamicPolicy dyn(*network, cudnn, gpu::titanXMaxwell());
-    auto result = dyn.derive();
-    EXPECT_TRUE(result.trainable);
+    DynamicPlanner dyn;
+    MemoryPlan plan = dyn.plan(
+        *network, PlannerContext::exclusive(gpu::titanXMaxwell()));
+    EXPECT_TRUE(plan.feasible);
     // Phase 2 wins: fastest algorithms, empty offload set.
-    for (bool off : result.plan.offloadBuffer)
-        EXPECT_FALSE(off);
-    EXPECT_GE(result.trials.size(), 2u);
-    EXPECT_TRUE(result.trials[0].passed); // vDNN_all (m) probe
-    EXPECT_TRUE(result.trials[1].passed); // no-offload (p)
+    EXPECT_EQ(plan.offloadCount(), 0);
+    EXPECT_GE(plan.trials.size(), 2u);
+    EXPECT_TRUE(plan.trials[0].passed); // vDNN_all (m) probe
+    EXPECT_TRUE(plan.trials[1].passed); // no-offload (p)
 }
 
-TEST(DynamicPolicy, FallsToOffloadWhenNoOffloadOverflows)
+TEST(DynamicPlannerTest, FallsToOffloadWhenNoOffloadOverflows)
 {
     auto network = net::buildVgg16(256);
-    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
-    DynamicPolicy dyn(*network, cudnn, gpu::titanXMaxwell());
-    auto result = dyn.derive();
-    EXPECT_TRUE(result.trainable);
-    int offloaded = 0;
-    for (bool off : result.plan.offloadBuffer)
-        offloaded += off ? 1 : 0;
-    EXPECT_GT(offloaded, 0);
-    EXPECT_FALSE(result.trials[1].passed); // no-offload (p) must fail
+    DynamicPlanner dyn;
+    MemoryPlan plan = dyn.plan(
+        *network, PlannerContext::exclusive(gpu::titanXMaxwell()));
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_GT(plan.offloadCount(), 0);
+    EXPECT_FALSE(plan.trials[1].passed); // no-offload (p) must fail
 }
 
-TEST(DynamicPolicy, GreedyDowngradesWorkspaceHogs)
+TEST(DynamicPlannerTest, GreedyDowngradesWorkspaceHogs)
 {
-    // On VGG-16 (256) the static (p) policies overflow on conv1_2's
+    // On VGG-16 (256) the static (p) planners overflow on conv1_2's
     // backward workspace; the greedy pass must downgrade it while
     // keeping faster algorithms elsewhere.
     auto network = net::buildVgg16(256);
     dnn::CudnnSim cudnn(gpu::titanXMaxwell());
-    DynamicPolicy dyn(*network, cudnn, gpu::titanXMaxwell());
-    auto result = dyn.derive();
-    ASSERT_TRUE(result.trainable);
+    DynamicPlanner dyn;
+    MemoryPlan plan = dyn.plan(
+        *network, PlannerContext::exclusive(gpu::titanXMaxwell()));
+    ASSERT_TRUE(plan.feasible);
     auto fastest = net::performanceOptimalAlgos(*network, cudnn);
     int downgraded = 0;
     int kept = 0;
     for (net::LayerId id : network->topoOrder()) {
         if (network->node(id).spec.kind != dnn::LayerKind::Conv)
             continue;
-        if (result.plan.algos[std::size_t(id)] ==
-            fastest[std::size_t(id)]) {
+        if (plan.algos[std::size_t(id)] == fastest[std::size_t(id)]) {
             ++kept;
         } else {
             ++downgraded;
@@ -343,26 +355,26 @@ TEST(DynamicPolicy, GreedyDowngradesWorkspaceHogs)
     EXPECT_GT(kept, downgraded); // local, not global, downgrade
 }
 
-TEST(DynamicPolicy, UntrainableOnAbsurdlySmallGpu)
+TEST(DynamicPlannerTest, UntrainableOnAbsurdlySmallGpu)
 {
     gpu::GpuSpec tiny = gpu::titanXMaxwell();
     tiny.dramCapacity = 64_MiB;
     auto network = net::buildVgg16(64);
-    dnn::CudnnSim cudnn(tiny);
-    DynamicPolicy dyn(*network, cudnn, tiny);
-    auto result = dyn.derive();
-    EXPECT_FALSE(result.trainable);
-    EXPECT_FALSE(result.trials.empty());
-    EXPECT_FALSE(result.trials[0].passed);
+    DynamicPlanner dyn;
+    MemoryPlan plan = dyn.plan(*network, PlannerContext::exclusive(tiny));
+    EXPECT_FALSE(plan.feasible);
+    EXPECT_FALSE(plan.failReason.empty());
+    EXPECT_FALSE(plan.trials.empty());
+    EXPECT_FALSE(plan.trials[0].passed);
 }
 
-TEST(DynamicPolicy, TrialsRecordMakespans)
+TEST(DynamicPlannerTest, TrialsRecordMakespans)
 {
     auto network = net::buildAlexNet(64);
-    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
-    DynamicPolicy dyn(*network, cudnn, gpu::titanXMaxwell());
-    auto result = dyn.derive();
-    for (const auto &trial : result.trials) {
+    DynamicPlanner dyn;
+    MemoryPlan plan = dyn.plan(
+        *network, PlannerContext::exclusive(gpu::titanXMaxwell()));
+    for (const auto &trial : plan.trials) {
         if (trial.passed) {
             EXPECT_GT(trial.makespan, 0);
         }

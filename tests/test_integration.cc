@@ -104,7 +104,10 @@ TEST_P(SuiteTest, AverageBelowMaxBelowCapacityWhenTrainable)
     for (auto policy :
          {TransferPolicy::OffloadAll, TransferPolicy::OffloadConv,
           TransferPolicy::Dynamic}) {
-        auto r = run(*n, policy, AlgoMode::MemoryOptimal);
+        AlgoMode mode = policy == TransferPolicy::Dynamic
+                            ? AlgoMode::PerformanceOptimal
+                            : AlgoMode::MemoryOptimal;
+        auto r = run(*n, policy, mode);
         if (!r.trainable)
             continue;
         EXPECT_LE(r.avgManagedUsage, r.maxManagedUsage);
@@ -155,13 +158,10 @@ TEST(Integration, OffloadVolumeMatchesStaticAnalysis)
     // offload-eligible buffer sizes chosen by the plan.
     auto n = net::buildGoogLeNet(64);
     dnn::CudnnSim cudnn(gpu::titanXMaxwell());
-    Plan plan = makeStaticPlan(*n, cudnn, TransferPolicy::OffloadConv,
-                               AlgoMode::MemoryOptimal);
-    Bytes expected = 0;
-    for (net::BufferId b = 0; b < net::BufferId(n->numBuffers()); ++b) {
-        if (plan.offloadBuffer[std::size_t(b)])
-            expected += n->buffer(b).bytes();
-    }
+    MemoryPlan plan = makeStaticPlan(*n, cudnn,
+                                     TransferPolicy::OffloadConv,
+                                     AlgoMode::MemoryOptimal);
+    Bytes expected = plan.offloadedBytes(*n);
     auto r = run(*n, TransferPolicy::OffloadConv,
                  AlgoMode::MemoryOptimal);
     EXPECT_EQ(r.offloadedBytesPerIter, expected);

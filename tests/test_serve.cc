@@ -171,16 +171,21 @@ TEST(Admission, FootprintEstimateShape)
 {
     dnn::CudnnSim cudnn(gpu::titanXMaxwell());
     auto vgg = net::buildVgg16(64);
+    core::PlannerContext ctx =
+        core::PlannerContext::exclusive(gpu::titanXMaxwell());
 
     FootprintEstimate base = estimateFootprint(
-        *vgg, cudnn, core::TransferPolicy::Baseline,
-        core::AlgoMode::MemoryOptimal);
+        *vgg, cudnn,
+        core::BaselinePlanner(core::AlgoPreference::MemoryOptimal)
+            .plan(*vgg, ctx));
     FootprintEstimate all = estimateFootprint(
-        *vgg, cudnn, core::TransferPolicy::OffloadAll,
-        core::AlgoMode::MemoryOptimal);
+        *vgg, cudnn,
+        core::OffloadAllPlanner(core::AlgoPreference::MemoryOptimal)
+            .plan(*vgg, ctx));
     FootprintEstimate conv = estimateFootprint(
-        *vgg, cudnn, core::TransferPolicy::OffloadConv,
-        core::AlgoMode::MemoryOptimal);
+        *vgg, cudnn,
+        core::OffloadConvPlanner(core::AlgoPreference::MemoryOptimal)
+            .plan(*vgg, ctx));
 
     // Baseline holds everything persistently; vDNN virtualizes the
     // feature maps away into a much smaller persistent footprint.
@@ -190,6 +195,30 @@ TEST(Admission, FootprintEstimateShape)
     EXPECT_LT(all.total(), base.total());
     // vDNN_conv keeps the non-CONV-consumed buffers resident.
     EXPECT_GE(conv.transient, all.transient);
+}
+
+TEST(Admission, EnumShimMatchesPlannerEstimates)
+{
+    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
+    auto vgg = net::buildVgg16(64);
+    core::PlannerContext ctx =
+        core::PlannerContext::exclusive(gpu::titanXMaxwell());
+
+    FootprintEstimate shim = estimateFootprint(
+        *vgg, cudnn, core::TransferPolicy::OffloadAll,
+        core::AlgoMode::MemoryOptimal);
+    core::OffloadAllPlanner planner(core::AlgoPreference::MemoryOptimal);
+    FootprintEstimate direct =
+        estimatePlannerFootprint(*vgg, cudnn, planner, ctx);
+    EXPECT_EQ(shim.persistent, direct.persistent);
+    EXPECT_EQ(shim.transient, direct.transient);
+
+    // Dynamic jobs are budgeted at the vDNN_dyn memory floor.
+    FootprintEstimate dyn = estimateFootprint(
+        *vgg, cudnn, core::TransferPolicy::Dynamic,
+        core::AlgoMode::PerformanceOptimal);
+    EXPECT_EQ(dyn.persistent, direct.persistent);
+    EXPECT_EQ(dyn.transient, direct.transient);
 }
 
 // --- scheduler ---------------------------------------------------------------
@@ -352,6 +381,23 @@ TEST(Scheduler, MaxJobsInFlightCapsTenancy)
     ServeReport rep = sched.run();
     EXPECT_EQ(rep.finishedCount(), 4);
     EXPECT_EQ(rep.peakJobsInFlight, 2);
+}
+
+TEST(Scheduler, PlannerJobSpecDrivesTheTenant)
+{
+    // A job submitted with an explicit Planner (no enum fields) runs
+    // under that planner and reports its name.
+    SchedulerConfig cfg;
+    Scheduler sched(cfg);
+    JobSpec spec;
+    spec.network = tinyNet();
+    spec.planner = std::make_shared<core::CompressedOffloadPlanner>();
+    spec.iterations = 2;
+    sched.submit(std::move(spec));
+    ServeReport rep = sched.run();
+    ASSERT_EQ(rep.finishedCount(), 1);
+    EXPECT_EQ(rep.jobs[0].configName, "vDNN_all+cDMA (m)");
+    EXPECT_GT(rep.jobs[0].offloadedBytes, 0);
 }
 
 TEST(Scheduler, ShortestRemainingFavorsShortJobs)
