@@ -30,8 +30,8 @@ core::SessionResult
 runVariant(const net::Network &network, bool prefetch, bool bounded)
 {
     core::SessionConfig cfg;
-    cfg.policy = core::TransferPolicy::OffloadAll;
-    cfg.algoMode = core::AlgoMode::MemoryOptimal;
+    cfg.planner =
+        offloadAllPlanner(core::AlgoPreference::MemoryOptimal);
     cfg.exec.prefetchEnabled = prefetch;
     cfg.exec.prefetchWindowBounded = bounded;
     return core::runSession(network, cfg);

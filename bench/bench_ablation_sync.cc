@@ -28,8 +28,8 @@ core::SessionResult
 runSync(const net::Network &network, bool sync_at_boundary)
 {
     core::SessionConfig cfg;
-    cfg.policy = core::TransferPolicy::OffloadAll;
-    cfg.algoMode = core::AlgoMode::MemoryOptimal;
+    cfg.planner =
+        offloadAllPlanner(core::AlgoPreference::MemoryOptimal);
     cfg.exec.syncAtLayerBoundary = sync_at_boundary;
     return core::runSession(network, cfg);
 }
@@ -38,8 +38,8 @@ core::SessionResult
 runContention(const net::Network &network, bool contention)
 {
     core::SessionConfig cfg;
-    cfg.policy = core::TransferPolicy::OffloadAll;
-    cfg.algoMode = core::AlgoMode::PerformanceOptimal;
+    cfg.planner =
+        offloadAllPlanner(core::AlgoPreference::PerformanceOptimal);
     cfg.contention = contention;
     return core::runSession(network, cfg);
 }

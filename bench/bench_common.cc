@@ -8,34 +8,53 @@
 namespace vdnn::bench
 {
 
-const std::vector<PolicyPoint> &
-figurePolicyGrid()
+using core::AlgoPreference;
+
+std::shared_ptr<core::Planner>
+baselinePlanner(AlgoPreference pref)
 {
-    using core::AlgoMode;
-    using core::TransferPolicy;
-    static const std::vector<PolicyPoint> grid = {
-        {TransferPolicy::OffloadAll, AlgoMode::MemoryOptimal,
-         "all (m)"},
-        {TransferPolicy::OffloadAll, AlgoMode::PerformanceOptimal,
-         "all (p)"},
-        {TransferPolicy::OffloadConv, AlgoMode::MemoryOptimal,
-         "conv (m)"},
-        {TransferPolicy::OffloadConv, AlgoMode::PerformanceOptimal,
-         "conv (p)"},
-        {TransferPolicy::Dynamic, AlgoMode::PerformanceOptimal, "dyn"},
-        {TransferPolicy::Baseline, AlgoMode::MemoryOptimal, "base (m)"},
-        {TransferPolicy::Baseline, AlgoMode::PerformanceOptimal,
-         "base (p)"},
-    };
-    return grid;
+    return std::make_shared<core::BaselinePlanner>(pref);
 }
 
-core::SessionResult
-runPoint(const net::Network &net, core::TransferPolicy policy,
-         core::AlgoMode mode, bool oracle)
+std::shared_ptr<core::Planner>
+offloadAllPlanner(AlgoPreference pref)
 {
-    return runPlanner(net, core::plannerForPolicy(policy, mode),
-                      oracle);
+    return std::make_shared<core::OffloadAllPlanner>(pref);
+}
+
+std::shared_ptr<core::Planner>
+offloadConvPlanner(AlgoPreference pref)
+{
+    return std::make_shared<core::OffloadConvPlanner>(pref);
+}
+
+std::shared_ptr<core::Planner>
+dynamicPlanner()
+{
+    return std::make_shared<core::DynamicPlanner>();
+}
+
+const std::vector<PlannerPoint> &
+figurePlannerGrid()
+{
+    static const std::vector<PlannerPoint> grid = {
+        {offloadAllPlanner(AlgoPreference::MemoryOptimal), "all (m)",
+         false, false, AlgoPreference::MemoryOptimal},
+        {offloadAllPlanner(AlgoPreference::PerformanceOptimal),
+         "all (p)", false, false, AlgoPreference::PerformanceOptimal},
+        {offloadConvPlanner(AlgoPreference::MemoryOptimal), "conv (m)",
+         false, false, AlgoPreference::MemoryOptimal},
+        {offloadConvPlanner(AlgoPreference::PerformanceOptimal),
+         "conv (p)", false, false, AlgoPreference::PerformanceOptimal},
+        {dynamicPlanner(), "dyn", false, true,
+         AlgoPreference::PerformanceOptimal},
+        {baselinePlanner(AlgoPreference::MemoryOptimal), "base (m)",
+         true, false, AlgoPreference::MemoryOptimal},
+        {baselinePlanner(AlgoPreference::PerformanceOptimal),
+         "base (p)", true, false,
+         AlgoPreference::PerformanceOptimal},
+    };
+    return grid;
 }
 
 core::SessionResult

@@ -8,6 +8,10 @@
  *   3. register google-benchmark entries that re-run representative
  *      simulations so the binary doubles as a perf benchmark of the
  *      simulator itself.
+ *
+ * All helpers speak the Planner API directly — the deprecated
+ * TransferPolicy/AlgoMode enum shim (core/policy.hh) is not referenced
+ * anywhere in bench/.
  */
 
 #ifndef VDNN_BENCH_COMMON_HH
@@ -15,6 +19,7 @@
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "core/dynamic_policy.hh"
 #include "core/planner.hh"
 #include "core/training_session.hh"
 #include "net/builders.hh"
@@ -25,30 +30,38 @@
 #include <benchmark/benchmark.h>
 
 #include <functional>
+#include <memory>
 #include <string>
 
 namespace vdnn::bench
 {
 
-/** The policy x algorithm grid of Figs. 11/12/14. */
-struct PolicyPoint
+/** One column of the Figs. 11/12/14 planner grid. */
+struct PlannerPoint
 {
-    core::TransferPolicy policy;
-    core::AlgoMode mode;
+    std::shared_ptr<core::Planner> planner;
     const char *label;
+    /** Baseline (no offloading) column — figures treat it as the
+     *  reference, not a measurement. */
+    bool isBaseline = false;
+    /** vDNN_dyn column (derives its own per-layer algorithms). */
+    bool isDynamic = false;
+    /** Algorithm preference of the static planners; meaningless for
+     *  the dynamic column. */
+    core::AlgoPreference pref = core::AlgoPreference::PerformanceOptimal;
 };
 
 /** all/conv x (m)/(p), dyn, base x (m)/(p) — the paper's column order. */
-const std::vector<PolicyPoint> &figurePolicyGrid();
+const std::vector<PlannerPoint> &figurePlannerGrid();
 
-/**
- * Run one (network, policy, mode) session on the default Titan X node.
- * Resolved through the Planner API (plannerForPolicy), so every figure
- * bench exercises the same path new planners use.
- */
-core::SessionResult runPoint(const net::Network &net,
-                             core::TransferPolicy policy,
-                             core::AlgoMode mode, bool oracle = false);
+// Shorthand planner factories for the paper's configurations.
+std::shared_ptr<core::Planner> baselinePlanner(
+    core::AlgoPreference pref = core::AlgoPreference::PerformanceOptimal);
+std::shared_ptr<core::Planner> offloadAllPlanner(
+    core::AlgoPreference pref = core::AlgoPreference::MemoryOptimal);
+std::shared_ptr<core::Planner> offloadConvPlanner(
+    core::AlgoPreference pref = core::AlgoPreference::MemoryOptimal);
+std::shared_ptr<core::Planner> dynamicPlanner();
 
 /** Run one session under an explicit planner on the Titan X node. */
 core::SessionResult runPlanner(const net::Network &net,

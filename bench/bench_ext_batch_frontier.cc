@@ -23,16 +23,16 @@ using namespace vdnn::bench;
 namespace
 {
 
-/** Largest power-of-two batch (up to 1024) the config can train. */
+/** Largest power-of-two batch (up to 1024) the planner can train. */
 std::int64_t
 maxBatch(const std::function<std::unique_ptr<net::Network>(std::int64_t)>
              &build,
-         core::TransferPolicy policy, core::AlgoMode mode)
+         const std::function<std::shared_ptr<core::Planner>()> &planner)
 {
     std::int64_t best = 0;
     for (std::int64_t batch = 16; batch <= 1024; batch *= 2) {
         auto network = build(batch);
-        auto r = runPoint(*network, policy, mode);
+        auto r = runPlanner(*network, planner());
         if (!r.trainable)
             break;
         best = batch;
@@ -60,20 +60,21 @@ report()
 
     std::int64_t vgg_base_p = 0, vgg_dyn = 0;
     for (const Net &n : nets) {
-        using core::AlgoMode;
-        using core::TransferPolicy;
-        std::int64_t base_p =
-            maxBatch(n.build, TransferPolicy::Baseline,
-                     AlgoMode::PerformanceOptimal);
-        std::int64_t base_m = maxBatch(n.build, TransferPolicy::Baseline,
-                                       AlgoMode::MemoryOptimal);
-        std::int64_t conv_m =
-            maxBatch(n.build, TransferPolicy::OffloadConv,
-                     AlgoMode::MemoryOptimal);
-        std::int64_t all_m = maxBatch(n.build, TransferPolicy::OffloadAll,
-                                      AlgoMode::MemoryOptimal);
-        std::int64_t dyn = maxBatch(n.build, TransferPolicy::Dynamic,
-                                    AlgoMode::PerformanceOptimal);
+        using core::AlgoPreference;
+        std::int64_t base_p = maxBatch(n.build, [] {
+            return baselinePlanner(AlgoPreference::PerformanceOptimal);
+        });
+        std::int64_t base_m = maxBatch(n.build, [] {
+            return baselinePlanner(AlgoPreference::MemoryOptimal);
+        });
+        std::int64_t conv_m = maxBatch(n.build, [] {
+            return offloadConvPlanner(AlgoPreference::MemoryOptimal);
+        });
+        std::int64_t all_m = maxBatch(n.build, [] {
+            return offloadAllPlanner(AlgoPreference::MemoryOptimal);
+        });
+        std::int64_t dyn =
+            maxBatch(n.build, [] { return dynamicPlanner(); });
         if (std::string(n.name) == "VGG-16") {
             vgg_base_p = base_p;
             vgg_dyn = dyn;
@@ -104,9 +105,7 @@ main(int argc, char **argv)
     registerSim("ext/frontier_vgg16_dyn_256", [] {
         auto network = net::buildVgg16(256);
         benchmark::DoNotOptimize(
-            runPoint(*network, core::TransferPolicy::Dynamic,
-                     core::AlgoMode::PerformanceOptimal)
-                .trainable);
+            runPlanner(*network, dynamicPlanner()).trainable);
     });
     return benchMain(argc, argv, report);
 }

@@ -28,8 +28,8 @@ core::SessionResult
 runWithLink(const net::Network &network, double dma_bytes_per_sec)
 {
     core::SessionConfig cfg;
-    cfg.policy = core::TransferPolicy::OffloadAll;
-    cfg.algoMode = core::AlgoMode::PerformanceOptimal;
+    cfg.planner =
+        offloadAllPlanner(core::AlgoPreference::PerformanceOptimal);
     cfg.gpu.pcie.dmaBandwidth = dma_bytes_per_sec;
     cfg.gpu.pcie.rawBandwidth =
         std::max(cfg.gpu.pcie.rawBandwidth, dma_bytes_per_sec);

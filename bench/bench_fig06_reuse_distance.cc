@@ -38,9 +38,7 @@ void
 report()
 {
     auto vgg = net::buildVgg16(64);
-    auto vgg_result = runPoint(*vgg, core::TransferPolicy::Baseline,
-                               core::AlgoMode::PerformanceOptimal,
-                               /*oracle=*/true);
+    auto vgg_result = runPlanner(*vgg, baselinePlanner(core::AlgoPreference::PerformanceOptimal), /*oracle=*/true);
 
     stats::Table table("Figure 6: VGG-16 (64) per-layer latency and "
                        "reuse distance (baseline)");
@@ -68,9 +66,7 @@ report()
     table.print();
 
     auto alex = net::buildAlexNet(128);
-    auto alex_result = runPoint(*alex, core::TransferPolicy::Baseline,
-                                core::AlgoMode::PerformanceOptimal,
-                                /*oracle=*/true);
+    auto alex_result = runPlanner(*alex, baselinePlanner(core::AlgoPreference::PerformanceOptimal), /*oracle=*/true);
 
     stats::Comparison cmp("Figure 6");
     cmp.addBool("VGG-16 (64) first-layer reuse distance > 1200 ms", true,
@@ -95,8 +91,7 @@ main(int argc, char **argv)
     registerSim("fig06/baseline_iteration_vgg16_64", [] {
         auto network = net::buildVgg16(64);
         benchmark::DoNotOptimize(
-            runPoint(*network, core::TransferPolicy::Baseline,
-                     core::AlgoMode::PerformanceOptimal, true)
+            runPlanner(*network, baselinePlanner(core::AlgoPreference::PerformanceOptimal), true)
                 .iterationTime);
     });
     return benchMain(argc, argv, report);

@@ -50,22 +50,25 @@ report()
 
         // Baseline reference: the (p) baseline when it trains, else the
         // (m) baseline, else the oracular baseline (VGG-16 (256)).
-        auto base_p = runPoint(*network, core::TransferPolicy::Baseline,
-                               core::AlgoMode::PerformanceOptimal);
-        auto base_m = runPoint(*network, core::TransferPolicy::Baseline,
-                               core::AlgoMode::MemoryOptimal);
+        auto base_p = runPlanner(
+            *network,
+            baselinePlanner(core::AlgoPreference::PerformanceOptimal));
+        auto base_m = runPlanner(
+            *network,
+            baselinePlanner(core::AlgoPreference::MemoryOptimal));
         core::SessionResult base_ref =
             base_p.trainable
                 ? base_p
                 : (base_m.trainable
                        ? base_m
-                       : runPoint(*network,
-                                  core::TransferPolicy::Baseline,
-                                  core::AlgoMode::PerformanceOptimal,
-                                  /*oracle=*/true));
+                       : runPlanner(*network,
+                                    baselinePlanner(
+                                        core::AlgoPreference::
+                                            PerformanceOptimal),
+                                    /*oracle=*/true));
 
-        for (const auto &point : figurePolicyGrid()) {
-            auto r = runPoint(*network, point.policy, point.mode);
+        for (const auto &point : figurePlannerGrid()) {
+            auto r = runPlanner(*network, point.planner);
             Cell cell;
             cell.trainable = r.trainable;
             if (r.trainable) {
@@ -75,8 +78,7 @@ report()
             cells[{entry.name, point.label}] = cell;
 
             std::string savings = "-";
-            if (r.trainable &&
-                point.policy != core::TransferPolicy::Baseline) {
+            if (r.trainable && !point.isBaseline) {
                 double s = 1.0 - double(r.avgManagedUsage) /
                                      double(base_ref.avgManagedUsage);
                 double sm = 1.0 - double(r.maxManagedUsage) /
@@ -146,15 +148,16 @@ main(int argc, char **argv)
     registerSim("fig11/vdnn_all_m_vgg16_256", [] {
         auto network = net::buildVgg16(256);
         benchmark::DoNotOptimize(
-            runPoint(*network, core::TransferPolicy::OffloadAll,
-                     core::AlgoMode::MemoryOptimal)
+            runPlanner(*network,
+                       offloadAllPlanner(
+                           core::AlgoPreference::MemoryOptimal))
                 .avgManagedUsage);
     });
     registerSim("fig11/full_grid_alexnet", [] {
         auto network = net::buildAlexNet(128);
-        for (const auto &point : figurePolicyGrid()) {
+        for (const auto &point : figurePlannerGrid()) {
             benchmark::DoNotOptimize(
-                runPoint(*network, point.policy, point.mode).trainable);
+                runPlanner(*network, point.planner).trainable);
         }
     });
     return benchMain(argc, argv, report);

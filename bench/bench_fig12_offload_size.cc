@@ -29,10 +29,8 @@ report()
     bool conv_less = true;
     for (const auto &entry : net::conventionalSuite()) {
         auto network = entry.build();
-        auto all = runPoint(*network, core::TransferPolicy::OffloadAll,
-                            core::AlgoMode::MemoryOptimal);
-        auto conv = runPoint(*network, core::TransferPolicy::OffloadConv,
-                             core::AlgoMode::MemoryOptimal);
+        auto all = runPlanner(*network, offloadAllPlanner(core::AlgoPreference::MemoryOptimal));
+        auto conv = runPlanner(*network, offloadConvPlanner(core::AlgoPreference::MemoryOptimal));
         conv_less = conv_less && conv.offloadedBytesPerIter <=
                                      all.offloadedBytesPerIter;
         if (entry.name == "VGG-16 (256)")
@@ -62,8 +60,7 @@ main(int argc, char **argv)
         for (const auto &entry : net::conventionalSuite()) {
             auto network = entry.build();
             benchmark::DoNotOptimize(
-                runPoint(*network, core::TransferPolicy::OffloadAll,
-                         core::AlgoMode::MemoryOptimal)
+                runPlanner(*network, offloadAllPlanner(core::AlgoPreference::MemoryOptimal))
                     .offloadedBytesPerIter);
         }
     });

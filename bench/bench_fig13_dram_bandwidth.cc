@@ -28,8 +28,8 @@ report()
 {
     auto network = net::buildVgg16(256);
     core::SessionConfig cfg;
-    cfg.policy = core::TransferPolicy::Baseline;
-    cfg.algoMode = core::AlgoMode::PerformanceOptimal;
+    cfg.planner =
+        baselinePlanner(core::AlgoPreference::PerformanceOptimal);
     cfg.oracle = true;
     cfg.kernelLog = true;
     auto result = core::runSession(*network, cfg);
@@ -93,8 +93,8 @@ main(int argc, char **argv)
     registerSim("fig13/kernel_bandwidth_log_vgg16_256", [] {
         auto network = net::buildVgg16(256);
         core::SessionConfig cfg;
-        cfg.policy = core::TransferPolicy::Baseline;
-        cfg.algoMode = core::AlgoMode::PerformanceOptimal;
+        cfg.planner =
+            baselinePlanner(core::AlgoPreference::PerformanceOptimal);
         cfg.oracle = true;
         cfg.kernelLog = true;
         benchmark::DoNotOptimize(

@@ -38,34 +38,35 @@ report()
 
     for (const auto &entry : net::conventionalSuite()) {
         auto network = entry.build();
-        auto base_p = runPoint(*network, core::TransferPolicy::Baseline,
-                               core::AlgoMode::PerformanceOptimal);
+        auto base_p = runPlanner(
+            *network,
+            baselinePlanner(core::AlgoPreference::PerformanceOptimal));
         core::SessionResult oracle =
             base_p.trainable
                 ? base_p
-                : runPoint(*network, core::TransferPolicy::Baseline,
-                           core::AlgoMode::PerformanceOptimal,
-                           /*oracle=*/true);
+                : runPlanner(*network,
+                             baselinePlanner(
+                                 core::AlgoPreference::PerformanceOptimal),
+                             /*oracle=*/true);
         double base_ms = toMs(oracle.featureExtractionTime);
 
-        for (const auto &point : figurePolicyGrid()) {
-            if (point.policy == core::TransferPolicy::Baseline &&
-                point.mode == core::AlgoMode::PerformanceOptimal &&
+        for (const auto &point : figurePlannerGrid()) {
+            std::string label = point.label;
+            if (point.isBaseline &&
+                point.pref == core::AlgoPreference::PerformanceOptimal &&
                 !base_p.trainable) {
                 table.addRow({entry.name, "base (p) *", "*", "*", "*"});
                 continue;
             }
-            auto r = runPoint(*network, point.policy, point.mode);
+            auto r = runPlanner(*network, point.planner);
             if (!r.trainable) {
-                table.addRow({entry.name,
-                              std::string(point.label) + " *", "*", "*",
-                              "*"});
+                table.addRow({entry.name, label + " *", "*", "*", "*"});
                 continue;
             }
             double ms = toMs(r.featureExtractionTime);
             double norm = base_ms / ms;
             normalized[point.label].add(norm);
-            if (point.policy == core::TransferPolicy::Dynamic)
+            if (point.isDynamic)
                 dyn_worst = std::min(dyn_worst, norm);
             table.addRow({entry.name, point.label,
                           stats::Table::cell(ms, 1),
@@ -98,8 +99,7 @@ main(int argc, char **argv)
     registerSim("fig14/dyn_vgg16_256", [] {
         auto network = net::buildVgg16(256);
         benchmark::DoNotOptimize(
-            runPoint(*network, core::TransferPolicy::Dynamic,
-                     core::AlgoMode::PerformanceOptimal)
+            runPlanner(*network, dynamicPlanner())
                 .featureExtractionTime);
     });
     return benchMain(argc, argv, report);

@@ -56,13 +56,9 @@ report()
             base_first = base_gb;
         base_last = base_gb;
 
-        auto base = runPoint(*network, core::TransferPolicy::Baseline,
-                             core::AlgoMode::PerformanceOptimal);
-        auto dyn = runPoint(*network, core::TransferPolicy::Dynamic,
-                            core::AlgoMode::PerformanceOptimal);
-        auto oracle = runPoint(*network, core::TransferPolicy::Baseline,
-                               core::AlgoMode::PerformanceOptimal,
-                               /*oracle=*/true);
+        auto base = runPlanner(*network, baselinePlanner(core::AlgoPreference::PerformanceOptimal));
+        auto dyn = runPlanner(*network, dynamicPlanner());
+        auto oracle = runPlanner(*network, baselinePlanner(core::AlgoPreference::PerformanceOptimal), /*oracle=*/true);
         dyn_all_train = dyn_all_train && dyn.trainable;
         if (i > 0)
             base_deep_all_fail = base_deep_all_fail && !base.trainable;
@@ -119,8 +115,7 @@ main(int argc, char **argv)
     registerSim("fig15/dyn_vgg116_32", [] {
         auto network = net::buildVggDeep(116, 32);
         benchmark::DoNotOptimize(
-            runPoint(*network, core::TransferPolicy::Dynamic,
-                     core::AlgoMode::PerformanceOptimal)
+            runPlanner(*network, dynamicPlanner())
                 .maxTotalUsage);
     });
     return benchMain(argc, argv, report);

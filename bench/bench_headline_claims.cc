@@ -28,15 +28,11 @@ namespace
 double
 bestAvgSavings(const net::Network &network)
 {
-    auto base_p = runPoint(network, core::TransferPolicy::Baseline,
-                           core::AlgoMode::PerformanceOptimal);
+    auto base_p = runPlanner(network, baselinePlanner(core::AlgoPreference::PerformanceOptimal));
     auto base = base_p.trainable
                     ? base_p
-                    : runPoint(network, core::TransferPolicy::Baseline,
-                               core::AlgoMode::PerformanceOptimal,
-                               /*oracle=*/true);
-    auto all_m = runPoint(network, core::TransferPolicy::OffloadAll,
-                          core::AlgoMode::MemoryOptimal);
+                    : runPlanner(network, baselinePlanner(core::AlgoPreference::PerformanceOptimal), /*oracle=*/true);
+    auto all_m = runPlanner(network, offloadAllPlanner(core::AlgoPreference::MemoryOptimal));
     if (!all_m.trainable)
         return 0.0;
     return 1.0 - double(all_m.avgManagedUsage) /
@@ -58,11 +54,8 @@ report()
 
     // --- VGG-16 (256) trainability and performance ---------------------------
     auto vgg256 = net::buildVgg16(256);
-    auto vgg_dyn = runPoint(*vgg256, core::TransferPolicy::Dynamic,
-                            core::AlgoMode::PerformanceOptimal);
-    auto vgg_oracle = runPoint(*vgg256, core::TransferPolicy::Baseline,
-                               core::AlgoMode::PerformanceOptimal,
-                               /*oracle=*/true);
+    auto vgg_dyn = runPlanner(*vgg256, dynamicPlanner());
+    auto vgg_oracle = runPlanner(*vgg256, baselinePlanner(core::AlgoPreference::PerformanceOptimal), /*oracle=*/true);
     double vgg_loss = 1.0 - double(vgg_oracle.featureExtractionTime) /
                                 double(vgg_dyn.featureExtractionTime);
 
@@ -80,11 +73,9 @@ report()
         // pick by default: performance-optimal algorithms (VGG-16
         // (128) at 15 GB counts as a failure even though the (m)
         // fallback squeaks in).
-        auto base_p = runPoint(*network, core::TransferPolicy::Baseline,
-                               core::AlgoMode::PerformanceOptimal);
+        auto base_p = runPlanner(*network, baselinePlanner(core::AlgoPreference::PerformanceOptimal));
         bool base_ok = base_p.trainable;
-        auto dyn = runPoint(*network, core::TransferPolicy::Dynamic,
-                            core::AlgoMode::PerformanceOptimal);
+        auto dyn = runPlanner(*network, dynamicPlanner());
         double savings = bestAvgSavings(*network);
         if (!base_ok) {
             ++baseline_failures;
@@ -131,8 +122,7 @@ main(int argc, char **argv)
         for (const auto &entry : net::conventionalSuite()) {
             auto network = entry.build();
             benchmark::DoNotOptimize(
-                runPoint(*network, core::TransferPolicy::Dynamic,
-                         core::AlgoMode::PerformanceOptimal)
+                runPlanner(*network, dynamicPlanner())
                     .trainable);
         }
     });

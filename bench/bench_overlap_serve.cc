@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Cross-tenant compute/DMA overlap in multi-tenant serving.
+ *
+ * Iteration-granularity packing (RoundRobin) leaves the shared compute
+ * engine idle whenever the active tenant stalls on its own offload or
+ * prefetch DMAs — exactly the Fig. 9 "wasted time", multiplied by the
+ * number of tenants. The PackedOverlap policy drives every admitted
+ * tenant through its compiled IterationProgram one op at a time and
+ * dispatches the next ready tenant's compute op whenever the current
+ * one blocks on a stream join, so tenant B's kernels execute under
+ * tenant A's transfers while the PCIe arbiter fair-shares the link
+ * between the concurrent DMAs.
+ *
+ * Workload: 8 mixed tenants (VGG-16 (64) and AlexNet (128), all under
+ * vDNN_all (m) — the stall-heaviest planner) on one 12 GB Titan X.
+ *
+ * Claims checked:
+ *  - PackedOverlap strictly improves mean JCT over RoundRobin;
+ *  - PackedOverlap strictly improves compute-engine utilization.
+ */
+
+#include "bench_common.hh"
+
+#include "common/units.hh"
+#include "serve/arrival.hh"
+#include "serve/scheduler.hh"
+
+#include <memory>
+
+using namespace vdnn;
+using namespace vdnn::bench;
+using namespace vdnn::serve;
+
+namespace
+{
+
+constexpr int kJobs = 8;
+
+std::vector<JobSpec>
+mixedWorkload()
+{
+    std::shared_ptr<const net::Network> vgg = net::buildVgg16(64);
+    std::shared_ptr<const net::Network> alex = net::buildAlexNet(128);
+    std::vector<JobSpec> specs;
+    for (int i = 0; i < kJobs; ++i) {
+        JobSpec spec;
+        bool is_vgg = i % 2 == 0;
+        spec.name = strFormat(is_vgg ? "vgg-%d" : "alex-%d", i);
+        spec.network = is_vgg ? vgg : alex;
+        spec.planner = std::make_shared<core::OffloadAllPlanner>(
+            core::AlgoPreference::MemoryOptimal);
+        spec.arrival = TimeNs(i) * 100 * kNsPerMs;
+        spec.iterations = i == 0 ? 8 : 2 + i % 3;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+ServeReport
+runCluster(SchedPolicy sched)
+{
+    SchedulerConfig cfg;
+    cfg.policy = sched;
+    Scheduler scheduler(cfg);
+    for (JobSpec &spec : mixedWorkload())
+        scheduler.submit(std::move(spec));
+    return scheduler.run();
+}
+
+void
+report()
+{
+    const std::vector<std::pair<const char *, SchedPolicy>> grid = {
+        {"fifo-exclusive", SchedPolicy::FifoExclusive},
+        {"round-robin", SchedPolicy::RoundRobin},
+        {"packed-overlap", SchedPolicy::PackedOverlap},
+    };
+
+    stats::Table table(strFormat(
+        "Cross-tenant overlap: %d mixed VGG-16/AlexNet vDNN_all (m) "
+        "tenants on a 12 GB Titan X",
+        kJobs));
+    table.setColumns({"scheduler", "finished", "peak jobs", "avg jobs",
+                      "mean JCT (s)", "p99 JCT (s)", "makespan (s)",
+                      "compute util", "peak pool (GiB)"});
+
+    ServeReport rr;
+    ServeReport packed;
+    for (const auto &[label, sched] : grid) {
+        ServeReport rep = runCluster(sched);
+        table.addRow(
+            {label, stats::Table::cellInt(rep.finishedCount()),
+             stats::Table::cellInt(rep.peakJobsInFlight),
+             stats::Table::cell(rep.avgJobsInFlight, 2),
+             stats::Table::cell(toSeconds(rep.meanJct()), 2),
+             stats::Table::cell(toSeconds(rep.p99Jct()), 2),
+             stats::Table::cell(toSeconds(rep.makespan), 2),
+             stats::Table::cell(rep.computeUtilization(), 3),
+             stats::Table::cell(toGiB(rep.poolPeakBytes), 2)});
+        if (sched == SchedPolicy::RoundRobin)
+            rr = rep;
+        else if (sched == SchedPolicy::PackedOverlap)
+            packed = rep;
+    }
+    table.print();
+
+    stats::Comparison cmp("Cross-tenant compute/DMA overlap");
+    cmp.addBool("every job finishes under both packers", true,
+                rr.finishedCount() == kJobs &&
+                    packed.finishedCount() == kJobs);
+    cmp.addBool("packed-overlap mean JCT below round-robin", true,
+                packed.meanJct() < rr.meanJct());
+    cmp.addBool("packed-overlap compute utilization above round-robin",
+                true,
+                packed.computeUtilization() > rr.computeUtilization());
+    cmp.addBool("packed-overlap makespan no worse than round-robin",
+                true, packed.makespan <= rr.makespan);
+    cmp.addNumeric("mean JCT reduction (x)", 1.1,
+                   toSeconds(rr.meanJct()) /
+                       toSeconds(packed.meanJct()),
+                   /*tolerance=*/0.5);
+    cmp.addInfo("round-robin compute utilization", "idles under stalls",
+                strFormat("%.3f", rr.computeUtilization()));
+    cmp.addInfo("packed-overlap compute utilization", "near 1.0",
+                strFormat("%.3f", packed.computeUtilization()));
+    cmp.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerSim("overlap_serve/mixed8_packed_overlap",
+                [] { runCluster(SchedPolicy::PackedOverlap); });
+    return benchMain(argc, argv, report);
+}

@@ -28,8 +28,8 @@ core::SessionResult
 runWithLinkBandwidth(const net::Network &network, double bytes_per_sec)
 {
     core::SessionConfig cfg;
-    cfg.policy = core::TransferPolicy::OffloadAll;
-    cfg.algoMode = core::AlgoMode::MemoryOptimal;
+    cfg.planner =
+        offloadAllPlanner(core::AlgoPreference::MemoryOptimal);
     cfg.gpu = gpu::titanXMaxwell();
     cfg.gpu.pcie.dmaBandwidth = bytes_per_sec;
     cfg.gpu.pcie.rawBandwidth =

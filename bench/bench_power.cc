@@ -22,12 +22,11 @@ namespace
 {
 
 core::SessionResult
-runPowerPoint(const net::Network &network, core::TransferPolicy policy,
-              core::AlgoMode mode)
+runPowerPoint(const net::Network &network,
+              std::shared_ptr<core::Planner> planner)
 {
     core::SessionConfig cfg;
-    cfg.policy = policy;
-    cfg.algoMode = mode;
+    cfg.planner = std::move(planner);
     cfg.iterations = 4; // average over several steady-state iterations
     return core::runSession(network, cfg);
 }
@@ -48,15 +47,14 @@ report()
             continue; // no trainable baseline to compare against
         auto network = entry.build();
         // VGG-16 (128) only trains under baseline with (m) (Fig. 11).
-        core::AlgoMode mode = entry.name == "VGG-16 (128)"
-                                  ? core::AlgoMode::MemoryOptimal
-                                  : core::AlgoMode::PerformanceOptimal;
-        auto base = runPowerPoint(*network,
-                                  core::TransferPolicy::Baseline, mode);
-        // vDNN_dyn derives its own per-layer algorithms; the mode knob
-        // only applies to the baseline measurement.
-        auto dyn = runPowerPoint(*network, core::TransferPolicy::Dynamic,
-                                 core::AlgoMode::PerformanceOptimal);
+        bool memory_optimal = entry.name == "VGG-16 (128)";
+        core::AlgoPreference pref =
+            memory_optimal ? core::AlgoPreference::MemoryOptimal
+                           : core::AlgoPreference::PerformanceOptimal;
+        auto base = runPowerPoint(*network, baselinePlanner(pref));
+        // vDNN_dyn derives its own per-layer algorithms; the preference
+        // knob only applies to the baseline measurement.
+        auto dyn = runPowerPoint(*network, dynamicPlanner());
         double max_ovh = dyn.maxPowerW / base.maxPowerW - 1.0;
         double avg_ovh = dyn.avgPowerW / base.avgPowerW - 1.0;
         worst_max_overhead = std::max(worst_max_overhead, max_ovh);
@@ -64,7 +62,7 @@ report()
         // VGG-16 (128) the baseline is pinned to memory-optimal
         // algorithms while vDNN_dyn picks faster ones, which raises
         // average draw for algorithmic (not vDNN-traffic) reasons.
-        if (mode == core::AlgoMode::PerformanceOptimal) {
+        if (!memory_optimal) {
             worst_avg_overhead =
                 std::max(worst_avg_overhead, std::abs(avg_ovh));
         }
@@ -97,9 +95,7 @@ main(int argc, char **argv)
     registerSim("power/dyn_alexnet_128", [] {
         auto network = net::buildAlexNet(128);
         benchmark::DoNotOptimize(
-            runPowerPoint(*network, core::TransferPolicy::Dynamic,
-                          core::AlgoMode::PerformanceOptimal)
-                .maxPowerW);
+            runPowerPoint(*network, dynamicPlanner()).maxPowerW);
     });
     return benchMain(argc, argv, report);
 }

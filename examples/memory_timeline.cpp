@@ -4,16 +4,24 @@
  * as a CSV time series (for plotting the sawtooth the vDNN policies
  * produce versus the baseline's flat line).
  *
- * Usage: memory_timeline [policy] > usage.csv
- *   policy: base | conv | all | dyn   (default all)
+ * Usage: memory_timeline [mode|policy] > out.csv
+ *   policy:  base | conv | all | dyn    usage CSV (default all)
+ *   ops:     print the compiled IterationProgram op stream for a
+ *            3-layer net under vDNN_all (the step machine the
+ *            executor and the packed-overlap scheduler both drive)
+ *   overlap: run two vDNN_all tenants under the packed-overlap
+ *            scheduler and emit the engine timeline as CSV — shows
+ *            tenant B's kernels executing under tenant A's DMAs
  */
 
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "core/dynamic_policy.hh"
+#include "core/iteration_program.hh"
 #include "core/planner.hh"
 #include "core/training_session.hh"
 #include "net/builders.hh"
+#include "serve/scheduler.hh"
 
 #include <cstdio>
 #include <cstring>
@@ -23,22 +31,120 @@
 using namespace vdnn;
 using namespace vdnn::core;
 
+namespace
+{
+
+/** The 3-layer net the README's op-stream listing shows. */
+std::unique_ptr<net::Network>
+buildThreeLayerNet()
+{
+    dnn::TensorShape in{16, 3, 32, 32};
+    auto n = std::make_unique<net::Network>("ThreeLayer (16)", in);
+    dnn::ConvParams c;
+    c.outChannels = 16;
+    c.padH = c.padW = 1;
+    n->append(dnn::makeConv("conv1", in, c));
+    auto out = n->node(0).spec.out;
+    n->append(dnn::makeActivation("relu1", out));
+    n->append(dnn::makeSoftmaxLoss("loss", out));
+    n->finalize();
+    return n;
+}
+
+int
+dumpOps()
+{
+    auto network = buildThreeLayerNet();
+    OffloadAllPlanner planner(AlgoPreference::MemoryOptimal);
+    MemoryPlan plan = planner.plan(
+        *network, PlannerContext::exclusive(gpu::titanXMaxwell()));
+    IterationProgram program =
+        IterationProgram::compile(*network, plan, ExecutorConfig{});
+    std::printf("# %s under %s: %zu-op IterationProgram\n",
+                network->name().c_str(), planner.name().c_str(),
+                program.size());
+    std::fputs(program.dump(*network).c_str(), stdout);
+    return 0;
+}
+
+int
+dumpOverlap()
+{
+    using namespace vdnn::serve;
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::PackedOverlap;
+    Scheduler sched(cfg);
+    sched.runtime().setKernelLog(true);
+
+    std::shared_ptr<const net::Network> vgg = net::buildVgg16(64);
+    for (int i = 0; i < 2; ++i) {
+        JobSpec spec;
+        spec.name = strFormat("tenant%c", 'A' + i);
+        spec.network = vgg;
+        spec.planner = std::make_shared<OffloadAllPlanner>(
+            AlgoPreference::MemoryOptimal);
+        spec.iterations = 1;
+        sched.submit(std::move(spec));
+    }
+    gpu::Runtime &rt = sched.runtime();
+    ServeReport rep = sched.run();
+
+    std::printf("# 2 VGG-16 (64) vDNN_all tenants, packed-overlap: "
+                "engine timeline\n");
+    std::printf("start_ms,end_ms,engine,tenant,op\n");
+    // Merge kernels and copies into one chronological listing.
+    std::size_t ki = 0;
+    std::size_t ci = 0;
+    const auto &ks = rt.kernelLog();
+    const auto &cs = rt.copyLog();
+    while (ki < ks.size() || ci < cs.size()) {
+        bool kernel_next =
+            ci >= cs.size() ||
+            (ki < ks.size() && ks[ki].start <= cs[ci].start);
+        if (kernel_next) {
+            const auto &k = ks[ki++];
+            std::printf("%.3f,%.3f,compute,%d,%s\n", toMs(k.start),
+                        toMs(k.end), k.client, k.name.c_str());
+        } else {
+            const auto &c = cs[ci++];
+            std::printf("%.3f,%.3f,%s,%d,%s\n", toMs(c.start),
+                        toMs(c.end),
+                        c.dir == gpu::CopyDir::DeviceToHost ? "dma_d2h"
+                                                            : "dma_h2d",
+                        c.client, c.tag.c_str());
+        }
+    }
+    std::fprintf(stderr,
+                 "%d jobs finished; makespan %.1f ms; compute util "
+                 "%.3f\n",
+                 rep.finishedCount(), toMs(rep.makespan),
+                 rep.computeUtilization());
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    std::string policy_name = argc > 1 ? argv[1] : "all";
+    std::string mode = argc > 1 ? argv[1] : "all";
+    if (mode == "ops")
+        return dumpOps();
+    if (mode == "overlap")
+        return dumpOverlap();
+
     std::shared_ptr<Planner> planner;
-    if (policy_name == "base") {
+    if (mode == "base") {
         planner = std::make_shared<BaselinePlanner>(
             AlgoPreference::MemoryOptimal);
-    } else if (policy_name == "conv") {
+    } else if (mode == "conv") {
         planner = std::make_shared<OffloadConvPlanner>();
-    } else if (policy_name == "all") {
+    } else if (mode == "all") {
         planner = std::make_shared<OffloadAllPlanner>();
-    } else if (policy_name == "dyn") {
+    } else if (mode == "dyn") {
         planner = std::make_shared<DynamicPlanner>();
     } else {
-        fatal("unknown policy '%s'", policy_name.c_str());
+        fatal("unknown mode '%s'", mode.c_str());
     }
 
     auto network = net::buildVgg16(64);

@@ -15,7 +15,8 @@ Executor::Executor(const net::Network &net_, const dnn::CudnnSim &cudnn_,
                    gpu::Runtime &runtime, MemoryManager &mm_,
                    const MemoryPlan &plan, ExecutorConfig config)
     : net(net_), cudnn(cudnn_), rt(runtime), mm(mm_), execPlan(plan),
-      cfg(config), stats(net_, cudnn_)
+      cfg(config), stats(net_, cudnn_),
+      prog(IterationProgram::compile(net_, plan, config))
 {
     VDNN_ASSERT(net.finalized(), "network must be finalized");
     VDNN_ASSERT(execPlan.feasible, "cannot execute an infeasible plan");
@@ -25,6 +26,8 @@ Executor::Executor(const net::Network &net_, const dnn::CudnnSim &cudnn_,
                 "plan directive vector size mismatch");
     streamCompute = rt.createStream("stream_compute");
     streamMemory = rt.createStream("stream_memory");
+    rt.setStreamClient(streamCompute, mm.clientId(), cfg.pcieWeight);
+    rt.setStreamClient(streamMemory, mm.clientId(), cfg.pcieWeight);
 
     // Map each layer to the buffers it is the last backward user of.
     bwdReleaseAt.assign(net.numLayers(), {});
@@ -148,6 +151,9 @@ void
 Executor::teardown()
 {
     VDNN_ASSERT(setupDone, "teardown() without setup()");
+    VDNN_ASSERT(!stepper || stepper->finished(),
+                "teardown() with an iteration in flight");
+    stepper.reset();
     teardownPartial();
     setupDone = false;
     persistentTotal = 0;
@@ -347,21 +353,62 @@ Executor::abortIteration(IterationResult &result, const std::string &why,
     result.end = rt.now();
 }
 
-// --- forward ------------------------------------------------------------------------
+// --- stepper: op bodies ------------------------------------------------------
+
+IterationStepper::IterationStepper(Executor &executor) : ex(executor) {}
+
+const IterOp *
+IterationStepper::nextOp() const
+{
+    return pcIndex < ex.prog.ops.size() ? &ex.prog.ops[pcIndex] : nullptr;
+}
+
+IterationStepper::Status
+IterationStepper::blocked(gpu::StreamId stream)
+{
+    blockedOn = stream;
+    st = Status::Blocked;
+    return st;
+}
 
 bool
-Executor::forwardLayer(net::LayerId id, IterationResult &result)
+IterationStepper::opBeginIteration()
 {
-    const net::LayerNode &n = net.node(id);
+    res.layers.assign(ex.net.numLayers(), LayerTiming{});
+    ex.gradients.clear();
+    ex.deferredReleases.clear();
+    ex.remainingReaders.assign(ex.net.numBuffers(), 0);
+    for (net::BufferId b = 0; b < net::BufferId(ex.net.numBuffers()); ++b)
+        ex.remainingReaders[std::size_t(b)] = ex.net.buffer(b).refCount;
+    ex.prefetchState.emplace(ex.net.numBuffers());
+
+    res.start = ex.rt.now();
+
+    // Materialize the input batch (static under the baseline policy).
+    if (!ex.buffersStatic &&
+        ex.mm.residence(ex.net.inputBuffer()) == Residence::Unallocated) {
+        if (!ex.mm.allocBuffer(ex.net, ex.net.inputBuffer())) {
+            ex.abortIteration(res, "OOM allocating the input batch",
+                              FailKind::FeatureMap, net::kInputLayer);
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+IterationStepper::opFwdAlloc(net::LayerId id)
+{
+    const net::LayerNode &n = ex.net.node(id);
     const auto &spec = n.spec;
-    TimeNs t_layer_start = rt.now();
 
     // Input feature maps must be device-resident during forward
     // propagation (they are only ever offloaded by their last reader).
     for (net::LayerId in_id : n.inputs) {
-        net::BufferId b = in_id == net::kInputLayer ? net.inputBuffer()
-                                                    : net.node(in_id).yBuffer;
-        Residence r = mm.residence(b);
+        net::BufferId b = in_id == net::kInputLayer
+                              ? ex.net.inputBuffer()
+                              : ex.net.node(in_id).yBuffer;
+        Residence r = ex.mm.residence(b);
         VDNN_ASSERT(r == Residence::Device,
                     "fwd '%s': input buffer %d not resident (state %d)",
                     spec.name.c_str(), b, int(r));
@@ -369,222 +416,283 @@ Executor::forwardLayer(net::LayerId id, IterationResult &result)
 
     // Allocate the output feature maps (in-place layers reuse X).
     if (!spec.inPlace() &&
-        mm.residence(n.yBuffer) == Residence::Unallocated) {
-        if (!mm.allocBuffer(net, n.yBuffer)) {
-            abortIteration(result,
-                           strFormat("OOM allocating Y of '%s' (%s)",
-                                     spec.name.c_str(),
-                                     formatBytes(net.buffer(n.yBuffer)
-                                                     .bytes())
-                                         .c_str()),
-                           FailKind::FeatureMap, id);
+        ex.mm.residence(n.yBuffer) == Residence::Unallocated) {
+        if (!ex.mm.allocBuffer(ex.net, n.yBuffer)) {
+            ex.abortIteration(res,
+                              strFormat("OOM allocating Y of '%s' (%s)",
+                                        spec.name.c_str(),
+                                        formatBytes(ex.net.buffer(n.yBuffer)
+                                                        .bytes())
+                                            .c_str()),
+                              FailKind::FeatureMap, id);
             return false;
         }
     }
 
     // Convolution workspace for the chosen algorithm.
-    std::optional<TaggedAlloc> ws;
+    ws.reset();
     Bytes ws_bytes =
-        spec.kind == LayerKind::Conv && !buffersStatic
-            ? dnn::convWorkspaceBytes(execPlan.algos[std::size_t(id)],
+        spec.kind == LayerKind::Conv && !ex.buffersStatic
+            ? dnn::convWorkspaceBytes(ex.execPlan.algos[std::size_t(id)],
                                       spec)
             : 0;
     if (ws_bytes > 0) {
-        auto a = mm.allocDevice(ws_bytes, "ws:" + spec.name,
-                                !n.classifier);
+        auto a = ex.mm.allocDevice(ws_bytes, "ws:" + spec.name,
+                                   !n.classifier);
         if (!a) {
-            abortIteration(result,
-                           strFormat("OOM allocating workspace of '%s' "
-                                     "(%s)",
-                                     spec.name.c_str(),
-                                     formatBytes(ws_bytes).c_str()),
-                           FailKind::Workspace, id);
+            ex.abortIteration(res,
+                              strFormat("OOM allocating workspace of '%s' "
+                                        "(%s)",
+                                        spec.name.c_str(),
+                                        formatBytes(ws_bytes).c_str()),
+                              FailKind::Workspace, id);
             return false;
         }
         ws = TaggedAlloc{*a, !n.classifier};
     }
-
-    launchForwardKernels(id);
-
-    // Offload: issued by the last forward consumer of each input buffer
-    // (the refcount rule of Fig. 3), overlapped with this layer's own
-    // forward computation on stream_memory.
-    std::vector<net::BufferId> offloading;
-    if (!staticAlloc()) {
-        for (net::LayerId in_id : n.inputs) {
-            net::BufferId b = in_id == net::kInputLayer
-                                  ? net.inputBuffer()
-                                  : net.node(in_id).yBuffer;
-            if (!execPlan.offloads(b))
-                continue;
-            if (net.buffer(b).lastFwdReader != id)
-                continue;
-            if (std::find(offloading.begin(), offloading.end(), b) !=
-                offloading.end()) {
-                continue;
-            }
-            if (!mm.beginOffload(net, b)) {
-                warn("host memory exhausted; keeping buffer %d resident",
-                     b);
-                continue;
-            }
-            Bytes dma = execPlan.dmaBytes(b, net.buffer(b).bytes());
-            rt.memcpyAsync(streamMemory, dma, CopyDir::DeviceToHost,
-                           strFormat("offload:%d", b));
-            offloading.push_back(b);
-            prefetchState->offloaded[std::size_t(b)] = true;
-            ++result.offloads;
-            result.offloadedBytes += net.buffer(b).bytes();
-            result.pcieBytes += dma;
-        }
-    }
-
-    // Layer boundary: wait for the computation, and (by default) for
-    // the offload so the device copy is released before the next layer
-    // starts — maximizing the memory saving at the cost of the Fig. 9
-    // "wasted time" when the offload outlives the computation.
-    rt.synchronize(streamCompute);
-    if (!offloading.empty()) {
-        if (cfg.syncAtLayerBoundary) {
-            TimeNs t_compute_done = rt.now();
-            rt.synchronize(streamMemory);
-            result.transferStallTime += rt.now() - t_compute_done;
-            for (net::BufferId b : offloading)
-                mm.finishOffload(net, b);
-        } else {
-            for (net::BufferId b : offloading) {
-                gpu::CudaEventId ev = rt.createEvent();
-                rt.recordEvent(streamMemory, ev);
-                deferredReleases.emplace_back(b, ev);
-            }
-        }
-    }
-    processDeferredReleases(false);
-
-    if (ws)
-        mm.releaseDevice(ws->alloc, ws->managed);
-
-    // Aggressive release: buffers whose last reader has executed and
-    // that are not reused by backward propagation are freed outright.
-    if (!buffersStatic) {
-        for (net::LayerId in_id : n.inputs) {
-            net::BufferId b = in_id == net::kInputLayer
-                                  ? net.inputBuffer()
-                                  : net.node(in_id).yBuffer;
-            if (--remainingReaders[std::size_t(b)] > 0)
-                continue;
-            const net::Buffer &buf = net.buffer(b);
-            if (buf.bwdUsers.empty() && !buf.classifier &&
-                mm.residence(b) == Residence::Device) {
-                mm.releaseBuffer(net, b);
-            }
-        }
-    }
-
-    LayerTiming t;
-    t.id = id;
-    t.fwdStart = t_layer_start;
-    t.fwdEnd = rt.now();
-    result.layers[std::size_t(id)] = t;
-    if (n.classifier)
-        result.classifierTime += t.fwdEnd - t.fwdStart;
     return true;
 }
 
-// --- backward ------------------------------------------------------------------------
+void
+IterationStepper::opFwdKernel(net::LayerId id)
+{
+    ex.launchForwardKernels(id);
+}
+
+void
+IterationStepper::opFwdOffload(net::LayerId id)
+{
+    // Offload: issued by the last forward consumer of each input buffer
+    // (the refcount rule of Fig. 3), overlapped with this layer's own
+    // forward computation on stream_memory.
+    const net::LayerNode &n = ex.net.node(id);
+    for (net::LayerId in_id : n.inputs) {
+        net::BufferId b = in_id == net::kInputLayer
+                              ? ex.net.inputBuffer()
+                              : ex.net.node(in_id).yBuffer;
+        if (!ex.execPlan.offloads(b))
+            continue;
+        if (ex.net.buffer(b).lastFwdReader != id)
+            continue;
+        if (std::find(offloading.begin(), offloading.end(), b) !=
+            offloading.end()) {
+            continue;
+        }
+        if (!ex.mm.beginOffload(ex.net, b)) {
+            warn("host memory exhausted; keeping buffer %d resident", b);
+            continue;
+        }
+        Bytes dma = ex.execPlan.dmaBytes(b, ex.net.buffer(b).bytes());
+        ex.rt.memcpyAsync(ex.streamMemory, dma, CopyDir::DeviceToHost,
+                          strFormat("offload:%d", b));
+        offloading.push_back(b);
+        ex.prefetchState->offloaded[std::size_t(b)] = true;
+        ++res.offloads;
+        res.offloadedBytes += ex.net.buffer(b).bytes();
+        res.pcieBytes += dma;
+    }
+}
+
+IterationStepper::Status
+IterationStepper::opSync(const IterOp &op, bool blocking)
+{
+    // Layer boundary: wait for the computation, and for any transfer
+    // launched under it — offloads so the device copy is released
+    // before the next layer starts (maximizing the memory saving at
+    // the cost of the Fig. 9 "wasted time" when the offload outlives
+    // the computation), prefetches so the data is ready before the
+    // preceding layer's backward computation (Section III-B).
+    std::vector<net::BufferId> &pending =
+        op.backward ? prefetching : offloading;
+
+    if (syncPhase == 0) {
+        if (!blocking && !ex.rt.streamIdle(ex.streamCompute))
+            return blocked(ex.streamCompute);
+        ex.rt.synchronize(ex.streamCompute);
+        tComputeDone = ex.rt.now();
+        syncPhase = 1;
+    }
+    if (syncPhase == 1) {
+        bool join_memory = !pending.empty() &&
+                           (op.backward || ex.cfg.syncAtLayerBoundary);
+        if (join_memory) {
+            if (!blocking && !ex.rt.streamIdle(ex.streamMemory))
+                return blocked(ex.streamMemory);
+            ex.rt.synchronize(ex.streamMemory);
+            res.transferStallTime += ex.rt.now() - tComputeDone;
+            for (net::BufferId b : pending) {
+                if (op.backward)
+                    ex.mm.finishPrefetch(b);
+                else
+                    ex.mm.finishOffload(ex.net, b);
+            }
+        } else if (!pending.empty()) {
+            // Asynchronous-release mode (ablation): release at the
+            // first synchronization point after the copy completes.
+            for (net::BufferId b : pending) {
+                gpu::CudaEventId ev = ex.rt.createEvent();
+                ex.rt.recordEvent(ex.streamMemory, ev);
+                ex.deferredReleases.emplace_back(b, ev);
+            }
+        }
+        pending.clear();
+        syncPhase = 2;
+    }
+    ex.processDeferredReleases(false);
+    syncPhase = 0;
+    return Status::Running;
+}
+
+void
+IterationStepper::opFwdRelease(net::LayerId id)
+{
+    const net::LayerNode &n = ex.net.node(id);
+
+    if (ws) {
+        ex.mm.releaseDevice(ws->alloc, ws->managed);
+        ws.reset();
+    }
+
+    // Aggressive release: buffers whose last reader has executed and
+    // that are not reused by backward propagation are freed outright.
+    if (!ex.buffersStatic) {
+        for (net::LayerId in_id : n.inputs) {
+            net::BufferId b = in_id == net::kInputLayer
+                                  ? ex.net.inputBuffer()
+                                  : ex.net.node(in_id).yBuffer;
+            if (--ex.remainingReaders[std::size_t(b)] > 0)
+                continue;
+            const net::Buffer &buf = ex.net.buffer(b);
+            if (buf.bwdUsers.empty() && !buf.classifier &&
+                ex.mm.residence(b) == Residence::Device) {
+                ex.mm.releaseBuffer(ex.net, b);
+            }
+        }
+    }
+
+    LayerTiming &t = res.layers[std::size_t(id)];
+    t.id = id;
+    t.fwdStart = tLayerStart;
+    t.fwdEnd = ex.rt.now();
+    if (n.classifier)
+        res.classifierTime += t.fwdEnd - t.fwdStart;
+}
+
+IterationStepper::Status
+IterationStepper::opBarrier(bool blocking)
+{
+    // Any deferred (asynchronous) offload releases must land before
+    // backward propagation starts reusing the buffers.
+    if (!blocking && !ex.deferredReleases.empty() &&
+        !ex.rt.streamIdle(ex.streamMemory)) {
+        return blocked(ex.streamMemory);
+    }
+    ex.processDeferredReleases(true);
+    return Status::Running;
+}
 
 bool
-Executor::backwardLayer(net::LayerId id, IterationResult &result)
+IterationStepper::opBwdFetch(net::LayerId id)
 {
-    const net::LayerNode &n = net.node(id);
+    const net::LayerNode &n = ex.net.node(id);
     const auto &spec = n.spec;
-    TimeNs t_layer_start = rt.now();
 
     // Residency: the layer's backward pass needs X and/or Y (Section
     // III-A); offloaded data must be fetched back before the kernels.
-    if (!buffersStatic) {
-        std::vector<net::BufferId> needed;
-        if (spec.backwardNeedsX()) {
-            for (net::LayerId in_id : n.inputs) {
-                needed.push_back(in_id == net::kInputLayer
-                                     ? net.inputBuffer()
-                                     : net.node(in_id).yBuffer);
-            }
+    std::vector<net::BufferId> needed;
+    if (spec.backwardNeedsX()) {
+        for (net::LayerId in_id : n.inputs) {
+            needed.push_back(in_id == net::kInputLayer
+                                 ? ex.net.inputBuffer()
+                                 : ex.net.node(in_id).yBuffer);
         }
-        if (spec.backwardNeedsY())
-            needed.push_back(n.yBuffer);
-        for (net::BufferId b : needed) {
-            // A buffer prefetched during *this* layer cannot serve this
-            // layer's own kernels without waiting; that only happens in
-            // the degenerate single-layer-window case.
-            if (!ensureResident(b, id, result)) {
-                abortIteration(
-                    result,
-                    strFormat("OOM fetching buffer %d for '%s' backward",
-                              b, spec.name.c_str()),
-                    FailKind::Fetch, id);
-                return false;
-            }
-        }
-
-        // Gradient maps: dY must exist (allocated by this buffer's
-        // consumers, or seeded here for the terminal loss layer); dX is
-        // allocated on demand. The network input receives no gradient.
-        auto grad_with_recovery = [&](net::BufferId b) {
-            if (allocGradient(b))
-                return true;
-            if (!evictUnconsumedPrefetches(net.buffer(b).bytes(), id))
-                return false;
-            ++result.prefetchEvictions;
-            return allocGradient(b);
-        };
-        if (!grad_with_recovery(n.yBuffer)) {
-            abortIteration(result,
-                           strFormat("OOM allocating dY of '%s'",
-                                     spec.name.c_str()),
-                           FailKind::Gradient, id);
+    }
+    if (spec.backwardNeedsY())
+        needed.push_back(n.yBuffer);
+    for (net::BufferId b : needed) {
+        // A buffer prefetched during *this* layer cannot serve this
+        // layer's own kernels without waiting; that only happens in
+        // the degenerate single-layer-window case.
+        if (!ex.ensureResident(b, id, res)) {
+            ex.abortIteration(
+                res,
+                strFormat("OOM fetching buffer %d for '%s' backward", b,
+                          spec.name.c_str()),
+                FailKind::Fetch, id);
             return false;
         }
-        for (net::LayerId in_id : n.inputs) {
-            if (in_id == net::kInputLayer)
-                continue;
-            if (!grad_with_recovery(net.node(in_id).yBuffer)) {
-                abortIteration(result,
-                               strFormat("OOM allocating dX of '%s'",
-                                         spec.name.c_str()),
-                               FailKind::Gradient, id);
-                return false;
-            }
+    }
+    return true;
+}
+
+bool
+IterationStepper::opBwdAlloc(net::LayerId id)
+{
+    const net::LayerNode &n = ex.net.node(id);
+    const auto &spec = n.spec;
+
+    // Gradient maps: dY must exist (allocated by this buffer's
+    // consumers, or seeded here for the terminal loss layer); dX is
+    // allocated on demand. The network input receives no gradient.
+    auto grad_with_recovery = [&](net::BufferId b) {
+        if (ex.allocGradient(b))
+            return true;
+        if (!ex.evictUnconsumedPrefetches(ex.net.buffer(b).bytes(), id))
+            return false;
+        ++res.prefetchEvictions;
+        return ex.allocGradient(b);
+    };
+    if (!grad_with_recovery(n.yBuffer)) {
+        ex.abortIteration(res,
+                          strFormat("OOM allocating dY of '%s'",
+                                    spec.name.c_str()),
+                          FailKind::Gradient, id);
+        return false;
+    }
+    for (net::LayerId in_id : n.inputs) {
+        if (in_id == net::kInputLayer)
+            continue;
+        if (!grad_with_recovery(ex.net.node(in_id).yBuffer)) {
+            ex.abortIteration(res,
+                              strFormat("OOM allocating dX of '%s'",
+                                        spec.name.c_str()),
+                              FailKind::Gradient, id);
+            return false;
         }
     }
 
     // Backward convolution workspace.
-    std::optional<TaggedAlloc> ws;
+    ws.reset();
     Bytes ws_bytes =
-        spec.kind == LayerKind::Conv && !buffersStatic
-            ? dnn::convWorkspaceBytes(execPlan.algos[std::size_t(id)],
+        spec.kind == LayerKind::Conv && !ex.buffersStatic
+            ? dnn::convWorkspaceBytes(ex.execPlan.algos[std::size_t(id)],
                                       spec)
             : 0;
     if (ws_bytes > 0) {
-        auto a = mm.allocDevice(ws_bytes, "ws:" + spec.name,
-                                !n.classifier);
-        if (!a && evictUnconsumedPrefetches(ws_bytes, id)) {
-            ++result.prefetchEvictions;
-            a = mm.allocDevice(ws_bytes, "ws:" + spec.name,
-                               !n.classifier);
+        auto a = ex.mm.allocDevice(ws_bytes, "ws:" + spec.name,
+                                   !n.classifier);
+        if (!a && ex.evictUnconsumedPrefetches(ws_bytes, id)) {
+            ++res.prefetchEvictions;
+            a = ex.mm.allocDevice(ws_bytes, "ws:" + spec.name,
+                                  !n.classifier);
         }
         if (!a) {
-            abortIteration(result,
-                           strFormat("OOM allocating bwd workspace of "
-                                     "'%s' (%s)",
-                                     spec.name.c_str(),
-                                     formatBytes(ws_bytes).c_str()),
-                           FailKind::Workspace, id);
+            ex.abortIteration(res,
+                              strFormat("OOM allocating bwd workspace of "
+                                        "'%s' (%s)",
+                                        spec.name.c_str(),
+                                        formatBytes(ws_bytes).c_str()),
+                              FailKind::Workspace, id);
             return false;
         }
         ws = TaggedAlloc{*a, !n.classifier};
     }
+    return true;
+}
 
+void
+IterationStepper::opBwdPrefetch(net::LayerId id)
+{
     // Prefetch: with the layer's mandatory allocations in place, search
     // for the best preceding layer to prefetch (Fig. 10) and overlap
     // its H2D copy with this layer's backward kernels. The prefetch is
@@ -592,125 +700,199 @@ Executor::backwardLayer(net::LayerId id, IterationResult &result)
     // is at its tightest around the first conv groups' backward pass),
     // it falls back to a later on-demand fetch instead of failing the
     // iteration.
-    std::vector<net::BufferId> prefetching;
-    if (!staticAlloc() && cfg.prefetchEnabled) {
-        PrefetchCandidate cand =
-            findPrefetchLayer(net, id, *prefetchState,
-                              cfg.prefetchWindowBounded, &execPlan);
-        for (net::BufferId b : cand.buffers) {
-            if (mm.residence(b) != Residence::Host) {
-                continue; // already fetched on demand earlier
-            }
-            if (!mm.beginPrefetch(net, b)) {
-                // No room yet; fall back to a later on-demand fetch.
-                prefetchState->prefetched[std::size_t(b)] = false;
-                continue;
-            }
-            Bytes dma = execPlan.dmaBytes(b, net.buffer(b).bytes());
-            rt.memcpyAsync(streamMemory, dma, CopyDir::HostToDevice,
-                           strFormat("prefetch:%d", b));
-            prefetching.push_back(b);
-            ++result.prefetches;
-            result.pcieBytes += dma;
+    PrefetchCandidate cand =
+        findPrefetchLayer(ex.net, id, *ex.prefetchState,
+                          ex.cfg.prefetchWindowBounded, &ex.execPlan);
+    for (net::BufferId b : cand.buffers) {
+        if (ex.mm.residence(b) != Residence::Host) {
+            continue; // already fetched on demand earlier
         }
+        if (!ex.mm.beginPrefetch(ex.net, b)) {
+            // No room yet; fall back to a later on-demand fetch.
+            ex.prefetchState->prefetched[std::size_t(b)] = false;
+            continue;
+        }
+        Bytes dma = ex.execPlan.dmaBytes(b, ex.net.buffer(b).bytes());
+        ex.rt.memcpyAsync(ex.streamMemory, dma, CopyDir::HostToDevice,
+                          strFormat("prefetch:%d", b));
+        prefetching.push_back(b);
+        ++res.prefetches;
+        res.pcieBytes += dma;
+    }
+}
+
+void
+IterationStepper::opBwdKernel(net::LayerId id)
+{
+    res.layers[std::size_t(id)].bwdStart = ex.rt.now();
+    ex.launchBackwardKernels(id);
+}
+
+void
+IterationStepper::opBwdRelease(net::LayerId id)
+{
+    const net::LayerNode &n = ex.net.node(id);
+
+    if (ws) {
+        ex.mm.releaseDevice(ws->alloc, ws->managed);
+        ws.reset();
     }
 
-    TimeNs t_kernels = rt.now();
-    launchBackwardKernels(id);
-
-    // Layer boundary: wait for computation and any prefetch launched
-    // during it, guaranteeing the prefetched data is ready before the
-    // preceding layer's backward computation (Section III-B).
-    rt.synchronize(streamCompute);
-    if (!prefetching.empty()) {
-        TimeNs t_compute_done = rt.now();
-        rt.synchronize(streamMemory);
-        result.transferStallTime += rt.now() - t_compute_done;
-        for (net::BufferId b : prefetching)
-            mm.finishPrefetch(b);
-    }
-    processDeferredReleases(false);
-
-    if (ws)
-        mm.releaseDevice(ws->alloc, ws->managed);
-
-    if (!buffersStatic) {
+    if (!ex.buffersStatic) {
         // dY fully consumed once this buffer's producer has run.
-        if (net.buffer(n.yBuffer).producer == id)
-            releaseGradient(n.yBuffer);
+        if (ex.net.buffer(n.yBuffer).producer == id)
+            ex.releaseGradient(n.yBuffer);
         // Feature maps whose last backward user just executed are
         // released immediately (Fig. 8).
-        for (net::BufferId b : bwdReleaseAt[std::size_t(id)]) {
-            if (!staticBuffers[std::size_t(b)] &&
-                mm.residence(b) == Residence::Device) {
-                mm.releaseBuffer(net, b);
+        for (net::BufferId b : ex.bwdReleaseAt[std::size_t(id)]) {
+            if (!ex.staticBuffers[std::size_t(b)] &&
+                ex.mm.residence(b) == Residence::Device) {
+                ex.mm.releaseBuffer(ex.net, b);
             }
         }
     }
 
-    LayerTiming &t = result.layers[std::size_t(id)];
-    t.bwdStart = t_kernels;
-    t.bwdEnd = rt.now();
+    LayerTiming &t = res.layers[std::size_t(id)];
+    t.bwdEnd = ex.rt.now();
     if (n.classifier)
-        result.classifierTime += t.bwdEnd - t_layer_start;
-    return true;
+        res.classifierTime += t.bwdEnd - tLayerStart;
+}
+
+IterationStepper::Status
+IterationStepper::opEndIteration(bool blocking)
+{
+    if (blocking) {
+        ex.processDeferredReleases(true);
+        ex.rt.deviceSynchronize();
+    } else {
+        // Drain this executor's own streams only: a co-tenant's
+        // in-flight work on the shared device must not serialize this
+        // tenant's iteration boundary.
+        if (!ex.rt.streamIdle(ex.streamCompute))
+            return blocked(ex.streamCompute);
+        if (!ex.rt.streamIdle(ex.streamMemory))
+            return blocked(ex.streamMemory);
+        ex.processDeferredReleases(true);
+    }
+    res.end = ex.rt.now();
+
+    // Steady-state invariant: everything allocated inside the iteration
+    // has been returned to the pool.
+    VDNN_ASSERT(ex.gradients.empty(), "gradient buffers leaked");
+    VDNN_ASSERT(ex.mm.deviceUsage() == ex.persistentTotal,
+                "tenant usage %lld != persistent %lld after iteration",
+                (long long)ex.mm.deviceUsage(),
+                (long long)ex.persistentTotal);
+
+    res.ok = true;
+    return Status::Done;
+}
+
+// --- stepper: dispatch -------------------------------------------------------
+
+IterationStepper::Status
+IterationStepper::step(bool blocking)
+{
+    if (finished())
+        return st;
+    VDNN_ASSERT(pcIndex < ex.prog.ops.size(),
+                "stepper ran off the program");
+    const IterOp &op = ex.prog.ops[pcIndex];
+
+    // Entering a new (layer, phase) group: take the timestamp the
+    // monolithic loop captured at forwardLayer/backwardLayer entry.
+    if (op.layer != groupLayer || op.backward != groupBackward) {
+        groupLayer = op.layer;
+        groupBackward = op.backward;
+        tLayerStart = ex.rt.now();
+    }
+
+    st = Status::Running;
+    blockedOn = -1;
+    bool ok = true;
+    switch (op.kind) {
+      case OpKind::BeginIteration:
+        ok = opBeginIteration();
+        break;
+      case OpKind::Alloc:
+        ok = op.backward ? opBwdAlloc(op.layer) : opFwdAlloc(op.layer);
+        break;
+      case OpKind::Kernel:
+        if (op.backward)
+            opBwdKernel(op.layer);
+        else
+            opFwdKernel(op.layer);
+        break;
+      case OpKind::Offload:
+        opFwdOffload(op.layer);
+        break;
+      case OpKind::OnDemandFetch:
+        ok = opBwdFetch(op.layer);
+        break;
+      case OpKind::Prefetch:
+        opBwdPrefetch(op.layer);
+        break;
+      case OpKind::Release:
+        if (op.backward)
+            opBwdRelease(op.layer);
+        else
+            opFwdRelease(op.layer);
+        break;
+      case OpKind::Sync:
+        if (opSync(op, blocking) == Status::Blocked)
+            return st;
+        break;
+      case OpKind::Barrier:
+        if (opBarrier(blocking) == Status::Blocked)
+            return st;
+        break;
+      case OpKind::EndIteration: {
+        Status s = opEndIteration(blocking);
+        if (s == Status::Blocked)
+            return st;
+        st = s;
+        ++pcIndex;
+        return st;
+      }
+    }
+
+    if (!ok) {
+        st = Status::Failed;
+        return st;
+    }
+    ++pcIndex;
+    return st;
 }
 
 // --- iteration driver ---------------------------------------------------------------
 
+IterationStepper &
+Executor::beginIteration()
+{
+    VDNN_ASSERT(setupDone, "beginIteration() before setup()");
+    VDNN_ASSERT(!stepper, "previous iteration not collected with "
+                          "finishIteration()");
+    stepper.reset(new IterationStepper(*this));
+    return *stepper;
+}
+
+IterationResult
+Executor::finishIteration()
+{
+    VDNN_ASSERT(stepper && stepper->finished(),
+                "finishIteration() without a finished iteration");
+    IterationResult r = std::move(stepper->res);
+    stepper.reset();
+    return r;
+}
+
 IterationResult
 Executor::runIteration()
 {
-    VDNN_ASSERT(setupDone, "runIteration() before setup()");
-
-    IterationResult result;
-    result.layers.assign(net.numLayers(), LayerTiming{});
-    gradients.clear();
-    deferredReleases.clear();
-    remainingReaders.assign(net.numBuffers(), 0);
-    for (net::BufferId b = 0; b < net::BufferId(net.numBuffers()); ++b)
-        remainingReaders[std::size_t(b)] = net.buffer(b).refCount;
-    prefetchState.emplace(net.numBuffers());
-
-    result.start = rt.now();
-
-    // Materialize the input batch (static under the baseline policy).
-    if (!buffersStatic &&
-        mm.residence(net.inputBuffer()) == Residence::Unallocated) {
-        if (!mm.allocBuffer(net, net.inputBuffer())) {
-            abortIteration(result, "OOM allocating the input batch",
-                           FailKind::FeatureMap, net::kInputLayer);
-            return result;
-        }
-    }
-
-    for (net::LayerId id : net.topoOrder()) {
-        if (!forwardLayer(id, result))
-            return result;
-    }
-    // Any deferred (asynchronous) offload releases must land before
-    // backward propagation starts reusing the buffers.
-    processDeferredReleases(true);
-    for (auto it = net.topoOrder().rbegin(); it != net.topoOrder().rend();
-         ++it) {
-        if (!backwardLayer(*it, result))
-            return result;
-    }
-
-    processDeferredReleases(true);
-    rt.deviceSynchronize();
-    result.end = rt.now();
-
-    // Steady-state invariant: everything allocated inside the iteration
-    // has been returned to the pool.
-    VDNN_ASSERT(gradients.empty(), "gradient buffers leaked");
-    VDNN_ASSERT(mm.deviceUsage() == persistentTotal,
-                "tenant usage %lld != persistent %lld after iteration",
-                (long long)mm.deviceUsage(),
-                (long long)persistentTotal);
-
-    result.ok = true;
-    return result;
+    IterationStepper &s = beginIteration();
+    while (!s.finished())
+        s.step(/*blocking=*/true);
+    return finishIteration();
 }
 
 } // namespace vdnn::core

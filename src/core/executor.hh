@@ -1,9 +1,13 @@
 /**
  * @file
- * The vDNN training-iteration executor (Sections III-A and III-B).
+ * The vDNN training-iteration executor (Sections III-A and III-B),
+ * decomposed into a compile-then-step architecture.
  *
- * Runs one forward+backward pass of a network on the simulated CUDA
- * runtime, orchestrating two streams exactly as the paper's prototype:
+ * The Executor compiles one IterationProgram — an explicit op stream
+ * of Alloc / Kernel / Offload / OnDemandFetch / Prefetch / Sync /
+ * Release steps (core/iteration_program.hh) — from its (Network,
+ * MemoryPlan, ExecutorConfig) triple, and executes it on the simulated
+ * CUDA runtime with two streams, exactly as the paper's prototype:
  *
  *  - stream_compute sequences all layer kernels (cuDNN / cuBLAS);
  *  - stream_memory performs offload (D2H) and prefetch (H2D) DMAs.
@@ -27,11 +31,24 @@
  * whole network at setup (Section II-C) and performs no memory
  * traffic. The executor consumes only the MemoryPlan's per-buffer
  * directives — it never consults a policy enum.
+ *
+ * Execution is driven by an IterationStepper: a resumable cursor over
+ * the program. runIteration() is a drain loop (step(blocking=true)
+ * until done) and reproduces the former monolithic loop's timing
+ * exactly. An external scheduler can instead step(blocking=false):
+ * Sync boundaries (and the Barrier / EndIteration drains) then return
+ * Blocked instead of stalling the host, so iterations of concurrent
+ * tenants on a shared runtime can interleave at op granularity — one
+ * tenant's compute ops run under another's in-flight DMAs
+ * (serve::SchedPolicy::PackedOverlap). The on-demand fetch path stays
+ * host-blocking even then: it is the serialized fallback prefetching
+ * exists to avoid.
  */
 
 #ifndef VDNN_CORE_EXECUTOR_HH
 #define VDNN_CORE_EXECUTOR_HH
 
+#include "core/iteration_program.hh"
 #include "core/memory_manager.hh"
 #include "core/planner.hh"
 #include "core/prefetch.hh"
@@ -40,6 +57,7 @@
 #include "net/network.hh"
 #include "net/network_stats.hh"
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -62,6 +80,11 @@ struct ExecutorConfig
     bool prefetchEnabled = true;
     /** Bound the prefetch search window at the next CONV layer. */
     bool prefetchWindowBounded = true;
+    /**
+     * Weight of this executor's DMAs in the PCIe fair-share arbiter
+     * when several tenants contend for the link (src/interconnect/).
+     */
+    double pcieWeight = 1.0;
 };
 
 /** Wall-clock window of one layer's kernels within the iteration. */
@@ -128,6 +151,103 @@ struct IterationResult
     std::vector<LayerTiming> layers;
 };
 
+/** A pool allocation plus its managed-usage accounting flag. */
+struct TaggedAlloc
+{
+    mem::Allocation alloc;
+    bool managed = false;
+};
+
+class Executor;
+
+/**
+ * A resumable cursor over an Executor's IterationProgram.
+ *
+ * step(blocking=true) always executes the next op, stalling the
+ * simulated host at stream joins exactly like the former monolithic
+ * loop. step(blocking=false) instead returns Blocked from a Sync /
+ * Barrier / EndIteration op whose stream has in-flight work, leaving
+ * the host free to advance another tenant's stepper; the op resumes
+ * where it left off on the next call. The two modes produce identical
+ * device timelines for a single tenant — non-blocking mode only hands
+ * the wait loop to the caller.
+ */
+class IterationStepper
+{
+  public:
+    enum class Status
+    {
+        Running, ///< more ops to execute
+        Blocked, ///< next op waits on blockedStream() (non-blocking)
+        Done,    ///< iteration completed; result().ok == true
+        Failed,  ///< iteration aborted; result().failReason says why
+    };
+
+    /** Execute (or resume) the next op. */
+    Status step(bool blocking = true);
+
+    Status status() const { return st; }
+    bool finished() const
+    {
+        return st == Status::Done || st == Status::Failed;
+    }
+
+    /** Stream the stepper is blocked on (valid while Blocked). */
+    gpu::StreamId blockedStream() const { return blockedOn; }
+
+    /** Index of the next op to execute (the program counter). */
+    std::size_t pc() const { return pcIndex; }
+    const IterOp *nextOp() const;
+
+    const IterationResult &result() const { return res; }
+
+  private:
+    friend class Executor;
+
+    explicit IterationStepper(Executor &executor);
+
+    Status blocked(gpu::StreamId stream);
+
+    // --- op bodies (false = iteration aborted) ---------------------------
+    bool opBeginIteration();
+    bool opFwdAlloc(net::LayerId id);
+    void opFwdKernel(net::LayerId id);
+    void opFwdOffload(net::LayerId id);
+    void opFwdRelease(net::LayerId id);
+    bool opBwdFetch(net::LayerId id);
+    bool opBwdAlloc(net::LayerId id);
+    void opBwdPrefetch(net::LayerId id);
+    void opBwdKernel(net::LayerId id);
+    void opBwdRelease(net::LayerId id);
+    Status opSync(const IterOp &op, bool blocking);
+    Status opBarrier(bool blocking);
+    Status opEndIteration(bool blocking);
+
+    Executor &ex;
+    std::size_t pcIndex = 0;
+    Status st = Status::Running;
+    gpu::StreamId blockedOn = -1;
+
+    /** Resume point inside a partially executed Sync op. */
+    int syncPhase = 0;
+    TimeNs tComputeDone = 0;
+
+    /** (layer, phase) group the cursor is in, for entry timestamps. */
+    net::LayerId groupLayer = -2;
+    bool groupBackward = false;
+    /** rt.now() when the cursor entered the current layer group. */
+    TimeNs tLayerStart = 0;
+
+    /** Live convolution workspace of the current layer. */
+    std::optional<TaggedAlloc> ws;
+    /** Buffers whose offload DMA this layer's Sync op joins. */
+    std::vector<net::BufferId> offloading;
+    /** Buffers whose prefetch DMA this layer's Sync op joins. */
+    std::vector<net::BufferId> prefetching;
+
+    IterationResult res;
+};
+
 class Executor
 {
   public:
@@ -147,6 +267,19 @@ class Executor
     /** Run one forward+backward pass. Requires a successful setup(). */
     IterationResult runIteration();
 
+    /**
+     * Start an iteration to be driven one op at a time. At most one
+     * stepper is live; the previous iteration must have been drained
+     * (finished()) and collected with finishIteration().
+     */
+    IterationStepper &beginIteration();
+
+    /** The live stepper, or nullptr between iterations. */
+    IterationStepper *activeStepper() { return stepper.get(); }
+
+    /** Collect a finished stepper's result and retire it. */
+    IterationResult finishIteration();
+
     /** Release the persistent state. */
     void teardown();
 
@@ -155,22 +288,17 @@ class Executor
 
     const MemoryPlan &plan() const { return execPlan; }
 
+    /** The compiled op stream every iteration executes. */
+    const IterationProgram &program() const { return prog; }
+
   private:
-    struct TaggedAlloc
-    {
-        mem::Allocation alloc;
-        bool managed = false;
-    };
+    friend class IterationStepper;
 
     // --- setup helpers ------------------------------------------------------
     bool allocPersistent(Bytes bytes, const std::string &tag,
                          bool managed);
     bool setupBaseline();
     void teardownPartial();
-
-    // --- iteration phases ----------------------------------------------------
-    bool forwardLayer(net::LayerId id, IterationResult &result);
-    bool backwardLayer(net::LayerId id, IterationResult &result);
 
     // --- kernel launch helpers -----------------------------------------------
     void launchForwardKernels(net::LayerId id);
@@ -206,6 +334,7 @@ class Executor
     MemoryPlan execPlan;
     ExecutorConfig cfg;
     net::NetworkStats stats;
+    IterationProgram prog;
 
     gpu::StreamId streamCompute = -1;
     gpu::StreamId streamMemory = -1;
@@ -220,12 +349,14 @@ class Executor
     /** Per layer: buffers whose last backward user is that layer. */
     std::vector<std::vector<net::BufferId>> bwdReleaseAt;
 
-    // Per-iteration state.
+    // Per-iteration state (reset by the BeginIteration op).
     std::unordered_map<net::BufferId, TaggedAlloc> gradients;
     std::vector<std::pair<net::BufferId, gpu::CudaEventId>>
         deferredReleases;
     std::vector<int> remainingReaders; // forward refcounts, per buffer
     std::optional<PrefetchState> prefetchState;
+
+    std::unique_ptr<IterationStepper> stepper;
 };
 
 } // namespace vdnn::core

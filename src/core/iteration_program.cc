@@ -1,0 +1,133 @@
+#include "core/iteration_program.hh"
+
+#include "common/logging.hh"
+#include "core/executor.hh"
+#include "core/planner.hh"
+
+#include <algorithm>
+
+namespace vdnn::core
+{
+
+const char *
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::BeginIteration:
+        return "begin";
+      case OpKind::Alloc:
+        return "alloc";
+      case OpKind::Kernel:
+        return "kernel";
+      case OpKind::Offload:
+        return "offload";
+      case OpKind::OnDemandFetch:
+        return "fetch";
+      case OpKind::Prefetch:
+        return "prefetch";
+      case OpKind::Sync:
+        return "sync";
+      case OpKind::Release:
+        return "release";
+      case OpKind::Barrier:
+        return "barrier";
+      case OpKind::EndIteration:
+        return "end";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Input buffers of @p id the plan offloads with @p id as last reader. */
+std::vector<net::BufferId>
+offloadedAt(const net::Network &net, const MemoryPlan &plan,
+            net::LayerId id)
+{
+    std::vector<net::BufferId> out;
+    if (plan.staticAllocation)
+        return out;
+    for (net::LayerId in_id : net.node(id).inputs) {
+        net::BufferId b = in_id == net::kInputLayer
+                              ? net.inputBuffer()
+                              : net.node(in_id).yBuffer;
+        if (!plan.offloads(b) || net.buffer(b).lastFwdReader != id)
+            continue;
+        if (std::find(out.begin(), out.end(), b) == out.end())
+            out.push_back(b);
+    }
+    return out;
+}
+
+} // namespace
+
+IterationProgram
+IterationProgram::compile(const net::Network &net, const MemoryPlan &plan,
+                          const ExecutorConfig &cfg)
+{
+    VDNN_ASSERT(net.finalized(), "network must be finalized");
+    VDNN_ASSERT(plan.buffers.size() == net.numBuffers(),
+                "plan does not match the network");
+
+    IterationProgram p;
+    auto emit = [&p](OpKind kind, net::LayerId layer, bool backward) {
+        p.ops.push_back(IterOp{kind, layer, backward});
+    };
+
+    emit(OpKind::BeginIteration, net::kInputLayer, false);
+
+    // Forward phase: allocate, compute, overlap the offload of the
+    // layer's retired inputs, join at the boundary, release.
+    for (net::LayerId id : net.topoOrder()) {
+        emit(OpKind::Alloc, id, false);
+        emit(OpKind::Kernel, id, false);
+        if (!offloadedAt(net, plan, id).empty())
+            emit(OpKind::Offload, id, false);
+        emit(OpKind::Sync, id, false);
+        emit(OpKind::Release, id, false);
+    }
+
+    emit(OpKind::Barrier, net::kInputLayer, true);
+
+    // Backward phase, reverse order: residency + gradients, overlap
+    // the Fig. 10 prefetch with the kernels, join, release.
+    for (auto it = net.topoOrder().rbegin(); it != net.topoOrder().rend();
+         ++it) {
+        net::LayerId id = *it;
+        const dnn::LayerSpec &spec = net.node(id).spec;
+        if (!plan.staticAllocation &&
+            (spec.backwardNeedsX() || spec.backwardNeedsY())) {
+            emit(OpKind::OnDemandFetch, id, true);
+        }
+        if (!plan.staticAllocation)
+            emit(OpKind::Alloc, id, true);
+        if (!plan.staticAllocation && cfg.prefetchEnabled)
+            emit(OpKind::Prefetch, id, true);
+        emit(OpKind::Kernel, id, true);
+        emit(OpKind::Sync, id, true);
+        emit(OpKind::Release, id, true);
+    }
+
+    emit(OpKind::EndIteration, net::kInputLayer, true);
+    return p;
+}
+
+std::string
+IterationProgram::dump(const net::Network &net) const
+{
+    std::string out;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const IterOp &op = ops[i];
+        std::string where;
+        if (op.layer != net::kInputLayer) {
+            where = strFormat("%s %s", op.backward ? "bwd" : "fwd",
+                              net.node(op.layer).spec.name.c_str());
+        }
+        out += strFormat("%4zu  %-8s %s\n", i, opKindName(op.kind),
+                         where.c_str());
+    }
+    return out;
+}
+
+} // namespace vdnn::core

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * IterationProgram — the compiled op-stream IR of one training
+ * iteration.
+ *
+ * The Executor used to run a whole forward+backward pass inside one
+ * imperative, blocking loop. That made iteration execution an
+ * all-or-nothing unit: an external scheduler could interleave tenants
+ * only at iteration granularity, and the compute engine idled through
+ * every tenant's DMA stalls. This IR decomposes the iteration into an
+ * explicit op stream compiled once from (Network, MemoryPlan,
+ * ExecutorConfig):
+ *
+ *   BeginIteration                          reset state, input batch
+ *   per layer, forward order:
+ *     Alloc / Kernel / [Offload] / Sync / Release
+ *   Barrier                                 drain deferred releases
+ *   per layer, reverse order:
+ *     [OnDemandFetch] / [Alloc] / [Prefetch] / Kernel / Sync / Release
+ *   EndIteration                            drain, verify steady state
+ *
+ * Bracketed ops are specialized away at compile time when the plan
+ * makes them statically dead (a static-allocation plan performs no
+ * memory traffic; a layer whose inputs are never offloaded needs no
+ * Offload op). Everything data-dependent — opportunistic prefetch
+ * hits, host-exhaustion fallbacks, OOM recovery — stays a runtime
+ * decision inside the op bodies, so stepping the program reproduces
+ * the monolithic loop exactly.
+ *
+ * The program is executed by an IterationStepper (core/executor.hh),
+ * which advances one op at a time and can be suspended at every Sync
+ * boundary — the substrate the serve layer's PackedOverlap policy uses
+ * to run tenant B's compute under tenant A's DMAs, and that mid-run
+ * re-planning will need next.
+ */
+
+#ifndef VDNN_CORE_ITERATION_PROGRAM_HH
+#define VDNN_CORE_ITERATION_PROGRAM_HH
+
+#include "net/network.hh"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vdnn::core
+{
+
+struct MemoryPlan;
+struct ExecutorConfig;
+
+/** What one program step does. */
+enum class OpKind
+{
+    BeginIteration, ///< reset per-iteration state, materialize input
+    Alloc,          ///< mandatory allocations (Y/workspace/gradients)
+    Kernel,         ///< launch the layer's kernels on stream_compute
+    Offload,        ///< issue D2H DMAs for the layer's offloaded inputs
+    OnDemandFetch,  ///< ensure residency, fetching serialized if needed
+    Prefetch,       ///< Fig. 10 search + overlapped H2D issue
+    Sync,           ///< layer boundary: join compute and memory streams
+    Release,        ///< workspace / dead-buffer releases, timing record
+    Barrier,        ///< forward->backward: drain deferred releases
+    EndIteration,   ///< final drain, steady-state invariant check
+};
+
+const char *opKindName(OpKind k);
+
+/** One step of the compiled iteration. */
+struct IterOp
+{
+    OpKind kind = OpKind::BeginIteration;
+    /** Owning layer; kInputLayer for the structural ops. */
+    net::LayerId layer = net::kInputLayer;
+    /** Backward-phase op (structural ops: phase they belong to). */
+    bool backward = false;
+};
+
+/**
+ * The compiled op stream. Immutable once compiled; one program drives
+ * every iteration of an Executor (the plan and config are fixed for
+ * the executor's lifetime).
+ */
+struct IterationProgram
+{
+    std::vector<IterOp> ops;
+
+    static IterationProgram compile(const net::Network &net,
+                                    const MemoryPlan &plan,
+                                    const ExecutorConfig &cfg);
+
+    std::size_t size() const { return ops.size(); }
+
+    /** Human-readable op-stream listing (one op per line). */
+    std::string dump(const net::Network &net) const;
+};
+
+} // namespace vdnn::core
+
+#endif // VDNN_CORE_ITERATION_PROGRAM_HH

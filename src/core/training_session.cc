@@ -141,8 +141,30 @@ Session::setup()
 IterationResult
 Session::runIteration()
 {
-    VDNN_ASSERT(isActive, "runIteration() on an inactive session");
-    IterationResult r = ex->runIteration();
+    IterationStepper &s = beginIteration();
+    while (!s.finished())
+        s.step(/*blocking=*/true);
+    return completeIteration();
+}
+
+IterationStepper &
+Session::beginIteration()
+{
+    VDNN_ASSERT(isActive, "beginIteration() on an inactive session");
+    return ex->beginIteration();
+}
+
+IterationStepper *
+Session::activeStepper()
+{
+    return ex ? ex->activeStepper() : nullptr;
+}
+
+IterationResult
+Session::completeIteration()
+{
+    VDNN_ASSERT(isActive, "completeIteration() on an inactive session");
+    IterationResult r = ex->finishIteration();
     if (r.ok) {
         ++itersDone;
         lastIter = r;
@@ -151,6 +173,13 @@ Session::runIteration()
         failure = r.failReason;
     }
     return r;
+}
+
+const IterationProgram &
+Session::program() const
+{
+    VDNN_ASSERT(ex, "program() before setup()");
+    return ex->program();
 }
 
 void

@@ -155,6 +155,25 @@ class Session
     /** Run one training iteration. Requires a successful setup(). */
     IterationResult runIteration();
 
+    /**
+     * Start an iteration to be driven one op at a time by an external
+     * scheduler (serve-layer packed overlap). The previous iteration
+     * must have been collected with completeIteration().
+     */
+    IterationStepper &beginIteration();
+
+    /** The live stepper, or nullptr between iterations. */
+    IterationStepper *activeStepper();
+
+    /**
+     * Fold a finished stepper's result into the session state
+     * (iteration count / failure) and retire the stepper.
+     */
+    IterationResult completeIteration();
+
+    /** The compiled op stream (after a successful setup()). */
+    const IterationProgram &program() const;
+
     /** Release all device state. Idempotent after setup(). */
     void teardown();
 

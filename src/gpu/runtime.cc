@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 namespace vdnn::gpu
 {
@@ -28,8 +29,26 @@ Runtime::Runtime(GpuSpec spec, bool enable_contention)
 StreamId
 Runtime::createStream(const std::string &name)
 {
-    streams.push_back(Stream{name, {}, false, false});
+    streams.push_back(Stream{name, {}, false, false, 0});
     return StreamId(streams.size() - 1);
+}
+
+void
+Runtime::setStreamClient(StreamId stream, int client, double weight)
+{
+    VDNN_ASSERT(stream >= 0 && size_t(stream) < streams.size(),
+                "bad stream id %d", stream);
+    streams[size_t(stream)].client = client;
+    arbD2H.setWeight(client, weight);
+    arbH2D.setWeight(client, weight);
+}
+
+int
+Runtime::streamClient(StreamId stream) const
+{
+    VDNN_ASSERT(stream >= 0 && size_t(stream) < streams.size(),
+                "bad stream id %d", stream);
+    return streams[size_t(stream)].client;
 }
 
 CudaEventId
@@ -269,7 +288,8 @@ Runtime::computeFinish()
     if (keepLog) {
         kLog.push_back(KernelRecord{compute.desc.name, compute.start, now,
                                     compute.desc.flops,
-                                    compute.desc.dramBytes});
+                                    compute.desc.dramBytes,
+                                    streams[size_t(sid)].client});
     }
     compute.busy = false;
     compute.stream = -1;
@@ -291,14 +311,32 @@ Runtime::engineFor(CopyDir dir) const
     return dir == CopyDir::DeviceToHost ? copyD2H : copyH2D;
 }
 
+ic::FairShareArbiter &
+Runtime::arbiterFor(CopyDir dir)
+{
+    return dir == CopyDir::DeviceToHost ? arbD2H : arbH2D;
+}
+
 void
 Runtime::copyTryStart(CopyDir dir)
 {
     CopyEngine &e = engineFor(dir);
     if (e.busy || e.waitQueue.empty())
         return;
-    StreamId sid = e.waitQueue.front();
-    e.waitQueue.erase(e.waitQueue.begin());
+    // Grant the engine by weighted fair share over the queued tenants
+    // (FIFO among a single tenant's transfers, and trivially FIFO when
+    // only one stream is waiting).
+    std::size_t pick = 0;
+    if (e.waitQueue.size() > 1) {
+        std::vector<int> owners;
+        owners.reserve(e.waitQueue.size());
+        for (StreamId s : e.waitQueue)
+            owners.push_back(streams[size_t(s)].client);
+        pick = arbiterFor(dir).pick(owners);
+    }
+    StreamId sid = e.waitQueue[pick];
+    e.waitQueue.erase(e.waitQueue.begin() +
+                      std::ptrdiff_t(pick));
     Stream &s = streams[size_t(sid)];
     VDNN_ASSERT(!s.queue.empty() &&
                     s.queue.front().type == Command::Type::Copy,
@@ -322,16 +360,20 @@ Runtime::copyFinish(CopyDir dir)
     StreamId sid = e.stream;
     TimeNs now = eq.now();
     powerModel.copyEnd(now, pcie.spec().dmaBandwidth);
+    int client = streams[size_t(sid)].client;
+    arbiterFor(dir).charge(client, e.cmd.bytes);
     if (dir == CopyDir::DeviceToHost) {
         copiedD2H += e.cmd.bytes;
+        copiedByClientD2H[client] += e.cmd.bytes;
         copyBusyD2H += now - e.start;
     } else {
         copiedH2D += e.cmd.bytes;
+        copiedByClientH2D[client] += e.cmd.bytes;
         copyBusyH2D += now - e.start;
     }
     if (keepLog) {
-        cLog.push_back(
-            CopyRecord{e.cmd.tag, e.start, now, e.cmd.bytes, dir});
+        cLog.push_back(CopyRecord{e.cmd.tag, e.start, now, e.cmd.bytes,
+                                  dir, client});
     }
     e.busy = false;
     e.stream = -1;
@@ -389,6 +431,21 @@ Bytes
 Runtime::bytesCopied(CopyDir dir) const
 {
     return dir == CopyDir::DeviceToHost ? copiedD2H : copiedH2D;
+}
+
+Bytes
+Runtime::bytesCopiedByClient(CopyDir dir, int client) const
+{
+    const auto &m = dir == CopyDir::DeviceToHost ? copiedByClientD2H
+                                                 : copiedByClientH2D;
+    auto it = m.find(client);
+    return it == m.end() ? 0 : it->second;
+}
+
+const ic::FairShareArbiter &
+Runtime::pcieArbiter(CopyDir dir) const
+{
+    return dir == CopyDir::DeviceToHost ? arbD2H : arbH2D;
 }
 
 TimeNs

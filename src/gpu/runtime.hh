@@ -29,6 +29,7 @@
 #include "common/types.hh"
 #include "gpu/gpu_spec.hh"
 #include "gpu/power_model.hh"
+#include "interconnect/arbiter.hh"
 #include "interconnect/pcie_link.hh"
 #include "sim/event_queue.hh"
 
@@ -68,6 +69,8 @@ struct KernelRecord
     TimeNs end = 0;
     Flops flops = 0.0;
     Bytes dramBytes = 0;
+    /** Tenant of the launching stream (multi-tenant timelines). */
+    int client = 0;
 
     TimeNs duration() const { return end - start; }
     /** Achieved DRAM bandwidth, bytes/s. */
@@ -82,6 +85,8 @@ struct CopyRecord
     TimeNs end = 0;
     Bytes bytes = 0;
     CopyDir dir = CopyDir::HostToDevice;
+    /** Tenant of the issuing stream (multi-tenant timelines). */
+    int client = 0;
 };
 
 class Runtime
@@ -100,6 +105,18 @@ class Runtime
     // --- stream / event management -------------------------------------
     StreamId createStream(const std::string &name);
     CudaEventId createEvent();
+
+    /**
+     * Attach a stream to a tenant for per-client accounting and PCIe
+     * fair-share arbitration. @p weight is the tenant's share of the
+     * link when several tenants' DMAs are queued on the same copy
+     * engine. Streams default to client 0, weight 1 (exclusive mode).
+     */
+    void setStreamClient(StreamId stream, int client,
+                         double weight = 1.0);
+
+    /** Tenant a stream is attached to (0 unless set). */
+    int streamClient(StreamId stream) const;
 
     // --- asynchronous command submission --------------------------------
     /** Enqueue a kernel on @p stream. */
@@ -140,11 +157,26 @@ class Runtime
      */
     void advanceTo(TimeNs t) { eq.runUntil(t); }
 
+    /**
+     * Execute the single next pending device event, advancing the
+     * host clock to it. Lets an external scheduler make minimal time
+     * progress while every tenant's stepper is blocked on in-flight
+     * device work, instead of committing the host to one stream's
+     * full drain. @return false when no event is pending.
+     */
+    bool stepDevice() { return eq.step(); }
+
     PowerModel &power() { return powerModel; }
     const PowerModel &power() const { return powerModel; }
 
     /** Total bytes copied in @p dir so far. */
     Bytes bytesCopied(CopyDir dir) const;
+
+    /** Bytes copied in @p dir so far on @p client's streams. */
+    Bytes bytesCopiedByClient(CopyDir dir, int client) const;
+
+    /** The fair-share arbiter granting the @p dir copy engine. */
+    const ic::FairShareArbiter &pcieArbiter(CopyDir dir) const;
 
     /** Cumulative busy time of the compute engine. */
     TimeNs computeBusyTime() const { return computeBusy; }
@@ -183,6 +215,8 @@ class Runtime
         bool headDispatched = false;
         /** Head is an EventWait blocked on an unfired event. */
         bool waiting = false;
+        /** Owning tenant (per-client accounting, PCIe arbitration). */
+        int client = 0;
     };
 
     struct EventState
@@ -229,6 +263,7 @@ class Runtime
 
     CopyEngine &engineFor(CopyDir dir);
     const CopyEngine &engineFor(CopyDir dir) const;
+    ic::FairShareArbiter &arbiterFor(CopyDir dir);
     void copyTryStart(CopyDir dir);
     void copyFinish(CopyDir dir);
 
@@ -249,9 +284,13 @@ class Runtime
     ComputeEngine compute;
     CopyEngine copyD2H;
     CopyEngine copyH2D;
+    ic::FairShareArbiter arbD2H;
+    ic::FairShareArbiter arbH2D;
 
     Bytes copiedD2H = 0;
     Bytes copiedH2D = 0;
+    std::unordered_map<int, Bytes> copiedByClientD2H;
+    std::unordered_map<int, Bytes> copiedByClientH2D;
     TimeNs computeBusy = 0;
     TimeNs copyBusyD2H = 0;
     TimeNs copyBusyH2D = 0;

@@ -1,0 +1,88 @@
+#include "interconnect/arbiter.hh"
+
+#include "common/logging.hh"
+
+#include <algorithm>
+
+namespace vdnn::ic
+{
+
+void
+FairShareArbiter::setWeight(int client, double w)
+{
+    VDNN_ASSERT(w > 0.0, "arbiter weight must be positive (client %d)",
+                client);
+    clients[client].weight = w;
+}
+
+double
+FairShareArbiter::weight(int client) const
+{
+    auto it = clients.find(client);
+    return it == clients.end() ? 1.0 : it->second.weight;
+}
+
+std::size_t
+FairShareArbiter::pick(const std::vector<int> &candidates)
+{
+    VDNN_ASSERT(!candidates.empty(), "pick() from an empty queue");
+
+    auto norm_of = [this](int c) {
+        auto it = clients.find(c);
+        return it == clients.end()
+                   ? 0.0
+                   : double(it->second.served) / it->second.weight;
+    };
+
+    // Bounded deficit: forgive service history beyond kMaxCreditBytes
+    // of normalized credit, so a tenant that was idle while others
+    // moved data uncontended cannot starve them on (re)arrival.
+    double max_norm = 0.0;
+    for (int c : candidates)
+        max_norm = std::max(max_norm, norm_of(c));
+    for (int c : candidates) {
+        ClientState &state = clients[c];
+        double floor_norm =
+            max_norm - double(kMaxCreditBytes) / state.weight;
+        if (double(state.served) / state.weight < floor_norm)
+            state.served = Bytes(floor_norm * state.weight);
+    }
+
+    std::size_t best = 0;
+    double best_norm = 0.0;
+    bool have_best = false;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        double norm = norm_of(candidates[i]);
+        // Strict < keeps the earliest (FIFO) transfer on ties, and the
+        // first queued transfer of each client.
+        if (!have_best || norm < best_norm) {
+            have_best = true;
+            best = i;
+            best_norm = norm;
+        }
+    }
+    return best;
+}
+
+void
+FairShareArbiter::charge(int client, Bytes bytes)
+{
+    VDNN_ASSERT(bytes >= 0, "negative service charge");
+    clients[client].served += bytes;
+}
+
+Bytes
+FairShareArbiter::servedBytes(int client) const
+{
+    auto it = clients.find(client);
+    return it == clients.end() ? 0 : it->second.served;
+}
+
+void
+FairShareArbiter::resetService()
+{
+    for (auto &[id, state] : clients)
+        state.served = 0;
+}
+
+} // namespace vdnn::ic

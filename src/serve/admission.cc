@@ -164,11 +164,15 @@ AdmissionController::AdmissionController(Bytes capacity, double safety_)
 }
 
 Bytes
-AdmissionController::maxTransient() const
+AdmissionController::transientArena() const
 {
     Bytes t = 0;
-    for (const auto &[id, r] : reservations)
-        t = std::max(t, r.transient);
+    for (const auto &[id, r] : reservations) {
+        if (overlapTransients)
+            t += r.transient;
+        else
+            t = std::max(t, r.transient);
+    }
     return t;
 }
 
@@ -186,7 +190,9 @@ AdmissionController::canAdmit(const FootprintEstimate &est,
     double s = safety * scale;
     Bytes p = Bytes(std::ceil(double(est.persistent) * s));
     Bytes t = Bytes(std::ceil(double(est.transient) * s));
-    return persistentSum + p + std::max(maxTransient(), t) <= cap;
+    Bytes arena = overlapTransients ? transientArena() + t
+                                    : std::max(transientArena(), t);
+    return persistentSum + p + arena <= cap;
 }
 
 bool
@@ -222,7 +228,7 @@ AdmissionController::release(JobId id)
 Bytes
 AdmissionController::reservedBytes() const
 {
-    return persistentSum + maxTransient();
+    return persistentSum + transientArena();
 }
 
 } // namespace vdnn::serve

@@ -92,8 +92,18 @@ class AdmissionController
     AdmissionController(Bytes capacity, double safety = 1.05);
 
     /**
+     * Packed-overlap mode: iterations of all admitted tenants may be
+     * in flight *simultaneously*, so the shared-transient-arena
+     * assumption above no longer holds — every tenant's transient
+     * working set must be reserved at once (sum instead of max).
+     * Default off (iteration-granularity interleaving).
+     */
+    void setOverlapTransients(bool overlap) { overlapTransients = overlap; }
+
+    /**
      * Would @p est (scaled by @p scale) fit beside the admitted set,
-     * i.e. sum(persistent) + max(transient) stays within capacity?
+     * i.e. sum(persistent) + max(transient) stays within capacity
+     * (sum(transient) in packed-overlap mode)?
      */
     bool canAdmit(const FootprintEstimate &est, double scale = 1.0) const;
 
@@ -123,10 +133,13 @@ class AdmissionController
         Bytes transient = 0;
     };
 
-    Bytes maxTransient() const;
+    /** Transient arena the admitted set needs: max, or sum when
+     *  packed overlap keeps several iterations in flight at once. */
+    Bytes transientArena() const;
 
     Bytes cap;
     double safety;
+    bool overlapTransients = false;
     Bytes persistentSum = 0;
     std::unordered_map<JobId, Reservation> reservations;
 };

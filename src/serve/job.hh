@@ -74,7 +74,14 @@ struct JobRecord
     /** Peak bytes this tenant held in the shared pool. */
     Bytes peakPoolBytes = 0;
     Bytes offloadedBytes = 0;
-    /** Compute time the job's iterations occupied the device for. */
+    /**
+     * Sum of the job's own iteration windows [start, end). Time the
+     * job spends admitted with no iteration in flight — e.g. the
+     * device clock advancing to the next sparse arrival — is never
+     * billed here. Under packed overlap an iteration window includes
+     * co-tenant interleaving, so it measures occupancy, not exclusive
+     * compute.
+     */
     TimeNs serviceTime = 0;
 };
 

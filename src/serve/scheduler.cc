@@ -18,6 +18,8 @@ schedPolicyName(SchedPolicy p)
         return "round-robin";
       case SchedPolicy::ShortestRemaining:
         return "shortest-remaining";
+      case SchedPolicy::PackedOverlap:
+        return "packed-overlap";
     }
     return "?";
 }
@@ -36,6 +38,10 @@ Scheduler::Scheduler(SchedulerConfig config)
                 "maxJobsInFlight must be >= 0");
     pool.setTracker(&poolTrack);
     inflight.record(rt.now(), 0.0);
+    // Packed overlap keeps several tenants' iterations in flight at
+    // once, so their transient working sets must be reserved together.
+    admission.setOverlapTransients(cfg.policy ==
+                                   SchedPolicy::PackedOverlap);
 }
 
 JobId
@@ -298,12 +304,21 @@ Scheduler::allDone() const
     return true;
 }
 
-ServeReport
-Scheduler::run()
+void
+Scheduler::chargeIteration(Job &job, const core::IterationResult &r)
 {
-    VDNN_ASSERT(!ran, "run() called twice");
-    ran = true;
+    ++job.record.itersDone;
+    // Service time is derived solely from the iteration's own
+    // [start, end) window, never from scheduler wall time: host
+    // advances between iterations — in particular advancing the device
+    // clock to the next sparse arrival while a job sits admitted with
+    // no iteration in flight — must not be billed to any tenant.
+    job.record.serviceTime += r.makespan();
+}
 
+void
+Scheduler::runInterleaved()
+{
     while (!allDone()) {
         collectArrivals();
         admitFromQueue();
@@ -322,8 +337,7 @@ Scheduler::run()
         Job &job = *pickNext();
         core::IterationResult r = job.session->runIteration();
         if (r.ok) {
-            ++job.record.itersDone;
-            job.record.serviceTime += r.makespan();
+            chargeIteration(job, r);
             if (job.record.itersDone >= job.spec.iterations)
                 finishJob(job, JobState::Finished);
         } else {
@@ -332,8 +346,85 @@ Scheduler::run()
             evictForRequeue(job);
         }
     }
+}
 
-    // --- report --------------------------------------------------------
+void
+Scheduler::runPacked()
+{
+    // Op-granularity packing: every admitted tenant owns a resumable
+    // IterationStepper over its compiled IterationProgram. One pass of
+    // the loop offers each tenant a single step; a tenant blocked on a
+    // stream join (its offload or prefetch still in flight) is skipped
+    // rather than allowed to stall the host, so the next tenant's
+    // compute op dispatches under the blocked tenant's DMA. Only when
+    // *every* admitted tenant is blocked does the host advance the
+    // device clock — by exactly one event, so whichever tenant
+    // unblocks first resumes first.
+    while (!allDone()) {
+        collectArrivals();
+        admitFromQueue();
+
+        if (running.empty()) {
+            TimeNs next = nextArrivalAfter(rt.now());
+            if (next == kTimeNone)
+                break;
+            rt.advanceTo(next);
+            continue;
+        }
+
+        bool progress = false;
+        std::vector<JobId> round = running;
+        for (JobId id : round) {
+            Job &job = *jobs[std::size_t(id)];
+            if (job.record.state != JobState::Running)
+                continue; // finished or evicted earlier in this round
+            core::IterationStepper *st = job.session->activeStepper();
+            if (!st)
+                st = &job.session->beginIteration();
+            core::IterationStepper::Status s =
+                st->step(/*blocking=*/false);
+            if (s == core::IterationStepper::Status::Blocked)
+                continue;
+            progress = true;
+            if (!st->finished())
+                continue;
+            core::IterationResult r = job.session->completeIteration();
+            if (r.ok) {
+                chargeIteration(job, r);
+                if (job.record.itersDone >= job.spec.iterations)
+                    finishJob(job, JobState::Finished);
+            } else {
+                evictForRequeue(job);
+            }
+        }
+
+        if (!progress) {
+            // Every admitted tenant is blocked on in-flight device
+            // work; there must be a pending completion to run.
+            bool advanced = rt.stepDevice();
+            VDNN_ASSERT(advanced,
+                        "all tenants blocked with an empty event queue");
+        }
+    }
+}
+
+ServeReport
+Scheduler::run()
+{
+    VDNN_ASSERT(!ran, "run() called twice");
+    ran = true;
+
+    if (cfg.policy == SchedPolicy::PackedOverlap)
+        runPacked();
+    else
+        runInterleaved();
+
+    return buildReport();
+}
+
+ServeReport
+Scheduler::buildReport()
+{
     inflight.finish(rt.now());
     poolTrack.finish();
 
@@ -345,6 +436,9 @@ Scheduler::run()
     rep.avgJobsInFlight = inflight.average();
     rep.poolPeakBytes = poolTrack.peakBytes();
     rep.poolAvgBytes = poolTrack.averageBytes();
+    rep.computeBusyTime = rt.computeBusyTime();
+    rep.copyBusyTime = rt.copyBusyTime(gpu::CopyDir::DeviceToHost) +
+                       rt.copyBusyTime(gpu::CopyDir::HostToDevice);
     if (cfg.keepTimeline) {
         rep.poolTimeline = poolTrack.signal().timeline();
         rep.inflightTimeline = inflight.timeline();

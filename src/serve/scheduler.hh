@@ -22,6 +22,17 @@
  *  - ShortestRemaining: same packing, but the next iteration goes to
  *    the admitted job with the fewest remaining iterations (SRPT at
  *    iteration granularity) — minimizes mean job completion time.
+ *  - PackedOverlap: op-granularity packing over the IterationProgram
+ *    steppers. Every admitted tenant keeps a resumable
+ *    core::IterationStepper; whenever one tenant blocks on a DMA join
+ *    (offload/prefetch sync boundary), the next ready tenant's compute
+ *    op is dispatched instead of idling the compute engine — tenant
+ *    B's kernels run under tenant A's transfers. Concurrent offloads
+ *    share the PCIe link under the weighted fair-share arbiter
+ *    (src/interconnect/arbiter.hh; per-job weight via
+ *    JobSpec::exec.pcieWeight). Because several tenants' per-iteration
+ *    working sets are live at once, admission reserves the *sum* of
+ *    transients instead of the shared arena.
  *
  * In-flight OOM (overcommit or pool fragmentation despite the
  * reservation) aborts only that iteration: the job is torn down,
@@ -56,6 +67,7 @@ enum class SchedPolicy
     FifoExclusive,     ///< one job at a time, arrival order
     RoundRobin,        ///< iteration-granularity packing (Salus-style)
     ShortestRemaining, ///< packed, fewest-remaining-iterations first
+    PackedOverlap,     ///< op-granularity packing, compute/DMA overlap
 };
 
 const char *schedPolicyName(SchedPolicy p);
@@ -113,6 +125,13 @@ class Scheduler
     void recordInflight();
     TimeNs nextArrivalAfter(TimeNs t) const;
     bool allDone() const;
+    /** Fold one completed (ok) iteration into the job's record. */
+    void chargeIteration(Job &job, const core::IterationResult &r);
+    /** Iteration-granularity main loop (all policies but packed). */
+    void runInterleaved();
+    /** Op-granularity main loop (SchedPolicy::PackedOverlap). */
+    void runPacked();
+    ServeReport buildReport();
 
     SchedulerConfig cfg;
     gpu::Runtime rt;

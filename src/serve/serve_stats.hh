@@ -59,6 +59,18 @@ struct ServeReport
     Bytes poolPeakBytes = 0;
     Bytes poolAvgBytes = 0; ///< time-weighted
 
+    /** Cumulative busy time of the shared compute engine. */
+    TimeNs computeBusyTime = 0;
+    /** Cumulative busy time of both DMA engines. */
+    TimeNs copyBusyTime = 0;
+    /** Compute-engine busy fraction over the serving makespan. */
+    double computeUtilization() const
+    {
+        return makespan > 0
+                   ? double(computeBusyTime) / double(makespan)
+                   : 0.0;
+    }
+
     /** Shared-pool usage change points (when keepTimeline was set). */
     std::vector<stats::TimeWeighted::Sample> poolTimeline;
     /** Jobs-in-flight change points (when keepTimeline was set). */

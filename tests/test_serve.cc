@@ -422,3 +422,216 @@ TEST(Scheduler, ShortestRemainingFavorsShortJobs)
     EXPECT_LT(meanJct(SchedPolicy::ShortestRemaining),
               meanJct(SchedPolicy::RoundRobin));
 }
+
+// --- packed overlap ----------------------------------------------------------
+
+namespace
+{
+
+/** Mixed stall-heavy workload used by the overlap tests. */
+std::vector<JobSpec>
+overlapWorkload()
+{
+    std::shared_ptr<const net::Network> vgg = net::buildVgg16(64);
+    std::shared_ptr<const net::Network> alex = net::buildAlexNet(128);
+    std::vector<JobSpec> specs;
+    for (int i = 0; i < 4; ++i) {
+        JobSpec spec;
+        spec.network = i % 2 == 0 ? vgg : alex;
+        spec.planner = std::make_shared<core::OffloadAllPlanner>(
+            core::AlgoPreference::MemoryOptimal);
+        spec.arrival = TimeNs(i) * 50 * kNsPerMs;
+        spec.iterations = 2 + i % 2;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+ServeReport
+runOverlapMix(SchedPolicy policy)
+{
+    SchedulerConfig cfg;
+    cfg.policy = policy;
+    Scheduler sched(cfg);
+    for (JobSpec &spec : overlapWorkload())
+        sched.submit(std::move(spec));
+    return sched.run();
+}
+
+} // namespace
+
+TEST(PackedOverlap, FinishesEveryJobAndDrainsThePool)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::PackedOverlap;
+    Scheduler sched(cfg);
+    auto network = tinyNet();
+    for (int i = 0; i < 3; ++i) {
+        sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
+                             0, 3));
+    }
+    ServeReport rep = sched.run();
+    EXPECT_EQ(rep.finishedCount(), 3);
+    for (const JobOutcome &j : rep.jobs)
+        EXPECT_EQ(j.iterations, 3);
+    EXPECT_EQ(sched.devicePool().usedBytes(), 0);
+    EXPECT_EQ(sched.admissionState().admittedCount(), 0);
+}
+
+TEST(PackedOverlap, BeatsRoundRobinOnJctAndComputeUtilization)
+{
+    ServeReport rr = runOverlapMix(SchedPolicy::RoundRobin);
+    ServeReport packed = runOverlapMix(SchedPolicy::PackedOverlap);
+    ASSERT_EQ(rr.finishedCount(), 4);
+    ASSERT_EQ(packed.finishedCount(), 4);
+    // Dispatching tenant B's compute under tenant A's DMAs must
+    // strictly raise utilization and lower mean JCT.
+    EXPECT_LT(packed.meanJct(), rr.meanJct());
+    EXPECT_GT(packed.computeUtilization(), rr.computeUtilization());
+    EXPECT_LE(packed.makespan, rr.makespan);
+}
+
+TEST(PackedOverlap, AdmissionReservesTransientsSummed)
+{
+    AdmissionController ac(10_GiB, /*safety=*/1.0);
+    ac.setOverlapTransients(true);
+    FootprintEstimate est;
+    est.persistent = 1_GiB;
+    est.transient = 3_GiB;
+    // Shared-arena accounting would admit three (3x1 + 3 = 6 GiB);
+    // overlapping iterations need 2x(1+3) = 8, and a third tenant's
+    // 1+3 would burst the 10 GiB device.
+    ac.admit(0, est);
+    EXPECT_TRUE(ac.canAdmit(est));
+    ac.admit(1, est);
+    EXPECT_EQ(ac.reservedBytes(), 8_GiB);
+    EXPECT_FALSE(ac.canAdmit(est));
+}
+
+// --- service-time accounting -------------------------------------------------
+
+TEST(Scheduler, SparseArrivalIdleTimeIsNotBilledAsService)
+{
+    // Job A finishes long before job B arrives; the scheduler advances
+    // the device clock across the gap. Identical jobs must report
+    // identical service time — the advance belongs to neither, even
+    // though A sat in the system while the clock moved.
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::RoundRobin;
+    Scheduler sched(cfg);
+    auto network = tinyNet();
+    sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
+                         0, 2));
+    sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
+                         60'000 * kNsPerMs, 2));
+    ServeReport rep = sched.run();
+    ASSERT_EQ(rep.finishedCount(), 2);
+    EXPECT_EQ(rep.jobs[0].serviceTime, rep.jobs[1].serviceTime);
+    // Service time is the iterations' own window, a tiny fraction of
+    // the 60 s arrival gap.
+    EXPECT_LT(rep.jobs[0].serviceTime, 1'000 * kNsPerMs);
+    EXPECT_GE(rep.jobs[1].admitTime, 60'000 * kNsPerMs);
+}
+
+// --- in-flight OOM requeue path ----------------------------------------------
+
+namespace
+{
+
+/**
+ * A planner whose admission estimate is honest vDNN_all but whose
+ * execution plan keeps every feature map resident: admission happily
+ * admits it, and the iteration then OOMs in flight — the path that
+ * exercises evict -> reservation inflation -> readmission.
+ */
+class UnderestimatingPlanner : public core::Planner
+{
+  public:
+    std::string name() const override { return "underestimator"; }
+
+    core::MemoryPlan plan(const net::Network &net,
+                          const core::PlannerContext &ctx) override
+    {
+        core::MemoryPlan p =
+            core::OffloadAllPlanner(core::AlgoPreference::MemoryOptimal)
+                .plan(net, ctx);
+        p.clearOffloads(); // keep everything resident at run time
+        return p;
+    }
+
+    core::MemoryPlan admissionPlan(const net::Network &net,
+                                   const core::PlannerContext &ctx) override
+    {
+        return core::OffloadAllPlanner(
+                   core::AlgoPreference::MemoryOptimal)
+            .plan(net, ctx);
+    }
+};
+
+} // namespace
+
+TEST(Scheduler, InFlightOomRequeuesBoundedThenFails)
+{
+    // A lone tenant whose true working set can never fit the device:
+    // every admission ends in an in-flight OOM abort. The scheduler
+    // must evict it, inflate its reservation, requeue it at the head,
+    // and give up with Failed after maxOomRequeues attempts — not
+    // wedge the queue or loop forever.
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::RoundRobin;
+    cfg.oomBackoffScale = 1.0; // stays feasible: exercises the bound
+    cfg.maxOomRequeues = 2;
+    Scheduler sched(cfg);
+    JobSpec spec;
+    spec.network = net::buildVgg16(256);
+    spec.planner = std::make_shared<UnderestimatingPlanner>();
+    spec.iterations = 1;
+    sched.submit(std::move(spec));
+    ServeReport rep = sched.run();
+    ASSERT_EQ(rep.jobs.size(), 1u);
+    EXPECT_EQ(rep.jobs[0].state, JobState::Failed);
+    EXPECT_EQ(rep.jobs[0].oomRequeues, cfg.maxOomRequeues + 1);
+    EXPECT_NE(rep.jobs[0].failReason.find("repeated iteration OOM"),
+              std::string::npos);
+    EXPECT_EQ(rep.failedCount(), 1);
+    // The abort path released everything it took.
+    EXPECT_EQ(sched.devicePool().usedBytes(), 0);
+    EXPECT_EQ(sched.admissionState().admittedCount(), 0);
+}
+
+TEST(Scheduler, InFlightOomRequeueRecoversWhenCoTenantLeaves)
+{
+    // The same underestimating tenant OOMs only because a Baseline hog
+    // crowds the pool; after eviction + backoff inflation its grown
+    // reservation no longer fits beside the hog, so it waits, readmits
+    // once the hog finishes, and completes — with the requeue counted.
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::RoundRobin;
+    Scheduler sched(cfg);
+    std::shared_ptr<const net::Network> vgg = net::buildVgg16(64);
+
+    JobSpec hog;
+    hog.network = vgg;
+    hog.planner = std::make_shared<core::BaselinePlanner>(
+        core::AlgoPreference::PerformanceOptimal);
+    hog.iterations = 6;
+    JobId hog_id = sched.submit(std::move(hog));
+
+    JobSpec liar;
+    liar.network = vgg;
+    liar.planner = std::make_shared<UnderestimatingPlanner>();
+    liar.arrival = 1 * kNsPerMs;
+    liar.iterations = 1;
+    JobId liar_id = sched.submit(std::move(liar));
+
+    ServeReport rep = sched.run();
+    const JobOutcome &hog_out = rep.jobs[std::size_t(hog_id)];
+    const JobOutcome &liar_out = rep.jobs[std::size_t(liar_id)];
+    EXPECT_EQ(rep.finishedCount(), 2);
+    EXPECT_EQ(hog_out.state, JobState::Finished);
+    ASSERT_EQ(liar_out.state, JobState::Finished);
+    EXPECT_GE(liar_out.oomRequeues, 1);
+    // Recovery happened after the hog freed the pool.
+    EXPECT_GE(liar_out.finishTime, hog_out.finishTime);
+    EXPECT_EQ(sched.devicePool().usedBytes(), 0);
+}
