@@ -9,9 +9,7 @@
  *      simulations so the binary doubles as a perf benchmark of the
  *      simulator itself.
  *
- * All helpers speak the Planner API directly — the deprecated
- * TransferPolicy/AlgoMode enum shim (core/policy.hh) is not referenced
- * anywhere in bench/.
+ * All helpers speak the Planner API directly.
  */
 
 #ifndef VDNN_BENCH_COMMON_HH

@@ -8,7 +8,7 @@
  * the PCIe PHY shrinks the bytes each DMA moves. The
  * CompressedOffloadPlanner expresses this directly in the MemoryPlan
  * IR — the same offload *set* as vDNN_all, with per-buffer dmaScale
- * directives — a configuration the old TransferPolicy enum could not
+ * directives — a configuration a closed policy enum could not
  * name.
  *
  * Claims checked:

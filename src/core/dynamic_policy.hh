@@ -61,6 +61,15 @@ class DynamicPlanner : public Planner
     MemoryPlan admissionPlan(const net::Network &net,
                              const PlannerContext &ctx) override;
 
+    /**
+     * vDNN_dyn's trial passes consult the context's available
+     * capacity, so a running tenant can be re-planned in place at an
+     * iteration boundary — shrinking toward the vDNN_all floor when
+     * the pool tightens, growing back toward the no-offload ideal
+     * when co-tenants exit.
+     */
+    ReplanHint replanHint() const override { return ReplanHint::InPlace; }
+
     /** Maximum trial iterations in the greedy downgrade loop. */
     static constexpr int kMaxGreedyTrials = 256;
 

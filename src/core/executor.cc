@@ -159,6 +159,39 @@ Executor::teardown()
     persistentTotal = 0;
 }
 
+void
+Executor::cancelIteration()
+{
+    if (!stepper)
+        return;
+    if (!stepper->finished())
+        stepper->cancel();
+    stepper.reset();
+}
+
+void
+Executor::dmaState(Bytes bytes, CopyDir dir, const std::string &tag)
+{
+    VDNN_ASSERT(bytes > 0, "state DMA of zero bytes");
+    rt.memcpyAsync(streamMemory, bytes, dir, tag);
+    rt.synchronize(streamMemory);
+}
+
+void
+Executor::adoptPlan(const MemoryPlan &plan)
+{
+    VDNN_ASSERT(setupDone, "adoptPlan() before setup()");
+    VDNN_ASSERT(!stepper, "adoptPlan() with an iteration in flight");
+    VDNN_ASSERT(plan.feasible, "cannot adopt an infeasible plan");
+    VDNN_ASSERT(plan.staticAllocation == execPlan.staticAllocation,
+                "adoptPlan() cannot change the allocation style");
+    VDNN_ASSERT(plan.algos.size() == net.numLayers() &&
+                    plan.buffers.size() == net.numBuffers(),
+                "adopted plan does not match the network");
+    execPlan = plan;
+    prog = IterationProgram::compile(net, execPlan, cfg);
+}
+
 // --- kernel launches -----------------------------------------------------------
 
 void
@@ -356,6 +389,24 @@ Executor::abortIteration(IterationResult &result, const std::string &why,
 // --- stepper: op bodies ------------------------------------------------------
 
 IterationStepper::IterationStepper(Executor &executor) : ex(executor) {}
+
+void
+IterationStepper::cancel()
+{
+    VDNN_ASSERT(!finished(), "cancel() on a finished iteration");
+    // A parked cursor may hold a live workspace and joins it never
+    // reached; abortIteration()'s drain-and-force-release unwinds the
+    // buffer state machines, so only the stepper-local state needs
+    // explicit cleanup here.
+    if (ws) {
+        ex.mm.releaseDevice(ws->alloc, ws->managed);
+        ws.reset();
+    }
+    offloading.clear();
+    prefetching.clear();
+    ex.abortIteration(res, "iteration cancelled (tenant preempted)");
+    st = Status::Failed;
+}
 
 const IterOp *
 IterationStepper::nextOp() const

@@ -208,6 +208,9 @@ class IterationStepper
 
     Status blocked(gpu::StreamId stream);
 
+    /** Unwind a partially executed iteration (tenant eviction). */
+    void cancel();
+
     // --- op bodies (false = iteration aborted) ---------------------------
     bool opBeginIteration();
     bool opFwdAlloc(net::LayerId id);
@@ -279,6 +282,33 @@ class Executor
 
     /** Collect a finished stepper's result and retire it. */
     IterationResult finishIteration();
+
+    /**
+     * Abandon the in-flight iteration (if any) without folding it into
+     * any result: drain the device, unwind every per-iteration
+     * allocation and retire the stepper. The iteration is simply
+     * re-run later — the path a tenant eviction takes when it parks
+     * mid-iteration. No-op between iterations.
+     */
+    void cancelIteration();
+
+    /**
+     * Move @p bytes of tenant state across PCIe on the executor's
+     * memory stream and block until the copy lands. Used by the
+     * session lifecycle to evict the persistent state to pinned host
+     * memory (D2H) and restore it on resume (H2D).
+     */
+    void dmaState(Bytes bytes, gpu::CopyDir dir, const std::string &tag);
+
+    /**
+     * Swap the execution plan in place at an iteration boundary
+     * (mid-run re-planning). Requires no iteration in flight and a
+     * plan of the same allocation style (the persistent set — weights,
+     * dW, classifier block — is identical across layer-wise plans, so
+     * only the directives/algorithms and the recompiled
+     * IterationProgram change).
+     */
+    void adoptPlan(const MemoryPlan &plan);
 
     /** Release the persistent state. */
     void teardown();

@@ -30,8 +30,10 @@
  * The program is executed by an IterationStepper (core/executor.hh),
  * which advances one op at a time and can be suspended at every Sync
  * boundary — the substrate the serve layer's PackedOverlap policy uses
- * to run tenant B's compute under tenant A's DMAs, and that mid-run
- * re-planning will need next.
+ * to run tenant B's compute under tenant A's DMAs, and that the
+ * session lifecycle state machine builds on: mid-run re-planning
+ * (Session::replan / resume-after-evict) swaps a freshly compiled
+ * program in at an iteration boundary.
  */
 
 #ifndef VDNN_CORE_ITERATION_PROGRAM_HH

@@ -20,6 +20,18 @@ algoPreferenceName(AlgoPreference pref)
     panic("unknown algo preference %d", int(pref));
 }
 
+const char *
+replanHintName(ReplanHint h)
+{
+    switch (h) {
+      case ReplanHint::Evict:
+        return "evict";
+      case ReplanHint::InPlace:
+        return "in-place";
+    }
+    panic("unknown replan hint %d", int(h));
+}
+
 // --- MemoryPlan --------------------------------------------------------------
 
 int

@@ -33,8 +33,11 @@
  *                            core/dynamic_policy.hh; it needs the
  *                            Executor to run trial iterations).
  *
- * The legacy TransferPolicy/AlgoMode enum surface lives on as a thin
- * deprecated shim in core/policy.hh (makeStaticPlan, plannerForPolicy).
+ * Planners also advertise how a *running* tenant's footprint may be
+ * changed mid-run (replanHint): capacity-adaptive planners (vDNN_dyn)
+ * support an in-place re-plan at an iteration boundary, while
+ * capacity-independent plans require the tenant to be evicted and
+ * resumed under a fresh plan (core/training_session.hh).
  */
 
 #ifndef VDNN_CORE_PLANNER_HH
@@ -55,9 +58,8 @@ namespace vdnn::core
 
 /**
  * Per-CONV-layer algorithm preference of the static planners. The plan
- * IR itself always carries an explicit per-layer assignment (what the
- * old AlgoMode::PerLayer denoted); this knob only selects the starting
- * point.
+ * IR itself always carries an explicit per-layer assignment; this knob
+ * only selects the starting point.
  */
 enum class AlgoPreference
 {
@@ -104,6 +106,29 @@ struct BufferDirective
 
     bool offloaded() const { return action == Action::Offload; }
 };
+
+/**
+ * How a planner supports changing a *running* tenant's memory plan
+ * when its free share of the device moves (mid-run re-planning).
+ */
+enum class ReplanHint
+{
+    /**
+     * The plan is capacity-independent: re-running plan() against a
+     * different free share returns the same plan, so shrinking (or
+     * growing) the tenant requires evicting it and resuming it under
+     * a freshly derived plan.
+     */
+    Evict,
+    /**
+     * plan() adapts to PlannerContext::capacity(): the session may
+     * re-plan in place at an iteration boundary and swap the compiled
+     * IterationProgram without releasing its device share.
+     */
+    InPlace,
+};
+
+const char *replanHintName(ReplanHint h);
 
 /** One profiling pass of a trial-running planner and its outcome. */
 struct TrialRecord
@@ -244,6 +269,15 @@ class Planner
     {
         return plan(net, ctx);
     }
+
+    /**
+     * Whether a running tenant under this planner can be re-planned in
+     * place when its free share changes, or must be evicted and
+     * resumed instead. Static planners are capacity-independent, so
+     * the default is ReplanHint::Evict; capacity-adaptive planners
+     * (DynamicPlanner) override to ReplanHint::InPlace.
+     */
+    virtual ReplanHint replanHint() const { return ReplanHint::Evict; }
 };
 
 /**
@@ -310,8 +344,8 @@ class OffloadConvPlanner : public Planner
  * to be the bottleneck. Buffers never touched by a ReLU bypass the
  * engine (dense data does not compress under ZVC).
  *
- * A scenario the old TransferPolicy enum could not express: the same
- * offload *set* as vDNN_all with per-buffer DMA scaling.
+ * The same offload *set* as vDNN_all, with per-buffer DMA scaling —
+ * expressible only because the plan IR is per buffer.
  */
 class CompressedOffloadPlanner : public Planner
 {
@@ -333,6 +367,15 @@ class CompressedOffloadPlanner : public Planner
     std::string name() const override;
     MemoryPlan plan(const net::Network &net,
                     const PlannerContext &ctx) override;
+
+    /**
+     * The offload set is already the vDNN_all floor and does not
+     * depend on the free share, so a mid-run shrink cannot be served
+     * in place — the tenant must be evicted instead. (Its compressed
+     * directives still pay off there: eviction reuses the same
+     * per-buffer dmaScale when moving surviving state over PCIe.)
+     */
+    ReplanHint replanHint() const override { return ReplanHint::Evict; }
 
     /** PCIe-byte fraction for a post-ReLU buffer produced at
      *  @p depth_frac (0 = shallowest, 1 = deepest managed layer). */

@@ -12,21 +12,29 @@ SessionConfig::SessionConfig() : gpu(gpu::titanXMaxwell()) {}
 std::string
 sessionConfigName(const SessionConfig &config)
 {
-    std::string name;
-    if (config.planner) {
-        name = config.planner->name();
-    } else {
-        name = transferPolicyName(config.policy);
-        // vDNN_dyn derives per-layer algorithms; algoMode is not part
-        // of its configuration and must not appear in the label.
-        if (config.policy != TransferPolicy::Dynamic) {
-            name += " ";
-            name += algoModeName(config.algoMode);
-        }
-    }
+    std::string name =
+        config.planner ? config.planner->name() : "vDNN_dyn";
     if (config.oracle)
         name += " [oracle]";
     return name;
+}
+
+const char *
+sessionStateName(SessionState s)
+{
+    switch (s) {
+      case SessionState::Fresh:
+        return "fresh";
+      case SessionState::Active:
+        return "active";
+      case SessionState::Suspended:
+        return "suspended";
+      case SessionState::Evicted:
+        return "evicted";
+      case SessionState::Torn:
+        return "torn";
+    }
+    return "?";
 }
 
 // --- Session -----------------------------------------------------------------
@@ -64,8 +72,23 @@ Session::Session(const net::Network &net_, SessionConfig config_,
 
 Session::~Session()
 {
-    if (isActive)
+    if (lifecycle != SessionState::Torn)
         teardown();
+}
+
+PlannerContext
+Session::plannerContext() const
+{
+    // Exclusive sessions plan against the whole device; a tenant of a
+    // shared pool plans against its current free share, so trial-
+    // running planners (vDNN_dyn) probe what it can actually get. A
+    // mid-run re-plan keeps the persistent state allocated, so those
+    // bytes count toward the share the fresh plan may assume.
+    if (!sharedMode)
+        return PlannerContext::exclusive(spec, config.contention);
+    Bytes share = mm->pool().freeBytes() +
+                  (ex ? ex->persistentBytes() : 0);
+    return PlannerContext::shared(spec, share, config.contention);
 }
 
 bool
@@ -74,35 +97,13 @@ Session::resolvePlan()
     if (planResolved)
         return true;
 
-    // The deprecated enum shim silently ignored algoMode for Dynamic
-    // sessions; reject the combination instead of surprising the user.
-    if (!config.planner && config.policy == TransferPolicy::Dynamic &&
-        config.algoMode != AlgoMode::PerformanceOptimal) {
-        failed = true;
-        failure =
-            "SessionConfig::algoMode is ignored by the Dynamic policy "
-            "(vDNN_dyn derives per-layer algorithms); leave it at the "
-            "default or construct a Planner explicitly";
-        return false;
-    }
-
-    std::shared_ptr<Planner> planner = config.planner;
-    if (!planner) {
-        planner = plannerForPolicy(config.policy, config.algoMode,
-                                   config.exec);
-    }
-    plannerLabel = planner->name();
+    if (!config.planner)
+        config.planner = std::make_shared<DynamicPlanner>(config.exec);
+    plannerLabel = config.planner->name();
     if (config.oracle)
         plannerLabel += " [oracle]";
 
-    // Exclusive sessions plan against the whole device; a tenant of a
-    // shared pool plans against its current free share, so trial-
-    // running planners (vDNN_dyn) probe what it can actually get.
-    PlannerContext ctx =
-        sharedMode ? PlannerContext::shared(spec, mm->pool().freeBytes(),
-                                            config.contention)
-                   : PlannerContext::exclusive(spec, config.contention);
-    execPlan = planner->plan(net, ctx);
+    execPlan = config.planner->plan(net, plannerContext());
     trials = execPlan.trials;
     if (!execPlan.feasible) {
         failed = true;
@@ -117,7 +118,9 @@ Session::resolvePlan()
 bool
 Session::setup()
 {
-    VDNN_ASSERT(!isActive, "setup() on an active session");
+    VDNN_ASSERT(lifecycle == SessionState::Fresh,
+                "setup() on a %s session",
+                sessionStateName(lifecycle));
     if (!resolvePlan())
         return false;
     ex = std::make_unique<Executor>(net, *cudnn, *rt, *mm, execPlan,
@@ -134,7 +137,7 @@ Session::setup()
     }
     failed = false;
     failure.clear();
-    isActive = true;
+    lifecycle = SessionState::Active;
     return true;
 }
 
@@ -150,7 +153,8 @@ Session::runIteration()
 IterationStepper &
 Session::beginIteration()
 {
-    VDNN_ASSERT(isActive, "beginIteration() on an inactive session");
+    VDNN_ASSERT(active(), "beginIteration() on a %s session",
+                sessionStateName(lifecycle));
     return ex->beginIteration();
 }
 
@@ -163,7 +167,8 @@ Session::activeStepper()
 IterationResult
 Session::completeIteration()
 {
-    VDNN_ASSERT(isActive, "completeIteration() on an inactive session");
+    VDNN_ASSERT(active(), "completeIteration() on a %s session",
+                sessionStateName(lifecycle));
     IterationResult r = ex->finishIteration();
     if (r.ok) {
         ++itersDone;
@@ -182,19 +187,151 @@ Session::program() const
     return ex->program();
 }
 
+// --- lifecycle transitions ---------------------------------------------------
+
+void
+Session::suspend()
+{
+    VDNN_ASSERT(lifecycle == SessionState::Active,
+                "suspend() on a %s session", sessionStateName(lifecycle));
+    // The host holds control, so a live stepper is by construction at
+    // a legal boundary (between ops, or parked on a Sync/Barrier
+    // join); it simply stops receiving steps until resume().
+    lifecycle = SessionState::Suspended;
+    ++suspends;
+}
+
+bool
+Session::evictToHost()
+{
+    VDNN_ASSERT(lifecycle == SessionState::Suspended,
+                "evictToHost() on a %s session",
+                sessionStateName(lifecycle));
+    VDNN_ASSERT(ex, "evicting a session with no executor");
+
+    Bytes persist = ex->persistentBytes();
+    auto stage = mm->host().tryAllocate(
+        persist, strFormat("evict:%s", net.name().c_str()));
+    if (!stage)
+        return false; // pinned host exhausted; stay Suspended
+
+    // A partially executed iteration cannot survive the device share
+    // being released: cancel it (its transients are dead; the
+    // iteration re-runs from the top after resume).
+    ex->cancelIteration();
+    VDNN_ASSERT(mm->deviceUsage() == persist,
+                "tenant holds %lld device bytes at eviction, "
+                "persistent is %lld",
+                (long long)mm->deviceUsage(), (long long)persist);
+
+    // Stage the persistent state out over PCIe, then release the
+    // whole device share.
+    evictStage = *stage;
+    ex->dmaState(persist, gpu::CopyDir::DeviceToHost,
+                 strFormat("evict:%s", net.name().c_str()));
+    ex->teardown();
+    lifecycle = SessionState::Evicted;
+    ++evicts;
+    return true;
+}
+
+bool
+Session::resume()
+{
+    if (lifecycle == SessionState::Suspended) {
+        // Resident suspension: nothing moved, nothing to re-plan; the
+        // parked stepper (if any) continues exactly where it froze.
+        lifecycle = SessionState::Active;
+        return true;
+    }
+    VDNN_ASSERT(lifecycle == SessionState::Evicted,
+                "resume() on a %s session", sessionStateName(lifecycle));
+
+    // Re-plan before restoring: the planner sees the *current* free
+    // share, so the tenant may come back under a different plan (the
+    // IterationProgram is recompiled by the fresh Executor).
+    Bytes staged = evictStage.size;
+    MemoryPlan old_plan = std::move(execPlan);
+    planResolved = false;
+    if (!resolvePlan()) {
+        execPlan = std::move(old_plan);
+        return false; // infeasible right now; retry later
+    }
+
+    auto fresh = std::make_unique<Executor>(net, *cudnn, *rt, *mm,
+                                            execPlan, config.exec);
+    if (!fresh->setup()) {
+        // The pool cannot hold the rebuilt persistent state yet.
+        failure = strFormat(
+            "resume OOM ('%s', requested %s, largest free block %s)",
+            mm->pool().lastOom().tag.c_str(),
+            formatBytes(mm->pool().lastOom().requested).c_str(),
+            formatBytes(mm->pool().lastOom().largestFree).c_str());
+        planResolved = false;
+        return false;
+    }
+    ex = std::move(fresh);
+
+    // Restore the staged state over PCIe and drop the staging buffer.
+    ex->dmaState(staged, gpu::CopyDir::HostToDevice,
+                 strFormat("restore:%s", net.name().c_str()));
+    mm->host().release(evictStage);
+    evictStage = {};
+    failed = false;
+    failure.clear();
+    lifecycle = SessionState::Active;
+    return true;
+}
+
+bool
+Session::replan()
+{
+    VDNN_ASSERT(lifecycle == SessionState::Active,
+                "replan() on a %s session", sessionStateName(lifecycle));
+    VDNN_ASSERT(!ex->activeStepper(),
+                "replan() with an iteration in flight");
+    if (config.planner->replanHint() != ReplanHint::InPlace)
+        return false;
+
+    MemoryPlan old_plan = std::move(execPlan);
+    planResolved = false;
+    if (!resolvePlan()) {
+        // The fresh share supports no feasible plan; keep the old one
+        // (the tenant is already running under it).
+        execPlan = std::move(old_plan);
+        planResolved = true;
+        failed = false;
+        failure.clear();
+        return false;
+    }
+    ex->adoptPlan(execPlan);
+    ++replans;
+    return true;
+}
+
 void
 Session::teardown()
 {
-    if (!isActive)
+    if (lifecycle == SessionState::Fresh ||
+        lifecycle == SessionState::Torn) {
+        lifecycle = SessionState::Torn;
         return;
+    }
     // Teardown precedes window close so the tracker never records
     // after finish(); the release happens at the final timestamp and
     // adds no weighted time.
-    ex->teardown();
+    if (lifecycle == SessionState::Evicted) {
+        // Nothing device-resident; just drop the host staging.
+        mm->host().release(evictStage);
+        evictStage = {};
+    } else {
+        ex->cancelIteration();
+        ex->teardown();
+    }
     mm->finishTracking();
     if (ownedRt)
         ownedRt->finishPowerWindow();
-    isActive = false;
+    lifecycle = SessionState::Torn;
 }
 
 Bytes

@@ -1,13 +1,41 @@
 /**
  * @file
- * Top-level experiment driver: run a network under a policy and
- * collect every metric the paper's evaluation reports.
+ * Top-level experiment driver: run a network under a memory planner
+ * and collect every metric the paper's evaluation reports.
  *
  * A TrainingSession owns one simulated GPU runtime, one vDNN memory
- * manager and one executor; it resolves the policy (running the
+ * manager and one executor; it resolves the plan (running the
  * vDNN_dyn profiling passes when requested), executes the requested
  * number of training iterations, and gathers memory / performance /
  * traffic / power statistics.
+ *
+ * A Session is also one tenant of the multi-tenant serve layer, and
+ * its lifecycle is an explicit state machine the scheduler drives:
+ *
+ *     Fresh --setup()--> Active --teardown()--> Torn
+ *                        |  ^
+ *              suspend() |  | resume()
+ *                        v  |
+ *                      Suspended --evictToHost()--> Evicted
+ *                           ^                          |
+ *                           +------- resume() ---------+
+ *
+ *  - suspend() parks the session at the host's current boundary (the
+ *    live stepper, if any, stays frozen at its next Sync/Barrier
+ *    join); the tenant keeps its device share but receives no more
+ *    steps — Suspended(resident).
+ *  - evictToHost() releases the tenant's *entire* device share: a
+ *    partially executed iteration is cancelled (it re-runs later),
+ *    the persistent state is DMAed into pinned host memory, and the
+ *    executor is torn down.
+ *  - resume() re-activates. From Evicted it first *re-plans* against
+ *    a fresh PlannerContext carrying the current free share, rebuilds
+ *    the executor (recompiling the IterationProgram) and restores the
+ *    persistent state over PCIe — so a resumed tenant may come back
+ *    under a smaller (or larger) plan than it left with.
+ *  - replan() swaps the plan in place at an iteration boundary
+ *    without releasing the device share; only planners advertising
+ *    ReplanHint::InPlace support it.
  */
 
 #ifndef VDNN_CORE_TRAINING_SESSION_HH
@@ -16,8 +44,8 @@
 #include "core/dynamic_policy.hh"
 #include "core/executor.hh"
 #include "core/planner.hh"
-#include "core/policy.hh"
 #include "gpu/gpu_spec.hh"
+#include "mem/pinned_host.hh"
 #include "net/network.hh"
 #include "stats/time_weighted.hh"
 
@@ -31,21 +59,12 @@ namespace vdnn::core
 struct SessionConfig
 {
     /**
-     * The memory planner driving this session. When null, the
-     * deprecated policy/algoMode enum pair below is resolved through
-     * plannerForPolicy() instead.
+     * The memory planner driving this session. When null, setup()
+     * defaults to DynamicPlanner (vDNN_dyn) with this config's
+     * executor knobs.
      */
     std::shared_ptr<Planner> planner;
 
-    /** DEPRECATED: set `planner` instead. */
-    TransferPolicy policy = TransferPolicy::Dynamic;
-    /**
-     * DEPRECATED: set `planner` instead. Static policies only —
-     * vDNN_dyn derives its own per-layer algorithms, so combining
-     * policy == Dynamic with a non-default algoMode is rejected by
-     * Session::setup().
-     */
-    AlgoMode algoMode = AlgoMode::PerformanceOptimal;
     gpu::GpuSpec gpu;
     /**
      * Oracular GPU: removes the memory capacity bottleneck (Section
@@ -120,13 +139,26 @@ struct SharedGpu
     int clientId = 0;
 };
 
+/** Lifecycle state of a Session (see the file comment's diagram). */
+enum class SessionState
+{
+    Fresh,     ///< constructed; setup() has not succeeded yet
+    Active,    ///< device-resident and steppable
+    Suspended, ///< parked; device share retained, no steps offered
+    Evicted,   ///< device share released; state staged in pinned host
+    Torn,      ///< teardown() ran (terminal)
+};
+
+const char *sessionStateName(SessionState s);
+
 /**
  * An incrementally driven training session.
  *
  * runSession() runs the whole experiment in one call; Session exposes
  * the same lifecycle as separate setup / runIteration / teardown steps
  * so an external scheduler (src/serve/) can interleave iterations of
- * many jobs on one shared device. Two construction modes:
+ * many jobs on one shared device, and the suspend / evict / resume /
+ * replan transitions documented above. Two construction modes:
  *
  *  - exclusive: the session owns a private runtime and device pool
  *    sized by config.gpu (this is what runSession() uses);
@@ -174,11 +206,67 @@ class Session
     /** The compiled op stream (after a successful setup()). */
     const IterationProgram &program() const;
 
+    // --- lifecycle transitions (the serve layer's state machine) ---------
+
+    /**
+     * Park the session: Active -> Suspended. Legal at any point the
+     * host holds control — in particular at every Sync/Barrier
+     * boundary of a live stepper, which stays frozen exactly where it
+     * is (suspending and resuming without evicting perturbs nothing;
+     * the device timeline is byte-identical to an uninterrupted run).
+     * The tenant keeps its device share.
+     */
+    void suspend();
+
+    /**
+     * Release the tenant's entire device share: Suspended -> Evicted.
+     * A partially executed iteration is cancelled (unwound without
+     * being counted; it re-runs after resume), the persistent state —
+     * weights, shared dW, the classifier block, and for
+     * static-allocation plans the whole network — is DMAed into a
+     * pinned host staging buffer, and the executor is torn down.
+     * @return false (still Suspended) when pinned host memory cannot
+     *         hold the staged state.
+     */
+    bool evictToHost();
+
+    /**
+     * Reactivate the session. From Suspended this just unparks
+     * (Suspended -> Active). From Evicted it re-plans first: the
+     * planner runs against a fresh PlannerContext carrying the
+     * *current* free share, the executor is rebuilt around the new
+     * plan (recompiling the IterationProgram at the iteration
+     * boundary), the persistent state is restored over PCIe and the
+     * staging buffer is released. @return false (still Evicted) when
+     * the new plan is infeasible or the pool cannot hold the rebuilt
+     * persistent state; the caller may retry once capacity frees up.
+     */
+    bool resume();
+
+    /**
+     * Mid-run re-plan in place: with no iteration in flight, run the
+     * planner against the current free share and swap the compiled
+     * program without releasing the device share. Only planners
+     * advertising ReplanHint::InPlace participate. @return true when
+     * a (possibly identical) fresh plan was adopted.
+     */
+    bool replan();
+
+    SessionState state() const { return lifecycle; }
+
+    /** Bytes staged in pinned host memory while Evicted (else 0). */
+    Bytes evictedBytes() const { return evictStage.size; }
+
+    /** Lifetime counts of lifecycle transitions (reporting). */
+    int suspendCount() const { return suspends; }
+    int evictCount() const { return evicts; }
+    int replanCount() const { return replans; }
+
     /** Release all device state. Idempotent after setup(). */
     void teardown();
 
-    /** setup() succeeded and teardown() has not run yet. */
-    bool active() const { return isActive; }
+    /** The session is Active (steppable). */
+    bool active() const { return lifecycle == SessionState::Active; }
 
     /** Number of completed (successful) iterations so far. */
     int iterationsDone() const { return itersDone; }
@@ -195,6 +283,7 @@ class Session
 
   private:
     bool resolvePlan();
+    PlannerContext plannerContext() const;
 
     const net::Network &net;
     SessionConfig config;
@@ -212,11 +301,17 @@ class Session
     std::unique_ptr<Executor> ex;
 
     bool planResolved = false;
-    bool isActive = false;
+    SessionState lifecycle = SessionState::Fresh;
     bool failed = false;
     std::string failure;
     int itersDone = 0;
     IterationResult lastIter;
+
+    /** Pinned host staging of the persistent state while Evicted. */
+    mem::HostAllocation evictStage;
+    int suspends = 0;
+    int evicts = 0;
+    int replans = 0;
 };
 
 /** Run one complete experiment. */
@@ -224,10 +319,8 @@ SessionResult runSession(const net::Network &net, SessionConfig config);
 
 /**
  * Short label like "vDNN_all (m)" or "base (p) [oracle]". Uses the
- * planner's name when one is set; otherwise the deprecated enum pair.
- * vDNN_dyn derives per-layer algorithms itself, so its label never
- * carries an algoMode suffix (the field is ignored — and rejected by
- * setup() when set to a non-default value).
+ * planner's name; a null planner reads "vDNN_dyn" (the default
+ * setup() falls back to).
  */
 std::string sessionConfigName(const SessionConfig &config);
 

@@ -10,9 +10,6 @@
 namespace vdnn::serve
 {
 
-using core::AlgoMode;
-using core::TransferPolicy;
-
 namespace
 {
 
@@ -144,18 +141,6 @@ estimatePlannerFootprint(const net::Network &net,
                              planner.admissionPlan(net, ctx));
 }
 
-FootprintEstimate
-estimateFootprint(const net::Network &net, const dnn::CudnnSim &cudnn,
-                  TransferPolicy policy, AlgoMode mode)
-{
-    // Dynamic maps to DynamicPlanner, whose admissionPlan() is the
-    // vDNN_dyn memory floor (vDNN_all with memory-optimal algorithms).
-    auto planner = core::plannerForPolicy(policy, mode);
-    return estimatePlannerFootprint(
-        net, cudnn, *planner,
-        core::PlannerContext::exclusive(cudnn.spec()));
-}
-
 AdmissionController::AdmissionController(Bytes capacity, double safety_)
     : cap(capacity), safety(safety_)
 {
@@ -184,15 +169,23 @@ AdmissionController::reservationFor(const FootprintEstimate &est,
 }
 
 bool
+AdmissionController::fits(const Reservation &r) const
+{
+    Bytes arena = overlapTransients
+                      ? transientArena() + r.transient
+                      : std::max(transientArena(), r.transient);
+    return persistentSum + r.persistent + arena <= cap;
+}
+
+bool
 AdmissionController::canAdmit(const FootprintEstimate &est,
                               double scale) const
 {
     double s = safety * scale;
-    Bytes p = Bytes(std::ceil(double(est.persistent) * s));
-    Bytes t = Bytes(std::ceil(double(est.transient) * s));
-    Bytes arena = overlapTransients ? transientArena() + t
-                                    : std::max(transientArena(), t);
-    return persistentSum + p + arena <= cap;
+    Reservation r;
+    r.persistent = Bytes(std::ceil(double(est.persistent) * s));
+    r.transient = Bytes(std::ceil(double(est.transient) * s));
+    return fits(r);
 }
 
 bool
@@ -219,10 +212,50 @@ void
 AdmissionController::release(JobId id)
 {
     auto it = reservations.find(id);
-    VDNN_ASSERT(it != reservations.end(),
+    if (it != reservations.end()) {
+        persistentSum -= it->second.persistent;
+        reservations.erase(it);
+        return;
+    }
+    auto ev = evictedLedger.find(id);
+    VDNN_ASSERT(ev != evictedLedger.end(),
                 "releasing unadmitted job %d", id);
+    evictedLedger.erase(ev);
+}
+
+void
+AdmissionController::evict(JobId id)
+{
+    auto it = reservations.find(id);
+    VDNN_ASSERT(it != reservations.end(),
+                "evicting unadmitted job %d", id);
     persistentSum -= it->second.persistent;
+    auto [ev, inserted] = evictedLedger.emplace(id, it->second);
+    VDNN_ASSERT(inserted, "job %d already on the evicted ledger", id);
+    (void)ev;
     reservations.erase(it);
+}
+
+bool
+AdmissionController::canReadmit(JobId id) const
+{
+    auto ev = evictedLedger.find(id);
+    VDNN_ASSERT(ev != evictedLedger.end(),
+                "readmit query for non-evicted job %d", id);
+    return fits(ev->second);
+}
+
+void
+AdmissionController::readmit(JobId id)
+{
+    auto ev = evictedLedger.find(id);
+    VDNN_ASSERT(ev != evictedLedger.end(),
+                "readmitting non-evicted job %d", id);
+    auto [it, inserted] = reservations.emplace(id, ev->second);
+    VDNN_ASSERT(inserted, "job %d already resident", id);
+    (void)it;
+    persistentSum += ev->second.persistent;
+    evictedLedger.erase(ev);
 }
 
 Bytes

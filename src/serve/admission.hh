@@ -34,7 +34,6 @@
 #define VDNN_SERVE_ADMISSION_HH
 
 #include "core/planner.hh"
-#include "core/policy.hh"
 #include "dnn/cudnn_sim.hh"
 #include "net/network.hh"
 #include "serve/job.hh"
@@ -75,12 +74,6 @@ FootprintEstimate estimatePlannerFootprint(const net::Network &net,
                                            core::Planner &planner,
                                            const core::PlannerContext &ctx);
 
-/** DEPRECATED enum shim over estimatePlannerFootprint. */
-FootprintEstimate estimateFootprint(const net::Network &net,
-                                    const dnn::CudnnSim &cudnn,
-                                    core::TransferPolicy policy,
-                                    core::AlgoMode mode);
-
 class AdmissionController
 {
   public:
@@ -114,17 +107,43 @@ class AdmissionController
     /** Record an admitted job's reservation. */
     void admit(JobId id, const FootprintEstimate &est, double scale = 1.0);
 
-    /** Drop a reservation (job finished / torn down). */
+    /**
+     * Drop a reservation (job finished / torn down). The job may be
+     * device-resident or evicted — either ledger entry is released.
+     */
     void release(JobId id);
+
+    // --- evict / readmit (the lifecycle state machine) -------------------
+    //
+    // Reserved bytes track the *state machine*, not the job lifetime:
+    // an evicted tenant holds no device reservation (its bytes are
+    // free for the preemptor) but stays on the evicted ledger, so the
+    // controller can restore the exact reservation on readmission and
+    // the books balance to zero only when every tenant is gone.
+
+    /** Move an admitted job's reservation to the evicted ledger,
+     *  freeing its device bytes (suspend -> evict). */
+    void evict(JobId id);
+
+    /** Would the evicted job's reservation fit back beside the
+     *  currently resident set? */
+    bool canReadmit(JobId id) const;
+
+    /** Restore an evicted job's reservation (resume). */
+    void readmit(JobId id);
 
     /** Safety-scaled reservation of a single job standing alone. */
     Bytes reservationFor(const FootprintEstimate &est,
                          double scale = 1.0) const;
 
     Bytes capacity() const { return cap; }
-    /** Committed bytes: sum of persistents + the transient arena. */
+    /** Committed device bytes: sum of resident persistents + the
+     *  transient arena. Evicted tenants contribute nothing. */
     Bytes reservedBytes() const;
+    /** Device-resident reservations (Running/Suspended tenants). */
     int admittedCount() const { return int(reservations.size()); }
+    /** Tenants parked on the evicted ledger. */
+    int evictedCount() const { return int(evictedLedger.size()); }
 
   private:
     struct Reservation
@@ -137,11 +156,15 @@ class AdmissionController
      *  packed overlap keeps several iterations in flight at once. */
     Bytes transientArena() const;
 
+    bool fits(const Reservation &r) const;
+
     Bytes cap;
     double safety;
     bool overlapTransients = false;
     Bytes persistentSum = 0;
     std::unordered_map<JobId, Reservation> reservations;
+    /** Preempted tenants: reservation remembered, device bytes free. */
+    std::unordered_map<JobId, Reservation> evictedLedger;
 };
 
 } // namespace vdnn::serve

@@ -15,6 +15,10 @@ jobStateName(JobState s)
         return "queued";
       case JobState::Running:
         return "running";
+      case JobState::Suspended:
+        return "suspended";
+      case JobState::Evicted:
+        return "evicted";
       case JobState::Finished:
         return "finished";
       case JobState::Failed:
@@ -23,6 +27,13 @@ jobStateName(JobState s)
         return "rejected";
     }
     return "?";
+}
+
+bool
+jobStateLive(JobState s)
+{
+    return s == JobState::Running || s == JobState::Suspended ||
+           s == JobState::Evicted;
 }
 
 JobId

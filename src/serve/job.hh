@@ -3,11 +3,16 @@
  * Multi-tenant serving: jobs and the arrival queue.
  *
  * A Job is one tenant's training request against the shared GPU: a
- * network, a vDNN policy, an arrival time and an iteration budget.
- * The Scheduler drives each admitted job through the incremental
- * core::Session lifecycle (setup / runIteration / teardown); JobRecord
- * captures the timestamps the serving metrics (queueing delay, job
- * completion time) are computed from.
+ * network, a memory Planner, a priority, an arrival time and an
+ * iteration budget. The Scheduler drives each admitted job through
+ * the core::Session lifecycle state machine
+ *
+ *   Queued -> Admitted/Running <-> Suspended(resident)
+ *                                  <-> Evicted(host) -> Finished/Failed
+ *
+ * (suspend/evict/resume under SchedPolicy::PreemptivePriority);
+ * JobRecord captures the timestamps the serving metrics (queueing
+ * delay, job completion time) are computed from.
  */
 
 #ifndef VDNN_SERVE_JOB_HH
@@ -16,6 +21,7 @@
 #include "core/training_session.hh"
 #include "net/network.hh"
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <string>
@@ -27,15 +33,20 @@ using JobId = int;
 
 enum class JobState
 {
-    Pending,  ///< submitted, arrival time not reached yet
-    Queued,   ///< arrived, waiting for admission
-    Running,  ///< admitted; session active on the shared device
-    Finished, ///< iteration budget completed
-    Failed,   ///< gave up after repeated in-flight OOM aborts
-    Rejected  ///< can never fit the device, even alone
+    Pending,   ///< submitted, arrival time not reached yet
+    Queued,    ///< arrived, waiting for admission
+    Running,   ///< admitted; session active on the shared device
+    Suspended, ///< preempted; device share retained, no steps offered
+    Evicted,   ///< preempted; device share released, state on host
+    Finished,  ///< iteration budget completed
+    Failed,    ///< gave up after repeated in-flight OOM aborts
+    Rejected   ///< can never fit the device, even alone
 };
 
 const char *jobStateName(JobState s);
+
+/** A job still occupying (or entitled to re-occupy) the system. */
+bool jobStateLive(JobState s);
 
 /** One tenant's training request. */
 struct JobSpec
@@ -43,16 +54,19 @@ struct JobSpec
     std::string name;
     std::shared_ptr<const net::Network> network;
     /**
-     * The memory planner this tenant trains under. When null, the
-     * deprecated policy/algoMode pair below is resolved through
-     * plannerForPolicy() at submission.
+     * The memory planner this tenant trains under. When null,
+     * submission defaults to OffloadAllPlanner (vDNN_all,
+     * memory-optimal algorithms).
      */
     std::shared_ptr<core::Planner> planner;
-    /** DEPRECATED: set `planner` instead. */
-    core::TransferPolicy policy = core::TransferPolicy::OffloadAll;
-    /** DEPRECATED: set `planner` instead. */
-    core::AlgoMode algoMode = core::AlgoMode::MemoryOptimal;
     core::ExecutorConfig exec;
+    /**
+     * Scheduling priority (higher = more important). Under
+     * SchedPolicy::PreemptivePriority a higher-priority arrival that
+     * fails admission preempts (suspend -> evict) the lowest-priority
+     * running tenants until it fits.
+     */
+    int priority = 0;
     /** Simulated time the job enters the system. */
     TimeNs arrival = 0;
     /** Training iterations requested. */
@@ -64,10 +78,17 @@ struct JobRecord
 {
     JobState state = JobState::Pending;
     TimeNs admitTime = kTimeNone;
+    /** First time an iteration of this job was dispatched. */
+    TimeNs firstDispatchTime = kTimeNone;
     TimeNs finishTime = kTimeNone;
     int itersDone = 0;
     /** Times the job was torn down and requeued after an OOM abort. */
     int oomRequeues = 0;
+    /** Times the job was preempted (suspend -> evict) by a
+     *  higher-priority arrival. */
+    int preemptions = 0;
+    /** Mid-run in-place re-plans (grow-back sweeps). */
+    int replans = 0;
     std::string failReason;
 
     Bytes persistentBytes = 0;
@@ -91,11 +112,13 @@ struct Job
     JobId id = -1;
     JobSpec spec;
     JobRecord record;
-    /** Live while Running. */
+    /** Live while Running / Suspended / Evicted. */
     std::unique_ptr<core::Session> session;
     /** Multiplier applied to the admission reservation; grows after
      *  each OOM requeue so readmission is more conservative. */
     double reserveScale = 1.0;
+    /** A co-tenant exited: re-plan at the next iteration boundary. */
+    bool replanRequested = false;
 
     TimeNs queueingDelay() const
     {
@@ -133,6 +156,13 @@ class JobQueue
     JobId take(std::size_t i);
 
     JobId at(std::size_t i) const { return ids.at(i); }
+
+    /** Stable-sort the queued ids (priority admission order). */
+    template <typename Cmp>
+    void stableSort(Cmp cmp)
+    {
+        std::stable_sort(ids.begin(), ids.end(), cmp);
+    }
 
   private:
     std::deque<JobId> ids;

@@ -20,6 +20,8 @@ schedPolicyName(SchedPolicy p)
         return "shortest-remaining";
       case SchedPolicy::PackedOverlap:
         return "packed-overlap";
+      case SchedPolicy::PreemptivePriority:
+        return "preemptive-priority";
     }
     return "?";
 }
@@ -58,11 +60,11 @@ Scheduler::submit(JobSpec spec)
     job->spec = std::move(spec);
     if (job->spec.name.empty())
         job->spec.name = strFormat("job%d", job->id);
-    // Resolve the deprecated enum pair into a planner once, here, so
-    // admission and session setup agree on the plan source.
+    // Default planner, resolved once here so admission and session
+    // setup agree on the plan source.
     if (!job->spec.planner) {
-        job->spec.planner = core::plannerForPolicy(
-            job->spec.policy, job->spec.algoMode, job->spec.exec);
+        job->spec.planner = std::make_shared<core::OffloadAllPlanner>(
+            core::AlgoPreference::MemoryOptimal);
     }
     jobs.push_back(std::move(job));
     return jobs.back()->id;
@@ -134,6 +136,7 @@ Scheduler::tryAdmit(Job &job, const FootprintEstimate &est)
         job.session.reset();
         return false;
     }
+    Bytes before = admission.reservedBytes();
     admission.admit(job.id, est, job.reserveScale);
     job.record.state = JobState::Running;
     if (job.record.admitTime == kTimeNone)
@@ -143,12 +146,21 @@ Scheduler::tryAdmit(Job &job, const FootprintEstimate &est)
                  job.session->persistentBytes());
     running.push_back(job.id);
     recordInflight();
+    logLifecycle(job.id, "admit", before);
     return true;
 }
 
 void
 Scheduler::admitFromQueue()
 {
+    // Priority scheduling admits the most important arrivals first;
+    // the queue stays FIFO within a priority level.
+    if (cfg.policy == SchedPolicy::PreemptivePriority) {
+        queue.stableSort([this](JobId a, JobId b) {
+            return jobs[std::size_t(a)]->spec.priority >
+                   jobs[std::size_t(b)]->spec.priority;
+        });
+    }
     std::size_t i = 0;
     while (i < queue.size()) {
         Job &job = *jobs[std::size_t(queue.at(i))];
@@ -168,6 +180,12 @@ Scheduler::admitFromQueue()
                 formatBytes(admission.capacity()).c_str());
             continue;
         }
+        bool wants_room =
+            (cfg.maxJobsInFlight > 0 &&
+             int(running.size()) >= cfg.maxJobsInFlight) ||
+            !admission.canAdmit(est, job.reserveScale);
+        if (wants_room && cfg.policy == SchedPolicy::PreemptivePriority)
+            wants_room = !makeRoomFor(job, est);
         if (cfg.maxJobsInFlight > 0 &&
             int(running.size()) >= cfg.maxJobsInFlight) {
             break;
@@ -176,7 +194,7 @@ Scheduler::admitFromQueue()
             !running.empty()) {
             break;
         }
-        if (!admission.canAdmit(est, job.reserveScale)) {
+        if (wants_room) {
             if (cfg.policy != SchedPolicy::FifoExclusive) {
                 // Backfill: a smaller job further back may still fit.
                 ++i;
@@ -206,29 +224,57 @@ Scheduler::admitFromQueue()
 }
 
 void
+Scheduler::removeFromRunning(JobId id)
+{
+    auto it = std::find(running.begin(), running.end(), id);
+    VDNN_ASSERT(it != running.end(), "job %d not running", id);
+    std::size_t idx = std::size_t(it - running.begin());
+    running.erase(it);
+    if (idx < rrCursor)
+        --rrCursor;
+    recordInflight();
+}
+
+void
 Scheduler::finishJob(Job &job, JobState final_state,
                      const std::string &why)
 {
-    VDNN_ASSERT(job.record.state == JobState::Running,
+    VDNN_ASSERT(jobStateLive(job.record.state),
                 "finishing job %d in state %s", job.id,
                 jobStateName(job.record.state));
+    Bytes before = admission.reservedBytes();
     job.record.peakPoolBytes = pool.peakByClient(job.id);
     job.record.offloadedBytes = job.session->memory().offloadedBytes();
     job.session->teardown();
     job.session.reset();
     admission.release(job.id);
 
-    auto it = std::find(running.begin(), running.end(), job.id);
-    VDNN_ASSERT(it != running.end(), "job %d not running", job.id);
-    std::size_t idx = std::size_t(it - running.begin());
-    running.erase(it);
-    if (idx < rrCursor)
-        --rrCursor;
-    recordInflight();
+    if (job.record.state == JobState::Evicted) {
+        auto ev = std::find(evictedJobs.begin(), evictedJobs.end(),
+                            job.id);
+        VDNN_ASSERT(ev != evictedJobs.end(), "job %d not evicted",
+                    job.id);
+        evictedJobs.erase(ev);
+    } else {
+        removeFromRunning(job.id);
+    }
 
     job.record.state = final_state;
     job.record.finishTime = rt.now();
     job.record.failReason = why;
+    logLifecycle(job.id,
+                 final_state == JobState::Finished ? "finish"
+                 : final_state == JobState::Queued ? "requeue"
+                                                   : "fail",
+                 before);
+
+    // Freed capacity: evicted tenants may fit again, and survivors
+    // whose planner supports it may grow their plans back.
+    if (cfg.policy == SchedPolicy::PreemptivePriority) {
+        resumePending = true;
+        for (JobId id : running)
+            jobs[std::size_t(id)]->replanRequested = true;
+    }
 }
 
 void
@@ -267,9 +313,148 @@ Scheduler::pickNext()
         }
         return best;
     }
+    if (cfg.policy == SchedPolicy::PreemptivePriority) {
+        // Strict priority; round-robin within the top level.
+        int top = jobs[std::size_t(running.front())]->spec.priority;
+        for (JobId id : running)
+            top = std::max(top, jobs[std::size_t(id)]->spec.priority);
+        for (std::size_t k = 0; k < running.size(); ++k) {
+            std::size_t idx = (rrCursor + k) % running.size();
+            Job *j = jobs[std::size_t(running[idx])].get();
+            if (j->spec.priority == top) {
+                rrCursor = idx + 1;
+                return j;
+            }
+        }
+    }
     if (rrCursor >= running.size())
         rrCursor = 0;
     return jobs[std::size_t(running[rrCursor++])].get();
+}
+
+// --- lifecycle state machine (PreemptivePriority) ----------------------------
+
+Job *
+Scheduler::pickVictim(int below_priority)
+{
+    // Lowest priority first; the latest-arrived tenant of that level
+    // goes first (LIFO), so incumbents are disturbed least.
+    Job *victim = nullptr;
+    for (JobId id : running) {
+        Job *j = jobs[std::size_t(id)].get();
+        if (j->spec.priority >= below_priority)
+            continue;
+        if (!victim || j->spec.priority < victim->spec.priority ||
+            (j->spec.priority == victim->spec.priority &&
+             j->spec.arrival > victim->spec.arrival)) {
+            victim = j;
+        }
+    }
+    return victim;
+}
+
+bool
+Scheduler::preempt(Job &victim)
+{
+    VDNN_ASSERT(victim.record.state == JobState::Running,
+                "preempting job %d in state %s", victim.id,
+                jobStateName(victim.record.state));
+    Bytes before = admission.reservedBytes();
+    victim.session->suspend();
+    victim.record.state = JobState::Suspended;
+    logLifecycle(victim.id, "suspend", before);
+
+    if (!victim.session->evictToHost()) {
+        // Pinned host memory cannot stage the state; undo the park.
+        victim.session->resume();
+        victim.record.state = JobState::Running;
+        logLifecycle(victim.id, "resume", before);
+        return false;
+    }
+    admission.evict(victim.id);
+    removeFromRunning(victim.id);
+    evictedJobs.push_back(victim.id);
+    victim.record.state = JobState::Evicted;
+    ++victim.record.preemptions;
+    logLifecycle(victim.id, "evict", before);
+    // Schedule a resume sweep: if the beneficiary then fails
+    // admission (setup OOM, host exhaustion partway through
+    // makeRoomFor), the freed capacity must not strand the victim
+    // until an unrelated job finishes.
+    resumePending = true;
+    return true;
+}
+
+bool
+Scheduler::makeRoomFor(Job &job, const FootprintEstimate &est)
+{
+    auto blocked = [&] {
+        return (cfg.maxJobsInFlight > 0 &&
+                int(running.size()) >= cfg.maxJobsInFlight) ||
+               !admission.canAdmit(est, job.reserveScale);
+    };
+    while (blocked()) {
+        Job *victim = pickVictim(job.spec.priority);
+        if (!victim || !preempt(*victim))
+            return false; // nobody below this priority (or host full)
+    }
+    return true;
+}
+
+void
+Scheduler::resumeEvicted()
+{
+    // Best priority first, then earliest arrival: the order admission
+    // would have picked them in.
+    std::vector<JobId> order = evictedJobs;
+    std::sort(order.begin(), order.end(), [this](JobId a, JobId b) {
+        const Job &ja = *jobs[std::size_t(a)];
+        const Job &jb = *jobs[std::size_t(b)];
+        if (ja.spec.priority != jb.spec.priority)
+            return ja.spec.priority > jb.spec.priority;
+        if (ja.spec.arrival != jb.spec.arrival)
+            return ja.spec.arrival < jb.spec.arrival;
+        return a < b;
+    });
+    for (JobId id : order) {
+        // Readmission honours the in-flight cap exactly like fresh
+        // admission does.
+        if (cfg.maxJobsInFlight > 0 &&
+            int(running.size()) >= cfg.maxJobsInFlight) {
+            break;
+        }
+        Job &job = *jobs[std::size_t(id)];
+        if (!admission.canReadmit(id))
+            continue;
+        Bytes before = admission.reservedBytes();
+        // resume() re-plans against the current free share before
+        // restoring the staged state; it may fail here (fragmentation,
+        // co-tenant bursts above their reservations) — the tenant
+        // simply stays evicted until the next capacity event.
+        if (!job.session->resume())
+            continue;
+        admission.readmit(id);
+        auto ev = std::find(evictedJobs.begin(), evictedJobs.end(), id);
+        VDNN_ASSERT(ev != evictedJobs.end(), "job %d not evicted", id);
+        evictedJobs.erase(ev);
+        running.push_back(id);
+        job.record.state = JobState::Running;
+        recordInflight();
+        logLifecycle(id, "resume", before);
+    }
+}
+
+void
+Scheduler::logLifecycle(JobId id, const char *what,
+                        Bytes reserved_before)
+{
+    LifecycleEvent ev;
+    ev.when = rt.now();
+    ev.job = id;
+    ev.what = what;
+    ev.reservedBefore = reserved_before;
+    ev.reservedAfter = admission.reservedBytes();
+    lifecycleLog.push_back(ev);
 }
 
 void
@@ -322,10 +507,35 @@ Scheduler::runInterleaved()
     while (!allDone()) {
         collectArrivals();
         admitFromQueue();
+        if (resumePending) {
+            resumePending = false;
+            resumeEvicted();
+        }
 
         if (running.empty()) {
+            if (!evictedJobs.empty()) {
+                // Preempted tenants and nothing resident: readmit.
+                resumeEvicted();
+                if (!running.empty())
+                    continue;
+            }
             TimeNs next = nextArrivalAfter(rt.now());
             if (next == kTimeNone) {
+                if (!evictedJobs.empty()) {
+                    // Backstop: an evicted tenant that cannot come
+                    // back even with the device drained must go
+                    // terminal, not hang the scheduler.
+                    std::vector<JobId> stuck = evictedJobs;
+                    for (JobId id : stuck) {
+                        finishJob(*jobs[std::size_t(id)],
+                                  JobState::Failed,
+                                  "evicted tenant could not be "
+                                  "readmitted: " +
+                                      jobs[std::size_t(id)]
+                                          ->session->failReason());
+                    }
+                    continue;
+                }
                 // Nothing running, nothing admissible, nothing still
                 // to arrive: every queued job was terminal-handled.
                 break;
@@ -335,6 +545,22 @@ Scheduler::runInterleaved()
         }
 
         Job &job = *pickNext();
+        // Grow-back sweep: a co-tenant exited since this tenant last
+        // ran; planners that support it re-plan in place against the
+        // fresh free share at this iteration boundary.
+        if (job.replanRequested) {
+            job.replanRequested = false;
+            if (cfg.policy == SchedPolicy::PreemptivePriority &&
+                !job.session->activeStepper()) {
+                Bytes before = admission.reservedBytes();
+                if (job.session->replan()) {
+                    ++job.record.replans;
+                    logLifecycle(job.id, "replan", before);
+                }
+            }
+        }
+        if (job.record.firstDispatchTime == kTimeNone)
+            job.record.firstDispatchTime = rt.now();
         core::IterationResult r = job.session->runIteration();
         if (r.ok) {
             chargeIteration(job, r);
@@ -379,8 +605,11 @@ Scheduler::runPacked()
             if (job.record.state != JobState::Running)
                 continue; // finished or evicted earlier in this round
             core::IterationStepper *st = job.session->activeStepper();
-            if (!st)
+            if (!st) {
+                if (job.record.firstDispatchTime == kTimeNone)
+                    job.record.firstDispatchTime = rt.now();
                 st = &job.session->beginIteration();
+            }
             core::IterationStepper::Status s =
                 st->step(/*blocking=*/false);
             if (s == core::IterationStepper::Status::Blocked)
@@ -439,6 +668,9 @@ Scheduler::buildReport()
     rep.computeBusyTime = rt.computeBusyTime();
     rep.copyBusyTime = rt.copyBusyTime(gpu::CopyDir::DeviceToHost) +
                        rt.copyBusyTime(gpu::CopyDir::HostToDevice);
+    rep.lifecycle = lifecycleLog;
+    rep.reservedBytesAtEnd = admission.reservedBytes();
+    rep.evictedLedgerAtEnd = admission.evictedCount();
     if (cfg.keepTimeline) {
         rep.poolTimeline = poolTrack.signal().timeline();
         rep.inflightTimeline = inflight.timeline();
@@ -453,8 +685,10 @@ Scheduler::buildReport()
         out.name = job->spec.name;
         out.configName = job->spec.planner->name();
         out.state = rec.state;
+        out.priority = job->spec.priority;
         out.arrival = job->spec.arrival;
         out.admitTime = rec.admitTime;
+        out.firstDispatchTime = rec.firstDispatchTime;
         out.finishTime = rec.finishTime;
         out.queueingDelay = job->queueingDelay();
         out.completionTime = rec.state == JobState::Finished
@@ -463,6 +697,8 @@ Scheduler::buildReport()
         out.serviceTime = rec.serviceTime;
         out.iterations = rec.itersDone;
         out.oomRequeues = rec.oomRequeues;
+        out.preemptions = rec.preemptions;
+        out.replans = rec.replans;
         out.persistentBytes = rec.persistentBytes;
         out.peakPoolBytes = rec.peakPoolBytes;
         out.offloadedBytes = rec.offloadedBytes;

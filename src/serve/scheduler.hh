@@ -33,6 +33,16 @@
  *    JobSpec::exec.pcieWeight). Because several tenants' per-iteration
  *    working sets are live at once, admission reserves the *sum* of
  *    transients instead of the shared arena.
+ *  - PreemptivePriority: iteration-granularity packing driven by
+ *    JobSpec::priority (highest runs first). A higher-priority arrival
+ *    that fails admission preempts the lowest-priority running tenants
+ *    through the Session lifecycle state machine — suspend() then
+ *    evictToHost(), releasing the victim's entire device share while
+ *    its reservation moves to the admission controller's evicted
+ *    ledger. Victims resume (re-planning against the then-current
+ *    free share) once capacity frees, and a re-plan sweep lets
+ *    in-place-replannable tenants (ReplanHint::InPlace) grow their
+ *    plans back when co-tenants exit.
  *
  * In-flight OOM (overcommit or pool fragmentation despite the
  * reservation) aborts only that iteration: the job is torn down,
@@ -64,10 +74,11 @@ namespace vdnn::serve
 
 enum class SchedPolicy
 {
-    FifoExclusive,     ///< one job at a time, arrival order
-    RoundRobin,        ///< iteration-granularity packing (Salus-style)
-    ShortestRemaining, ///< packed, fewest-remaining-iterations first
-    PackedOverlap,     ///< op-granularity packing, compute/DMA overlap
+    FifoExclusive,      ///< one job at a time, arrival order
+    RoundRobin,         ///< iteration-granularity packing (Salus-style)
+    ShortestRemaining,  ///< packed, fewest-remaining-iterations first
+    PackedOverlap,      ///< op-granularity packing, compute/DMA overlap
+    PreemptivePriority, ///< priority packing; preempts via suspend/evict
 };
 
 const char *schedPolicyName(SchedPolicy p);
@@ -112,6 +123,7 @@ class Scheduler
     const AdmissionController &admissionState() const { return admission; }
     const Job &job(JobId id) const { return *jobs.at(std::size_t(id)); }
     int jobsInFlight() const { return int(running.size()); }
+    int jobsEvicted() const { return int(evictedJobs.size()); }
 
   private:
     void collectArrivals();
@@ -133,6 +145,23 @@ class Scheduler
     void runPacked();
     ServeReport buildReport();
 
+    // --- lifecycle state machine (PreemptivePriority) --------------------
+    /** Drop @p id from the resident set, fixing the RR cursor. */
+    void removeFromRunning(JobId id);
+    /** Lowest-priority running tenant strictly below @p priority
+     *  (latest arrival breaks ties), or nullptr. */
+    Job *pickVictim(int below_priority);
+    /** Suspend + evict one tenant, moving its reservation to the
+     *  evicted ledger. False when pinned host memory is exhausted. */
+    bool preempt(Job &victim);
+    /** Evict lowest-priority tenants until @p job's reservation (and,
+     *  when the in-flight cap binds, a slot) fits. */
+    bool makeRoomFor(Job &job, const FootprintEstimate &est);
+    /** Resume evicted tenants that fit again, best priority first. */
+    void resumeEvicted();
+    /** Append a lifecycle transition to the audit log. */
+    void logLifecycle(JobId id, const char *what, Bytes reserved_before);
+
     SchedulerConfig cfg;
     gpu::Runtime rt;
     mem::MemoryPool pool;
@@ -146,8 +175,12 @@ class Scheduler
     std::unordered_map<JobId, FootprintEstimate> estimates;
     JobQueue queue;            ///< arrived, waiting for admission
     std::vector<JobId> running; ///< admitted, in submission order
+    std::vector<JobId> evictedJobs; ///< preempted, awaiting resume
     std::size_t rrCursor = 0;
+    /** Capacity freed since the last resume sweep. */
+    bool resumePending = false;
 
+    std::vector<LifecycleEvent> lifecycleLog;
     stats::TimeWeighted inflight;
     int peakInflight = 0;
     bool ran = false;

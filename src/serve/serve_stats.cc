@@ -31,6 +31,39 @@ finishedJcts(const std::vector<JobOutcome> &jobs)
     return jcts;
 }
 
+std::vector<TimeNs>
+finishedJctsAtPriority(const std::vector<JobOutcome> &jobs, int priority)
+{
+    std::vector<TimeNs> jcts;
+    for (const JobOutcome &j : jobs) {
+        if (j.state == JobState::Finished && j.priority == priority)
+            jcts.push_back(j.completionTime);
+    }
+    std::sort(jcts.begin(), jcts.end());
+    return jcts;
+}
+
+TimeNs
+meanOf(const std::vector<TimeNs> &jcts)
+{
+    if (jcts.empty())
+        return 0;
+    double sum = 0.0;
+    for (TimeNs t : jcts)
+        sum += double(t);
+    return TimeNs(sum / double(jcts.size()));
+}
+
+TimeNs
+nearestRank(const std::vector<TimeNs> &jcts, double pct)
+{
+    if (jcts.empty())
+        return 0;
+    std::size_t rank = std::size_t(std::max<double>(
+        1.0, std::ceil(pct * double(jcts.size()))));
+    return jcts[rank - 1];
+}
+
 } // namespace
 
 int
@@ -54,25 +87,25 @@ ServeReport::rejectedCount() const
 TimeNs
 ServeReport::meanJct() const
 {
-    std::vector<TimeNs> jcts = finishedJcts(jobs);
-    if (jcts.empty())
-        return 0;
-    double sum = 0.0;
-    for (TimeNs t : jcts)
-        sum += double(t);
-    return TimeNs(sum / double(jcts.size()));
+    return meanOf(finishedJcts(jobs));
 }
 
 TimeNs
 ServeReport::p99Jct() const
 {
-    std::vector<TimeNs> jcts = finishedJcts(jobs);
-    if (jcts.empty())
-        return 0;
-    // Nearest-rank percentile.
-    std::size_t rank = std::size_t(std::max<double>(
-        1.0, std::ceil(0.99 * double(jcts.size()))));
-    return jcts[rank - 1];
+    return nearestRank(finishedJcts(jobs), 0.99);
+}
+
+TimeNs
+ServeReport::meanJctAtPriority(int priority) const
+{
+    return meanOf(finishedJctsAtPriority(jobs, priority));
+}
+
+TimeNs
+ServeReport::p95JctAtPriority(int priority) const
+{
+    return nearestRank(finishedJctsAtPriority(jobs, priority), 0.95);
 }
 
 TimeNs
@@ -93,14 +126,17 @@ stats::Table
 ServeReport::jobTable() const
 {
     stats::Table t(schedulerName + " on " + gpuName + ": per-job report");
-    t.setColumns({"job", "config", "state", "arrive (ms)", "queue (ms)",
-                  "iters", "JCT (ms)", "persistent (MiB)",
-                  "peak pool (MiB)"});
+    t.setColumns({"job", "config", "prio", "state", "arrive (ms)",
+                  "queue (ms)", "iters", "preempt", "replan",
+                  "JCT (ms)", "persistent (MiB)", "peak pool (MiB)"});
     for (const JobOutcome &j : jobs) {
-        t.addRow({j.name, j.configName, jobStateName(j.state),
+        t.addRow({j.name, j.configName, stats::Table::cellInt(j.priority),
+                  jobStateName(j.state),
                   stats::Table::cell(toMs(j.arrival), 1),
                   stats::Table::cell(toMs(j.queueingDelay), 1),
                   stats::Table::cellInt(j.iterations),
+                  stats::Table::cellInt(j.preemptions),
+                  stats::Table::cellInt(j.replans),
                   j.state == JobState::Finished
                       ? stats::Table::cell(toMs(j.completionTime), 1)
                       : std::string("-"),

@@ -28,18 +28,39 @@ struct JobOutcome
     std::string name;
     std::string configName;
     JobState state = JobState::Pending;
+    int priority = 0;
     TimeNs arrival = 0;
     TimeNs admitTime = kTimeNone;
+    /** First iteration dispatch (preemption responsiveness metric). */
+    TimeNs firstDispatchTime = kTimeNone;
     TimeNs finishTime = kTimeNone;
     TimeNs queueingDelay = 0;
     TimeNs completionTime = 0; ///< JCT; 0 unless Finished
     TimeNs serviceTime = 0;
     int iterations = 0;
     int oomRequeues = 0;
+    int preemptions = 0;
+    int replans = 0;
     Bytes persistentBytes = 0;
     Bytes peakPoolBytes = 0;
     Bytes offloadedBytes = 0;
     std::string failReason;
+};
+
+/**
+ * One tenant lifecycle transition, with the admission ledger's
+ * reserved bytes on both sides — the audit trail the state machine
+ * leaves behind (dumped by `memory_timeline lifecycle`).
+ */
+struct LifecycleEvent
+{
+    TimeNs when = 0;
+    JobId job = -1;
+    /** "admit" / "suspend" / "evict" / "replan" / "resume" /
+     *  "finish" / "requeue" / "fail". */
+    const char *what = "";
+    Bytes reservedBefore = 0;
+    Bytes reservedAfter = 0;
 };
 
 struct ServeReport
@@ -76,6 +97,14 @@ struct ServeReport
     /** Jobs-in-flight change points (when keepTimeline was set). */
     std::vector<stats::TimeWeighted::Sample> inflightTimeline;
 
+    /** Every lifecycle transition, in time order. */
+    std::vector<LifecycleEvent> lifecycle;
+
+    /** Admission ledger after the run drained: both must be zero when
+     *  every job reached a terminal state. */
+    Bytes reservedBytesAtEnd = 0;
+    int evictedLedgerAtEnd = 0;
+
     int finishedCount() const;
     int failedCount() const;
     int rejectedCount() const;
@@ -85,6 +114,11 @@ struct ServeReport
     /** p99 (nearest-rank) job completion time over finished jobs. */
     TimeNs p99Jct() const;
     TimeNs meanQueueingDelay() const;
+
+    /** Mean JCT over finished jobs at exactly @p priority. */
+    TimeNs meanJctAtPriority(int priority) const;
+    /** p95 (nearest-rank) JCT over finished jobs at @p priority. */
+    TimeNs p95JctAtPriority(int priority) const;
 
     /** Per-job ASCII table. */
     stats::Table jobTable() const;

@@ -1,19 +1,20 @@
 /**
  * @file
- * Tests for the vDNN executor and policy resolution: offload decisions,
- * per-policy behaviour, iteration invariants, failure handling, and
- * the dynamic policy's profiling passes.
+ * Tests for the vDNN executor and the planner surface: offload
+ * decisions, per-planner behaviour, iteration invariants, failure
+ * handling, and the dynamic planner's profiling passes.
  */
 
 #include "core/dynamic_policy.hh"
 #include "core/executor.hh"
-#include "core/policy.hh"
 #include "core/training_session.hh"
 
 #include "common/units.hh"
 #include "net/builders.hh"
 
 #include <gtest/gtest.h>
+
+#include <memory>
 
 using namespace vdnn;
 using namespace vdnn::core;
@@ -23,38 +24,68 @@ namespace
 {
 
 core::SessionResult
-run(const net::Network &network, TransferPolicy policy, AlgoMode mode,
+run(const net::Network &network, std::shared_ptr<Planner> planner,
     bool oracle = false)
 {
     SessionConfig cfg;
-    cfg.policy = policy;
-    cfg.algoMode = mode;
+    cfg.planner = std::move(planner);
     cfg.oracle = oracle;
     return runSession(network, cfg);
 }
 
+std::shared_ptr<Planner>
+baseM()
+{
+    return std::make_shared<BaselinePlanner>(
+        AlgoPreference::MemoryOptimal);
+}
+
+std::shared_ptr<Planner>
+baseP()
+{
+    return std::make_shared<BaselinePlanner>(
+        AlgoPreference::PerformanceOptimal);
+}
+
+std::shared_ptr<Planner>
+allM()
+{
+    return std::make_shared<OffloadAllPlanner>(
+        AlgoPreference::MemoryOptimal);
+}
+
+std::shared_ptr<Planner>
+convM()
+{
+    return std::make_shared<OffloadConvPlanner>(
+        AlgoPreference::MemoryOptimal);
+}
+
+MemoryPlan
+planWith(Planner &&planner, const net::Network &net)
+{
+    return planner.plan(net,
+                        PlannerContext::exclusive(gpu::titanXMaxwell()));
+}
+
 } // namespace
 
-// --- policy resolution -----------------------------------------------------------
+// --- plan resolution -----------------------------------------------------------
 
-TEST(Policy, BaselinePlanOffloadsNothing)
+TEST(Plans, BaselinePlanOffloadsNothing)
 {
     auto network = net::buildVgg16(64);
-    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
-    MemoryPlan plan = makeStaticPlan(*network, cudnn,
-                                     TransferPolicy::Baseline,
-                                     AlgoMode::MemoryOptimal);
+    MemoryPlan plan = planWith(
+        BaselinePlanner(AlgoPreference::MemoryOptimal), *network);
     EXPECT_TRUE(plan.staticAllocation);
     EXPECT_EQ(plan.offloadCount(), 0);
 }
 
-TEST(Policy, OffloadAllMarksEveryEligibleBuffer)
+TEST(Plans, OffloadAllMarksEveryEligibleBuffer)
 {
     auto network = net::buildVgg16(64);
-    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
-    MemoryPlan plan = makeStaticPlan(*network, cudnn,
-                                     TransferPolicy::OffloadAll,
-                                     AlgoMode::MemoryOptimal);
+    MemoryPlan plan = planWith(
+        OffloadAllPlanner(AlgoPreference::MemoryOptimal), *network);
     int offloaded = 0;
     for (net::BufferId b = 0; b < net::BufferId(network->numBuffers());
          ++b) {
@@ -68,16 +99,13 @@ TEST(Policy, OffloadAllMarksEveryEligibleBuffer)
     EXPECT_GT(offloaded, 15);
 }
 
-TEST(Policy, OffloadConvIsSubsetEndingAtConvReaders)
+TEST(Plans, OffloadConvIsSubsetEndingAtConvReaders)
 {
     auto network = net::buildVgg16(64);
-    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
-    MemoryPlan all = makeStaticPlan(*network, cudnn,
-                                    TransferPolicy::OffloadAll,
-                                    AlgoMode::MemoryOptimal);
-    MemoryPlan conv = makeStaticPlan(*network, cudnn,
-                                     TransferPolicy::OffloadConv,
-                                     AlgoMode::MemoryOptimal);
+    MemoryPlan all = planWith(
+        OffloadAllPlanner(AlgoPreference::MemoryOptimal), *network);
+    MemoryPlan conv = planWith(
+        OffloadConvPlanner(AlgoPreference::MemoryOptimal), *network);
     for (net::BufferId b = 0; b < net::BufferId(network->numBuffers());
          ++b) {
         if (conv.offloads(b)) {
@@ -89,7 +117,7 @@ TEST(Policy, OffloadConvIsSubsetEndingAtConvReaders)
     }
 }
 
-TEST(Policy, ClassifierBuffersNeverEligible)
+TEST(Plans, ClassifierBuffersNeverEligible)
 {
     auto network = net::buildAlexNet(32);
     for (net::BufferId b = 0; b < net::BufferId(network->numBuffers());
@@ -100,41 +128,45 @@ TEST(Policy, ClassifierBuffersNeverEligible)
     }
 }
 
-// --- executor invariants ------------------------------------------------------------
-
-TEST(Executor, TinyCnnRunsUnderEveryPolicy)
+TEST(Plans, NullPlannerDefaultsToDynamic)
 {
+    // SessionConfig without a planner resolves to vDNN_dyn.
     auto network = net::buildTinyCnn(8);
-    for (auto policy :
-         {TransferPolicy::Baseline, TransferPolicy::OffloadAll,
-          TransferPolicy::OffloadConv, TransferPolicy::Dynamic}) {
-        // Dynamic derives per-layer algorithms; the mode knob only
-        // applies to static policies.
-        AlgoMode mode = policy == TransferPolicy::Dynamic
-                            ? AlgoMode::PerformanceOptimal
-                            : AlgoMode::MemoryOptimal;
-        auto r = run(*network, policy, mode);
-        EXPECT_TRUE(r.trainable) << transferPolicyName(policy);
-        EXPECT_GT(r.iterationTime, 0);
-    }
+    SessionConfig cfg;
+    auto r = runSession(*network, cfg);
+    ASSERT_TRUE(r.trainable);
+    EXPECT_EQ(r.configName, "vDNN_dyn");
+    EXPECT_FALSE(r.trials.empty());
 }
 
-TEST(Executor, DynamicRejectsConflictingAlgoMode)
+TEST(Plans, ReplanHints)
 {
-    // algoMode used to be silently ignored for the Dynamic policy;
-    // the combination is now rejected at setup with a clear reason.
+    // Static planners cannot shrink in place; vDNN_dyn can.
+    EXPECT_EQ(BaselinePlanner().replanHint(), ReplanHint::Evict);
+    EXPECT_EQ(OffloadAllPlanner().replanHint(), ReplanHint::Evict);
+    EXPECT_EQ(CompressedOffloadPlanner().replanHint(),
+              ReplanHint::Evict);
+    EXPECT_EQ(DynamicPlanner().replanHint(), ReplanHint::InPlace);
+}
+
+// --- executor invariants ------------------------------------------------------------
+
+TEST(Executor, TinyCnnRunsUnderEveryPlanner)
+{
     auto network = net::buildTinyCnn(8);
-    auto r = run(*network, TransferPolicy::Dynamic,
-                 AlgoMode::MemoryOptimal);
-    EXPECT_FALSE(r.trainable);
-    EXPECT_NE(r.failReason.find("algoMode"), std::string::npos);
+    for (const auto &planner :
+         {baseM(), allM(), convM(),
+          std::shared_ptr<Planner>(std::make_shared<DynamicPlanner>())}) {
+        auto r = run(*network, planner);
+        EXPECT_TRUE(r.trainable) << planner->name();
+        EXPECT_GT(r.iterationTime, 0);
+    }
 }
 
 TEST(Executor, BaselineUsageIsFlat)
 {
     auto network = net::buildTinyCnn(8);
-    auto r = run(*network, TransferPolicy::Baseline,
-                 AlgoMode::MemoryOptimal);
+    auto r = run(*network, baseM());
     // Network-wide allocation: max == avg.
     EXPECT_EQ(r.maxTotalUsage, r.avgTotalUsage);
     EXPECT_EQ(r.offloadedBytesPerIter, 0);
@@ -144,10 +176,8 @@ TEST(Executor, BaselineUsageIsFlat)
 TEST(Executor, VdnnUsesLessMemoryThanBaseline)
 {
     auto network = net::buildVgg16(64);
-    auto base = run(*network, TransferPolicy::Baseline,
-                    AlgoMode::MemoryOptimal);
-    auto all = run(*network, TransferPolicy::OffloadAll,
-                   AlgoMode::MemoryOptimal);
+    auto base = run(*network, baseM());
+    auto all = run(*network, allM());
     EXPECT_LT(all.maxManagedUsage, base.maxManagedUsage);
     EXPECT_LT(all.avgManagedUsage, base.avgManagedUsage / 2);
 }
@@ -155,13 +185,10 @@ TEST(Executor, VdnnUsesLessMemoryThanBaseline)
 TEST(Executor, OffloadAllMovesEveryEligibleBufferOnce)
 {
     auto network = net::buildVgg16(64);
-    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
-    MemoryPlan plan = makeStaticPlan(*network, cudnn,
-                                     TransferPolicy::OffloadAll,
-                                     AlgoMode::MemoryOptimal);
+    MemoryPlan plan = planWith(
+        OffloadAllPlanner(AlgoPreference::MemoryOptimal), *network);
     Bytes expected = plan.offloadedBytes(*network);
-    auto r = run(*network, TransferPolicy::OffloadAll,
-                 AlgoMode::MemoryOptimal);
+    auto r = run(*network, allM());
     EXPECT_EQ(r.offloadedBytesPerIter, expected);
     // No compression directives: PCIe traffic equals the raw bytes
     // moved out and back (offloads + prefetches + fetches).
@@ -172,8 +199,7 @@ TEST(Executor, IterationsAreSteadyState)
 {
     auto network = net::buildVgg16(64);
     SessionConfig cfg;
-    cfg.policy = TransferPolicy::OffloadAll;
-    cfg.algoMode = AlgoMode::MemoryOptimal;
+    cfg.planner = allM();
     cfg.iterations = 3;
     auto r3 = runSession(*network, cfg);
     cfg.iterations = 1;
@@ -187,11 +213,9 @@ TEST(Executor, IterationsAreSteadyState)
 TEST(Executor, StallTimeOnlyWithTransfers)
 {
     auto network = net::buildVgg16(64);
-    auto base = run(*network, TransferPolicy::Baseline,
-                    AlgoMode::MemoryOptimal);
+    auto base = run(*network, baseM());
     EXPECT_EQ(base.transferStallTime, 0);
-    auto all = run(*network, TransferPolicy::OffloadAll,
-                   AlgoMode::MemoryOptimal);
+    auto all = run(*network, allM());
     EXPECT_GT(all.transferStallTime, 0);
     // Stall is a small fraction of the iteration.
     EXPECT_LT(all.transferStallTime, all.iterationTime / 2);
@@ -200,40 +224,39 @@ TEST(Executor, StallTimeOnlyWithTransfers)
 TEST(Executor, VdnnSlowerOrEqualToOracle)
 {
     auto network = net::buildVgg16(64);
-    auto oracle = run(*network, TransferPolicy::Baseline,
-                      AlgoMode::PerformanceOptimal, true);
-    for (auto policy :
-         {TransferPolicy::OffloadAll, TransferPolicy::OffloadConv}) {
-        for (auto mode :
-             {AlgoMode::MemoryOptimal, AlgoMode::PerformanceOptimal}) {
-            auto r = run(*network, policy, mode);
-            ASSERT_TRUE(r.trainable);
-            EXPECT_GE(r.featureExtractionTime,
-                      oracle.featureExtractionTime);
-        }
+    auto oracle = run(*network, baseP(), true);
+    for (const auto &planner :
+         {allM(),
+          std::shared_ptr<Planner>(std::make_shared<OffloadAllPlanner>(
+              AlgoPreference::PerformanceOptimal)),
+          convM(),
+          std::shared_ptr<Planner>(std::make_shared<OffloadConvPlanner>(
+              AlgoPreference::PerformanceOptimal))}) {
+        auto r = run(*network, planner);
+        ASSERT_TRUE(r.trainable);
+        EXPECT_GE(r.featureExtractionTime,
+                  oracle.featureExtractionTime);
     }
 }
 
 TEST(Executor, UntrainableReportsReason)
 {
     auto network = net::buildVgg16(256);
-    auto r = run(*network, TransferPolicy::Baseline,
-                 AlgoMode::MemoryOptimal);
+    auto r = run(*network, baseM());
     EXPECT_FALSE(r.trainable);
     EXPECT_FALSE(r.failReason.empty());
 }
 
 TEST(Executor, FailedIterationLeavesCleanPool)
 {
-    // Static (p) policies fail VGG-16 (256) mid-iteration; the abort
+    // Static (p) plans fail VGG-16 (256) mid-iteration; the abort
     // path must unwind every allocation so the pool balances.
     auto network = net::buildVgg16(256);
     dnn::CudnnSim cudnn(gpu::titanXMaxwell());
     gpu::Runtime rt(gpu::titanXMaxwell());
     MemoryManager mm(rt);
-    Plan plan = makeStaticPlan(*network, cudnn,
-                               TransferPolicy::OffloadAll,
-                               AlgoMode::PerformanceOptimal);
+    MemoryPlan plan = planWith(
+        OffloadAllPlanner(AlgoPreference::PerformanceOptimal), *network);
     Executor ex(*network, cudnn, rt, mm, plan);
     ASSERT_TRUE(ex.setup());
     Bytes persistent = ex.persistentBytes();
@@ -248,8 +271,7 @@ TEST(Executor, FailedIterationLeavesCleanPool)
 TEST(Executor, GoogLeNetForkJoinRunsUnderOffloadAll)
 {
     auto network = net::buildGoogLeNet(32);
-    auto r = run(*network, TransferPolicy::OffloadAll,
-                 AlgoMode::MemoryOptimal);
+    auto r = run(*network, allM());
     EXPECT_TRUE(r.trainable);
     EXPECT_GT(r.offloads, 20);
     EXPECT_GT(r.prefetches, 20);
@@ -260,13 +282,11 @@ TEST(Executor, SmallGpuForcesFailuresGracefully)
     gpu::GpuSpec small = gpu::smallGpu4GiB();
     SessionConfig cfg;
     cfg.gpu = small;
-    cfg.policy = TransferPolicy::Baseline;
-    cfg.algoMode = AlgoMode::PerformanceOptimal;
+    cfg.planner = baseP();
     auto network = net::buildVgg16(64);
     auto base = runSession(*network, cfg);
     EXPECT_FALSE(base.trainable); // ~7 GB > 4 GiB
-    cfg.policy = TransferPolicy::OffloadAll;
-    cfg.algoMode = AlgoMode::MemoryOptimal;
+    cfg.planner = allM();
     auto all = runSession(*network, cfg);
     EXPECT_TRUE(all.trainable); // vDNN rescues it
 }
@@ -276,8 +296,7 @@ TEST(Executor, SmallGpuForcesFailuresGracefully)
 TEST(Executor, LayerTimingsAreOrdered)
 {
     auto network = net::buildTinyCnn(8);
-    auto r = run(*network, TransferPolicy::OffloadAll,
-                 AlgoMode::MemoryOptimal);
+    auto r = run(*network, allM());
     ASSERT_EQ(r.layerTimings.size(), network->numLayers());
     const auto &topo = network->topoOrder();
     for (std::size_t i = 1; i < topo.size(); ++i) {
@@ -293,8 +312,7 @@ TEST(Executor, LayerTimingsAreOrdered)
 TEST(Executor, ClassifierTimeIsPartOfMakespan)
 {
     auto network = net::buildAlexNet(32);
-    auto r = run(*network, TransferPolicy::Baseline,
-                 AlgoMode::PerformanceOptimal);
+    auto r = run(*network, baseP());
     EXPECT_GT(r.classifierTime, 0);
     EXPECT_LT(r.classifierTime, r.iterationTime);
     EXPECT_EQ(r.featureExtractionTime,
@@ -382,23 +400,66 @@ TEST(DynamicPlannerTest, TrialsRecordMakespans)
     }
 }
 
-// --- parameterized cross-policy invariants ------------------------------------------
+// --- parameterized cross-planner invariants ------------------------------------------
 
-struct PolicyCase
+namespace
 {
-    TransferPolicy policy;
-    AlgoMode mode;
+
+struct PlannerCase
+{
+    const char *label;
+    std::shared_ptr<Planner> (*make)();
 };
 
-class PolicyInvariantTest : public ::testing::TestWithParam<PolicyCase>
+std::shared_ptr<Planner>
+makeBaseM()
+{
+    return baseM();
+}
+std::shared_ptr<Planner>
+makeBaseP()
+{
+    return baseP();
+}
+std::shared_ptr<Planner>
+makeAllM()
+{
+    return allM();
+}
+std::shared_ptr<Planner>
+makeAllP()
+{
+    return std::make_shared<OffloadAllPlanner>(
+        AlgoPreference::PerformanceOptimal);
+}
+std::shared_ptr<Planner>
+makeConvM()
+{
+    return convM();
+}
+std::shared_ptr<Planner>
+makeConvP()
+{
+    return std::make_shared<OffloadConvPlanner>(
+        AlgoPreference::PerformanceOptimal);
+}
+std::shared_ptr<Planner>
+makeDyn()
+{
+    return std::make_shared<DynamicPlanner>();
+}
+
+} // namespace
+
+class PlannerInvariantTest : public ::testing::TestWithParam<PlannerCase>
 {};
 
-TEST_P(PolicyInvariantTest, TinyAndSmallNetsBehave)
+TEST_P(PlannerInvariantTest, TinyAndSmallNetsBehave)
 {
-    auto [policy, mode] = GetParam();
+    const PlannerCase &c = GetParam();
     for (std::int64_t batch : {1, 4, 16}) {
         auto network = net::buildTinyCnn(batch);
-        auto r = run(*network, policy, mode);
+        auto r = run(*network, c.make());
         ASSERT_TRUE(r.trainable);
         // Memory balanced, makespan positive, usage bounded by pool.
         EXPECT_GT(r.iterationTime, 0);
@@ -406,23 +467,21 @@ TEST_P(PolicyInvariantTest, TinyAndSmallNetsBehave)
                   gpu::titanXMaxwell().dramCapacity);
         EXPECT_LE(r.avgTotalUsage, r.maxTotalUsage);
         EXPECT_LE(r.avgManagedUsage, r.avgTotalUsage);
-        if (policy == TransferPolicy::Baseline) {
+        if (r.plan.staticAllocation) {
             EXPECT_EQ(r.offloadedBytesPerIter, 0);
         }
     }
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Grid, PolicyInvariantTest,
-    ::testing::Values(
-        PolicyCase{TransferPolicy::Baseline, AlgoMode::MemoryOptimal},
-        PolicyCase{TransferPolicy::Baseline,
-                   AlgoMode::PerformanceOptimal},
-        PolicyCase{TransferPolicy::OffloadAll, AlgoMode::MemoryOptimal},
-        PolicyCase{TransferPolicy::OffloadAll,
-                   AlgoMode::PerformanceOptimal},
-        PolicyCase{TransferPolicy::OffloadConv, AlgoMode::MemoryOptimal},
-        PolicyCase{TransferPolicy::OffloadConv,
-                   AlgoMode::PerformanceOptimal},
-        PolicyCase{TransferPolicy::Dynamic,
-                   AlgoMode::PerformanceOptimal}));
+    Grid, PlannerInvariantTest,
+    ::testing::Values(PlannerCase{"base_m", makeBaseM},
+                      PlannerCase{"base_p", makeBaseP},
+                      PlannerCase{"all_m", makeAllM},
+                      PlannerCase{"all_p", makeAllP},
+                      PlannerCase{"conv_m", makeConvM},
+                      PlannerCase{"conv_p", makeConvP},
+                      PlannerCase{"dyn", makeDyn}),
+    [](const ::testing::TestParamInfo<PlannerCase> &info) {
+        return info.param.label;
+    });

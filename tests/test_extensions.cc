@@ -6,6 +6,7 @@
  * the prefetch-eviction robustness mechanism.
  */
 
+#include "core/dynamic_policy.hh"
 #include "core/training_session.hh"
 
 #include "common/units.hh"
@@ -31,8 +32,8 @@ SessionConfig
 allM()
 {
     SessionConfig cfg;
-    cfg.policy = TransferPolicy::OffloadAll;
-    cfg.algoMode = AlgoMode::MemoryOptimal;
+    cfg.planner = std::make_shared<OffloadAllPlanner>(
+        AlgoPreference::MemoryOptimal);
     return cfg;
 }
 
@@ -100,12 +101,12 @@ TEST(Extensions, SmallGpuRescuedByVdnn)
 {
     auto network = net::buildVgg16(64);
     SessionConfig base;
-    base.policy = TransferPolicy::Baseline;
-    base.algoMode = AlgoMode::MemoryOptimal;
+    base.planner = std::make_shared<BaselinePlanner>(
+        AlgoPreference::MemoryOptimal);
     base.gpu = gpu::smallGpu4GiB();
     EXPECT_FALSE(runWith(*network, base).trainable);
     SessionConfig dyn;
-    dyn.policy = TransferPolicy::Dynamic;
+    dyn.planner = std::make_shared<DynamicPlanner>();
     dyn.gpu = gpu::smallGpu4GiB();
     auto r = runWith(*network, dyn);
     EXPECT_TRUE(r.trainable);
@@ -163,8 +164,8 @@ TEST(Extensions, EvictionRescuesConvPolicyOnVgg256)
     // co-residency makes the mandatory pool1 gradient allocation fail.
     auto network = net::buildVgg16(256);
     SessionConfig cfg;
-    cfg.policy = TransferPolicy::OffloadConv;
-    cfg.algoMode = AlgoMode::MemoryOptimal;
+    cfg.planner = std::make_shared<OffloadConvPlanner>(
+        AlgoPreference::MemoryOptimal);
     auto r = runWith(*network, cfg);
     ASSERT_TRUE(r.trainable) << r.failReason;
     EXPECT_LE(r.maxTotalUsage, gpu::titanXMaxwell().dramCapacity);
@@ -183,13 +184,13 @@ TEST(Extensions, EvictionUnnecessaryWithHeadroom)
 TEST(Extensions, SessionConfigNames)
 {
     SessionConfig cfg;
-    cfg.policy = TransferPolicy::OffloadAll;
-    cfg.algoMode = AlgoMode::MemoryOptimal;
+    cfg.planner = std::make_shared<OffloadAllPlanner>(
+        AlgoPreference::MemoryOptimal);
     EXPECT_EQ(sessionConfigName(cfg), "vDNN_all (m)");
-    cfg.policy = TransferPolicy::Dynamic;
+    cfg.planner.reset(); // defaults to vDNN_dyn
     EXPECT_EQ(sessionConfigName(cfg), "vDNN_dyn");
-    cfg.policy = TransferPolicy::Baseline;
-    cfg.algoMode = AlgoMode::PerformanceOptimal;
+    cfg.planner = std::make_shared<BaselinePlanner>(
+        AlgoPreference::PerformanceOptimal);
     cfg.oracle = true;
     EXPECT_EQ(sessionConfigName(cfg), "base (p) [oracle]");
 }
@@ -199,8 +200,8 @@ TEST(Extensions, OracleNeverFails)
     for (const auto &entry : net::veryDeepSuite()) {
         auto network = entry.build();
         SessionConfig cfg;
-        cfg.policy = TransferPolicy::Baseline;
-        cfg.algoMode = AlgoMode::PerformanceOptimal;
+        cfg.planner = std::make_shared<BaselinePlanner>(
+            AlgoPreference::PerformanceOptimal);
         cfg.oracle = true;
         auto r = runWith(*network, cfg);
         EXPECT_TRUE(r.trainable) << entry.name;
@@ -211,8 +212,8 @@ TEST(Extensions, KernelLogCoversEveryLayerTwice)
 {
     auto network = net::buildTinyCnn(4);
     SessionConfig cfg;
-    cfg.policy = TransferPolicy::Baseline;
-    cfg.algoMode = AlgoMode::MemoryOptimal;
+    cfg.planner = std::make_shared<BaselinePlanner>(
+        AlgoPreference::MemoryOptimal);
     cfg.iterations = 1;
     cfg.kernelLog = true;
     auto r = runWith(*network, cfg);
@@ -229,7 +230,7 @@ TEST(Extensions, DynProfilingTrialsAreReported)
 {
     auto network = net::buildVgg16(256);
     SessionConfig cfg;
-    cfg.policy = TransferPolicy::Dynamic;
+    cfg.planner = std::make_shared<DynamicPlanner>();
     auto r = runWith(*network, cfg);
     ASSERT_TRUE(r.trainable);
     // Probe + no-offload + static (p) passes + greedy rounds.

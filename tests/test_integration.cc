@@ -6,6 +6,7 @@
  * shapes.
  */
 
+#include "core/dynamic_policy.hh"
 #include "core/training_session.hh"
 #include "net/builders.hh"
 #include "net/network_stats.hh"
@@ -26,14 +27,54 @@ namespace
 {
 
 SessionResult
-run(const net::Network &network, TransferPolicy policy, AlgoMode mode,
+run(const net::Network &network, std::shared_ptr<Planner> planner,
     bool oracle = false)
 {
     SessionConfig cfg;
-    cfg.policy = policy;
-    cfg.algoMode = mode;
+    cfg.planner = std::move(planner);
     cfg.oracle = oracle;
     return runSession(network, cfg);
+}
+
+std::shared_ptr<Planner>
+baseM()
+{
+    return std::make_shared<BaselinePlanner>(
+        AlgoPreference::MemoryOptimal);
+}
+
+std::shared_ptr<Planner>
+baseP()
+{
+    return std::make_shared<BaselinePlanner>(
+        AlgoPreference::PerformanceOptimal);
+}
+
+std::shared_ptr<Planner>
+allM()
+{
+    return std::make_shared<OffloadAllPlanner>(
+        AlgoPreference::MemoryOptimal);
+}
+
+std::shared_ptr<Planner>
+allP()
+{
+    return std::make_shared<OffloadAllPlanner>(
+        AlgoPreference::PerformanceOptimal);
+}
+
+std::shared_ptr<Planner>
+convM()
+{
+    return std::make_shared<OffloadConvPlanner>(
+        AlgoPreference::MemoryOptimal);
+}
+
+std::shared_ptr<Planner>
+dynP()
+{
+    return std::make_shared<DynamicPlanner>();
 }
 
 } // namespace
@@ -53,18 +94,16 @@ class SuiteTest : public ::testing::TestWithParam<std::size_t>
 TEST_P(SuiteTest, VdnnAllMemoryOptimalTrainsEverything)
 {
     auto n = network();
-    auto r = run(*n, TransferPolicy::OffloadAll, AlgoMode::MemoryOptimal);
+    auto r = run(*n, allM());
     EXPECT_TRUE(r.trainable) << n->name() << ": " << r.failReason;
 }
 
 TEST_P(SuiteTest, DynTrainsAndIsFastestVdnnVariant)
 {
     auto n = network();
-    auto dyn = run(*n, TransferPolicy::Dynamic,
-                   AlgoMode::PerformanceOptimal);
+    auto dyn = run(*n, dynP());
     ASSERT_TRUE(dyn.trainable);
-    auto all_m = run(*n, TransferPolicy::OffloadAll,
-                     AlgoMode::MemoryOptimal);
+    auto all_m = run(*n, allM());
     ASSERT_TRUE(all_m.trainable);
     EXPECT_LE(dyn.featureExtractionTime, all_m.featureExtractionTime);
 }
@@ -72,9 +111,8 @@ TEST_P(SuiteTest, DynTrainsAndIsFastestVdnnVariant)
 TEST_P(SuiteTest, MemoryOptimalAlgosAreSlowerButSmaller)
 {
     auto n = network();
-    auto m = run(*n, TransferPolicy::OffloadAll, AlgoMode::MemoryOptimal);
-    auto p = run(*n, TransferPolicy::OffloadAll,
-                 AlgoMode::PerformanceOptimal);
+    auto m = run(*n, allM());
+    auto p = run(*n, allP());
     if (!m.trainable || !p.trainable)
         GTEST_SKIP() << "configuration does not fit";
     EXPECT_LE(m.featureExtractionTime * 99,
@@ -87,10 +125,8 @@ TEST_P(SuiteTest, MemoryOptimalAlgosAreSlowerButSmaller)
 TEST_P(SuiteTest, OffloadTrafficConsistentAcrossPolicies)
 {
     auto n = network();
-    auto all = run(*n, TransferPolicy::OffloadAll,
-                   AlgoMode::MemoryOptimal);
-    auto conv = run(*n, TransferPolicy::OffloadConv,
-                    AlgoMode::MemoryOptimal);
+    auto all = run(*n, allM());
+    auto conv = run(*n, convM());
     ASSERT_TRUE(all.trainable);
     ASSERT_TRUE(conv.trainable);
     EXPECT_GE(all.offloadedBytesPerIter, conv.offloadedBytesPerIter);
@@ -101,13 +137,8 @@ TEST_P(SuiteTest, OffloadTrafficConsistentAcrossPolicies)
 TEST_P(SuiteTest, AverageBelowMaxBelowCapacityWhenTrainable)
 {
     auto n = network();
-    for (auto policy :
-         {TransferPolicy::OffloadAll, TransferPolicy::OffloadConv,
-          TransferPolicy::Dynamic}) {
-        AlgoMode mode = policy == TransferPolicy::Dynamic
-                            ? AlgoMode::PerformanceOptimal
-                            : AlgoMode::MemoryOptimal;
-        auto r = run(*n, policy, mode);
+    for (const auto &planner : {allM(), convM(), dynP()}) {
+        auto r = run(*n, planner);
         if (!r.trainable)
             continue;
         EXPECT_LE(r.avgManagedUsage, r.maxManagedUsage);
@@ -125,14 +156,11 @@ TEST(Integration, Vgg16b256HeadlineResult)
     // The abstract's flagship: 28 GB VGG-16 (256) trains on a 12 GB
     // Titan X under vDNN with bounded performance loss.
     auto n = net::buildVgg16(256);
-    auto base = run(*n, TransferPolicy::Baseline,
-                    AlgoMode::PerformanceOptimal);
+    auto base = run(*n, baseP());
     EXPECT_FALSE(base.trainable);
-    auto dyn = run(*n, TransferPolicy::Dynamic,
-                   AlgoMode::PerformanceOptimal);
+    auto dyn = run(*n, dynP());
     ASSERT_TRUE(dyn.trainable);
-    auto oracle = run(*n, TransferPolicy::Baseline,
-                      AlgoMode::PerformanceOptimal, true);
+    auto oracle = run(*n, baseP(), true);
     double loss = 1.0 - double(oracle.featureExtractionTime) /
                             double(dyn.featureExtractionTime);
     EXPECT_GT(loss, 0.0);
@@ -142,11 +170,9 @@ TEST(Integration, Vgg16b256HeadlineResult)
 TEST(Integration, VeryDeepNetworksTrainOnlyWithVdnn)
 {
     auto n = net::buildVggDeep(216, 32);
-    auto base = run(*n, TransferPolicy::Baseline,
-                    AlgoMode::MemoryOptimal);
+    auto base = run(*n, baseM());
     EXPECT_FALSE(base.trainable);
-    auto dyn = run(*n, TransferPolicy::Dynamic,
-                   AlgoMode::PerformanceOptimal);
+    auto dyn = run(*n, dynP());
     ASSERT_TRUE(dyn.trainable);
     // Most of the allocation lives on the host (Fig. 15).
     EXPECT_GT(dyn.hostPeakBytes, 3 * dyn.maxTotalUsage);
@@ -158,12 +184,11 @@ TEST(Integration, OffloadVolumeMatchesStaticAnalysis)
     // offload-eligible buffer sizes chosen by the plan.
     auto n = net::buildGoogLeNet(64);
     dnn::CudnnSim cudnn(gpu::titanXMaxwell());
-    MemoryPlan plan = makeStaticPlan(*n, cudnn,
-                                     TransferPolicy::OffloadConv,
-                                     AlgoMode::MemoryOptimal);
+    MemoryPlan plan =
+        OffloadConvPlanner(AlgoPreference::MemoryOptimal)
+            .plan(*n, PlannerContext::exclusive(cudnn.spec()));
     Bytes expected = plan.offloadedBytes(*n);
-    auto r = run(*n, TransferPolicy::OffloadConv,
-                 AlgoMode::MemoryOptimal);
+    auto r = run(*n, convM());
     EXPECT_EQ(r.offloadedBytesPerIter, expected);
 }
 
@@ -171,8 +196,7 @@ TEST(Integration, ContentionNeverSpeedsThingsUp)
 {
     auto n = net::buildVgg16(64);
     SessionConfig with;
-    with.policy = TransferPolicy::OffloadAll;
-    with.algoMode = AlgoMode::PerformanceOptimal;
+    with.planner = allP();
     with.contention = true;
     SessionConfig without = with;
     without.contention = false;
@@ -188,10 +212,8 @@ TEST(Integration, PowerRanking)
 {
     // More offload traffic -> higher max power, never lower.
     auto n = net::buildVgg16(64);
-    auto base = run(*n, TransferPolicy::Baseline,
-                    AlgoMode::MemoryOptimal);
-    auto all = run(*n, TransferPolicy::OffloadAll,
-                   AlgoMode::MemoryOptimal);
+    auto base = run(*n, baseM());
+    auto all = run(*n, allM());
     ASSERT_TRUE(base.trainable);
     ASSERT_TRUE(all.trainable);
     EXPECT_GE(all.maxPowerW, base.maxPowerW);
@@ -202,8 +224,7 @@ TEST(Integration, TimelineCapturesFluctuation)
 {
     auto n = net::buildVgg16(64);
     SessionConfig cfg;
-    cfg.policy = TransferPolicy::OffloadAll;
-    cfg.algoMode = AlgoMode::MemoryOptimal;
+    cfg.planner = allM();
     cfg.keepTimeline = true;
     auto r = runSession(*n, cfg);
     ASSERT_TRUE(r.trainable);
@@ -272,17 +293,14 @@ TEST_P(RandomNetworkTest, InvariantsHoldOnRandomLinearCnn)
     network->append(dnn::makeSoftmaxLoss("loss", shape()));
     network->finalize();
 
-    auto oracle = run(*network, TransferPolicy::Baseline,
-                      AlgoMode::PerformanceOptimal, true);
+    auto oracle = run(*network, baseP(), true);
     ASSERT_TRUE(oracle.trainable);
-    for (auto policy :
-         {TransferPolicy::OffloadAll, TransferPolicy::OffloadConv}) {
-        auto r = run(*network, policy, AlgoMode::MemoryOptimal);
+    for (const auto &planner : {allM(), convM()}) {
+        auto r = run(*network, planner);
         ASSERT_TRUE(r.trainable) << r.failReason;
         EXPECT_GE(r.featureExtractionTime,
                   oracle.featureExtractionTime);
-        auto base = run(*network, TransferPolicy::Baseline,
-                        AlgoMode::MemoryOptimal);
+        auto base = run(*network, baseM());
         if (base.trainable) {
             EXPECT_LE(r.avgManagedUsage, base.avgManagedUsage);
         }

@@ -1,14 +1,13 @@
 /**
  * @file
- * Tests for the Planner API and the MemoryPlan IR: golden plans
- * against the deprecated makeStaticPlan shim, the shared-pool
+ * Tests for the Planner API and the MemoryPlan IR: structural golden
+ * plans (offload sets and algorithm assignments), the shared-pool
  * PlannerContext, compressed-offload directives, prefetch-priority
- * hints, and plan provenance.
+ * hints, replan hints, and plan provenance.
  */
 
 #include "core/dynamic_policy.hh"
 #include "core/planner.hh"
-#include "core/policy.hh"
 #include "core/prefetch.hh"
 #include "core/training_session.hh"
 #include "serve/admission.hh"
@@ -46,39 +45,40 @@ offloadSet(const net::Network &net, const MemoryPlan &plan)
 
 } // namespace
 
-// --- golden plans against the deprecated shim --------------------------------
+// --- structural golden plans -------------------------------------------------
 
 class GoldenPlanTest
     : public ::testing::TestWithParam<std::shared_ptr<const net::Network>>
 {};
 
-TEST_P(GoldenPlanTest, OffloadAllPlannerMatchesMakeStaticPlan)
+TEST_P(GoldenPlanTest, OffloadAllCoversExactlyTheEligibleSet)
 {
     const net::Network &net = *GetParam();
-    dnn::CudnnSim cudnn(gpu::titanXMaxwell());
-    MemoryPlan golden = makeStaticPlan(net, cudnn,
-                                       TransferPolicy::OffloadAll,
-                                       AlgoMode::MemoryOptimal);
     MemoryPlan plan =
         OffloadAllPlanner(AlgoPreference::MemoryOptimal)
             .plan(net, titanCtx());
-    EXPECT_EQ(offloadSet(net, plan), offloadSet(net, golden));
-    EXPECT_EQ(plan.algos, golden.algos);
+    for (net::BufferId b = 0; b < net::BufferId(net.numBuffers()); ++b)
+        EXPECT_EQ(plan.offloads(b), offloadEligible(net, b)) << b;
+    EXPECT_EQ(plan.algos, net::memoryOptimalAlgos(net));
     EXPECT_GT(plan.offloadCount(), 0);
 }
 
-TEST_P(GoldenPlanTest, OffloadConvPlannerMatchesMakeStaticPlan)
+TEST_P(GoldenPlanTest, OffloadConvPicksConvReadSubset)
 {
     const net::Network &net = *GetParam();
     dnn::CudnnSim cudnn(gpu::titanXMaxwell());
-    MemoryPlan golden = makeStaticPlan(net, cudnn,
-                                       TransferPolicy::OffloadConv,
-                                       AlgoMode::PerformanceOptimal);
     MemoryPlan plan =
         OffloadConvPlanner(AlgoPreference::PerformanceOptimal)
             .plan(net, titanCtx());
-    EXPECT_EQ(offloadSet(net, plan), offloadSet(net, golden));
-    EXPECT_EQ(plan.algos, golden.algos);
+    for (net::BufferId b = 0; b < net::BufferId(net.numBuffers());
+         ++b) {
+        bool conv_read =
+            offloadEligible(net, b) &&
+            net.node(net.buffer(b).lastFwdReader).spec.kind ==
+                dnn::LayerKind::Conv;
+        EXPECT_EQ(plan.offloads(b), conv_read) << b;
+    }
+    EXPECT_EQ(plan.algos, net::performanceOptimalAlgos(net, cudnn));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -87,24 +87,35 @@ INSTANTIATE_TEST_SUITE_P(
         std::shared_ptr<const net::Network>(net::buildVgg16(64)),
         std::shared_ptr<const net::Network>(net::buildAlexNet(128))));
 
-TEST(PlannerFactory, MapsEveryEnumPair)
+TEST(PlannerNames, EveryShippedPlannerHasAPaperStyleLabel)
 {
-    EXPECT_EQ(plannerForPolicy(TransferPolicy::Baseline,
-                               AlgoMode::PerformanceOptimal)
-                  ->name(),
+    EXPECT_EQ(BaselinePlanner(AlgoPreference::PerformanceOptimal)
+                  .name(),
               "base (p)");
-    EXPECT_EQ(plannerForPolicy(TransferPolicy::OffloadAll,
-                               AlgoMode::MemoryOptimal)
-                  ->name(),
+    EXPECT_EQ(OffloadAllPlanner(AlgoPreference::MemoryOptimal).name(),
               "vDNN_all (m)");
-    EXPECT_EQ(plannerForPolicy(TransferPolicy::OffloadConv,
-                               AlgoMode::MemoryOptimal)
-                  ->name(),
+    EXPECT_EQ(OffloadConvPlanner(AlgoPreference::MemoryOptimal).name(),
               "vDNN_conv (m)");
-    EXPECT_EQ(plannerForPolicy(TransferPolicy::Dynamic,
-                               AlgoMode::PerformanceOptimal)
-                  ->name(),
-              "vDNN_dyn");
+    EXPECT_EQ(DynamicPlanner().name(), "vDNN_dyn");
+    EXPECT_EQ(CompressedOffloadPlanner().name(), "vDNN_all+cDMA (m)");
+}
+
+TEST(ReplanHints, NamesAndDefaults)
+{
+    EXPECT_STREQ(replanHintName(ReplanHint::Evict), "evict");
+    EXPECT_STREQ(replanHintName(ReplanHint::InPlace), "in-place");
+    // The base-class default is the conservative choice.
+    class Custom : public Planner
+    {
+      public:
+        std::string name() const override { return "custom"; }
+        MemoryPlan plan(const net::Network &net,
+                        const PlannerContext &ctx) override
+        {
+            return BaselinePlanner().plan(net, ctx);
+        }
+    };
+    EXPECT_EQ(Custom().replanHint(), ReplanHint::Evict);
 }
 
 // --- provenance --------------------------------------------------------------

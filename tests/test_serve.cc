@@ -9,6 +9,7 @@
 #include "serve/admission.hh"
 #include "serve/arrival.hh"
 #include "serve/job.hh"
+#include "core/dynamic_policy.hh"
 #include "serve/scheduler.hh"
 
 #include "common/random.hh"
@@ -20,6 +21,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 
 using namespace vdnn;
@@ -197,28 +199,23 @@ TEST(Admission, FootprintEstimateShape)
     EXPECT_GE(conv.transient, all.transient);
 }
 
-TEST(Admission, EnumShimMatchesPlannerEstimates)
+TEST(Admission, DynamicBudgetedAtTheMemoryFloor)
 {
+    // Dynamic jobs are budgeted at the vDNN_dyn memory floor
+    // (vDNN_all with memory-optimal algorithms), without trials.
     dnn::CudnnSim cudnn(gpu::titanXMaxwell());
     auto vgg = net::buildVgg16(64);
     core::PlannerContext ctx =
         core::PlannerContext::exclusive(gpu::titanXMaxwell());
 
-    FootprintEstimate shim = estimateFootprint(
-        *vgg, cudnn, core::TransferPolicy::OffloadAll,
-        core::AlgoMode::MemoryOptimal);
-    core::OffloadAllPlanner planner(core::AlgoPreference::MemoryOptimal);
-    FootprintEstimate direct =
-        estimatePlannerFootprint(*vgg, cudnn, planner, ctx);
-    EXPECT_EQ(shim.persistent, direct.persistent);
-    EXPECT_EQ(shim.transient, direct.transient);
-
-    // Dynamic jobs are budgeted at the vDNN_dyn memory floor.
-    FootprintEstimate dyn = estimateFootprint(
-        *vgg, cudnn, core::TransferPolicy::Dynamic,
-        core::AlgoMode::PerformanceOptimal);
-    EXPECT_EQ(dyn.persistent, direct.persistent);
-    EXPECT_EQ(dyn.transient, direct.transient);
+    core::OffloadAllPlanner all_m(core::AlgoPreference::MemoryOptimal);
+    FootprintEstimate floor =
+        estimatePlannerFootprint(*vgg, cudnn, all_m, ctx);
+    core::DynamicPlanner dyn;
+    FootprintEstimate budget =
+        estimatePlannerFootprint(*vgg, cudnn, dyn, ctx);
+    EXPECT_EQ(budget.persistent, floor.persistent);
+    EXPECT_EQ(budget.transient, floor.transient);
 }
 
 // --- scheduler ---------------------------------------------------------------
@@ -234,15 +231,29 @@ tinyNet()
 
 JobSpec
 makeJob(const std::shared_ptr<const net::Network> &network,
-        core::TransferPolicy policy, TimeNs arrival, int iterations)
+        std::shared_ptr<core::Planner> planner, TimeNs arrival,
+        int iterations)
 {
     JobSpec spec;
     spec.network = network;
-    spec.policy = policy;
-    spec.algoMode = core::AlgoMode::MemoryOptimal;
+    spec.planner = std::move(planner);
     spec.arrival = arrival;
     spec.iterations = iterations;
     return spec;
+}
+
+std::shared_ptr<core::Planner>
+vdnnAll()
+{
+    return std::make_shared<core::OffloadAllPlanner>(
+        core::AlgoPreference::MemoryOptimal);
+}
+
+std::shared_ptr<core::Planner>
+baseline()
+{
+    return std::make_shared<core::BaselinePlanner>(
+        core::AlgoPreference::MemoryOptimal);
 }
 
 } // namespace
@@ -252,8 +263,7 @@ TEST(Scheduler, SingleJobRunsToCompletion)
     SchedulerConfig cfg;
     Scheduler sched(cfg);
     auto network = tinyNet();
-    sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
-                         10_ms, 3));
+    sched.submit(makeJob(network, vdnnAll(), 10_ms, 3));
     ServeReport rep = sched.run();
     ASSERT_EQ(rep.jobs.size(), 1u);
     EXPECT_EQ(rep.jobs[0].state, JobState::Finished);
@@ -274,8 +284,7 @@ TEST(Scheduler, RoundRobinIsFairAcrossEqualJobs)
     auto network = tinyNet();
     const int kIters = 4;
     for (int i = 0; i < 3; ++i) {
-        sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
-                             0, kIters));
+        sched.submit(makeJob(network, vdnnAll(), 0, kIters));
     }
     ServeReport rep = sched.run();
     ASSERT_EQ(rep.finishedCount(), 3);
@@ -301,10 +310,8 @@ TEST(Scheduler, FifoExclusiveSerializesJobs)
     cfg.policy = SchedPolicy::FifoExclusive;
     Scheduler sched(cfg);
     auto network = tinyNet();
-    sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
-                         0, 4));
-    sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
-                         0, 4));
+    sched.submit(makeJob(network, vdnnAll(), 0, 4));
+    sched.submit(makeJob(network, vdnnAll(), 0, 4));
     ServeReport rep = sched.run();
     EXPECT_EQ(rep.finishedCount(), 2);
     EXPECT_EQ(rep.peakJobsInFlight, 1);
@@ -319,9 +326,8 @@ TEST(Scheduler, InfeasibleJobIsRejected)
     // VGG-16 (256) under Baseline needs ~28 GB network-wide: can
     // never fit, must be rejected, and must not wedge the queue.
     std::shared_ptr<const net::Network> vgg256 = net::buildVgg16(256);
-    sched.submit(makeJob(vgg256, core::TransferPolicy::Baseline, 0, 2));
-    sched.submit(makeJob(tinyNet(), core::TransferPolicy::OffloadAll,
-                         0, 2));
+    sched.submit(makeJob(vgg256, baseline(), 0, 2));
+    sched.submit(makeJob(tinyNet(), vdnnAll(), 0, 2));
     ServeReport rep = sched.run();
     EXPECT_EQ(rep.jobs[0].state, JobState::Rejected);
     EXPECT_EQ(rep.jobs[1].state, JobState::Finished);
@@ -337,8 +343,8 @@ TEST(Scheduler, BaselineAdmitsSecondTenantOnlyAfterTeardown)
     // Two Baseline VGG-16 (64) jobs: each holds ~6.4 GiB persistently,
     // so the 12 GiB device fits exactly one at a time.
     std::shared_ptr<const net::Network> vgg = net::buildVgg16(64);
-    sched.submit(makeJob(vgg, core::TransferPolicy::Baseline, 0, 2));
-    sched.submit(makeJob(vgg, core::TransferPolicy::Baseline, 0, 2));
+    sched.submit(makeJob(vgg, baseline(), 0, 2));
+    sched.submit(makeJob(vgg, baseline(), 0, 2));
     ServeReport rep = sched.run();
     EXPECT_EQ(rep.finishedCount(), 2);
     EXPECT_EQ(rep.peakJobsInFlight, 1);
@@ -350,18 +356,20 @@ TEST(Scheduler, VdnnAllPacksMoreVgg16TenantsThanBaseline)
     // The headline: on the paper's 12 GB Titan X, vDNN_all admits
     // strictly more concurrent VGG-16 tenants than Baseline.
     std::shared_ptr<const net::Network> vgg = net::buildVgg16(64);
-    auto peakTenants = [&](core::TransferPolicy policy) {
-        SchedulerConfig cfg;
-        cfg.policy = SchedPolicy::RoundRobin;
-        Scheduler sched(cfg);
-        for (int i = 0; i < 6; ++i)
-            sched.submit(makeJob(vgg, policy, 0, 2));
-        ServeReport rep = sched.run();
-        EXPECT_EQ(rep.finishedCount(), 6);
-        return rep.peakJobsInFlight;
-    };
-    int base_peak = peakTenants(core::TransferPolicy::Baseline);
-    int vdnn_peak = peakTenants(core::TransferPolicy::OffloadAll);
+    auto peakTenants =
+        [&](const std::function<std::shared_ptr<core::Planner>()>
+                &planner) {
+            SchedulerConfig cfg;
+            cfg.policy = SchedPolicy::RoundRobin;
+            Scheduler sched(cfg);
+            for (int i = 0; i < 6; ++i)
+                sched.submit(makeJob(vgg, planner(), 0, 2));
+            ServeReport rep = sched.run();
+            EXPECT_EQ(rep.finishedCount(), 6);
+            return rep.peakJobsInFlight;
+        };
+    int base_peak = peakTenants(baseline);
+    int vdnn_peak = peakTenants(vdnnAll);
     EXPECT_EQ(base_peak, 1);
     EXPECT_GT(vdnn_peak, base_peak);
     EXPECT_GE(vdnn_peak, 2 * base_peak);
@@ -375,8 +383,7 @@ TEST(Scheduler, MaxJobsInFlightCapsTenancy)
     Scheduler sched(cfg);
     auto network = tinyNet();
     for (int i = 0; i < 4; ++i) {
-        sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
-                             0, 2));
+        sched.submit(makeJob(network, vdnnAll(), 0, 2));
     }
     ServeReport rep = sched.run();
     EXPECT_EQ(rep.finishedCount(), 4);
@@ -407,12 +414,9 @@ TEST(Scheduler, ShortestRemainingFavorsShortJobs)
         cfg.policy = policy;
         Scheduler sched(cfg);
         auto network = tinyNet();
-        sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
-                             0, 16));
+        sched.submit(makeJob(network, vdnnAll(), 0, 16));
         for (int i = 0; i < 3; ++i) {
-            sched.submit(makeJob(network,
-                                 core::TransferPolicy::OffloadAll, 0,
-                                 2));
+            sched.submit(makeJob(network, vdnnAll(), 0, 2));
         }
         ServeReport rep = sched.run();
         EXPECT_EQ(rep.finishedCount(), 4);
@@ -467,8 +471,7 @@ TEST(PackedOverlap, FinishesEveryJobAndDrainsThePool)
     Scheduler sched(cfg);
     auto network = tinyNet();
     for (int i = 0; i < 3; ++i) {
-        sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
-                             0, 3));
+        sched.submit(makeJob(network, vdnnAll(), 0, 3));
     }
     ServeReport rep = sched.run();
     EXPECT_EQ(rep.finishedCount(), 3);
@@ -520,10 +523,8 @@ TEST(Scheduler, SparseArrivalIdleTimeIsNotBilledAsService)
     cfg.policy = SchedPolicy::RoundRobin;
     Scheduler sched(cfg);
     auto network = tinyNet();
-    sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
-                         0, 2));
-    sched.submit(makeJob(network, core::TransferPolicy::OffloadAll,
-                         60'000 * kNsPerMs, 2));
+    sched.submit(makeJob(network, vdnnAll(), 0, 2));
+    sched.submit(makeJob(network, vdnnAll(), 60'000 * kNsPerMs, 2));
     ServeReport rep = sched.run();
     ASSERT_EQ(rep.finishedCount(), 2);
     EXPECT_EQ(rep.jobs[0].serviceTime, rep.jobs[1].serviceTime);
@@ -633,5 +634,210 @@ TEST(Scheduler, InFlightOomRequeueRecoversWhenCoTenantLeaves)
     EXPECT_GE(liar_out.oomRequeues, 1);
     // Recovery happened after the hog freed the pool.
     EXPECT_GE(liar_out.finishTime, hog_out.finishTime);
+    EXPECT_EQ(sched.devicePool().usedBytes(), 0);
+}
+
+// --- preemptive priority: the tenant lifecycle state machine -----------------
+
+TEST(Admission, EvictReadmitLedgerTracksTheStateMachine)
+{
+    AdmissionController ac(10_GiB, /*safety=*/1.0);
+    FootprintEstimate est;
+    est.persistent = 4_GiB;
+    est.transient = 2_GiB;
+    ac.admit(0, est);
+    ac.admit(1, est);
+    EXPECT_EQ(ac.reservedBytes(), 10_GiB);
+    EXPECT_FALSE(ac.canAdmit(est));
+
+    // Evicting a tenant frees its device bytes but keeps it on the
+    // books: a third tenant fits, and the evicted one can come back
+    // only once the space frees again.
+    ac.evict(0);
+    EXPECT_EQ(ac.admittedCount(), 1);
+    EXPECT_EQ(ac.evictedCount(), 1);
+    EXPECT_EQ(ac.reservedBytes(), 6_GiB);
+    EXPECT_TRUE(ac.canAdmit(est));
+    ac.admit(2, est);
+    EXPECT_FALSE(ac.canReadmit(0));
+    ac.release(2);
+    EXPECT_TRUE(ac.canReadmit(0));
+    ac.readmit(0);
+    EXPECT_EQ(ac.reservedBytes(), 10_GiB);
+    EXPECT_EQ(ac.evictedCount(), 0);
+
+    // release() balances the books from either ledger.
+    ac.evict(1);
+    ac.release(1);
+    ac.release(0);
+    EXPECT_EQ(ac.reservedBytes(), 0);
+    EXPECT_EQ(ac.admittedCount(), 0);
+    EXPECT_EQ(ac.evictedCount(), 0);
+}
+
+TEST(PreemptivePriority, HighPriorityArrivalPreemptsAndVictimResumes)
+{
+    // Two Baseline VGG-16 (64) tenants can never share the 12 GiB
+    // device. The low-priority incumbent must be suspended and
+    // evicted to host when the high-priority job arrives, then
+    // resume and finish after it leaves.
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::PreemptivePriority;
+    Scheduler sched(cfg);
+    std::shared_ptr<const net::Network> vgg = net::buildVgg16(64);
+
+    JobSpec low;
+    low.network = vgg;
+    low.planner = baseline();
+    low.priority = 0;
+    low.iterations = 4;
+    JobId low_id = sched.submit(std::move(low));
+
+    JobSpec high;
+    high.network = vgg;
+    high.planner = baseline();
+    high.priority = 10;
+    high.arrival = 1 * kNsPerMs;
+    high.iterations = 2;
+    JobId high_id = sched.submit(std::move(high));
+
+    ServeReport rep = sched.run();
+    const JobOutcome &low_out = rep.jobs[std::size_t(low_id)];
+    const JobOutcome &high_out = rep.jobs[std::size_t(high_id)];
+    EXPECT_EQ(rep.finishedCount(), 2);
+    EXPECT_EQ(low_out.preemptions, 1);
+    EXPECT_EQ(high_out.preemptions, 0);
+    // The high-priority job ran to completion while the victim sat
+    // evicted, then the victim resumed.
+    EXPECT_LT(high_out.finishTime, low_out.finishTime);
+    EXPECT_GT(low_out.iterations, 0);
+
+    // The admission ledger balances to zero after the drain.
+    EXPECT_EQ(rep.reservedBytesAtEnd, 0);
+    EXPECT_EQ(rep.evictedLedgerAtEnd, 0);
+    EXPECT_EQ(sched.devicePool().usedBytes(), 0);
+    EXPECT_EQ(sched.admissionState().admittedCount(), 0);
+
+    // The audit log shows the suspend -> evict -> resume round trip,
+    // with reserved bytes dropping at eviction and restored on resume.
+    bool saw_suspend = false, saw_evict = false, saw_resume = false;
+    for (const LifecycleEvent &ev : rep.lifecycle) {
+        if (ev.job != low_id)
+            continue;
+        if (std::string(ev.what) == "suspend")
+            saw_suspend = true;
+        if (std::string(ev.what) == "evict") {
+            saw_evict = true;
+            EXPECT_LT(ev.reservedAfter, ev.reservedBefore);
+        }
+        if (std::string(ev.what) == "resume" && saw_evict) {
+            saw_resume = true;
+            EXPECT_GT(ev.reservedAfter, ev.reservedBefore);
+        }
+    }
+    EXPECT_TRUE(saw_suspend);
+    EXPECT_TRUE(saw_evict);
+    EXPECT_TRUE(saw_resume);
+}
+
+TEST(PreemptivePriority, InFlightCapPreemptsLowestPriority)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::PreemptivePriority;
+    cfg.maxJobsInFlight = 2;
+    Scheduler sched(cfg);
+    auto network = tinyNet();
+    for (int i = 0; i < 2; ++i) {
+        JobSpec spec;
+        spec.network = network;
+        spec.planner = vdnnAll();
+        spec.priority = 0;
+        spec.iterations = 6;
+        sched.submit(std::move(spec));
+    }
+    JobSpec high;
+    high.network = network;
+    high.planner = vdnnAll();
+    high.priority = 5;
+    high.arrival = 1 * kNsPerMs;
+    high.iterations = 2;
+    JobId high_id = sched.submit(std::move(high));
+
+    ServeReport rep = sched.run();
+    EXPECT_EQ(rep.finishedCount(), 3);
+    EXPECT_EQ(rep.peakJobsInFlight, 2); // the cap held throughout
+    int preempted = 0;
+    for (const JobOutcome &j : rep.jobs)
+        preempted += j.preemptions;
+    EXPECT_EQ(preempted, 1);
+    EXPECT_EQ(rep.jobs[std::size_t(high_id)].preemptions, 0);
+    EXPECT_EQ(rep.reservedBytesAtEnd, 0);
+    EXPECT_EQ(rep.evictedLedgerAtEnd, 0);
+}
+
+TEST(PreemptivePriority, HighPriorityJctBeatsRoundRobinUnderLoad)
+{
+    auto runMix = [](SchedPolicy policy) {
+        SchedulerConfig cfg;
+        cfg.policy = policy;
+        Scheduler sched(cfg);
+        auto network = tinyNet();
+        for (int i = 0; i < 4; ++i) {
+            JobSpec spec;
+            spec.network = network;
+            spec.planner = vdnnAll();
+            spec.priority = 0;
+            spec.iterations = 8;
+            sched.submit(std::move(spec));
+        }
+        JobSpec high;
+        high.network = network;
+        high.planner = vdnnAll();
+        high.priority = 10;
+        high.arrival = 1 * kNsPerMs;
+        high.iterations = 2;
+        JobId high_id = sched.submit(std::move(high));
+        ServeReport rep = sched.run();
+        EXPECT_EQ(rep.finishedCount(), 5);
+        return rep.jobs[std::size_t(high_id)].completionTime;
+    };
+    TimeNs rr = runMix(SchedPolicy::RoundRobin);
+    TimeNs pp = runMix(SchedPolicy::PreemptivePriority);
+    // Strict priority dispatch gets the important job out first.
+    EXPECT_LT(pp, rr);
+}
+
+TEST(PreemptivePriority, GrowBackReplanAfterCoTenantExit)
+{
+    // A vDNN_dyn tenant admitted beside a Baseline hog plans against
+    // the squeezed share; when the hog exits, the re-plan sweep lets
+    // it swap to a larger plan at its next iteration boundary.
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::PreemptivePriority;
+    Scheduler sched(cfg);
+    std::shared_ptr<const net::Network> vgg = net::buildVgg16(64);
+
+    JobSpec hog;
+    hog.network = vgg;
+    hog.planner = baseline();
+    hog.iterations = 2;
+    sched.submit(std::move(hog));
+
+    JobSpec dyn;
+    dyn.network = vgg;
+    dyn.planner = std::make_shared<core::DynamicPlanner>();
+    dyn.arrival = 1 * kNsPerMs;
+    dyn.iterations = 8;
+    JobId dyn_id = sched.submit(std::move(dyn));
+
+    ServeReport rep = sched.run();
+    EXPECT_EQ(rep.finishedCount(), 2);
+    const JobOutcome &dyn_out = rep.jobs[std::size_t(dyn_id)];
+    EXPECT_GE(dyn_out.replans, 1);
+    bool saw_replan = false;
+    for (const LifecycleEvent &ev : rep.lifecycle)
+        saw_replan |= std::string(ev.what) == "replan";
+    EXPECT_TRUE(saw_replan);
+    EXPECT_EQ(rep.reservedBytesAtEnd, 0);
     EXPECT_EQ(sched.devicePool().usedBytes(), 0);
 }
