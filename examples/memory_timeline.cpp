@@ -16,7 +16,8 @@
  *            SchedPolicy::PreemptivePriority and emit the tenant
  *            lifecycle audit log as CSV — every admit / suspend /
  *            evict / replan / resume / finish transition with the
- *            admission ledger's reserved-byte delta
+ *            device it happened on and the admission ledger's
+ *            reserved-byte delta
  */
 
 #include "common/logging.hh"
@@ -168,11 +169,12 @@ dumpLifecycle()
 
     std::printf("# mixed-priority tenants under preemptive-priority: "
                 "tenant lifecycle audit log\n");
-    std::printf("time_ms,job,event,reserved_before_mib,"
+    std::printf("time_ms,job,event,device,reserved_before_mib,"
                 "reserved_after_mib,delta_mib\n");
     for (const LifecycleEvent &ev : rep.lifecycle) {
-        std::printf("%.3f,%s,%s,%.1f,%.1f,%+.1f\n", toMs(ev.when),
+        std::printf("%.3f,%s,%s,%d,%.1f,%.1f,%+.1f\n", toMs(ev.when),
                     rep.jobs[std::size_t(ev.job)].name.c_str(), ev.what,
+                    ev.device,
                     toMiB(ev.reservedBefore), toMiB(ev.reservedAfter),
                     toMiB(ev.reservedAfter) - toMiB(ev.reservedBefore));
     }

@@ -86,9 +86,10 @@ PlannerContext::exclusive(gpu::GpuSpec spec, bool contention)
 
 PlannerContext
 PlannerContext::shared(gpu::GpuSpec spec, Bytes free_share,
-                       bool contention)
+                       bool contention, int device_id)
 {
     VDNN_ASSERT(free_share >= 0, "negative free share");
+    VDNN_ASSERT(device_id >= 0, "negative device id");
     PlannerContext ctx;
     ctx.gpu = std::move(spec);
     // availableBytes == 0 means "the whole device"; a momentarily
@@ -97,6 +98,7 @@ PlannerContext::shared(gpu::GpuSpec spec, Bytes free_share,
     // rather than the unconstrained one.
     ctx.availableBytes = std::max<Bytes>(free_share, 1);
     ctx.contention = contention;
+    ctx.deviceId = device_id;
     return ctx;
 }
 

@@ -228,6 +228,14 @@ struct PlannerContext
     /** Model compute/DMA contention in trial iterations. */
     bool contention = true;
 
+    /**
+     * Which device of the node the plan targets (0 on a single-GPU
+     * node). Plans are device-scoped: a tenant that migrates is
+     * re-planned under a fresh context carrying the new device's spec,
+     * free share and id.
+     */
+    int deviceId = 0;
+
     Bytes capacity() const
     {
         return availableBytes > 0 ? availableBytes : gpu.dramCapacity;
@@ -237,9 +245,11 @@ struct PlannerContext
     static PlannerContext exclusive(gpu::GpuSpec spec,
                                     bool contention = true);
 
-    /** Shared mode: plan against a tenant's current free share. */
+    /** Shared mode: plan against a tenant's current free share of
+     *  device @p device_id. */
     static PlannerContext shared(gpu::GpuSpec spec, Bytes free_share,
-                                 bool contention = true);
+                                 bool contention = true,
+                                 int device_id = 0);
 };
 
 /**

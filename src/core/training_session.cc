@@ -88,7 +88,8 @@ Session::plannerContext() const
         return PlannerContext::exclusive(spec, config.contention);
     Bytes share = mm->pool().freeBytes() +
                   (ex ? ex->persistentBytes() : 0);
-    return PlannerContext::shared(spec, share, config.contention);
+    return PlannerContext::shared(spec, share, config.contention,
+                                  rt->deviceId());
 }
 
 bool
@@ -281,6 +282,48 @@ Session::resume()
     failure.clear();
     lifecycle = SessionState::Active;
     return true;
+}
+
+bool
+Session::migrate(SharedGpu target)
+{
+    VDNN_ASSERT(lifecycle == SessionState::Evicted,
+                "migrate() on a %s session", sessionStateName(lifecycle));
+    VDNN_ASSERT(sharedMode, "migrate() is for shared-device tenants");
+    VDNN_ASSERT(target.runtime && target.pool && target.host,
+                "SharedGpu handles must all be set");
+
+    if (target.runtime != rt) {
+        // Move the staged state into the target device's pinned-host
+        // share first, so a refusal leaves the session untouched on
+        // the source. The shares partition one physical host DRAM, so
+        // the hand-off itself moves no data.
+        auto stage = target.host->tryAllocate(
+            evictStage.size,
+            strFormat("migrate:%s", net.name().c_str()));
+        if (!stage)
+            return false; // target host share exhausted; stay put
+
+        mm->host().release(evictStage);
+        evictStage = *stage;
+        mm->finishTracking();
+
+        // Re-home the runtime handles: target device spec (the node
+        // may be heterogeneous), its perf model, its pool and host
+        // share. The plan is invalidated so resume() re-plans against
+        // the target's free share and recompiles the program there.
+        rt = target.runtime;
+        spec = rt->spec();
+        config.gpu = spec;
+        cudnn = std::make_unique<dnn::CudnnSim>(spec);
+        mm = std::make_unique<MemoryManager>(*rt, *target.pool,
+                                             *target.host,
+                                             target.clientId,
+                                             config.keepTimeline);
+        planResolved = false;
+        ++migrations;
+    }
+    return resume();
 }
 
 bool

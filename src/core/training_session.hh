@@ -36,6 +36,10 @@
  *  - replan() swaps the plan in place at an iteration boundary
  *    without releasing the device share; only planners advertising
  *    ReplanHint::InPlace support it.
+ *  - migrate(target) re-homes an Evicted tenant onto a different
+ *    device of the node and resumes it there (the cross-device half
+ *    of eviction: vDNN's staged state plus a fresh device-scoped
+ *    re-plan make the tenant fully relocatable).
  */
 
 #ifndef VDNN_CORE_TRAINING_SESSION_HH
@@ -252,6 +256,26 @@ class Session
      */
     bool replan();
 
+    /**
+     * Cross-device migration: re-home an Evicted shared-mode tenant
+     * onto a different device of the same node and resume it there.
+     * The staged persistent state moves to the target device's
+     * pinned-host share (node DRAM is one physical resource, so the
+     * hand-off between shares costs no DMA), the session re-binds its
+     * runtime handles to the target (fresh CudnnSim for the target's
+     * perf model, fresh MemoryManager over its pool), and resume()
+     * re-plans against the *target's* free share — eviction plus
+     * cross-device resume is exactly Gandiva-style migration.
+     *
+     * @return true when the tenant is Active on the target. On false
+     * the session is still Evicted; deviceId() says where it is
+     * homed — still the source when the target's pinned host could
+     * not take the staged state, the target when the re-plan or the
+     * persistent-state rebuild failed there (a later resume() retries
+     * on the target).
+     */
+    bool migrate(SharedGpu target);
+
     SessionState state() const { return lifecycle; }
 
     /** Bytes staged in pinned host memory while Evicted (else 0). */
@@ -261,6 +285,10 @@ class Session
     int suspendCount() const { return suspends; }
     int evictCount() const { return evicts; }
     int replanCount() const { return replans; }
+    int migrationCount() const { return migrations; }
+
+    /** Device this session is homed on (0 on a single-GPU node). */
+    int deviceId() const { return rt->deviceId(); }
 
     /** Release all device state. Idempotent after setup(). */
     void teardown();
@@ -312,6 +340,7 @@ class Session
     int suspends = 0;
     int evicts = 0;
     int replans = 0;
+    int migrations = 0;
 };
 
 /** Run one complete experiment. */

@@ -1,4 +1,4 @@
-#include "gpu/runtime.hh"
+#include "gpu/device.hh"
 
 #include "common/logging.hh"
 #include "common/units.hh"
@@ -19,22 +19,32 @@ KernelRecord::dramBandwidth() const
     return double(dramBytes) / toSeconds(d);
 }
 
-Runtime::Runtime(GpuSpec spec, bool enable_contention)
+Device::Device(GpuSpec spec, bool enable_contention)
     : gpuSpec(std::move(spec)), contention(enable_contention),
+      ownedEq(std::make_unique<sim::EventQueue>()), eq(*ownedEq),
       pcie(gpuSpec.pcie), powerModel(gpuSpec)
 {
     powerModel.begin(0);
 }
 
+Device::Device(int id, GpuSpec spec, sim::EventQueue &clock,
+               bool enable_contention)
+    : gpuSpec(std::move(spec)), contention(enable_contention),
+      devId(id), eq(clock), pcie(gpuSpec.pcie), powerModel(gpuSpec)
+{
+    VDNN_ASSERT(id >= 0, "negative device id %d", id);
+    powerModel.begin(eq.now());
+}
+
 StreamId
-Runtime::createStream(const std::string &name)
+Device::createStream(const std::string &name)
 {
     streams.push_back(Stream{name, {}, false, false, 0});
     return StreamId(streams.size() - 1);
 }
 
 void
-Runtime::setStreamClient(StreamId stream, int client, double weight)
+Device::setStreamClient(StreamId stream, int client, double weight)
 {
     VDNN_ASSERT(stream >= 0 && size_t(stream) < streams.size(),
                 "bad stream id %d", stream);
@@ -44,7 +54,7 @@ Runtime::setStreamClient(StreamId stream, int client, double weight)
 }
 
 int
-Runtime::streamClient(StreamId stream) const
+Device::streamClient(StreamId stream) const
 {
     VDNN_ASSERT(stream >= 0 && size_t(stream) < streams.size(),
                 "bad stream id %d", stream);
@@ -52,7 +62,7 @@ Runtime::streamClient(StreamId stream) const
 }
 
 CudaEventId
-Runtime::createEvent()
+Device::createEvent()
 {
     CudaEventId id = nextEvent++;
     events.emplace(id, EventState{});
@@ -60,7 +70,7 @@ Runtime::createEvent()
 }
 
 void
-Runtime::launchKernel(StreamId stream, KernelDesc desc)
+Device::launchKernel(StreamId stream, KernelDesc desc)
 {
     VDNN_ASSERT(stream >= 0 && size_t(stream) < streams.size(),
                 "bad stream id %d", stream);
@@ -75,8 +85,8 @@ Runtime::launchKernel(StreamId stream, KernelDesc desc)
 }
 
 void
-Runtime::memcpyAsync(StreamId stream, Bytes bytes, CopyDir dir,
-                     const std::string &tag)
+Device::memcpyAsync(StreamId stream, Bytes bytes, CopyDir dir,
+                    const std::string &tag)
 {
     VDNN_ASSERT(stream >= 0 && size_t(stream) < streams.size(),
                 "bad stream id %d", stream);
@@ -91,7 +101,7 @@ Runtime::memcpyAsync(StreamId stream, Bytes bytes, CopyDir dir,
 }
 
 void
-Runtime::recordEvent(StreamId stream, CudaEventId event)
+Device::recordEvent(StreamId stream, CudaEventId event)
 {
     VDNN_ASSERT(events.count(event), "unknown event %lld",
                 (long long)event);
@@ -103,7 +113,7 @@ Runtime::recordEvent(StreamId stream, CudaEventId event)
 }
 
 void
-Runtime::streamWaitEvent(StreamId stream, CudaEventId event)
+Device::streamWaitEvent(StreamId stream, CudaEventId event)
 {
     VDNN_ASSERT(events.count(event), "unknown event %lld",
                 (long long)event);
@@ -115,7 +125,7 @@ Runtime::streamWaitEvent(StreamId stream, CudaEventId event)
 }
 
 void
-Runtime::tryDispatch(StreamId sid)
+Device::tryDispatch(StreamId sid)
 {
     Stream &s = streams[size_t(sid)];
     // Instant commands (event record, satisfied waits) retire in a loop;
@@ -160,7 +170,7 @@ Runtime::tryDispatch(StreamId sid)
 }
 
 void
-Runtime::fireEvent(CudaEventId event)
+Device::fireEvent(CudaEventId event)
 {
     EventState &es = events.at(event);
     VDNN_ASSERT(!es.fired, "event %lld recorded twice", (long long)event);
@@ -175,7 +185,7 @@ Runtime::fireEvent(CudaEventId event)
 }
 
 void
-Runtime::commandDone(StreamId sid)
+Device::commandDone(StreamId sid)
 {
     Stream &s = streams[size_t(sid)];
     VDNN_ASSERT(s.headDispatched, "completion for undispatched head");
@@ -187,7 +197,7 @@ Runtime::commandDone(StreamId sid)
 // --- compute engine ------------------------------------------------------
 
 double
-Runtime::kernelComputeUtil(const KernelDesc &desc) const
+Device::kernelComputeUtil(const KernelDesc &desc) const
 {
     if (desc.duration <= 0)
         return 1.0;
@@ -196,7 +206,7 @@ Runtime::kernelComputeUtil(const KernelDesc &desc) const
 }
 
 double
-Runtime::kernelDemandBw(const KernelDesc &desc) const
+Device::kernelDemandBw(const KernelDesc &desc) const
 {
     if (desc.duration <= 0)
         return 0.0;
@@ -204,14 +214,14 @@ Runtime::kernelDemandBw(const KernelDesc &desc) const
 }
 
 double
-Runtime::kernelDramUtil(const KernelDesc &desc) const
+Device::kernelDramUtil(const KernelDesc &desc) const
 {
     return std::clamp(kernelDemandBw(desc) / gpuSpec.dramBandwidth, 0.0,
                       1.0);
 }
 
 double
-Runtime::computeRate() const
+Device::computeRate() const
 {
     if (!contention)
         return 1.0;
@@ -231,7 +241,7 @@ Runtime::computeRate() const
 }
 
 void
-Runtime::refreshComputeSchedule()
+Device::refreshComputeSchedule()
 {
     if (!compute.busy)
         return;
@@ -251,7 +261,7 @@ Runtime::refreshComputeSchedule()
 }
 
 void
-Runtime::computeTryStart()
+Device::computeTryStart()
 {
     if (compute.busy || compute.waitQueue.empty())
         return;
@@ -277,7 +287,7 @@ Runtime::computeTryStart()
 }
 
 void
-Runtime::computeFinish()
+Device::computeFinish()
 {
     VDNN_ASSERT(compute.busy, "compute finish while idle");
     StreamId sid = compute.stream;
@@ -299,26 +309,26 @@ Runtime::computeFinish()
 
 // --- copy engines ----------------------------------------------------------
 
-Runtime::CopyEngine &
-Runtime::engineFor(CopyDir dir)
+Device::CopyEngine &
+Device::engineFor(CopyDir dir)
 {
     return dir == CopyDir::DeviceToHost ? copyD2H : copyH2D;
 }
 
-const Runtime::CopyEngine &
-Runtime::engineFor(CopyDir dir) const
+const Device::CopyEngine &
+Device::engineFor(CopyDir dir) const
 {
     return dir == CopyDir::DeviceToHost ? copyD2H : copyH2D;
 }
 
 ic::FairShareArbiter &
-Runtime::arbiterFor(CopyDir dir)
+Device::arbiterFor(CopyDir dir)
 {
     return dir == CopyDir::DeviceToHost ? arbD2H : arbH2D;
 }
 
 void
-Runtime::copyTryStart(CopyDir dir)
+Device::copyTryStart(CopyDir dir)
 {
     CopyEngine &e = engineFor(dir);
     if (e.busy || e.waitQueue.empty())
@@ -353,7 +363,7 @@ Runtime::copyTryStart(CopyDir dir)
 }
 
 void
-Runtime::copyFinish(CopyDir dir)
+Device::copyFinish(CopyDir dir)
 {
     CopyEngine &e = engineFor(dir);
     VDNN_ASSERT(e.busy, "copy finish while idle");
@@ -385,20 +395,20 @@ Runtime::copyFinish(CopyDir dir)
 // --- host synchronization ---------------------------------------------------
 
 bool
-Runtime::streamIdle(StreamId stream) const
+Device::streamIdle(StreamId stream) const
 {
     const Stream &s = streams.at(size_t(stream));
     return s.queue.empty() && !s.headDispatched;
 }
 
 bool
-Runtime::eventFired(CudaEventId event) const
+Device::eventFired(CudaEventId event) const
 {
     return events.at(event).fired;
 }
 
 void
-Runtime::synchronize(StreamId stream)
+Device::synchronize(StreamId stream)
 {
     while (!streamIdle(stream)) {
         if (!eq.step()) {
@@ -410,7 +420,7 @@ Runtime::synchronize(StreamId stream)
 }
 
 void
-Runtime::deviceSynchronize()
+Device::deviceSynchronize()
 {
     for (;;) {
         bool all_idle = true;
@@ -428,13 +438,13 @@ Runtime::deviceSynchronize()
 }
 
 Bytes
-Runtime::bytesCopied(CopyDir dir) const
+Device::bytesCopied(CopyDir dir) const
 {
     return dir == CopyDir::DeviceToHost ? copiedD2H : copiedH2D;
 }
 
 Bytes
-Runtime::bytesCopiedByClient(CopyDir dir, int client) const
+Device::bytesCopiedByClient(CopyDir dir, int client) const
 {
     const auto &m = dir == CopyDir::DeviceToHost ? copiedByClientD2H
                                                  : copiedByClientH2D;
@@ -443,13 +453,13 @@ Runtime::bytesCopiedByClient(CopyDir dir, int client) const
 }
 
 const ic::FairShareArbiter &
-Runtime::pcieArbiter(CopyDir dir) const
+Device::pcieArbiter(CopyDir dir) const
 {
     return dir == CopyDir::DeviceToHost ? arbD2H : arbH2D;
 }
 
 TimeNs
-Runtime::copyBusyTime(CopyDir dir) const
+Device::copyBusyTime(CopyDir dir) const
 {
     return dir == CopyDir::DeviceToHost ? copyBusyD2H : copyBusyH2D;
 }

@@ -4,7 +4,11 @@
 #include "common/units.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 namespace vdnn::serve
 {
@@ -52,6 +56,159 @@ traceArrivals(const std::vector<double> &seconds)
     }
     std::sort(out.begin(), out.end());
     return out;
+}
+
+// --- TraceArrivals -----------------------------------------------------------
+
+namespace
+{
+
+std::vector<std::string>
+splitCsv(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    for (char c : line) {
+        if (c == ',') {
+            fields.push_back(cur);
+            cur.clear();
+        } else if (c != '\r') {
+            cur += c;
+        }
+    }
+    fields.push_back(cur);
+    for (std::string &f : fields) {
+        std::size_t a = f.find_first_not_of(" \t");
+        std::size_t b = f.find_last_not_of(" \t");
+        f = a == std::string::npos ? std::string()
+                                   : f.substr(a, b - a + 1);
+    }
+    return fields;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    // Reject inf/nan and magnitudes whose ns conversion would
+    // overflow TimeNs (UB): traces are wall-clock logs, so anything
+    // beyond ~292 years is a corrupt line, not a workload.
+    return end && *end == '\0' && std::isfinite(out) &&
+           std::fabs(out) < 9.2e9;
+}
+
+bool
+parseInt(const std::string &s, int &out)
+{
+    double d = 0.0;
+    if (!parseDouble(s, d) || d != std::floor(d) ||
+        std::fabs(d) > 2147483647.0) {
+        return false;
+    }
+    out = int(d);
+    return true;
+}
+
+} // namespace
+
+TraceArrivals
+TraceArrivals::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        TraceArrivals t;
+        t.err = "cannot open trace '" + path + "'";
+        return t;
+    }
+    return parse(in);
+}
+
+TraceArrivals
+TraceArrivals::parseString(const std::string &text)
+{
+    std::istringstream in(text);
+    return parse(in);
+}
+
+TraceArrivals
+TraceArrivals::parse(std::istream &in)
+{
+    TraceArrivals t;
+    std::string line;
+    int lineno = 0;
+    bool header_allowed = true;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        std::vector<std::string> f = splitCsv(line);
+        double submit_s = 0.0;
+        if (!parseDouble(f[0], submit_s)) {
+            // The optional header line must *look* like one: a field
+            // with no numeric prefix at all ("submit_s"). A field
+            // strtod can bite into but that fails validation ("0.5s",
+            // "1e999", "inf") is a malformed data line and must
+            // poison the trace, not vanish as a pretend header.
+            char *end = nullptr;
+            std::strtod(f[0].c_str(), &end);
+            bool header_shaped =
+                !f[0].empty() && end == f[0].c_str();
+            if (header_allowed && header_shaped) {
+                header_allowed = false;
+                continue; // column-header line
+            }
+            t.err = strFormat("trace line %d: bad submit time '%s'",
+                              lineno, f[0].c_str());
+            return t;
+        }
+        header_allowed = false;
+        if (f.size() < 4 || f.size() > 5) {
+            t.err = strFormat(
+                "trace line %d: want submit_s,net,priority,planner"
+                "[,iterations], got %zu fields",
+                lineno, f.size());
+            return t;
+        }
+        TraceEntry e;
+        if (submit_s < 0.0) {
+            t.err = strFormat("trace line %d: negative submit time",
+                              lineno);
+            return t;
+        }
+        e.submit = secondsToNs(submit_s);
+        e.net = f[1];
+        if (e.net.empty()) {
+            t.err = strFormat("trace line %d: empty net", lineno);
+            return t;
+        }
+        if (!parseInt(f[2], e.priority)) {
+            t.err = strFormat("trace line %d: bad priority '%s'",
+                              lineno, f[2].c_str());
+            return t;
+        }
+        e.planner = f[3];
+        if (e.planner.empty()) {
+            t.err = strFormat("trace line %d: empty planner", lineno);
+            return t;
+        }
+        if (f.size() == 5) {
+            if (!parseInt(f[4], e.iterations) || e.iterations < 1) {
+                t.err = strFormat("trace line %d: bad iterations '%s'",
+                                  lineno, f[4].c_str());
+                return t;
+            }
+        }
+        t.jobs.push_back(std::move(e));
+    }
+    std::stable_sort(t.jobs.begin(), t.jobs.end(),
+                     [](const TraceEntry &a, const TraceEntry &b) {
+                         return a.submit < b.submit;
+                     });
+    return t;
 }
 
 } // namespace vdnn::serve

@@ -2,11 +2,14 @@
  * @file
  * Job arrival generators for the serving workload.
  *
- * Two shapes cover the evaluation needs: Poisson arrivals (the classic
- * open-loop cluster model — exponential inter-arrival gaps at a given
- * rate) and trace-driven arrivals (explicit timestamps, e.g. replayed
- * from a cluster log). Both return absolute simulated times suitable
- * for JobSpec::arrival.
+ * Three shapes cover the evaluation needs: Poisson arrivals (the
+ * classic open-loop cluster model — exponential inter-arrival gaps at
+ * a given rate), uniform gaps, and trace replay. TraceArrivals reads
+ * a CSV cluster log — one job per line with its submit time, network,
+ * priority, planner and iteration budget — so the cluster/preemption
+ * benches can replay real (or crafted) arrival skew instead of
+ * synthetic processes; bench/traces/ ships a sample. All arrival
+ * times are absolute simulated times suitable for JobSpec::arrival.
  */
 
 #ifndef VDNN_SERVE_ARRIVAL_HH
@@ -15,6 +18,8 @@
 #include "common/random.hh"
 #include "common/types.hh"
 
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 namespace vdnn::serve
@@ -34,6 +39,56 @@ std::vector<TimeNs> uniformArrivals(int count, TimeNs gap,
 
 /** Convert trace timestamps in (double) seconds to arrival times. */
 std::vector<TimeNs> traceArrivals(const std::vector<double> &seconds);
+
+/** One replayed job of an arrival trace. */
+struct TraceEntry
+{
+    /** Submit time (absolute, converted from the trace's seconds). */
+    TimeNs submit = 0;
+    /** Network label, e.g. "vgg16:64" (builder:batch — the consumer
+     *  maps it to a net::Network). */
+    std::string net;
+    int priority = 0;
+    /** Planner label, e.g. "vdnn_all" (consumer-mapped). */
+    std::string planner;
+    int iterations = 1;
+};
+
+/**
+ * A replayed cluster log: CSV lines of
+ *
+ *     submit_s,net,priority,planner[,iterations]
+ *
+ * with '#' comments and blank lines skipped, and an optional leading
+ * header line (first field starts with a letter, e.g. "submit_s").
+ * Entries are sorted by submit time. Malformed lines — including a
+ * first data line with a broken submit field — poison the trace:
+ * ok() turns false and error() says which line; replaying a silently
+ * truncated log would fake the very load pattern the experiment is
+ * about.
+ */
+class TraceArrivals
+{
+  public:
+    /** Parse a trace from a file. */
+    static TraceArrivals load(const std::string &path);
+
+    /** Parse a trace from an open stream (tests, embedded traces). */
+    static TraceArrivals parse(std::istream &in);
+
+    /** Parse a trace from CSV text. */
+    static TraceArrivals parseString(const std::string &text);
+
+    bool ok() const { return err.empty(); }
+    const std::string &error() const { return err; }
+
+    const std::vector<TraceEntry> &entries() const { return jobs; }
+    std::size_t size() const { return jobs.size(); }
+
+  private:
+    std::vector<TraceEntry> jobs;
+    std::string err;
+};
 
 } // namespace vdnn::serve
 

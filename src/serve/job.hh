@@ -25,6 +25,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace vdnn::serve
 {
@@ -67,6 +68,15 @@ struct JobSpec
      * running tenants until it fits.
      */
     int priority = 0;
+    /**
+     * Priority aging (starvation control): a queued job's *effective*
+     * priority grows by this much per second of queue wait, so a
+     * low-priority job facing a hostile stream of high-priority
+     * arrivals eventually sorts ahead of them — and, under
+     * PreemptivePriority, eventually out-preempts them. 0 (the
+     * default) disables aging; running jobs never age.
+     */
+    double agingRatePerSec = 0.0;
     /** Simulated time the job enters the system. */
     TimeNs arrival = 0;
     /** Training iterations requested. */
@@ -89,12 +99,31 @@ struct JobRecord
     int preemptions = 0;
     /** Mid-run in-place re-plans (grow-back sweeps). */
     int replans = 0;
+    /** Cross-device rebalance migrations. */
+    int migrations = 0;
+    /**
+     * Priority-aging bookkeeping: wait accrued over completed
+     * Queued/Evicted spells, and the start of the current spell
+     * (kTimeNone while the job is running). The earned boost is
+     * *retained* while running — otherwise the next hostile arrival
+     * would instantly re-preempt a job that aged its way in, and the
+     * starvation aging exists to bound would continue.
+     */
+    TimeNs agedWait = 0;
+    TimeNs waitingSince = kTimeNone;
+    /** Device the job is homed on (-1 before first admission). */
+    int deviceId = -1;
+    /** Every device the job was placed on, in order. */
+    std::vector<int> placements;
     std::string failReason;
 
     Bytes persistentBytes = 0;
-    /** Peak bytes this tenant held in the shared pool. */
+    /** Peak bytes this tenant held in the shared pool(s). */
     Bytes peakPoolBytes = 0;
     Bytes offloadedBytes = 0;
+    /** Offload traffic accrued on devices the job has migrated off
+     *  (its live MemoryManager counts the current device only). */
+    Bytes offloadedBytesPrior = 0;
     /**
      * Sum of the job's own iteration windows [start, end). Time the
      * job spends admitted with no iteration in flight — e.g. the

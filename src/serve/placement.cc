@@ -1,0 +1,50 @@
+#include "serve/placement.hh"
+
+namespace vdnn::serve
+{
+
+int
+BestFitPlacement::place(const std::vector<DeviceLoad> &loads)
+{
+    const DeviceLoad *best = nullptr;
+    for (const DeviceLoad &l : loads) {
+        if (!l.fits)
+            continue;
+        if (!best || l.freeBytes() < best->freeBytes())
+            best = &l;
+    }
+    return best ? best->device : -1;
+}
+
+int
+RoundRobinPlacement::place(const std::vector<DeviceLoad> &loads)
+{
+    if (loads.empty())
+        return -1;
+    for (std::size_t k = 0; k < loads.size(); ++k) {
+        const DeviceLoad &l = loads[(cursor + k) % loads.size()];
+        if (l.fits) {
+            cursor = (cursor + k + 1) % loads.size();
+            return l.device;
+        }
+    }
+    return -1;
+}
+
+int
+LoadBalancePlacement::place(const std::vector<DeviceLoad> &loads)
+{
+    const DeviceLoad *best = nullptr;
+    for (const DeviceLoad &l : loads) {
+        if (!l.fits)
+            continue;
+        if (!best || l.runningJobs < best->runningJobs ||
+            (l.runningJobs == best->runningJobs &&
+             l.freeBytes() > best->freeBytes())) {
+            best = &l;
+        }
+    }
+    return best ? best->device : -1;
+}
+
+} // namespace vdnn::serve

@@ -28,22 +28,58 @@ schedPolicyName(SchedPolicy p)
 
 SchedulerConfig::SchedulerConfig() : gpu(gpu::titanXMaxwell()) {}
 
+namespace
+{
+
+gpu::ClusterSpec
+clusterSpecFor(const SchedulerConfig &cfg)
+{
+    gpu::ClusterSpec cs;
+    cs.devices = cfg.devices.empty()
+                     ? std::vector<gpu::GpuSpec>{cfg.gpu}
+                     : cfg.devices;
+    cs.contention = cfg.contention;
+    return cs;
+}
+
+} // namespace
+
+Scheduler::DeviceCtx::DeviceCtx(int id_, gpu::Cluster &cluster_,
+                                const SchedulerConfig &cfg_)
+    : id(id_), dev(&cluster_.device(id_)), pool(&cluster_.pool(id_)),
+      host(&cluster_.host(id_)), cudnn(dev->spec()),
+      admission(pool->capacity(), cfg_.admissionSafety),
+      track([this] { return this->dev->now(); }, cfg_.keepTimeline)
+{
+    pool->setTracker(&track);
+    // Packed overlap keeps several tenants' iterations in flight at
+    // once, so their transient working sets must be reserved together.
+    admission.setOverlapTransients(cfg_.policy ==
+                                   SchedPolicy::PackedOverlap);
+}
+
 Scheduler::Scheduler(SchedulerConfig config)
-    : cfg(std::move(config)), rt(cfg.gpu, cfg.contention),
-      pool(cfg.gpu.dramCapacity, cfg.gpu.name + " shared pool"),
-      host(cfg.gpu.hostCapacity),
-      poolTrack([this] { return rt.now(); }, cfg.keepTimeline),
-      cudnn(cfg.gpu), admission(pool.capacity(), cfg.admissionSafety),
+    : cfg(std::move(config)), cluster(clusterSpecFor(cfg)),
       inflight(cfg.keepTimeline)
 {
     VDNN_ASSERT(cfg.maxJobsInFlight >= 0,
                 "maxJobsInFlight must be >= 0");
-    pool.setTracker(&poolTrack);
-    inflight.record(rt.now(), 0.0);
-    // Packed overlap keeps several tenants' iterations in flight at
-    // once, so their transient working sets must be reserved together.
-    admission.setOverlapTransients(cfg.policy ==
-                                   SchedPolicy::PackedOverlap);
+    for (int d = 0; d < cluster.deviceCount(); ++d)
+        devs.push_back(std::make_unique<DeviceCtx>(d, cluster, cfg));
+    if (!cfg.placement)
+        cfg.placement = std::make_shared<BestFitPlacement>();
+    // Op-granularity overlap and preemption pack tenants *within* one
+    // device; their cluster generalization is an open item.
+    VDNN_ASSERT(deviceCount() == 1 ||
+                    cfg.policy == SchedPolicy::FifoExclusive ||
+                    cfg.policy == SchedPolicy::RoundRobin ||
+                    cfg.policy == SchedPolicy::ShortestRemaining,
+                "policy %s is single-device only",
+                schedPolicyName(cfg.policy));
+    VDNN_ASSERT(cfg.rebalancePeriod >= 0, "negative rebalance period");
+    VDNN_ASSERT(cfg.rebalanceThreshold >= 1,
+                "rebalance threshold must be >= 1");
+    inflight.record(cluster.now(), 0.0);
 }
 
 JobId
@@ -55,6 +91,7 @@ Scheduler::submit(JobSpec spec)
     VDNN_ASSERT(spec.iterations >= 1,
                 "job needs at least one iteration");
     VDNN_ASSERT(spec.arrival >= 0, "negative arrival time");
+    VDNN_ASSERT(spec.agingRatePerSec >= 0.0, "negative aging rate");
     auto job = std::make_unique<Job>();
     job->id = JobId(jobs.size());
     job->spec = std::move(spec);
@@ -76,7 +113,7 @@ Scheduler::collectArrivals()
     std::vector<JobId> arrived;
     for (const auto &job : jobs) {
         if (job->record.state == JobState::Pending &&
-            job->spec.arrival <= rt.now()) {
+            job->spec.arrival <= cluster.now()) {
             arrived.push_back(job->id);
         }
     }
@@ -90,42 +127,117 @@ Scheduler::collectArrivals()
               });
     for (JobId id : arrived) {
         jobs[std::size_t(id)]->record.state = JobState::Queued;
+        // Aging clock: the wait began at submission, not collection.
+        jobs[std::size_t(id)]->record.waitingSince =
+            jobs[std::size_t(id)]->spec.arrival;
         queue.push(id);
     }
 }
 
-const FootprintEstimate &
-Scheduler::estimateFor(const Job &job)
+void
+Scheduler::stopWaiting(Job &job)
 {
-    auto it = estimates.find(job.id);
+    if (job.record.waitingSince == kTimeNone)
+        return;
+    job.record.agedWait += cluster.now() - job.record.waitingSince;
+    job.record.waitingSince = kTimeNone;
+}
+
+namespace
+{
+
+/** Do two devices yield identical footprint estimates? */
+bool
+sameEstimateSpec(const gpu::GpuSpec &a, const gpu::GpuSpec &b)
+{
+    return a.name == b.name && a.peakFlops == b.peakFlops &&
+           a.dramBandwidth == b.dramBandwidth &&
+           a.dramCapacity == b.dramCapacity &&
+           a.hostCapacity == b.hostCapacity &&
+           a.pcie.rawBandwidth == b.pcie.rawBandwidth &&
+           a.pcie.dmaBandwidth == b.pcie.dmaBandwidth &&
+           a.pcie.setupLatency == b.pcie.setupLatency;
+}
+
+} // namespace
+
+const FootprintEstimate &
+Scheduler::estimateFor(const Job &job, DeviceCtx &d)
+{
+    // Identical devices yield identical estimates: share the cache
+    // entry of the first same-spec device so a homogeneous cluster
+    // derives each job's admission plan once, not once per device.
+    int canonical = d.id;
+    for (int k = 0; k < d.id; ++k) {
+        if (sameEstimateSpec(devs[std::size_t(k)]->dev->spec(),
+                             d.dev->spec())) {
+            canonical = k;
+            break;
+        }
+    }
+    auto key = std::make_pair(job.id, canonical);
+    auto it = estimates.find(key);
     if (it == estimates.end()) {
         // Budget for the planner's most conservative plan, derived
         // against the whole device (the reservation must hold however
         // crowded the pool is when the job finally runs).
         it = estimates
-                 .emplace(job.id,
+                 .emplace(key,
                           estimatePlannerFootprint(
-                              *job.spec.network, cudnn,
+                              *job.spec.network, d.cudnn,
                               *job.spec.planner,
                               core::PlannerContext::exclusive(
-                                  cfg.gpu, cfg.contention)))
+                                  d.dev->spec(), cfg.contention)))
                  .first;
     }
     return it->second;
 }
 
+double
+Scheduler::effectivePriority(const Job &job, TimeNs now) const
+{
+    double p = double(job.spec.priority);
+    if (job.spec.agingRatePerSec > 0.0) {
+        TimeNs waited = job.record.agedWait;
+        if (job.record.waitingSince != kTimeNone &&
+            now > job.record.waitingSince) {
+            waited += now - job.record.waitingSince;
+        }
+        p += job.spec.agingRatePerSec * toSeconds(waited);
+    }
+    return p;
+}
+
+Bytes
+Scheduler::reservedBytesTotal() const
+{
+    Bytes total = 0;
+    for (const auto &d : devs)
+        total += d->admission.reservedBytes();
+    return total;
+}
+
+int
+Scheduler::jobsInFlight() const
+{
+    int n = 0;
+    for (const auto &d : devs)
+        n += int(d->running.size());
+    return n;
+}
+
 bool
-Scheduler::tryAdmit(Job &job, const FootprintEstimate &est)
+Scheduler::tryAdmit(Job &job, const FootprintEstimate &est, DeviceCtx &d)
 {
     core::SessionConfig scfg;
     scfg.planner = job.spec.planner;
-    scfg.gpu = cfg.gpu;
+    scfg.gpu = d.dev->spec();
     scfg.contention = cfg.contention;
     scfg.exec = job.spec.exec;
     core::SharedGpu shared;
-    shared.runtime = &rt;
-    shared.pool = &pool;
-    shared.host = &host;
+    shared.runtime = d.dev;
+    shared.pool = d.pool;
+    shared.host = d.host;
     shared.clientId = job.id;
     job.session = std::make_unique<core::Session>(*job.spec.network,
                                                   scfg, shared);
@@ -136,62 +248,73 @@ Scheduler::tryAdmit(Job &job, const FootprintEstimate &est)
         job.session.reset();
         return false;
     }
-    Bytes before = admission.reservedBytes();
-    admission.admit(job.id, est, job.reserveScale);
+    Bytes before = reservedBytesTotal();
+    d.admission.admit(job.id, est, job.reserveScale);
     job.record.state = JobState::Running;
+    stopWaiting(job);
     if (job.record.admitTime == kTimeNone)
-        job.record.admitTime = rt.now();
+        job.record.admitTime = cluster.now();
     job.record.persistentBytes =
         std::max(job.record.persistentBytes,
                  job.session->persistentBytes());
-    running.push_back(job.id);
+    job.record.deviceId = d.id;
+    if (job.record.placements.empty() ||
+        job.record.placements.back() != d.id) {
+        job.record.placements.push_back(d.id);
+    }
+    ++d.jobsPlaced;
+    d.running.push_back(job.id);
     recordInflight();
-    logLifecycle(job.id, "admit", before);
+    logLifecycle(job.id, "admit", before, d.id);
     return true;
 }
 
 void
 Scheduler::admitFromQueue()
 {
+    DeviceCtx &d0 = *devs[0];
     // Priority scheduling admits the most important arrivals first;
-    // the queue stays FIFO within a priority level.
+    // the queue stays FIFO within a priority level. Aging lifts a
+    // long-waiting job's effective priority, so a starved arrival
+    // eventually sorts ahead of younger, nominally hotter ones.
     if (cfg.policy == SchedPolicy::PreemptivePriority) {
-        queue.stableSort([this](JobId a, JobId b) {
-            return jobs[std::size_t(a)]->spec.priority >
-                   jobs[std::size_t(b)]->spec.priority;
+        TimeNs now = cluster.now();
+        queue.stableSort([this, now](JobId a, JobId b) {
+            return effectivePriority(*jobs[std::size_t(a)], now) >
+                   effectivePriority(*jobs[std::size_t(b)], now);
         });
     }
     std::size_t i = 0;
     while (i < queue.size()) {
         Job &job = *jobs[std::size_t(queue.at(i))];
-        const FootprintEstimate &est = estimateFor(job);
+        const FootprintEstimate &est = estimateFor(job, d0);
         // Feasibility includes any OOM-backoff inflation: a job whose
         // grown reservation no longer fits even an empty device must
         // go terminal here, or it would sit in the queue forever.
-        if (!admission.feasible(est, job.reserveScale)) {
+        if (!d0.admission.feasible(est, job.reserveScale)) {
             queue.take(i);
             job.record.state = JobState::Rejected;
-            job.record.finishTime = rt.now();
+            job.record.finishTime = cluster.now();
             job.record.failReason = strFormat(
                 "reservation %s exceeds device capacity %s",
                 formatBytes(
-                    admission.reservationFor(est, job.reserveScale))
+                    d0.admission.reservationFor(est, job.reserveScale))
                     .c_str(),
-                formatBytes(admission.capacity()).c_str());
+                formatBytes(d0.admission.capacity()).c_str());
             continue;
         }
         bool wants_room =
             (cfg.maxJobsInFlight > 0 &&
-             int(running.size()) >= cfg.maxJobsInFlight) ||
-            !admission.canAdmit(est, job.reserveScale);
+             jobsInFlight() >= cfg.maxJobsInFlight) ||
+            !d0.admission.canAdmit(est, job.reserveScale);
         if (wants_room && cfg.policy == SchedPolicy::PreemptivePriority)
             wants_room = !makeRoomFor(job, est);
         if (cfg.maxJobsInFlight > 0 &&
-            int(running.size()) >= cfg.maxJobsInFlight) {
+            jobsInFlight() >= cfg.maxJobsInFlight) {
             break;
         }
         if (cfg.policy == SchedPolicy::FifoExclusive &&
-            !running.empty()) {
+            !d0.running.empty()) {
             break;
         }
         if (wants_room) {
@@ -202,36 +325,49 @@ Scheduler::admitFromQueue()
             }
             break; // strict arrival order for FIFO
         }
-        if (tryAdmit(job, est)) {
+        if (tryAdmit(job, est, d0)) {
             queue.take(i);
             continue;
         }
-        // Setup OOM despite a fitting reservation: grow the
-        // reservation and retry later, give up after a few attempts.
-        ++job.record.oomRequeues;
-        job.reserveScale *= cfg.oomBackoffScale;
-        if (job.record.oomRequeues > cfg.maxOomRequeues) {
-            std::string why = job.record.failReason;
-            queue.take(i);
-            job.record.state = JobState::Failed;
-            job.record.finishTime = rt.now();
-            job.record.failReason =
-                "admission gave up after repeated setup OOM: " + why;
+        if (backoffAfterSetupOom(job, i))
             continue;
-        }
         ++i;
     }
+}
+
+bool
+Scheduler::backoffAfterSetupOom(Job &job, std::size_t queue_index)
+{
+    // Setup OOM despite a fitting reservation: grow the reservation
+    // and retry later, give up after a few attempts.
+    ++job.record.oomRequeues;
+    job.reserveScale *= cfg.oomBackoffScale;
+    if (job.record.oomRequeues > cfg.maxOomRequeues) {
+        std::string why = job.record.failReason;
+        queue.take(queue_index);
+        job.record.state = JobState::Failed;
+        job.record.finishTime = cluster.now();
+        job.record.failReason =
+            "admission gave up after repeated setup OOM: " + why;
+        return true; // taken from the queue, now terminal
+    }
+    return false;
 }
 
 void
 Scheduler::removeFromRunning(JobId id)
 {
-    auto it = std::find(running.begin(), running.end(), id);
-    VDNN_ASSERT(it != running.end(), "job %d not running", id);
-    std::size_t idx = std::size_t(it - running.begin());
-    running.erase(it);
-    if (idx < rrCursor)
-        --rrCursor;
+    Job &job = *jobs[std::size_t(id)];
+    VDNN_ASSERT(job.record.deviceId >= 0, "job %d has no device", id);
+    DeviceCtx &d = *devs[std::size_t(job.record.deviceId)];
+    auto it = std::find(d.running.begin(), d.running.end(), id);
+    VDNN_ASSERT(it != d.running.end(), "job %d not running", id);
+    std::size_t idx = std::size_t(it - d.running.begin());
+    d.running.erase(it);
+    if (idx < d.rrCursor)
+        --d.rrCursor;
+    if (d.inFlight == id)
+        d.inFlight = -1;
     recordInflight();
 }
 
@@ -242,12 +378,15 @@ Scheduler::finishJob(Job &job, JobState final_state,
     VDNN_ASSERT(jobStateLive(job.record.state),
                 "finishing job %d in state %s", job.id,
                 jobStateName(job.record.state));
-    Bytes before = admission.reservedBytes();
-    job.record.peakPoolBytes = pool.peakByClient(job.id);
-    job.record.offloadedBytes = job.session->memory().offloadedBytes();
+    DeviceCtx &d = *devs[std::size_t(job.record.deviceId)];
+    Bytes before = reservedBytesTotal();
+    job.record.peakPoolBytes = std::max(
+        job.record.peakPoolBytes, d.pool->peakByClient(job.id));
+    job.record.offloadedBytes = job.record.offloadedBytesPrior +
+                                job.session->memory().offloadedBytes();
     job.session->teardown();
     job.session.reset();
-    admission.release(job.id);
+    d.admission.release(job.id);
 
     if (job.record.state == JobState::Evicted) {
         auto ev = std::find(evictedJobs.begin(), evictedJobs.end(),
@@ -260,20 +399,22 @@ Scheduler::finishJob(Job &job, JobState final_state,
     }
 
     job.record.state = final_state;
-    job.record.finishTime = rt.now();
+    job.record.finishTime = cluster.now();
     job.record.failReason = why;
     logLifecycle(job.id,
                  final_state == JobState::Finished ? "finish"
                  : final_state == JobState::Queued ? "requeue"
                                                    : "fail",
-                 before);
+                 before, d.id);
 
     // Freed capacity: evicted tenants may fit again, and survivors
     // whose planner supports it may grow their plans back.
     if (cfg.policy == SchedPolicy::PreemptivePriority) {
         resumePending = true;
-        for (JobId id : running)
+        for (JobId id : devs[0]->running)
             jobs[std::size_t(id)]->replanRequested = true;
+    } else if (deviceCount() > 1) {
+        resumePending = true;
     }
 }
 
@@ -291,6 +432,7 @@ Scheduler::evictForRequeue(Job &job)
     finishJob(job, JobState::Queued, why);
     // Not terminal: the finish timestamp belongs to real completion.
     job.record.finishTime = kTimeNone;
+    job.record.waitingSince = cluster.now(); // aging resumes
     // Head of the queue: the job keeps its arrival-order priority.
     queue.pushFront(job.id);
 }
@@ -298,56 +440,55 @@ Scheduler::evictForRequeue(Job &job)
 Job *
 Scheduler::pickNext()
 {
+    DeviceCtx &d0 = *devs[0];
+    std::vector<JobId> &running = d0.running;
     VDNN_ASSERT(!running.empty(), "pickNext() with nothing running");
-    if (cfg.policy == SchedPolicy::FifoExclusive)
-        return jobs[std::size_t(running.front())].get();
-    if (cfg.policy == SchedPolicy::ShortestRemaining) {
-        Job *best = nullptr;
-        for (JobId id : running) {
-            Job *j = jobs[std::size_t(id)].get();
-            int rem = j->spec.iterations - j->record.itersDone;
-            if (!best ||
-                rem < best->spec.iterations - best->record.itersDone) {
-                best = j;
-            }
-        }
-        return best;
-    }
     if (cfg.policy == SchedPolicy::PreemptivePriority) {
-        // Strict priority; round-robin within the top level.
-        int top = jobs[std::size_t(running.front())]->spec.priority;
-        for (JobId id : running)
-            top = std::max(top, jobs[std::size_t(id)]->spec.priority);
+        // Strict (effective) priority; round-robin within the top
+        // level. Aged-in tenants keep their earned boost here too.
+        TimeNs now = cluster.now();
+        double top =
+            effectivePriority(*jobs[std::size_t(running.front())], now);
+        for (JobId id : running) {
+            top = std::max(
+                top, effectivePriority(*jobs[std::size_t(id)], now));
+        }
         for (std::size_t k = 0; k < running.size(); ++k) {
-            std::size_t idx = (rrCursor + k) % running.size();
+            std::size_t idx = (d0.rrCursor + k) % running.size();
             Job *j = jobs[std::size_t(running[idx])].get();
-            if (j->spec.priority == top) {
-                rrCursor = idx + 1;
+            if (effectivePriority(*j, now) == top) {
+                d0.rrCursor = idx + 1;
                 return j;
             }
         }
     }
-    if (rrCursor >= running.size())
-        rrCursor = 0;
-    return jobs[std::size_t(running[rrCursor++])].get();
+    // FIFO / SRPT / round-robin are the same selection the cluster
+    // loop runs per device; device 0 is the whole cluster here.
+    return pickNextOn(d0);
 }
 
 // --- lifecycle state machine (PreemptivePriority) ----------------------------
 
 Job *
-Scheduler::pickVictim(int below_priority)
+Scheduler::pickVictim(double below_priority)
 {
-    // Lowest priority first; the latest-arrived tenant of that level
-    // goes first (LIFO), so incumbents are disturbed least.
+    // Lowest effective priority first (an aged-in tenant keeps the
+    // boost it earned, so it is not the default victim); the
+    // latest-arrived tenant of that level goes first (LIFO), so
+    // incumbents are disturbed least.
+    TimeNs now = cluster.now();
     Job *victim = nullptr;
-    for (JobId id : running) {
+    double victim_eff = 0.0;
+    for (JobId id : devs[0]->running) {
         Job *j = jobs[std::size_t(id)].get();
-        if (j->spec.priority >= below_priority)
+        double eff = effectivePriority(*j, now);
+        if (eff >= below_priority)
             continue;
-        if (!victim || j->spec.priority < victim->spec.priority ||
-            (j->spec.priority == victim->spec.priority &&
+        if (!victim || eff < victim_eff ||
+            (eff == victim_eff &&
              j->spec.arrival > victim->spec.arrival)) {
             victim = j;
+            victim_eff = eff;
         }
     }
     return victim;
@@ -359,24 +500,26 @@ Scheduler::preempt(Job &victim)
     VDNN_ASSERT(victim.record.state == JobState::Running,
                 "preempting job %d in state %s", victim.id,
                 jobStateName(victim.record.state));
-    Bytes before = admission.reservedBytes();
+    DeviceCtx &d0 = *devs[0];
+    Bytes before = reservedBytesTotal();
     victim.session->suspend();
     victim.record.state = JobState::Suspended;
-    logLifecycle(victim.id, "suspend", before);
+    logLifecycle(victim.id, "suspend", before, d0.id);
 
     if (!victim.session->evictToHost()) {
         // Pinned host memory cannot stage the state; undo the park.
         victim.session->resume();
         victim.record.state = JobState::Running;
-        logLifecycle(victim.id, "resume", before);
+        logLifecycle(victim.id, "resume", before, d0.id);
         return false;
     }
-    admission.evict(victim.id);
+    d0.admission.evict(victim.id);
     removeFromRunning(victim.id);
     evictedJobs.push_back(victim.id);
     victim.record.state = JobState::Evicted;
+    victim.record.waitingSince = cluster.now(); // aging resumes
     ++victim.record.preemptions;
-    logLifecycle(victim.id, "evict", before);
+    logLifecycle(victim.id, "evict", before, d0.id);
     // Schedule a resume sweep: if the beneficiary then fails
     // admission (setup OOM, host exhaustion partway through
     // makeRoomFor), the freed capacity must not strand the victim
@@ -388,13 +531,15 @@ Scheduler::preempt(Job &victim)
 bool
 Scheduler::makeRoomFor(Job &job, const FootprintEstimate &est)
 {
+    DeviceCtx &d0 = *devs[0];
     auto blocked = [&] {
         return (cfg.maxJobsInFlight > 0 &&
-                int(running.size()) >= cfg.maxJobsInFlight) ||
-               !admission.canAdmit(est, job.reserveScale);
+                jobsInFlight() >= cfg.maxJobsInFlight) ||
+               !d0.admission.canAdmit(est, job.reserveScale);
     };
+    double bar = effectivePriority(job, cluster.now());
     while (blocked()) {
-        Job *victim = pickVictim(job.spec.priority);
+        Job *victim = pickVictim(bar);
         if (!victim || !preempt(*victim))
             return false; // nobody below this priority (or host full)
     }
@@ -404,14 +549,20 @@ Scheduler::makeRoomFor(Job &job, const FootprintEstimate &est)
 void
 Scheduler::resumeEvicted()
 {
-    // Best priority first, then earliest arrival: the order admission
-    // would have picked them in.
+    DeviceCtx &d0 = *devs[0];
+    // Best *effective* priority first (evicted tenants keep aging, so
+    // a long-parked job climbs this order too), then earliest
+    // arrival: the order admission would have picked them in.
+    TimeNs now = cluster.now();
     std::vector<JobId> order = evictedJobs;
-    std::sort(order.begin(), order.end(), [this](JobId a, JobId b) {
+    std::sort(order.begin(), order.end(),
+              [this, now](JobId a, JobId b) {
         const Job &ja = *jobs[std::size_t(a)];
         const Job &jb = *jobs[std::size_t(b)];
-        if (ja.spec.priority != jb.spec.priority)
-            return ja.spec.priority > jb.spec.priority;
+        double ea = effectivePriority(ja, now);
+        double eb = effectivePriority(jb, now);
+        if (ea != eb)
+            return ea > eb;
         if (ja.spec.arrival != jb.spec.arrival)
             return ja.spec.arrival < jb.spec.arrival;
         return a < b;
@@ -420,48 +571,58 @@ Scheduler::resumeEvicted()
         // Readmission honours the in-flight cap exactly like fresh
         // admission does.
         if (cfg.maxJobsInFlight > 0 &&
-            int(running.size()) >= cfg.maxJobsInFlight) {
+            jobsInFlight() >= cfg.maxJobsInFlight) {
             break;
         }
-        Job &job = *jobs[std::size_t(id)];
-        if (!admission.canReadmit(id))
-            continue;
-        Bytes before = admission.reservedBytes();
-        // resume() re-plans against the current free share before
-        // restoring the staged state; it may fail here (fragmentation,
-        // co-tenant bursts above their reservations) — the tenant
-        // simply stays evicted until the next capacity event.
-        if (!job.session->resume())
-            continue;
-        admission.readmit(id);
-        auto ev = std::find(evictedJobs.begin(), evictedJobs.end(), id);
-        VDNN_ASSERT(ev != evictedJobs.end(), "job %d not evicted", id);
-        evictedJobs.erase(ev);
-        running.push_back(id);
-        job.record.state = JobState::Running;
-        recordInflight();
-        logLifecycle(id, "resume", before);
+        tryResumeOn(*jobs[std::size_t(id)], d0);
     }
+}
+
+bool
+Scheduler::tryResumeOn(Job &job, DeviceCtx &d)
+{
+    if (!d.admission.canReadmit(job.id))
+        return false;
+    Bytes before = reservedBytesTotal();
+    // resume() re-plans against the current free share before
+    // restoring the staged state; it may fail here (fragmentation,
+    // co-tenant bursts above their reservations) — the tenant
+    // simply stays evicted until the next capacity event.
+    if (!job.session->resume())
+        return false;
+    d.admission.readmit(job.id);
+    auto ev =
+        std::find(evictedJobs.begin(), evictedJobs.end(), job.id);
+    VDNN_ASSERT(ev != evictedJobs.end(), "job %d not evicted", job.id);
+    evictedJobs.erase(ev);
+    d.running.push_back(job.id);
+    job.record.state = JobState::Running;
+    stopWaiting(job);
+    recordInflight();
+    logLifecycle(job.id, "resume", before, d.id);
+    return true;
 }
 
 void
 Scheduler::logLifecycle(JobId id, const char *what,
-                        Bytes reserved_before)
+                        Bytes reserved_before, int device)
 {
     LifecycleEvent ev;
-    ev.when = rt.now();
+    ev.when = cluster.now();
     ev.job = id;
     ev.what = what;
+    ev.device = device;
     ev.reservedBefore = reserved_before;
-    ev.reservedAfter = admission.reservedBytes();
+    ev.reservedAfter = reservedBytesTotal();
     lifecycleLog.push_back(ev);
 }
 
 void
 Scheduler::recordInflight()
 {
-    inflight.record(rt.now(), double(running.size()));
-    peakInflight = std::max(peakInflight, int(running.size()));
+    int n = jobsInFlight();
+    inflight.record(cluster.now(), double(n));
+    peakInflight = std::max(peakInflight, n);
 }
 
 TimeNs
@@ -504,6 +665,7 @@ Scheduler::chargeIteration(Job &job, const core::IterationResult &r)
 void
 Scheduler::runInterleaved()
 {
+    DeviceCtx &d0 = *devs[0];
     while (!allDone()) {
         collectArrivals();
         admitFromQueue();
@@ -512,14 +674,14 @@ Scheduler::runInterleaved()
             resumeEvicted();
         }
 
-        if (running.empty()) {
+        if (d0.running.empty()) {
             if (!evictedJobs.empty()) {
                 // Preempted tenants and nothing resident: readmit.
                 resumeEvicted();
-                if (!running.empty())
+                if (!d0.running.empty())
                     continue;
             }
-            TimeNs next = nextArrivalAfter(rt.now());
+            TimeNs next = nextArrivalAfter(cluster.now());
             if (next == kTimeNone) {
                 if (!evictedJobs.empty()) {
                     // Backstop: an evicted tenant that cannot come
@@ -540,7 +702,7 @@ Scheduler::runInterleaved()
                 // to arrive: every queued job was terminal-handled.
                 break;
             }
-            rt.advanceTo(next);
+            cluster.advanceTo(next);
             continue;
         }
 
@@ -552,15 +714,15 @@ Scheduler::runInterleaved()
             job.replanRequested = false;
             if (cfg.policy == SchedPolicy::PreemptivePriority &&
                 !job.session->activeStepper()) {
-                Bytes before = admission.reservedBytes();
+                Bytes before = reservedBytesTotal();
                 if (job.session->replan()) {
                     ++job.record.replans;
-                    logLifecycle(job.id, "replan", before);
+                    logLifecycle(job.id, "replan", before, d0.id);
                 }
             }
         }
         if (job.record.firstDispatchTime == kTimeNone)
-            job.record.firstDispatchTime = rt.now();
+            job.record.firstDispatchTime = cluster.now();
         core::IterationResult r = job.session->runIteration();
         if (r.ok) {
             chargeIteration(job, r);
@@ -577,6 +739,7 @@ Scheduler::runInterleaved()
 void
 Scheduler::runPacked()
 {
+    DeviceCtx &d0 = *devs[0];
     // Op-granularity packing: every admitted tenant owns a resumable
     // IterationStepper over its compiled IterationProgram. One pass of
     // the loop offers each tenant a single step; a tenant blocked on a
@@ -590,16 +753,16 @@ Scheduler::runPacked()
         collectArrivals();
         admitFromQueue();
 
-        if (running.empty()) {
-            TimeNs next = nextArrivalAfter(rt.now());
+        if (d0.running.empty()) {
+            TimeNs next = nextArrivalAfter(cluster.now());
             if (next == kTimeNone)
                 break;
-            rt.advanceTo(next);
+            cluster.advanceTo(next);
             continue;
         }
 
         bool progress = false;
-        std::vector<JobId> round = running;
+        std::vector<JobId> round = d0.running;
         for (JobId id : round) {
             Job &job = *jobs[std::size_t(id)];
             if (job.record.state != JobState::Running)
@@ -607,7 +770,7 @@ Scheduler::runPacked()
             core::IterationStepper *st = job.session->activeStepper();
             if (!st) {
                 if (job.record.firstDispatchTime == kTimeNone)
-                    job.record.firstDispatchTime = rt.now();
+                    job.record.firstDispatchTime = cluster.now();
                 st = &job.session->beginIteration();
             }
             core::IterationStepper::Status s =
@@ -630,9 +793,356 @@ Scheduler::runPacked()
         if (!progress) {
             // Every admitted tenant is blocked on in-flight device
             // work; there must be a pending completion to run.
-            bool advanced = rt.stepDevice();
+            bool advanced = cluster.stepDevice();
             VDNN_ASSERT(advanced,
                         "all tenants blocked with an empty event queue");
+        }
+    }
+}
+
+// --- cluster path (2+ devices) -----------------------------------------------
+
+int
+Scheduler::choosePlacement(Job &job)
+{
+    std::vector<DeviceLoad> loads;
+    loads.reserve(devs.size());
+    for (auto &d : devs) {
+        DeviceLoad l;
+        l.device = d->id;
+        l.capacity = d->admission.capacity();
+        l.reserved = d->admission.reservedBytes();
+        l.runningJobs = int(d->running.size());
+        l.fits = d->admission.canAdmit(estimateFor(job, *d),
+                                       job.reserveScale);
+        // FIFO-exclusive serves one tenant per device at a time.
+        if (cfg.policy == SchedPolicy::FifoExclusive &&
+            !d->running.empty()) {
+            l.fits = false;
+        }
+        loads.push_back(l);
+    }
+    int pick = cfg.placement->place(loads);
+    VDNN_ASSERT(pick == -1 ||
+                    (pick >= 0 && pick < deviceCount() &&
+                     loads[std::size_t(pick)].fits),
+                "placement policy '%s' chose an unfit device %d",
+                cfg.placement->name().c_str(), pick);
+    return pick;
+}
+
+void
+Scheduler::admitFromQueueCluster()
+{
+    std::size_t i = 0;
+    while (i < queue.size()) {
+        Job &job = *jobs[std::size_t(queue.at(i))];
+        // Rejection only when no device of the cluster could ever
+        // hold the (possibly backoff-inflated) reservation alone.
+        bool feasible_somewhere = false;
+        Bytes largest_cap = 0;
+        for (auto &d : devs) {
+            feasible_somewhere |= d->admission.feasible(
+                estimateFor(job, *d), job.reserveScale);
+            largest_cap = std::max(largest_cap,
+                                   d->admission.capacity());
+        }
+        if (!feasible_somewhere) {
+            queue.take(i);
+            job.record.state = JobState::Rejected;
+            job.record.finishTime = cluster.now();
+            job.record.failReason = strFormat(
+                "reservation exceeds every device's capacity "
+                "(largest %s)",
+                formatBytes(largest_cap).c_str());
+            continue;
+        }
+        if (cfg.maxJobsInFlight > 0 &&
+            jobsInFlight() >= cfg.maxJobsInFlight) {
+            break;
+        }
+        int target = choosePlacement(job);
+        if (target < 0) {
+            // Nothing fits right now. FIFO keeps strict arrival order
+            // (no later job may jump a blocked head, matching the
+            // single-device path); the packing policies backfill.
+            if (cfg.policy == SchedPolicy::FifoExclusive)
+                break;
+            ++i;
+            continue;
+        }
+        DeviceCtx &d = *devs[std::size_t(target)];
+        if (tryAdmit(job, estimateFor(job, d), d)) {
+            queue.take(i);
+            continue;
+        }
+        if (backoffAfterSetupOom(job, i))
+            continue;
+        ++i;
+    }
+}
+
+Job *
+Scheduler::pickNextOn(DeviceCtx &d)
+{
+    VDNN_ASSERT(!d.running.empty(), "pickNextOn() with nothing running");
+    if (cfg.policy == SchedPolicy::FifoExclusive)
+        return jobs[std::size_t(d.running.front())].get();
+    if (cfg.policy == SchedPolicy::ShortestRemaining) {
+        Job *best = nullptr;
+        for (JobId id : d.running) {
+            Job *j = jobs[std::size_t(id)].get();
+            int rem = j->spec.iterations - j->record.itersDone;
+            if (!best ||
+                rem < best->spec.iterations - best->record.itersDone) {
+                best = j;
+            }
+        }
+        return best;
+    }
+    if (d.rrCursor >= d.running.size())
+        d.rrCursor = 0;
+    return jobs[std::size_t(d.running[d.rrCursor++])].get();
+}
+
+bool
+Scheduler::stepDeviceOnce(DeviceCtx &d)
+{
+    if (d.running.empty())
+        return false;
+    Job *job;
+    if (d.inFlight >= 0) {
+        job = jobs[std::size_t(d.inFlight)].get();
+    } else {
+        job = pickNextOn(d);
+        if (job->record.firstDispatchTime == kTimeNone)
+            job->record.firstDispatchTime = cluster.now();
+        job->session->beginIteration();
+        d.inFlight = job->id;
+    }
+    core::IterationStepper *st = job->session->activeStepper();
+    VDNN_ASSERT(st, "in-flight job %d has no stepper", job->id);
+    core::IterationStepper::Status s = st->step(/*blocking=*/false);
+    if (s == core::IterationStepper::Status::Blocked)
+        return false;
+    if (!st->finished())
+        return true;
+    d.inFlight = -1;
+    core::IterationResult r = job->session->completeIteration();
+    if (r.ok) {
+        chargeIteration(*job, r);
+        if (job->record.itersDone >= job->spec.iterations)
+            finishJob(*job, JobState::Finished);
+    } else {
+        // In-flight OOM: only this job's iteration aborts; it is torn
+        // down and requeued (it may be re-placed on another device).
+        evictForRequeue(*job);
+    }
+    return true;
+}
+
+void
+Scheduler::maybeRebalance()
+{
+    if (cfg.rebalancePeriod <= 0 || deviceCount() < 2)
+        return;
+    TimeNs now = cluster.now();
+    if (nextRebalance == kTimeNone) {
+        nextRebalance = now + cfg.rebalancePeriod;
+        return;
+    }
+    if (now < nextRebalance)
+        return;
+    nextRebalance = now + cfg.rebalancePeriod;
+
+    DeviceCtx *src = nullptr;
+    DeviceCtx *dst = nullptr;
+    for (auto &d : devs) {
+        if (!src || d->running.size() > src->running.size())
+            src = d.get();
+        if (!dst || d->running.size() < dst->running.size())
+            dst = d.get();
+    }
+    if (!src || !dst || src == dst)
+        return;
+    if (int(src->running.size()) - int(dst->running.size()) <
+        cfg.rebalanceThreshold) {
+        return;
+    }
+
+    // Smallest-footprint tenant not mid-iteration: cheapest state to
+    // move over PCIe, and nothing to cancel.
+    Job *cand = nullptr;
+    for (JobId id : src->running) {
+        Job *j = jobs[std::size_t(id)].get();
+        if (id == src->inFlight || j->session->activeStepper())
+            continue;
+        if (!cand || j->session->persistentBytes() <
+                         cand->session->persistentBytes()) {
+            cand = j;
+        }
+    }
+    if (!cand)
+        return;
+    if (!dst->admission.canAdmit(estimateFor(*cand, *dst),
+                                 cand->reserveScale)) {
+        return;
+    }
+    migrateJob(*cand, *src, *dst);
+}
+
+bool
+Scheduler::migrateJob(Job &job, DeviceCtx &src, DeviceCtx &dst)
+{
+    VDNN_ASSERT(job.record.state == JobState::Running,
+                "migrating job %d in state %s", job.id,
+                jobStateName(job.record.state));
+    Bytes before = reservedBytesTotal();
+    job.session->suspend();
+    if (!job.session->evictToHost()) {
+        job.session->resume();
+        return false; // source host share full; stay put
+    }
+    // Hand the reservation over: off the source ledger entirely
+    // (release drops a resident reservation directly; the evicted
+    // ledger is for tenants that will resume on the *same* device),
+    // onto the target's. The offload traffic accrued on the source is
+    // banked before migrate() rebuilds the memory manager.
+    Bytes src_offloaded = job.session->memory().offloadedBytes();
+    Bytes src_peak = src.pool->peakByClient(job.id);
+    src.admission.release(job.id);
+    removeFromRunning(job.id);
+    ++src.migrationsOut;
+    job.record.state = JobState::Evicted;
+    logLifecycle(job.id, "migrate-out", before, src.id);
+
+    const FootprintEstimate &est = estimateFor(job, dst);
+    dst.admission.admit(job.id, est, job.reserveScale);
+    core::SharedGpu target;
+    target.runtime = dst.dev;
+    target.pool = dst.pool;
+    target.host = dst.host;
+    target.clientId = job.id;
+    bool ok = job.session->migrate(target);
+    bool rehomed = job.session->deviceId() == dst.id;
+    if (rehomed) {
+        job.record.offloadedBytesPrior += src_offloaded;
+        job.record.peakPoolBytes =
+            std::max(job.record.peakPoolBytes, src_peak);
+        job.record.deviceId = dst.id;
+        job.record.placements.push_back(dst.id);
+        ++job.record.migrations;
+        ++dst.migrationsIn;
+        ++dst.jobsPlaced;
+    }
+    if (!ok) {
+        // The tenant is parked Evicted — on the target when the
+        // re-plan/rebuild failed there, still on the source when its
+        // pinned-host share refused the staged state. Either way the
+        // resume sweep retries on the device it is homed on.
+        if (rehomed) {
+            dst.admission.evict(job.id);
+        } else {
+            dst.admission.release(job.id);
+            src.admission.admit(job.id, estimateFor(job, src),
+                                job.reserveScale);
+            src.admission.evict(job.id);
+        }
+        evictedJobs.push_back(job.id);
+        resumePending = true;
+        logLifecycle(job.id, "migrate-stall", before,
+                     job.record.deviceId);
+        return false;
+    }
+    job.record.state = JobState::Running;
+    dst.running.push_back(job.id);
+    recordInflight();
+    logLifecycle(job.id, "migrate", before, dst.id);
+    return true;
+}
+
+void
+Scheduler::resumeEvictedCluster()
+{
+    // Earliest arrival first: the order admission would pick.
+    std::vector<JobId> order = evictedJobs;
+    std::sort(order.begin(), order.end(), [this](JobId a, JobId b) {
+        const Job &ja = *jobs[std::size_t(a)];
+        const Job &jb = *jobs[std::size_t(b)];
+        if (ja.spec.arrival != jb.spec.arrival)
+            return ja.spec.arrival < jb.spec.arrival;
+        return a < b;
+    });
+    for (JobId id : order) {
+        if (cfg.maxJobsInFlight > 0 &&
+            jobsInFlight() >= cfg.maxJobsInFlight) {
+            break;
+        }
+        Job &job = *jobs[std::size_t(id)];
+        tryResumeOn(job, *devs[std::size_t(job.record.deviceId)]);
+    }
+}
+
+void
+Scheduler::runCluster()
+{
+    // One iteration per device in flight at a time: each device's
+    // resident set advances through a resumable stepper while its
+    // siblings' kernels and DMAs run on the shared clock, so N
+    // devices genuinely serve N tenants' compute concurrently.
+    while (!allDone()) {
+        collectArrivals();
+        admitFromQueueCluster();
+        if (resumePending) {
+            resumePending = false;
+            resumeEvictedCluster();
+        }
+        maybeRebalance();
+
+        bool any_resident = false;
+        for (auto &d : devs)
+            any_resident |= !d->running.empty();
+        if (!any_resident) {
+            if (!evictedJobs.empty()) {
+                resumeEvictedCluster();
+                bool resumed = false;
+                for (auto &d : devs)
+                    resumed |= !d->running.empty();
+                if (resumed)
+                    continue;
+            }
+            TimeNs next = nextArrivalAfter(cluster.now());
+            if (next == kTimeNone) {
+                if (!evictedJobs.empty()) {
+                    // Backstop: a stalled migrant that cannot come
+                    // back even with the cluster drained must go
+                    // terminal, not hang the scheduler.
+                    std::vector<JobId> stuck = evictedJobs;
+                    for (JobId id : stuck) {
+                        finishJob(*jobs[std::size_t(id)],
+                                  JobState::Failed,
+                                  "evicted tenant could not be "
+                                  "readmitted: " +
+                                      jobs[std::size_t(id)]
+                                          ->session->failReason());
+                    }
+                    continue;
+                }
+                break;
+            }
+            cluster.advanceTo(next);
+            continue;
+        }
+
+        bool progress = false;
+        for (auto &d : devs)
+            progress = stepDeviceOnce(*d) || progress;
+        if (!progress) {
+            // Every device's in-flight iteration is blocked on DMA
+            // joins; run the single next completion.
+            bool advanced = cluster.stepDevice();
+            VDNN_ASSERT(advanced,
+                        "all devices blocked with an empty event queue");
         }
     }
 }
@@ -643,7 +1153,9 @@ Scheduler::run()
     VDNN_ASSERT(!ran, "run() called twice");
     ran = true;
 
-    if (cfg.policy == SchedPolicy::PackedOverlap)
+    if (deviceCount() > 1)
+        runCluster();
+    else if (cfg.policy == SchedPolicy::PackedOverlap)
         runPacked();
     else
         runInterleaved();
@@ -654,25 +1166,52 @@ Scheduler::run()
 ServeReport
 Scheduler::buildReport()
 {
-    inflight.finish(rt.now());
-    poolTrack.finish();
+    inflight.finish(cluster.now());
+    for (auto &d : devs)
+        d->track.finish();
 
     ServeReport rep;
     rep.schedulerName = schedPolicyName(cfg.policy);
-    rep.gpuName = cfg.gpu.name;
-    rep.poolCapacity = pool.capacity();
+    rep.deviceCount = deviceCount();
+    if (deviceCount() > 1) {
+        rep.gpuName = strFormat("%s x%d",
+                                devs[0]->dev->spec().name.c_str(),
+                                deviceCount());
+        rep.placementName = cfg.placement->name();
+    } else {
+        rep.gpuName = devs[0]->dev->spec().name;
+    }
     rep.peakJobsInFlight = peakInflight;
     rep.avgJobsInFlight = inflight.average();
-    rep.poolPeakBytes = poolTrack.peakBytes();
-    rep.poolAvgBytes = poolTrack.averageBytes();
-    rep.computeBusyTime = rt.computeBusyTime();
-    rep.copyBusyTime = rt.copyBusyTime(gpu::CopyDir::DeviceToHost) +
-                       rt.copyBusyTime(gpu::CopyDir::HostToDevice);
+    for (auto &d : devs) {
+        rep.poolCapacity += d->pool->capacity();
+        rep.poolPeakBytes += d->track.peakBytes();
+        rep.poolAvgBytes += d->track.averageBytes();
+        rep.computeBusyTime += d->dev->computeBusyTime();
+        rep.copyBusyTime +=
+            d->dev->copyBusyTime(gpu::CopyDir::DeviceToHost) +
+            d->dev->copyBusyTime(gpu::CopyDir::HostToDevice);
+        rep.reservedBytesAtEnd += d->admission.reservedBytes();
+        rep.evictedLedgerAtEnd += d->admission.evictedCount();
+
+        DeviceOutcome out;
+        out.device = d->id;
+        out.gpuName = d->dev->spec().name;
+        out.poolCapacity = d->pool->capacity();
+        out.poolPeakBytes = d->track.peakBytes();
+        out.poolAvgBytes = d->track.averageBytes();
+        out.computeBusyTime = d->dev->computeBusyTime();
+        out.jobsPlaced = d->jobsPlaced;
+        out.migrationsIn = d->migrationsIn;
+        out.migrationsOut = d->migrationsOut;
+        out.reservedAtEnd = d->admission.reservedBytes();
+        out.evictedLedgerAtEnd = d->admission.evictedCount();
+        rep.devices.push_back(std::move(out));
+    }
     rep.lifecycle = lifecycleLog;
-    rep.reservedBytesAtEnd = admission.reservedBytes();
-    rep.evictedLedgerAtEnd = admission.evictedCount();
     if (cfg.keepTimeline) {
-        rep.poolTimeline = poolTrack.signal().timeline();
+        // Device 0's pool trace (the whole story on a single GPU).
+        rep.poolTimeline = devs[0]->track.signal().timeline();
         rep.inflightTimeline = inflight.timeline();
     }
 
@@ -699,6 +1238,9 @@ Scheduler::buildReport()
         out.oomRequeues = rec.oomRequeues;
         out.preemptions = rec.preemptions;
         out.replans = rec.replans;
+        out.migrations = rec.migrations;
+        out.device = rec.deviceId;
+        out.placements = rec.placements;
         out.persistentBytes = rec.persistentBytes;
         out.peakPoolBytes = rec.peakPoolBytes;
         out.offloadedBytes = rec.offloadedBytes;

@@ -1,17 +1,21 @@
 /**
  * @file
- * Multi-tenant GPU-sharing scheduler.
+ * Multi-tenant, multi-device GPU-sharing scheduler.
  *
- * Multiplexes N training jobs over one simulated GPU: a single shared
- * gpu::Runtime (one compute engine, one DMA engine per direction, one
- * PCIe link) and a single shared cnmem pool. Jobs are admitted by the
- * AdmissionController when their policy-dependent footprint fits; the
- * freed residency of the vDNN policies is what lets many more tenants
- * pack onto the same 12 GB device than the baseline allocator.
+ * Multiplexes N training jobs over a cluster of simulated GPUs
+ * (gpu/cluster.hh): per device one compute engine, one DMA engine per
+ * direction, one PCIe link, one cnmem pool — all devices on one
+ * shared simulated clock. Jobs are admitted by a *per-device*
+ * AdmissionController when their policy-dependent footprint fits, and
+ * a pluggable PlacementPolicy (serve/placement.hh) picks the device;
+ * the freed residency of the vDNN policies is what lets many more
+ * tenants pack onto the same 12 GB devices than the baseline
+ * allocator. The classic single-device construction (no
+ * SchedulerConfig::devices) behaves exactly as it always has.
  *
- * Two scheduling policies:
+ * Scheduling policies (iteration order *within* a device):
  *
- *  - FifoExclusive: one job owns the device at a time, run to
+ *  - FifoExclusive: one job owns a device at a time, run to
  *    completion in arrival order — the status quo this subsystem
  *    exists to beat (head-of-line blocking, queueing delay).
  *  - RoundRobin: iteration-granularity time sharing in the style of
@@ -23,26 +27,25 @@
  *    the admitted job with the fewest remaining iterations (SRPT at
  *    iteration granularity) — minimizes mean job completion time.
  *  - PackedOverlap: op-granularity packing over the IterationProgram
- *    steppers. Every admitted tenant keeps a resumable
- *    core::IterationStepper; whenever one tenant blocks on a DMA join
- *    (offload/prefetch sync boundary), the next ready tenant's compute
- *    op is dispatched instead of idling the compute engine — tenant
- *    B's kernels run under tenant A's transfers. Concurrent offloads
- *    share the PCIe link under the weighted fair-share arbiter
- *    (src/interconnect/arbiter.hh; per-job weight via
- *    JobSpec::exec.pcieWeight). Because several tenants' per-iteration
- *    working sets are live at once, admission reserves the *sum* of
- *    transients instead of the shared arena.
+ *    steppers (single-device only). Whenever one tenant blocks on a
+ *    DMA join, the next ready tenant's compute op is dispatched
+ *    instead of idling the compute engine; admission reserves the
+ *    *sum* of transients.
  *  - PreemptivePriority: iteration-granularity packing driven by
- *    JobSpec::priority (highest runs first). A higher-priority arrival
- *    that fails admission preempts the lowest-priority running tenants
- *    through the Session lifecycle state machine — suspend() then
- *    evictToHost(), releasing the victim's entire device share while
- *    its reservation moves to the admission controller's evicted
- *    ledger. Victims resume (re-planning against the then-current
- *    free share) once capacity frees, and a re-plan sweep lets
- *    in-place-replannable tenants (ReplanHint::InPlace) grow their
- *    plans back when co-tenants exit.
+ *    JobSpec::priority (single-device only). A higher-priority
+ *    arrival that fails admission preempts the lowest-priority
+ *    running tenants through the Session lifecycle state machine.
+ *    JobSpec::agingRatePerSec bounds starvation: a queued job's
+ *    effective priority grows with its wait, so a hostile stream of
+ *    high-priority arrivals cannot park a low-priority job forever.
+ *
+ * On a cluster (2+ devices) the scheduler drives one iteration per
+ * device concurrently — each device's resident set advances through
+ * its own resumable stepper while the others' DMAs and kernels run on
+ * the shared timeline — and a periodic rebalance sweep migrates the
+ * smallest-footprint tenant off the most-loaded device whenever the
+ * queue-depth imbalance reaches a threshold (Session::migrate:
+ * suspend -> evict-to-host -> re-plan and resume on the target).
  *
  * In-flight OOM (overcommit or pool fragmentation despite the
  * reservation) aborts only that iteration: the job is torn down,
@@ -54,6 +57,7 @@
 #define VDNN_SERVE_SCHEDULER_HH
 
 #include "dnn/cudnn_sim.hh"
+#include "gpu/cluster.hh"
 #include "gpu/gpu_spec.hh"
 #include "gpu/runtime.hh"
 #include "mem/memory_pool.hh"
@@ -61,12 +65,14 @@
 #include "mem/usage_tracker.hh"
 #include "serve/admission.hh"
 #include "serve/job.hh"
+#include "serve/placement.hh"
 #include "serve/serve_stats.hh"
 #include "stats/time_weighted.hh"
 
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace vdnn::serve
@@ -86,8 +92,26 @@ const char *schedPolicyName(SchedPolicy p);
 struct SchedulerConfig
 {
     SchedPolicy policy = SchedPolicy::RoundRobin;
-    /** The device all tenants share. */
+    /** The device all tenants share (single-device mode). */
     gpu::GpuSpec gpu;
+    /**
+     * Cluster mode: one GpuSpec per device (heterogeneous allowed).
+     * Empty (the default) serves on the single device in `gpu`; a
+     * non-empty list supersedes `gpu`. With 2+ devices the policy
+     * must be FifoExclusive, RoundRobin or ShortestRemaining.
+     */
+    std::vector<gpu::GpuSpec> devices;
+    /** Device chooser for admissions. Null = BestFitPlacement. */
+    std::shared_ptr<PlacementPolicy> placement;
+    /**
+     * Cluster rebalance sweep period: every period, migrate the
+     * smallest-footprint tenant off the most-loaded device when the
+     * running-tenant imbalance reaches rebalanceThreshold.
+     * 0 (default) = placement is static, no migration.
+     */
+    TimeNs rebalancePeriod = 0;
+    /** Queue-depth gap (most vs least loaded) triggering migration. */
+    int rebalanceThreshold = 2;
     bool contention = true;
     /** Cap on concurrently admitted jobs (0 = unlimited). */
     int maxJobsInFlight = 0;
@@ -118,39 +142,91 @@ class Scheduler
     ServeReport run();
 
     // --- introspection (tests) -------------------------------------------
-    gpu::Runtime &runtime() { return rt; }
-    mem::MemoryPool &devicePool() { return pool; }
-    const AdmissionController &admissionState() const { return admission; }
+    int deviceCount() const { return int(devs.size()); }
+    /** Device 0 — the whole device on a single-GPU scheduler. */
+    gpu::Runtime &runtime() { return *devs[0]->dev; }
+    gpu::Device &device(int d) { return *devs.at(std::size_t(d))->dev; }
+    mem::MemoryPool &devicePool() { return *devs[0]->pool; }
+    mem::MemoryPool &devicePoolOn(int d)
+    {
+        return *devs.at(std::size_t(d))->pool;
+    }
+    const AdmissionController &admissionState() const
+    {
+        return devs[0]->admission;
+    }
+    const AdmissionController &admissionStateOn(int d) const
+    {
+        return devs.at(std::size_t(d))->admission;
+    }
     const Job &job(JobId id) const { return *jobs.at(std::size_t(id)); }
-    int jobsInFlight() const { return int(running.size()); }
+    int jobsInFlight() const;
     int jobsEvicted() const { return int(evictedJobs.size()); }
+    int jobsOnDevice(int d) const
+    {
+        return int(devs.at(std::size_t(d))->running.size());
+    }
 
   private:
+    /** Everything the scheduler keeps per device of the cluster. */
+    struct DeviceCtx
+    {
+        int id;
+        gpu::Device *dev;
+        mem::MemoryPool *pool;
+        mem::PinnedHostAllocator *host;
+        dnn::CudnnSim cudnn;        ///< perf model for this device
+        AdmissionController admission;
+        mem::UsageTracker track;    ///< this device's pool usage
+        std::vector<JobId> running; ///< admitted here, submission order
+        std::size_t rrCursor = 0;
+        /** Job whose iteration the cluster loop has in flight. */
+        JobId inFlight = -1;
+        int jobsPlaced = 0;
+        int migrationsIn = 0;
+        int migrationsOut = 0;
+
+        DeviceCtx(int id, gpu::Cluster &cluster,
+                  const SchedulerConfig &cfg);
+    };
+
     void collectArrivals();
-    void admitFromQueue();
-    const FootprintEstimate &estimateFor(const Job &job);
-    bool tryAdmit(Job &job, const FootprintEstimate &est);
+    const FootprintEstimate &estimateFor(const Job &job, DeviceCtx &d);
+    bool tryAdmit(Job &job, const FootprintEstimate &est, DeviceCtx &d);
     void finishJob(Job &job, JobState final_state,
                    const std::string &why = "");
     void evictForRequeue(Job &job);
-    Job *pickNext();
     void recordInflight();
     TimeNs nextArrivalAfter(TimeNs t) const;
     bool allDone() const;
     /** Fold one completed (ok) iteration into the job's record. */
     void chargeIteration(Job &job, const core::IterationResult &r);
+    /** Reservation bytes summed over every device's ledger. */
+    Bytes reservedBytesTotal() const;
+    /** Effective priority: static priority plus queue-wait aging
+     *  (accrued while Queued/Evicted, retained while running). */
+    double effectivePriority(const Job &job, TimeNs now) const;
+    /** Fold the current waiting spell into the job's aging clock. */
+    void stopWaiting(Job &job);
+    /** Drop @p id from its device's resident set, fixing cursors. */
+    void removeFromRunning(JobId id);
+    /** Append a lifecycle transition to the audit log. */
+    void logLifecycle(JobId id, const char *what, Bytes reserved_before,
+                      int device);
+    ServeReport buildReport();
+
+    // --- single-device paths (golden-pinned legacy behavior) -------------
+    void admitFromQueue();
+    Job *pickNext();
     /** Iteration-granularity main loop (all policies but packed). */
     void runInterleaved();
     /** Op-granularity main loop (SchedPolicy::PackedOverlap). */
     void runPacked();
-    ServeReport buildReport();
 
     // --- lifecycle state machine (PreemptivePriority) --------------------
-    /** Drop @p id from the resident set, fixing the RR cursor. */
-    void removeFromRunning(JobId id);
     /** Lowest-priority running tenant strictly below @p priority
      *  (latest arrival breaks ties), or nullptr. */
-    Job *pickVictim(int below_priority);
+    Job *pickVictim(double below_priority);
     /** Suspend + evict one tenant, moving its reservation to the
      *  evicted ledger. False when pinned host memory is exhausted. */
     bool preempt(Job &victim);
@@ -159,26 +235,42 @@ class Scheduler
     bool makeRoomFor(Job &job, const FootprintEstimate &est);
     /** Resume evicted tenants that fit again, best priority first. */
     void resumeEvicted();
-    /** Append a lifecycle transition to the audit log. */
-    void logLifecycle(JobId id, const char *what, Bytes reserved_before);
+    /** Readmit one evicted tenant onto @p d; false if it stays parked. */
+    bool tryResumeOn(Job &job, DeviceCtx &d);
+    /** Inflate a setup-OOM'd job's reservation; true when it went
+     *  terminal (Failed) and was taken from the queue. */
+    bool backoffAfterSetupOom(Job &job, std::size_t queue_index);
+
+    // --- cluster path (2+ devices) ---------------------------------------
+    /** Place queued jobs onto devices via the PlacementPolicy. */
+    void admitFromQueueCluster();
+    /** Snapshot per-device loads and ask the placement policy. */
+    int choosePlacement(Job &job);
+    /** Within-device iteration order (RR / SRPT / FIFO). */
+    Job *pickNextOn(DeviceCtx &d);
+    /** Offer device @p d one non-blocking stepper step. */
+    bool stepDeviceOnce(DeviceCtx &d);
+    /** Periodic migration sweep off the most-loaded device. */
+    void maybeRebalance();
+    bool migrateJob(Job &job, DeviceCtx &src, DeviceCtx &dst);
+    /** Readmit evicted tenants onto their (post-migration) device. */
+    void resumeEvictedCluster();
+    /** One-iteration-per-device concurrent main loop. */
+    void runCluster();
 
     SchedulerConfig cfg;
-    gpu::Runtime rt;
-    mem::MemoryPool pool;
-    mem::PinnedHostAllocator host;
-    mem::UsageTracker poolTrack;
-    dnn::CudnnSim cudnn;
-    AdmissionController admission;
+    gpu::Cluster cluster;
+    std::vector<std::unique_ptr<DeviceCtx>> devs;
 
     std::vector<std::unique_ptr<Job>> jobs;
-    /** Footprint estimates are deterministic per spec; cache them. */
-    std::unordered_map<JobId, FootprintEstimate> estimates;
-    JobQueue queue;            ///< arrived, waiting for admission
-    std::vector<JobId> running; ///< admitted, in submission order
-    std::vector<JobId> evictedJobs; ///< preempted, awaiting resume
-    std::size_t rrCursor = 0;
+    /** Footprint estimates are deterministic per (spec, device). */
+    std::map<std::pair<JobId, int>, FootprintEstimate> estimates;
+    JobQueue queue;                 ///< arrived, waiting for admission
+    std::vector<JobId> evictedJobs; ///< preempted/stalled, awaiting resume
     /** Capacity freed since the last resume sweep. */
     bool resumePending = false;
+    /** Next rebalance sweep time (cluster mode). */
+    TimeNs nextRebalance = kTimeNone;
 
     std::vector<LifecycleEvent> lifecycleLog;
     stats::TimeWeighted inflight;

@@ -3,6 +3,7 @@
 #include "common/units.hh"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace vdnn::serve
 {
@@ -108,6 +109,17 @@ ServeReport::p95JctAtPriority(int priority) const
     return nearestRank(finishedJctsAtPriority(jobs, priority), 0.95);
 }
 
+double
+ServeReport::aggregateThroughput() const
+{
+    if (makespan <= 0)
+        return 0.0;
+    std::int64_t iters = 0;
+    for (const JobOutcome &j : jobs)
+        iters += j.iterations;
+    return double(iters) / toSeconds(makespan);
+}
+
 TimeNs
 ServeReport::meanQueueingDelay() const
 {
@@ -122,26 +134,82 @@ ServeReport::meanQueueingDelay() const
     return n > 0 ? TimeNs(sum / double(n)) : 0;
 }
 
+namespace
+{
+
+/** "0>1>0" placement-history cell. */
+std::string
+placementCell(const JobOutcome &j)
+{
+    if (j.placements.empty())
+        return "-";
+    std::string s;
+    for (std::size_t i = 0; i < j.placements.size(); ++i) {
+        if (i > 0)
+            s += '>';
+        s += std::to_string(j.placements[i]);
+    }
+    return s;
+}
+
+} // namespace
+
 stats::Table
 ServeReport::jobTable() const
 {
+    // The placement column appears only on a cluster, so classic
+    // single-device reports stay byte-identical.
+    bool cluster = deviceCount > 1;
     stats::Table t(schedulerName + " on " + gpuName + ": per-job report");
-    t.setColumns({"job", "config", "prio", "state", "arrive (ms)",
-                  "queue (ms)", "iters", "preempt", "replan",
-                  "JCT (ms)", "persistent (MiB)", "peak pool (MiB)"});
+    std::vector<std::string> cols = {"job", "config", "prio", "state",
+                                     "arrive (ms)", "queue (ms)",
+                                     "iters", "preempt", "replan"};
+    if (cluster)
+        cols.push_back("dev");
+    cols.insert(cols.end(), {"JCT (ms)", "persistent (MiB)",
+                             "peak pool (MiB)"});
+    t.setColumns(cols);
     for (const JobOutcome &j : jobs) {
-        t.addRow({j.name, j.configName, stats::Table::cellInt(j.priority),
-                  jobStateName(j.state),
-                  stats::Table::cell(toMs(j.arrival), 1),
-                  stats::Table::cell(toMs(j.queueingDelay), 1),
-                  stats::Table::cellInt(j.iterations),
-                  stats::Table::cellInt(j.preemptions),
-                  stats::Table::cellInt(j.replans),
-                  j.state == JobState::Finished
-                      ? stats::Table::cell(toMs(j.completionTime), 1)
-                      : std::string("-"),
-                  stats::Table::cell(toMiB(j.persistentBytes), 1),
-                  stats::Table::cell(toMiB(j.peakPoolBytes), 1)});
+        std::vector<std::string> row = {
+            j.name, j.configName, stats::Table::cellInt(j.priority),
+            jobStateName(j.state),
+            stats::Table::cell(toMs(j.arrival), 1),
+            stats::Table::cell(toMs(j.queueingDelay), 1),
+            stats::Table::cellInt(j.iterations),
+            stats::Table::cellInt(j.preemptions),
+            stats::Table::cellInt(j.replans)};
+        if (cluster)
+            row.push_back(placementCell(j));
+        row.insert(row.end(),
+                   {j.state == JobState::Finished
+                        ? stats::Table::cell(toMs(j.completionTime), 1)
+                        : std::string("-"),
+                    stats::Table::cell(toMiB(j.persistentBytes), 1),
+                    stats::Table::cell(toMiB(j.peakPoolBytes), 1)});
+        t.addRow(row);
+    }
+    return t;
+}
+
+stats::Table
+ServeReport::deviceTable() const
+{
+    stats::Table t(schedulerName +
+                   (placementName.empty() ? std::string()
+                                          : " / " + placementName) +
+                   ": per-device report");
+    t.setColumns({"dev", "gpu", "placed", "migr in", "migr out",
+                  "compute busy (ms)", "peak pool (GiB)",
+                  "avg pool (GiB)", "reserved at end (B)"});
+    for (const DeviceOutcome &d : devices) {
+        t.addRow({stats::Table::cellInt(d.device), d.gpuName,
+                  stats::Table::cellInt(d.jobsPlaced),
+                  stats::Table::cellInt(d.migrationsIn),
+                  stats::Table::cellInt(d.migrationsOut),
+                  stats::Table::cell(toMs(d.computeBusyTime), 1),
+                  stats::Table::cell(toGiB(d.poolPeakBytes), 2),
+                  stats::Table::cell(toGiB(d.poolAvgBytes), 2),
+                  stats::Table::cellInt((long long)d.reservedAtEnd)});
     }
     return t;
 }

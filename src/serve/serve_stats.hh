@@ -41,10 +41,35 @@ struct JobOutcome
     int oomRequeues = 0;
     int preemptions = 0;
     int replans = 0;
+    /** Cross-device rebalance migrations. */
+    int migrations = 0;
+    /** Device the job last ran on (-1: never admitted). */
+    int device = -1;
+    /** Placement history: every device the job ran on, in order. */
+    std::vector<int> placements;
     Bytes persistentBytes = 0;
     Bytes peakPoolBytes = 0;
     Bytes offloadedBytes = 0;
     std::string failReason;
+};
+
+/** Per-device section of a cluster report. */
+struct DeviceOutcome
+{
+    int device = -1;
+    std::string gpuName;
+    Bytes poolCapacity = 0;
+    Bytes poolPeakBytes = 0;
+    Bytes poolAvgBytes = 0; ///< time-weighted
+    /** Busy time of this device's compute engine. */
+    TimeNs computeBusyTime = 0;
+    /** Admissions onto this device (including migrations in). */
+    int jobsPlaced = 0;
+    int migrationsIn = 0;
+    int migrationsOut = 0;
+    /** Ledger state after the drain (both must be zero). */
+    Bytes reservedAtEnd = 0;
+    int evictedLedgerAtEnd = 0;
 };
 
 /**
@@ -57,8 +82,12 @@ struct LifecycleEvent
     TimeNs when = 0;
     JobId job = -1;
     /** "admit" / "suspend" / "evict" / "replan" / "resume" /
-     *  "finish" / "requeue" / "fail". */
+     *  "migrate" / "migrate-out" / "migrate-stall" / "finish" /
+     *  "requeue" / "fail". */
     const char *what = "";
+    /** Device the transition happened on (migrate: the target). */
+    int device = -1;
+    /** Reserved bytes summed over every device's ledger. */
     Bytes reservedBefore = 0;
     Bytes reservedAfter = 0;
 };
@@ -67,7 +96,13 @@ struct ServeReport
 {
     std::string schedulerName;
     std::string gpuName;
+    /** Placement policy label ("" on a single-device run). */
+    std::string placementName;
+    /** Devices of the serving cluster (1 = the classic single GPU). */
+    int deviceCount = 1;
     std::vector<JobOutcome> jobs;
+    /** One section per device (aggregates sum these). */
+    std::vector<DeviceOutcome> devices;
 
     /** First arrival to last completion. */
     TimeNs makespan = 0;
@@ -80,17 +115,22 @@ struct ServeReport
     Bytes poolPeakBytes = 0;
     Bytes poolAvgBytes = 0; ///< time-weighted
 
-    /** Cumulative busy time of the shared compute engine. */
+    /** Busy time summed over every device's compute engine. */
     TimeNs computeBusyTime = 0;
-    /** Cumulative busy time of both DMA engines. */
+    /** Busy time summed over every device's DMA engines. */
     TimeNs copyBusyTime = 0;
-    /** Compute-engine busy fraction over the serving makespan. */
+    /** Mean per-device compute busy fraction over the makespan. */
     double computeUtilization() const
     {
-        return makespan > 0
-                   ? double(computeBusyTime) / double(makespan)
+        return makespan > 0 && deviceCount > 0
+                   ? double(computeBusyTime) /
+                         (double(makespan) * deviceCount)
                    : 0.0;
     }
+
+    /** Completed iterations per second over the makespan — the
+     *  aggregate-throughput metric the scaling bench reports. */
+    double aggregateThroughput() const;
 
     /** Shared-pool usage change points (when keepTimeline was set). */
     std::vector<stats::TimeWeighted::Sample> poolTimeline;
@@ -120,10 +160,12 @@ struct ServeReport
     /** p95 (nearest-rank) JCT over finished jobs at @p priority. */
     TimeNs p95JctAtPriority(int priority) const;
 
-    /** Per-job ASCII table. */
+    /** Per-job ASCII table (gains a placement column on a cluster). */
     stats::Table jobTable() const;
     /** One-row aggregate summary. */
     stats::Table summaryTable() const;
+    /** One row per device: placements, migrations, pool, busy time. */
+    stats::Table deviceTable() const;
 };
 
 } // namespace vdnn::serve
