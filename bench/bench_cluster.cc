@@ -25,17 +25,24 @@
  * must beat static best-fit mean JCT.
  *
  * `bench_cluster smoke` replays the trace on 2 devices to completion
- * and exits (the CI Release smoke stage).
+ * and exits (the CI Release smoke stage). `bench_cluster --trace
+ * out.json` replays it with telemetry on and writes a Chrome
+ * trace-event timeline (chrome://tracing / Perfetto): one process
+ * track per device, one thread lane per tenant, migration flow
+ * arrows from the source eviction to the target admission.
  */
 
 #include "bench_common.hh"
 
 #include "common/units.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "serve/arrival.hh"
 #include "serve/placement.hh"
 #include "serve/scheduler.hh"
 
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <string>
@@ -245,6 +252,12 @@ scenarioA()
                     two.reservedBytesAtEnd == 0 &&
                     four.reservedBytesAtEnd == 0);
     cmp.print();
+
+    recordServeMetrics("scaling.1dev", one);
+    recordServeMetrics("scaling.2dev", two);
+    recordServeMetrics("scaling.4dev", four);
+    recordBenchMetric("scaling.2dev.speedup", t2 / t1);
+    recordBenchMetric("scaling.4dev.speedup", t4 / t1);
 }
 
 // --- scenario B: migration on imbalance --------------------------------------
@@ -310,6 +323,11 @@ scenarioB()
                     lb_mig.reservedBytesAtEnd == 0 &&
                     lb_mig.evictedLedgerAtEnd == 0);
     cmp.print();
+
+    recordServeMetrics("skewed.bestfit", best);
+    recordServeMetrics("skewed.bestfit_rebalance", best_mig);
+    recordBenchMetric("skewed.bestfit_rebalance.migrations",
+                      double(totalMigrations(best_mig)));
 }
 
 void
@@ -318,6 +336,39 @@ report()
     scenarioA();
     std::printf("\n");
     scenarioB();
+}
+
+int
+traceMode(const char *path)
+{
+    // The migration-rich Scenario B config with telemetry on: every
+    // kernel, DMA, iteration, arbiter grant and scheduler decision
+    // lands on the timeline; rebalance migrations draw flow arrows.
+    obs::TraceRecorder trace;
+    obs::MetricsRegistry metrics;
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::RoundRobin;
+    cfg.devices.assign(2, cfg.gpu);
+    cfg.placement = std::make_shared<BestFitPlacement>();
+    cfg.rebalancePeriod = 100 * kNsPerMs;
+    cfg.rebalanceThreshold = 2;
+    cfg.telemetry.trace = &trace;
+    cfg.telemetry.metrics = &metrics;
+    Scheduler sched(cfg);
+    for (JobSpec &spec : jobsFromTrace(loadSkewedTrace()))
+        sched.submit(std::move(spec));
+    ServeReport rep = sched.run();
+
+    if (!trace.writeJsonFile(path)) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    std::printf("wrote %zu trace events to %s (%d jobs finished, %d "
+                "migrations)\n",
+                trace.eventCount(), path, rep.finishedCount(),
+                totalMigrations(rep));
+    metrics.writeSnapshot(std::cout, sched.runtime().now());
+    return rep.finishedCount() == int(rep.jobs.size()) ? 0 : 1;
 }
 
 int
@@ -345,6 +396,10 @@ main(int argc, char **argv)
     if (argc > 1 && std::strcmp(argv[1], "smoke") == 0) {
         setQuiet(true);
         return smoke();
+    }
+    if (argc > 2 && std::strcmp(argv[1], "--trace") == 0) {
+        setQuiet(true);
+        return traceMode(argv[2]);
     }
     registerSim("cluster/16_tenants_2dev_loadbalance",
                 [] { runScaling(2); });

@@ -1,8 +1,13 @@
 #include "bench_common.hh"
 
 #include "common/logging.hh"
+#include "common/units.hh"
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <utility>
 #include <vector>
 
 namespace vdnn::bench
@@ -94,9 +99,99 @@ registerSim(const std::string &name, std::function<void()> fn)
     registry().emplace_back(name, std::move(fn));
 }
 
+namespace
+{
+
+std::vector<std::pair<std::string, double>> &
+metricSink()
+{
+    static std::vector<std::pair<std::string, double>> m;
+    return m;
+}
+
+/** Take `--bench-json <path>` out of argv before google-benchmark
+ *  sees it; returns the path ("" when absent). */
+std::string
+stripBenchJsonFlag(int &argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--bench-json" && i + 1 < argc) {
+            std::string path = argv[i + 1];
+            for (int k = i; k + 2 < argc; ++k)
+                argv[k] = argv[k + 2];
+            argc -= 2;
+            return path;
+        }
+    }
+    return "";
+}
+
+void
+writeJsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "0";
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    os << buf;
+}
+
+bool
+writeBenchJson(const std::string &path, const std::string &bench)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    os << "{\n  \"bench\": \"" << bench << "\",\n  \"metrics\": {";
+    bool first = true;
+    for (const auto &[name, value] : metricSink()) {
+        os << (first ? "" : ",") << "\n    \"" << name << "\": ";
+        writeJsonNumber(os, value);
+        first = false;
+    }
+    os << "\n  }\n}\n";
+    return bool(os);
+}
+
+} // namespace
+
+void
+recordBenchMetric(const std::string &name, double value)
+{
+    metricSink().emplace_back(name, value);
+}
+
+void
+recordServeMetrics(const std::string &prefix, const serve::ServeReport &r)
+{
+    Bytes offloaded = 0;
+    for (const serve::JobOutcome &j : r.jobs)
+        offloaded += j.offloadedBytes;
+    recordBenchMetric(prefix + ".finished", double(r.finishedCount()));
+    recordBenchMetric(prefix + ".failed", double(r.failedCount()));
+    recordBenchMetric(prefix + ".makespan_ms", toMs(r.makespan));
+    recordBenchMetric(prefix + ".throughput_iters_per_s",
+                      r.aggregateThroughput());
+    recordBenchMetric(prefix + ".mean_jct_ms", toMs(r.meanJct()));
+    recordBenchMetric(prefix + ".p95_jct_ms", toMs(r.p95Jct()));
+    recordBenchMetric(prefix + ".p99_jct_ms", toMs(r.p99Jct()));
+    recordBenchMetric(prefix + ".mean_queue_ms",
+                      toMs(r.meanQueueingDelay()));
+    recordBenchMetric(prefix + ".p99_queue_ms",
+                      toMs(r.p99QueueingDelay()));
+    recordBenchMetric(prefix + ".compute_util", r.computeUtilization());
+    recordBenchMetric(prefix + ".offloaded_gib", toGiB(offloaded));
+}
+
 int
 benchMain(int argc, char **argv, std::function<void()> report)
 {
+    std::string json_path = stripBenchJsonFlag(argc, argv);
     // Keep stdout clean for the figure tables.
     setQuiet(true);
     benchmark::Initialize(&argc, argv);
@@ -112,6 +207,15 @@ benchMain(int argc, char **argv, std::function<void()> report)
     }
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+
+    if (!json_path.empty()) {
+        std::string bench = argv[0];
+        std::size_t slash = bench.find_last_of('/');
+        if (slash != std::string::npos)
+            bench = bench.substr(slash + 1);
+        if (!writeBenchJson(json_path, bench))
+            return 1;
+    }
     return 0;
 }
 

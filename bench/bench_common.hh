@@ -22,6 +22,7 @@
 #include "core/training_session.hh"
 #include "net/builders.hh"
 #include "net/network_stats.hh"
+#include "serve/serve_stats.hh"
 #include "stats/comparison.hh"
 #include "stats/table.hh"
 
@@ -72,7 +73,26 @@ core::SessionResult runPlanner(const net::Network &net,
  */
 void registerSim(const std::string &name, std::function<void()> fn);
 
-/** Standard bench main body: print tables, then run the registry. */
+/**
+ * Machine-readable metric sink. Benches call recordBenchMetric()
+ * while building their report; when the binary was invoked with
+ * `--bench-json <path>`, benchMain() writes every recorded metric to
+ * @p path as one JSON document (`{"bench": ..., "metrics": {...}}`) —
+ * the BENCH_<name>.json perf-trajectory snapshots CI archives.
+ */
+void recordBenchMetric(const std::string &name, double value);
+
+/** Record the standard serving metrics of @p r under "<prefix>.":
+ *  throughput, mean/p95/p99 JCT, queueing-delay percentiles, compute
+ *  utilization and offloaded PCIe traffic. */
+void recordServeMetrics(const std::string &prefix,
+                        const serve::ServeReport &r);
+
+/**
+ * Standard bench main body: strip `--bench-json <path>`, print
+ * tables, run the google-benchmark registry, then emit the recorded
+ * metrics when the flag was given.
+ */
 int benchMain(int argc, char **argv, std::function<void()> report);
 
 } // namespace vdnn::bench

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Raw simulator speed: wall-clock seconds per million simulated
+ * events, with telemetry off and on.
+ *
+ * Every figure bench measures the *simulated* machine; this one
+ * measures the simulator. The workload is a fixed 8-tenant AlexNet /
+ * OverFeat burst on 2 devices (round-robin packing, rebalance
+ * migration), so the event mix covers kernels, DMAs, arbiter grants
+ * and scheduler decisions. The denominator is the event queue's
+ * executed-event counter, so the metric is insensitive to workload
+ * rescaling only insofar as the event mix stays put — treat it as a
+ * trajectory, not an absolute.
+ *
+ * The telemetry-on column re-runs the same workload with a
+ * TraceRecorder and MetricsRegistry attached; the overhead column is
+ * what the always-compiled hooks cost when somebody actually looks.
+ * With telemetry detached the hooks are null-pointer checks and the
+ * overhead must stay in the noise (< 2%).
+ */
+
+#include "bench_common.hh"
+
+#include "common/units.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "serve/placement.hh"
+#include "serve/scheduler.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+using namespace vdnn;
+using namespace vdnn::bench;
+using namespace vdnn::serve;
+
+namespace
+{
+
+std::vector<JobSpec>
+speedMix()
+{
+    std::vector<JobSpec> specs;
+    for (int i = 0; i < 8; ++i) {
+        JobSpec spec;
+        spec.name = strFormat("speed-%02d", i);
+        spec.network = i % 2 == 0 ? net::buildAlexNet(128)
+                                  : net::buildOverFeat(128);
+        spec.planner = offloadAllPlanner();
+        spec.arrival = TimeNs(i) * 5 * kNsPerMs;
+        spec.iterations = 3;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+struct SpeedPoint
+{
+    double wallSeconds = 0.0;
+    std::int64_t events = 0;
+    double secondsPerMillionEvents() const
+    {
+        return events > 0 ? wallSeconds * 1e6 / double(events) : 0.0;
+    }
+};
+
+SpeedPoint
+runWorkload(bool telemetry)
+{
+    obs::TraceRecorder trace;
+    obs::MetricsRegistry metrics;
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::RoundRobin;
+    cfg.devices.assign(2, cfg.gpu);
+    cfg.placement = std::make_shared<LoadBalancePlacement>();
+    cfg.rebalancePeriod = 100 * kNsPerMs;
+    cfg.rebalanceThreshold = 2;
+    if (telemetry) {
+        cfg.telemetry.trace = &trace;
+        cfg.telemetry.metrics = &metrics;
+    }
+    Scheduler sched(cfg);
+    for (JobSpec &spec : speedMix())
+        sched.submit(std::move(spec));
+
+    auto t0 = std::chrono::steady_clock::now();
+    ServeReport rep = sched.run();
+    auto t1 = std::chrono::steady_clock::now();
+    VDNN_ASSERT(rep.finishedCount() == int(rep.jobs.size()),
+                "simspeed workload must finish (%d/%zu)",
+                rep.finishedCount(), rep.jobs.size());
+
+    SpeedPoint p;
+    p.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    p.events = std::int64_t(sched.runtime().clock().executed());
+    return p;
+}
+
+/** Best-of-N to shave scheduler-noise off the wall clock. */
+SpeedPoint
+bestOf(int n, bool telemetry)
+{
+    SpeedPoint best = runWorkload(telemetry);
+    for (int i = 1; i < n; ++i) {
+        SpeedPoint p = runWorkload(telemetry);
+        if (p.wallSeconds < best.wallSeconds)
+            best = p;
+    }
+    return best;
+}
+
+void
+report()
+{
+    SpeedPoint off = bestOf(3, /*telemetry=*/false);
+    SpeedPoint on = bestOf(3, /*telemetry=*/true);
+    double overhead_pct =
+        off.wallSeconds > 0.0
+            ? (on.wallSeconds / off.wallSeconds - 1.0) * 100.0
+            : 0.0;
+
+    stats::Table table("Simulator speed: 8-tenant burst on 2 devices "
+                       "(best of 3)");
+    table.setColumns({"telemetry", "events", "wall (ms)",
+                      "s / M events", "M events / s"});
+    struct Row
+    {
+        const char *label;
+        const SpeedPoint *p;
+    };
+    const Row rows[] = {{"off", &off}, {"on", &on}};
+    for (const Row &r : rows) {
+        double mevs = r.p->secondsPerMillionEvents();
+        table.addRow({r.label,
+                      stats::Table::cellInt((long long)r.p->events),
+                      stats::Table::cell(r.p->wallSeconds * 1e3, 1),
+                      stats::Table::cell(mevs, 3),
+                      stats::Table::cell(mevs > 0 ? 1.0 / mevs : 0.0,
+                                         2)});
+    }
+    table.print();
+    std::printf("telemetry overhead: %+.1f%%\n", overhead_pct);
+
+    recordBenchMetric("simspeed.events", double(off.events));
+    recordBenchMetric("simspeed.sec_per_mevent",
+                      off.secondsPerMillionEvents());
+    recordBenchMetric("simspeed.sec_per_mevent_telemetry",
+                      on.secondsPerMillionEvents());
+    recordBenchMetric("simspeed.telemetry_overhead_pct", overhead_pct);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerSim("simspeed/8_tenants_2dev", [] {
+        runWorkload(/*telemetry=*/false);
+    });
+    return benchMain(argc, argv, report);
+}

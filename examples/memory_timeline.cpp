@@ -18,6 +18,11 @@
  *            evict / replan / resume / finish transition with the
  *            device it happened on and the admission ledger's
  *            reserved-byte delta
+ *   trace:   run the Fig. 14 single-tenant config (VGG-16 (64) under
+ *            vDNN_all) with telemetry attached and emit the Chrome
+ *            trace-event timeline as JSON on stdout — load it in
+ *            chrome://tracing or Perfetto to see kernels, offload /
+ *            prefetch DMAs and iteration spans on one time axis
  */
 
 #include "common/logging.hh"
@@ -27,10 +32,13 @@
 #include "core/planner.hh"
 #include "core/training_session.hh"
 #include "net/builders.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "serve/scheduler.hh"
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <memory>
 #include <string>
 
@@ -187,6 +195,43 @@ dumpLifecycle()
                                                                    : 1;
 }
 
+int
+dumpTrace()
+{
+    // The Fig. 14 single-tenant run with the telemetry pillar on: one
+    // exclusive session, two iterations (the second is the profiled
+    // steady state), every kernel / DMA / iteration span recorded.
+    obs::TraceRecorder trace;
+    obs::MetricsRegistry metrics;
+    auto network = net::buildVgg16(64);
+    SessionConfig cfg;
+    cfg.planner = std::make_shared<OffloadAllPlanner>(
+        AlgoPreference::MemoryOptimal);
+    Session session(*network, cfg);
+    obs::Telemetry tele;
+    tele.trace = &trace;
+    tele.metrics = &metrics;
+    session.runtime().setTelemetry(tele);
+    if (!session.setup()) {
+        std::fprintf(stderr, "setup failed: %s\n",
+                     session.failReason().c_str());
+        return 1;
+    }
+    for (int i = 0; i < 2; ++i) {
+        if (!session.runIteration().ok) {
+            std::fprintf(stderr, "iteration failed: %s\n",
+                         session.failReason().c_str());
+            return 1;
+        }
+    }
+    session.teardown();
+    trace.writeJson(std::cout);
+    std::fprintf(stderr, "%zu trace events; metrics snapshot:\n",
+                 trace.eventCount());
+    metrics.writeSnapshot(std::cerr, session.runtime().now());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -199,6 +244,8 @@ main(int argc, char **argv)
         return dumpOverlap();
     if (mode == "lifecycle")
         return dumpLifecycle();
+    if (mode == "trace")
+        return dumpTrace();
 
     std::shared_ptr<Planner> planner;
     if (mode == "base") {

@@ -37,6 +37,13 @@ Executor::Executor(const net::Network &net_, const dnn::CudnnSim &cudnn_,
             bwdReleaseAt[std::size_t(last)].push_back(b);
     }
     staticBuffers.assign(net.numBuffers(), false);
+
+    if (obs::MetricsRegistry *m = rt.telemetry().metrics) {
+        ctrIters = &m->counter("exec.iterations");
+        ctrOffloads = &m->counter("exec.offloads");
+        ctrPrefetches = &m->counter("exec.prefetches");
+        ctrOnDemand = &m->counter("exec.on_demand_fetches");
+    }
 }
 
 // --- setup -------------------------------------------------------------------
@@ -164,8 +171,14 @@ Executor::cancelIteration()
 {
     if (!stepper)
         return;
-    if (!stepper->finished())
+    if (!stepper->finished()) {
         stepper->cancel();
+        if (rt.telemetry().tracing()) {
+            rt.telemetry().trace->instant(rt.deviceId(), mm.clientId(),
+                                          "iteration", "iteration-cancel",
+                                          rt.now());
+        }
+    }
     stepper.reset();
 }
 
@@ -934,6 +947,23 @@ Executor::finishIteration()
                 "finishIteration() without a finished iteration");
     IterationResult r = std::move(stepper->res);
     stepper.reset();
+    if (r.ok) {
+        if (ctrIters) {
+            ctrIters->add();
+            ctrOffloads->add(r.offloads);
+            ctrPrefetches->add(r.prefetches);
+            ctrOnDemand->add(r.onDemandFetches);
+        }
+        if (rt.telemetry().tracing()) {
+            rt.telemetry().trace->complete(
+                rt.deviceId(), mm.clientId(), "iteration", "iteration",
+                r.start, r.end,
+                "{\"offloads\":" + std::to_string(r.offloads) +
+                    ",\"prefetches\":" + std::to_string(r.prefetches) +
+                    ",\"on_demand\":" +
+                    std::to_string(r.onDemandFetches) + "}");
+        }
+    }
     return r;
 }
 

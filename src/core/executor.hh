@@ -387,6 +387,12 @@ class Executor
     std::optional<PrefetchState> prefetchState;
 
     std::unique_ptr<IterationStepper> stepper;
+
+    /** Registry slots cached at construction (null = telemetry off). */
+    obs::Counter *ctrIters = nullptr;
+    obs::Counter *ctrOffloads = nullptr;
+    obs::Counter *ctrPrefetches = nullptr;
+    obs::Counter *ctrOnDemand = nullptr;
 };
 
 } // namespace vdnn::core

@@ -141,10 +141,17 @@ lastReaderIsConv(const net::Network &net, net::BufferId b)
            net.node(last).spec.kind == dnn::LayerKind::Conv;
 }
 
-/** Is the buffer's content post-ReLU by the time it is offloaded?
- *  In-place ReLU activations overwrite their input buffer, so a
- *  buffer whose producer or any reader is a ReLU ACTV layer holds
- *  sparse data when its last forward consumer issues the offload. */
+std::string
+staticProvenance(const std::string &name, const net::Network &net,
+                 const MemoryPlan &plan)
+{
+    return strFormat("static %s: %d/%zu buffers offloaded",
+                     name.c_str(), plan.offloadCount(),
+                     net.numBuffers());
+}
+
+} // namespace
+
 bool
 holdsReluOutput(const net::Network &net, net::BufferId b)
 {
@@ -163,17 +170,6 @@ holdsReluOutput(const net::Network &net, net::BufferId b)
     }
     return false;
 }
-
-std::string
-staticProvenance(const std::string &name, const net::Network &net,
-                 const MemoryPlan &plan)
-{
-    return strFormat("static %s: %d/%zu buffers offloaded",
-                     name.c_str(), plan.offloadCount(),
-                     net.numBuffers());
-}
-
-} // namespace
 
 // --- BaselinePlanner ---------------------------------------------------------
 
@@ -293,6 +289,7 @@ CompressedOffloadPlanner::plan(const net::Network &net,
     }
 
     int compressed = 0;
+    int measured = 0;
     for (net::BufferId b = 0; b < net::BufferId(net.numBuffers()); ++b) {
         if (!offloadEligible(net, b))
             continue;
@@ -306,13 +303,26 @@ CompressedOffloadPlanner::plan(const net::Network &net,
                            : double(net.node(producer).topoIndex) /
                                  double(max_topo);
         d.compressed = true;
-        d.dmaScale = dmaScaleAtDepth(depth);
+        // Prefer the measured first-iteration sparsity over the
+        // analytic depth model when a profile covers this buffer.
+        double profiled = ctx.profile && ctx.profile->valid
+                              ? ctx.profile->sparsityFor(int(b))
+                              : -1.0;
+        if (profiled >= 0.0) {
+            d.dmaScale = std::clamp(
+                (1.0 - profiled) * (1.0 + model.metadataOverhead), 0.01,
+                1.0);
+            ++measured;
+        } else {
+            d.dmaScale = dmaScaleAtDepth(depth);
+        }
         ++compressed;
     }
     p.provenance = strFormat(
         "static %s: %d/%zu buffers offloaded, %d compressed "
-        "(%.0f%% of raw PCIe bytes)",
+        "(%d profiled, %.0f%% of raw PCIe bytes)",
         name().c_str(), p.offloadCount(), net.numBuffers(), compressed,
+        measured,
         p.offloadedBytes(net) > 0
             ? 100.0 * double(p.offloadedDmaBytes(net)) /
                   double(p.offloadedBytes(net))

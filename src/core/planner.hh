@@ -47,6 +47,7 @@
 #include "gpu/gpu_spec.hh"
 #include "net/network.hh"
 #include "net/network_stats.hh"
+#include "obs/profiler.hh"
 
 #include <cmath>
 #include <memory>
@@ -236,6 +237,14 @@ struct PlannerContext
      */
     int deviceId = 0;
 
+    /**
+     * Measured first-iteration profile of the tenant being planned
+     * for, when one exists (null before the first iteration). Sparsity-
+     * aware planners prefer its measured per-buffer sparsity over their
+     * analytic depth model.
+     */
+    const obs::ProfiledFootprint *profile = nullptr;
+
     Bytes capacity() const
     {
         return availableBytes > 0 ? availableBytes : gpu.dramCapacity;
@@ -298,6 +307,16 @@ class Planner
  * offload (refcount rule).
  */
 bool offloadEligible(const net::Network &net, net::BufferId buffer);
+
+/**
+ * Is the buffer's content post-ReLU by the time it is offloaded?
+ * In-place ReLU activations overwrite their input buffer, so a buffer
+ * whose producer or any reader is a ReLU ACTV layer holds sparse data
+ * when its last forward consumer issues the offload. Shared with the
+ * first-iteration profiler, which measures sparsity for exactly the
+ * buffers a compressing planner would route through the ZVC engine.
+ */
+bool holdsReluOutput(const net::Network &net, net::BufferId b);
 
 // --- concrete planners -------------------------------------------------------
 

@@ -4,6 +4,8 @@
 #include "common/units.hh"
 #include "dnn/cudnn_sim.hh"
 
+#include <algorithm>
+
 namespace vdnn::core
 {
 
@@ -84,12 +86,67 @@ Session::plannerContext() const
     // running planners (vDNN_dyn) probe what it can actually get. A
     // mid-run re-plan keeps the persistent state allocated, so those
     // bytes count toward the share the fresh plan may assume.
-    if (!sharedMode)
-        return PlannerContext::exclusive(spec, config.contention);
-    Bytes share = mm->pool().freeBytes() +
-                  (ex ? ex->persistentBytes() : 0);
-    return PlannerContext::shared(spec, share, config.contention,
-                                  rt->deviceId());
+    PlannerContext ctx;
+    if (!sharedMode) {
+        ctx = PlannerContext::exclusive(spec, config.contention);
+    } else {
+        Bytes share = mm->pool().freeBytes() +
+                      (ex ? ex->persistentBytes() : 0);
+        ctx = PlannerContext::shared(spec, share, config.contention,
+                                     rt->deviceId());
+    }
+    // Once the first iteration has been profiled, planners see the
+    // measured footprint/sparsity instead of their analytic models.
+    ctx.profile = profiledFp.valid ? &profiledFp : nullptr;
+    return ctx;
+}
+
+void
+Session::traceLifecycle(const char *what)
+{
+    if (rt->telemetry().tracing()) {
+        rt->telemetry().trace->instant(rt->deviceId(), mm->clientId(),
+                                       "session", what, rt->now());
+    }
+}
+
+void
+Session::collectProfile(const IterationResult &r)
+{
+    profiledFp.valid = true;
+    profiledFp.persistent = ex->persistentBytes();
+    profiledFp.transientPeak = std::max<Bytes>(
+        mm->totalTracker().peakBytes() - profiledFp.persistent, 0);
+    profiledFp.iterationTime = r.makespan();
+    profiledFp.pcieBytes = r.pcieBytes;
+    profiledFp.layers.clear();
+    profiledFp.layers.reserve(r.layers.size());
+    for (const LayerTiming &lt : r.layers) {
+        profiledFp.layers.push_back(obs::ProfiledLayer{
+            int(lt.id), lt.fwdLatency(), lt.bwdLatency()});
+    }
+
+    // Measure activation sparsity for every buffer holding post-ReLU
+    // data, at the same depth normalization the compressing planner
+    // uses, so a re-plan can swap its analytic model for these values.
+    int max_topo = 1;
+    for (net::LayerId id : net.topoOrder()) {
+        if (!net.node(id).classifier)
+            max_topo = std::max(max_topo, net.node(id).topoIndex);
+    }
+    profiledFp.bufferSparsity.assign(net.numBuffers(), -1.0);
+    for (net::BufferId b = 0; b < net::BufferId(net.numBuffers()); ++b) {
+        if (!holdsReluOutput(net, b))
+            continue;
+        net::LayerId producer = net.buffer(b).producer;
+        double depth = producer == net::kInputLayer
+                           ? 0.0
+                           : double(net.node(producer).topoIndex) /
+                                 double(max_topo);
+        profiledFp.bufferSparsity[std::size_t(b)] =
+            obs::groundTruthReluSparsity(int(b), depth);
+    }
+    traceLifecycle("profiled");
 }
 
 bool
@@ -174,6 +231,8 @@ Session::completeIteration()
     if (r.ok) {
         ++itersDone;
         lastIter = r;
+        if (itersDone == 1)
+            collectProfile(r);
     } else {
         failed = true;
         failure = r.failReason;
@@ -200,6 +259,7 @@ Session::suspend()
     // join); it simply stops receiving steps until resume().
     lifecycle = SessionState::Suspended;
     ++suspends;
+    traceLifecycle("suspend");
 }
 
 bool
@@ -233,6 +293,7 @@ Session::evictToHost()
     ex->teardown();
     lifecycle = SessionState::Evicted;
     ++evicts;
+    traceLifecycle("evict-to-host");
     return true;
 }
 
@@ -243,6 +304,7 @@ Session::resume()
         // Resident suspension: nothing moved, nothing to re-plan; the
         // parked stepper (if any) continues exactly where it froze.
         lifecycle = SessionState::Active;
+        traceLifecycle("resume");
         return true;
     }
     VDNN_ASSERT(lifecycle == SessionState::Evicted,
@@ -281,6 +343,7 @@ Session::resume()
     failed = false;
     failure.clear();
     lifecycle = SessionState::Active;
+    traceLifecycle("resume-from-evict");
     return true;
 }
 
@@ -322,6 +385,7 @@ Session::migrate(SharedGpu target)
                                              config.keepTimeline);
         planResolved = false;
         ++migrations;
+        traceLifecycle("migrate-in");
     }
     return resume();
 }
@@ -349,6 +413,7 @@ Session::replan()
     }
     ex->adoptPlan(execPlan);
     ++replans;
+    traceLifecycle("replan");
     return true;
 }
 

@@ -51,6 +51,7 @@
 #include "gpu/gpu_spec.hh"
 #include "mem/pinned_host.hh"
 #include "net/network.hh"
+#include "obs/profiler.hh"
 #include "stats/time_weighted.hh"
 
 #include <memory>
@@ -303,6 +304,18 @@ class Session
     const MemoryPlan &plan() const { return execPlan; }
     const std::string &failReason() const { return failure; }
 
+    /**
+     * The measured first-iteration profile: footprint, timings, PCIe
+     * traffic and per-buffer activation sparsity. valid after the
+     * first completed iteration; later re-plans (and, via the serve
+     * layer, admission reservations) consume it through
+     * PlannerContext::profile.
+     */
+    const obs::ProfiledFootprint &profiledFootprint() const
+    {
+        return profiledFp;
+    }
+
     gpu::Runtime &runtime() { return *rt; }
     MemoryManager &memory() { return *mm; }
 
@@ -312,6 +325,8 @@ class Session
   private:
     bool resolvePlan();
     PlannerContext plannerContext() const;
+    void collectProfile(const IterationResult &r);
+    void traceLifecycle(const char *what);
 
     const net::Network &net;
     SessionConfig config;
@@ -334,6 +349,9 @@ class Session
     std::string failure;
     int itersDone = 0;
     IterationResult lastIter;
+
+    /** Measured first-iteration profile (valid after iteration 1). */
+    obs::ProfiledFootprint profiledFp;
 
     /** Pinned host staging of the persistent state while Evicted. */
     mem::HostAllocation evictStage;

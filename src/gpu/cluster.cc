@@ -78,4 +78,11 @@ Cluster::finishPowerWindows()
         n.dev->finishPowerWindow();
 }
 
+void
+Cluster::setTelemetry(obs::Telemetry t)
+{
+    for (Node &n : nodes)
+        n.dev->setTelemetry(t);
+}
+
 } // namespace vdnn::gpu

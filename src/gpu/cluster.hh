@@ -90,6 +90,9 @@ class Cluster
     /** Close every device's power observation window. */
     void finishPowerWindows();
 
+    /** Attach telemetry sinks to every member device. */
+    void setTelemetry(obs::Telemetry t);
+
   private:
     struct Node
     {

@@ -61,6 +61,28 @@ Device::streamClient(StreamId stream) const
     return streams[size_t(stream)].client;
 }
 
+void
+Device::setTelemetry(obs::Telemetry t)
+{
+    tele = t;
+    ctrKernels = nullptr;
+    ctrDmaD2H = nullptr;
+    ctrDmaH2D = nullptr;
+    ctrArbGrants = nullptr;
+    if (tele.metrics) {
+        std::string p = "gpu" + std::to_string(devId) + ".";
+        ctrKernels = &tele.metrics->counter(p + "kernels");
+        ctrDmaD2H = &tele.metrics->counter(p + "dma_d2h_bytes");
+        ctrDmaH2D = &tele.metrics->counter(p + "dma_h2d_bytes");
+        ctrArbGrants = &tele.metrics->counter(p + "arbiter_grants");
+        tele.metrics->gauge(p + "compute_busy_ns",
+                            [this] { return double(computeBusy); });
+    }
+    if (tele.trace)
+        tele.trace->setProcessName(devId, "GPU " + std::to_string(devId) +
+                                              " (" + gpuSpec.name + ")");
+}
+
 CudaEventId
 Device::createEvent()
 {
@@ -301,6 +323,12 @@ Device::computeFinish()
                                     compute.desc.dramBytes,
                                     streams[size_t(sid)].client});
     }
+    if (ctrKernels)
+        ctrKernels->add();
+    if (tele.tracing()) {
+        tele.trace->complete(devId, streams[size_t(sid)].client, "kernel",
+                             compute.desc.name, compute.start, now);
+    }
     compute.busy = false;
     compute.stream = -1;
     commandDone(sid);
@@ -343,6 +371,15 @@ Device::copyTryStart(CopyDir dir)
         for (StreamId s : e.waitQueue)
             owners.push_back(streams[size_t(s)].client);
         pick = arbiterFor(dir).pick(owners);
+        if (ctrArbGrants)
+            ctrArbGrants->add();
+        if (tele.tracing()) {
+            tele.trace->instant(
+                devId, owners[pick], "arbiter",
+                dir == CopyDir::DeviceToHost ? "grant-d2h" : "grant-h2d",
+                eq.now(),
+                "{\"queued\":" + std::to_string(owners.size()) + "}");
+        }
     }
     StreamId sid = e.waitQueue[pick];
     e.waitQueue.erase(e.waitQueue.begin() +
@@ -384,6 +421,21 @@ Device::copyFinish(CopyDir dir)
     if (keepLog) {
         cLog.push_back(CopyRecord{e.cmd.tag, e.start, now, e.cmd.bytes,
                                   dir, client});
+    }
+    if (dir == CopyDir::DeviceToHost ? ctrDmaD2H != nullptr
+                                     : ctrDmaH2D != nullptr) {
+        (dir == CopyDir::DeviceToHost ? ctrDmaD2H : ctrDmaH2D)
+            ->add(double(e.cmd.bytes));
+    }
+    if (tele.tracing()) {
+        tele.trace->complete(
+            devId, client, "dma",
+            e.cmd.tag.empty()
+                ? (dir == CopyDir::DeviceToHost ? "d2h" : "h2d")
+                : e.cmd.tag,
+            e.start, now,
+            "{\"bytes\":" + std::to_string(e.cmd.bytes) + ",\"dir\":\"" +
+                (dir == CopyDir::DeviceToHost ? "d2h" : "h2d") + "\"}");
     }
     e.busy = false;
     e.stream = -1;

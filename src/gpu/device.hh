@@ -36,6 +36,7 @@
 #include "gpu/power_model.hh"
 #include "interconnect/arbiter.hh"
 #include "interconnect/pcie_link.hh"
+#include "obs/telemetry.hh"
 #include "sim/event_queue.hh"
 
 #include <cstdint>
@@ -211,6 +212,17 @@ class Device
     /** Enable/disable retention of per-kernel and per-copy records. */
     void setKernelLog(bool enabled) { keepLog = enabled; }
 
+    /**
+     * Attach telemetry sinks (null members = off). Kernel and DMA
+     * completions become trace spans (pid = device id, tid = tenant),
+     * arbiter grants become instant events, and per-device counters
+     * are registered with the metrics registry.
+     */
+    void setTelemetry(obs::Telemetry t);
+
+    /** The attached sinks (members null when telemetry is off). */
+    const obs::Telemetry &telemetry() const { return tele; }
+
     const std::vector<KernelRecord> &kernelLog() const { return kLog; }
     const std::vector<CopyRecord> &copyLog() const { return cLog; }
 
@@ -325,6 +337,13 @@ class Device
     bool keepLog = false;
     std::vector<KernelRecord> kLog;
     std::vector<CopyRecord> cLog;
+
+    obs::Telemetry tele;
+    /** Cached registry slots so the hot path is one null check. */
+    obs::Counter *ctrKernels = nullptr;
+    obs::Counter *ctrDmaD2H = nullptr;
+    obs::Counter *ctrDmaH2D = nullptr;
+    obs::Counter *ctrArbGrants = nullptr;
 };
 
 } // namespace vdnn::gpu

@@ -1,0 +1,138 @@
+#include "obs/metrics.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace vdnn::obs
+{
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    auto &slot = counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+void
+MetricsRegistry::gauge(const std::string &name, std::function<double()> sample)
+{
+    gauges[name] = std::move(sample);
+}
+
+stats::Histogram &
+MetricsRegistry::histogram(const std::string &name, double lo, double hi,
+                           std::size_t buckets)
+{
+    auto &slot = histograms[name];
+    if (!slot)
+        slot = std::make_unique<stats::Histogram>(lo, hi, buckets);
+    return *slot;
+}
+
+stats::Accumulator &
+MetricsRegistry::accumulator(const std::string &name)
+{
+    auto &slot = accums[name];
+    if (!slot)
+        slot = std::make_unique<stats::Accumulator>();
+    return *slot;
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    return counters.size() + gauges.size() + histograms.size() +
+           accums.size();
+}
+
+namespace
+{
+
+/** JSON number; maps non-finite values to 0 (JSON has no NaN/Inf). */
+void
+writeNum(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << 0;
+        return;
+    }
+    char out[40];
+    std::snprintf(out, sizeof(out), "%.9g", v);
+    os << out;
+}
+
+} // namespace
+
+void
+MetricsRegistry::writeSnapshot(std::ostream &os, TimeNs now) const
+{
+    os << "{\"sim_time_ns\":" << now;
+    os << ",\"counters\":{";
+    bool first = true;
+    for (const auto &[name, c] : counters) {
+        os << (first ? "" : ",") << "\"" << name << "\":";
+        writeNum(os, c->value());
+        first = false;
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, fn] : gauges) {
+        os << (first ? "" : ",") << "\"" << name << "\":";
+        writeNum(os, fn ? fn() : 0.0);
+        first = false;
+    }
+    os << "},\"accumulators\":{";
+    first = true;
+    for (const auto &[name, a] : accums) {
+        os << (first ? "" : ",") << "\"" << name << "\":{\"count\":"
+           << a->count() << ",\"mean\":";
+        writeNum(os, a->mean());
+        os << ",\"min\":";
+        writeNum(os, a->min());
+        os << ",\"max\":";
+        writeNum(os, a->max());
+        os << ",\"stddev\":";
+        writeNum(os, a->stddev());
+        os << "}";
+        first = false;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        os << (first ? "" : ",") << "\"" << name << "\":{\"count\":"
+           << h->count() << ",\"p50\":";
+        writeNum(os, h->quantile(0.50));
+        os << ",\"p95\":";
+        writeNum(os, h->quantile(0.95));
+        os << ",\"p99\":";
+        writeNum(os, h->quantile(0.99));
+        os << "}";
+        first = false;
+    }
+    os << "}}\n";
+}
+
+std::string
+MetricsRegistry::snapshotJson(TimeNs now) const
+{
+    std::ostringstream os;
+    writeSnapshot(os, now);
+    return os.str();
+}
+
+bool
+MetricsRegistry::writeJsonFile(const std::string &path, TimeNs now) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeSnapshot(os, now);
+    return bool(os);
+}
+
+} // namespace vdnn::obs

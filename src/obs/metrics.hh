@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Named metrics registry: counters, gauges, and histograms.
+ *
+ * Producers register a metric once (find-or-create by name) and keep
+ * the returned reference; the hot path is then a plain member update
+ * with no lookup. The registry can snapshot every metric to JSON at
+ * any simulated time, and the snapshot is deterministic (metrics are
+ * kept name-sorted).
+ */
+
+#ifndef VDNN_OBS_METRICS_HH
+#define VDNN_OBS_METRICS_HH
+
+#include "common/types.hh"
+#include "stats/accumulator.hh"
+#include "stats/histogram.hh"
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace vdnn::obs
+{
+
+/** Monotonic counter. */
+class Counter
+{
+  public:
+    void add(double d = 1.0) { v += d; }
+    double value() const { return v; }
+
+  private:
+    double v = 0.0;
+};
+
+class MetricsRegistry
+{
+  public:
+    /** Find-or-create; the reference is stable for the registry's life. */
+    Counter &counter(const std::string &name);
+
+    /** Register a gauge sampled lazily at snapshot time. */
+    void gauge(const std::string &name, std::function<double()> sample);
+
+    /** Find-or-create; bounds are fixed by the first registration. */
+    stats::Histogram &histogram(const std::string &name, double lo,
+                                double hi, std::size_t buckets);
+
+    /** Find-or-create a Welford accumulator (mean/min/max/stddev). */
+    stats::Accumulator &accumulator(const std::string &name);
+
+    std::size_t size() const;
+
+    /** Serialise every metric as one JSON object, stamped with @p now. */
+    void writeSnapshot(std::ostream &os, TimeNs now) const;
+    std::string snapshotJson(TimeNs now) const;
+    bool writeJsonFile(const std::string &path, TimeNs now) const;
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::function<double()>> gauges;
+    std::map<std::string, std::unique_ptr<stats::Histogram>> histograms;
+    std::map<std::string, std::unique_ptr<stats::Accumulator>> accums;
+};
+
+} // namespace vdnn::obs
+
+#endif // VDNN_OBS_METRICS_HH

@@ -1,0 +1,20 @@
+#include "obs/profiler.hh"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace vdnn::obs
+{
+
+double
+groundTruthReluSparsity(int bufferId, double depthFrac)
+{
+    depthFrac = std::clamp(depthFrac, 0.0, 1.0);
+    // Knuth multiplicative hash -> [0,1) jitter, deterministic per buffer.
+    std::uint32_t h = std::uint32_t(bufferId) * 2654435761u;
+    double jitter = double(h % 1000u) / 1000.0;
+    double s = 0.5 + 0.35 * depthFrac + 0.06 * (jitter - 0.5);
+    return std::clamp(s, 0.0, 0.97);
+}
+
+} // namespace vdnn::obs

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Telemetry hookup: the pair of optional sinks a component records to.
+ *
+ * Components hold a Telemetry by value; null members mean "off". The
+ * struct is intentionally two raw pointers so passing it around and
+ * checking it costs nothing on the hot path.
+ */
+
+#ifndef VDNN_OBS_TELEMETRY_HH
+#define VDNN_OBS_TELEMETRY_HH
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace vdnn::obs
+{
+
+struct Telemetry
+{
+    TraceRecorder *trace = nullptr;
+    MetricsRegistry *metrics = nullptr;
+
+    bool tracing() const { return trace && trace->enabled(); }
+};
+
+} // namespace vdnn::obs
+
+#endif // VDNN_OBS_TELEMETRY_HH

@@ -1,0 +1,176 @@
+#include "obs/trace.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace vdnn::obs
+{
+
+void
+TraceRecorder::complete(int pid, int tid, const char *cat, std::string name,
+                        TimeNs start, TimeNs end, std::string args)
+{
+    if (!on)
+        return;
+    buf.push_back(TraceEvent{'X', cat, std::move(name), start, end - start,
+                             pid, tid, 0, std::move(args)});
+}
+
+void
+TraceRecorder::instant(int pid, int tid, const char *cat, std::string name,
+                       TimeNs ts, std::string args)
+{
+    if (!on)
+        return;
+    buf.push_back(TraceEvent{'i', cat, std::move(name), ts, 0, pid, tid, 0,
+                             std::move(args)});
+}
+
+std::uint64_t
+TraceRecorder::flowStart(int pid, int tid, const char *cat, std::string name,
+                         TimeNs ts)
+{
+    if (!on)
+        return 0;
+    std::uint64_t id = nextFlowId++;
+    buf.push_back(
+        TraceEvent{'s', cat, std::move(name), ts, 0, pid, tid, id, ""});
+    return id;
+}
+
+void
+TraceRecorder::flowEnd(std::uint64_t id, int pid, int tid, const char *cat,
+                       std::string name, TimeNs ts)
+{
+    if (!on || id == 0)
+        return;
+    buf.push_back(
+        TraceEvent{'f', cat, std::move(name), ts, 0, pid, tid, id, ""});
+}
+
+void
+TraceRecorder::setProcessName(int pid, std::string name)
+{
+    if (!on)
+        return;
+    processNames[pid] = std::move(name);
+}
+
+void
+TraceRecorder::setThreadName(int pid, int tid, std::string name)
+{
+    if (!on)
+        return;
+    threadNames[{pid, tid}] = std::move(name);
+}
+
+void
+TraceRecorder::clear()
+{
+    buf.clear();
+    processNames.clear();
+    threadNames.clear();
+    nextFlowId = 1;
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+void
+escapeTo(std::ostream &os, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                os << hex;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+/** Trace timestamps are microseconds; the sim clock is nanoseconds. */
+void
+writeUs(std::ostream &os, TimeNs ns)
+{
+    char out[32];
+    std::snprintf(out, sizeof(out), "%lld.%03lld",
+                  static_cast<long long>(ns / 1000),
+                  static_cast<long long>(ns % 1000));
+    os << out;
+}
+
+} // namespace
+
+void
+TraceRecorder::writeJson(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+    for (const auto &[pid, name] : processNames) {
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":0"
+           << ",\"name\":\"process_name\",\"args\":{\"name\":\"";
+        escapeTo(os, name);
+        os << "\"}}";
+    }
+    for (const auto &[key, name] : threadNames) {
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":" << key.first
+           << ",\"tid\":" << key.second
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+        escapeTo(os, name);
+        os << "\"}}";
+    }
+    for (const auto &e : buf) {
+        sep();
+        os << "{\"ph\":\"" << e.phase << "\",\"cat\":\"" << e.cat
+           << "\",\"name\":\"";
+        escapeTo(os, e.name);
+        os << "\",\"ts\":";
+        writeUs(os, e.ts);
+        if (e.phase == 'X') {
+            os << ",\"dur\":";
+            writeUs(os, e.dur);
+        }
+        os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+        if (e.phase == 's' || e.phase == 'f') {
+            os << ",\"id\":" << e.flowId;
+            if (e.phase == 'f')
+                os << ",\"bp\":\"e\"";
+        }
+        if (e.phase == 'i')
+            os << ",\"s\":\"t\"";
+        if (!e.args.empty())
+            os << ",\"args\":" << e.args;
+        os << "}";
+    }
+    os << "]}\n";
+}
+
+bool
+TraceRecorder::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeJson(os);
+    return bool(os);
+}
+
+} // namespace vdnn::obs

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Chrome trace-event recorder.
+ *
+ * A low-overhead structured event sink. Producers (Device engines, the
+ * PCIe arbiter, the executor, the scheduler) call complete()/instant()/
+ * flowStart()/flowEnd() at their existing choke points; the recorder
+ * buffers the events in memory and serialises them on demand as Chrome
+ * trace-event JSON, loadable in chrome://tracing or Perfetto.
+ *
+ * Convention: pid = device id (one process track per device), tid =
+ * tenant/client id (one thread lane per tenant). Simulated nanoseconds
+ * map onto the trace's microsecond timestamps as ns / 1000.0.
+ *
+ * Recording methods early-return when the recorder is disabled, so an
+ * always-compiled call site costs a single predictable branch.
+ */
+
+#ifndef VDNN_OBS_TRACE_HH
+#define VDNN_OBS_TRACE_HH
+
+#include "common/types.hh"
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vdnn::obs
+{
+
+/** One buffered trace event (phase follows the Chrome trace format). */
+struct TraceEvent
+{
+    /** 'X' complete, 'i' instant, 's' flow start, 'f' flow finish. */
+    char phase = 'i';
+    /** Category string; must outlive the recorder (use literals). */
+    const char *cat = "";
+    std::string name;
+    TimeNs ts = 0;
+    TimeNs dur = 0; ///< only meaningful for 'X'
+    int pid = 0;
+    int tid = 0;
+    std::uint64_t flowId = 0; ///< only meaningful for 's'/'f'
+    /** Pre-rendered JSON object body for "args" ("" = omitted). */
+    std::string args;
+};
+
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(bool enabled = true) : on(enabled) {}
+
+    bool enabled() const { return on; }
+    void setEnabled(bool e) { on = e; }
+
+    /** A span [start, end) on device @p pid, tenant lane @p tid. */
+    void complete(int pid, int tid, const char *cat, std::string name,
+                  TimeNs start, TimeNs end, std::string args = "");
+
+    /** A zero-duration marker. */
+    void instant(int pid, int tid, const char *cat, std::string name,
+                 TimeNs ts, std::string args = "");
+
+    /**
+     * Open a flow arrow (e.g. preemption: victim -> beneficiary).
+     * @return the flow id to pass to flowEnd(); 0 when disabled.
+     */
+    std::uint64_t flowStart(int pid, int tid, const char *cat,
+                            std::string name, TimeNs ts);
+
+    /** Close a flow arrow opened by flowStart(). No-op for id 0. */
+    void flowEnd(std::uint64_t id, int pid, int tid, const char *cat,
+                 std::string name, TimeNs ts);
+
+    /** Label a device track ("M" process_name metadata on export). */
+    void setProcessName(int pid, std::string name);
+
+    /** Label a tenant lane ("M" thread_name metadata on export). */
+    void setThreadName(int pid, int tid, std::string name);
+
+    std::size_t eventCount() const { return buf.size(); }
+    const std::vector<TraceEvent> &events() const { return buf; }
+    void clear();
+
+    /** Serialise as {"traceEvents": [...]} (metadata events first). */
+    void writeJson(std::ostream &os) const;
+    /** writeJson() to @p path; @return false on I/O failure. */
+    bool writeJsonFile(const std::string &path) const;
+
+  private:
+    bool on;
+    std::uint64_t nextFlowId = 1;
+    std::vector<TraceEvent> buf;
+    std::map<int, std::string> processNames;
+    std::map<std::pair<int, int>, std::string> threadNames;
+};
+
+} // namespace vdnn::obs
+
+#endif // VDNN_OBS_TRACE_HH

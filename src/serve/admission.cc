@@ -259,6 +259,28 @@ AdmissionController::readmit(JobId id)
 }
 
 Bytes
+AdmissionController::updateReservation(JobId id,
+                                       const FootprintEstimate &measured,
+                                       double scale)
+{
+    auto it = reservations.find(id);
+    VDNN_ASSERT(it != reservations.end(),
+                "profile update for non-resident job %d", id);
+    double s = safety * scale;
+    Reservation m;
+    m.persistent = Bytes(std::ceil(double(measured.persistent) * s));
+    m.transient = Bytes(std::ceil(double(measured.transient) * s));
+
+    Reservation &r = it->second;
+    Bytes before = r.persistent + r.transient;
+    Bytes new_persistent = std::min(r.persistent, m.persistent);
+    persistentSum += new_persistent - r.persistent;
+    r.persistent = new_persistent;
+    r.transient = std::min(r.transient, m.transient);
+    return before - (r.persistent + r.transient);
+}
+
+Bytes
 AdmissionController::reservedBytes() const
 {
     return persistentSum + transientArena();

@@ -132,6 +132,18 @@ class AdmissionController
     /** Restore an evicted job's reservation (resume). */
     void readmit(JobId id);
 
+    /**
+     * Replace a resident job's reservation with one derived from a
+     * *measured* footprint (first-iteration profiling). Shrink-only:
+     * each component takes the min of the existing reservation and the
+     * safety-scaled measurement, so a tenant whose profile came in
+     * above the analytic estimate is never squeezed past what it was
+     * admitted with (the pool already holds its current allocation).
+     * @return bytes returned to the pool (>= 0).
+     */
+    Bytes updateReservation(JobId id, const FootprintEstimate &measured,
+                            double scale = 1.0);
+
     /** Safety-scaled reservation of a single job standing alone. */
     Bytes reservationFor(const FootprintEstimate &est,
                          double scale = 1.0) const;

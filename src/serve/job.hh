@@ -135,6 +135,18 @@ struct JobRecord
     TimeNs serviceTime = 0;
 };
 
+/**
+ * Measured device footprint adopted after first-iteration profiling
+ * (mirrors admission's FootprintEstimate split, which lives above this
+ * header; the scheduler converts between the two).
+ */
+struct MeasuredFootprint
+{
+    bool valid = false;
+    Bytes persistent = 0;
+    Bytes transient = 0;
+};
+
 /** A job owned by the scheduler. */
 struct Job
 {
@@ -148,6 +160,9 @@ struct Job
     double reserveScale = 1.0;
     /** A co-tenant exited: re-plan at the next iteration boundary. */
     bool replanRequested = false;
+    /** Measured footprint from the tenant's first iteration; once
+     *  valid, admission math uses it instead of the analytic model. */
+    MeasuredFootprint measured;
 
     TimeNs queueingDelay() const
     {

@@ -66,6 +66,15 @@ Scheduler::Scheduler(SchedulerConfig config)
                 "maxJobsInFlight must be >= 0");
     for (int d = 0; d < cluster.deviceCount(); ++d)
         devs.push_back(std::make_unique<DeviceCtx>(d, cluster, cfg));
+    cluster.setTelemetry(cfg.telemetry);
+    if (obs::MetricsRegistry *m = cfg.telemetry.metrics) {
+        ctrAdmissions = &m->counter("sched.admissions");
+        ctrPreemptions = &m->counter("sched.preemptions");
+        ctrMigrations = &m->counter("sched.migrations");
+        ctrProfiles = &m->counter("sched.profiled_updates");
+        jctAcc = &m->accumulator("sched.jct_ms");
+        iterHist = &m->histogram("sched.iteration_ms", 0.0, 2000.0, 100);
+    }
     if (!cfg.placement)
         cfg.placement = std::make_shared<BestFitPlacement>();
     // Op-granularity overlap and preemption pack tenants *within* one
@@ -164,6 +173,15 @@ sameEstimateSpec(const gpu::GpuSpec &a, const gpu::GpuSpec &b)
 const FootprintEstimate &
 Scheduler::estimateFor(const Job &job, DeviceCtx &d)
 {
+    if (job.measured.valid) {
+        // Measured footprints are bytes, not times — device-
+        // independent, so one slot overrides every per-device
+        // analytic entry.
+        FootprintEstimate &m = estimates[std::make_pair(job.id, -1)];
+        m.persistent = job.measured.persistent;
+        m.transient = job.measured.transient;
+        return m;
+    }
     // Identical devices yield identical estimates: share the cache
     // entry of the first same-spec device so a homogeneous cluster
     // derives each job's admission plan once, not once per device.
@@ -266,6 +284,19 @@ Scheduler::tryAdmit(Job &job, const FootprintEstimate &est, DeviceCtx &d)
     d.running.push_back(job.id);
     recordInflight();
     logLifecycle(job.id, "admit", before, d.id);
+    if (ctrAdmissions)
+        ctrAdmissions->add();
+    if (cfg.telemetry.tracing()) {
+        cfg.telemetry.trace->setThreadName(d.id, job.id, job.spec.name);
+        if (pendingPreemptFlow) {
+            // Close the preemption arrow at its beneficiary: this
+            // admission is what the eviction paid for.
+            cfg.telemetry.trace->flowEnd(pendingPreemptFlow, d.id,
+                                         job.id, "sched", "preempt",
+                                         cluster.now());
+            pendingPreemptFlow = 0;
+        }
+    }
     return true;
 }
 
@@ -406,6 +437,8 @@ Scheduler::finishJob(Job &job, JobState final_state,
                  : final_state == JobState::Queued ? "requeue"
                                                    : "fail",
                  before, d.id);
+    if (final_state == JobState::Finished && jctAcc)
+        jctAcc->add(double(job.completionTime()) / 1e6);
 
     // Freed capacity: evicted tenants may fit again, and survivors
     // whose planner supports it may grow their plans back.
@@ -520,6 +553,12 @@ Scheduler::preempt(Job &victim)
     victim.record.waitingSince = cluster.now(); // aging resumes
     ++victim.record.preemptions;
     logLifecycle(victim.id, "evict", before, d0.id);
+    if (ctrPreemptions)
+        ctrPreemptions->add();
+    if (cfg.telemetry.tracing()) {
+        pendingPreemptFlow = cfg.telemetry.trace->flowStart(
+            d0.id, victim.id, "sched", "preempt", cluster.now());
+    }
     // Schedule a resume sweep: if the beneficiary then fails
     // admission (setup OOM, host exhaustion partway through
     // makeRoomFor), the freed capacity must not strand the victim
@@ -615,6 +654,14 @@ Scheduler::logLifecycle(JobId id, const char *what,
     ev.reservedBefore = reserved_before;
     ev.reservedAfter = reservedBytesTotal();
     lifecycleLog.push_back(ev);
+    if (cfg.telemetry.tracing()) {
+        cfg.telemetry.trace->instant(
+            device, id, "sched", what, ev.when,
+            strFormat(
+                "{\"reserved_before\":%lld,\"reserved_after\":%lld}",
+                (long long)ev.reservedBefore,
+                (long long)ev.reservedAfter));
+    }
 }
 
 void
@@ -660,6 +707,39 @@ Scheduler::chargeIteration(Job &job, const core::IterationResult &r)
     // clock to the next sparse arrival while a job sits admitted with
     // no iteration in flight — must not be billed to any tenant.
     job.record.serviceTime += r.makespan();
+    if (iterHist)
+        iterHist->add(double(r.makespan()) / 1e6);
+    if (job.record.itersDone == 1)
+        adoptProfile(job);
+}
+
+void
+Scheduler::adoptProfile(Job &job)
+{
+    // First-iteration profile: replace the analytic reservation with
+    // the measured footprint (shrink-only; see
+    // AdmissionController::updateReservation). From here on every
+    // admission decision for this job — readmit after eviction,
+    // migration-target fit — runs on measured bytes.
+    const obs::ProfiledFootprint &fp = job.session->profiledFootprint();
+    if (!fp.valid)
+        return;
+    job.measured.valid = true;
+    job.measured.persistent = fp.persistent;
+    job.measured.transient = fp.transientPeak;
+    DeviceCtx &d = *devs[std::size_t(job.record.deviceId)];
+    Bytes before = reservedBytesTotal();
+    FootprintEstimate meas;
+    meas.persistent = fp.persistent;
+    meas.transient = fp.transientPeak;
+    Bytes freed =
+        d.admission.updateReservation(job.id, meas, job.reserveScale);
+    if (ctrProfiles)
+        ctrProfiles->add();
+    logLifecycle(job.id, "profile", before, d.id);
+    // Returned bytes may readmit a parked tenant right away.
+    if (freed > 0)
+        resumePending = true;
 }
 
 void
@@ -1015,6 +1095,11 @@ Scheduler::migrateJob(Job &job, DeviceCtx &src, DeviceCtx &dst)
     ++src.migrationsOut;
     job.record.state = JobState::Evicted;
     logLifecycle(job.id, "migrate-out", before, src.id);
+    std::uint64_t flow = 0;
+    if (cfg.telemetry.tracing()) {
+        flow = cfg.telemetry.trace->flowStart(
+            src.id, job.id, "sched", "migrate", cluster.now());
+    }
 
     const FootprintEstimate &est = estimateFor(job, dst);
     dst.admission.admit(job.id, est, job.reserveScale);
@@ -1052,12 +1137,27 @@ Scheduler::migrateJob(Job &job, DeviceCtx &src, DeviceCtx &dst)
         resumePending = true;
         logLifecycle(job.id, "migrate-stall", before,
                      job.record.deviceId);
+        if (flow) {
+            cfg.telemetry.trace->flowEnd(flow, job.record.deviceId,
+                                         job.id, "sched", "migrate",
+                                         cluster.now());
+        }
         return false;
     }
     job.record.state = JobState::Running;
     dst.running.push_back(job.id);
     recordInflight();
     logLifecycle(job.id, "migrate", before, dst.id);
+    if (ctrMigrations)
+        ctrMigrations->add();
+    if (cfg.telemetry.tracing()) {
+        cfg.telemetry.trace->setThreadName(dst.id, job.id,
+                                           job.spec.name);
+        if (flow) {
+            cfg.telemetry.trace->flowEnd(flow, dst.id, job.id, "sched",
+                                         "migrate", cluster.now());
+        }
+    }
     return true;
 }
 

@@ -124,6 +124,14 @@ struct SchedulerConfig
     /** Retain pool-usage and jobs-in-flight timelines in the report. */
     bool keepTimeline = false;
 
+    /**
+     * Telemetry sinks (obs/). Wired through every device of the
+     * cluster; scheduler decisions (admission, preemption, migration,
+     * rebalance) become instant/flow events and serve-level counters.
+     * Null members (the default) cost one branch per choke point.
+     */
+    obs::Telemetry telemetry;
+
     SchedulerConfig();
 };
 
@@ -201,6 +209,9 @@ class Scheduler
     bool allDone() const;
     /** Fold one completed (ok) iteration into the job's record. */
     void chargeIteration(Job &job, const core::IterationResult &r);
+    /** Adopt the session's first-iteration profile: shrink the
+     *  admission reservation to the measured footprint. */
+    void adoptProfile(Job &job);
     /** Reservation bytes summed over every device's ledger. */
     Bytes reservedBytesTotal() const;
     /** Effective priority: static priority plus queue-wait aging
@@ -276,6 +287,16 @@ class Scheduler
     stats::TimeWeighted inflight;
     int peakInflight = 0;
     bool ran = false;
+
+    // --- telemetry (null = off) -------------------------------------------
+    obs::Counter *ctrAdmissions = nullptr;
+    obs::Counter *ctrPreemptions = nullptr;
+    obs::Counter *ctrMigrations = nullptr;
+    obs::Counter *ctrProfiles = nullptr;
+    stats::Accumulator *jctAcc = nullptr;
+    stats::Histogram *iterHist = nullptr;
+    /** Open preemption flow: evict (victim) -> admit (beneficiary). */
+    std::uint64_t pendingPreemptFlow = 0;
 };
 
 } // namespace vdnn::serve

@@ -44,6 +44,18 @@ finishedJctsAtPriority(const std::vector<JobOutcome> &jobs, int priority)
     return jcts;
 }
 
+std::vector<TimeNs>
+admittedQueueingDelays(const std::vector<JobOutcome> &jobs)
+{
+    std::vector<TimeNs> delays;
+    for (const JobOutcome &j : jobs) {
+        if (j.admitTime != kTimeNone)
+            delays.push_back(j.queueingDelay);
+    }
+    std::sort(delays.begin(), delays.end());
+    return delays;
+}
+
 TimeNs
 meanOf(const std::vector<TimeNs> &jcts)
 {
@@ -92,6 +104,12 @@ ServeReport::meanJct() const
 }
 
 TimeNs
+ServeReport::p95Jct() const
+{
+    return nearestRank(finishedJcts(jobs), 0.95);
+}
+
+TimeNs
 ServeReport::p99Jct() const
 {
     return nearestRank(finishedJcts(jobs), 0.99);
@@ -132,6 +150,18 @@ ServeReport::meanQueueingDelay() const
         }
     }
     return n > 0 ? TimeNs(sum / double(n)) : 0;
+}
+
+TimeNs
+ServeReport::p95QueueingDelay() const
+{
+    return nearestRank(admittedQueueingDelays(jobs), 0.95);
+}
+
+TimeNs
+ServeReport::p99QueueingDelay() const
+{
+    return nearestRank(admittedQueueingDelays(jobs), 0.99);
 }
 
 namespace
@@ -219,7 +249,8 @@ ServeReport::summaryTable() const
 {
     stats::Table t(schedulerName + " on " + gpuName + ": summary");
     t.setColumns({"finished", "failed", "rejected", "makespan (ms)",
-                  "mean JCT (ms)", "p99 JCT (ms)", "mean queue (ms)",
+                  "mean JCT (ms)", "p95 JCT (ms)", "p99 JCT (ms)",
+                  "mean queue (ms)", "p99 queue (ms)",
                   "peak jobs", "avg jobs", "peak pool (GiB)",
                   "avg pool (GiB)"});
     t.addRow({stats::Table::cellInt(finishedCount()),
@@ -227,8 +258,10 @@ ServeReport::summaryTable() const
               stats::Table::cellInt(rejectedCount()),
               stats::Table::cell(toMs(makespan), 1),
               stats::Table::cell(toMs(meanJct()), 1),
+              stats::Table::cell(toMs(p95Jct()), 1),
               stats::Table::cell(toMs(p99Jct()), 1),
               stats::Table::cell(toMs(meanQueueingDelay()), 1),
+              stats::Table::cell(toMs(p99QueueingDelay()), 1),
               stats::Table::cellInt(peakJobsInFlight),
               stats::Table::cell(avgJobsInFlight, 2),
               stats::Table::cell(toGiB(poolPeakBytes), 2),

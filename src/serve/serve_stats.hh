@@ -151,9 +151,15 @@ struct ServeReport
 
     /** Mean job completion time over finished jobs. */
     TimeNs meanJct() const;
+    /** p95 (nearest-rank) job completion time over finished jobs. */
+    TimeNs p95Jct() const;
     /** p99 (nearest-rank) job completion time over finished jobs. */
     TimeNs p99Jct() const;
     TimeNs meanQueueingDelay() const;
+    /** p95 (nearest-rank) queueing delay over admitted jobs. */
+    TimeNs p95QueueingDelay() const;
+    /** p99 (nearest-rank) queueing delay over admitted jobs. */
+    TimeNs p99QueueingDelay() const;
 
     /** Mean JCT over finished jobs at exactly @p priority. */
     TimeNs meanJctAtPriority(int priority) const;
