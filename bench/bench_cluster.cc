@@ -34,6 +34,7 @@
 
 #include "bench_common.hh"
 
+#include "check/ledger_auditor.hh"
 #include "common/units.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -380,10 +381,13 @@ smoke()
                                /*rebalance=*/true);
     rep.summaryTable().print();
     rep.deviceTable().print();
+    check::CheckResult audit = check::auditLedger(rep);
+    if (!audit.ok())
+        std::printf("ledger audit:\n%s", audit.report().c_str());
     bool ok = rep.finishedCount() == int(rep.jobs.size()) &&
               rep.reservedBytesAtEnd == 0 &&
               rep.evictedLedgerAtEnd == 0 &&
-              totalMigrations(rep) > 0;
+              totalMigrations(rep) > 0 && audit.ok();
     std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
 }

@@ -34,6 +34,7 @@
 
 #include "bench_common.hh"
 
+#include "check/ledger_auditor.hh"
 #include "common/units.hh"
 #include "serve/scheduler.hh"
 
@@ -326,8 +327,11 @@ smoke()
         sched.submit(std::move(spec));
     ServeReport rep = sched.run();
     rep.summaryTable().print();
+    check::CheckResult audit = check::auditLedger(rep);
+    if (!audit.ok())
+        std::printf("ledger audit:\n%s", audit.report().c_str());
     bool ok = rep.finishedCount() == 5 && rep.reservedBytesAtEnd == 0 &&
-              rep.evictedLedgerAtEnd == 0;
+              rep.evictedLedgerAtEnd == 0 && audit.ok();
     std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
 }

@@ -23,8 +23,14 @@
  *            trace-event timeline as JSON on stdout — load it in
  *            chrome://tracing or Perfetto to see kernels, offload /
  *            prefetch DMAs and iteration spans on one time axis
+ *   verify:  run the static PlanVerifier + ProgramVerifier
+ *            (src/check/) over every built-in planner x network
+ *            combination and print one PASS/FAIL row each with the
+ *            plan's provable peak residency; exits nonzero if any
+ *            combination has an error-level finding
  */
 
+#include "check/plan_verifier.hh"
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "core/dynamic_policy.hh"
@@ -232,6 +238,74 @@ dumpTrace()
     return 0;
 }
 
+/**
+ * Statically verify every built-in planner against every paper
+ * network: plan, prove admissibility, compile, and run the program
+ * through the abstract interpreter. No simulated device is involved
+ * except for DynamicPlanner's own trial iterations.
+ */
+int
+runVerify()
+{
+    struct NetCase
+    {
+        const char *label;
+        std::unique_ptr<net::Network> net;
+    };
+    std::vector<NetCase> nets;
+    nets.push_back({"AlexNet (128)", net::buildAlexNet(128)});
+    nets.push_back({"OverFeat (128)", net::buildOverFeat(128)});
+    nets.push_back({"VGG-16 (64)", net::buildVgg16(64)});
+    nets.push_back({"GoogLeNet (128)", net::buildGoogLeNet(128)});
+
+    ExecutorConfig exec;
+    std::vector<std::shared_ptr<Planner>> planners = {
+        std::make_shared<BaselinePlanner>(AlgoPreference::MemoryOptimal),
+        std::make_shared<OffloadAllPlanner>(),
+        std::make_shared<OffloadConvPlanner>(),
+        std::make_shared<CompressedOffloadPlanner>(),
+        std::make_shared<DynamicPlanner>(exec),
+    };
+
+    PlannerContext ctx = PlannerContext::exclusive(gpu::titanXMaxwell());
+    std::printf("%-16s %-22s %-6s %8s %8s  %s\n", "network", "planner",
+                "result", "peak_mib", "cap_mib", "notes");
+    int failures = 0;
+    for (const NetCase &nc : nets) {
+        for (const auto &planner : planners) {
+            MemoryPlan plan = planner->plan(*nc.net, ctx);
+            check::CheckConfig ccfg;
+            ccfg.enforceCapacity = false; // report fit, don't fail it
+            check::CheckResult r = plan.feasible
+                ? check::verifyPlan(*nc.net, plan, ctx, exec, ccfg)
+                : check::CheckResult{};
+            if (!plan.feasible) {
+                r.add(check::DiagCode::Infeasible,
+                      check::Severity::Error, plan.failReason);
+            }
+            bool pass = r.ok();
+            failures += !pass;
+            std::string notes;
+            if (r.provablePeakBytes > ctx.capacity())
+                notes = "exceeds device (vDNN's motivation)";
+            for (const check::Diagnostic &d : r.diags) {
+                if (d.severity == check::Severity::Error) {
+                    notes = d.str();
+                    break;
+                }
+            }
+            std::printf("%-16s %-22s %-6s %8.0f %8.0f  %s\n",
+                        nc.label, planner->name().c_str(),
+                        pass ? "PASS" : "FAIL",
+                        toMiB(r.provablePeakBytes),
+                        toMiB(ctx.capacity()), notes.c_str());
+        }
+    }
+    std::fprintf(stderr, "%d of %zu combinations failed\n", failures,
+                 nets.size() * planners.size());
+    return failures > 0 ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -240,6 +314,8 @@ main(int argc, char **argv)
     std::string mode = argc > 1 ? argv[1] : "all";
     if (mode == "ops")
         return dumpOps();
+    if (mode == "verify")
+        return runVerify();
     if (mode == "overlap")
         return dumpOverlap();
     if (mode == "lifecycle")

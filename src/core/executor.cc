@@ -1,5 +1,6 @@
 #include "core/executor.hh"
 
+#include "check/program_verifier.hh"
 #include "common/logging.hh"
 #include "common/units.hh"
 
@@ -44,6 +45,33 @@ Executor::Executor(const net::Network &net_, const dnn::CudnnSim &cudnn_,
         ctrPrefetches = &m->counter("exec.prefetches");
         ctrOnDemand = &m->counter("exec.on_demand_fetches");
     }
+
+    if (cfg.check.verifyPrograms)
+        verifyCompiledProgram("compile");
+}
+
+void
+Executor::verifyCompiledProgram(const char *when)
+{
+    check::CheckResult r = check::verifyProgram(net, execPlan, cfg, prog);
+    if (obs::MetricsRegistry *m = rt.telemetry().metrics) {
+        m->counter("check.programs_verified").add();
+        if (!r.diags.empty())
+            m->counter("check.findings").add(double(r.diags.size()));
+    }
+    if (!r.diags.empty() && rt.telemetry().tracing()) {
+        rt.telemetry().trace->instant(
+            rt.deviceId(), mm.clientId(), "check",
+            strFormat("check-findings:%s", when), rt.now());
+    }
+    if (r.ok())
+        return;
+    if (cfg.check.failFast) {
+        panic("program verification failed at %s:\n%s", when,
+              r.report().c_str());
+    }
+    warn("program verification found %d errors at %s:\n%s",
+         r.errorCount(), when, r.report().c_str());
 }
 
 // --- setup -------------------------------------------------------------------
@@ -203,6 +231,8 @@ Executor::adoptPlan(const MemoryPlan &plan)
                 "adopted plan does not match the network");
     execPlan = plan;
     prog = IterationProgram::compile(net, execPlan, cfg);
+    if (cfg.check.verifyPrograms)
+        verifyCompiledProgram("adopt-plan");
 }
 
 // --- kernel launches -----------------------------------------------------------

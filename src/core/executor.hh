@@ -48,6 +48,7 @@
 #ifndef VDNN_CORE_EXECUTOR_HH
 #define VDNN_CORE_EXECUTOR_HH
 
+#include "check/check.hh"
 #include "core/iteration_program.hh"
 #include "core/memory_manager.hh"
 #include "core/planner.hh"
@@ -85,6 +86,12 @@ struct ExecutorConfig
      * when several tenants contend for the link (src/interconnect/).
      */
     double pcieWeight = 1.0;
+    /**
+     * Static verification (src/check/): run the ProgramVerifier over
+     * every compiled IterationProgram and the PlanVerifier over every
+     * resolved MemoryPlan. Defaults on, except in Release builds.
+     */
+    check::CheckConfig check;
 };
 
 /** Wall-clock window of one layer's kernels within the iteration. */
@@ -323,6 +330,9 @@ class Executor
 
   private:
     friend class IterationStepper;
+
+    /** Run the ProgramVerifier over prog (cfg.check gates callers). */
+    void verifyCompiledProgram(const char *when);
 
     // --- setup helpers ------------------------------------------------------
     bool allocPersistent(Bytes bytes, const std::string &tag,

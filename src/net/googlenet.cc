@@ -14,6 +14,8 @@
 
 #include "common/logging.hh"
 
+#include <iterator>
+
 namespace vdnn::net
 {
 
@@ -182,8 +184,9 @@ std::vector<BenchmarkNet>
 fullSuite()
 {
     std::vector<BenchmarkNet> all = conventionalSuite();
-    for (auto &n : veryDeepSuite())
-        all.push_back(n);
+    std::vector<BenchmarkNet> deep = veryDeepSuite();
+    all.insert(all.end(), std::make_move_iterator(deep.begin()),
+               std::make_move_iterator(deep.end()));
     return all;
 }
 

@@ -1095,6 +1095,10 @@ Scheduler::migrateJob(Job &job, DeviceCtx &src, DeviceCtx &dst)
     ++src.migrationsOut;
     job.record.state = JobState::Evicted;
     logLifecycle(job.id, "migrate-out", before, src.id);
+    // The migrate-out event above already accounted the source
+    // release; the migrate/migrate-stall event below must chain from
+    // the ledger as it stands *now*, or its delta double-counts it.
+    before = reservedBytesTotal();
     std::uint64_t flow = 0;
     if (cfg.telemetry.tracing()) {
         flow = cfg.telemetry.trace->flowStart(

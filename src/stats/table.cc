@@ -94,6 +94,7 @@ Table::csv() const
     };
     std::string out;
     std::vector<std::string> cells;
+    cells.reserve(header.size());
     for (const auto &h : header)
         cells.push_back(escape(h));
     out += join(cells, ",") + "\n";
