@@ -4,19 +4,31 @@
  * events, with telemetry off and on.
  *
  * Every figure bench measures the *simulated* machine; this one
- * measures the simulator. The workload is a fixed 8-tenant AlexNet /
- * OverFeat burst on 2 devices (round-robin packing, rebalance
- * migration), so the event mix covers kernels, DMAs, arbiter grants
- * and scheduler decisions. The denominator is the event queue's
- * executed-event counter, so the metric is insensitive to workload
- * rescaling only insofar as the event mix stays put — treat it as a
- * trajectory, not an absolute.
+ * measures the simulator. Two scenarios:
  *
- * The telemetry-on column re-runs the same workload with a
+ *  - "burst": a fixed 8-tenant AlexNet / OverFeat burst on 2 devices
+ *    (round-robin packing, rebalance migration), so the event mix
+ *    covers kernels, DMAs, arbiter grants and scheduler decisions.
+ *    This is the original trajectory metric and its config must not
+ *    change (simspeed.sec_per_mevent is compared across PRs).
+ *
+ *  - "hightenant": 64 tenants on 8 devices with 1 ms arrival spacing
+ *    and 12 iterations each. An order of magnitude more events, with
+ *    constant admission-queue pressure, cross-device rebalance
+ *    migration and heavy event-queue churn (every DMA start/finish
+ *    reschedules the in-flight kernel's completion through a
+ *    deschedule + reschedule pair), so this scenario stresses the
+ *    event queue itself, not just the op bodies between events.
+ *
+ * The denominator is the event queue's executed-event counter, so the
+ * metric is insensitive to workload rescaling only insofar as the
+ * event mix stays put — treat it as a trajectory, not an absolute.
+ *
+ * The telemetry-on column re-runs the burst scenario with a
  * TraceRecorder and MetricsRegistry attached; the overhead column is
  * what the always-compiled hooks cost when somebody actually looks.
  * With telemetry detached the hooks are null-pointer checks and the
- * overhead must stay in the noise (< 2%).
+ * overhead must stay in the noise.
  */
 
 #include "bench_common.hh"
@@ -38,18 +50,30 @@ using namespace vdnn::serve;
 namespace
 {
 
+struct Scenario
+{
+    const char *name;
+    int tenants = 8;
+    int devices = 2;
+    int iterations = 3;
+    TimeNs arrivalSpacing = 5 * kNsPerMs;
+};
+
+constexpr Scenario kBurst{"burst", 8, 2, 3, 5 * kNsPerMs};
+constexpr Scenario kHighTenant{"hightenant", 64, 8, 12, kNsPerMs};
+
 std::vector<JobSpec>
-speedMix()
+speedMix(const Scenario &sc)
 {
     std::vector<JobSpec> specs;
-    for (int i = 0; i < 8; ++i) {
+    for (int i = 0; i < sc.tenants; ++i) {
         JobSpec spec;
         spec.name = strFormat("speed-%02d", i);
         spec.network = i % 2 == 0 ? net::buildAlexNet(128)
                                   : net::buildOverFeat(128);
         spec.planner = offloadAllPlanner();
-        spec.arrival = TimeNs(i) * 5 * kNsPerMs;
-        spec.iterations = 3;
+        spec.arrival = TimeNs(i) * sc.arrivalSpacing;
+        spec.iterations = sc.iterations;
         specs.push_back(std::move(spec));
     }
     return specs;
@@ -66,13 +90,13 @@ struct SpeedPoint
 };
 
 SpeedPoint
-runWorkload(bool telemetry)
+runWorkload(const Scenario &sc, bool telemetry)
 {
     obs::TraceRecorder trace;
     obs::MetricsRegistry metrics;
     SchedulerConfig cfg;
     cfg.policy = SchedPolicy::RoundRobin;
-    cfg.devices.assign(2, cfg.gpu);
+    cfg.devices.assign(std::size_t(sc.devices), cfg.gpu);
     cfg.placement = std::make_shared<LoadBalancePlacement>();
     cfg.rebalancePeriod = 100 * kNsPerMs;
     cfg.rebalanceThreshold = 2;
@@ -81,7 +105,7 @@ runWorkload(bool telemetry)
         cfg.telemetry.metrics = &metrics;
     }
     Scheduler sched(cfg);
-    for (JobSpec &spec : speedMix())
+    for (JobSpec &spec : speedMix(sc))
         sched.submit(std::move(spec));
 
     auto t0 = std::chrono::steady_clock::now();
@@ -99,11 +123,11 @@ runWorkload(bool telemetry)
 
 /** Best-of-N to shave scheduler-noise off the wall clock. */
 SpeedPoint
-bestOf(int n, bool telemetry)
+bestOf(int n, const Scenario &sc, bool telemetry)
 {
-    SpeedPoint best = runWorkload(telemetry);
+    SpeedPoint best = runWorkload(sc, telemetry);
     for (int i = 1; i < n; ++i) {
-        SpeedPoint p = runWorkload(telemetry);
+        SpeedPoint p = runWorkload(sc, telemetry);
         if (p.wallSeconds < best.wallSeconds)
             best = p;
     }
@@ -113,26 +137,29 @@ bestOf(int n, bool telemetry)
 void
 report()
 {
-    SpeedPoint off = bestOf(3, /*telemetry=*/false);
-    SpeedPoint on = bestOf(3, /*telemetry=*/true);
+    SpeedPoint off = bestOf(3, kBurst, /*telemetry=*/false);
+    SpeedPoint on = bestOf(3, kBurst, /*telemetry=*/true);
+    SpeedPoint high = bestOf(3, kHighTenant, /*telemetry=*/false);
     double overhead_pct =
         off.wallSeconds > 0.0
             ? (on.wallSeconds / off.wallSeconds - 1.0) * 100.0
             : 0.0;
 
-    stats::Table table("Simulator speed: 8-tenant burst on 2 devices "
-                       "(best of 3)");
-    table.setColumns({"telemetry", "events", "wall (ms)",
+    stats::Table table("Simulator speed (best of 3)");
+    table.setColumns({"scenario", "telemetry", "events", "wall (ms)",
                       "s / M events", "M events / s"});
     struct Row
     {
+        const char *scenario;
         const char *label;
         const SpeedPoint *p;
     };
-    const Row rows[] = {{"off", &off}, {"on", &on}};
+    const Row rows[] = {{"8t x 2dev burst", "off", &off},
+                        {"8t x 2dev burst", "on", &on},
+                        {"64t x 8dev hightenant", "off", &high}};
     for (const Row &r : rows) {
         double mevs = r.p->secondsPerMillionEvents();
-        table.addRow({r.label,
+        table.addRow({r.scenario, r.label,
                       stats::Table::cellInt((long long)r.p->events),
                       stats::Table::cell(r.p->wallSeconds * 1e3, 1),
                       stats::Table::cell(mevs, 3),
@@ -148,6 +175,9 @@ report()
     recordBenchMetric("simspeed.sec_per_mevent_telemetry",
                       on.secondsPerMillionEvents());
     recordBenchMetric("simspeed.telemetry_overhead_pct", overhead_pct);
+    recordBenchMetric("simspeed.hightenant.events", double(high.events));
+    recordBenchMetric("simspeed.hightenant.sec_per_mevent",
+                      high.secondsPerMillionEvents());
 }
 
 } // namespace
@@ -156,7 +186,10 @@ int
 main(int argc, char **argv)
 {
     registerSim("simspeed/8_tenants_2dev", [] {
-        runWorkload(/*telemetry=*/false);
+        runWorkload(kBurst, /*telemetry=*/false);
+    });
+    registerSim("simspeed/64_tenants_8dev", [] {
+        runWorkload(kHighTenant, /*telemetry=*/false);
     });
     return benchMain(argc, argv, report);
 }

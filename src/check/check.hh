@@ -26,6 +26,7 @@
 
 #include "common/types.hh"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,7 +34,7 @@ namespace vdnn::check
 {
 
 /** What a diagnostic means for the run. */
-enum class Severity
+enum class Severity : std::uint8_t
 {
     Info,    ///< observation, never fails a check
     Warning, ///< suspicious but not provably wrong (or demoted)
@@ -43,7 +44,7 @@ enum class Severity
 const char *severityName(Severity s);
 
 /** Machine-readable defect class of a diagnostic. */
-enum class DiagCode
+enum class DiagCode : std::uint8_t
 {
     // --- ProgramVerifier: op-stream structure ---------------------------
     BadStructure,   ///< begin/end/barrier placement, malformed groups

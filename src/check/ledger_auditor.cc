@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -17,7 +18,7 @@ namespace
 {
 
 /** Replay state of one tenant (refines serve::JobState). */
-enum class ReplayState
+enum class ReplayState : std::uint8_t
 {
     Unseen,    ///< no event yet (admission pending)
     Queued,    ///< requeued, waiting for re-admission
@@ -51,7 +52,7 @@ replayStateName(ReplayState s)
 }
 
 /** How an event kind must move the reserved-bytes ledger. */
-enum class DeltaRule
+enum class DeltaRule : std::uint8_t
 {
     Positive, ///< reserves bytes: delta > 0
     Negative, ///< frees bytes: delta < 0

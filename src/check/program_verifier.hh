@@ -55,11 +55,13 @@
 #include "core/planner.hh"
 #include "net/network.hh"
 
+#include <cstdint>
+
 namespace vdnn::check
 {
 
 /** Abstract residency of one buffer at one program point. */
-enum class AbsResidency
+enum class AbsResidency : std::uint8_t
 {
     Unallocated,    ///< never materialized (or re-usable next iteration)
     Resident,       ///< device copy valid, no transfer in flight

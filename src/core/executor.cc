@@ -46,8 +46,143 @@ Executor::Executor(const net::Network &net_, const dnn::CudnnSim &cudnn_,
         ctrOnDemand = &m->counter("exec.on_demand_fetches");
     }
 
+    rebuildDispatchPlan();
+    gradients.assign(net.numBuffers(), std::nullopt);
+
     if (cfg.check.verifyPrograms)
         verifyCompiledProgram("compile");
+}
+
+void
+Executor::rebuildDispatchPlan()
+{
+    const std::size_t n_layers = net.numLayers();
+    const std::size_t n_bufs = net.numBuffers();
+
+    // Per layer: kernel descriptors with their cost-model results and
+    // names resolved once, instead of per launch.
+    launchPlan.assign(n_layers, {});
+    for (net::LayerId id = 0; id < net::LayerId(n_layers); ++id) {
+        const net::LayerNode &n = net.node(id);
+        const auto &spec = n.spec;
+        ExecLaunchPlan &lp = launchPlan[std::size_t(id)];
+        lp.classifier = n.classifier;
+        auto fill = [](gpu::KernelDesc &k, std::string name,
+                       const dnn::OpCost &cost) {
+            k.name = std::move(name);
+            k.duration = cost.time;
+            k.flops = cost.flops;
+            k.dramBytes = cost.dramBytes;
+        };
+        if (spec.kind == LayerKind::Conv) {
+            dnn::ConvAlgo algo = execPlan.algos[std::size_t(id)];
+            fill(lp.fwd, "fwd:" + spec.name,
+                 cudnn.perf().convForward(spec, algo));
+            fill(lp.bwdFilter, "bwdF:" + spec.name,
+                 cudnn.perf().convBackwardFilter(spec, algo));
+            // Data gradients are skipped for layers fed by the network
+            // input: nobody consumes the input image gradient.
+            lp.hasBwdData = n.xBuffer != net.inputBuffer();
+            if (lp.hasBwdData) {
+                fill(lp.bwdData, "bwdD:" + spec.name,
+                     cudnn.perf().convBackwardData(spec, algo));
+            }
+            lp.wsBytes = dnn::convWorkspaceBytes(algo, spec);
+        } else {
+            fill(lp.fwd, "fwd:" + spec.name, cudnn.perf().forward(spec));
+            fill(lp.bwdFilter, "bwd:" + spec.name,
+                 cudnn.perf().backward(spec));
+        }
+        lp.wsTag = "ws:" + spec.name;
+        lp.wsManaged = !n.classifier;
+    }
+
+    // Per buffer: sizes, compressed DMA byte counts and tag strings.
+    bufferPlan.assign(n_bufs, {});
+    initialReaders.assign(n_bufs, 0);
+    for (net::BufferId b = 0; b < net::BufferId(n_bufs); ++b) {
+        const net::Buffer &buf = net.buffer(b);
+        ExecBufferPlan &bp = bufferPlan[std::size_t(b)];
+        bp.bytes = buf.bytes();
+        bp.dmaBytes = execPlan.dmaBytes(b, bp.bytes);
+        bp.fwdReleasable = buf.bwdUsers.empty() && !buf.classifier;
+        bp.classifier = buf.classifier;
+        bp.offloadTag = strFormat("offload:%d", b);
+        bp.prefetchTag = strFormat("prefetch:%d", b);
+        bp.fetchTag = strFormat("fetch:%d", b);
+        bp.gradTag = strFormat("grad:%d", b);
+        initialReaders[std::size_t(b)] = buf.refCount;
+    }
+
+    // Per op: the exact operand buffers, resolved from the graph once.
+    auto input_buffer = [this](net::LayerId in_id) {
+        return in_id == net::kInputLayer ? net.inputBuffer()
+                                         : net.node(in_id).yBuffer;
+    };
+    opPlan.assign(prog.ops.size(), {});
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+        const IterOp &op = prog.ops[i];
+        if (op.layer == net::kInputLayer)
+            continue; // structural ops carry no operands
+        ExecOpPlan &p = opPlan[i];
+        const net::LayerNode &n = net.node(op.layer);
+        const auto &spec = n.spec;
+        switch (op.kind) {
+          case OpKind::Alloc:
+            if (!op.backward) {
+                for (net::LayerId in_id : n.inputs)
+                    p.buffers.push_back(input_buffer(in_id));
+                p.yBuffer = n.yBuffer;
+                p.allocY = !spec.inPlace();
+            } else {
+                // dY first (p.yBuffer), then the dX buffers; the
+                // network input receives no gradient.
+                p.yBuffer = n.yBuffer;
+                for (net::LayerId in_id : n.inputs) {
+                    if (in_id != net::kInputLayer)
+                        p.buffers.push_back(net.node(in_id).yBuffer);
+                }
+            }
+            break;
+          case OpKind::Offload:
+            // The refcount rule of Fig. 3, resolved statically: the
+            // plan offloads b and this layer is its last forward
+            // reader (so each buffer lands in exactly one Offload op).
+            for (net::LayerId in_id : n.inputs) {
+                net::BufferId b = input_buffer(in_id);
+                if (!execPlan.offloads(b))
+                    continue;
+                if (net.buffer(b).lastFwdReader != op.layer)
+                    continue;
+                if (std::find(p.buffers.begin(), p.buffers.end(), b) !=
+                    p.buffers.end()) {
+                    continue;
+                }
+                p.buffers.push_back(b);
+            }
+            break;
+          case OpKind::OnDemandFetch:
+            if (spec.backwardNeedsX()) {
+                for (net::LayerId in_id : n.inputs)
+                    p.buffers.push_back(input_buffer(in_id));
+            }
+            if (spec.backwardNeedsY())
+                p.buffers.push_back(n.yBuffer);
+            break;
+          case OpKind::Release:
+            if (!op.backward) {
+                for (net::LayerId in_id : n.inputs)
+                    p.buffers.push_back(input_buffer(in_id));
+            } else {
+                p.buffers = bwdReleaseAt[std::size_t(op.layer)];
+                p.yBuffer = n.yBuffer;
+                p.releaseDY = net.buffer(n.yBuffer).producer == op.layer;
+            }
+            break;
+          default:
+            break;
+        }
+    }
 }
 
 void
@@ -231,6 +366,7 @@ Executor::adoptPlan(const MemoryPlan &plan)
                 "adopted plan does not match the network");
     execPlan = plan;
     prog = IterationProgram::compile(net, execPlan, cfg);
+    rebuildDispatchPlan();
     if (cfg.check.verifyPrograms)
         verifyCompiledProgram("adopt-plan");
 }
@@ -238,47 +374,18 @@ Executor::adoptPlan(const MemoryPlan &plan)
 // --- kernel launches -----------------------------------------------------------
 
 void
-Executor::launch(const std::string &name, const dnn::OpCost &cost)
-{
-    gpu::KernelDesc k;
-    k.name = name;
-    k.duration = cost.time;
-    k.flops = cost.flops;
-    k.dramBytes = cost.dramBytes;
-    rt.launchKernel(streamCompute, k);
-}
-
-void
 Executor::launchForwardKernels(net::LayerId id)
 {
-    const auto &spec = net.node(id).spec;
-    if (spec.kind == LayerKind::Conv) {
-        launch("fwd:" + spec.name,
-               cudnn.perf().convForward(
-                   spec, execPlan.algos[std::size_t(id)]));
-    } else {
-        launch("fwd:" + spec.name, cudnn.perf().forward(spec));
-    }
+    rt.launchKernel(streamCompute, launchPlan[std::size_t(id)].fwd);
 }
 
 void
 Executor::launchBackwardKernels(net::LayerId id)
 {
-    const net::LayerNode &n = net.node(id);
-    const auto &spec = n.spec;
-    if (spec.kind == LayerKind::Conv) {
-        dnn::ConvAlgo algo = execPlan.algos[std::size_t(id)];
-        launch("bwdF:" + spec.name,
-               cudnn.perf().convBackwardFilter(spec, algo));
-        // Data gradients are skipped for layers fed by the network
-        // input: nobody consumes the input image gradient.
-        if (n.xBuffer != net.inputBuffer()) {
-            launch("bwdD:" + spec.name,
-                   cudnn.perf().convBackwardData(spec, algo));
-        }
-    } else {
-        launch("bwd:" + spec.name, cudnn.perf().backward(spec));
-    }
+    const ExecLaunchPlan &lp = launchPlan[std::size_t(id)];
+    rt.launchKernel(streamCompute, lp.bwdFilter);
+    if (lp.hasBwdData)
+        rt.launchKernel(streamCompute, lp.bwdData);
 }
 
 // --- gradient buffers -------------------------------------------------------------
@@ -286,32 +393,35 @@ Executor::launchBackwardKernels(net::LayerId id)
 bool
 Executor::gradientLive(net::BufferId b) const
 {
-    return gradients.count(b) != 0;
+    return gradients[std::size_t(b)].has_value();
 }
 
 bool
 Executor::allocGradient(net::BufferId b)
 {
-    const net::Buffer &buf = net.buffer(b);
-    if (buffersStatic || buf.classifier)
+    const ExecBufferPlan &bp = bufferPlan[std::size_t(b)];
+    if (buffersStatic || bp.classifier)
         return true; // served by the static gradient region
-    if (gradients.count(b))
+    std::optional<TaggedAlloc> &g = gradients[std::size_t(b)];
+    if (g)
         return true;
-    auto a = mm.allocDevice(buf.bytes(), strFormat("grad:%d", b), true);
+    auto a = mm.allocDevice(bp.bytes, bp.gradTag, true);
     if (!a)
         return false;
-    gradients.emplace(b, TaggedAlloc{*a, true});
+    g = TaggedAlloc{*a, true};
+    ++liveGradients;
     return true;
 }
 
 void
 Executor::releaseGradient(net::BufferId b)
 {
-    auto it = gradients.find(b);
-    if (it == gradients.end())
+    std::optional<TaggedAlloc> &g = gradients[std::size_t(b)];
+    if (!g)
         return;
-    mm.releaseDevice(it->second.alloc, it->second.managed);
-    gradients.erase(it);
+    mm.releaseDevice(g->alloc, g->managed);
+    g.reset();
+    --liveGradients;
 }
 
 // --- transfers ----------------------------------------------------------------------
@@ -357,20 +467,20 @@ Executor::ensureResident(net::BufferId b, net::LayerId curr,
         // On-demand fetch: the serialized path prefetching tries to
         // avoid (Section III-A). The backward pass blocks until the
         // copy lands.
+        const ExecBufferPlan &bp = bufferPlan[std::size_t(b)];
         if (!mm.beginPrefetch(net, b)) {
-            if (!evictUnconsumedPrefetches(net.buffer(b).bytes(), curr) ||
+            if (!evictUnconsumedPrefetches(bp.bytes, curr) ||
                 !mm.beginPrefetch(net, b)) {
                 return false;
             }
         }
         TimeNs t0 = rt.now();
-        Bytes dma = execPlan.dmaBytes(b, net.buffer(b).bytes());
-        rt.memcpyAsync(streamMemory, dma, CopyDir::HostToDevice,
-                       strFormat("fetch:%d", b));
+        rt.memcpyAsync(streamMemory, bp.dmaBytes, CopyDir::HostToDevice,
+                       bp.fetchTag);
         rt.synchronize(streamMemory);
         mm.finishPrefetch(b);
         result.transferStallTime += rt.now() - t0;
-        result.pcieBytes += dma;
+        result.pcieBytes += bp.dmaBytes;
         ++result.onDemandFetches;
         if (prefetchState)
             prefetchState->prefetched[std::size_t(b)] = true;
@@ -419,9 +529,13 @@ Executor::abortIteration(IterationResult &result, const std::string &why,
     // Drain all in-flight work so state machines can be forced down.
     rt.deviceSynchronize();
     deferredReleases.clear();
-    for (auto &[b, alloc] : gradients)
-        mm.releaseDevice(alloc.alloc, alloc.managed);
-    gradients.clear();
+    for (std::optional<TaggedAlloc> &g : gradients) {
+        if (g) {
+            mm.releaseDevice(g->alloc, g->managed);
+            g.reset();
+        }
+    }
+    liveGradients = 0;
     for (net::BufferId b = 0; b < net::BufferId(net.numBuffers()); ++b) {
         if (!staticBuffers[std::size_t(b)])
             mm.forceRelease(net, b);
@@ -469,11 +583,10 @@ bool
 IterationStepper::opBeginIteration()
 {
     res.layers.assign(ex.net.numLayers(), LayerTiming{});
-    ex.gradients.clear();
+    ex.gradients.assign(ex.net.numBuffers(), std::nullopt);
+    ex.liveGradients = 0;
     ex.deferredReleases.clear();
-    ex.remainingReaders.assign(ex.net.numBuffers(), 0);
-    for (net::BufferId b = 0; b < net::BufferId(ex.net.numBuffers()); ++b)
-        ex.remainingReaders[std::size_t(b)] = ex.net.buffer(b).refCount;
+    ex.remainingReaders = ex.initialReaders;
     ex.prefetchState.emplace(ex.net.numBuffers());
 
     res.start = ex.rt.now();
@@ -491,58 +604,49 @@ IterationStepper::opBeginIteration()
 }
 
 bool
-IterationStepper::opFwdAlloc(net::LayerId id)
+IterationStepper::opFwdAlloc(net::LayerId id, const ExecOpPlan &p)
 {
-    const net::LayerNode &n = ex.net.node(id);
-    const auto &spec = n.spec;
-
     // Input feature maps must be device-resident during forward
     // propagation (they are only ever offloaded by their last reader).
-    for (net::LayerId in_id : n.inputs) {
-        net::BufferId b = in_id == net::kInputLayer
-                              ? ex.net.inputBuffer()
-                              : ex.net.node(in_id).yBuffer;
+    for (net::BufferId b : p.buffers) {
         Residence r = ex.mm.residence(b);
         VDNN_ASSERT(r == Residence::Device,
                     "fwd '%s': input buffer %d not resident (state %d)",
-                    spec.name.c_str(), b, int(r));
+                    ex.net.node(id).spec.name.c_str(), b, int(r));
     }
 
     // Allocate the output feature maps (in-place layers reuse X).
-    if (!spec.inPlace() &&
-        ex.mm.residence(n.yBuffer) == Residence::Unallocated) {
-        if (!ex.mm.allocBuffer(ex.net, n.yBuffer)) {
-            ex.abortIteration(res,
-                              strFormat("OOM allocating Y of '%s' (%s)",
-                                        spec.name.c_str(),
-                                        formatBytes(ex.net.buffer(n.yBuffer)
-                                                        .bytes())
-                                            .c_str()),
-                              FailKind::FeatureMap, id);
+    if (p.allocY &&
+        ex.mm.residence(p.yBuffer) == Residence::Unallocated) {
+        if (!ex.mm.allocBuffer(ex.net, p.yBuffer)) {
+            ex.abortIteration(
+                res,
+                strFormat("OOM allocating Y of '%s' (%s)",
+                          ex.net.node(id).spec.name.c_str(),
+                          formatBytes(
+                              ex.bufferPlan[std::size_t(p.yBuffer)].bytes)
+                              .c_str()),
+                FailKind::FeatureMap, id);
             return false;
         }
     }
 
     // Convolution workspace for the chosen algorithm.
     ws.reset();
-    Bytes ws_bytes =
-        spec.kind == LayerKind::Conv && !ex.buffersStatic
-            ? dnn::convWorkspaceBytes(ex.execPlan.algos[std::size_t(id)],
-                                      spec)
-            : 0;
+    const ExecLaunchPlan &lp = ex.launchPlan[std::size_t(id)];
+    Bytes ws_bytes = ex.buffersStatic ? 0 : lp.wsBytes;
     if (ws_bytes > 0) {
-        auto a = ex.mm.allocDevice(ws_bytes, "ws:" + spec.name,
-                                   !n.classifier);
+        auto a = ex.mm.allocDevice(ws_bytes, lp.wsTag, lp.wsManaged);
         if (!a) {
             ex.abortIteration(res,
                               strFormat("OOM allocating workspace of '%s' "
                                         "(%s)",
-                                        spec.name.c_str(),
+                                        ex.net.node(id).spec.name.c_str(),
                                         formatBytes(ws_bytes).c_str()),
                               FailKind::Workspace, id);
             return false;
         }
-        ws = TaggedAlloc{*a, !n.classifier};
+        ws = TaggedAlloc{*a, lp.wsManaged};
     }
     return true;
 }
@@ -554,36 +658,25 @@ IterationStepper::opFwdKernel(net::LayerId id)
 }
 
 void
-IterationStepper::opFwdOffload(net::LayerId id)
+IterationStepper::opFwdOffload(const ExecOpPlan &p)
 {
     // Offload: issued by the last forward consumer of each input buffer
-    // (the refcount rule of Fig. 3), overlapped with this layer's own
-    // forward computation on stream_memory.
-    const net::LayerNode &n = ex.net.node(id);
-    for (net::LayerId in_id : n.inputs) {
-        net::BufferId b = in_id == net::kInputLayer
-                              ? ex.net.inputBuffer()
-                              : ex.net.node(in_id).yBuffer;
-        if (!ex.execPlan.offloads(b))
-            continue;
-        if (ex.net.buffer(b).lastFwdReader != id)
-            continue;
-        if (std::find(offloading.begin(), offloading.end(), b) !=
-            offloading.end()) {
-            continue;
-        }
+    // (the refcount rule of Fig. 3, resolved into p.buffers at compile
+    // time), overlapped with this layer's own forward computation on
+    // stream_memory.
+    for (net::BufferId b : p.buffers) {
         if (!ex.mm.beginOffload(ex.net, b)) {
             warn("host memory exhausted; keeping buffer %d resident", b);
             continue;
         }
-        Bytes dma = ex.execPlan.dmaBytes(b, ex.net.buffer(b).bytes());
-        ex.rt.memcpyAsync(ex.streamMemory, dma, CopyDir::DeviceToHost,
-                          strFormat("offload:%d", b));
+        const ExecBufferPlan &bp = ex.bufferPlan[std::size_t(b)];
+        ex.rt.memcpyAsync(ex.streamMemory, bp.dmaBytes,
+                          CopyDir::DeviceToHost, bp.offloadTag);
         offloading.push_back(b);
         ex.prefetchState->offloaded[std::size_t(b)] = true;
         ++res.offloads;
-        res.offloadedBytes += ex.net.buffer(b).bytes();
-        res.pcieBytes += dma;
+        res.offloadedBytes += bp.bytes;
+        res.pcieBytes += bp.dmaBytes;
     }
 }
 
@@ -638,10 +731,8 @@ IterationStepper::opSync(const IterOp &op, bool blocking)
 }
 
 void
-IterationStepper::opFwdRelease(net::LayerId id)
+IterationStepper::opFwdRelease(net::LayerId id, const ExecOpPlan &p)
 {
-    const net::LayerNode &n = ex.net.node(id);
-
     if (ws) {
         ex.mm.releaseDevice(ws->alloc, ws->managed);
         ws.reset();
@@ -650,14 +741,10 @@ IterationStepper::opFwdRelease(net::LayerId id)
     // Aggressive release: buffers whose last reader has executed and
     // that are not reused by backward propagation are freed outright.
     if (!ex.buffersStatic) {
-        for (net::LayerId in_id : n.inputs) {
-            net::BufferId b = in_id == net::kInputLayer
-                                  ? ex.net.inputBuffer()
-                                  : ex.net.node(in_id).yBuffer;
+        for (net::BufferId b : p.buffers) {
             if (--ex.remainingReaders[std::size_t(b)] > 0)
                 continue;
-            const net::Buffer &buf = ex.net.buffer(b);
-            if (buf.bwdUsers.empty() && !buf.classifier &&
+            if (ex.bufferPlan[std::size_t(b)].fwdReleasable &&
                 ex.mm.residence(b) == Residence::Device) {
                 ex.mm.releaseBuffer(ex.net, b);
             }
@@ -668,7 +755,7 @@ IterationStepper::opFwdRelease(net::LayerId id)
     t.id = id;
     t.fwdStart = tLayerStart;
     t.fwdEnd = ex.rt.now();
-    if (n.classifier)
+    if (ex.launchPlan[std::size_t(id)].classifier)
         res.classifierTime += t.fwdEnd - t.fwdStart;
 }
 
@@ -686,24 +773,12 @@ IterationStepper::opBarrier(bool blocking)
 }
 
 bool
-IterationStepper::opBwdFetch(net::LayerId id)
+IterationStepper::opBwdFetch(net::LayerId id, const ExecOpPlan &p)
 {
-    const net::LayerNode &n = ex.net.node(id);
-    const auto &spec = n.spec;
-
     // Residency: the layer's backward pass needs X and/or Y (Section
-    // III-A); offloaded data must be fetched back before the kernels.
-    std::vector<net::BufferId> needed;
-    if (spec.backwardNeedsX()) {
-        for (net::LayerId in_id : n.inputs) {
-            needed.push_back(in_id == net::kInputLayer
-                                 ? ex.net.inputBuffer()
-                                 : ex.net.node(in_id).yBuffer);
-        }
-    }
-    if (spec.backwardNeedsY())
-        needed.push_back(n.yBuffer);
-    for (net::BufferId b : needed) {
+    // III-A, resolved into p.buffers at compile time); offloaded data
+    // must be fetched back before the kernels.
+    for (net::BufferId b : p.buffers) {
         // A buffer prefetched during *this* layer cannot serve this
         // layer's own kernels without waiting; that only happens in
         // the degenerate single-layer-window case.
@@ -711,7 +786,7 @@ IterationStepper::opBwdFetch(net::LayerId id)
             ex.abortIteration(
                 res,
                 strFormat("OOM fetching buffer %d for '%s' backward", b,
-                          spec.name.c_str()),
+                          ex.net.node(id).spec.name.c_str()),
                 FailKind::Fetch, id);
             return false;
         }
@@ -720,36 +795,34 @@ IterationStepper::opBwdFetch(net::LayerId id)
 }
 
 bool
-IterationStepper::opBwdAlloc(net::LayerId id)
+IterationStepper::opBwdAlloc(net::LayerId id, const ExecOpPlan &p)
 {
-    const net::LayerNode &n = ex.net.node(id);
-    const auto &spec = n.spec;
-
     // Gradient maps: dY must exist (allocated by this buffer's
     // consumers, or seeded here for the terminal loss layer); dX is
-    // allocated on demand. The network input receives no gradient.
+    // allocated on demand. The network input receives no gradient
+    // (p.buffers holds the dX set with it already excluded).
     auto grad_with_recovery = [&](net::BufferId b) {
         if (ex.allocGradient(b))
             return true;
-        if (!ex.evictUnconsumedPrefetches(ex.net.buffer(b).bytes(), id))
+        if (!ex.evictUnconsumedPrefetches(
+                ex.bufferPlan[std::size_t(b)].bytes, id)) {
             return false;
+        }
         ++res.prefetchEvictions;
         return ex.allocGradient(b);
     };
-    if (!grad_with_recovery(n.yBuffer)) {
+    if (!grad_with_recovery(p.yBuffer)) {
         ex.abortIteration(res,
                           strFormat("OOM allocating dY of '%s'",
-                                    spec.name.c_str()),
+                                    ex.net.node(id).spec.name.c_str()),
                           FailKind::Gradient, id);
         return false;
     }
-    for (net::LayerId in_id : n.inputs) {
-        if (in_id == net::kInputLayer)
-            continue;
-        if (!grad_with_recovery(ex.net.node(in_id).yBuffer)) {
+    for (net::BufferId b : p.buffers) {
+        if (!grad_with_recovery(b)) {
             ex.abortIteration(res,
                               strFormat("OOM allocating dX of '%s'",
-                                        spec.name.c_str()),
+                                        ex.net.node(id).spec.name.c_str()),
                               FailKind::Gradient, id);
             return false;
         }
@@ -757,29 +830,24 @@ IterationStepper::opBwdAlloc(net::LayerId id)
 
     // Backward convolution workspace.
     ws.reset();
-    Bytes ws_bytes =
-        spec.kind == LayerKind::Conv && !ex.buffersStatic
-            ? dnn::convWorkspaceBytes(ex.execPlan.algos[std::size_t(id)],
-                                      spec)
-            : 0;
+    const ExecLaunchPlan &lp = ex.launchPlan[std::size_t(id)];
+    Bytes ws_bytes = ex.buffersStatic ? 0 : lp.wsBytes;
     if (ws_bytes > 0) {
-        auto a = ex.mm.allocDevice(ws_bytes, "ws:" + spec.name,
-                                   !n.classifier);
+        auto a = ex.mm.allocDevice(ws_bytes, lp.wsTag, lp.wsManaged);
         if (!a && ex.evictUnconsumedPrefetches(ws_bytes, id)) {
             ++res.prefetchEvictions;
-            a = ex.mm.allocDevice(ws_bytes, "ws:" + spec.name,
-                                  !n.classifier);
+            a = ex.mm.allocDevice(ws_bytes, lp.wsTag, lp.wsManaged);
         }
         if (!a) {
             ex.abortIteration(res,
                               strFormat("OOM allocating bwd workspace of "
                                         "'%s' (%s)",
-                                        spec.name.c_str(),
+                                        ex.net.node(id).spec.name.c_str(),
                                         formatBytes(ws_bytes).c_str()),
                               FailKind::Workspace, id);
             return false;
         }
-        ws = TaggedAlloc{*a, !n.classifier};
+        ws = TaggedAlloc{*a, lp.wsManaged};
     }
     return true;
 }
@@ -806,12 +874,12 @@ IterationStepper::opBwdPrefetch(net::LayerId id)
             ex.prefetchState->prefetched[std::size_t(b)] = false;
             continue;
         }
-        Bytes dma = ex.execPlan.dmaBytes(b, ex.net.buffer(b).bytes());
-        ex.rt.memcpyAsync(ex.streamMemory, dma, CopyDir::HostToDevice,
-                          strFormat("prefetch:%d", b));
+        const ExecBufferPlan &bp = ex.bufferPlan[std::size_t(b)];
+        ex.rt.memcpyAsync(ex.streamMemory, bp.dmaBytes,
+                          CopyDir::HostToDevice, bp.prefetchTag);
         prefetching.push_back(b);
         ++res.prefetches;
-        res.pcieBytes += dma;
+        res.pcieBytes += bp.dmaBytes;
     }
 }
 
@@ -823,10 +891,8 @@ IterationStepper::opBwdKernel(net::LayerId id)
 }
 
 void
-IterationStepper::opBwdRelease(net::LayerId id)
+IterationStepper::opBwdRelease(net::LayerId id, const ExecOpPlan &p)
 {
-    const net::LayerNode &n = ex.net.node(id);
-
     if (ws) {
         ex.mm.releaseDevice(ws->alloc, ws->managed);
         ws.reset();
@@ -834,11 +900,11 @@ IterationStepper::opBwdRelease(net::LayerId id)
 
     if (!ex.buffersStatic) {
         // dY fully consumed once this buffer's producer has run.
-        if (ex.net.buffer(n.yBuffer).producer == id)
-            ex.releaseGradient(n.yBuffer);
+        if (p.releaseDY)
+            ex.releaseGradient(p.yBuffer);
         // Feature maps whose last backward user just executed are
         // released immediately (Fig. 8).
-        for (net::BufferId b : ex.bwdReleaseAt[std::size_t(id)]) {
+        for (net::BufferId b : p.buffers) {
             if (!ex.staticBuffers[std::size_t(b)] &&
                 ex.mm.residence(b) == Residence::Device) {
                 ex.mm.releaseBuffer(ex.net, b);
@@ -848,7 +914,7 @@ IterationStepper::opBwdRelease(net::LayerId id)
 
     LayerTiming &t = res.layers[std::size_t(id)];
     t.bwdEnd = ex.rt.now();
-    if (n.classifier)
+    if (ex.launchPlan[std::size_t(id)].classifier)
         res.classifierTime += t.bwdEnd - tLayerStart;
 }
 
@@ -872,7 +938,7 @@ IterationStepper::opEndIteration(bool blocking)
 
     // Steady-state invariant: everything allocated inside the iteration
     // has been returned to the pool.
-    VDNN_ASSERT(ex.gradients.empty(), "gradient buffers leaked");
+    VDNN_ASSERT(ex.liveGradients == 0, "gradient buffers leaked");
     VDNN_ASSERT(ex.mm.deviceUsage() == ex.persistentTotal,
                 "tenant usage %lld != persistent %lld after iteration",
                 (long long)ex.mm.deviceUsage(),
@@ -892,6 +958,7 @@ IterationStepper::step(bool blocking)
     VDNN_ASSERT(pcIndex < ex.prog.ops.size(),
                 "stepper ran off the program");
     const IterOp &op = ex.prog.ops[pcIndex];
+    const ExecOpPlan &plan = ex.opPlan[pcIndex];
 
     // Entering a new (layer, phase) group: take the timestamp the
     // monolithic loop captured at forwardLayer/backwardLayer entry.
@@ -909,7 +976,8 @@ IterationStepper::step(bool blocking)
         ok = opBeginIteration();
         break;
       case OpKind::Alloc:
-        ok = op.backward ? opBwdAlloc(op.layer) : opFwdAlloc(op.layer);
+        ok = op.backward ? opBwdAlloc(op.layer, plan)
+                         : opFwdAlloc(op.layer, plan);
         break;
       case OpKind::Kernel:
         if (op.backward)
@@ -918,19 +986,19 @@ IterationStepper::step(bool blocking)
             opFwdKernel(op.layer);
         break;
       case OpKind::Offload:
-        opFwdOffload(op.layer);
+        opFwdOffload(plan);
         break;
       case OpKind::OnDemandFetch:
-        ok = opBwdFetch(op.layer);
+        ok = opBwdFetch(op.layer, plan);
         break;
       case OpKind::Prefetch:
         opBwdPrefetch(op.layer);
         break;
       case OpKind::Release:
         if (op.backward)
-            opBwdRelease(op.layer);
+            opBwdRelease(op.layer, plan);
         else
-            opFwdRelease(op.layer);
+            opFwdRelease(op.layer, plan);
         break;
       case OpKind::Sync:
         if (opSync(op, blocking) == Status::Blocked)

@@ -58,10 +58,10 @@
 #include "net/network.hh"
 #include "net/network_stats.hh"
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace vdnn::core
@@ -110,7 +110,7 @@ struct LayerTiming
 };
 
 /** What kind of allocation failed an iteration (for vDNN_dyn). */
-enum class FailKind
+enum class FailKind : std::uint8_t
 {
     None,
     Workspace,
@@ -165,6 +165,67 @@ struct TaggedAlloc
     bool managed = false;
 };
 
+/**
+ * Pre-resolved dispatch tables (the flat-dispatch layer). The
+ * IterationProgram stays the verifiable IR (src/check interprets it);
+ * these tables cache, per layer / per buffer / per op, everything the
+ * IR's semantics determine statically — kernel descriptors with their
+ * costs resolved, DMA tags and compressed byte counts, and the exact
+ * buffer lists each op touches — so the stepper's per-op work is a
+ * table walk, not graph traversal plus string formatting. Rebuilt by
+ * Executor::rebuildDispatchPlan() at construction and adoptPlan().
+ */
+struct ExecLaunchPlan
+{
+    /** Forward kernel, cost and name resolved against the plan algo. */
+    gpu::KernelDesc fwd;
+    /** Backward filter-gradient kernel (the only one for non-conv). */
+    gpu::KernelDesc bwdFilter;
+    /** Backward data-gradient kernel (conv with non-input X only). */
+    gpu::KernelDesc bwdData;
+    bool hasBwdData = false;
+    /** Conv workspace for the plan's algorithm (0 for non-conv). */
+    Bytes wsBytes = 0;
+    std::string wsTag;
+    bool wsManaged = false;
+    bool classifier = false;
+};
+
+struct ExecBufferPlan
+{
+    Bytes bytes = 0;
+    /** Bytes crossing PCIe per transfer (compression applied). */
+    Bytes dmaBytes = 0;
+    /** No backward reuse, not classifier: free after last fwd read. */
+    bool fwdReleasable = false;
+    /** Lives in the static classifier region (no managed gradient). */
+    bool classifier = false;
+    std::string offloadTag;
+    std::string prefetchTag;
+    std::string fetchTag;
+    std::string gradTag;
+};
+
+/** Per-op resolved operands, aligned index-for-index with prog.ops. */
+struct ExecOpPlan
+{
+    /**
+     * The buffers this op touches: forward Alloc = input feature maps
+     * (residency preconditions); Offload = inputs the plan offloads
+     * whose last forward reader is this layer (deduplicated); Fetch =
+     * X/Y operands backward needs resident; backward Alloc = the dX
+     * gradient buffers; Release = forward input buffers (refcount
+     * drops) or the backward release set (last backward user here).
+     */
+    std::vector<net::BufferId> buffers;
+    /** The layer's output buffer (Alloc ops). */
+    net::BufferId yBuffer = -1;
+    /** Forward Alloc materializes yBuffer (not in-place). */
+    bool allocY = false;
+    /** Backward Release frees dY (this layer produced yBuffer). */
+    bool releaseDY = false;
+};
+
 class Executor;
 
 /**
@@ -182,7 +243,7 @@ class Executor;
 class IterationStepper
 {
   public:
-    enum class Status
+    enum class Status : std::uint8_t
     {
         Running, ///< more ops to execute
         Blocked, ///< next op waits on blockedStream() (non-blocking)
@@ -220,15 +281,15 @@ class IterationStepper
 
     // --- op bodies (false = iteration aborted) ---------------------------
     bool opBeginIteration();
-    bool opFwdAlloc(net::LayerId id);
+    bool opFwdAlloc(net::LayerId id, const ExecOpPlan &p);
     void opFwdKernel(net::LayerId id);
-    void opFwdOffload(net::LayerId id);
-    void opFwdRelease(net::LayerId id);
-    bool opBwdFetch(net::LayerId id);
-    bool opBwdAlloc(net::LayerId id);
+    void opFwdOffload(const ExecOpPlan &p);
+    void opFwdRelease(net::LayerId id, const ExecOpPlan &p);
+    bool opBwdFetch(net::LayerId id, const ExecOpPlan &p);
+    bool opBwdAlloc(net::LayerId id, const ExecOpPlan &p);
     void opBwdPrefetch(net::LayerId id);
     void opBwdKernel(net::LayerId id);
-    void opBwdRelease(net::LayerId id);
+    void opBwdRelease(net::LayerId id, const ExecOpPlan &p);
     Status opSync(const IterOp &op, bool blocking);
     Status opBarrier(bool blocking);
     Status opEndIteration(bool blocking);
@@ -343,7 +404,6 @@ class Executor
     // --- kernel launch helpers -----------------------------------------------
     void launchForwardKernels(net::LayerId id);
     void launchBackwardKernels(net::LayerId id);
-    void launch(const std::string &name, const dnn::OpCost &cost);
 
     // --- memory helpers -----------------------------------------------------
     bool ensureResident(net::BufferId b, net::LayerId curr,
@@ -367,6 +427,9 @@ class Executor
     /** Network-wide static allocation: no directives are executed. */
     bool staticAlloc() const { return execPlan.staticAllocation; }
 
+    /** Rebuild the flat-dispatch tables from (net, execPlan, prog). */
+    void rebuildDispatchPlan();
+
     const net::Network &net;
     const dnn::CudnnSim &cudnn;
     gpu::Runtime &rt;
@@ -389,8 +452,17 @@ class Executor
     /** Per layer: buffers whose last backward user is that layer. */
     std::vector<std::vector<net::BufferId>> bwdReleaseAt;
 
+    // Flat-dispatch tables (rebuildDispatchPlan).
+    std::vector<ExecLaunchPlan> launchPlan; // per layer
+    std::vector<ExecBufferPlan> bufferPlan; // per buffer
+    std::vector<ExecOpPlan> opPlan;         // aligned with prog.ops
+    /** Initial forward refcounts, copied into remainingReaders. */
+    std::vector<int> initialReaders;
+
     // Per-iteration state (reset by the BeginIteration op).
-    std::unordered_map<net::BufferId, TaggedAlloc> gradients;
+    /** Live gradient allocations, indexed by buffer id. */
+    std::vector<std::optional<TaggedAlloc>> gradients;
+    int liveGradients = 0;
     std::vector<std::pair<net::BufferId, gpu::CudaEventId>>
         deferredReleases;
     std::vector<int> remainingReaders; // forward refcounts, per buffer

@@ -42,6 +42,7 @@
 #include "net/network.hh"
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -52,7 +53,7 @@ struct MemoryPlan;
 struct ExecutorConfig;
 
 /** What one program step does. */
-enum class OpKind
+enum class OpKind : std::uint8_t
 {
     BeginIteration, ///< reset per-iteration state, materialize input
     Alloc,          ///< mandatory allocations (Y/workspace/gradients)

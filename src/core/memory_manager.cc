@@ -45,6 +45,15 @@ MemoryManager::touchManaged()
     managedTrack->onUsage(managedBytes);
 }
 
+MemoryManager::BufferState &
+MemoryManager::stateFor(net::BufferId buffer)
+{
+    VDNN_ASSERT(buffer >= 0, "negative buffer id %d", buffer);
+    if (size_t(buffer) >= bufferStates.size())
+        bufferStates.resize(size_t(buffer) + 1);
+    return bufferStates[size_t(buffer)];
+}
+
 std::optional<mem::Allocation>
 MemoryManager::allocDevice(Bytes bytes, const std::string &tag,
                            bool managed)
@@ -78,7 +87,7 @@ MemoryManager::releaseDevice(const mem::Allocation &alloc, bool managed)
 bool
 MemoryManager::allocBuffer(const net::Network &net, net::BufferId buffer)
 {
-    BufferState &st = bufferStates[buffer];
+    BufferState &st = stateFor(buffer);
     VDNN_ASSERT(st.residence == Residence::Unallocated,
                 "buffer %d is already materialized (state %d)", buffer,
                 int(st.residence));
@@ -95,7 +104,7 @@ MemoryManager::allocBuffer(const net::Network &net, net::BufferId buffer)
 bool
 MemoryManager::beginOffload(const net::Network &net, net::BufferId buffer)
 {
-    BufferState &st = bufferStates[buffer];
+    BufferState &st = stateFor(buffer);
     VDNN_ASSERT(st.residence == Residence::Device,
                 "offload of non-resident buffer %d", buffer);
     const net::Buffer &b = net.buffer(buffer);
@@ -114,7 +123,7 @@ MemoryManager::beginOffload(const net::Network &net, net::BufferId buffer)
 void
 MemoryManager::finishOffload(const net::Network &net, net::BufferId buffer)
 {
-    BufferState &st = bufferStates[buffer];
+    BufferState &st = stateFor(buffer);
     VDNN_ASSERT(st.residence == Residence::Offloading,
                 "finishOffload on buffer %d in state %d", buffer,
                 int(st.residence));
@@ -126,7 +135,7 @@ MemoryManager::finishOffload(const net::Network &net, net::BufferId buffer)
 bool
 MemoryManager::beginPrefetch(const net::Network &net, net::BufferId buffer)
 {
-    BufferState &st = bufferStates[buffer];
+    BufferState &st = stateFor(buffer);
     VDNN_ASSERT(st.residence == Residence::Host,
                 "prefetch of buffer %d in state %d", buffer,
                 int(st.residence));
@@ -143,7 +152,7 @@ MemoryManager::beginPrefetch(const net::Network &net, net::BufferId buffer)
 void
 MemoryManager::finishPrefetch(net::BufferId buffer)
 {
-    BufferState &st = bufferStates[buffer];
+    BufferState &st = stateFor(buffer);
     VDNN_ASSERT(st.residence == Residence::Prefetching,
                 "finishPrefetch on buffer %d in state %d", buffer,
                 int(st.residence));
@@ -154,7 +163,7 @@ MemoryManager::finishPrefetch(net::BufferId buffer)
 void
 MemoryManager::evictToHost(const net::Network &net, net::BufferId buffer)
 {
-    BufferState &st = bufferStates[buffer];
+    BufferState &st = stateFor(buffer);
     VDNN_ASSERT(st.residence == Residence::Device && st.hostValid,
                 "evict of buffer %d in state %d (hostValid=%d)", buffer,
                 int(st.residence), int(st.hostValid));
@@ -166,14 +175,14 @@ MemoryManager::evictToHost(const net::Network &net, net::BufferId buffer)
 bool
 MemoryManager::hostCopyValid(net::BufferId buffer) const
 {
-    auto it = bufferStates.find(buffer);
-    return it != bufferStates.end() && it->second.hostValid;
+    return buffer >= 0 && size_t(buffer) < bufferStates.size() &&
+           bufferStates[size_t(buffer)].hostValid;
 }
 
 void
 MemoryManager::releaseBuffer(const net::Network &net, net::BufferId buffer)
 {
-    BufferState &st = bufferStates[buffer];
+    BufferState &st = stateFor(buffer);
     VDNN_ASSERT(st.residence == Residence::Device,
                 "release of buffer %d in state %d", buffer,
                 int(st.residence));
@@ -190,7 +199,7 @@ MemoryManager::releaseBuffer(const net::Network &net, net::BufferId buffer)
 void
 MemoryManager::dropHostCopy(net::BufferId buffer)
 {
-    BufferState &st = bufferStates[buffer];
+    BufferState &st = stateFor(buffer);
     VDNN_ASSERT(st.residence == Residence::Host,
                 "dropHostCopy on buffer %d in state %d", buffer,
                 int(st.residence));
@@ -226,9 +235,9 @@ MemoryManager::forceRelease(const net::Network &net, net::BufferId buffer)
 Residence
 MemoryManager::residence(net::BufferId buffer) const
 {
-    auto it = bufferStates.find(buffer);
-    return it == bufferStates.end() ? Residence::Unallocated
-                                    : it->second.residence;
+    if (buffer < 0 || size_t(buffer) >= bufferStates.size())
+        return Residence::Unallocated;
+    return bufferStates[size_t(buffer)].residence;
 }
 
 void

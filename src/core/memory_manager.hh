@@ -23,16 +23,16 @@
 #include "mem/usage_tracker.hh"
 #include "net/network.hh"
 
+#include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 namespace vdnn::core
 {
 
 /** Where a feature-map buffer currently lives. */
-enum class Residence
+enum class Residence : std::uint8_t
 {
     Unallocated,
     Device,
@@ -162,6 +162,8 @@ class MemoryManager
 
     void initTrackers(bool keep_timeline);
     void touchManaged();
+    /** Grow the state table to cover @p buffer and return its state. */
+    BufferState &stateFor(net::BufferId buffer);
 
     gpu::Runtime &runtime;
     /** Owned in exclusive mode; null when sharing another's pool. */
@@ -171,7 +173,12 @@ class MemoryManager
     mem::PinnedHostAllocator *hostAlloc = nullptr;
     std::unique_ptr<mem::UsageTracker> totalTrack;
     std::unique_ptr<mem::UsageTracker> managedTrack;
-    std::unordered_map<net::BufferId, BufferState> bufferStates;
+    /**
+     * Indexed by BufferId (small dense ids from the network builder):
+     * residence() sits on the executor's per-op hot path, so lookups
+     * are an indexed load rather than a hash probe.
+     */
+    std::vector<BufferState> bufferStates;
     int client = 0;
     Bytes deviceBytes = 0;
     Bytes managedBytes = 0;

@@ -50,6 +50,7 @@
 #include "obs/profiler.hh"
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,7 +63,7 @@ namespace vdnn::core
  * IR itself always carries an explicit per-layer assignment; this knob
  * only selects the starting point.
  */
-enum class AlgoPreference
+enum class AlgoPreference : std::uint8_t
 {
     MemoryOptimal,      ///< IMPLICIT_GEMM everywhere (zero workspace)
     PerformanceOptimal, ///< fastest algorithm regardless of workspace
@@ -74,7 +75,7 @@ const char *algoPreferenceName(AlgoPreference pref);
 /** What to do with one feature-map buffer (the plan IR leaf). */
 struct BufferDirective
 {
-    enum class Action
+    enum class Action : std::uint8_t
     {
         KeepResident, ///< stays on the device until its last backward use
         Offload,      ///< D2H after last forward read, H2D before backward
@@ -112,7 +113,7 @@ struct BufferDirective
  * How a planner supports changing a *running* tenant's memory plan
  * when its free share of the device moves (mid-run re-planning).
  */
-enum class ReplanHint
+enum class ReplanHint : std::uint8_t
 {
     /**
      * The plan is capacity-independent: re-running plan() against a

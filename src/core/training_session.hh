@@ -54,6 +54,7 @@
 #include "obs/profiler.hh"
 #include "stats/time_weighted.hh"
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -145,7 +146,7 @@ struct SharedGpu
 };
 
 /** Lifecycle state of a Session (see the file comment's diagram). */
-enum class SessionState
+enum class SessionState : std::uint8_t
 {
     Fresh,     ///< constructed; setup() has not succeeded yet
     Active,    ///< device-resident and steppable

@@ -26,13 +26,14 @@
 #include "common/types.hh"
 #include "dnn/layer.hh"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace vdnn::dnn
 {
 
-enum class ConvAlgo
+enum class ConvAlgo : std::uint8_t
 {
     ImplicitGemm,        ///< zero workspace, slowest (memory-optimal)
     ImplicitPrecompGemm, ///< small index workspace

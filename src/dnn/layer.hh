@@ -23,13 +23,14 @@
 #include "common/types.hh"
 #include "dnn/tensor.hh"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace vdnn::dnn
 {
 
-enum class LayerKind
+enum class LayerKind : std::uint8_t
 {
     Conv,
     Activation,
@@ -57,7 +58,7 @@ struct ConvParams
 
 struct PoolParams
 {
-    enum class Mode { Max, Avg };
+    enum class Mode : std::uint8_t { Max, Avg };
     Mode mode = Mode::Max;
     int windowH = 2;
     int windowW = 2;
@@ -74,7 +75,7 @@ struct FcParams
 
 struct ActivationParams
 {
-    enum class Fn { ReLU, Sigmoid, Tanh };
+    enum class Fn : std::uint8_t { ReLU, Sigmoid, Tanh };
     Fn fn = Fn::ReLU;
 };
 

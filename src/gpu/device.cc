@@ -409,13 +409,16 @@ Device::copyFinish(CopyDir dir)
     powerModel.copyEnd(now, pcie.spec().dmaBandwidth);
     int client = streams[size_t(sid)].client;
     arbiterFor(dir).charge(client, e.cmd.bytes);
+    auto &byClient = dir == CopyDir::DeviceToHost ? copiedByClientD2H
+                                                  : copiedByClientH2D;
+    if (size_t(client) >= byClient.size())
+        byClient.resize(size_t(client) + 1, 0);
+    byClient[size_t(client)] += e.cmd.bytes;
     if (dir == CopyDir::DeviceToHost) {
         copiedD2H += e.cmd.bytes;
-        copiedByClientD2H[client] += e.cmd.bytes;
         copyBusyD2H += now - e.start;
     } else {
         copiedH2D += e.cmd.bytes;
-        copiedByClientH2D[client] += e.cmd.bytes;
         copyBusyH2D += now - e.start;
     }
     if (keepLog) {
@@ -500,8 +503,9 @@ Device::bytesCopiedByClient(CopyDir dir, int client) const
 {
     const auto &m = dir == CopyDir::DeviceToHost ? copiedByClientD2H
                                                  : copiedByClientH2D;
-    auto it = m.find(client);
-    return it == m.end() ? 0 : it->second;
+    if (client < 0 || size_t(client) >= m.size())
+        return 0;
+    return m[size_t(client)];
 }
 
 const ic::FairShareArbiter &

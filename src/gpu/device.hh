@@ -54,7 +54,7 @@ using StreamId = int;
 using CudaEventId = std::int64_t;
 
 /** Direction of a DMA transfer. */
-enum class CopyDir { HostToDevice, DeviceToHost };
+enum class CopyDir : std::uint8_t { HostToDevice, DeviceToHost };
 
 /** Description of a kernel launch (latency precomputed by the caller). */
 struct KernelDesc
@@ -234,7 +234,7 @@ class Device
   private:
     struct Command
     {
-        enum class Type { Kernel, Copy, EventRecord, EventWait };
+        enum class Type : std::uint8_t { Kernel, Copy, EventRecord, EventWait };
         Type type;
         KernelDesc kernel;   // Type::Kernel
         Bytes bytes = 0;     // Type::Copy
@@ -328,8 +328,10 @@ class Device
 
     Bytes copiedD2H = 0;
     Bytes copiedH2D = 0;
-    std::unordered_map<int, Bytes> copiedByClientD2H;
-    std::unordered_map<int, Bytes> copiedByClientH2D;
+    // Indexed by client id (small dense tenant ids): copy completion
+    // accounting is an indexed increment, not a hash insert.
+    std::vector<Bytes> copiedByClientD2H;
+    std::vector<Bytes> copiedByClientH2D;
     TimeNs computeBusy = 0;
     TimeNs copyBusyD2H = 0;
     TimeNs copyBusyH2D = 0;

@@ -7,19 +7,29 @@
 namespace vdnn::ic
 {
 
+FairShareArbiter::ClientState &
+FairShareArbiter::stateFor(int client)
+{
+    VDNN_ASSERT(client >= 0, "negative arbiter client id %d", client);
+    if (std::size_t(client) >= clients.size())
+        clients.resize(std::size_t(client) + 1);
+    return clients[std::size_t(client)];
+}
+
 void
 FairShareArbiter::setWeight(int client, double w)
 {
     VDNN_ASSERT(w > 0.0, "arbiter weight must be positive (client %d)",
                 client);
-    clients[client].weight = w;
+    stateFor(client).weight = w;
 }
 
 double
 FairShareArbiter::weight(int client) const
 {
-    auto it = clients.find(client);
-    return it == clients.end() ? 1.0 : it->second.weight;
+    if (client < 0 || std::size_t(client) >= clients.size())
+        return 1.0;
+    return clients[std::size_t(client)].weight;
 }
 
 std::size_t
@@ -28,10 +38,10 @@ FairShareArbiter::pick(const std::vector<int> &candidates)
     VDNN_ASSERT(!candidates.empty(), "pick() from an empty queue");
 
     auto norm_of = [this](int c) {
-        auto it = clients.find(c);
-        return it == clients.end()
-                   ? 0.0
-                   : double(it->second.served) / it->second.weight;
+        if (c < 0 || std::size_t(c) >= clients.size())
+            return 0.0;
+        const ClientState &state = clients[std::size_t(c)];
+        return double(state.served) / state.weight;
     };
 
     // Bounded deficit: forgive service history beyond kMaxCreditBytes
@@ -41,7 +51,7 @@ FairShareArbiter::pick(const std::vector<int> &candidates)
     for (int c : candidates)
         max_norm = std::max(max_norm, norm_of(c));
     for (int c : candidates) {
-        ClientState &state = clients[c];
+        ClientState &state = stateFor(c);
         double floor_norm =
             max_norm - double(kMaxCreditBytes) / state.weight;
         if (double(state.served) / state.weight < floor_norm)
@@ -68,20 +78,21 @@ void
 FairShareArbiter::charge(int client, Bytes bytes)
 {
     VDNN_ASSERT(bytes >= 0, "negative service charge");
-    clients[client].served += bytes;
+    stateFor(client).served += bytes;
 }
 
 Bytes
 FairShareArbiter::servedBytes(int client) const
 {
-    auto it = clients.find(client);
-    return it == clients.end() ? 0 : it->second.served;
+    if (client < 0 || std::size_t(client) >= clients.size())
+        return 0;
+    return clients[std::size_t(client)].served;
 }
 
 void
 FairShareArbiter::resetService()
 {
-    for (auto &[id, state] : clients)
+    for (ClientState &state : clients)
         state.served = 0;
 }
 

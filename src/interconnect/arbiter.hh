@@ -33,7 +33,6 @@
 #include "common/types.hh"
 
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
 namespace vdnn::ic
@@ -83,7 +82,15 @@ class FairShareArbiter
         Bytes served = 0;
     };
 
-    std::unordered_map<int, ClientState> clients;
+    /** Grow the table to cover @p client and return its state. */
+    ClientState &stateFor(int client);
+
+    /**
+     * Client ids are small dense integers (tenant ids), so the state
+     * table is a flat vector: charge() — once per completed DMA — is
+     * an indexed increment instead of a hash lookup.
+     */
+    std::vector<ClientState> clients;
 };
 
 } // namespace vdnn::ic

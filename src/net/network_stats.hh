@@ -25,6 +25,7 @@
 #include "dnn/cudnn_sim.hh"
 #include "net/network.hh"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -91,7 +92,7 @@ class NetworkStats
     Bytes classifierBytes() const;
 
     /** Scope selector for gradient accounting. */
-    enum class GradScope { All, Managed, Classifier };
+    enum class GradScope : std::uint8_t { All, Managed, Classifier };
 
     /**
      * Peak concurrent gradient-map bytes when gradient buffers are

@@ -22,6 +22,7 @@
 #include "net/network.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
@@ -32,7 +33,7 @@ namespace vdnn::serve
 
 using JobId = int;
 
-enum class JobState
+enum class JobState : std::uint8_t
 {
     Pending,   ///< submitted, arrival time not reached yet
     Queued,    ///< arrived, waiting for admission

@@ -113,19 +113,34 @@ Scheduler::submit(JobSpec spec)
             core::AlgoPreference::MemoryOptimal);
     }
     jobs.push_back(std::move(job));
+    ++numPending;
+    if (nextPendingArrival == kTimeNone ||
+        jobs.back()->spec.arrival < nextPendingArrival) {
+        nextPendingArrival = jobs.back()->spec.arrival;
+    }
     return jobs.back()->id;
 }
 
 void
 Scheduler::collectArrivals()
 {
+    // Nothing can arrive before the cached earliest pending arrival,
+    // so the per-event serve loop skips the job scan entirely.
+    if (numPending == 0 || cluster.now() < nextPendingArrival)
+        return;
     std::vector<JobId> arrived;
+    TimeNs next = kTimeNone;
     for (const auto &job : jobs) {
-        if (job->record.state == JobState::Pending &&
-            job->spec.arrival <= cluster.now()) {
+        if (job->record.state != JobState::Pending)
+            continue;
+        if (job->spec.arrival <= cluster.now()) {
             arrived.push_back(job->id);
+        } else if (next == kTimeNone || job->spec.arrival < next) {
+            next = job->spec.arrival;
         }
     }
+    numPending -= int(arrived.size());
+    nextPendingArrival = next;
     std::sort(arrived.begin(), arrived.end(),
               [this](JobId a, JobId b) {
                   const Job &ja = *jobs[std::size_t(a)];
@@ -325,6 +340,7 @@ Scheduler::admitFromQueue()
         if (!d0.admission.feasible(est, job.reserveScale)) {
             queue.take(i);
             job.record.state = JobState::Rejected;
+            ++numTerminal;
             job.record.finishTime = cluster.now();
             job.record.failReason = strFormat(
                 "reservation %s exceeds device capacity %s",
@@ -377,6 +393,7 @@ Scheduler::backoffAfterSetupOom(Job &job, std::size_t queue_index)
         std::string why = job.record.failReason;
         queue.take(queue_index);
         job.record.state = JobState::Failed;
+        ++numTerminal;
         job.record.finishTime = cluster.now();
         job.record.failReason =
             "admission gave up after repeated setup OOM: " + why;
@@ -430,6 +447,10 @@ Scheduler::finishJob(Job &job, JobState final_state,
     }
 
     job.record.state = final_state;
+    if (final_state == JobState::Finished ||
+        final_state == JobState::Failed) {
+        ++numTerminal;
+    }
     job.record.finishTime = cluster.now();
     job.record.failReason = why;
     logLifecycle(job.id,
@@ -690,11 +711,7 @@ Scheduler::nextArrivalAfter(TimeNs t) const
 bool
 Scheduler::allDone() const
 {
-    for (const auto &job : jobs) {
-        if (!job->done())
-            return false;
-    }
-    return true;
+    return numTerminal == int(jobs.size());
 }
 
 void
@@ -930,6 +947,7 @@ Scheduler::admitFromQueueCluster()
         if (!feasible_somewhere) {
             queue.take(i);
             job.record.state = JobState::Rejected;
+            ++numTerminal;
             job.record.finishTime = cluster.now();
             job.record.failReason = strFormat(
                 "reservation exceeds every device's capacity "
@@ -1002,9 +1020,17 @@ Scheduler::stepDeviceOnce(DeviceCtx &d)
     }
     core::IterationStepper *st = job->session->activeStepper();
     VDNN_ASSERT(st, "in-flight job %d has no stepper", job->id);
+    if (d.blockedJob == job->id &&
+        d.blockedExec == cluster.clock().executed()) {
+        return false; // still blocked: no event has executed since
+    }
     core::IterationStepper::Status s = st->step(/*blocking=*/false);
-    if (s == core::IterationStepper::Status::Blocked)
+    if (s == core::IterationStepper::Status::Blocked) {
+        d.blockedJob = job->id;
+        d.blockedExec = cluster.clock().executed();
         return false;
+    }
+    d.blockedJob = -1;
     if (!st->finished())
         return true;
     d.inFlight = -1;

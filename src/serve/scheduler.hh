@@ -69,6 +69,7 @@
 #include "serve/serve_stats.hh"
 #include "stats/time_weighted.hh"
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -78,7 +79,7 @@
 namespace vdnn::serve
 {
 
-enum class SchedPolicy
+enum class SchedPolicy : std::uint8_t
 {
     FifoExclusive,      ///< one job at a time, arrival order
     RoundRobin,         ///< iteration-granularity packing (Salus-style)
@@ -190,6 +191,16 @@ class Scheduler
         std::size_t rrCursor = 0;
         /** Job whose iteration the cluster loop has in flight. */
         JobId inFlight = -1;
+        /**
+         * Poll memo: the in-flight stepper returned Blocked with the
+         * shared clock's executed-event counter at blockedExec. A
+         * stepper blocks only on its own streams draining, and
+         * streams drain only by events executing, so until the
+         * counter moves a re-poll must return Blocked again — skip
+         * it. Keyed by job id so admission changes invalidate it.
+         */
+        JobId blockedJob = -1;
+        std::uint64_t blockedExec = 0;
         int jobsPlaced = 0;
         int migrationsIn = 0;
         int migrationsOut = 0;
@@ -282,6 +293,14 @@ class Scheduler
     bool resumePending = false;
     /** Next rebalance sweep time (cluster mode). */
     TimeNs nextRebalance = kTimeNone;
+    /**
+     * Scheduler-loop accounting, kept incrementally so the per-event
+     * serve loop does not rescan every job: jobs still Pending (with
+     * the earliest arrival among them) and jobs gone terminal.
+     */
+    int numPending = 0;
+    TimeNs nextPendingArrival = kTimeNone;
+    int numTerminal = 0;
 
     std::vector<LifecycleEvent> lifecycleLog;
     stats::TimeWeighted inflight;

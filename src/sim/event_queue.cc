@@ -1,70 +1,148 @@
 #include "sim/event_queue.hh"
 
-#include "common/logging.hh"
-
-#include <algorithm>
-
 namespace vdnn::sim
 {
 
-EventId
-EventQueue::schedule(TimeNs when, std::function<void()> fn)
+EventQueue::~EventQueue()
 {
-    VDNN_ASSERT(when >= curTime,
-                "scheduling into the past: when=%lld now=%lld",
-                (long long)when, (long long)curTime);
-    VDNN_ASSERT(fn != nullptr, "scheduling a null callback");
-    EventId id = nextId++;
-    heap.push(Entry{when, id, std::move(fn)});
-    ++liveEvents;
-    return id;
+    // Destroy callbacks of events that never ran (the heap may also
+    // hold tombstones for them; slot occupancy is authoritative).
+    for (Slot &s : slots) {
+        if (s.id != 0)
+            s.ops->destroy(s.storage);
+    }
 }
 
-EventId
-EventQueue::scheduleAfter(TimeNs delay, std::function<void()> fn)
+std::uint32_t
+EventQueue::allocSlot()
 {
-    VDNN_ASSERT(delay >= 0, "negative delay %lld", (long long)delay);
-    return schedule(curTime + delay, std::move(fn));
+    if (freeHead != kNoSlot) {
+        std::uint32_t slot = freeHead;
+        freeHead = slots[slot].nextFree;
+        return slot;
+    }
+    VDNN_ASSERT(slots.size() <= kSlotMask,
+                "event slab full: %zu concurrent events",
+                slots.size());
+    slots.emplace_back();
+    return std::uint32_t(slots.size() - 1);
+}
+
+void
+EventQueue::freeSlot(std::uint32_t slot)
+{
+    Slot &s = slots[slot];
+    s.id = 0;
+    s.ops = nullptr;
+    s.nextFree = freeHead;
+    freeHead = slot;
+}
+
+void
+EventQueue::heapPush(HeapEntry e)
+{
+    // Min-heap on (when, id); the id's high bits are the monotonic
+    // schedule sequence, so equal times run in insertion order.
+    std::size_t i = heap.size();
+    heap.push_back(e);
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        HeapEntry &p = heap[parent];
+        if (p.when < e.when || (p.when == e.when && p.id < e.id))
+            break;
+        heap[i] = p;
+        i = parent;
+    }
+    heap[i] = e;
+}
+
+EventQueue::HeapEntry
+EventQueue::heapPop()
+{
+    HeapEntry top = heap.front();
+    HeapEntry last = heap.back();
+    heap.pop_back();
+    std::size_t n = heap.size();
+    if (n > 0) {
+        std::size_t i = 0;
+        for (;;) {
+            std::size_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            std::size_t right = child + 1;
+            if (right < n &&
+                (heap[right].when < heap[child].when ||
+                 (heap[right].when == heap[child].when &&
+                  heap[right].id < heap[child].id))) {
+                child = right;
+            }
+            HeapEntry &c = heap[child];
+            if (last.when < c.when ||
+                (last.when == c.when && last.id < c.id)) {
+                break;
+            }
+            heap[i] = c;
+            i = child;
+        }
+        heap[i] = last;
+    }
+    return top;
 }
 
 void
 EventQueue::deschedule(EventId id)
 {
-    // Lazy deletion: remember the id and drop the entry when it surfaces.
-    if (std::find(cancelled.begin(), cancelled.end(), id) == cancelled.end()) {
-        cancelled.push_back(id);
-        VDNN_ASSERT(liveEvents > 0, "descheduling with no live events");
-        --liveEvents;
+    std::uint32_t slot = std::uint32_t(id & kSlotMask);
+    if (slot >= slots.size())
+        return;
+    Slot &s = slots[slot];
+    if (s.id != id)
+        return; // already ran or already cancelled: true no-op
+    s.ops->destroy(s.storage);
+    freeSlot(slot);
+    VDNN_ASSERT(liveEvents > 0, "descheduling with no live events");
+    --liveEvents;
+    // The heap entry stays behind as a tombstone; pruneTop() drops it
+    // when it surfaces (its slot no longer holds this id).
+}
+
+bool
+EventQueue::pruneTop()
+{
+    while (!heap.empty()) {
+        const HeapEntry &e = heap.front();
+        if (slots[std::size_t(e.id & kSlotMask)].id == e.id)
+            return true;
+        heapPop();
     }
+    return false;
 }
 
 void
-EventQueue::skipCancelled()
+EventQueue::executeTop()
 {
-    while (!heap.empty()) {
-        auto it = std::find(cancelled.begin(), cancelled.end(),
-                            heap.top().id);
-        if (it == cancelled.end())
-            return;
-        cancelled.erase(it);
-        heap.pop();
-    }
+    HeapEntry e = heapPop();
+    std::uint32_t slot = std::uint32_t(e.id & kSlotMask);
+    Slot &s = slots[slot];
+    VDNN_ASSERT(e.when >= curTime, "event time went backwards");
+    curTime = e.when;
+    --liveEvents;
+    ++numExecuted;
+    // The callback may schedule new events and grow the slab; move it
+    // out to the stack and release the slot before invoking.
+    const Ops *ops = s.ops;
+    alignas(std::max_align_t) unsigned char fn[kInlineBytes];
+    ops->relocate(fn, s.storage);
+    freeSlot(slot);
+    ops->invokeAndDestroy(fn);
 }
 
 bool
 EventQueue::step()
 {
-    skipCancelled();
-    if (heap.empty())
+    if (!pruneTop())
         return false;
-    // The callback may schedule new events; copy out first.
-    Entry e = heap.top();
-    heap.pop();
-    --liveEvents;
-    VDNN_ASSERT(e.when >= curTime, "event time went backwards");
-    curTime = e.when;
-    ++numExecuted;
-    e.fn();
+    executeTop();
     return true;
 }
 
@@ -81,11 +159,8 @@ std::uint64_t
 EventQueue::runUntil(TimeNs until)
 {
     std::uint64_t n = 0;
-    for (;;) {
-        skipCancelled();
-        if (heap.empty() || heap.top().when > until)
-            break;
-        step();
+    while (pruneTop() && heap.front().when <= until) {
+        executeTop();
         ++n;
     }
     if (curTime < until)

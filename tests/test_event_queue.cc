@@ -132,6 +132,144 @@ TEST(EventQueue, ExecutedCounterAccumulates)
     EXPECT_EQ(eq.executed(), 4u);
 }
 
+TEST(EventQueue, DescheduleAfterExecutionIsANoOp)
+{
+    // Regression: the old lazy-cancellation scheme could not tell an
+    // executed id from a pending one — descheduling an id that had
+    // already run pushed it onto the cancelled list forever and
+    // wrongly decremented the live-event count, so a later event
+    // could vanish. Device::refreshComputeSchedule() hits this path
+    // on every copy completion.
+    EventQueue eq;
+    bool first = false;
+    bool second = false;
+    auto id = eq.schedule(10, [&] { first = true; });
+    eq.runUntil(15);
+    EXPECT_TRUE(first);
+    eq.deschedule(id); // must be a true no-op
+    eq.deschedule(id); // and stay one when repeated
+    EXPECT_EQ(eq.pending(), 0u);
+    eq.schedule(20, [&] { second = true; });
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_TRUE(second);
+}
+
+TEST(EventQueue, DescheduleTwiceCancelsOnlyOnce)
+{
+    EventQueue eq;
+    bool ran = false;
+    auto id = eq.schedule(10, [&] { ran = true; });
+    eq.schedule(20, [&] {});
+    eq.deschedule(id);
+    eq.deschedule(id);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelThenReschedulePreservesOrder)
+{
+    // Cancel-then-fire at the same timestamp: the replacement event
+    // schedules later, so it must run after everything scheduled in
+    // between — the tie-break follows insertion order, not slot reuse.
+    EventQueue eq;
+    std::vector<int> order;
+    auto id = eq.schedule(100, [&] { order.push_back(0); });
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.deschedule(id);
+    eq.schedule(100, [&] { order.push_back(2); });
+    eq.schedule(100, [&] { order.push_back(3); });
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CallbackCanCancelLaterEvent)
+{
+    // Fire-then-cancel: a running callback cancels an event that is
+    // still pending at the same timestamp.
+    EventQueue eq;
+    std::vector<int> order;
+    sim::EventId victim = 0;
+    eq.schedule(10, [&] {
+        order.push_back(1);
+        eq.deschedule(victim);
+    });
+    victim = eq.schedule(10, [&] { order.push_back(2); });
+    eq.schedule(10, [&] { order.push_back(3); });
+    EXPECT_EQ(eq.run(), 2u);
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, InterleavedScheduleFromCallback)
+{
+    // A callback scheduling at the *current* time runs in this very
+    // drain, after everything already pending at that time.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        order.push_back(1);
+        eq.scheduleAfter(0, [&] { order.push_back(4); });
+    });
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.schedule(10, [&] { order.push_back(3); });
+    EXPECT_EQ(eq.run(), 4u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, DescheduleUnknownIdIsANoOp)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.deschedule(0);                      // the "no event" sentinel
+    eq.deschedule(~sim::EventId(0));       // never issued
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_EQ(eq.run(), 1u);
+}
+
+TEST(EventQueue, SlotReuseKeepsIdsDistinct)
+{
+    // Drive enough schedule/execute cycles that slab slots are reused
+    // many times; stale ids must never alias a newer occupant.
+    EventQueue eq;
+    std::vector<sim::EventId> retired;
+    int ran = 0;
+    for (int wave = 0; wave < 100; ++wave) {
+        std::vector<sim::EventId> ids;
+        for (int i = 0; i < 8; ++i) {
+            ids.push_back(
+                eq.schedule(eq.now() + 1, [&] { ++ran; }));
+        }
+        eq.runUntil(eq.now() + 1);
+        for (auto id : ids)
+            retired.push_back(id);
+        // Descheduling any retired id must never disturb live state.
+        for (auto id : retired)
+            eq.deschedule(id);
+    }
+    EXPECT_EQ(ran, 800);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, LargeCallablesAreBoxed)
+{
+    // Callables above the inline-storage budget take the boxed path;
+    // they must still run, cancel, and destruct correctly.
+    EventQueue eq;
+    struct Big
+    {
+        char pad[200];
+    };
+    Big big{};
+    big.pad[0] = 7;
+    int seen = 0;
+    eq.schedule(10, [big, &seen] { seen = big.pad[0]; });
+    auto id = eq.schedule(20, [big, &seen] { seen = 99; });
+    eq.deschedule(id);
+    eq.run();
+    EXPECT_EQ(seen, 7);
+}
+
 TEST(EventQueueDeath, SchedulingIntoThePastPanics)
 {
     EventQueue eq;

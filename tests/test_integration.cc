@@ -310,3 +310,38 @@ TEST_P(RandomNetworkTest, InvariantsHoldOnRandomLinearCnn)
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworkTest,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u,
                                            77u, 88u));
+
+// --- golden byte-identity ---------------------------------------------------
+
+// Pins the exact simulated numbers of a fig14-style AlexNet run so
+// that performance work on the event queue, dispatch tables, or
+// accounting cannot silently change simulation results.  Every value
+// here is a deterministic function of the model; a legitimate
+// behavioral change must update these constants deliberately.
+TEST(Golden, AlexNetOffloadAllExactValues)
+{
+    auto network = net::buildAlexNet(128);
+    SessionResult r = run(*network, allM());
+    ASSERT_TRUE(r.trainable) << r.failReason;
+    EXPECT_EQ(r.iterationTime, 304848815);
+    EXPECT_EQ(r.featureExtractionTime, 288575029);
+    EXPECT_EQ(r.transferStallTime, 45416944);
+    EXPECT_EQ(r.maxTotalUsage, 881930752);
+    EXPECT_EQ(r.avgManagedUsage, 162068502);
+    EXPECT_EQ(r.offloadedBytesPerIter, 541392896);
+    EXPECT_EQ(r.offloads, 11);
+    EXPECT_EQ(r.prefetches, 11);
+}
+
+// Same pin for the dynamic planner, which exercises the profiling
+// trials and the oracle comparison path on top of the base executor.
+TEST(Golden, AlexNetDynamicExactValues)
+{
+    auto network = net::buildAlexNet(128);
+    SessionResult r = run(*network, dynP());
+    ASSERT_TRUE(r.trainable) << r.failReason;
+    EXPECT_EQ(r.iterationTime, 145738367);
+    EXPECT_EQ(r.transferStallTime, 0);
+    EXPECT_EQ(r.maxTotalUsage, 1172222464);
+    EXPECT_EQ(r.offloadedBytesPerIter, 0);
+}

@@ -997,3 +997,31 @@ TEST(TraceReplay, ShippedSampleTraceLoads)
     for (const TraceEntry &e : t.entries())
         EXPECT_GE(e.iterations, 1);
 }
+
+// Golden byte-identity pin for a multi-tenant serve run: three equal
+// tenants under round-robin with staggered arrivals.  The exact
+// makespan, per-job finish times, and engine busy totals are
+// deterministic; simulator-speed work (pooled events, flat dispatch,
+// indexed accounting) must not move any of them.
+TEST(Scheduler, GoldenMultiTenantExactValues)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::RoundRobin;
+    Scheduler sched(cfg);
+    auto network = tinyNet();
+    sched.submit(makeJob(network, vdnnAll(), 0, 3));
+    sched.submit(makeJob(network, vdnnAll(), 1_ms, 3));
+    sched.submit(makeJob(network, vdnnAll(), 2_ms, 3));
+    ServeReport rep = sched.run();
+    ASSERT_EQ(rep.finishedCount(), 3);
+    EXPECT_EQ(rep.makespan, 4349448);
+    EXPECT_EQ(rep.computeBusyTime, 1747998);
+    EXPECT_EQ(rep.copyBusyTime, 3761280);
+    EXPECT_EQ(rep.poolPeakBytes, 5025792);
+    for (const JobOutcome &j : rep.jobs) {
+        EXPECT_EQ(j.iterations, 3);
+    }
+    EXPECT_EQ(rep.jobs[0].finishTime, 1449816);
+    EXPECT_EQ(rep.jobs[1].finishTime, 3382904);
+    EXPECT_EQ(rep.jobs[2].finishTime, 4349448);
+}
