@@ -61,6 +61,16 @@ struct Scenario
 
 constexpr Scenario kBurst{"burst", 8, 2, 3, 5 * kNsPerMs};
 constexpr Scenario kHighTenant{"hightenant", 64, 8, 12, kNsPerMs};
+/**
+ * The wake-list stressor: 256 tenants pour onto 16 devices four times
+ * faster than hightenant, so for most of the run every device has an
+ * iteration in flight and a deep admission queue sits behind them. A
+ * serve loop that polls every device (and rescans the queue) per
+ * event pays O(devices + queued) per executed event here; the
+ * event-driven loop pays only for the devices an event actually
+ * woke. This is the scenario the PR 9 before/after numbers pin.
+ */
+constexpr Scenario kCluster16{"cluster16", 256, 16, 4, kNsPerMs / 4};
 
 std::vector<JobSpec>
 speedMix(const Scenario &sc)
@@ -140,6 +150,7 @@ report()
     SpeedPoint off = bestOf(3, kBurst, /*telemetry=*/false);
     SpeedPoint on = bestOf(3, kBurst, /*telemetry=*/true);
     SpeedPoint high = bestOf(3, kHighTenant, /*telemetry=*/false);
+    SpeedPoint c16 = bestOf(3, kCluster16, /*telemetry=*/false);
     double overhead_pct =
         off.wallSeconds > 0.0
             ? (on.wallSeconds / off.wallSeconds - 1.0) * 100.0
@@ -156,7 +167,8 @@ report()
     };
     const Row rows[] = {{"8t x 2dev burst", "off", &off},
                         {"8t x 2dev burst", "on", &on},
-                        {"64t x 8dev hightenant", "off", &high}};
+                        {"64t x 8dev hightenant", "off", &high},
+                        {"256t x 16dev cluster16", "off", &c16}};
     for (const Row &r : rows) {
         double mevs = r.p->secondsPerMillionEvents();
         table.addRow({r.scenario, r.label,
@@ -178,6 +190,9 @@ report()
     recordBenchMetric("simspeed.hightenant.events", double(high.events));
     recordBenchMetric("simspeed.hightenant.sec_per_mevent",
                       high.secondsPerMillionEvents());
+    recordBenchMetric("simspeed.cluster16.events", double(c16.events));
+    recordBenchMetric("simspeed.cluster16.sec_per_mevent",
+                      c16.secondsPerMillionEvents());
 }
 
 } // namespace
@@ -190,6 +205,9 @@ main(int argc, char **argv)
     });
     registerSim("simspeed/64_tenants_8dev", [] {
         runWorkload(kHighTenant, /*telemetry=*/false);
+    });
+    registerSim("simspeed/256_tenants_16dev", [] {
+        runWorkload(kCluster16, /*telemetry=*/false);
     });
     return benchMain(argc, argv, report);
 }

@@ -85,4 +85,11 @@ Cluster::setTelemetry(obs::Telemetry t)
         n.dev->setTelemetry(t);
 }
 
+void
+Cluster::setWakeHook(Device::WakeHook hook, void *ctx)
+{
+    for (Node &n : nodes)
+        n.dev->setWakeHook(hook, ctx);
+}
+
 } // namespace vdnn::gpu

@@ -93,6 +93,10 @@ class Cluster
     /** Attach telemetry sinks to every member device. */
     void setTelemetry(obs::Telemetry t);
 
+    /** Attach an event-completion wake hook to every member device
+     *  (see Device::setWakeHook); the hook receives the device id. */
+    void setWakeHook(Device::WakeHook hook, void *ctx);
+
   private:
     struct Node
     {

@@ -333,6 +333,8 @@ Device::computeFinish()
     compute.stream = -1;
     commandDone(sid);
     computeTryStart();
+    if (wakeHook)
+        wakeHook(wakeCtx, devId);
 }
 
 // --- copy engines ----------------------------------------------------------
@@ -445,6 +447,8 @@ Device::copyFinish(CopyDir dir)
     commandDone(sid);
     copyTryStart(dir);
     refreshComputeSchedule();
+    if (wakeHook)
+        wakeHook(wakeCtx, devId);
 }
 
 // --- host synchronization ---------------------------------------------------

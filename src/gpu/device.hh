@@ -213,6 +213,25 @@ class Device
     void setKernelLog(bool enabled) { keepLog = enabled; }
 
     /**
+     * Completion wake hook: invoked every time this device executes a
+     * scheduled event (kernel retirement or DMA completion), after the
+     * completion is fully processed — dependent commands dispatched,
+     * waiting streams released, cudaEvents fired. A stepper blocks
+     * only on its own device's streams, and streams drain only
+     * through these two completion paths, so an external serve loop
+     * that wakes exactly the hooked device on each call never misses
+     * an unblock — it drains woken devices instead of polling all of
+     * them per event. Plain function pointer + context: the unset
+     * case (every classic single-Runtime user) costs one branch.
+     */
+    using WakeHook = void (*)(void *ctx, int device);
+    void setWakeHook(WakeHook hook, void *ctx)
+    {
+        wakeHook = hook;
+        wakeCtx = ctx;
+    }
+
+    /**
      * Attach telemetry sinks (null members = off). Kernel and DMA
      * completions become trace spans (pid = device id, tid = tenant),
      * arbiter grants become instant events, and per-device counters
@@ -339,6 +358,9 @@ class Device
     bool keepLog = false;
     std::vector<KernelRecord> kLog;
     std::vector<CopyRecord> cLog;
+
+    WakeHook wakeHook = nullptr;
+    void *wakeCtx = nullptr;
 
     obs::Telemetry tele;
     /** Cached registry slots so the hot path is one null check. */

@@ -82,6 +82,14 @@ struct JobSpec
     TimeNs arrival = 0;
     /** Training iterations requested. */
     int iterations = 1;
+    /**
+     * Job-completion-time service-level objective (arrival to
+     * finish), 0 = none. Purely observational: the scheduler never
+     * consults it, but ServeReport::sloAttainment() reports the
+     * fraction of SLO-carrying jobs that finished within theirs —
+     * the scenario generator's headline quality metric.
+     */
+    TimeNs sloJct = 0;
 };
 
 /** Scheduler-maintained lifecycle record of one job. */

@@ -88,7 +88,25 @@ Scheduler::Scheduler(SchedulerConfig config)
     VDNN_ASSERT(cfg.rebalancePeriod >= 0, "negative rebalance period");
     VDNN_ASSERT(cfg.rebalanceThreshold >= 1,
                 "rebalance threshold must be >= 1");
+    wake.resize(deviceCount());
+    cluster.setWakeHook(&Scheduler::deviceWakeTrampoline, this);
     inflight.record(cluster.now(), 0.0);
+}
+
+void
+Scheduler::deviceWakeTrampoline(void *self, int device)
+{
+    static_cast<Scheduler *>(self)->onDeviceWake(device);
+}
+
+void
+Scheduler::onDeviceWake(int device)
+{
+    // Every executed completion event lands here: the owning device
+    // may have an unblocked stepper (or a drained stream an admission
+    // teardown was waiting on), so the next turn must offer it a step.
+    wake.add(device);
+    ++statWakeups;
 }
 
 JobId
@@ -141,6 +159,9 @@ Scheduler::collectArrivals()
     }
     numPending -= int(arrived.size());
     nextPendingArrival = next;
+    // New queue entries: the admission rescan has fresh work.
+    if (!arrived.empty())
+        admissionDirty = true;
     std::sort(arrived.begin(), arrived.end(),
               [this](JobId a, JobId b) {
                   const Job &ja = *jobs[std::size_t(a)];
@@ -297,6 +318,8 @@ Scheduler::tryAdmit(Job &job, const FootprintEstimate &est, DeviceCtx &d)
     }
     ++d.jobsPlaced;
     d.running.push_back(job.id);
+    ++residentJobs;
+    wake.add(d.id); // the new resident's first iteration can begin
     recordInflight();
     logLifecycle(job.id, "admit", before, d.id);
     if (ctrAdmissions)
@@ -386,7 +409,12 @@ bool
 Scheduler::backoffAfterSetupOom(Job &job, std::size_t queue_index)
 {
     // Setup OOM despite a fitting reservation: grow the reservation
-    // and retry later, give up after a few attempts.
+    // and retry later, give up after a few attempts. Setup success
+    // depends on the pool's instantaneous free-block structure, which
+    // co-tenant iterations churn between turns — so the retry must
+    // run every turn, exactly as the polling loop did: keep the
+    // admission rescan dirty until the job admits or goes terminal.
+    admissionDirty = true;
     ++job.record.oomRequeues;
     job.reserveScale *= cfg.oomBackoffScale;
     if (job.record.oomRequeues > cfg.maxOomRequeues) {
@@ -412,6 +440,7 @@ Scheduler::removeFromRunning(JobId id)
     VDNN_ASSERT(it != d.running.end(), "job %d not running", id);
     std::size_t idx = std::size_t(it - d.running.begin());
     d.running.erase(it);
+    --residentJobs;
     if (idx < d.rrCursor)
         --d.rrCursor;
     if (d.inFlight == id)
@@ -435,6 +464,9 @@ Scheduler::finishJob(Job &job, JobState final_state,
     job.session->teardown();
     job.session.reset();
     d.admission.release(job.id);
+    // Freed reservation and a shrunk running set: queued jobs that
+    // did not fit may now, so the admission rescan must run again.
+    admissionDirty = true;
 
     if (job.record.state == JobState::Evicted) {
         auto ev = std::find(evictedJobs.begin(), evictedJobs.end(),
@@ -569,6 +601,7 @@ Scheduler::preempt(Job &victim)
     }
     d0.admission.evict(victim.id);
     removeFromRunning(victim.id);
+    admissionDirty = true;
     evictedJobs.push_back(victim.id);
     victim.record.state = JobState::Evicted;
     victim.record.waitingSince = cluster.now(); // aging resumes
@@ -656,6 +689,9 @@ Scheduler::tryResumeOn(Job &job, DeviceCtx &d)
     VDNN_ASSERT(ev != evictedJobs.end(), "job %d not evicted", job.id);
     evictedJobs.erase(ev);
     d.running.push_back(job.id);
+    ++residentJobs;
+    wake.add(d.id);
+    admissionDirty = true;
     job.record.state = JobState::Running;
     stopWaiting(job);
     recordInflight();
@@ -691,21 +727,6 @@ Scheduler::recordInflight()
     int n = jobsInFlight();
     inflight.record(cluster.now(), double(n));
     peakInflight = std::max(peakInflight, n);
-}
-
-TimeNs
-Scheduler::nextArrivalAfter(TimeNs t) const
-{
-    TimeNs next = kTimeNone;
-    for (const auto &job : jobs) {
-        if (job->record.state != JobState::Pending)
-            continue;
-        if (job->spec.arrival > t &&
-            (next == kTimeNone || job->spec.arrival < next)) {
-            next = job->spec.arrival;
-        }
-    }
-    return next;
 }
 
 bool
@@ -754,9 +775,12 @@ Scheduler::adoptProfile(Job &job)
     if (ctrProfiles)
         ctrProfiles->add();
     logLifecycle(job.id, "profile", before, d.id);
-    // Returned bytes may readmit a parked tenant right away.
-    if (freed > 0)
+    // Returned bytes may readmit a parked tenant right away — or let
+    // a queued one through admission.
+    if (freed > 0) {
         resumePending = true;
+        admissionDirty = true;
+    }
 }
 
 void
@@ -778,7 +802,7 @@ Scheduler::runInterleaved()
                 if (!d0.running.empty())
                     continue;
             }
-            TimeNs next = nextArrivalAfter(cluster.now());
+            TimeNs next = nextPendingArrivalTime();
             if (next == kTimeNone) {
                 if (!evictedJobs.empty()) {
                     // Backstop: an evicted tenant that cannot come
@@ -799,6 +823,7 @@ Scheduler::runInterleaved()
                 // to arrive: every queued job was terminal-handled.
                 break;
             }
+            ++statIdleAdvances;
             cluster.advanceTo(next);
             continue;
         }
@@ -851,9 +876,10 @@ Scheduler::runPacked()
         admitFromQueue();
 
         if (d0.running.empty()) {
-            TimeNs next = nextArrivalAfter(cluster.now());
+            TimeNs next = nextPendingArrivalTime();
             if (next == kTimeNone)
                 break;
+            ++statIdleAdvances;
             cluster.advanceTo(next);
             continue;
         }
@@ -1006,8 +1032,10 @@ Scheduler::pickNextOn(DeviceCtx &d)
 bool
 Scheduler::stepDeviceOnce(DeviceCtx &d)
 {
-    if (d.running.empty())
+    if (d.running.empty()) {
+        ++statFruitlessPolls;
         return false;
+    }
     Job *job;
     if (d.inFlight >= 0) {
         job = jobs[std::size_t(d.inFlight)].get();
@@ -1022,12 +1050,14 @@ Scheduler::stepDeviceOnce(DeviceCtx &d)
     VDNN_ASSERT(st, "in-flight job %d has no stepper", job->id);
     if (d.blockedJob == job->id &&
         d.blockedExec == cluster.clock().executed()) {
+        ++statFruitlessPolls;
         return false; // still blocked: no event has executed since
     }
     core::IterationStepper::Status s = st->step(/*blocking=*/false);
     if (s == core::IterationStepper::Status::Blocked) {
         d.blockedJob = job->id;
         d.blockedExec = cluster.clock().executed();
+        ++statFruitlessPolls;
         return false;
     }
     d.blockedJob = -1;
@@ -1118,6 +1148,8 @@ Scheduler::migrateJob(Job &job, DeviceCtx &src, DeviceCtx &dst)
     Bytes src_peak = src.pool->peakByClient(job.id);
     src.admission.release(job.id);
     removeFromRunning(job.id);
+    // Both outcomes move ledger entries across devices.
+    admissionDirty = true;
     ++src.migrationsOut;
     job.record.state = JobState::Evicted;
     logLifecycle(job.id, "migrate-out", before, src.id);
@@ -1176,6 +1208,8 @@ Scheduler::migrateJob(Job &job, DeviceCtx &src, DeviceCtx &dst)
     }
     job.record.state = JobState::Running;
     dst.running.push_back(job.id);
+    ++residentJobs;
+    wake.add(dst.id); // the migrant's next iteration starts here
     recordInflight();
     logLifecycle(job.id, "migrate", before, dst.id);
     if (ctrMigrations)
@@ -1220,28 +1254,59 @@ Scheduler::runCluster()
     // resident set advances through a resumable stepper while its
     // siblings' kernels and DMAs run on the shared clock, so N
     // devices genuinely serve N tenants' compute concurrently.
+    //
+    // The loop is event-driven. The old implementation polled: every
+    // turn rescanned the admission queue against every device and
+    // offered every device a step, an O(devices + queued) toll per
+    // executed event. Here each turn drains only the wake-set — the
+    // devices whose state actually changed since they last made no
+    // progress (a completion event executed on them, or a tenant was
+    // admitted / resumed / migrated in) — and the admission rescan
+    // runs only when `admissionDirty` says one of its inputs moved.
+    // Outputs are byte-identical to the polling loop because every
+    // skipped call was pure: a non-blocking step offered to a blocked
+    // or empty device returns without side effects, and the rescan
+    // with unchanged inputs reproduces its previous (fruitless)
+    // decisions. The turn structure — preamble, at most one step per
+    // device in ascending id order, exactly one executed event when
+    // no stepper progressed — is preserved, so every admission,
+    // placement and iteration decision lands on the same simulated
+    // nanosecond it always did.
+    //
+    // Arrivals stay turn-boundary-scheduled rather than becoming real
+    // clock events: collectArrivals() is O(1) until the cached
+    // nextPendingArrival is due (a real arrival-time event would
+    // process the queue *mid*-turn and shift admit times). The idle
+    // path advances straight to that cached arrival, and rebalance
+    // sweeps gate on their precomputed next-due time.
+    for (auto &d : devs)
+        wake.add(d->id);
     while (!allDone()) {
         collectArrivals();
-        admitFromQueueCluster();
+        if (admissionDirty) {
+            admissionDirty = false;
+            // May re-dirty itself: a setup-OOM backoff must retry
+            // against the pool's next-turn state, every turn, until
+            // it admits or goes terminal (the polling cadence).
+            admitFromQueueCluster();
+        }
         if (resumePending) {
             resumePending = false;
             resumeEvictedCluster();
         }
-        maybeRebalance();
+        if (cfg.rebalancePeriod > 0 &&
+            (nextRebalance == kTimeNone ||
+             cluster.now() >= nextRebalance)) {
+            maybeRebalance();
+        }
 
-        bool any_resident = false;
-        for (auto &d : devs)
-            any_resident |= !d->running.empty();
-        if (!any_resident) {
+        if (residentJobs == 0) {
             if (!evictedJobs.empty()) {
                 resumeEvictedCluster();
-                bool resumed = false;
-                for (auto &d : devs)
-                    resumed |= !d->running.empty();
-                if (resumed)
+                if (residentJobs > 0)
                     continue;
             }
-            TimeNs next = nextArrivalAfter(cluster.now());
+            TimeNs next = nextPendingArrivalTime();
             if (next == kTimeNone) {
                 if (!evictedJobs.empty()) {
                     // Backstop: a stalled migrant that cannot come
@@ -1260,16 +1325,37 @@ Scheduler::runCluster()
                 }
                 break;
             }
+            ++statIdleAdvances;
             cluster.advanceTo(next);
             continue;
         }
 
+        if (forceWakeAll) {
+            // Spurious-wakeup test mode: degenerate to the polling
+            // scan. Extra offers to blocked devices are pure, so the
+            // equivalence goldens must still hold.
+            for (auto &d : devs)
+                wake.add(d->id);
+        }
+        // Ascending-id sweep over the live wake-set. A device woken
+        // *above* the cursor mid-sweep (a teardown's stream drain
+        // executes events) is stepped this turn, one woken at or
+        // below it next turn — both exactly when the polling scan
+        // would have offered it a step. A device leaves the set only
+        // when its offer makes no progress; it re-enters via its wake
+        // hook or an admission, so a runnable device is never
+        // stranded.
         bool progress = false;
-        for (auto &d : devs)
-            progress = stepDeviceOnce(*d) || progress;
+        for (int id = wake.next(0); id != -1; id = wake.next(id + 1)) {
+            if (stepDeviceOnce(*devs[std::size_t(id)]))
+                progress = true;
+            else
+                wake.remove(id);
+        }
         if (!progress) {
-            // Every device's in-flight iteration is blocked on DMA
-            // joins; run the single next completion.
+            // Every woken device's in-flight iteration is blocked on
+            // DMA joins (or the set is empty); run the single next
+            // completion — its wake hook repopulates the set.
             bool advanced = cluster.stepDevice();
             VDNN_ASSERT(advanced,
                         "all devices blocked with an empty event queue");
@@ -1374,6 +1460,7 @@ Scheduler::buildReport()
         out.persistentBytes = rec.persistentBytes;
         out.peakPoolBytes = rec.peakPoolBytes;
         out.offloadedBytes = rec.offloadedBytes;
+        out.sloJct = job->spec.sloJct;
         out.failReason = rec.failReason;
         rep.jobs.push_back(std::move(out));
 
@@ -1386,6 +1473,16 @@ Scheduler::buildReport()
     }
     if (first_arrival != kTimeNone && last_finish > first_arrival)
         rep.makespan = last_finish - first_arrival;
+
+    rep.loopWakeups = statWakeups;
+    rep.loopFruitlessPolls = statFruitlessPolls;
+    rep.loopIdleAdvances = statIdleAdvances;
+    if (obs::MetricsRegistry *m = cfg.telemetry.metrics) {
+        m->counter("serve.wakeups").add(double(statWakeups));
+        m->counter("serve.fruitless_polls")
+            .add(double(statFruitlessPolls));
+        m->counter("serve.idle_advances").add(double(statIdleAdvances));
+    }
     return rep;
 }
 

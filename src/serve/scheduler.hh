@@ -67,6 +67,7 @@
 #include "serve/job.hh"
 #include "serve/placement.hh"
 #include "serve/serve_stats.hh"
+#include "serve/wake_set.hh"
 #include "stats/time_weighted.hh"
 
 #include <cstdint>
@@ -176,6 +177,30 @@ class Scheduler
         return int(devs.at(std::size_t(d))->running.size());
     }
 
+    /** Event-driven serve-loop accounting (also on the ServeReport). */
+    struct LoopStats
+    {
+        /** Device wake-hook firings (one per executed event). */
+        std::uint64_t wakeups = 0;
+        /** Step offers that made no progress (blocked / no work). */
+        std::uint64_t fruitlessPolls = 0;
+        /** Idle clock advances to the next pending arrival. */
+        std::uint64_t idleAdvances = 0;
+    };
+    LoopStats loopStats() const
+    {
+        return {statWakeups, statFruitlessPolls, statIdleAdvances};
+    }
+
+    /**
+     * Test hook (spurious-wakeup safety): treat every device as woken
+     * on every turn of the cluster loop, degenerating the wake-list
+     * sweep back into the old full polling scan. A non-blocking step
+     * offered to a blocked or empty device is pure, so outputs must
+     * be byte-identical with this on — the equivalence suite pins it.
+     */
+    void setDebugForceWakeAll(bool on) { forceWakeAll = on; }
+
   private:
     /** Everything the scheduler keeps per device of the cluster. */
     struct DeviceCtx
@@ -216,7 +241,13 @@ class Scheduler
                    const std::string &why = "");
     void evictForRequeue(Job &job);
     void recordInflight();
-    TimeNs nextArrivalAfter(TimeNs t) const;
+    /** Earliest arrival still Pending (kTimeNone when none): the
+     *  incrementally maintained numPending/nextPendingArrival pair,
+     *  exact because jobs only leave Pending via collectArrivals(). */
+    TimeNs nextPendingArrivalTime() const
+    {
+        return numPending > 0 ? nextPendingArrival : kTimeNone;
+    }
     bool allDone() const;
     /** Fold one completed (ok) iteration into the job's record. */
     void chargeIteration(Job &job, const core::IterationResult &r);
@@ -277,8 +308,12 @@ class Scheduler
     bool migrateJob(Job &job, DeviceCtx &src, DeviceCtx &dst);
     /** Readmit evicted tenants onto their (post-migration) device. */
     void resumeEvictedCluster();
-    /** One-iteration-per-device concurrent main loop. */
+    /** One-iteration-per-device concurrent main loop (event-driven:
+     *  drains only devices on the wake-set). */
     void runCluster();
+    /** Device wake hook body: push @p device onto the wake-set. */
+    void onDeviceWake(int device);
+    static void deviceWakeTrampoline(void *self, int device);
 
     SchedulerConfig cfg;
     gpu::Cluster cluster;
@@ -301,6 +336,25 @@ class Scheduler
     int numPending = 0;
     TimeNs nextPendingArrival = kTimeNone;
     int numTerminal = 0;
+    /**
+     * Event-driven cluster-loop state. `wake` holds the devices the
+     * next turn must offer a step (populated by the Device completion
+     * hooks plus the admit/resume/migrate-in sites); a device leaves
+     * it only when a step offer makes no progress. `admissionDirty`
+     * gates admitFromQueueCluster(): the queue rescan runs only when
+     * an arrival, a ledger change, a running-set change or a pending
+     * setup-OOM retry could alter its decisions — on every other turn
+     * the old polling rescan was provably pure, so skipping it cannot
+     * change outputs. `residentJobs` caches the summed running-set
+     * size so the idle test is O(1).
+     */
+    WakeSet wake;
+    bool admissionDirty = true;
+    int residentJobs = 0;
+    std::uint64_t statWakeups = 0;
+    std::uint64_t statFruitlessPolls = 0;
+    std::uint64_t statIdleAdvances = 0;
+    bool forceWakeAll = false;
 
     std::vector<LifecycleEvent> lifecycleLog;
     stats::TimeWeighted inflight;

@@ -97,6 +97,31 @@ ServeReport::rejectedCount() const
     return countState(jobs, JobState::Rejected);
 }
 
+int
+ServeReport::sloEligible() const
+{
+    int n = 0;
+    for (const JobOutcome &j : jobs)
+        n += int(j.sloJct > 0);
+    return n;
+}
+
+int
+ServeReport::sloMet() const
+{
+    int n = 0;
+    for (const JobOutcome &j : jobs)
+        n += int(j.sloMet());
+    return n;
+}
+
+double
+ServeReport::sloAttainment() const
+{
+    int eligible = sloEligible();
+    return eligible > 0 ? double(sloMet()) / double(eligible) : 1.0;
+}
+
 TimeNs
 ServeReport::meanJct() const
 {

@@ -50,7 +50,16 @@ struct JobOutcome
     Bytes persistentBytes = 0;
     Bytes peakPoolBytes = 0;
     Bytes offloadedBytes = 0;
+    /** JCT service-level objective carried by the spec (0 = none). */
+    TimeNs sloJct = 0;
     std::string failReason;
+
+    /** Finished within the SLO (false when none was set). */
+    bool sloMet() const
+    {
+        return sloJct > 0 && state == JobState::Finished &&
+               completionTime <= sloJct;
+    }
 };
 
 /** Per-device section of a cluster report. */
@@ -145,6 +154,17 @@ struct ServeReport
     Bytes reservedBytesAtEnd = 0;
     int evictedLedgerAtEnd = 0;
 
+    /**
+     * Event-driven serve-loop accounting: device wake-hook firings
+     * (one per executed completion event), step offers that made no
+     * progress, and idle clock advances to the next pending arrival.
+     * Telemetry for the polling -> wake-list rework; never printed in
+     * the golden-pinned tables.
+     */
+    std::uint64_t loopWakeups = 0;
+    std::uint64_t loopFruitlessPolls = 0;
+    std::uint64_t loopIdleAdvances = 0;
+
     int finishedCount() const;
     int failedCount() const;
     int rejectedCount() const;
@@ -160,6 +180,13 @@ struct ServeReport
     TimeNs p95QueueingDelay() const;
     /** p99 (nearest-rank) queueing delay over admitted jobs. */
     TimeNs p99QueueingDelay() const;
+
+    /** Jobs that carried a JCT SLO (JobSpec::sloJct > 0). */
+    int sloEligible() const;
+    /** Eligible jobs that finished within their SLO. */
+    int sloMet() const;
+    /** sloMet() / sloEligible(); 1.0 when nothing carried an SLO. */
+    double sloAttainment() const;
 
     /** Mean JCT over finished jobs at exactly @p priority. */
     TimeNs meanJctAtPriority(int priority) const;

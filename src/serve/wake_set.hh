@@ -1,0 +1,121 @@
+/**
+ * @file
+ * WakeSet: the serve loop's ready-set of device ids.
+ *
+ * A fixed-capacity bitset over small dense device ids, built for the
+ * event-driven cluster serve loop (scheduler.cc): the Device wake
+ * hooks add the owner of every executed completion event, and the
+ * loop's step sweep visits exactly the set bits in ascending id
+ * order — the same device order the old polling loop scanned in,
+ * which the byte-identity requirement pins. Dedup is free (a bit
+ * can only be set once) and membership/size are O(1).
+ *
+ * Live mutation during iteration is part of the contract: a bit
+ * added at an id *above* the sweep cursor (a finishing iteration's
+ * teardown drains streams, executing events whose hooks wake other
+ * devices) is visited in the same sweep — the polling loop would
+ * have reached that device this turn too — while a bit added at or
+ * below the cursor is picked up next turn, exactly when the polling
+ * loop would next have offered that device a step.
+ */
+
+#ifndef VDNN_SERVE_WAKE_SET_HH
+#define VDNN_SERVE_WAKE_SET_HH
+
+#include "common/logging.hh"
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace vdnn::serve
+{
+
+class WakeSet
+{
+  public:
+    explicit WakeSet(int capacity = 0) { resize(capacity); }
+
+    /** Drop every member and re-bound the id range to [0, n). */
+    void resize(int n)
+    {
+        VDNN_ASSERT(n >= 0, "negative WakeSet capacity");
+        cap = n;
+        words.assign(std::size_t(n + 63) / 64, 0);
+        cnt = 0;
+    }
+
+    int capacity() const { return cap; }
+    int size() const { return cnt; }
+    bool empty() const { return cnt == 0; }
+
+    bool contains(int id) const
+    {
+        VDNN_ASSERT(id >= 0 && id < cap, "WakeSet id %d out of range",
+                    id);
+        return (words[word(id)] >> bit(id)) & 1u;
+    }
+
+    /** Insert @p id; duplicates are absorbed (a bit sets once). */
+    void add(int id)
+    {
+        VDNN_ASSERT(id >= 0 && id < cap, "WakeSet id %d out of range",
+                    id);
+        std::uint64_t &w = words[word(id)];
+        std::uint64_t m = std::uint64_t(1) << bit(id);
+        cnt += int(!(w & m));
+        w |= m;
+    }
+
+    /** Erase @p id; erasing a non-member is a no-op. */
+    void remove(int id)
+    {
+        VDNN_ASSERT(id >= 0 && id < cap, "WakeSet id %d out of range",
+                    id);
+        std::uint64_t &w = words[word(id)];
+        std::uint64_t m = std::uint64_t(1) << bit(id);
+        cnt -= int(!!(w & m));
+        w &= ~m;
+    }
+
+    void clear()
+    {
+        words.assign(words.size(), 0);
+        cnt = 0;
+    }
+
+    /**
+     * Smallest member >= @p from, or -1 when none. The ascending
+     * sweep is `for (int d = s.next(0); d != -1; d = s.next(d + 1))`;
+     * it observes live mutation as documented above.
+     */
+    int next(int from) const
+    {
+        if (from < 0)
+            from = 0;
+        if (from >= cap)
+            return -1;
+        std::size_t wi = word(from);
+        std::uint64_t w =
+            words[wi] & (~std::uint64_t(0) << bit(from));
+        while (true) {
+            if (w)
+                return int(wi * 64) + std::countr_zero(w);
+            if (++wi >= words.size())
+                return -1;
+            w = words[wi];
+        }
+    }
+
+  private:
+    static std::size_t word(int id) { return std::size_t(id) >> 6; }
+    static int bit(int id) { return id & 63; }
+
+    std::vector<std::uint64_t> words;
+    int cap = 0;
+    int cnt = 0;
+};
+
+} // namespace vdnn::serve
+
+#endif // VDNN_SERVE_WAKE_SET_HH

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Golden equivalence suite for the event-driven cluster serve loop.
+ *
+ * PR 9 replaced the polling `runCluster()` (scan every device per
+ * turn) with a wake-list loop that drains only devices an executed
+ * event actually woke. The refactor must not change a single
+ * scheduling decision: these tests pin ServeReports produced by the
+ * *polling* loop — makespan, per-job admit/dispatch/finish times,
+ * iteration counts, placements and the full lifecycle ledger folded
+ * into one hash — on four deterministic workloads covering the
+ * cluster round-robin burst (with rebalance migration), the sparse
+ * FIFO idle path (clock advances to the next arrival), SRPT packing,
+ * and the single-device preemptive-priority state machine whose idle
+ * path shares the nextPendingArrival fast path.
+ *
+ * If any of these change, the wake-list loop made a different
+ * decision than the polling loop did — a correctness bug, not a perf
+ * win. Debug by diffing `memory_timeline lifecycle` / bench_cluster
+ * output against a pre-change build.
+ */
+
+#include "serve/placement.hh"
+#include "serve/scheduler.hh"
+
+#include "check/ledger_auditor.hh"
+#include "common/units.hh"
+#include "net/builders.hh"
+#include "obs/metrics.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+
+using namespace vdnn;
+using namespace vdnn::serve;
+
+namespace
+{
+
+std::shared_ptr<core::Planner>
+vdnnAll()
+{
+    return std::make_shared<core::OffloadAllPlanner>(
+        core::AlgoPreference::MemoryOptimal);
+}
+
+std::shared_ptr<const net::Network>
+sharedNet(int which, std::int64_t batch)
+{
+    // Cached per (builder, batch): network construction is expensive
+    // and the specs are immutable.
+    static std::map<std::pair<int, std::int64_t>,
+                    std::shared_ptr<const net::Network>>
+        cache;
+    auto key = std::make_pair(which, batch);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    std::shared_ptr<const net::Network> net =
+        which == 0 ? net::buildAlexNet(batch) : net::buildOverFeat(batch);
+    cache.emplace(key, net);
+    return net;
+}
+
+/** FNV-1a over the fields a scheduling decision can influence. */
+struct Fold
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    void
+    add(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    }
+    void
+    addStr(const char *s)
+    {
+        for (; *s; ++s) {
+            h ^= std::uint64_t(static_cast<unsigned char>(*s));
+            h *= 1099511628211ULL;
+        }
+    }
+};
+
+std::uint64_t
+foldJobs(const ServeReport &r)
+{
+    Fold f;
+    for (const JobOutcome &j : r.jobs) {
+        f.add(std::uint64_t(j.id));
+        f.add(std::uint64_t(j.state));
+        f.add(std::uint64_t(j.arrival));
+        f.add(std::uint64_t(j.admitTime));
+        f.add(std::uint64_t(j.firstDispatchTime));
+        f.add(std::uint64_t(j.finishTime));
+        f.add(std::uint64_t(j.serviceTime));
+        f.add(std::uint64_t(j.iterations));
+        f.add(std::uint64_t(j.oomRequeues));
+        f.add(std::uint64_t(j.preemptions));
+        f.add(std::uint64_t(j.migrations));
+        f.add(std::uint64_t(j.device));
+        for (int d : j.placements)
+            f.add(std::uint64_t(d));
+    }
+    return f.h;
+}
+
+std::uint64_t
+foldLifecycle(const ServeReport &r)
+{
+    Fold f;
+    for (const LifecycleEvent &ev : r.lifecycle) {
+        f.add(std::uint64_t(ev.when));
+        f.add(std::uint64_t(ev.job));
+        f.addStr(ev.what);
+        f.add(std::uint64_t(ev.device));
+        f.add(std::uint64_t(ev.reservedBefore));
+        f.add(std::uint64_t(ev.reservedAfter));
+    }
+    return f.h;
+}
+
+/** The ledger must balance and the audit trail must replay cleanly
+ *  whatever loop produced the report. */
+void
+expectClean(const ServeReport &r)
+{
+    EXPECT_EQ(r.reservedBytesAtEnd, 0);
+    EXPECT_EQ(r.evictedLedgerAtEnd, 0);
+    check::CheckResult audit = check::auditLedger(r);
+    EXPECT_TRUE(audit.ok()) << audit.report();
+}
+
+// --- workloads ---------------------------------------------------------------
+
+/** The simspeed burst: 8 mixed tenants on 2 devices, round-robin
+ *  packing, load-balance placement, rebalance migration. */
+ServeReport
+runClusterBurst(bool forceWakeAll = false)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::RoundRobin;
+    cfg.devices.assign(2, cfg.gpu);
+    cfg.placement = std::make_shared<LoadBalancePlacement>();
+    cfg.rebalancePeriod = 100 * kNsPerMs;
+    cfg.rebalanceThreshold = 2;
+    Scheduler sched(cfg);
+    for (int i = 0; i < 8; ++i) {
+        JobSpec spec;
+        spec.name = strFormat("eq-%02d", i);
+        spec.network = sharedNet(i % 2, 128);
+        spec.planner = vdnnAll();
+        spec.arrival = TimeNs(i) * 5 * kNsPerMs;
+        spec.iterations = 3;
+        sched.submit(std::move(spec));
+    }
+    sched.setDebugForceWakeAll(forceWakeAll);
+    return sched.run();
+}
+
+/** Sparse FIFO arrivals on 3 devices: between bursts every device
+ *  drains, so the loop takes the idle advance-to-next-arrival path
+ *  (the nextPendingArrival fast path) repeatedly. */
+ServeReport
+runClusterSparse()
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::FifoExclusive;
+    cfg.devices.assign(3, cfg.gpu);
+    Scheduler sched(cfg);
+    for (int i = 0; i < 6; ++i) {
+        JobSpec spec;
+        spec.name = strFormat("sparse-%02d", i);
+        spec.network = sharedNet(0, 64);
+        spec.planner = vdnnAll();
+        spec.arrival = TimeNs(i) * 3 * kNsPerSec;
+        spec.iterations = 2;
+        sched.submit(std::move(spec));
+    }
+    return sched.run();
+}
+
+/** SRPT packing with mixed iteration budgets on 2 devices. */
+ServeReport
+runClusterSrpt(bool forceWakeAll = false)
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::ShortestRemaining;
+    cfg.devices.assign(2, cfg.gpu);
+    Scheduler sched(cfg);
+    for (int i = 0; i < 10; ++i) {
+        JobSpec spec;
+        spec.name = strFormat("srpt-%02d", i);
+        spec.network = sharedNet(i % 2, 64);
+        spec.planner = vdnnAll();
+        spec.arrival = TimeNs(i) * 2 * kNsPerMs;
+        spec.iterations = i % 4 + 1;
+        sched.submit(std::move(spec));
+    }
+    sched.setDebugForceWakeAll(forceWakeAll);
+    return sched.run();
+}
+
+/** The preemption workload: a priority-10 urgent arrival preempts
+ *  background tenants on one device (runInterleaved shares the
+ *  idle-path fast path the satellite fix touched). */
+ServeReport
+runPreemption()
+{
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::PreemptivePriority;
+    Scheduler sched(cfg);
+    for (int i = 0; i < 4; ++i) {
+        JobSpec spec;
+        spec.name = strFormat("bg-%02d", i);
+        spec.network = sharedNet(1, 128);
+        spec.planner = vdnnAll();
+        spec.priority = 0;
+        spec.agingRatePerSec = 0.5;
+        spec.arrival = TimeNs(i) * kNsPerMs;
+        spec.iterations = 3;
+        sched.submit(std::move(spec));
+    }
+    JobSpec urgent;
+    urgent.name = "urgent";
+    urgent.network = sharedNet(0, 64);
+    urgent.planner = std::make_shared<core::BaselinePlanner>(
+        core::AlgoPreference::MemoryOptimal);
+    urgent.priority = 10;
+    urgent.arrival = 50 * kNsPerMs;
+    urgent.iterations = 2;
+    sched.submit(std::move(urgent));
+    return sched.run();
+}
+
+} // namespace
+
+// Golden values produced by the polling-loop build at PR 9's base
+// commit. The wake-list loop must reproduce every one of them.
+
+TEST(ServeEquivalence, ClusterBurstGolden)
+{
+    ServeReport r = runClusterBurst();
+    EXPECT_EQ(r.finishedCount(), 8);
+    EXPECT_EQ(r.makespan, 7799969597);
+    EXPECT_EQ(foldJobs(r), 4623866629423474671ULL);
+    EXPECT_EQ(foldLifecycle(r), 15514790360774009672ULL);
+    EXPECT_EQ(r.lifecycle.size(), 28u);
+    expectClean(r);
+}
+
+TEST(ServeEquivalence, ClusterSparseGolden)
+{
+    ServeReport r = runClusterSparse();
+    EXPECT_EQ(r.finishedCount(), 6);
+    EXPECT_EQ(r.makespan, 15304944816);
+    EXPECT_EQ(foldJobs(r), 11180232576600094268ULL);
+    EXPECT_EQ(foldLifecycle(r), 12640906346956073136ULL);
+    EXPECT_EQ(r.lifecycle.size(), 18u);
+    expectClean(r);
+}
+
+TEST(ServeEquivalence, ClusterSrptGolden)
+{
+    ServeReport r = runClusterSrpt();
+    EXPECT_EQ(r.finishedCount(), 10);
+    EXPECT_EQ(r.makespan, 7909967178);
+    EXPECT_EQ(foldJobs(r), 17133718095427305840ULL);
+    EXPECT_EQ(foldLifecycle(r), 7414691562356460462ULL);
+    EXPECT_EQ(r.lifecycle.size(), 30u);
+    expectClean(r);
+}
+
+TEST(ServeEquivalence, PreemptionGolden)
+{
+    ServeReport r = runPreemption();
+    EXPECT_EQ(r.finishedCount(), 5);
+    EXPECT_EQ(r.makespan, 11466176140);
+    EXPECT_EQ(foldJobs(r), 13172782408820595359ULL);
+    EXPECT_EQ(foldLifecycle(r), 11727778982525866355ULL);
+    EXPECT_EQ(r.lifecycle.size(), 15u);
+    expectClean(r);
+}
+
+// Spurious-wakeup safety: forceWakeAll re-adds every device to the
+// wake-set each turn, so the sweep degenerates to the old full
+// polling scan — every wake-list skip becomes an explicit (pure) step
+// offer. Outputs must not move by a byte, or a skipped offer was not
+// actually pure and the wake-list loop is dropping decisions.
+
+TEST(ServeEquivalence, SpuriousWakeupsClusterBurst)
+{
+    ServeReport r = runClusterBurst(/*forceWakeAll=*/true);
+    EXPECT_EQ(r.makespan, 7799969597);
+    EXPECT_EQ(foldJobs(r), 4623866629423474671ULL);
+    EXPECT_EQ(foldLifecycle(r), 15514790360774009672ULL);
+    expectClean(r);
+}
+
+TEST(ServeEquivalence, SpuriousWakeupsClusterSrpt)
+{
+    ServeReport r = runClusterSrpt(/*forceWakeAll=*/true);
+    EXPECT_EQ(r.makespan, 7909967178);
+    EXPECT_EQ(foldJobs(r), 17133718095427305840ULL);
+    EXPECT_EQ(foldLifecycle(r), 7414691562356460462ULL);
+    expectClean(r);
+}
+
+// The serve-loop accounting lands both on the report and in the
+// MetricsRegistry (and the counters never appear in golden-pinned
+// tables, so they are free to exist).
+
+TEST(ServeEquivalence, LoopCountersFlushToMetrics)
+{
+    obs::MetricsRegistry metrics;
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::RoundRobin;
+    cfg.devices.assign(2, cfg.gpu);
+    cfg.telemetry.metrics = &metrics;
+    Scheduler sched(cfg);
+    for (int i = 0; i < 4; ++i) {
+        JobSpec spec;
+        spec.name = strFormat("ctr-%02d", i);
+        spec.network = sharedNet(0, 64);
+        spec.planner = vdnnAll();
+        spec.arrival = TimeNs(i) * 2 * kNsPerSec;
+        spec.iterations = 2;
+        sched.submit(std::move(spec));
+    }
+    ServeReport r = sched.run();
+
+    EXPECT_GT(r.loopWakeups, 0u);
+    EXPECT_GT(r.loopIdleAdvances, 0u); // 2 s gaps drain the cluster
+    EXPECT_EQ(metrics.counter("serve.wakeups").value(),
+              double(r.loopWakeups));
+    EXPECT_EQ(metrics.counter("serve.fruitless_polls").value(),
+              double(r.loopFruitlessPolls));
+    EXPECT_EQ(metrics.counter("serve.idle_advances").value(),
+              double(r.loopIdleAdvances));
+    Scheduler::LoopStats stats = sched.loopStats();
+    EXPECT_EQ(stats.wakeups, r.loopWakeups);
+    EXPECT_EQ(stats.fruitlessPolls, r.loopFruitlessPolls);
+    EXPECT_EQ(stats.idleAdvances, r.loopIdleAdvances);
+}
