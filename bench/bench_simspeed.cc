@@ -33,6 +33,7 @@
 
 #include "bench_common.hh"
 
+#include "check/ledger_auditor.hh"
 #include "common/units.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -57,10 +58,23 @@ struct Scenario
     int devices = 2;
     int iterations = 3;
     TimeNs arrivalSpacing = 5 * kNsPerMs;
+    SchedPolicy policy = SchedPolicy::RoundRobin;
 };
 
 constexpr Scenario kBurst{"burst", 8, 2, 3, 5 * kNsPerMs};
 constexpr Scenario kHighTenant{"hightenant", 64, 8, 12, kNsPerMs};
+/**
+ * The op-granularity density stressor: 256 tenants pour onto ONE
+ * device under PackedOverlap, so nearly the whole tenant population
+ * sits either in the admission queue or blocked on a DMA join at any
+ * instant. The legacy `runPacked` loop re-offered every resident
+ * tenant a step and rescanned the whole admission queue on every
+ * round; the unified engine sweeps only woken tenants and gates the
+ * rescan on the admission dirty flag. This is the scenario the PR 10
+ * before/after numbers pin.
+ */
+constexpr Scenario kDense256x1{"dense256x1", 256, 1, 2, kNsPerMs / 4,
+                               SchedPolicy::PackedOverlap};
 /**
  * The wake-list stressor: 256 tenants pour onto 16 devices four times
  * faster than hightenant, so for most of the run every device has an
@@ -105,11 +119,13 @@ runWorkload(const Scenario &sc, bool telemetry)
     obs::TraceRecorder trace;
     obs::MetricsRegistry metrics;
     SchedulerConfig cfg;
-    cfg.policy = SchedPolicy::RoundRobin;
-    cfg.devices.assign(std::size_t(sc.devices), cfg.gpu);
-    cfg.placement = std::make_shared<LoadBalancePlacement>();
-    cfg.rebalancePeriod = 100 * kNsPerMs;
-    cfg.rebalanceThreshold = 2;
+    cfg.policy = sc.policy;
+    if (sc.devices > 1) {
+        cfg.devices.assign(std::size_t(sc.devices), cfg.gpu);
+        cfg.placement = std::make_shared<LoadBalancePlacement>();
+        cfg.rebalancePeriod = 100 * kNsPerMs;
+        cfg.rebalanceThreshold = 2;
+    }
     if (telemetry) {
         cfg.telemetry.trace = &trace;
         cfg.telemetry.metrics = &metrics;
@@ -151,6 +167,7 @@ report()
     SpeedPoint on = bestOf(3, kBurst, /*telemetry=*/true);
     SpeedPoint high = bestOf(3, kHighTenant, /*telemetry=*/false);
     SpeedPoint c16 = bestOf(3, kCluster16, /*telemetry=*/false);
+    SpeedPoint dense = bestOf(3, kDense256x1, /*telemetry=*/false);
     double overhead_pct =
         off.wallSeconds > 0.0
             ? (on.wallSeconds / off.wallSeconds - 1.0) * 100.0
@@ -168,7 +185,8 @@ report()
     const Row rows[] = {{"8t x 2dev burst", "off", &off},
                         {"8t x 2dev burst", "on", &on},
                         {"64t x 8dev hightenant", "off", &high},
-                        {"256t x 16dev cluster16", "off", &c16}};
+                        {"256t x 16dev cluster16", "off", &c16},
+                        {"256t x 1dev dense256x1", "off", &dense}};
     for (const Row &r : rows) {
         double mevs = r.p->secondsPerMillionEvents();
         table.addRow({r.scenario, r.label,
@@ -193,6 +211,36 @@ report()
     recordBenchMetric("simspeed.cluster16.events", double(c16.events));
     recordBenchMetric("simspeed.cluster16.sec_per_mevent",
                       c16.secondsPerMillionEvents());
+    recordBenchMetric("simspeed.dense256x1.events", double(dense.events));
+    recordBenchMetric("simspeed.dense256x1.sec_per_mevent",
+                      dense.secondsPerMillionEvents());
+}
+
+/**
+ * `bench_simspeed dense-smoke`: the dense256x1 scenario run once to
+ * completion with the lifecycle audit replayed — the CI ASan/UBSan
+ * smoke for the unified engine at thousand-tenant density (no timing
+ * claims; sanitizers make the wall clock meaningless).
+ */
+int
+denseSmoke()
+{
+    SchedulerConfig cfg;
+    cfg.policy = kDense256x1.policy;
+    Scheduler sched(cfg);
+    for (JobSpec &spec : speedMix(kDense256x1))
+        sched.submit(std::move(spec));
+    ServeReport rep = sched.run();
+    check::CheckResult audit = check::auditLedger(rep);
+    if (!audit.ok())
+        std::printf("ledger audit:\n%s", audit.report().c_str());
+    bool ok = rep.finishedCount() == int(rep.jobs.size()) &&
+              rep.reservedBytesAtEnd == 0 &&
+              rep.evictedLedgerAtEnd == 0 && audit.ok();
+    std::printf("dense-smoke: %s (%d/%zu tenants finished)\n",
+                ok ? "PASS" : "FAIL", rep.finishedCount(),
+                rep.jobs.size());
+    return ok ? 0 : 1;
 }
 
 } // namespace
@@ -200,6 +248,10 @@ report()
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "dense-smoke") == 0) {
+        setQuiet(true);
+        return denseSmoke();
+    }
     registerSim("simspeed/8_tenants_2dev", [] {
         runWorkload(kBurst, /*telemetry=*/false);
     });
@@ -208,6 +260,9 @@ main(int argc, char **argv)
     });
     registerSim("simspeed/256_tenants_16dev", [] {
         runWorkload(kCluster16, /*telemetry=*/false);
+    });
+    registerSim("simspeed/256_tenants_1dev_packed", [] {
+        runWorkload(kDense256x1, /*telemetry=*/false);
     });
     return benchMain(argc, argv, report);
 }

@@ -13,7 +13,7 @@
  *     Running -migrate-out-> Migrating -migrate-> Running
  *                            Migrating -migrate-stall-> Evicted
  *     (live) -finish/fail-> done, -requeue-> Queued
- *     Running -profile/replan-> Running
+ *     Running -profile/replan/page-out-> Running
  *
  * and proves:
  *  - every transition is legal for the tenant's replayed state
@@ -28,9 +28,9 @@
  *  - at drain every tenant reached a terminal state (LostJob) and the
  *    reserved/evicted ledgers — aggregate and per device — balance to
  *    zero (LedgerNonZero);
- *  - the JobOutcome counters agree with the event log: replans and
- *    preemptions exactly, migrations at least the successful
- *    "migrate" count (OutcomeMismatch).
+ *  - the JobOutcome counters agree with the event log: replans,
+ *    preemptions and page-outs exactly, migrations at least the
+ *    successful "migrate" count (OutcomeMismatch).
  *
  * Header-only dependency on serve/serve_stats.hh: the auditor reads
  * report fields, so vdnn_check needs no link against vdnn_serve.

@@ -455,6 +455,41 @@ Executor::evictUnconsumedPrefetches(Bytes need, net::LayerId curr)
     return evicted_any;
 }
 
+Bytes
+Executor::pageOutCold(Bytes need)
+{
+    // Serve-layer variant of evictUnconsumedPrefetches: the same
+    // candidate set (prefetched-but-unconsumed buffers whose device
+    // copy is redundant with a valid pinned-host copy), but driven by
+    // a byte budget on behalf of a *co-tenant* rather than by one of
+    // this tenant's own allocations, and anchored at the live
+    // stepper's cursor.
+    if (!stepper || !prefetchState)
+        return 0;
+    net::LayerId curr = stepper->groupLayer;
+    if (curr < 0)
+        return 0; // cursor not inside a layer group yet
+    int curr_topo = net.node(curr).topoIndex;
+    Bytes freed = 0;
+    for (net::BufferId b = 0; b < net::BufferId(net.numBuffers()); ++b) {
+        if (freed >= need)
+            break;
+        if (!prefetchState->prefetched[std::size_t(b)])
+            continue;
+        if (mm.residence(b) != Residence::Device || !mm.hostCopyValid(b))
+            continue;
+        const net::Buffer &buf = net.buffer(b);
+        if (buf.bwdUsers.empty())
+            continue;
+        if (net.node(buf.bwdUsers.back()).topoIndex >= curr_topo)
+            continue; // in use by this or an already-running layer
+        freed += bufferPlan[std::size_t(b)].bytes;
+        mm.evictToHost(net, b);
+        prefetchState->prefetched[std::size_t(b)] = false;
+    }
+    return freed;
+}
+
 bool
 Executor::ensureResident(net::BufferId b, net::LayerId curr,
                          IterationResult &result)

@@ -94,7 +94,8 @@ class Cluster
     void setTelemetry(obs::Telemetry t);
 
     /** Attach an event-completion wake hook to every member device
-     *  (see Device::setWakeHook); the hook receives the device id. */
+     *  (see Device::setWakeHook); the hook receives the device id and
+     *  the owning client of the stream the completion landed on. */
     void setWakeHook(Device::WakeHook hook, void *ctx);
 
   private:

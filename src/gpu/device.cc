@@ -334,7 +334,7 @@ Device::computeFinish()
     commandDone(sid);
     computeTryStart();
     if (wakeHook)
-        wakeHook(wakeCtx, devId);
+        wakeHook(wakeCtx, devId, streams[size_t(sid)].client);
 }
 
 // --- copy engines ----------------------------------------------------------
@@ -448,7 +448,7 @@ Device::copyFinish(CopyDir dir)
     copyTryStart(dir);
     refreshComputeSchedule();
     if (wakeHook)
-        wakeHook(wakeCtx, devId);
+        wakeHook(wakeCtx, devId, client);
 }
 
 // --- host synchronization ---------------------------------------------------

@@ -221,10 +221,13 @@ class Device
      * through these two completion paths, so an external serve loop
      * that wakes exactly the hooked device on each call never misses
      * an unblock — it drains woken devices instead of polling all of
-     * them per event. Plain function pointer + context: the unset
-     * case (every classic single-Runtime user) costs one branch.
+     * them per event. `client` is the owner of the completing stream
+     * (setStreamClient), so a multi-tenant loop can further narrow the
+     * wake to the one tenant whose stepper the completion could have
+     * unblocked. Plain function pointer + context: the unset case
+     * (every classic single-Runtime user) costs one branch.
      */
-    using WakeHook = void (*)(void *ctx, int device);
+    using WakeHook = void (*)(void *ctx, int device, int client);
     void setWakeHook(WakeHook hook, void *ctx)
     {
         wakeHook = hook;

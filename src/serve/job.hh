@@ -110,6 +110,13 @@ struct JobRecord
     int replans = 0;
     /** Cross-device rebalance migrations. */
     int migrations = 0;
+    /** Times this tenant's cold buffers were paged out to make room
+     *  for a co-tenant (Salus-style buffer-granularity eviction). */
+    int pageOuts = 0;
+    /** Tenants this job preempted (evicted) to get admitted. Jobs
+     *  with a nonzero count contribute a preemption-latency sample
+     *  (arrival to first dispatch) to the report. */
+    int victimsPreempted = 0;
     /**
      * Priority-aging bookkeeping: wait accrued over completed
      * Queued/Evicted spells, and the start of the current spell
@@ -169,6 +176,17 @@ struct Job
     double reserveScale = 1.0;
     /** A co-tenant exited: re-plan at the next iteration boundary. */
     bool replanRequested = false;
+    /**
+     * Blocked-stepper memo (the per-tenant wake precision of the
+     * serve engine): the live stepper returned Blocked on one of its
+     * own streams, and no completion has landed on this tenant's
+     * streams since. A stepper blocks only on its own device streams
+     * draining, and those drain only through the completion paths
+     * that fire the wake hook (which clears this), so until then a
+     * re-poll must return Blocked again — skip it. Only meaningful
+     * while a stepper is live; reset at every beginIteration.
+     */
+    bool stepBlocked = false;
     /** Measured footprint from the tenant's first iteration; once
      *  valid, admission math uses it instead of the analytic model. */
     MeasuredFootprint measured;

@@ -72,19 +72,13 @@ Scheduler::Scheduler(SchedulerConfig config)
         ctrPreemptions = &m->counter("sched.preemptions");
         ctrMigrations = &m->counter("sched.migrations");
         ctrProfiles = &m->counter("sched.profiled_updates");
+        ctrPageOuts = &m->counter("sched.page_outs");
         jctAcc = &m->accumulator("sched.jct_ms");
+        preemptLatAcc = &m->accumulator("sched.preemption_latency_ms");
         iterHist = &m->histogram("sched.iteration_ms", 0.0, 2000.0, 100);
     }
     if (!cfg.placement)
         cfg.placement = std::make_shared<BestFitPlacement>();
-    // Op-granularity overlap and preemption pack tenants *within* one
-    // device; their cluster generalization is an open item.
-    VDNN_ASSERT(deviceCount() == 1 ||
-                    cfg.policy == SchedPolicy::FifoExclusive ||
-                    cfg.policy == SchedPolicy::RoundRobin ||
-                    cfg.policy == SchedPolicy::ShortestRemaining,
-                "policy %s is single-device only",
-                schedPolicyName(cfg.policy));
     VDNN_ASSERT(cfg.rebalancePeriod >= 0, "negative rebalance period");
     VDNN_ASSERT(cfg.rebalanceThreshold >= 1,
                 "rebalance threshold must be >= 1");
@@ -94,19 +88,26 @@ Scheduler::Scheduler(SchedulerConfig config)
 }
 
 void
-Scheduler::deviceWakeTrampoline(void *self, int device)
+Scheduler::deviceWakeTrampoline(void *self, int device, int client)
 {
-    static_cast<Scheduler *>(self)->onDeviceWake(device);
+    static_cast<Scheduler *>(self)->onDeviceWake(device, client);
 }
 
 void
-Scheduler::onDeviceWake(int device)
+Scheduler::onDeviceWake(int device, int client)
 {
     // Every executed completion event lands here: the owning device
     // may have an unblocked stepper (or a drained stream an admission
     // teardown was waiting on), so the next turn must offer it a step.
     wake.add(device);
     ++statWakeups;
+    // The completion landed on `client`'s stream, and a stepper
+    // blocks only on its own streams: this is the one tenant whose
+    // blocked stepper could have been released. (Clearing a terminal
+    // or stepper-less tenant's memo is harmless — the memo is
+    // consulted only while a stepper is live.)
+    if (client >= 0 && std::size_t(client) < jobs.size())
+        jobs[std::size_t(client)]->stepBlocked = false;
 }
 
 JobId
@@ -378,7 +379,7 @@ Scheduler::admitFromQueue()
              jobsInFlight() >= cfg.maxJobsInFlight) ||
             !d0.admission.canAdmit(est, job.reserveScale);
         if (wants_room && cfg.policy == SchedPolicy::PreemptivePriority)
-            wants_room = !makeRoomFor(job, est);
+            wants_room = !makeRoomFor(job, est, d0);
         if (cfg.maxJobsInFlight > 0 &&
             jobsInFlight() >= cfg.maxJobsInFlight) {
             break;
@@ -396,6 +397,17 @@ Scheduler::admitFromQueue()
             break; // strict arrival order for FIFO
         }
         if (tryAdmit(job, est, d0)) {
+            queue.take(i);
+            continue;
+        }
+        // No progress despite a fitting reservation: page co-tenants'
+        // cold buffers before inflating this job's reservation (and,
+        // under the priority policy, before tenants get evicted).
+        if (cfg.bufferPaging &&
+            pageVictimBuffers(
+                d0, d0.admission.reservationFor(est, job.reserveScale)) >
+                0 &&
+            tryAdmit(job, est, d0)) {
             queue.take(i);
             continue;
         }
@@ -497,7 +509,7 @@ Scheduler::finishJob(Job &job, JobState final_state,
     // whose planner supports it may grow their plans back.
     if (cfg.policy == SchedPolicy::PreemptivePriority) {
         resumePending = true;
-        for (JobId id : devs[0]->running)
+        for (JobId id : d.running)
             jobs[std::size_t(id)]->replanRequested = true;
     } else if (deviceCount() > 1) {
         resumePending = true;
@@ -509,6 +521,16 @@ Scheduler::evictForRequeue(Job &job)
 {
     ++job.record.oomRequeues;
     job.reserveScale *= cfg.oomBackoffScale;
+    // Buffers before tenants, in-flight flavor: the aborted iteration
+    // is already unwound, but paging co-tenants' cold prefetched-ahead
+    // copies now means the re-admitted attempt runs against a pool
+    // with real headroom instead of OOMing the same way again.
+    if (cfg.bufferPaging && job.record.deviceId >= 0) {
+        DeviceCtx &d = *devs[std::size_t(job.record.deviceId)];
+        pageVictimBuffers(
+            d, d.admission.reservationFor(estimateFor(job, d),
+                                          job.reserveScale));
+    }
     std::string why = job.session->failReason();
     if (job.record.oomRequeues > cfg.maxOomRequeues) {
         finishJob(job, JobState::Failed,
@@ -523,40 +545,10 @@ Scheduler::evictForRequeue(Job &job)
     queue.pushFront(job.id);
 }
 
-Job *
-Scheduler::pickNext()
-{
-    DeviceCtx &d0 = *devs[0];
-    std::vector<JobId> &running = d0.running;
-    VDNN_ASSERT(!running.empty(), "pickNext() with nothing running");
-    if (cfg.policy == SchedPolicy::PreemptivePriority) {
-        // Strict (effective) priority; round-robin within the top
-        // level. Aged-in tenants keep their earned boost here too.
-        TimeNs now = cluster.now();
-        double top =
-            effectivePriority(*jobs[std::size_t(running.front())], now);
-        for (JobId id : running) {
-            top = std::max(
-                top, effectivePriority(*jobs[std::size_t(id)], now));
-        }
-        for (std::size_t k = 0; k < running.size(); ++k) {
-            std::size_t idx = (d0.rrCursor + k) % running.size();
-            Job *j = jobs[std::size_t(running[idx])].get();
-            if (effectivePriority(*j, now) == top) {
-                d0.rrCursor = idx + 1;
-                return j;
-            }
-        }
-    }
-    // FIFO / SRPT / round-robin are the same selection the cluster
-    // loop runs per device; device 0 is the whole cluster here.
-    return pickNextOn(d0);
-}
-
 // --- lifecycle state machine (PreemptivePriority) ----------------------------
 
 Job *
-Scheduler::pickVictim(double below_priority)
+Scheduler::pickVictim(DeviceCtx &d, double below_priority)
 {
     // Lowest effective priority first (an aged-in tenant keeps the
     // boost it earned, so it is not the default victim); the
@@ -565,11 +557,19 @@ Scheduler::pickVictim(double below_priority)
     TimeNs now = cluster.now();
     Job *victim = nullptr;
     double victim_eff = 0.0;
-    for (JobId id : devs[0]->running) {
+    for (JobId id : d.running) {
         Job *j = jobs[std::size_t(id)].get();
         double eff = effectivePriority(*j, now);
         if (eff >= below_priority)
             continue;
+        // Iteration granularity parks victims only at iteration
+        // boundaries; at op granularity a live stepper is parked at
+        // its current Sync/Barrier boundary and the partial iteration
+        // unwound by evictToHost().
+        if (cfg.preemptGranularity == PreemptGranularity::Iteration &&
+            j->session->activeStepper()) {
+            continue;
+        }
         if (!victim || eff < victim_eff ||
             (eff == victim_eff &&
              j->spec.arrival > victim->spec.arrival)) {
@@ -580,38 +580,96 @@ Scheduler::pickVictim(double below_priority)
     return victim;
 }
 
-bool
-Scheduler::preempt(Job &victim)
+Job *
+Scheduler::topChallengerOn(DeviceCtx &d, const Job &inflight)
 {
-    VDNN_ASSERT(victim.record.state == JobState::Running,
-                "preempting job %d in state %s", victim.id,
-                jobStateName(victim.record.state));
-    DeviceCtx &d0 = *devs[0];
+    // Strictly higher effective priority only: at equal priority the
+    // in-flight tenant keeps the device (no same-level thrash), and
+    // parked (Suspended) residents cannot challenge — they wait until
+    // they are top again.
+    TimeNs now = cluster.now();
+    double bar = effectivePriority(inflight, now);
+    Job *top = nullptr;
+    double top_eff = bar;
+    for (JobId id : d.running) {
+        Job *j = jobs[std::size_t(id)].get();
+        if (j->id == inflight.id ||
+            j->record.state != JobState::Running)
+            continue;
+        double eff = effectivePriority(*j, now);
+        if (eff > top_eff) {
+            top = j;
+            top_eff = eff;
+        }
+    }
+    return top;
+}
+
+void
+Scheduler::parkInFlight(DeviceCtx &d, Job &victim, Job &challenger)
+{
+    // Salus-style fast switch: the victim's stepper freezes at its
+    // current op boundary and every byte it holds stays resident, so
+    // the reservation ledger does not move and no staging DMA is
+    // issued. The beneficiary samples preemption latency at its first
+    // dispatch (notePreemptionLatency keys on victimsPreempted).
+    // record.preemptions is *not* bumped: the auditor equates that
+    // count with evict events, and nothing was evicted.
     Bytes before = reservedBytesTotal();
     victim.session->suspend();
     victim.record.state = JobState::Suspended;
-    logLifecycle(victim.id, "suspend", before, d0.id);
+    logLifecycle(victim.id, "suspend", before, d.id);
+    d.inFlight = -1;
+    ++challenger.record.victimsPreempted;
+    if (ctrPreemptions)
+        ctrPreemptions->add();
+}
+
+bool
+Scheduler::preempt(Job &victim)
+{
+    VDNN_ASSERT(victim.record.state == JobState::Running ||
+                    victim.record.state == JobState::Suspended,
+                "preempting job %d in state %s", victim.id,
+                jobStateName(victim.record.state));
+    DeviceCtx &d = *devs[std::size_t(victim.record.deviceId)];
+    Bytes before = reservedBytesTotal();
+    // An op-granularity dispatch preemption may already have parked
+    // this victim resident (Suspended); eviction then just skips the
+    // suspend step and stages the frozen state out.
+    const bool was_parked =
+        victim.record.state == JobState::Suspended;
+    if (!was_parked) {
+        victim.session->suspend();
+        victim.record.state = JobState::Suspended;
+        logLifecycle(victim.id, "suspend", before, d.id);
+    }
 
     if (!victim.session->evictToHost()) {
-        // Pinned host memory cannot stage the state; undo the park.
-        victim.session->resume();
-        victim.record.state = JobState::Running;
-        logLifecycle(victim.id, "resume", before, d0.id);
+        // Pinned host memory cannot stage the state; undo the park
+        // (unless the victim was parked before this call — then it
+        // stays parked, exactly as it was).
+        if (!was_parked) {
+            victim.session->resume();
+            victim.record.state = JobState::Running;
+            logLifecycle(victim.id, "resume", before, d.id);
+        }
         return false;
     }
-    d0.admission.evict(victim.id);
+    d.admission.evict(victim.id);
     removeFromRunning(victim.id);
     admissionDirty = true;
     evictedJobs.push_back(victim.id);
     victim.record.state = JobState::Evicted;
     victim.record.waitingSince = cluster.now(); // aging resumes
     ++victim.record.preemptions;
-    logLifecycle(victim.id, "evict", before, d0.id);
+    victim.stepBlocked = false; // evictToHost unwound any stepper
+    logLifecycle(victim.id, "evict", before, d.id);
     if (ctrPreemptions)
         ctrPreemptions->add();
     if (cfg.telemetry.tracing()) {
         pendingPreemptFlow = cfg.telemetry.trace->flowStart(
-            d0.id, victim.id, "sched", "preempt", cluster.now());
+            d.id, victim.id, "sched", "preempt", cluster.now());
     }
     // Schedule a resume sweep: if the beneficiary then fails
     // admission (setup OOM, host exhaustion partway through
@@ -622,40 +680,120 @@ Scheduler::preempt(Job &victim)
 }
 
 bool
-Scheduler::makeRoomFor(Job &job, const FootprintEstimate &est)
+Scheduler::makeRoomFor(Job &job, const FootprintEstimate &est,
+                       DeviceCtx &d)
 {
-    DeviceCtx &d0 = *devs[0];
     auto blocked = [&] {
         return (cfg.maxJobsInFlight > 0 &&
                 jobsInFlight() >= cfg.maxJobsInFlight) ||
-               !d0.admission.canAdmit(est, job.reserveScale);
+               !d.admission.canAdmit(est, job.reserveScale);
     };
     double bar = effectivePriority(job, cluster.now());
     while (blocked()) {
-        Job *victim = pickVictim(bar);
+        Job *victim = pickVictim(d, bar);
         if (!victim || !preempt(*victim))
             return false; // nobody below this priority (or host full)
+        ++job.record.victimsPreempted;
     }
     return true;
 }
 
-void
-Scheduler::resumeEvicted()
+Scheduler::DeviceCtx *
+Scheduler::pickPreemptDevice(Job &job)
 {
-    DeviceCtx &d0 = *devs[0];
-    // Best *effective* priority first (evicted tenants keep aging, so
-    // a long-parked job climbs this order too), then earliest
-    // arrival: the order admission would have picked them in.
+    // Cluster make-room target: the feasible device holding the most
+    // evictable reserved bytes strictly below the arrival's effective
+    // priority — where makeRoomFor() has the best odds of clearing
+    // enough space. Side-effect-free: nothing is evicted here.
+    TimeNs now = cluster.now();
+    double bar = effectivePriority(job, now);
+    DeviceCtx *best = nullptr;
+    Bytes best_evictable = 0;
+    for (auto &dp : devs) {
+        DeviceCtx &d = *dp;
+        if (!d.admission.feasible(estimateFor(job, d),
+                                  job.reserveScale)) {
+            continue;
+        }
+        Bytes evictable = 0;
+        for (JobId id : d.running) {
+            Job &v = *jobs[std::size_t(id)];
+            if (effectivePriority(v, now) >= bar)
+                continue;
+            if (cfg.preemptGranularity ==
+                    PreemptGranularity::Iteration &&
+                v.session->activeStepper()) {
+                continue;
+            }
+            evictable += d.admission.reservationFor(estimateFor(v, d),
+                                                    v.reserveScale);
+        }
+        if (evictable > 0 && (!best || evictable > best_evictable)) {
+            best = &d;
+            best_evictable = evictable;
+        }
+    }
+    return best;
+}
+
+// --- buffer-granularity paging (Salus-style) ---------------------------------
+
+Bytes
+Scheduler::pageVictimBuffers(DeviceCtx &d, Bytes need)
+{
+    // Buffers before tenants: resident tenants drop their coldest
+    // host-backed device copies (already-consumed prefetches the
+    // backward pass will want again later) so an arrival whose
+    // reservation fit on the ledger can actually set up, instead of
+    // inflating its reservation or evicting a whole co-tenant.
+    // Blocked tenants first: they are waiting on DMA joins anyway, so
+    // the re-fetch hides behind the stall they were already serving.
+    Bytes freed = 0;
+    for (int pass = 0; pass < 2 && freed < need; ++pass) {
+        for (JobId id : d.running) {
+            if (freed >= need)
+                break;
+            Job &vic = *jobs[std::size_t(id)];
+            if (vic.record.state != JobState::Running)
+                continue;
+            if ((pass == 0) != vic.stepBlocked)
+                continue;
+            Bytes before = reservedBytesTotal();
+            Bytes got = vic.session->pageOut(need - freed);
+            if (got <= 0)
+                continue;
+            freed += got;
+            ++vic.record.pageOuts;
+            if (ctrPageOuts)
+                ctrPageOuts->add();
+            // Ledger-neutral by construction: paging moves pool bytes,
+            // not reservations (the auditor checks the zero delta).
+            logLifecycle(vic.id, "page-out", before, d.id);
+        }
+    }
+    return freed;
+}
+
+void
+Scheduler::resumeEvictedSweep()
+{
+    // Under the priority policy: best *effective* priority first
+    // (evicted tenants keep aging, so a long-parked job climbs this
+    // order too), then earliest arrival. Otherwise earliest arrival —
+    // either way, the order admission would have picked them in. Each
+    // tenant resumes on the device it is homed on (post-migration).
     TimeNs now = cluster.now();
     std::vector<JobId> order = evictedJobs;
     std::sort(order.begin(), order.end(),
               [this, now](JobId a, JobId b) {
         const Job &ja = *jobs[std::size_t(a)];
         const Job &jb = *jobs[std::size_t(b)];
-        double ea = effectivePriority(ja, now);
-        double eb = effectivePriority(jb, now);
-        if (ea != eb)
-            return ea > eb;
+        if (cfg.policy == SchedPolicy::PreemptivePriority) {
+            double ea = effectivePriority(ja, now);
+            double eb = effectivePriority(jb, now);
+            if (ea != eb)
+                return ea > eb;
+        }
         if (ja.spec.arrival != jb.spec.arrival)
             return ja.spec.arrival < jb.spec.arrival;
         return a < b;
@@ -667,7 +805,8 @@ Scheduler::resumeEvicted()
             jobsInFlight() >= cfg.maxJobsInFlight) {
             break;
         }
-        tryResumeOn(*jobs[std::size_t(id)], d0);
+        Job &job = *jobs[std::size_t(id)];
+        tryResumeOn(job, *devs[std::size_t(job.record.deviceId)]);
     }
 }
 
@@ -783,146 +922,6 @@ Scheduler::adoptProfile(Job &job)
     }
 }
 
-void
-Scheduler::runInterleaved()
-{
-    DeviceCtx &d0 = *devs[0];
-    while (!allDone()) {
-        collectArrivals();
-        admitFromQueue();
-        if (resumePending) {
-            resumePending = false;
-            resumeEvicted();
-        }
-
-        if (d0.running.empty()) {
-            if (!evictedJobs.empty()) {
-                // Preempted tenants and nothing resident: readmit.
-                resumeEvicted();
-                if (!d0.running.empty())
-                    continue;
-            }
-            TimeNs next = nextPendingArrivalTime();
-            if (next == kTimeNone) {
-                if (!evictedJobs.empty()) {
-                    // Backstop: an evicted tenant that cannot come
-                    // back even with the device drained must go
-                    // terminal, not hang the scheduler.
-                    std::vector<JobId> stuck = evictedJobs;
-                    for (JobId id : stuck) {
-                        finishJob(*jobs[std::size_t(id)],
-                                  JobState::Failed,
-                                  "evicted tenant could not be "
-                                  "readmitted: " +
-                                      jobs[std::size_t(id)]
-                                          ->session->failReason());
-                    }
-                    continue;
-                }
-                // Nothing running, nothing admissible, nothing still
-                // to arrive: every queued job was terminal-handled.
-                break;
-            }
-            ++statIdleAdvances;
-            cluster.advanceTo(next);
-            continue;
-        }
-
-        Job &job = *pickNext();
-        // Grow-back sweep: a co-tenant exited since this tenant last
-        // ran; planners that support it re-plan in place against the
-        // fresh free share at this iteration boundary.
-        if (job.replanRequested) {
-            job.replanRequested = false;
-            if (cfg.policy == SchedPolicy::PreemptivePriority &&
-                !job.session->activeStepper()) {
-                Bytes before = reservedBytesTotal();
-                if (job.session->replan()) {
-                    ++job.record.replans;
-                    logLifecycle(job.id, "replan", before, d0.id);
-                }
-            }
-        }
-        if (job.record.firstDispatchTime == kTimeNone)
-            job.record.firstDispatchTime = cluster.now();
-        core::IterationResult r = job.session->runIteration();
-        if (r.ok) {
-            chargeIteration(job, r);
-            if (job.record.itersDone >= job.spec.iterations)
-                finishJob(job, JobState::Finished);
-        } else {
-            // In-flight OOM: overcommit or fragmentation beyond the
-            // reservation. Only this job's iteration aborts.
-            evictForRequeue(job);
-        }
-    }
-}
-
-void
-Scheduler::runPacked()
-{
-    DeviceCtx &d0 = *devs[0];
-    // Op-granularity packing: every admitted tenant owns a resumable
-    // IterationStepper over its compiled IterationProgram. One pass of
-    // the loop offers each tenant a single step; a tenant blocked on a
-    // stream join (its offload or prefetch still in flight) is skipped
-    // rather than allowed to stall the host, so the next tenant's
-    // compute op dispatches under the blocked tenant's DMA. Only when
-    // *every* admitted tenant is blocked does the host advance the
-    // device clock — by exactly one event, so whichever tenant
-    // unblocks first resumes first.
-    while (!allDone()) {
-        collectArrivals();
-        admitFromQueue();
-
-        if (d0.running.empty()) {
-            TimeNs next = nextPendingArrivalTime();
-            if (next == kTimeNone)
-                break;
-            ++statIdleAdvances;
-            cluster.advanceTo(next);
-            continue;
-        }
-
-        bool progress = false;
-        std::vector<JobId> round = d0.running;
-        for (JobId id : round) {
-            Job &job = *jobs[std::size_t(id)];
-            if (job.record.state != JobState::Running)
-                continue; // finished or evicted earlier in this round
-            core::IterationStepper *st = job.session->activeStepper();
-            if (!st) {
-                if (job.record.firstDispatchTime == kTimeNone)
-                    job.record.firstDispatchTime = cluster.now();
-                st = &job.session->beginIteration();
-            }
-            core::IterationStepper::Status s =
-                st->step(/*blocking=*/false);
-            if (s == core::IterationStepper::Status::Blocked)
-                continue;
-            progress = true;
-            if (!st->finished())
-                continue;
-            core::IterationResult r = job.session->completeIteration();
-            if (r.ok) {
-                chargeIteration(job, r);
-                if (job.record.itersDone >= job.spec.iterations)
-                    finishJob(job, JobState::Finished);
-            } else {
-                evictForRequeue(job);
-            }
-        }
-
-        if (!progress) {
-            // Every admitted tenant is blocked on in-flight device
-            // work; there must be a pending completion to run.
-            bool advanced = cluster.stepDevice();
-            VDNN_ASSERT(advanced,
-                        "all tenants blocked with an empty event queue");
-        }
-    }
-}
-
 // --- cluster path (2+ devices) -----------------------------------------------
 
 int
@@ -957,6 +956,16 @@ Scheduler::choosePlacement(Job &job)
 void
 Scheduler::admitFromQueueCluster()
 {
+    // Same admission order as the single-device sweep: under the
+    // priority policy the most important (aging-adjusted) arrivals
+    // place first, FIFO within a level.
+    if (cfg.policy == SchedPolicy::PreemptivePriority) {
+        TimeNs now = cluster.now();
+        queue.stableSort([this, now](JobId a, JobId b) {
+            return effectivePriority(*jobs[std::size_t(a)], now) >
+                   effectivePriority(*jobs[std::size_t(b)], now);
+        });
+    }
     std::size_t i = 0;
     while (i < queue.size()) {
         Job &job = *jobs[std::size_t(queue.at(i))];
@@ -986,6 +995,16 @@ Scheduler::admitFromQueueCluster()
             break;
         }
         int target = choosePlacement(job);
+        if (target < 0 &&
+            cfg.policy == SchedPolicy::PreemptivePriority) {
+            // No device fits outright: evict below-priority tenants
+            // on the device holding the most reclaimable reservation,
+            // then place there.
+            if (DeviceCtx *pd = pickPreemptDevice(job)) {
+                if (makeRoomFor(job, estimateFor(job, *pd), *pd))
+                    target = pd->id;
+            }
+        }
         if (target < 0) {
             // Nothing fits right now. FIFO keeps strict arrival order
             // (no later job may jump a blocked head, matching the
@@ -997,6 +1016,16 @@ Scheduler::admitFromQueueCluster()
         }
         DeviceCtx &d = *devs[std::size_t(target)];
         if (tryAdmit(job, estimateFor(job, d), d)) {
+            queue.take(i);
+            continue;
+        }
+        // No progress despite a fitting reservation: page co-tenants'
+        // cold buffers before inflating this job's reservation.
+        if (cfg.bufferPaging &&
+            pageVictimBuffers(d, d.admission.reservationFor(
+                                     estimateFor(job, d),
+                                     job.reserveScale)) > 0 &&
+            tryAdmit(job, estimateFor(job, d), d)) {
             queue.take(i);
             continue;
         }
@@ -1024,6 +1053,26 @@ Scheduler::pickNextOn(DeviceCtx &d)
         }
         return best;
     }
+    if (cfg.policy == SchedPolicy::PreemptivePriority) {
+        // Strict (effective) priority; round-robin within the top
+        // level. Aged-in tenants keep their earned boost here too.
+        TimeNs now = cluster.now();
+        double top =
+            effectivePriority(*jobs[std::size_t(d.running.front())],
+                              now);
+        for (JobId id : d.running) {
+            top = std::max(
+                top, effectivePriority(*jobs[std::size_t(id)], now));
+        }
+        for (std::size_t k = 0; k < d.running.size(); ++k) {
+            std::size_t idx = (d.rrCursor + k) % d.running.size();
+            Job *j = jobs[std::size_t(d.running[idx])].get();
+            if (effectivePriority(*j, now) == top) {
+                d.rrCursor = idx + 1;
+                return j;
+            }
+        }
+    }
     if (d.rrCursor >= d.running.size())
         d.rrCursor = 0;
     return jobs[std::size_t(d.running[d.rrCursor++])].get();
@@ -1036,31 +1085,75 @@ Scheduler::stepDeviceOnce(DeviceCtx &d)
         ++statFruitlessPolls;
         return false;
     }
-    Job *job;
+    Job *job = nullptr;
     if (d.inFlight >= 0) {
         job = jobs[std::size_t(d.inFlight)].get();
-    } else {
+        // Op-granularity dispatch preemption: ledger room is not the
+        // only resource a high-priority arrival needs — it needs the
+        // SMs. At iteration granularity the device hands over only at
+        // the in-flight tenant's boundary; at op granularity a
+        // strictly higher-priority resident tenant takes the device at
+        // the next op step. The in-flight tenant parks *resident*
+        // (suspend() freezes its stepper mid-iteration, memory and
+        // ledger reservation untouched) and continues byte-identically
+        // when it is next picked, so the switch costs no DMA at all.
+        if (cfg.policy == SchedPolicy::PreemptivePriority &&
+            cfg.preemptGranularity == PreemptGranularity::Op) {
+            Job *top = topChallengerOn(d, *job);
+            if (top) {
+                parkInFlight(d, *job, *top);
+                job = nullptr;
+            }
+        }
+    }
+    if (!job) {
         job = pickNextOn(d);
-        if (job->record.firstDispatchTime == kTimeNone)
+        if (job->record.state == JobState::Suspended) {
+            // A parked-resident victim is top again: un-freeze its
+            // stepper and continue the interrupted iteration in place.
+            Bytes before = reservedBytesTotal();
+            job->session->resume();
+            job->record.state = JobState::Running;
+            logLifecycle(job->id, "resume", before, d.id);
+        }
+        // Grow-back sweep: a co-tenant exited since this tenant last
+        // ran; planners that support it re-plan in place against the
+        // fresh free share at this iteration boundary.
+        if (job->replanRequested) {
+            job->replanRequested = false;
+            if (cfg.policy == SchedPolicy::PreemptivePriority &&
+                !job->session->activeStepper()) {
+                Bytes before = reservedBytesTotal();
+                if (job->session->replan()) {
+                    ++job->record.replans;
+                    logLifecycle(job->id, "replan", before, d.id);
+                }
+            }
+        }
+        if (job->record.firstDispatchTime == kTimeNone) {
             job->record.firstDispatchTime = cluster.now();
-        job->session->beginIteration();
+            notePreemptionLatency(*job);
+        }
+        if (!job->session->activeStepper())
+            job->session->beginIteration();
+        job->stepBlocked = false;
         d.inFlight = job->id;
     }
     core::IterationStepper *st = job->session->activeStepper();
     VDNN_ASSERT(st, "in-flight job %d has no stepper", job->id);
-    if (d.blockedJob == job->id &&
-        d.blockedExec == cluster.clock().executed()) {
-        ++statFruitlessPolls;
-        return false; // still blocked: no event has executed since
-    }
-    core::IterationStepper::Status s = st->step(/*blocking=*/false);
-    if (s == core::IterationStepper::Status::Blocked) {
-        d.blockedJob = job->id;
-        d.blockedExec = cluster.clock().executed();
+    if (job->stepBlocked && !forceWakeAll) {
+        // Still blocked: no completion has landed on this tenant's
+        // streams since the stepper last returned Blocked, so a
+        // re-poll must block again — skip the pure call.
         ++statFruitlessPolls;
         return false;
     }
-    d.blockedJob = -1;
+    core::IterationStepper::Status s = st->step(/*blocking=*/false);
+    if (s == core::IterationStepper::Status::Blocked) {
+        job->stepBlocked = true;
+        ++statFruitlessPolls;
+        return false;
+    }
     if (!st->finished())
         return true;
     d.inFlight = -1;
@@ -1074,7 +1167,88 @@ Scheduler::stepDeviceOnce(DeviceCtx &d)
         // down and requeued (it may be re-placed on another device).
         evictForRequeue(*job);
     }
+    // Completed-iteration boundary: effective priorities aged, so the
+    // priority policy's admission decisions (sort order, make-room
+    // bar) may have shifted on time alone — rescan next turn.
+    if (cfg.policy == SchedPolicy::PreemptivePriority)
+        admissionDirty = true;
     return true;
+}
+
+bool
+Scheduler::sweepPacked(DeviceCtx &d)
+{
+    // Op-granularity packing: every resident tenant owns a resumable
+    // IterationStepper over its compiled IterationProgram. One sweep
+    // offers each tenant a single step; a tenant blocked on a stream
+    // join (its offload or prefetch still in flight) is skipped rather
+    // than allowed to stall the host, so the next tenant's compute op
+    // dispatches under the blocked tenant's DMA.
+    if (d.running.empty()) {
+        ++statFruitlessPolls;
+        return false;
+    }
+    bool progress = false;
+    std::vector<JobId> round = d.running;
+    for (JobId id : round) {
+        Job &job = *jobs[std::size_t(id)];
+        if (job.record.state != JobState::Running)
+            continue; // finished or evicted earlier in this round
+        core::IterationStepper *st = job.session->activeStepper();
+        if (!st) {
+            if (job.record.firstDispatchTime == kTimeNone) {
+                job.record.firstDispatchTime = cluster.now();
+                notePreemptionLatency(job);
+            }
+            st = &job.session->beginIteration();
+            job.stepBlocked = false;
+        }
+        if (job.stepBlocked && !forceWakeAll) {
+            // No completion on this tenant's streams since it
+            // blocked: the re-poll is provably fruitless.
+            ++statFruitlessPolls;
+            continue;
+        }
+        core::IterationStepper::Status s =
+            st->step(/*blocking=*/false);
+        if (s == core::IterationStepper::Status::Blocked) {
+            job.stepBlocked = true;
+            ++statFruitlessPolls;
+            continue;
+        }
+        progress = true;
+        if (!st->finished())
+            continue;
+        core::IterationResult r = job.session->completeIteration();
+        if (r.ok) {
+            chargeIteration(job, r);
+            if (job.record.itersDone >= job.spec.iterations)
+                finishJob(job, JobState::Finished);
+        } else {
+            evictForRequeue(job);
+        }
+    }
+    return progress;
+}
+
+bool
+Scheduler::sweepDevice(DeviceCtx &d)
+{
+    return cfg.policy == SchedPolicy::PackedOverlap ? sweepPacked(d)
+                                                    : stepDeviceOnce(d);
+}
+
+void
+Scheduler::notePreemptionLatency(const Job &job)
+{
+    // Only beneficiaries sample the metric: arrival to first kernel
+    // dispatch of a job that had to evict someone to get in is the
+    // responsiveness its priority actually bought.
+    if (job.record.victimsPreempted > 0 && preemptLatAcc) {
+        preemptLatAcc->add(
+            double(job.record.firstDispatchTime - job.spec.arrival) /
+            1e6);
+    }
 }
 
 void
@@ -1226,52 +1400,40 @@ Scheduler::migrateJob(Job &job, DeviceCtx &src, DeviceCtx &dst)
 }
 
 void
-Scheduler::resumeEvictedCluster()
+Scheduler::runEngine()
 {
-    // Earliest arrival first: the order admission would pick.
-    std::vector<JobId> order = evictedJobs;
-    std::sort(order.begin(), order.end(), [this](JobId a, JobId b) {
-        const Job &ja = *jobs[std::size_t(a)];
-        const Job &jb = *jobs[std::size_t(b)];
-        if (ja.spec.arrival != jb.spec.arrival)
-            return ja.spec.arrival < jb.spec.arrival;
-        return a < b;
-    });
-    for (JobId id : order) {
-        if (cfg.maxJobsInFlight > 0 &&
-            jobsInFlight() >= cfg.maxJobsInFlight) {
-            break;
-        }
-        Job &job = *jobs[std::size_t(id)];
-        tryResumeOn(job, *devs[std::size_t(job.record.deviceId)]);
-    }
-}
-
-void
-Scheduler::runCluster()
-{
-    // One iteration per device in flight at a time: each device's
-    // resident set advances through a resumable stepper while its
-    // siblings' kernels and DMAs run on the shared clock, so N
-    // devices genuinely serve N tenants' compute concurrently.
+    // The one serve loop: every policy at every device count. Each
+    // device's resident set advances through resumable steppers while
+    // its siblings' kernels and DMAs run on the shared clock, so N
+    // devices genuinely serve N tenants' compute concurrently — and
+    // under PackedOverlap every resident tenant of a device holds a
+    // live stepper at once.
     //
-    // The loop is event-driven. The old implementation polled: every
-    // turn rescanned the admission queue against every device and
-    // offered every device a step, an O(devices + queued) toll per
+    // The loop is event-driven. The old per-configuration loops
+    // polled: every turn rescanned the admission queue and offered
+    // every tenant a step, an O(devices + tenants + queued) toll per
     // executed event. Here each turn drains only the wake-set — the
     // devices whose state actually changed since they last made no
     // progress (a completion event executed on them, or a tenant was
-    // admitted / resumed / migrated in) — and the admission rescan
-    // runs only when `admissionDirty` says one of its inputs moved.
-    // Outputs are byte-identical to the polling loop because every
-    // skipped call was pure: a non-blocking step offered to a blocked
-    // or empty device returns without side effects, and the rescan
-    // with unchanged inputs reproduces its previous (fruitless)
-    // decisions. The turn structure — preamble, at most one step per
-    // device in ascending id order, exactly one executed event when
-    // no stepper progressed — is preserved, so every admission,
-    // placement and iteration decision lands on the same simulated
-    // nanosecond it always did.
+    // admitted / resumed / migrated in) — and within a device each
+    // tenant carries a blocked-stepper memo (Job::stepBlocked, cleared
+    // by the wake hook of the one tenant whose stream the completion
+    // landed on), so a thousand-tenant device re-polls one tenant per
+    // completion, not a thousand. The admission rescan runs only when
+    // `admissionDirty` says one of its inputs moved. Outputs are
+    // byte-identical to the polling loops because every skipped call
+    // was pure: a non-blocking step offered to a blocked or empty
+    // tenant returns without side effects, and a rescan with unchanged
+    // inputs reproduces its previous (fruitless) decisions.
+    //
+    // The classic single-device iteration-granularity configurations
+    // instead run their preamble exactly at iteration boundaries, with
+    // an *unconditional* admission rescan there — the legacy loops'
+    // cadence, which matters under the priority policy because aging
+    // makes admission order a function of time, not just of ledger
+    // events. (At Op preemption granularity the preamble runs every
+    // turn: a high-priority arrival must not wait out an iteration to
+    // be seen.)
     //
     // Arrivals stay turn-boundary-scheduled rather than becoming real
     // clock events: collectArrivals() is O(1) until the cached
@@ -1279,60 +1441,76 @@ Scheduler::runCluster()
     // process the queue *mid*-turn and shift admit times). The idle
     // path advances straight to that cached arrival, and rebalance
     // sweeps gate on their precomputed next-due time.
+    const bool boundary_preamble =
+        deviceCount() == 1 &&
+        cfg.policy != SchedPolicy::PackedOverlap &&
+        cfg.preemptGranularity == PreemptGranularity::Iteration;
     for (auto &d : devs)
         wake.add(d->id);
     while (!allDone()) {
-        collectArrivals();
-        if (admissionDirty) {
-            admissionDirty = false;
-            // May re-dirty itself: a setup-OOM backoff must retry
-            // against the pool's next-turn state, every turn, until
-            // it admits or goes terminal (the polling cadence).
-            admitFromQueueCluster();
-        }
-        if (resumePending) {
-            resumePending = false;
-            resumeEvictedCluster();
-        }
-        if (cfg.rebalancePeriod > 0 &&
-            (nextRebalance == kTimeNone ||
-             cluster.now() >= nextRebalance)) {
-            maybeRebalance();
-        }
+        if (!boundary_preamble || devs[0]->inFlight < 0) {
+            collectArrivals();
+            if (boundary_preamble) {
+                admitFromQueue();
+            } else if (admissionDirty) {
+                admissionDirty = false;
+                // May re-dirty itself: a setup-OOM backoff must retry
+                // against the pool's next-turn state, every turn,
+                // until it admits or goes terminal (the polling
+                // cadence).
+                if (deviceCount() == 1)
+                    admitFromQueue();
+                else
+                    admitFromQueueCluster();
+            }
+            if (resumePending) {
+                resumePending = false;
+                resumeEvictedSweep();
+            }
+            if (cfg.rebalancePeriod > 0 &&
+                (nextRebalance == kTimeNone ||
+                 cluster.now() >= nextRebalance)) {
+                maybeRebalance();
+            }
 
-        if (residentJobs == 0) {
-            if (!evictedJobs.empty()) {
-                resumeEvictedCluster();
-                if (residentJobs > 0)
-                    continue;
-            }
-            TimeNs next = nextPendingArrivalTime();
-            if (next == kTimeNone) {
+            if (residentJobs == 0) {
                 if (!evictedJobs.empty()) {
-                    // Backstop: a stalled migrant that cannot come
-                    // back even with the cluster drained must go
-                    // terminal, not hang the scheduler.
-                    std::vector<JobId> stuck = evictedJobs;
-                    for (JobId id : stuck) {
-                        finishJob(*jobs[std::size_t(id)],
-                                  JobState::Failed,
-                                  "evicted tenant could not be "
-                                  "readmitted: " +
-                                      jobs[std::size_t(id)]
-                                          ->session->failReason());
-                    }
-                    continue;
+                    // Preempted tenants and nothing resident: readmit.
+                    resumeEvictedSweep();
+                    if (residentJobs > 0)
+                        continue;
                 }
-                break;
+                TimeNs next = nextPendingArrivalTime();
+                if (next == kTimeNone) {
+                    if (!evictedJobs.empty()) {
+                        // Backstop: an evicted tenant that cannot come
+                        // back even with the cluster drained must go
+                        // terminal, not hang the scheduler.
+                        std::vector<JobId> stuck = evictedJobs;
+                        for (JobId id : stuck) {
+                            finishJob(*jobs[std::size_t(id)],
+                                      JobState::Failed,
+                                      "evicted tenant could not be "
+                                      "readmitted: " +
+                                          jobs[std::size_t(id)]
+                                              ->session->failReason());
+                        }
+                        continue;
+                    }
+                    // Nothing running, nothing admissible, nothing
+                    // still to arrive: every job went terminal.
+                    break;
+                }
+                ++statIdleAdvances;
+                cluster.advanceTo(next);
+                continue;
             }
-            ++statIdleAdvances;
-            cluster.advanceTo(next);
-            continue;
         }
 
         if (forceWakeAll) {
             // Spurious-wakeup test mode: degenerate to the polling
-            // scan. Extra offers to blocked devices are pure, so the
+            // scan (the sweeps also bypass the per-tenant memo).
+            // Extra offers to blocked tenants are pure, so the
             // equivalence goldens must still hold.
             for (auto &d : devs)
                 wake.add(d->id);
@@ -1347,18 +1525,19 @@ Scheduler::runCluster()
         // stranded.
         bool progress = false;
         for (int id = wake.next(0); id != -1; id = wake.next(id + 1)) {
-            if (stepDeviceOnce(*devs[std::size_t(id)]))
+            if (sweepDevice(*devs[std::size_t(id)]))
                 progress = true;
             else
                 wake.remove(id);
         }
         if (!progress) {
-            // Every woken device's in-flight iteration is blocked on
-            // DMA joins (or the set is empty); run the single next
-            // completion — its wake hook repopulates the set.
+            // Every woken tenant is blocked on in-flight device work
+            // (or the set is empty); run the single next completion —
+            // its wake hook repopulates the set and clears exactly the
+            // blocked memo of the tenant whose stream drained.
             bool advanced = cluster.stepDevice();
             VDNN_ASSERT(advanced,
-                        "all devices blocked with an empty event queue");
+                        "all tenants blocked with an empty event queue");
         }
     }
 }
@@ -1368,14 +1547,7 @@ Scheduler::run()
 {
     VDNN_ASSERT(!ran, "run() called twice");
     ran = true;
-
-    if (deviceCount() > 1)
-        runCluster();
-    else if (cfg.policy == SchedPolicy::PackedOverlap)
-        runPacked();
-    else
-        runInterleaved();
-
+    runEngine();
     return buildReport();
 }
 
@@ -1454,6 +1626,8 @@ Scheduler::buildReport()
         out.oomRequeues = rec.oomRequeues;
         out.preemptions = rec.preemptions;
         out.replans = rec.replans;
+        out.pageOuts = rec.pageOuts;
+        out.victimsPreempted = rec.victimsPreempted;
         out.migrations = rec.migrations;
         out.device = rec.deviceId;
         out.placements = rec.placements;

@@ -27,25 +27,43 @@
  *    the admitted job with the fewest remaining iterations (SRPT at
  *    iteration granularity) — minimizes mean job completion time.
  *  - PackedOverlap: op-granularity packing over the IterationProgram
- *    steppers (single-device only). Whenever one tenant blocks on a
+ *    steppers, on any device count. Whenever one tenant blocks on a
  *    DMA join, the next ready tenant's compute op is dispatched
  *    instead of idling the compute engine; admission reserves the
- *    *sum* of transients.
- *  - PreemptivePriority: iteration-granularity packing driven by
- *    JobSpec::priority (single-device only). A higher-priority
+ *    *sum* of transients per device.
+ *  - PreemptivePriority: priority packing driven by
+ *    JobSpec::priority, on any device count. A higher-priority
  *    arrival that fails admission preempts the lowest-priority
- *    running tenants through the Session lifecycle state machine.
- *    JobSpec::agingRatePerSec bounds starvation: a queued job's
- *    effective priority grows with its wait, so a hostile stream of
- *    high-priority arrivals cannot park a low-priority job forever.
+ *    running tenants through the Session lifecycle state machine —
+ *    at iteration boundaries by default, or mid-iteration at the
+ *    victim's next Sync/Barrier boundary when
+ *    SchedulerConfig::preemptGranularity is Op (the beneficiary is
+ *    dispatching kernels within simulated microseconds; ServeReport
+ *    records the preemption latency). JobSpec::agingRatePerSec
+ *    bounds starvation: a queued job's effective priority grows with
+ *    its wait, so a hostile stream of high-priority arrivals cannot
+ *    park a low-priority job forever.
  *
- * On a cluster (2+ devices) the scheduler drives one iteration per
- * device concurrently — each device's resident set advances through
- * its own resumable stepper while the others' DMAs and kernels run on
- * the shared timeline — and a periodic rebalance sweep migrates the
- * smallest-footprint tenant off the most-loaded device whenever the
- * queue-depth imbalance reaches a threshold (Session::migrate:
- * suspend -> evict-to-host -> re-plan and resume on the target).
+ * One event-driven engine serves every configuration: per turn it
+ * sweeps only the devices on the WakeSet (populated by the Device
+ * completion hooks, which also identify the one tenant whose stream
+ * drained), offers each woken device one non-blocking step per
+ * unblocked tenant, and executes exactly one completion event when no
+ * stepper progressed. Admission rescans gate on a dirty flag; the
+ * classic single-device iteration-granularity configurations process
+ * arrivals and admission only at iteration boundaries, reproducing
+ * the legacy loops' cadence byte-for-byte. On a cluster a periodic
+ * rebalance sweep migrates the smallest-footprint tenant off the
+ * most-loaded device whenever the queue-depth imbalance reaches a
+ * threshold (Session::migrate: suspend -> evict-to-host -> re-plan
+ * and resume on the target).
+ *
+ * Under memory pressure the scheduler pages *buffers* before it
+ * evicts *tenants* (Salus-style): when SchedulerConfig::bufferPaging
+ * is on and a fitting reservation still fails setup, resident
+ * tenants — blocked ones first — drop their coldest host-backed
+ * device copies (Session::pageOut) before the OOM backoff inflates
+ * reservations or a whole tenant is evicted.
  *
  * In-flight OOM (overcommit or pool fragmentation despite the
  * reservation) aborts only that iteration: the job is torn down,
@@ -91,6 +109,26 @@ enum class SchedPolicy : std::uint8_t
 
 const char *schedPolicyName(SchedPolicy p);
 
+/** When may PreemptivePriority park a victim? */
+enum class PreemptGranularity : std::uint8_t
+{
+    /**
+     * Only tenants with no iteration in flight are preemptible; a
+     * high-priority arrival waits out the victim's current iteration.
+     * This is the legacy (golden-pinned) behavior and keeps the
+     * single-device admission cadence at iteration boundaries.
+     */
+    Iteration,
+    /**
+     * A victim's live stepper is parked at its next Sync/Barrier
+     * boundary and the partial iteration unwound (it re-runs after
+     * resume), so the preemptor dispatches its first kernel within
+     * simulated microseconds instead of a full victim iteration.
+     * Arrivals and admission are processed every engine turn.
+     */
+    Op,
+};
+
 struct SchedulerConfig
 {
     SchedPolicy policy = SchedPolicy::RoundRobin;
@@ -99,8 +137,8 @@ struct SchedulerConfig
     /**
      * Cluster mode: one GpuSpec per device (heterogeneous allowed).
      * Empty (the default) serves on the single device in `gpu`; a
-     * non-empty list supersedes `gpu`. With 2+ devices the policy
-     * must be FifoExclusive, RoundRobin or ShortestRemaining.
+     * non-empty list supersedes `gpu`. Every policy works at every
+     * device count.
      */
     std::vector<gpu::GpuSpec> devices;
     /** Device chooser for admissions. Null = BestFitPlacement. */
@@ -123,6 +161,24 @@ struct SchedulerConfig
     double oomBackoffScale = 1.25;
     /** OOM requeues before a job is marked Failed. */
     int maxOomRequeues = 3;
+    /**
+     * Preemption granularity (PreemptivePriority only). The default,
+     * Iteration, is golden-pinned legacy behavior; Op enables
+     * microsecond mid-iteration preemption (see the enum).
+     */
+    PreemptGranularity preemptGranularity = PreemptGranularity::Iteration;
+    /**
+     * Salus-style no-progress handling: buffers are evicted before
+     * tenants. When a fitting reservation still fails setup (pool
+     * fragmentation / co-tenant overshoot), page resident tenants'
+     * coldest host-backed device copies (Session::pageOut, blocked
+     * tenants first) and retry before the OOM backoff inflates the
+     * reservation. When an admitted tenant's *iteration* aborts with
+     * OOM, page co-tenants the same way before it requeues, so the
+     * re-admitted attempt runs against real headroom instead of
+     * OOMing identically. Off by default (legacy behavior).
+     */
+    bool bufferPaging = false;
     /** Retain pool-usage and jobs-in-flight timelines in the report. */
     bool keepTimeline = false;
 
@@ -193,11 +249,12 @@ class Scheduler
     }
 
     /**
-     * Test hook (spurious-wakeup safety): treat every device as woken
-     * on every turn of the cluster loop, degenerating the wake-list
-     * sweep back into the old full polling scan. A non-blocking step
-     * offered to a blocked or empty device is pure, so outputs must
-     * be byte-identical with this on — the equivalence suite pins it.
+     * Test hook (spurious-wakeup safety): treat every device (and
+     * every tenant) as woken on every turn of the engine,
+     * degenerating the wake-list sweep back into the old full polling
+     * scan. A non-blocking step offered to a blocked or empty device
+     * is pure, so outputs must be byte-identical with this on — the
+     * equivalence suite pins it.
      */
     void setDebugForceWakeAll(bool on) { forceWakeAll = on; }
 
@@ -214,18 +271,10 @@ class Scheduler
         mem::UsageTracker track;    ///< this device's pool usage
         std::vector<JobId> running; ///< admitted here, submission order
         std::size_t rrCursor = 0;
-        /** Job whose iteration the cluster loop has in flight. */
+        /** Job whose iteration the engine has in flight
+         *  (iteration-granularity policies; -1 under PackedOverlap,
+         *  where every resident tenant may hold a live stepper). */
         JobId inFlight = -1;
-        /**
-         * Poll memo: the in-flight stepper returned Blocked with the
-         * shared clock's executed-event counter at blockedExec. A
-         * stepper blocks only on its own streams draining, and
-         * streams drain only by events executing, so until the
-         * counter moves a re-poll must return Blocked again — skip
-         * it. Keyed by job id so admission changes invalidate it.
-         */
-        JobId blockedJob = -1;
-        std::uint64_t blockedExec = 0;
         int jobsPlaced = 0;
         int migrationsIn = 0;
         int migrationsOut = 0;
@@ -268,52 +317,80 @@ class Scheduler
                       int device);
     ServeReport buildReport();
 
-    // --- single-device paths (golden-pinned legacy behavior) -------------
+    // --- admission -------------------------------------------------------
+    /** Single-device admission sweep (golden-pinned legacy order:
+     *  priority sort, feasibility rejection, make-room, backfill). */
     void admitFromQueue();
-    Job *pickNext();
-    /** Iteration-granularity main loop (all policies but packed). */
-    void runInterleaved();
-    /** Op-granularity main loop (SchedPolicy::PackedOverlap). */
-    void runPacked();
-
-    // --- lifecycle state machine (PreemptivePriority) --------------------
-    /** Lowest-priority running tenant strictly below @p priority
-     *  (latest arrival breaks ties), or nullptr. */
-    Job *pickVictim(double below_priority);
-    /** Suspend + evict one tenant, moving its reservation to the
-     *  evicted ledger. False when pinned host memory is exhausted. */
-    bool preempt(Job &victim);
-    /** Evict lowest-priority tenants until @p job's reservation (and,
-     *  when the in-flight cap binds, a slot) fits. */
-    bool makeRoomFor(Job &job, const FootprintEstimate &est);
-    /** Resume evicted tenants that fit again, best priority first. */
-    void resumeEvicted();
-    /** Readmit one evicted tenant onto @p d; false if it stays parked. */
-    bool tryResumeOn(Job &job, DeviceCtx &d);
+    /** Cluster admission: place queued jobs via the PlacementPolicy
+     *  (same rejection/make-room/backfill structure per job). */
+    void admitFromQueueCluster();
+    /** Snapshot per-device loads and ask the placement policy. */
+    int choosePlacement(Job &job);
     /** Inflate a setup-OOM'd job's reservation; true when it went
      *  terminal (Failed) and was taken from the queue. */
     bool backoffAfterSetupOom(Job &job, std::size_t queue_index);
 
-    // --- cluster path (2+ devices) ---------------------------------------
-    /** Place queued jobs onto devices via the PlacementPolicy. */
-    void admitFromQueueCluster();
-    /** Snapshot per-device loads and ask the placement policy. */
-    int choosePlacement(Job &job);
-    /** Within-device iteration order (RR / SRPT / FIFO). */
+    // --- lifecycle state machine (PreemptivePriority) --------------------
+    /** Lowest-priority tenant of @p d strictly below @p priority
+     *  (latest arrival breaks ties), or nullptr. Tenants with an
+     *  iteration in flight are victims only at Op granularity. */
+    Job *pickVictim(DeviceCtx &d, double below_priority);
+    /** Suspend + evict one tenant, moving its reservation to the
+     *  evicted ledger. False when pinned host memory is exhausted.
+     *  Accepts a victim already parked resident by parkInFlight(). */
+    bool preempt(Job &victim);
+    /** Highest effective-priority *Running* co-tenant of @p d with
+     *  strictly higher priority than the in-flight tenant, or
+     *  nullptr. Parked (Suspended) residents never challenge. */
+    Job *topChallengerOn(DeviceCtx &d, const Job &inflight);
+    /** Op-granularity dispatch preemption: freeze the in-flight
+     *  tenant's stepper at its current op boundary and leave it
+     *  resident (no DMA, ledger untouched); the device goes to
+     *  @p challenger, which is charged the victimsPreempted
+     *  attribution that feeds preemption-latency sampling. */
+    void parkInFlight(DeviceCtx &d, Job &victim, Job &challenger);
+    /** Evict @p d's lowest-priority tenants until @p job's
+     *  reservation (and, when the in-flight cap binds, a slot)
+     *  fits. */
+    bool makeRoomFor(Job &job, const FootprintEstimate &est,
+                     DeviceCtx &d);
+    /** Cluster make-room target: the feasible device holding the most
+     *  evictable (below-@p job's-priority) reserved bytes, or null. */
+    DeviceCtx *pickPreemptDevice(Job &job);
+    /** Resume evicted tenants that fit again, onto the device each is
+     *  homed on — best effective priority first under the priority
+     *  policy, earliest arrival otherwise. */
+    void resumeEvictedSweep();
+    /** Readmit one evicted tenant onto @p d; false if it stays parked. */
+    bool tryResumeOn(Job &job, DeviceCtx &d);
+
+    // --- buffer-granularity paging (Salus-style) -------------------------
+    /** Page up to @p need bytes of cold device copies off @p d's
+     *  resident tenants (blocked tenants first). @return bytes freed. */
+    Bytes pageVictimBuffers(DeviceCtx &d, Bytes need);
+
+    // --- the unified event-driven engine ---------------------------------
+    /** Within-device iteration order (priority / RR / SRPT / FIFO). */
     Job *pickNextOn(DeviceCtx &d);
-    /** Offer device @p d one non-blocking stepper step. */
+    /** Offer @p d's single in-flight iteration one non-blocking step
+     *  (iteration-granularity policies). */
     bool stepDeviceOnce(DeviceCtx &d);
+    /** Offer every unblocked resident tenant of @p d one non-blocking
+     *  step (PackedOverlap: one live stepper per tenant). */
+    bool sweepPacked(DeviceCtx &d);
+    /** One step offer to @p d, dispatched by policy. */
+    bool sweepDevice(DeviceCtx &d);
+    /** Feed the preemption-latency telemetry at first dispatch. */
+    void notePreemptionLatency(const Job &job);
     /** Periodic migration sweep off the most-loaded device. */
     void maybeRebalance();
     bool migrateJob(Job &job, DeviceCtx &src, DeviceCtx &dst);
-    /** Readmit evicted tenants onto their (post-migration) device. */
-    void resumeEvictedCluster();
-    /** One-iteration-per-device concurrent main loop (event-driven:
-     *  drains only devices on the wake-set). */
-    void runCluster();
-    /** Device wake hook body: push @p device onto the wake-set. */
-    void onDeviceWake(int device);
-    static void deviceWakeTrampoline(void *self, int device);
+    /** The one serve loop: every policy at every device count. */
+    void runEngine();
+    /** Device wake hook body: push @p device onto the wake-set and
+     *  clear @p client's blocked-stepper memo. */
+    void onDeviceWake(int device, int client);
+    static void deviceWakeTrampoline(void *self, int device, int client);
 
     SchedulerConfig cfg;
     gpu::Cluster cluster;
@@ -337,16 +414,19 @@ class Scheduler
     TimeNs nextPendingArrival = kTimeNone;
     int numTerminal = 0;
     /**
-     * Event-driven cluster-loop state. `wake` holds the devices the
-     * next turn must offer a step (populated by the Device completion
+     * Event-driven engine state. `wake` holds the devices the next
+     * turn must offer a step (populated by the Device completion
      * hooks plus the admit/resume/migrate-in sites); a device leaves
      * it only when a step offer makes no progress. `admissionDirty`
-     * gates admitFromQueueCluster(): the queue rescan runs only when
-     * an arrival, a ledger change, a running-set change or a pending
-     * setup-OOM retry could alter its decisions — on every other turn
-     * the old polling rescan was provably pure, so skipping it cannot
-     * change outputs. `residentJobs` caches the summed running-set
-     * size so the idle test is O(1).
+     * gates the admission rescan: it runs only when an arrival, a
+     * ledger change, a running-set change, an iteration boundary
+     * under the priority policy, or a pending setup-OOM retry could
+     * alter its decisions — on every other turn the old polling
+     * rescan was provably pure, so skipping it cannot change outputs.
+     * (The classic single-device iteration-granularity configurations
+     * instead rescan unconditionally at every iteration boundary,
+     * the legacy loops' exact cadence.) `residentJobs` caches the
+     * summed running-set size so the idle test is O(1).
      */
     WakeSet wake;
     bool admissionDirty = true;
@@ -366,7 +446,9 @@ class Scheduler
     obs::Counter *ctrPreemptions = nullptr;
     obs::Counter *ctrMigrations = nullptr;
     obs::Counter *ctrProfiles = nullptr;
+    obs::Counter *ctrPageOuts = nullptr;
     stats::Accumulator *jctAcc = nullptr;
+    stats::Accumulator *preemptLatAcc = nullptr;
     stats::Histogram *iterHist = nullptr;
     /** Open preemption flow: evict (victim) -> admit (beneficiary). */
     std::uint64_t pendingPreemptFlow = 0;

@@ -140,6 +140,39 @@ ServeReport::p99Jct() const
     return nearestRank(finishedJcts(jobs), 0.99);
 }
 
+std::vector<TimeNs>
+ServeReport::preemptionLatencies() const
+{
+    std::vector<TimeNs> lats;
+    for (const JobOutcome &j : jobs) {
+        if (j.victimsPreempted > 0 && j.firstDispatchTime != kTimeNone)
+            lats.push_back(j.firstDispatchTime - j.arrival);
+    }
+    std::sort(lats.begin(), lats.end());
+    return lats;
+}
+
+TimeNs
+ServeReport::meanPreemptionLatency() const
+{
+    return meanOf(preemptionLatencies());
+}
+
+TimeNs
+ServeReport::p95PreemptionLatency() const
+{
+    return nearestRank(preemptionLatencies(), 0.95);
+}
+
+int
+ServeReport::totalPageOuts() const
+{
+    int n = 0;
+    for (const JobOutcome &j : jobs)
+        n += j.pageOuts;
+    return n;
+}
+
 TimeNs
 ServeReport::meanJctAtPriority(int priority) const
 {

@@ -41,6 +41,11 @@ struct JobOutcome
     int oomRequeues = 0;
     int preemptions = 0;
     int replans = 0;
+    /** Times this tenant's cold buffers were paged out for a
+     *  co-tenant (buffer-granularity eviction). */
+    int pageOuts = 0;
+    /** Tenants this job evicted to get admitted. */
+    int victimsPreempted = 0;
     /** Cross-device rebalance migrations. */
     int migrations = 0;
     /** Device the job last ran on (-1: never admitted). */
@@ -91,8 +96,8 @@ struct LifecycleEvent
     TimeNs when = 0;
     JobId job = -1;
     /** "admit" / "suspend" / "evict" / "replan" / "resume" /
-     *  "migrate" / "migrate-out" / "migrate-stall" / "finish" /
-     *  "requeue" / "fail". */
+     *  "migrate" / "migrate-out" / "migrate-stall" / "page-out" /
+     *  "finish" / "requeue" / "fail". */
     const char *what = "";
     /** Device the transition happened on (migrate: the target). */
     int device = -1;
@@ -192,6 +197,20 @@ struct ServeReport
     TimeNs meanJctAtPriority(int priority) const;
     /** p95 (nearest-rank) JCT over finished jobs at @p priority. */
     TimeNs p95JctAtPriority(int priority) const;
+
+    /**
+     * Preemption latency: arrival to first kernel dispatch, sampled
+     * over every job that evicted at least one victim to get in (the
+     * responsiveness a high-priority arrival actually observed). At
+     * op granularity this is microseconds; at iteration granularity
+     * it includes the victim's full remaining iteration.
+     */
+    std::vector<TimeNs> preemptionLatencies() const;
+    TimeNs meanPreemptionLatency() const;
+    /** p95 (nearest-rank) preemption latency (0 when none). */
+    TimeNs p95PreemptionLatency() const;
+    /** Buffer-granularity page-outs summed over all tenants. */
+    int totalPageOuts() const;
 
     /** Per-job ASCII table (gains a placement column on a cluster). */
     stats::Table jobTable() const;

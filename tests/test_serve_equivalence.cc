@@ -207,6 +207,40 @@ runClusterSrpt(bool forceWakeAll = false)
     return sched.run();
 }
 
+// --- single-device workloads (legacy-loop goldens) ---------------------------
+//
+// PR 10 collapses the legacy single-device loops (`runInterleaved`,
+// `runPacked`) into the unified event-driven engine. These workloads
+// were pinned against the *pre-refactor* build, one per policy, so
+// the engine provably reproduces every legacy scheduling decision:
+// FIFO's exclusive idle path, round-robin packing, SRPT ordering,
+// op-granularity packed overlap, and (below) the preemptive-priority
+// state machine.
+
+ServeReport
+runSingleDevice(SchedPolicy policy, bool forceWakeAll = false)
+{
+    SchedulerConfig cfg;
+    cfg.policy = policy;
+    Scheduler sched(cfg);
+    int n = policy == SchedPolicy::FifoExclusive ? 5 : 8;
+    for (int i = 0; i < n; ++i) {
+        JobSpec spec;
+        spec.name = strFormat("sd-%02d", i);
+        spec.network = sharedNet(i % 2, 64);
+        spec.planner = vdnnAll();
+        // FIFO: 2 s gaps drain the device between arrivals (idle
+        // advance path); the packing policies arrive in a 2 ms burst.
+        spec.arrival = policy == SchedPolicy::FifoExclusive
+                           ? TimeNs(i) * 2 * kNsPerSec
+                           : TimeNs(i) * 2 * kNsPerMs;
+        spec.iterations = i % 3 + 1;
+        sched.submit(std::move(spec));
+    }
+    sched.setDebugForceWakeAll(forceWakeAll);
+    return sched.run();
+}
+
 /** The preemption workload: a priority-10 urgent arrival preempts
  *  background tenants on one device (runInterleaved shares the
  *  idle-path fast path the satellite fix touched). */
@@ -277,6 +311,50 @@ TEST(ServeEquivalence, ClusterSrptGolden)
     expectClean(r);
 }
 
+// Golden values produced by the legacy single-device loops
+// (`runInterleaved` / `runPacked`) at PR 10's base commit. The
+// unified engine must reproduce every one of them.
+
+TEST(ServeEquivalence, SingleFifoGolden)
+{
+    ServeReport r = runSingleDevice(SchedPolicy::FifoExclusive);
+    EXPECT_EQ(r.finishedCount(), 5);
+    EXPECT_EQ(r.makespan, 8304944816);
+    EXPECT_EQ(foldJobs(r), 7770679107251919159ULL);
+    EXPECT_EQ(foldLifecycle(r), 6006062426620275345ULL);
+    expectClean(r);
+}
+
+TEST(ServeEquivalence, SingleRoundRobinGolden)
+{
+    ServeReport r = runSingleDevice(SchedPolicy::RoundRobin);
+    EXPECT_EQ(r.finishedCount(), 8);
+    EXPECT_EQ(r.makespan, 4803144288);
+    EXPECT_EQ(foldJobs(r), 17887363300148685550ULL);
+    EXPECT_EQ(foldLifecycle(r), 3054758802806694419ULL);
+    expectClean(r);
+}
+
+TEST(ServeEquivalence, SingleSrptGolden)
+{
+    ServeReport r = runSingleDevice(SchedPolicy::ShortestRemaining);
+    EXPECT_EQ(r.finishedCount(), 8);
+    EXPECT_EQ(r.makespan, 4803144288);
+    EXPECT_EQ(foldJobs(r), 1464349741132414958ULL);
+    EXPECT_EQ(foldLifecycle(r), 18029822621006097403ULL);
+    expectClean(r);
+}
+
+TEST(ServeEquivalence, SinglePackedGolden)
+{
+    ServeReport r = runSingleDevice(SchedPolicy::PackedOverlap);
+    EXPECT_EQ(r.finishedCount(), 8);
+    EXPECT_EQ(r.makespan, 4513138165);
+    EXPECT_EQ(foldJobs(r), 12319659211156963112ULL);
+    EXPECT_EQ(foldLifecycle(r), 2357761639762418875ULL);
+    expectClean(r);
+}
+
 TEST(ServeEquivalence, PreemptionGolden)
 {
     ServeReport r = runPreemption();
@@ -309,6 +387,52 @@ TEST(ServeEquivalence, SpuriousWakeupsClusterSrpt)
     EXPECT_EQ(r.makespan, 7909967178);
     EXPECT_EQ(foldJobs(r), 17133718095427305840ULL);
     EXPECT_EQ(foldLifecycle(r), 7414691562356460462ULL);
+    expectClean(r);
+}
+
+// Single-device spurious wakeups: forceWakeAll additionally bypasses
+// the per-tenant blocked-stepper memo (Job::stepBlocked), so every
+// memoized skip becomes an explicit step offer to a blocked stepper.
+// Identical outputs prove the skip was pure — re-polling a tenant
+// whose streams saw no completion cannot change the trajectory.
+
+TEST(ServeEquivalence, SpuriousWakeupsSingleFifo)
+{
+    ServeReport r =
+        runSingleDevice(SchedPolicy::FifoExclusive, /*forceWakeAll=*/true);
+    EXPECT_EQ(r.makespan, 8304944816);
+    EXPECT_EQ(foldJobs(r), 7770679107251919159ULL);
+    EXPECT_EQ(foldLifecycle(r), 6006062426620275345ULL);
+    expectClean(r);
+}
+
+TEST(ServeEquivalence, SpuriousWakeupsSingleRoundRobin)
+{
+    ServeReport r =
+        runSingleDevice(SchedPolicy::RoundRobin, /*forceWakeAll=*/true);
+    EXPECT_EQ(r.makespan, 4803144288);
+    EXPECT_EQ(foldJobs(r), 17887363300148685550ULL);
+    EXPECT_EQ(foldLifecycle(r), 3054758802806694419ULL);
+    expectClean(r);
+}
+
+TEST(ServeEquivalence, SpuriousWakeupsSingleSrpt)
+{
+    ServeReport r = runSingleDevice(SchedPolicy::ShortestRemaining,
+                                    /*forceWakeAll=*/true);
+    EXPECT_EQ(r.makespan, 4803144288);
+    EXPECT_EQ(foldJobs(r), 1464349741132414958ULL);
+    EXPECT_EQ(foldLifecycle(r), 18029822621006097403ULL);
+    expectClean(r);
+}
+
+TEST(ServeEquivalence, SpuriousWakeupsSinglePacked)
+{
+    ServeReport r =
+        runSingleDevice(SchedPolicy::PackedOverlap, /*forceWakeAll=*/true);
+    EXPECT_EQ(r.makespan, 4513138165);
+    EXPECT_EQ(foldJobs(r), 12319659211156963112ULL);
+    EXPECT_EQ(foldLifecycle(r), 2357761639762418875ULL);
     expectClean(r);
 }
 
@@ -347,4 +471,45 @@ TEST(ServeEquivalence, LoopCountersFlushToMetrics)
     EXPECT_EQ(stats.wakeups, r.loopWakeups);
     EXPECT_EQ(stats.fruitlessPolls, r.loopFruitlessPolls);
     EXPECT_EQ(stats.idleAdvances, r.loopIdleAdvances);
+}
+
+// The legacy single-device loops never swept the wake-set, so the
+// loop counters read zero on a single GPU and sloAttainment was only
+// exercised through the cluster path. The unified engine serves
+// single-device configurations through the same wake-set sweep, so
+// the counters and SLO accounting must now report there too.
+
+TEST(ServeEquivalence, SingleDeviceCountersAndSlo)
+{
+    obs::MetricsRegistry metrics;
+    SchedulerConfig cfg;
+    cfg.policy = SchedPolicy::RoundRobin;
+    cfg.telemetry.metrics = &metrics;
+    Scheduler sched(cfg);
+    for (int i = 0; i < 3; ++i) {
+        JobSpec spec;
+        spec.name = strFormat("slo-%02d", i);
+        spec.network = sharedNet(0, 64);
+        spec.planner = vdnnAll();
+        spec.arrival = TimeNs(i) * 2 * kNsPerSec;
+        spec.iterations = 2;
+        // Job 0 carries a generous SLO (met), job 1 an impossible
+        // one-nanosecond SLO (missed), job 2 none (not eligible).
+        spec.sloJct = i == 0 ? 60 * kNsPerSec : i == 1 ? TimeNs(1) : 0;
+        sched.submit(std::move(spec));
+    }
+    ServeReport r = sched.run();
+
+    EXPECT_EQ(r.finishedCount(), 3);
+    EXPECT_GT(r.loopWakeups, 0u);
+    EXPECT_GT(r.loopFruitlessPolls, 0u); // DMA joins block the stepper
+    EXPECT_GT(r.loopIdleAdvances, 0u);   // 2 s gaps drain the device
+    EXPECT_EQ(metrics.counter("serve.wakeups").value(),
+              double(r.loopWakeups));
+    EXPECT_EQ(metrics.counter("serve.fruitless_polls").value(),
+              double(r.loopFruitlessPolls));
+
+    EXPECT_EQ(r.sloEligible(), 2);
+    EXPECT_EQ(r.sloMet(), 1);
+    EXPECT_DOUBLE_EQ(r.sloAttainment(), 0.5);
 }

@@ -120,10 +120,12 @@ kernel(const char *name, TimeNs dur)
 struct WakeLog
 {
     std::vector<int> wakes;
+    std::vector<int> clients;
     static void
-    hook(void *ctx, int device)
+    hook(void *ctx, int device, int client)
     {
         static_cast<WakeLog *>(ctx)->wakes.push_back(device);
+        static_cast<WakeLog *>(ctx)->clients.push_back(client);
     }
 };
 
